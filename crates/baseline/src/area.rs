@@ -1,0 +1,308 @@
+//! The gate-equivalent (GE) area model behind the paper's Fig. 1:
+//! extensible processor vs RISPP hardware requirements over the H.264
+//! encoder phases.
+//!
+//! An extensible processor must provision dedicated SI hardware for
+//! *every* hot spot at design time — `GE_total = Σ GE(phase)` — even
+//! though each phase's hardware idles while the others run. RISPP needs
+//! only the area of the largest hot spot plus rotation headroom:
+//! `GE_RISPP = α · GE_max`, with α trading rotation overhead against
+//! performance preservation, under a constraint `GE_RISPP ≤
+//! GE_constraint`. The GE saving is `(GE_total − α·GE_max) / GE_total`.
+
+/// One functional phase of the application (ME, MC, TQ, LF for the H.264
+/// encoder).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Phase name.
+    pub name: String,
+    /// Share of total processing time, in `(0, 1]`.
+    pub time_share: f64,
+    /// Gate equivalents of the phase's dedicated SI hardware.
+    pub gate_equivalents: u64,
+}
+
+impl Phase {
+    /// Creates a phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `time_share ∈ (0, 1]` and `gate_equivalents > 0`.
+    #[must_use]
+    pub fn new<S: Into<String>>(name: S, time_share: f64, gate_equivalents: u64) -> Self {
+        assert!(
+            time_share > 0.0 && time_share <= 1.0,
+            "time share must be in (0, 1]"
+        );
+        assert!(gate_equivalents > 0, "phase hardware cannot be empty");
+        Phase {
+            name: name.into(),
+            time_share,
+            gate_equivalents,
+        }
+    }
+}
+
+/// The Fig. 1 area comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaModel {
+    phases: Vec<Phase>,
+    alpha: f64,
+}
+
+impl AreaModel {
+    /// Creates a model from the application phases and the RISPP scaling
+    /// factor α.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty, α < 1 (RISPP needs at least the
+    /// largest hot spot), or the time shares do not sum to ≈ 1.
+    #[must_use]
+    pub fn new(phases: Vec<Phase>, alpha: f64) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        assert!(alpha >= 1.0, "alpha must cover the largest hot spot");
+        let total_share: f64 = phases.iter().map(|p| p.time_share).sum();
+        assert!(
+            (total_share - 1.0).abs() < 1e-6,
+            "phase time shares must sum to 1 (got {total_share})"
+        );
+        AreaModel { phases, alpha }
+    }
+
+    /// The phases.
+    #[must_use]
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// The rotation-headroom scaling factor α.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// `GE_total`: the extensible processor's area (sum over all phases).
+    #[must_use]
+    pub fn extensible_ge(&self) -> u64 {
+        self.phases.iter().map(|p| p.gate_equivalents).sum()
+    }
+
+    /// `GE_max`: the largest single hot spot.
+    #[must_use]
+    pub fn max_phase_ge(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| p.gate_equivalents)
+            .max()
+            .expect("non-empty by construction")
+    }
+
+    /// `GE_RISPP = α · GE_max`.
+    #[must_use]
+    pub fn rispp_ge(&self) -> u64 {
+        (self.alpha * self.max_phase_ge() as f64).round() as u64
+    }
+
+    /// The paper's GE saving:
+    /// `(GE_total − α·GE_max) · 100 / GE_total` percent.
+    #[must_use]
+    pub fn ge_saving_percent(&self) -> f64 {
+        let total = self.extensible_ge() as f64;
+        (total - self.rispp_ge() as f64) * 100.0 / total
+    }
+
+    /// Checks the paper's constraint `RISPP HW_required = α·GE_max ≤
+    /// GE_constraint`.
+    #[must_use]
+    pub fn fits_constraint(&self, ge_constraint: u64) -> bool {
+        self.rispp_ge() <= ge_constraint
+    }
+
+    /// Area utilisation of the extensible processor: the time-weighted
+    /// fraction of its SI hardware that is actually in use (each phase
+    /// only exercises its own hardware — the idle remainder is the
+    /// "power/energy loss and overhead of silicon area" of Fig. 1).
+    #[must_use]
+    pub fn extensible_utilization(&self) -> f64 {
+        let total = self.extensible_ge() as f64;
+        self.phases
+            .iter()
+            .map(|p| p.time_share * p.gate_equivalents as f64 / total)
+            .sum()
+    }
+
+    /// RISPP utilisation under the same accounting: every phase uses (up
+    /// to) the whole rotating area.
+    #[must_use]
+    pub fn rispp_utilization(&self) -> f64 {
+        let area = self.rispp_ge() as f64;
+        self.phases
+            .iter()
+            .map(|p| p.time_share * (p.gate_equivalents as f64).min(area) / area)
+            .sum()
+    }
+}
+
+/// Gate equivalents per Virtex-II slice — the rule-of-thumb conversion
+/// (two 4-input LUTs plus two flip-flops ≈ 112 two-input-NAND
+/// equivalents) used to express FPGA resources in the ASIC-style GE
+/// units of Fig. 1.
+pub const GE_PER_SLICE: u64 = 112;
+
+/// Gate equivalents of one Atom, from its synthesis profile (Table 1
+/// slices × [`GE_PER_SLICE`]).
+#[must_use]
+pub fn atom_ge(profile: &rispp_fabric::catalog::AtomHwProfile) -> u64 {
+    u64::from(profile.slices) * GE_PER_SLICE
+}
+
+/// Gate equivalents of a Molecule: the sum over its Atom instances under
+/// a catalog — what a design-time-fixed processor would have to burn to
+/// host that implementation permanently.
+#[must_use]
+pub fn molecule_ge(
+    molecule: &rispp_core::molecule::Molecule,
+    catalog: &rispp_fabric::catalog::AtomCatalog,
+) -> u64 {
+    molecule
+        .iter_nonzero()
+        .map(|(kind, count)| u64::from(count) * atom_ge(catalog.profile(kind)))
+        .sum()
+}
+
+/// The H.264 encoder phase model of Fig. 1: Motion Estimation, Motion
+/// Compensation, Transform+Quantisation and Loop Filter. MC consumes only
+/// 17 % of processing time but needs the biggest area (`GE_max`), while
+/// ME takes the largest time share with the least hardware — the
+/// asymmetry that motivates rotation.
+#[must_use]
+pub fn h264_phases() -> Vec<Phase> {
+    vec![
+        Phase::new("ME", 0.45, 48_000),
+        Phase::new("MC", 0.17, 120_000),
+        Phase::new("TQ", 0.23, 86_000),
+        Phase::new("LF", 0.15, 64_000),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> AreaModel {
+        AreaModel::new(h264_phases(), 1.2)
+    }
+
+    #[test]
+    fn mc_is_biggest_but_not_longest() {
+        let phases = h264_phases();
+        let mc = phases.iter().find(|p| p.name == "MC").unwrap();
+        assert_eq!(mc.gate_equivalents, 120_000);
+        assert!(phases
+            .iter()
+            .all(|p| p.gate_equivalents <= mc.gate_equivalents));
+        // ME has the largest time share with the least hardware.
+        let me = phases.iter().find(|p| p.name == "ME").unwrap();
+        assert!(phases.iter().all(|p| p.time_share <= me.time_share));
+        assert!(phases
+            .iter()
+            .all(|p| p.gate_equivalents >= me.gate_equivalents));
+    }
+
+    #[test]
+    fn saving_formula_matches_paper() {
+        let m = model();
+        // GE_total = 318k, α·GE_max = 144k → saving ≈ 54.7 %.
+        assert_eq!(m.extensible_ge(), 318_000);
+        assert_eq!(m.rispp_ge(), 144_000);
+        let saving = m.ge_saving_percent();
+        assert!((saving - 54.7).abs() < 0.1, "saving {saving}");
+    }
+
+    #[test]
+    fn bigger_alpha_costs_area() {
+        let tight = AreaModel::new(h264_phases(), 1.0);
+        let loose = AreaModel::new(h264_phases(), 1.5);
+        assert!(loose.rispp_ge() > tight.rispp_ge());
+        assert!(loose.ge_saving_percent() < tight.ge_saving_percent());
+    }
+
+    #[test]
+    fn constraint_check() {
+        let m = model();
+        assert!(m.fits_constraint(150_000));
+        assert!(!m.fits_constraint(100_000));
+    }
+
+    #[test]
+    fn rispp_utilises_area_better() {
+        let m = model();
+        assert!(m.rispp_utilization() > m.extensible_utilization());
+        // Extensible: each phase uses only its own share of silicon.
+        // Extensible: 0.45·48k + 0.17·120k + 0.23·86k + 0.15·64k over
+        // 318k ≈ 22 %; RISPP: the same numerator over 144k ≈ 50 %.
+        assert!(m.extensible_utilization() < 0.25);
+        assert!(m.rispp_utilization() > 0.45);
+    }
+
+    #[test]
+    fn atom_ge_follows_table1_slices() {
+        use rispp_fabric::catalog::table1_profiles;
+        let profiles = table1_profiles();
+        // Transform (517 slices) is the biggest Atom in GE terms.
+        let ges: Vec<u64> = profiles.iter().map(atom_ge).collect();
+        assert_eq!(ges[0], 517 * GE_PER_SLICE);
+        assert!(ges.iter().all(|&g| g <= ges[0]));
+    }
+
+    #[test]
+    fn molecule_ge_sums_instances() {
+        use rispp_core::molecule::Molecule;
+        use rispp_fabric::catalog::{table1_profiles, AtomCatalog};
+        let catalog = AtomCatalog::new(table1_profiles().to_vec());
+        // One Transform + two SATD atoms (order: Transform, SATD, …).
+        let m = Molecule::from_counts([1, 2, 0, 0]);
+        assert_eq!(
+            molecule_ge(&m, &catalog),
+            (517 + 2 * 407) * GE_PER_SLICE
+        );
+        assert_eq!(molecule_ge(&Molecule::zero(4), &catalog), 0);
+    }
+
+    #[test]
+    fn fastest_satd_molecule_costs_asic_scale_ge() {
+        // The 16-atom SATD Molecule burned into silicon would cost
+        // ~750k GE (16 atoms × ~420 slices × 112 GE/slice) — the scale
+        // that motivates rotating instead of dedicating.
+        use rispp_fabric::catalog::{table1_profiles, AtomCatalog};
+        use rispp_h264::si_library::{atom_set, build_library};
+        let atoms = atom_set();
+        let profiles: Vec<_> = atoms
+            .names()
+            .map(|n| {
+                table1_profiles()
+                    .iter()
+                    .find(|p| p.name == n)
+                    .expect("profile exists")
+                    .clone()
+            })
+            .collect();
+        let catalog = AtomCatalog::new(profiles);
+        let (lib, sis) = build_library();
+        let ge = molecule_ge(&lib.get(sis.satd_4x4).fastest().molecule, &catalog);
+        assert!((700_000..800_000).contains(&ge), "GE = {ge}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn shares_must_sum_to_one() {
+        let _ = AreaModel::new(vec![Phase::new("X", 0.5, 10)], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn alpha_below_one_rejected() {
+        let _ = AreaModel::new(h264_phases(), 0.8);
+    }
+}

@@ -1,0 +1,138 @@
+//! Baseline processors: the design-time-fixed extensible processor (ASIP)
+//! and the pure-software core.
+//!
+//! The extensible processor picks one Molecule per SI *at design time*
+//! under an area budget and can never change it — the paper's Fig. 13
+//! point: "an ASIP has to choose fixed SI implementations at design-time",
+//! whereas RISPP moves along the Pareto front at run time.
+
+use rispp_core::molecule::Molecule;
+use rispp_core::selection::{select_molecules, MoleculeSelection};
+use rispp_core::si::{SiId, SiLibrary};
+
+/// A design-time-fixed extensible processor.
+#[derive(Debug, Clone)]
+pub struct ExtensibleProcessor {
+    lib: SiLibrary,
+    fixed: MoleculeSelection,
+}
+
+impl ExtensibleProcessor {
+    /// "Synthesises" the processor: chooses fixed SI implementations for
+    /// the given demand profile under `area_atoms` total Atom instances
+    /// (the design-time analogue of the run-time selection).
+    #[must_use]
+    pub fn design(lib: SiLibrary, demands: &[(SiId, f64)], area_atoms: u32) -> Self {
+        let fixed = select_molecules(&lib, demands, area_atoms);
+        ExtensibleProcessor { lib, fixed }
+    }
+
+    /// The SI library.
+    #[must_use]
+    pub fn library(&self) -> &SiLibrary {
+        &self.lib
+    }
+
+    /// Total Atom instances of the synthesised hardware.
+    #[must_use]
+    pub fn area_atoms(&self) -> u32 {
+        self.fixed.target.determinant()
+    }
+
+    /// The fixed hardware Meta-Molecule.
+    #[must_use]
+    pub fn hardware(&self) -> &Molecule {
+        &self.fixed.target
+    }
+
+    /// Execution latency of one SI: the fixed hardware implementation if
+    /// one was synthesised, else software. Never changes at run time.
+    #[must_use]
+    pub fn exec_cycles(&self, si: SiId) -> u64 {
+        self.lib.get(si).exec_cycles(&self.fixed.target)
+    }
+
+    /// Returns `true` when the SI got dedicated hardware.
+    #[must_use]
+    pub fn accelerates(&self, si: SiId) -> bool {
+        self.fixed.choice_for(si).is_some()
+            || self.lib.get(si).best_available(&self.fixed.target).is_some()
+    }
+}
+
+/// The pure-software baseline: every SI at its optimised-software latency.
+#[derive(Debug, Clone)]
+pub struct SoftwareProcessor {
+    lib: SiLibrary,
+}
+
+impl SoftwareProcessor {
+    /// Creates the baseline.
+    #[must_use]
+    pub fn new(lib: SiLibrary) -> Self {
+        SoftwareProcessor { lib }
+    }
+
+    /// Execution latency of one SI (always software).
+    #[must_use]
+    pub fn exec_cycles(&self, si: SiId) -> u64 {
+        self.lib.get(si).sw_cycles()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rispp_h264::si_library::build_library;
+
+    #[test]
+    fn asip_fixes_molecules_at_design_time() {
+        let (lib, sis) = build_library();
+        // Designed for the encoder mix with a 6-atom budget.
+        let demands = [
+            (sis.satd_4x4, 256.0),
+            (sis.dct_4x4, 24.0),
+            (sis.ht_4x4, 1.0),
+            (sis.ht_2x2, 2.0),
+        ];
+        let asip = ExtensibleProcessor::design(lib, &demands, 6);
+        assert!(asip.area_atoms() <= 6);
+        assert!(asip.accelerates(sis.satd_4x4));
+        // The latency is frozen: repeated queries agree.
+        let a = asip.exec_cycles(sis.satd_4x4);
+        assert_eq!(a, asip.exec_cycles(sis.satd_4x4));
+        assert!(a < 544);
+    }
+
+    #[test]
+    fn asip_designed_for_one_phase_misses_another() {
+        let (lib, sis) = build_library();
+        // Designed exclusively for ME (SAD): transforms stay in software.
+        let asip = ExtensibleProcessor::design(lib, &[(sis.sad_4x4, 1.0)], 2);
+        assert!(asip.accelerates(sis.sad_4x4));
+        assert_eq!(asip.exec_cycles(sis.dct_4x4), 488);
+        assert_eq!(asip.exec_cycles(sis.ht_4x4), 298);
+    }
+
+    #[test]
+    fn software_baseline_matches_sw_cycles() {
+        let (lib, sis) = build_library();
+        let sw = SoftwareProcessor::new(lib.clone());
+        assert_eq!(sw.exec_cycles(sis.satd_4x4), 544);
+        assert_eq!(sw.exec_cycles(sis.dct_4x4), 488);
+        assert_eq!(sw.exec_cycles(sis.ht_4x4), 298);
+    }
+
+    #[test]
+    fn more_area_never_slower() {
+        let (lib, sis) = build_library();
+        let demands = [(sis.satd_4x4, 1.0), (sis.dct_4x4, 1.0)];
+        let mut prev = u64::MAX;
+        for area in [0u32, 4, 6, 8, 12, 16, 24] {
+            let asip = ExtensibleProcessor::design(lib.clone(), &demands, area);
+            let total = asip.exec_cycles(sis.satd_4x4) + asip.exec_cycles(sis.dct_4x4);
+            assert!(total <= prev, "area {area}: {total} > {prev}");
+            prev = total;
+        }
+    }
+}

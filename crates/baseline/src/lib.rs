@@ -1,0 +1,28 @@
+//! # rispp-baseline — comparison baselines for RISPP
+//!
+//! The paper evaluates RISPP against (a) a conventional *extensible
+//! processor* whose Special-Instruction hardware is fixed at design time
+//! and (b) an optimised pure-software implementation. This crate builds
+//! both, plus the gate-equivalent area model behind Fig. 1.
+//!
+//! * [`area`] — `GE_total` vs `α·GE_max`, GE savings, utilisation;
+//! * [`asip`] — [`asip::ExtensibleProcessor`] (design-time-fixed
+//!   Molecules) and [`asip::SoftwareProcessor`].
+//!
+//! # Examples
+//!
+//! ```
+//! use rispp_baseline::area::{h264_phases, AreaModel};
+//!
+//! let model = AreaModel::new(h264_phases(), 1.2);
+//! // RISPP needs α·GE_max instead of Σ GE(phase): > 50 % area saved.
+//! assert!(model.ge_saving_percent() > 50.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod asip;
+
+pub use area::{atom_ge, h264_phases, molecule_ge, AreaModel, Phase, GE_PER_SLICE};
+pub use asip::{ExtensibleProcessor, SoftwareProcessor};

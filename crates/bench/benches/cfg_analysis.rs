@@ -1,0 +1,105 @@
+//! Criterion benchmarks of the compile-time CFG analyses: Tarjan SCC,
+//! the hierarchical probability/distance solve, and full forecast-point
+//! insertion on the AES graph.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rispp::cfg::aes::{build_aes, AesSis};
+use rispp::cfg::analysis::SiUsageAnalysis;
+use rispp::cfg::forecast_points::insert_forecast_points;
+use rispp::cfg::graph::{BasicBlock, Cfg};
+use rispp::cfg::profile::Profile;
+use rispp::cfg::scc::SccDecomposition;
+use rispp::prelude::*;
+
+/// A synthetic deep nested-loop CFG with `n` layers.
+fn nested_loops(n: usize) -> (Cfg, Profile) {
+    let mut cfg = Cfg::new();
+    let entry = cfg.add_block(BasicBlock::plain("entry", 10));
+    let mut heads = Vec::new();
+    let mut prev = entry;
+    for i in 0..n {
+        let head = cfg.add_block(BasicBlock::plain(format!("head{i}"), 5));
+        cfg.add_edge(prev, head);
+        heads.push(head);
+        prev = head;
+    }
+    let body = cfg.add_block(BasicBlock::with_si("body", 20, vec![(SiId(0), 1)]));
+    cfg.add_edge(prev, body);
+    let exit = cfg.add_block(BasicBlock::plain("exit", 1));
+    // Back edges from body to every loop head, plus the exit.
+    let mut edge_counts: Vec<Vec<u64>> = vec![vec![100]; 1 + n];
+    let mut body_row = Vec::new();
+    for &h in &heads {
+        cfg.add_edge(body, h);
+        body_row.push(10);
+    }
+    cfg.add_edge(body, exit);
+    body_row.push(5);
+    edge_counts.push(body_row);
+    edge_counts.push(vec![]);
+    let profile = Profile::from_edge_counts(&cfg, edge_counts);
+    (cfg, profile)
+}
+
+fn aes_library() -> SiLibrary {
+    let mut lib = SiLibrary::new(2);
+    for (name, sw, counts, cycles) in [
+        ("SubShift", 420u64, [2u32, 1u32], 18u64),
+        ("MixColumns", 380, [1, 2], 16),
+        ("AddKey", 120, [0, 1], 6),
+    ] {
+        lib.insert(
+            SpecialInstruction::new(
+                name,
+                sw,
+                vec![MoleculeImpl::new(Molecule::from_counts(counts), cycles)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    }
+    lib
+}
+
+fn bench_cfg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cfg");
+    let (aes_cfg, aes_profile, _) = build_aes(AesSis::default(), 64);
+
+    group.bench_function("scc/aes", |b| {
+        b.iter(|| SccDecomposition::compute(black_box(&aes_cfg)))
+    });
+    group.bench_function("analysis/aes", |b| {
+        b.iter(|| {
+            SiUsageAnalysis::compute(&aes_cfg, &aes_profile, SiId(0), |blk| {
+                aes_cfg.block(blk).plain_cycles as f64
+            })
+        })
+    });
+    let lib = aes_library();
+    group.bench_function("insert_forecast_points/aes", |b| {
+        b.iter(|| {
+            insert_forecast_points(
+                black_box(&aes_cfg),
+                &aes_profile,
+                &lib,
+                |_| FdfParams::new(4_000.0, 400.0, 15.0, 2_000.0, 1.0),
+                4,
+            )
+        })
+    });
+
+    for depth in [8usize, 32] {
+        let (cfg, profile) = nested_loops(depth);
+        group.bench_function(format!("analysis/nested{depth}"), |b| {
+            b.iter(|| {
+                SiUsageAnalysis::compute(&cfg, &profile, SiId(0), |blk| {
+                    cfg.block(blk).plain_cycles as f64
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cfg);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the Molecule lattice operations — the inner
+//! loop of every run-time selection decision.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rispp::prelude::Molecule;
+
+fn molecules(n: usize, width: usize) -> Vec<Molecule> {
+    (0..n)
+        .map(|i| Molecule::from_counts((0..width).map(|j| ((i * 7 + j * 13) % 5) as u32)))
+        .collect()
+}
+
+fn bench_molecule_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("molecule");
+    for width in [4usize, 16, 64] {
+        let ms = molecules(64, width);
+        group.bench_function(format!("union/w{width}"), |b| {
+            b.iter(|| {
+                let mut acc = Molecule::zero(width);
+                for m in &ms {
+                    acc = acc.try_union(black_box(m)).unwrap();
+                }
+                acc
+            })
+        });
+        group.bench_function(format!("supremum/w{width}"), |b| {
+            b.iter(|| Molecule::supremum(width, black_box(&ms)).unwrap())
+        });
+        group.bench_function(format!("additional_atoms/w{width}"), |b| {
+            let have = &ms[0];
+            b.iter(|| {
+                ms.iter()
+                    .map(|g| have.additional_atoms(black_box(g)).unwrap().determinant())
+                    .sum::<u32>()
+            })
+        });
+        group.bench_function(format!("le/w{width}"), |b| {
+            b.iter(|| {
+                ms.iter()
+                    .zip(ms.iter().rev())
+                    .filter(|(a, z)| a.le(black_box(z)))
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_molecule_ops);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the runtime-adjacent tooling: the DLX core
+//! interpreter, the LCS Atom synthesis, and the waveform reconstruction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rispp::core::synthesis::{h264_data_paths, propose_atoms};
+use rispp::h264::si_library::{atom_set, build_library};
+use rispp::prelude::*;
+use rispp::sim::cpu::{Cpu, Instr};
+use rispp::sim::scenario::{fig6_engine, h264_fabric};
+use rispp::sim::waveform::render_waveform;
+
+fn fib_program(n: i64) -> Vec<Instr> {
+    vec![
+        Instr::Addi { rd: 2, rs: 0, imm: 0 },
+        Instr::Addi { rd: 3, rs: 0, imm: 1 },
+        Instr::Addi { rd: 4, rs: 0, imm: n },
+        Instr::Beq { rs: 4, rt: 0, target: 9 },
+        Instr::Add { rd: 5, rs: 2, rt: 3 },
+        Instr::Add { rd: 2, rs: 3, rt: 0 },
+        Instr::Add { rd: 3, rs: 5, rt: 0 },
+        Instr::Addi { rd: 4, rs: 4, imm: -1 },
+        Instr::Jmp { target: 3 },
+        Instr::Halt,
+    ]
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime");
+
+    group.bench_function("cpu/fib_1000", |b| {
+        let program = fib_program(1_000);
+        b.iter(|| {
+            let (lib, _) = build_library();
+            let mut mgr = RisppManager::new(lib, h264_fabric(0));
+            let mut cpu = Cpu::new(0);
+            cpu.run(black_box(&program), &mut mgr, 0, 100_000)
+        })
+    });
+
+    group.bench_function("synthesis/h264_paths", |b| {
+        let paths = h264_data_paths();
+        b.iter(|| propose_atoms(black_box(&paths), 3))
+    });
+
+    group.bench_function("waveform/fig6", |b| {
+        let (mut engine, _) = fig6_engine();
+        let end = engine.run(100_000);
+        let trace = engine.trace().clone();
+        let atoms = atom_set();
+        b.iter(|| render_waveform(black_box(&trace), &atoms, 6, end, 96))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

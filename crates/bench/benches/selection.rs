@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the selection algorithms: the run-time
+//! Molecule selection (runs on every forecast event) and the Fig. 5
+//! trimming loop (compile-time, but also invoked online).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rispp::core::selection::{select_molecules, trim_forecast_candidates};
+use rispp::h264::si_library::build_library;
+use rispp::prelude::Molecule;
+
+fn bench_selection(c: &mut Criterion) {
+    let (lib, sis) = build_library();
+    let demands = [
+        (sis.satd_4x4, 256.0),
+        (sis.dct_4x4, 24.0),
+        (sis.ht_4x4, 1.0),
+        (sis.ht_2x2, 2.0),
+        (sis.sad_4x4, 48.0),
+    ];
+    let mut group = c.benchmark_group("selection");
+    for capacity in [4u32, 6, 12, 18] {
+        group.bench_function(format!("select_molecules/cap{capacity}"), |b| {
+            b.iter(|| select_molecules(black_box(&lib), black_box(&demands), capacity))
+        });
+    }
+
+    // Trimming over the SI representatives (the per-BB compile-time pass).
+    let reps: Vec<Molecule> = lib.iter().map(|(_, si)| si.representative()).collect();
+    let speedups: Vec<f64> = lib
+        .iter()
+        .map(|(_, si)| si.sw_cycles() as f64 / si.fastest().cycles as f64)
+        .collect();
+    for budget in [2u32, 4, 8] {
+        group.bench_function(format!("trim_candidates/budget{budget}"), |b| {
+            b.iter(|| {
+                trim_forecast_candidates(black_box(&reps), black_box(&speedups), budget).unwrap()
+            })
+        });
+    }
+
+    group.bench_function("fdf_eval", |b| {
+        use rispp::prelude::FdfParams;
+        let fdf = FdfParams::new(85_000.0, 544.0, 24.0, 50_000.0, 1.0);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..=64 {
+                acc += fdf.eval(black_box(0.7), black_box(1_000.0 * i as f64));
+            }
+            acc
+        })
+    });
+
+    group.bench_function("compatibility_matrix", |b| {
+        use rispp::core::compat::compatibility_matrix;
+        b.iter(|| compatibility_matrix(black_box(&lib)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

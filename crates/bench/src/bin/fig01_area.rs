@@ -1,0 +1,64 @@
+//! Fig. 1 — Comparison of Extensible Processors and RISPP: hardware
+//! requirements (gate equivalents) across the H.264 encoder phases, the
+//! GE saving formula, and the α sweep.
+
+use rispp::baseline::{h264_phases, AreaModel};
+use rispp_bench::print_table;
+
+fn main() {
+    println!("== Fig. 1: Extensible Processor vs RISPP hardware requirements ==\n");
+
+    let phases = h264_phases();
+    let rows: Vec<Vec<String>> = phases
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                format!("{:.0}%", p.time_share * 100.0),
+                format!("{}", p.gate_equivalents),
+            ]
+        })
+        .collect();
+    print_table(&["phase", "time share", "GE (dedicated SI hardware)"], &rows);
+
+    let model = AreaModel::new(phases, 1.2);
+    println!();
+    println!("extensible processor GE_total : {:>8}", model.extensible_ge());
+    println!("largest hot spot GE_max (MC)  : {:>8}", model.max_phase_ge());
+    println!(
+        "RISPP HW = alpha * GE_max      : {:>8}  (alpha = {})",
+        model.rispp_ge(),
+        model.alpha()
+    );
+    println!(
+        "GE saving (GEtotal - a*GEmax)*100/GEtotal : {:.1}%",
+        model.ge_saving_percent()
+    );
+    println!(
+        "area utilisation: extensible {:.1}% vs RISPP {:.1}%",
+        model.extensible_utilization() * 100.0,
+        model.rispp_utilization() * 100.0
+    );
+    println!(
+        "performance maintained: every phase fits into alpha*GEmax = {}",
+        model.rispp_ge()
+    );
+
+    println!("\nalpha sweep (rotation headroom vs area saving):");
+    let rows: Vec<Vec<String>> = [1.0, 1.1, 1.2, 1.35, 1.5, 2.0]
+        .iter()
+        .map(|&alpha| {
+            let m = AreaModel::new(h264_phases(), alpha);
+            vec![
+                format!("{alpha:.2}"),
+                format!("{}", m.rispp_ge()),
+                format!("{:.1}%", m.ge_saving_percent()),
+                format!("{}", m.fits_constraint(160_000)),
+            ]
+        })
+        .collect();
+    print_table(
+        &["alpha", "RISPP GE", "GE saving", "fits GE_constraint=160k"],
+        &rows,
+    );
+}

@@ -1,0 +1,86 @@
+//! Fig. 3 — BB graph for AES with profiling information, SI usages and
+//! computed forecast candidates (emitted as Graphviz DOT plus a summary
+//! table).
+
+use rispp::cfg::aes::{build_aes, AesSis};
+use rispp::cfg::analysis::SiUsageAnalysis;
+use rispp::cfg::dot::to_dot;
+use rispp::cfg::forecast_points::{determine_candidates, insert_forecast_points};
+use rispp::prelude::*;
+use rispp_bench::print_table;
+
+fn aes_library() -> SiLibrary {
+    let mut lib = SiLibrary::new(2);
+    for (name, sw, counts, cycles) in [
+        ("SubShift", 420u64, [2u32, 1u32], 18u64),
+        ("MixColumns", 380, [1, 2], 16),
+        ("AddKey", 120, [0, 1], 6),
+    ] {
+        lib.insert(
+            SpecialInstruction::new(
+                name,
+                sw,
+                vec![MoleculeImpl::new(Molecule::from_counts(counts), cycles)],
+            )
+            .expect("valid SI"),
+        )
+        .expect("width matches");
+    }
+    lib
+}
+
+fn main() {
+    println!("== Fig. 3: AES BB graph with profile, SI usages, FC candidates ==\n");
+    let sis = AesSis::default();
+    let (cfg, profile, _) = build_aes(sis, 64);
+    let lib = aes_library();
+    let fdf = |_si: SiId| FdfParams::new(4_000.0, 400.0, 15.0, 2_000.0, 1.0);
+
+    // Per-block profile + candidate table for the SubShift SI.
+    let analysis = SiUsageAnalysis::compute(&cfg, &profile, sis.sub_shift, |b| {
+        cfg.block(b).plain_cycles as f64
+    });
+    let candidates = determine_candidates(&cfg, &analysis, sis.sub_shift, &fdf(sis.sub_shift));
+    let rows: Vec<Vec<String>> = cfg
+        .iter()
+        .map(|(id, blk)| {
+            let i = id.index();
+            vec![
+                blk.name.clone(),
+                format!("{}", profile.block_count(id)),
+                format!("{:.2}", analysis.probability[i]),
+                if analysis.distance[i].is_finite() {
+                    format!("{:.0}", analysis.distance[i])
+                } else {
+                    "inf".to_string()
+                },
+                format!("{:.1}", analysis.expected_executions[i]),
+                if candidates.iter().any(|c| c.block == id) {
+                    "yes".into()
+                } else {
+                    "".into()
+                },
+            ]
+        })
+        .collect();
+    print_table(
+        &["block", "visits", "p(SubShift)", "distance", "E[execs]", "FC candidate"],
+        &rows,
+    );
+
+    let fcs = insert_forecast_points(&cfg, &profile, &lib, fdf, 4);
+    println!("\nfinal forecast points after trimming + placement: {}", fcs.len());
+    for fc in &fcs {
+        println!(
+            "  {} -> {}  (p={:.2}, d={:.0}, E={:.0})",
+            cfg.block(fc.block).name,
+            lib.get(fc.si).name(),
+            fc.probability,
+            fc.distance,
+            fc.expected_executions
+        );
+    }
+
+    println!("\n--- Graphviz DOT (profiling heat, double border = SI usage, blue = FC) ---\n");
+    println!("{}", to_dot(&cfg, &profile, &fcs));
+}

@@ -1,0 +1,45 @@
+//! Fig. 4 — The Forecast Decision Function: minimum number of SI usages
+//! required to issue a forecast candidate, over temporal distance
+//! (relative to the rotation time, log scale) and reach probability.
+
+use rispp::prelude::FdfParams;
+use rispp_bench::print_table;
+
+fn main() {
+    println!("== Fig. 4: Forecast Decision Function FDF(p, t) ==\n");
+    // Paper parameters: the surface spans t/T_Rot in 0.1 … 100 (log) and
+    // probability 40 … 100 %, peaking in the 450..500 band.
+    let fdf = FdfParams::new(1_000.0, 50.0, 5.0, 900.0, 1.0);
+    println!(
+        "T_Rot = {} | T_SW = {} | T_HW = {} | offset = {:.1}\n",
+        fdf.t_rot,
+        fdf.t_sw,
+        fdf.t_hw,
+        fdf.offset()
+    );
+
+    // The paper's log-scale x axis: 0.1 → 100 in 16 steps.
+    let rel: Vec<f64> = (0..16).map(|i| 0.1 * 10f64.powf(i as f64 / 5.0)).collect();
+    let probabilities = [1.0, 0.7, 0.4];
+
+    let mut headers: Vec<String> = vec!["t/T_Rot".to_string()];
+    headers.extend(probabilities.iter().map(|p| format!("p={:.0}%", p * 100.0)));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let rows: Vec<Vec<String>> = rel
+        .iter()
+        .map(|&r| {
+            let mut row = vec![format!("{r:.1}")];
+            for &p in &probabilities {
+                row.push(format!("{:.0}", fdf.eval(p, r * fdf.t_rot)));
+            }
+            row
+        })
+        .collect();
+    print_table(&header_refs, &rows);
+
+    println!("\nshape: U over log-distance (near: rotation cannot finish;");
+    println!("far: Atom Containers blocked too long); lower for higher p.");
+    let peak = fdf.eval(0.4, 0.1 * fdf.t_rot) - fdf.offset();
+    println!("peak above offset at (p=40%, t=0.1 T_Rot): {peak:.0}  (paper band: 450-500)");
+}

@@ -1,0 +1,51 @@
+//! Fig. 6 — The run-time architecture scenario: two tasks sharing six
+//! Atom Containers, with forecasts, container re-allocation, rotations,
+//! cross-task Atom sharing and the gradual SW→HW upgrade.
+
+use rispp::h264::si_library::atom_set;
+use rispp::sim::scenario::{fig6_engine, run_fig6};
+use rispp::sim::waveform::render_waveform;
+
+fn main() {
+    println!("== Fig. 6: run-time scenario (Task A = video codec, Task B = SI0/SI1) ==\n");
+
+    let report = run_fig6();
+    println!("characteristic points of the timeline:");
+    println!("  T1 (more important SI1 forecasted)   cycle {:>9}", report.t1);
+    println!("  T2 (SI1 no longer needed)            cycle {:>9}", report.t2);
+    println!(
+        "  T4 (SATD switches SW -> HW)          cycle {:>9}",
+        report.t4.map_or(-1, |t| t as i64)
+    );
+    println!(
+        "  T5 (SATD upgrades to faster Molecule) cycle {:>8}",
+        report.t5.map_or(-1, |t| t as i64)
+    );
+    println!("  rotations completed                  {:>9}", report.rotations);
+
+    // Container-occupancy waveform: the figure's own rendering. Upper
+    // case = loaded Atom (Q/P/T/S), lower case = rotation in flight,
+    // '.' = empty.
+    let (mut engine, _) = fig6_engine();
+    let end = engine.run(100_000);
+    println!("\ncontainer occupancy over time (Fig. 6 rows; {end} cycles across):");
+    print!("{}", render_waveform(engine.trace(), &atom_set(), 6, end, 96));
+
+    println!("\nevent log (truncated):");
+    for line in engine.trace().to_string().lines().take(40) {
+        println!("  {line}");
+    }
+    println!("  ...");
+
+    println!("\nTask A SATD latency over time (SW=544, molecules 24/22/20):");
+    let mut prev = None;
+    for &(at, cycles, hw) in &report.satd_execs {
+        if prev != Some((cycles, hw)) {
+            println!(
+                "  cycle {at:>9}: {cycles:>4} cycles [{}]",
+                if hw { "HW" } else { "SW" }
+            );
+            prev = Some((cycles, hw));
+        }
+    }
+}

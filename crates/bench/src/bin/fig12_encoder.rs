@@ -1,0 +1,96 @@
+//! Fig. 12 — All-over performance of the H.264 encoding engine for
+//! different amounts of RISPP resources (cycles per macroblock), measured
+//! two ways: the closed-form model and a live run through the run-time
+//! manager.
+
+use rispp::core::selection::select_molecules;
+use rispp::h264::encoder::{macroblock_cycles, SiInvocationCounts, HW_DISPATCH_OVERHEAD};
+use rispp::h264::si_library::build_library;
+use rispp::prelude::*;
+use rispp_bench::print_table;
+
+/// Runs one macroblock's SI stream through a settled manager and sums the
+/// cycles (live cross-check of the closed-form model).
+fn live_macroblock_cycles(containers: usize) -> u64 {
+    let (lib, sis) = build_library();
+    let fabric = rispp::sim::h264_fabric(containers);
+    let mut mgr = RisppManager::new(lib, fabric);
+    let demands = [
+        (sis.satd_4x4, 256.0),
+        (sis.dct_4x4, 24.0),
+        (sis.ht_4x4, 1.0),
+        (sis.ht_2x2, 2.0),
+    ];
+    for &(si, n) in &demands {
+        mgr.forecast(0, ForecastValue::new(si, 1.0, 500_000.0, n));
+    }
+    if let Some(done) = mgr.all_rotations_done_at() {
+        mgr.advance_to(done).expect("monotone");
+    }
+    let counts = SiInvocationCounts::per_macroblock();
+    let mut total = rispp::h264::encoder::PLAIN_CYCLES_PER_MB;
+    for (si, n) in [
+        (sis.satd_4x4, counts.satd_4x4),
+        (sis.dct_4x4, counts.dct_4x4),
+        (sis.ht_4x4, counts.ht_4x4),
+        (sis.ht_2x2, counts.ht_2x2),
+    ] {
+        for _ in 0..n {
+            let rec = mgr.execute_si(0, si);
+            total += rec.cycles + if rec.hardware { HW_DISPATCH_OVERHEAD } else { 0 };
+        }
+    }
+    total
+}
+
+fn main() {
+    println!("== Fig. 12: all-over performance of the H.264 encoding engine ==\n");
+    let (lib, sis) = build_library();
+    let counts = SiInvocationCounts::per_macroblock();
+    let demands = [
+        (sis.satd_4x4, 256.0),
+        (sis.dct_4x4, 24.0),
+        (sis.ht_4x4, 1.0),
+        (sis.ht_2x2, 2.0),
+    ];
+
+    let paper = [201_065u64, 60_244, 59_135, 58_287];
+    let mut rows = Vec::new();
+    for (i, label) in ["Opt. SW", "4 Atoms", "5 Atoms", "6 Atoms"].iter().enumerate() {
+        let loaded = if i == 0 {
+            Molecule::zero(4)
+        } else {
+            select_molecules(&lib, &demands, (i + 3) as u32).target
+        };
+        let model = macroblock_cycles(&counts, &lib, &sis, &loaded);
+        let live = if i == 0 {
+            live_macroblock_cycles(0)
+        } else {
+            live_macroblock_cycles(i + 3)
+        };
+        rows.push(vec![
+            (*label).to_string(),
+            format!("{model}"),
+            format!("{live}"),
+            format!("{}", paper[i]),
+            format!("{:+.2}%", 100.0 * (model as f64 - paper[i] as f64) / paper[i] as f64),
+        ]);
+    }
+    print_table(
+        &["config", "model cycles/MB", "live cycles/MB", "paper", "model vs paper"],
+        &rows,
+    );
+
+    let sw = macroblock_cycles(&counts, &lib, &sis, &Molecule::zero(4));
+    let hw4 = macroblock_cycles(
+        &counts,
+        &lib,
+        &sis,
+        &select_molecules(&lib, &demands, 4).target,
+    );
+    println!(
+        "\nspeed-up with minimum Atoms: {:.0}% (paper: > 300%); Amdahl's law",
+        100.0 * sw as f64 / hw4 as f64
+    );
+    println!("prevents significant further speed-up with more Atoms.");
+}

@@ -1,0 +1,148 @@
+//! Stress harness: random platforms (Atom sets, SI libraries, forecast
+//! streams) hammered through the full manager/fabric stack, asserting the
+//! RISPP invariants on every step. A seeded fuzzing pass that complements
+//! the property tests with much longer runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rispp::core::atom::AtomSet;
+use rispp::fabric::catalog::{AtomCatalog, AtomHwProfile};
+use rispp::prelude::*;
+
+struct StressStats {
+    forecasts: u64,
+    retractions: u64,
+    executions: u64,
+    hw_executions: u64,
+    rotations: u64,
+}
+
+fn random_platform(rng: &mut StdRng) -> (SiLibrary, Fabric) {
+    let kinds = rng.gen_range(1..=6usize);
+    let names: Vec<String> = (0..kinds).map(|i| format!("K{i}")).collect();
+    let atoms = AtomSet::from_names(names.iter().map(String::as_str));
+    let catalog = AtomCatalog::new(
+        names
+            .iter()
+            .map(|n| {
+                AtomHwProfile::new(
+                    n.as_str(),
+                    rng.gen_range(100..800),
+                    rng.gen_range(200..1600),
+                    rng.gen_range(2_000..80_000),
+                )
+            })
+            .collect(),
+    );
+    let containers = rng.gen_range(0..=8usize);
+    let fabric = Fabric::new(atoms, catalog, containers);
+
+    let mut lib = SiLibrary::new(kinds);
+    for s in 0..rng.gen_range(1..=6usize) {
+        let n_mols = rng.gen_range(1..=4usize);
+        let mut mols = Vec::new();
+        let mut fastest = u64::MAX;
+        for _ in 0..n_mols {
+            let counts: Vec<u32> = (0..kinds).map(|_| rng.gen_range(0..4)).collect();
+            if counts.iter().all(|&c| c == 0) {
+                continue;
+            }
+            let cycles = rng.gen_range(5..80u64);
+            fastest = fastest.min(cycles);
+            mols.push(MoleculeImpl::new(Molecule::from_counts(counts), cycles));
+        }
+        if mols.is_empty() {
+            mols.push(MoleculeImpl::new(
+                Molecule::from_pairs(kinds, [(AtomKind(0), 1)]),
+                20,
+            ));
+            fastest = 20;
+        }
+        let sw = fastest + rng.gen_range(50..2_000);
+        lib.insert(SpecialInstruction::new(format!("si{s}"), sw, mols).expect("valid"))
+            .expect("width");
+    }
+    (lib, fabric)
+}
+
+fn stress_one(seed: u64, steps: u32) -> StressStats {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (lib, fabric) = random_platform(&mut rng);
+    let containers = fabric.num_containers();
+    let mut mgr = RisppManager::new(lib.clone(), fabric);
+    let mut stats = StressStats {
+        forecasts: 0,
+        retractions: 0,
+        executions: 0,
+        hw_executions: 0,
+        rotations: 0,
+    };
+    for _ in 0..steps {
+        let si = SiId(rng.gen_range(0..lib.len()));
+        match rng.gen_range(0..10) {
+            0..=2 => {
+                mgr.forecast(
+                    rng.gen_range(0..3),
+                    ForecastValue::new(
+                        si,
+                        rng.gen_range(0.05..1.0),
+                        rng.gen_range(1_000.0..1_000_000.0),
+                        rng.gen_range(1.0..500.0),
+                    ),
+                );
+                stats.forecasts += 1;
+            }
+            3 => {
+                mgr.retract_forecast(rng.gen_range(0..3), si);
+                stats.retractions += 1;
+            }
+            4..=7 => {
+                let rec = mgr.execute_si(rng.gen_range(0..3), si);
+                assert!(
+                    rec.cycles <= lib.get(si).sw_cycles(),
+                    "seed {seed}: slower than software"
+                );
+                stats.executions += 1;
+                if rec.hardware {
+                    stats.hw_executions += 1;
+                }
+            }
+            _ => {
+                let t = mgr.now() + rng.gen_range(1..200_000);
+                mgr.advance_to(t).expect("monotone time");
+            }
+        }
+        // Global invariant: never more loaded Atoms than containers.
+        assert!(
+            mgr.loaded().determinant() as usize <= containers,
+            "seed {seed}: capacity violated"
+        );
+        assert!(mgr.target().determinant() as usize <= containers);
+    }
+    stats.rotations = mgr.rotations_requested();
+    stats
+}
+
+fn main() {
+    println!("== Stress: random platforms through the manager/fabric stack ==\n");
+    let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64);
+    let runs = 200;
+    for seed in 0..runs {
+        let s = stress_one(seed, 400);
+        totals.0 += s.forecasts;
+        totals.1 += s.retractions;
+        totals.2 += s.executions;
+        totals.3 += s.hw_executions;
+        totals.4 += s.rotations;
+    }
+    println!("{runs} random platforms x 400 actions, all invariants held:");
+    println!("  forecasts issued   : {}", totals.0);
+    println!("  retractions        : {}", totals.1);
+    println!("  SI executions      : {}", totals.2);
+    println!(
+        "  in hardware        : {} ({:.1}%)",
+        totals.3,
+        100.0 * totals.3 as f64 / totals.2.max(1) as f64
+    );
+    println!("  rotations requested: {}", totals.4);
+}

@@ -1,0 +1,50 @@
+//! Sweep — whole-encoder cycles per macroblock as the Atom-Container
+//! budget grows from 0 to 18: the Fig. 12 bars extended into the full
+//! curve, showing the Pareto staircase and the Amdahl ceiling.
+
+use rispp::core::selection::select_molecules;
+use rispp::h264::encoder::{macroblock_cycles, SiInvocationCounts};
+use rispp::h264::si_library::build_library;
+use rispp::prelude::*;
+use rispp_bench::print_table;
+
+fn main() {
+    println!("== Sweep: encoder cycles/MB vs Atom-Container budget ==\n");
+    let (lib, sis) = build_library();
+    let counts = SiInvocationCounts::per_macroblock();
+    let demands = [
+        (sis.satd_4x4, 256.0),
+        (sis.dct_4x4, 24.0),
+        (sis.ht_4x4, 1.0),
+        (sis.ht_2x2, 2.0),
+    ];
+    let sw = macroblock_cycles(&counts, &lib, &sis, &Molecule::zero(4));
+
+    let mut rows = Vec::new();
+    let mut prev = u64::MAX;
+    for budget in 0..=18u32 {
+        let sel = select_molecules(&lib, &demands, budget);
+        let cycles = macroblock_cycles(&counts, &lib, &sis, &sel.target);
+        assert!(cycles <= prev, "budget {budget} regressed");
+        prev = cycles;
+        rows.push(vec![
+            format!("{budget}"),
+            format!("{}", sel.target),
+            format!("{cycles}"),
+            format!("{:.2}x", sw as f64 / cycles as f64),
+            format!(
+                "{}",
+                lib.get(sis.satd_4x4).exec_cycles(&sel.target)
+            ),
+        ]);
+    }
+    print_table(
+        &["#ACs", "target meta-molecule", "cycles/MB", "speed-up", "SATD cycles"],
+        &rows,
+    );
+    println!(
+        "\nthe curve saturates quickly (Amdahl: the 49,671 plain cycles/MB\n\
+         dominate once all SIs run in hardware) — the paper's Fig. 12 point\n\
+         that 4 Atom Containers already capture most of the benefit."
+    );
+}

@@ -1,0 +1,43 @@
+//! Sweep — rate/distortion behaviour of the H.264 substrate: PSNR and
+//! bitstream size over the quantisation parameter, with every stream
+//! verified through the decoder (bit-exact reconstruction match).
+
+use rispp::h264::decoder::decode_frame;
+use rispp::h264::encoder::{encode_frame, EncoderConfig};
+use rispp::h264::video::SyntheticVideo;
+use rispp_bench::print_table;
+
+fn main() {
+    println!("== Sweep: PSNR / bitrate vs QP (decoder-verified) ==\n");
+    let mut video = SyntheticVideo::new(64, 48, 31);
+    let reference = video.next_frame();
+    let current = video.next_frame();
+
+    let mut rows = Vec::new();
+    let mut prev_bits = usize::MAX;
+    for qp in [4u8, 12, 20, 28, 36, 44, 51] {
+        let config = EncoderConfig { qp, ..Default::default() };
+        let enc = encode_frame(&current, &reference, &config);
+        let dec = decode_frame(&enc.stream, &reference, &config).expect("stream decodes");
+        let exact = dec.luma == enc.recon;
+        assert!(exact, "decoder mismatch at qp {qp}");
+        assert!(enc.bits <= prev_bits, "bitrate not monotone at qp {qp}");
+        prev_bits = enc.bits;
+        rows.push(vec![
+            format!("{qp}"),
+            format!("{:.2}", enc.luma_psnr),
+            format!("{}", enc.bits),
+            format!("{:.3}", enc.bits as f64 / (64.0 * 48.0)),
+            if exact { "exact".into() } else { "MISMATCH".into() },
+        ]);
+    }
+    print_table(
+        &["QP", "luma PSNR [dB]", "frame bits", "bits/pixel", "decoder"],
+        &rows,
+    );
+    println!(
+        "\nevery stream is decoded back and the decoder's reconstruction is\n\
+         bit-exact with the encoder's — the functional proof that all\n\
+         Molecule levels of the transform SIs compute the same results."
+    );
+}

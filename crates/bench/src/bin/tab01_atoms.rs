@@ -1,0 +1,68 @@
+//! Table 1 — Results for hardware implementation of individual Atoms:
+//! slices, LUTs, container utilisation, bitstream size and rotation time.
+
+use rispp::fabric::catalog::{
+    table1_profiles, AtomCatalog, CONTAINER_LUTS, CONTAINER_SLICES, SELECTMAP_RATE_BYTES_PER_SEC,
+};
+use rispp::fabric::Clock;
+use rispp_bench::print_table;
+
+fn main() {
+    println!("== Table 1: hardware implementation of individual Atoms ==\n");
+    let profiles = table1_profiles();
+    let paper_rotation = [857.63, 840.11, 949.53, 848.84];
+
+    let rows: Vec<Vec<String>> = profiles
+        .iter()
+        .zip(paper_rotation)
+        .map(|(p, paper)| {
+            let rot = p.rotation_time_us(SELECTMAP_RATE_BYTES_PER_SEC);
+            vec![
+                p.name.clone(),
+                format!("{}", p.slices),
+                format!("{}", p.luts),
+                format!("{:.1}%", p.utilization() * 100.0),
+                format!("{}", p.bitstream_bytes),
+                format!("{rot:.2}"),
+                format!("{paper:.2}"),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "Atom",
+            "# Slices",
+            "# LUTs",
+            "Utilization",
+            "Bitstream [Byte]",
+            "Rotation [us]",
+            "paper [us]",
+        ],
+        &rows,
+    );
+
+    println!(
+        "\nAtom Container: {CONTAINER_SLICES} slices / {CONTAINER_LUTS} LUTs \
+         (full FPGA height, 4 CLB columns on the XC2V3000)"
+    );
+    println!(
+        "effective SelectMap rate: {:.1} MB/s (derived from all four \
+         bitstream/rotation-time pairs)",
+        SELECTMAP_RATE_BYTES_PER_SEC / 1e6
+    );
+    let clock = Clock::default();
+    let catalog = AtomCatalog::new(profiles.to_vec());
+    println!("\nrotation time in core cycles at {} MHz:", clock.hz() / 1_000_000);
+    for (kind, p) in catalog.iter() {
+        println!(
+            "  {:<10} {:>7} cycles",
+            p.name,
+            catalog.rotation_cycles(kind, &clock)
+        );
+    }
+    println!(
+        "\nnote (paper §6): the Pack AC covers an embedded BlockRAM row, so its \
+         bitstream\nand rotation time are significantly bigger despite moderate \
+         logic utilisation."
+    );
+}

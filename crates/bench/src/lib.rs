@@ -1,0 +1,66 @@
+//! # rispp-bench — figure/table regeneration harnesses and benchmarks
+//!
+//! One binary per table and figure of the paper's evaluation (run with
+//! `cargo run -p rispp-bench --bin <name>`):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig01_area` | Fig. 1 — extensible-processor vs RISPP GE model |
+//! | `fig01_performance` | Fig. 1 — performance maintenance across phases |
+//! | `fig02_sharing` | Fig. 2 — SIs sharing one Atom set (compatibility) |
+//! | `fig03_aes_cfg` | Fig. 3 — AES BB graph with profile + FC candidates |
+//! | `fig04_fdf` | Fig. 4 — the Forecast Decision Function surface |
+//! | `fig06_scenario` | Fig. 6 — the two-task run-time scenario timeline |
+//! | `fig11_si_exec` | Fig. 11 — SI execution time vs RISPP resources |
+//! | `fig12_encoder` | Fig. 12 — all-over H.264 encoder performance |
+//! | `fig13_pareto` | Fig. 13 — per-SI Pareto trade-off fronts |
+//! | `tab01_atoms` | Table 1 — Atom hardware characteristics |
+//! | `tab02_molecules` | Table 2 — Molecule composition of the SIs |
+//! | `ablation_rotation` | ablation — "Rotation in Advance" vs target-only loading |
+//! | `ablation_selection` | ablation — greedy vs exhaustive Molecule selection |
+//! | `ablation_trimming` | ablation — FC trimming/placement vs all candidates |
+//! | `sweep_containers` | sweep — encoder cycles/MB over the AC budget (0–18) |
+//! | `sweep_qp` | sweep — PSNR/bitrate over QP, decoder-verified |
+//! | `sweep_rotation_rate` | sweep — configuration bandwidth vs time-to-hardware |
+//! | `synthesis_report` | future work — LCS-based automatic Atom synthesis |
+//! | `stress_random` | fuzzing — random platforms through the full stack |
+//! | `live_codec` | the real pixel pipeline on RISPP (live Fig. 12) |
+//!
+//! The Criterion benches (`cargo bench -p rispp-bench`) measure the code
+//! under test itself: Molecule algebra, selection, CFG analysis, the
+//! pixel kernels and the full encoder step.
+
+/// Renders a simple aligned table to stdout.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", cell, w = widths[i.min(widths.len() - 1)]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| (*h).to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn print_table_does_not_panic() {
+        super::print_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! A synthetic AES-shaped application (the paper's Fig. 3 example).
+//!
+//! Fig. 3 shows the BB graph of an AES application "automatically
+//! generated from our tool-chain", with profiling colour-coding, the blocks
+//! using SIs, and the computed FC candidates. The real binary is not
+//! available; this module builds a CFG with the same control structure —
+//! key schedule, a ten-round encryption loop whose round blocks use SIs,
+//! a conditional final round, and an output block — plus the matching
+//! deterministic profile.
+
+use rispp_core::si::SiId;
+
+use crate::graph::{BasicBlock, BlockId, Cfg};
+use crate::profile::Profile;
+
+/// SI ids used by the synthetic AES application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AesSis {
+    /// Combined SubBytes + ShiftRows SI.
+    pub sub_shift: SiId,
+    /// MixColumns SI.
+    pub mix_columns: SiId,
+    /// AddRoundKey SI.
+    pub add_key: SiId,
+}
+
+impl Default for AesSis {
+    fn default() -> Self {
+        AesSis {
+            sub_shift: SiId(0),
+            mix_columns: SiId(1),
+            add_key: SiId(2),
+        }
+    }
+}
+
+/// Named handles into the generated AES graph (for tests and examples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AesBlocks {
+    /// Program entry / argument handling.
+    pub entry: BlockId,
+    /// Key expansion (long, runs once).
+    pub key_schedule: BlockId,
+    /// Per-block loop head.
+    pub block_loop: BlockId,
+    /// Round-loop head.
+    pub round_head: BlockId,
+    /// SubBytes + ShiftRows round stage.
+    pub sub_shift: BlockId,
+    /// MixColumns round stage (skipped in the final round).
+    pub mix_columns: BlockId,
+    /// AddRoundKey round stage.
+    pub add_key: BlockId,
+    /// Final round (no MixColumns).
+    pub final_round: BlockId,
+    /// Output / exit block.
+    pub output: BlockId,
+}
+
+/// Builds the AES-shaped CFG together with a deterministic profile for
+/// encrypting `data_blocks` 16-byte blocks (10 rounds each, as in
+/// AES-128).
+#[must_use]
+pub fn build_aes(sis: AesSis, data_blocks: u64) -> (Cfg, Profile, AesBlocks) {
+    assert!(data_blocks > 0, "need at least one data block");
+    let mut cfg = Cfg::new();
+    let entry = cfg.add_block(BasicBlock::plain("entry", 200));
+    let key_schedule = cfg.add_block(BasicBlock::plain("key_schedule", 5_000));
+    let block_loop = cfg.add_block(BasicBlock::plain("block_loop", 40));
+    let round_head = cfg.add_block(BasicBlock::plain("round_head", 12));
+    let sub_shift = cfg.add_block(BasicBlock::with_si(
+        "sub_shift",
+        20,
+        vec![(sis.sub_shift, 4)],
+    ));
+    let mix_columns = cfg.add_block(BasicBlock::with_si(
+        "mix_columns",
+        16,
+        vec![(sis.mix_columns, 4)],
+    ));
+    let add_key = cfg.add_block(BasicBlock::with_si("add_key", 8, vec![(sis.add_key, 1)]));
+    let final_round = cfg.add_block(BasicBlock::with_si(
+        "final_round",
+        24,
+        vec![(sis.sub_shift, 4), (sis.add_key, 1)],
+    ));
+    let output = cfg.add_block(BasicBlock::plain("output", 300));
+
+    cfg.add_edge(entry, key_schedule);
+    cfg.add_edge(key_schedule, block_loop);
+    cfg.add_edge(block_loop, round_head);
+    cfg.add_edge(round_head, sub_shift); // normal round
+    cfg.add_edge(round_head, final_round); // last round
+    cfg.add_edge(sub_shift, mix_columns);
+    cfg.add_edge(mix_columns, add_key);
+    cfg.add_edge(add_key, round_head); // next round
+    cfg.add_edge(final_round, block_loop); // next data block
+    cfg.add_edge(block_loop, output); // all blocks done
+
+    // Deterministic profile for `data_blocks` blocks × 10 rounds:
+    // round_head is visited 10× per block (9 normal rounds + final).
+    let n = data_blocks;
+    let normal = 9 * n;
+    let profile = Profile::from_edge_counts(
+        &cfg,
+        vec![
+            vec![1],         // entry -> key_schedule
+            vec![1],         // key_schedule -> block_loop
+            vec![n, 1],      // block_loop -> round_head (n), -> output (1)
+            vec![normal, n], // round_head -> sub_shift, -> final_round
+            vec![normal],    // sub_shift -> mix_columns
+            vec![normal],    // mix_columns -> add_key
+            vec![normal],    // add_key -> round_head
+            vec![n],         // final_round -> block_loop
+            vec![],          // output is the exit
+        ],
+    );
+    (
+        cfg,
+        profile,
+        AesBlocks {
+            entry,
+            key_schedule,
+            block_loop,
+            round_head,
+            sub_shift,
+            mix_columns,
+            add_key,
+            final_round,
+            output,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::SiUsageAnalysis;
+
+    #[test]
+    fn profile_counts_match_aes_structure() {
+        let sis = AesSis::default();
+        let (cfg, profile, blocks) = build_aes(sis, 100);
+        assert_eq!(profile.block_count(blocks.round_head), 1000);
+        assert_eq!(profile.block_count(blocks.sub_shift), 900);
+        assert_eq!(profile.block_count(blocks.final_round), 100);
+        assert_eq!(profile.block_count(blocks.output), 1);
+        let _ = cfg;
+    }
+
+    #[test]
+    fn sub_shift_probability_is_high_in_loop() {
+        let sis = AesSis::default();
+        let (cfg, profile, blocks) = build_aes(sis, 100);
+        let a = SiUsageAnalysis::compute(&cfg, &profile, sis.sub_shift, |b| {
+            cfg.block(b).plain_cycles as f64
+        });
+        // From the entry the probability of reaching SubBytes is ~1 (both
+        // normal and final rounds use it).
+        assert!(a.probability[blocks.entry.index()] > 0.99);
+        // Expected executions: 4 SIs × (900 + 100 final) visits / 1 entry.
+        assert!(a.expected_executions[blocks.entry.index()] > 3000.0);
+    }
+
+    #[test]
+    fn mix_columns_unreachable_from_final_round() {
+        let sis = AesSis::default();
+        let (cfg, profile, blocks) = build_aes(sis, 10);
+        let a = SiUsageAnalysis::compute(&cfg, &profile, sis.mix_columns, |b| {
+            cfg.block(b).plain_cycles as f64
+        });
+        // From the final round, MixColumns can only execute via the next
+        // data block; the probability is below 1 (last block exits).
+        let p = a.probability[blocks.final_round.index()];
+        assert!(p < 1.0 && p > 0.5, "p = {p}");
+    }
+}

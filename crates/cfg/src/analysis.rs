@@ -1,0 +1,372 @@
+//! Reach probability, expected execution count, and temporal distance of
+//! SI usages — the three profiling-derived measurements behind forecast
+//! candidates (paper §4.1).
+//!
+//! The solver follows the paper's structure: the BB graph is segmented
+//! into strongly connected components (Tarjan, [`crate::scc`]); components
+//! are processed in reverse topological order so each acyclic component is
+//! solved directly, like Li/Hauck's tree algorithm, while genuinely cyclic
+//! components (loops, recursion) are solved by a local Gauss–Seidel
+//! fixpoint — the "recursive addition to Li/Hauck needed for our more
+//! fine-grained approach". The result is the exact solution of the
+//! underlying absorbing-chain equations.
+
+use rispp_core::si::SiId;
+
+use crate::graph::{BlockId, Cfg};
+use crate::profile::Profile;
+use crate::scc::SccDecomposition;
+
+/// Convergence threshold of the cyclic-component fixpoint.
+const EPSILON: f64 = 1e-12;
+/// Iteration cap per cyclic component (divergence guard for pathological
+/// profiles, e.g. an exit-free loop with probability-1 back edges).
+const MAX_ITERS: usize = 100_000;
+
+/// Per-block analysis results for one SI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiUsageAnalysis {
+    /// `probability[b]`: probability that an execution of the SI is
+    /// eventually reached from block `b` (1.0 for blocks using the SI).
+    pub probability: Vec<f64>,
+    /// `expected_executions[b]`: expected number of SI executions
+    /// downstream of `b` (including `b`'s own uses).
+    pub expected_executions: Vec<f64>,
+    /// `distance[b]`: expected cycles from entering `b` until the first SI
+    /// execution, conditioned on reaching one; 0 for blocks using the SI,
+    /// `f64::INFINITY` where the SI is unreachable.
+    pub distance: Vec<f64>,
+}
+
+impl SiUsageAnalysis {
+    /// Analyses one SI over a profiled CFG.
+    ///
+    /// `block_cost(b)` is the expected cycle cost of one visit to `b`
+    /// (plain cycles plus the cost of any SI usages at their current
+    /// latency); it feeds the temporal-distance measurement.
+    #[must_use]
+    pub fn compute<F>(cfg: &Cfg, profile: &Profile, si: SiId, block_cost: F) -> Self
+    where
+        F: Fn(BlockId) -> f64,
+    {
+        let scc = SccDecomposition::compute(cfg);
+        let probability = solve_probability(cfg, profile, si, &scc);
+        let expected_executions = solve_executions(cfg, profile, si, &scc);
+        let distance = solve_distance(cfg, profile, si, &scc, &probability, &block_cost);
+        SiUsageAnalysis {
+            probability,
+            expected_executions,
+            distance,
+        }
+    }
+}
+
+/// Probability of eventually reaching an execution of `si` from each block.
+///
+/// Blocks using the SI are absorbing with probability 1; all others solve
+/// `p(b) = Σᵢ P(edge i) · p(succᵢ)`.
+#[must_use]
+pub fn solve_probability(
+    cfg: &Cfg,
+    profile: &Profile,
+    si: SiId,
+    scc: &SccDecomposition,
+) -> Vec<f64> {
+    let mut prob = vec![0.0; cfg.len()];
+    for b in cfg.ids() {
+        if cfg.block(b).uses(si) {
+            prob[b.index()] = 1.0;
+        }
+    }
+    solve_in_scc_order(cfg, scc, &mut prob, |b, values| {
+        if cfg.block(b).uses(si) {
+            return 1.0;
+        }
+        cfg.successors(b)
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| profile.edge_probability(b, i) * values[s.index()])
+            .sum()
+    });
+    prob
+}
+
+/// Expected number of `si` executions downstream of each block (counting
+/// the block's own uses).
+///
+/// `e(b) = uses(b) + Σᵢ P(edge i) · e(succᵢ)`. Loop back edges with
+/// probability < 1 (any loop that exits in the profile) make this a
+/// convergent geometric accumulation; an exit-free loop containing the SI
+/// would diverge and is clamped at the iteration cap.
+#[must_use]
+pub fn solve_executions(
+    cfg: &Cfg,
+    profile: &Profile,
+    si: SiId,
+    scc: &SccDecomposition,
+) -> Vec<f64> {
+    let mut execs = vec![0.0; cfg.len()];
+    solve_in_scc_order(cfg, scc, &mut execs, |b, values| {
+        let own = f64::from(cfg.block(b).uses_of(si));
+        own + cfg
+            .successors(b)
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| profile.edge_probability(b, i) * values[s.index()])
+            .sum::<f64>()
+    });
+    execs
+}
+
+/// Expected cycles from entering each block until the first `si` execution,
+/// conditioned on reaching one.
+///
+/// For a block `b` not using the SI,
+/// `d(b) = cost(b) + Σᵢ wᵢ · d(succᵢ)` with reach-conditioned weights
+/// `wᵢ = P(edge i) · p(succᵢ) / p(b)`.
+#[must_use]
+pub fn solve_distance<F>(
+    cfg: &Cfg,
+    profile: &Profile,
+    si: SiId,
+    scc: &SccDecomposition,
+    probability: &[f64],
+    block_cost: &F,
+) -> Vec<f64>
+where
+    F: Fn(BlockId) -> f64,
+{
+    let mut dist = vec![f64::INFINITY; cfg.len()];
+    for b in cfg.ids() {
+        if cfg.block(b).uses(si) {
+            dist[b.index()] = 0.0;
+        }
+    }
+    solve_in_scc_order(cfg, scc, &mut dist, |b, values| {
+        if cfg.block(b).uses(si) {
+            return 0.0;
+        }
+        let p_b = probability[b.index()];
+        if p_b <= 0.0 {
+            return f64::INFINITY;
+        }
+        let mut acc = block_cost(b);
+        for (i, &s) in cfg.successors(b).iter().enumerate() {
+            let w = profile.edge_probability(b, i) * probability[s.index()] / p_b;
+            if w > 0.0 {
+                let d = values[s.index()];
+                if d.is_infinite() {
+                    // Successor still at the fixpoint's initial value; the
+                    // weight says it can reach the SI, so treat the missing
+                    // estimate as 0 and let iteration refine it.
+                    continue;
+                }
+                acc += w * d;
+            }
+        }
+        acc
+    });
+    dist
+}
+
+/// Evaluates `recompute(b, values)` for every block, component by component
+/// in reverse topological order. Acyclic components need a single
+/// evaluation; cyclic ones iterate to a fixpoint.
+fn solve_in_scc_order<F>(cfg: &Cfg, scc: &SccDecomposition, values: &mut [f64], recompute: F)
+where
+    F: Fn(BlockId, &[f64]) -> f64,
+{
+    for comp in scc.reverse_topological() {
+        if !scc.is_cyclic(comp, cfg) {
+            let b = scc.members(comp)[0];
+            values[b.index()] = recompute(b, values);
+            continue;
+        }
+        // Gauss–Seidel over the loop members; successors outside the
+        // component are already final.
+        for _ in 0..MAX_ITERS {
+            let mut delta: f64 = 0.0;
+            for &b in scc.members(comp) {
+                let new = recompute(b, values);
+                let old = values[b.index()];
+                let d = if old.is_finite() && new.is_finite() {
+                    (new - old).abs()
+                } else if old.is_infinite() && new.is_infinite() {
+                    0.0
+                } else {
+                    f64::INFINITY
+                };
+                delta = delta.max(d);
+                values[b.index()] = new;
+            }
+            if delta < EPSILON {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::BasicBlock;
+
+    const SI: SiId = SiId(0);
+
+    /// entry --0.3--> use(S) ; entry --0.7--> other -> exit
+    fn branch_cfg() -> (Cfg, Profile) {
+        let mut cfg = Cfg::new();
+        let entry = cfg.add_block(BasicBlock::plain("entry", 10));
+        let hit = cfg.add_block(BasicBlock::with_si("hit", 5, vec![(SI, 2)]));
+        let miss = cfg.add_block(BasicBlock::plain("miss", 7));
+        let exit = cfg.add_block(BasicBlock::plain("exit", 1));
+        cfg.add_edge(entry, hit);
+        cfg.add_edge(entry, miss);
+        cfg.add_edge(hit, exit);
+        cfg.add_edge(miss, exit);
+        let profile =
+            Profile::from_edge_counts(&cfg, vec![vec![30, 70], vec![30], vec![70], vec![]]);
+        (cfg, profile)
+    }
+
+    #[test]
+    fn branch_probability() {
+        let (cfg, profile) = branch_cfg();
+        let a = SiUsageAnalysis::compute(&cfg, &profile, SI, |b| cfg.block(b).plain_cycles as f64);
+        assert!((a.probability[0] - 0.3).abs() < 1e-9);
+        assert!((a.probability[1] - 1.0).abs() < 1e-9);
+        assert!((a.probability[2] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_expected_executions() {
+        let (cfg, profile) = branch_cfg();
+        let a = SiUsageAnalysis::compute(&cfg, &profile, SI, |_| 1.0);
+        assert!((a.expected_executions[0] - 0.6).abs() < 1e-9); // 0.3 * 2
+        assert!((a.expected_executions[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_distance_is_conditional() {
+        let (cfg, profile) = branch_cfg();
+        let a = SiUsageAnalysis::compute(&cfg, &profile, SI, |b| cfg.block(b).plain_cycles as f64);
+        // From entry, conditioned on the 30 % path: only entry's own cost.
+        assert!((a.distance[0] - 10.0).abs() < 1e-9);
+        assert_eq!(a.distance[1], 0.0);
+        assert!(a.distance[2].is_infinite());
+    }
+
+    /// entry -> loop_head -> body(uses S) -> loop_head (90 %) / exit (10 %)
+    fn loop_cfg() -> (Cfg, Profile) {
+        let mut cfg = Cfg::new();
+        let entry = cfg.add_block(BasicBlock::plain("entry", 4));
+        let head = cfg.add_block(BasicBlock::plain("head", 2));
+        let body = cfg.add_block(BasicBlock::with_si("body", 8, vec![(SI, 1)]));
+        let exit = cfg.add_block(BasicBlock::plain("exit", 1));
+        cfg.add_edge(entry, head);
+        cfg.add_edge(head, body);
+        cfg.add_edge(body, head);
+        cfg.add_edge(body, exit);
+        // body loops back 90 times, exits 10 times.
+        let profile = Profile::from_edge_counts(
+            &cfg,
+            vec![vec![10], vec![100], vec![90, 10], vec![]],
+        );
+        (cfg, profile)
+    }
+
+    #[test]
+    fn loop_probability_is_one() {
+        let (cfg, profile) = loop_cfg();
+        let a = SiUsageAnalysis::compute(&cfg, &profile, SI, |_| 1.0);
+        assert!((a.probability[0] - 1.0).abs() < 1e-9);
+        assert!((a.probability[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loop_expected_executions_accumulate() {
+        let (cfg, profile) = loop_cfg();
+        let a = SiUsageAnalysis::compute(&cfg, &profile, SI, |_| 1.0);
+        // Each body visit re-enters with probability 0.9: expected visits
+        // from head = 1 / 0.1 = 10.
+        assert!((a.expected_executions[1] - 10.0).abs() < 1e-6);
+        assert!((a.expected_executions[0] - 10.0).abs() < 1e-6);
+        // From inside the body: own use + 9 more expected.
+        assert!((a.expected_executions[2] - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn loop_distance_to_first_use() {
+        let (cfg, profile) = loop_cfg();
+        let a =
+            SiUsageAnalysis::compute(&cfg, &profile, SI, |b| cfg.block(b).plain_cycles as f64);
+        // head -> body is unconditional: distance(head) = 2.
+        assert!((a.distance[1] - 2.0).abs() < 1e-9);
+        assert!((a.distance[0] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_si_has_zero_probability_everywhere() {
+        let (cfg, profile) = branch_cfg();
+        let a = SiUsageAnalysis::compute(&cfg, &profile, SiId(42), |_| 1.0);
+        assert!(a.probability.iter().all(|&p| p == 0.0));
+        assert!(a.distance.iter().all(|d| d.is_infinite()));
+        assert!(a.expected_executions.iter().all(|&e| e == 0.0));
+    }
+
+    /// Cross-validation: the SCC-ordered solver must agree with a naive
+    /// global damped fixpoint on a nested-loop graph.
+    #[test]
+    fn scc_solver_matches_global_fixpoint() {
+        let mut cfg = Cfg::new();
+        let entry = cfg.add_block(BasicBlock::plain("entry", 1));
+        let outer = cfg.add_block(BasicBlock::plain("outer", 2));
+        let inner = cfg.add_block(BasicBlock::with_si("inner", 3, vec![(SI, 1)]));
+        let cont = cfg.add_block(BasicBlock::plain("cont", 1));
+        let exit = cfg.add_block(BasicBlock::plain("exit", 1));
+        cfg.add_edge(entry, outer);
+        cfg.add_edge(outer, inner);
+        cfg.add_edge(inner, inner); // inner self loop
+        cfg.add_edge(inner, cont);
+        cfg.add_edge(cont, outer); // outer back edge
+        cfg.add_edge(cont, exit);
+        let profile = Profile::from_edge_counts(
+            &cfg,
+            vec![
+                vec![5],
+                vec![20],
+                vec![60, 20],
+                vec![15, 5],
+                vec![],
+            ],
+        );
+        let scc = SccDecomposition::compute(&cfg);
+        let fast = solve_executions(&cfg, &profile, SI, &scc);
+
+        // Naive reference: Jacobi iteration over the whole graph.
+        let mut slow = vec![0.0; cfg.len()];
+        for _ in 0..100_000 {
+            let prev = slow.clone();
+            for b in cfg.ids() {
+                let own = f64::from(cfg.block(b).uses_of(SI));
+                slow[b.index()] = own
+                    + cfg
+                        .successors(b)
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &s)| profile.edge_probability(b, i) * prev[s.index()])
+                        .sum::<f64>();
+            }
+            if slow
+                .iter()
+                .zip(&prev)
+                .all(|(a, b)| (a - b).abs() < 1e-13)
+            {
+                break;
+            }
+        }
+        for (f, s) in fast.iter().zip(&slow) {
+            assert!((f - s).abs() < 1e-6, "scc {f} vs naive {s}");
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Dominator analysis and natural-loop detection.
+//!
+//! The forecast-placement pass works on chains of candidates leading to an
+//! SI usage; dominator information makes those chains precise: an FC
+//! placed on a block that *dominates* the SI usage is guaranteed to fire
+//! on every path to it (probability 1 of the FC preceding the usage).
+//! Natural loops identify the "hot spot" regions whose headers are the
+//! classic anchors for forecasts — the paper's SCC segmentation footnote
+//! ("e.g. loops or subroutine calls") made explicit.
+//!
+//! The implementation is the Cooper–Harvey–Kennedy iterative algorithm on
+//! the reverse-post-order numbering.
+
+use crate::graph::{BlockId, Cfg};
+
+/// Immediate-dominator tree of a CFG (rooted at the entry block).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DominatorTree {
+    /// `idom[b]` — immediate dominator of `b`; the entry maps to itself.
+    /// Unreachable blocks map to `None`.
+    idom: Vec<Option<BlockId>>,
+    /// Reverse post order used during computation (reachable blocks only).
+    rpo: Vec<BlockId>,
+}
+
+impl DominatorTree {
+    /// Computes dominators for all blocks reachable from the entry.
+    #[must_use]
+    pub fn compute(cfg: &Cfg) -> Self {
+        let n = cfg.len();
+        let entry = cfg.entry();
+        // Depth-first post-order (iterative).
+        let mut visited = vec![false; n];
+        let mut post: Vec<BlockId> = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+        visited[entry.index()] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs = cfg.successors(b);
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.iter().rev().copied().collect();
+        let mut order = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            order[b.index()] = i;
+        }
+
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // First processed predecessor.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.predecessors(b) {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &order, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        DominatorTree { idom, rpo }
+    }
+
+    /// Immediate dominator of `b` (`None` for unreachable blocks; the
+    /// entry's immediate dominator is itself).
+    #[must_use]
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// Returns `true` when `a` dominates `b` (every path from the entry to
+    /// `b` passes through `a`). A block dominates itself.
+    #[must_use]
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(parent) if parent != cur => cur = parent,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Reverse post order of the reachable blocks.
+    #[must_use]
+    pub fn reverse_post_order(&self) -> &[BlockId] {
+        &self.rpo
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    order: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while order[a.index()] > order[b.index()] {
+            a = idom[a.index()].expect("processed in RPO");
+        }
+        while order[b.index()] > order[a.index()] {
+            b = idom[b.index()].expect("processed in RPO");
+        }
+    }
+    a
+}
+
+/// A natural loop: a back edge `tail → header` where the header dominates
+/// the tail, plus the set of blocks in the loop body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// Loop header (the back-edge target).
+    pub header: BlockId,
+    /// The back-edge source.
+    pub tail: BlockId,
+    /// All blocks of the loop, including the header.
+    pub body: Vec<BlockId>,
+}
+
+/// Finds all natural loops of a CFG.
+#[must_use]
+pub fn natural_loops(cfg: &Cfg, dom: &DominatorTree) -> Vec<NaturalLoop> {
+    let mut loops = Vec::new();
+    for tail in cfg.ids() {
+        for &header in cfg.successors(tail) {
+            if dom.idom(tail).is_some() && dom.dominates(header, tail) {
+                // Collect the loop body: header + everything reaching the
+                // tail without passing through the header.
+                let mut body = vec![header];
+                let mut stack = vec![tail];
+                let mut in_body = vec![false; cfg.len()];
+                in_body[header.index()] = true;
+                while let Some(b) = stack.pop() {
+                    if in_body[b.index()] {
+                        continue;
+                    }
+                    in_body[b.index()] = true;
+                    body.push(b);
+                    for &p in cfg.predecessors(b) {
+                        stack.push(p);
+                    }
+                }
+                body.sort_unstable();
+                loops.push(NaturalLoop { header, tail, body });
+            }
+        }
+    }
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::{build_aes, AesSis};
+    use crate::graph::BasicBlock;
+
+    fn diamond_with_loop() -> Cfg {
+        // 0 -> 1 -> 2 -> 1 (loop), 2 -> 3; 0 -> 3 bypass.
+        let mut cfg = Cfg::new();
+        let a = cfg.add_block(BasicBlock::plain("a", 1));
+        let b = cfg.add_block(BasicBlock::plain("b", 1));
+        let c = cfg.add_block(BasicBlock::plain("c", 1));
+        let d = cfg.add_block(BasicBlock::plain("d", 1));
+        cfg.add_edge(a, b);
+        cfg.add_edge(b, c);
+        cfg.add_edge(c, b);
+        cfg.add_edge(c, d);
+        cfg.add_edge(a, d);
+        cfg
+    }
+
+    #[test]
+    fn entry_dominates_everything() {
+        let cfg = diamond_with_loop();
+        let dom = DominatorTree::compute(&cfg);
+        for b in cfg.ids() {
+            assert!(dom.dominates(cfg.entry(), b));
+        }
+    }
+
+    #[test]
+    fn bypass_breaks_dominance() {
+        let cfg = diamond_with_loop();
+        let dom = DominatorTree::compute(&cfg);
+        // b does not dominate d (the a->d bypass), but b dominates c.
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(dom.dominates(BlockId(1), BlockId(2)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(1)));
+    }
+
+    #[test]
+    fn self_domination() {
+        let cfg = diamond_with_loop();
+        let dom = DominatorTree::compute(&cfg);
+        for b in cfg.ids() {
+            assert!(dom.dominates(b, b));
+        }
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut cfg = diamond_with_loop();
+        let orphan = cfg.add_block(BasicBlock::plain("orphan", 1));
+        let dom = DominatorTree::compute(&cfg);
+        assert_eq!(dom.idom(orphan), None);
+        assert!(!dom.dominates(cfg.entry(), orphan));
+    }
+
+    #[test]
+    fn natural_loop_detected() {
+        let cfg = diamond_with_loop();
+        let dom = DominatorTree::compute(&cfg);
+        let loops = natural_loops(&cfg, &dom);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, BlockId(1));
+        assert_eq!(loops[0].tail, BlockId(2));
+        assert_eq!(loops[0].body, vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn aes_has_round_and_block_loops() {
+        let (cfg, _, blocks) = build_aes(AesSis::default(), 8);
+        let dom = DominatorTree::compute(&cfg);
+        let loops = natural_loops(&cfg, &dom);
+        // The round loop (header round_head) and the data-block loop
+        // (header block_loop).
+        assert!(loops.iter().any(|l| l.header == blocks.round_head));
+        assert!(loops.iter().any(|l| l.header == blocks.block_loop));
+        // The round loop nests inside the block loop.
+        let block_loop = loops
+            .iter()
+            .find(|l| l.header == blocks.block_loop)
+            .unwrap();
+        assert!(block_loop.body.contains(&blocks.round_head));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let cfg = diamond_with_loop();
+        let dom = DominatorTree::compute(&cfg);
+        assert_eq!(dom.reverse_post_order()[0], cfg.entry());
+        assert_eq!(dom.reverse_post_order().len(), 4);
+    }
+}

@@ -1,0 +1,116 @@
+//! Graphviz DOT export of annotated BB graphs (the rendering behind the
+//! paper's Fig. 3: profiling colour-coding, SI usages, FC candidates).
+
+use std::fmt::Write as _;
+
+use crate::forecast_points::ForecastPoint;
+use crate::graph::Cfg;
+use crate::profile::Profile;
+
+/// Renders the CFG as a DOT digraph.
+///
+/// * Fill colour encodes the profiled execution count (white → red).
+/// * Blocks using SIs get a double border ("usage of Special
+///   Instructions").
+/// * Blocks carrying forecast points get a bold blue border ("candidates
+///   for Forecast Points").
+///
+/// # Examples
+///
+/// ```
+/// use rispp_cfg::aes::{build_aes, AesSis};
+/// use rispp_cfg::dot::to_dot;
+///
+/// let (cfg, profile, _) = build_aes(AesSis::default(), 10);
+/// let dot = to_dot(&cfg, &profile, &[]);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("key_schedule"));
+/// ```
+#[must_use]
+pub fn to_dot(cfg: &Cfg, profile: &Profile, forecast_points: &[ForecastPoint]) -> String {
+    let max_count = cfg
+        .ids()
+        .map(|b| profile.block_count(b))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let mut out = String::from("digraph cfg {\n  node [shape=box, style=filled];\n");
+    for (id, block) in cfg.iter() {
+        let heat = profile.block_count(id) as f64 / max_count as f64;
+        // White (cold) to red (hot), matching the paper's profiling
+        // colour-coding.
+        let g_b = (255.0 * (1.0 - heat)) as u8;
+        let fill = format!("#ff{g_b:02x}{g_b:02x}");
+        let uses_si = !block.si_uses.is_empty();
+        let is_fc = forecast_points.iter().any(|f| f.block == id);
+        let mut attrs = format!("label=\"{}\\n{} visits\", fillcolor=\"{}\"", block.name,
+            profile.block_count(id), fill);
+        if uses_si {
+            attrs.push_str(", peripheries=2");
+        }
+        if is_fc {
+            attrs.push_str(", color=blue, penwidth=3");
+        }
+        let _ = writeln!(out, "  {} [{}];", id, attrs);
+    }
+    for from in cfg.ids() {
+        for (i, &to) in cfg.successors(from).iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  {from} -> {to} [label=\"{:.0}%\"];",
+                100.0 * profile.edge_probability(from, i)
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::{build_aes, AesSis};
+    use crate::graph::BlockId;
+    use rispp_core::si::SiId;
+
+    #[test]
+    fn dot_contains_all_blocks_and_edges() {
+        let (cfg, profile, _) = build_aes(AesSis::default(), 5);
+        let dot = to_dot(&cfg, &profile, &[]);
+        for (_, block) in cfg.iter() {
+            assert!(dot.contains(&block.name), "missing {}", block.name);
+        }
+        assert!(dot.matches("->").count() >= 9);
+    }
+
+    #[test]
+    fn forecast_points_are_highlighted() {
+        let (cfg, profile, blocks) = build_aes(AesSis::default(), 5);
+        let fc = ForecastPoint {
+            block: blocks.key_schedule,
+            si: SiId(0),
+            probability: 1.0,
+            distance: 1000.0,
+            expected_executions: 40.0,
+        };
+        let dot = to_dot(&cfg, &profile, &[fc]);
+        assert!(dot.contains("penwidth=3"));
+    }
+
+    #[test]
+    fn si_blocks_get_double_border() {
+        let (cfg, profile, _) = build_aes(AesSis::default(), 5);
+        let dot = to_dot(&cfg, &profile, &[]);
+        assert!(dot.contains("peripheries=2"));
+    }
+
+    #[test]
+    fn hot_blocks_are_red() {
+        let (cfg, profile, blocks) = build_aes(AesSis::default(), 100);
+        let dot = to_dot(&cfg, &profile, &[]);
+        // The hottest block (round stages) should be pure red.
+        assert!(dot.contains("#ff0000"));
+        let _ = blocks;
+        let _: BlockId = cfg.entry();
+    }
+}

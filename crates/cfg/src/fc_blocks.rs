@@ -1,0 +1,109 @@
+//! FC Blocks: forecast points of the same basic block, grouped (step 3 of
+//! the paper's scheme — "choose FCs out of the FC Candidates and combine
+//! them to FC Blocks, which will ease the run-time computation effort").
+//!
+//! At run time, an FC Block fires as *one* event: all its forecasts enter
+//! the manager together and selection/rotation-scheduling run once for
+//! the batch (see `RisppManager::forecast_block` in `rispp-rt`).
+
+use rispp_core::forecast::ForecastValue;
+
+use crate::forecast_points::ForecastPoint;
+use crate::graph::BlockId;
+
+/// All forecast points anchored to one basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FcBlock {
+    /// The carrying basic block.
+    pub block: BlockId,
+    /// The forecasts fired when the block executes.
+    pub forecasts: Vec<ForecastPoint>,
+}
+
+impl FcBlock {
+    /// Converts the group into the run-time forecast values a task
+    /// announces when the block executes.
+    #[must_use]
+    pub fn to_forecast_values(&self) -> Vec<ForecastValue> {
+        self.forecasts
+            .iter()
+            .map(|fc| {
+                ForecastValue::new(fc.si, fc.probability, fc.distance, fc.expected_executions)
+            })
+            .collect()
+    }
+
+    /// Number of grouped forecasts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.forecasts.len()
+    }
+
+    /// Returns `true` for an empty group (never produced by
+    /// [`group_into_fc_blocks`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.forecasts.is_empty()
+    }
+}
+
+/// Groups placed forecast points by their carrying block, ordered by
+/// block id.
+#[must_use]
+pub fn group_into_fc_blocks(fcs: &[ForecastPoint]) -> Vec<FcBlock> {
+    let mut by_block: std::collections::BTreeMap<usize, Vec<ForecastPoint>> = Default::default();
+    for fc in fcs {
+        by_block.entry(fc.block.index()).or_default().push(fc.clone());
+    }
+    by_block
+        .into_iter()
+        .map(|(block, forecasts)| FcBlock {
+            block: BlockId(block),
+            forecasts,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rispp_core::si::SiId;
+
+    fn fc(block: usize, si: usize) -> ForecastPoint {
+        ForecastPoint {
+            block: BlockId(block),
+            si: SiId(si),
+            probability: 0.9,
+            distance: 5_000.0,
+            expected_executions: 40.0,
+        }
+    }
+
+    #[test]
+    fn grouping_collects_same_block_forecasts() {
+        let fcs = [fc(3, 0), fc(1, 1), fc(3, 2), fc(1, 0)];
+        let blocks = group_into_fc_blocks(&fcs);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].block, BlockId(1));
+        assert_eq!(blocks[0].len(), 2);
+        assert_eq!(blocks[1].block, BlockId(3));
+        assert_eq!(blocks[1].len(), 2);
+        assert!(!blocks[0].is_empty());
+    }
+
+    #[test]
+    fn forecast_values_carry_annotations() {
+        let blocks = group_into_fc_blocks(&[fc(0, 7)]);
+        let values = blocks[0].to_forecast_values();
+        assert_eq!(values.len(), 1);
+        assert_eq!(values[0].si, SiId(7));
+        assert!((values[0].probability - 0.9).abs() < 1e-12);
+        assert!((values[0].distance - 5_000.0).abs() < 1e-12);
+        assert!((values[0].expected_executions - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_yields_no_blocks() {
+        assert!(group_into_fc_blocks(&[]).is_empty());
+    }
+}

@@ -1,0 +1,360 @@
+//! Inserting Forecast points (FCs) at compile time (paper §4).
+//!
+//! The three-step scheme:
+//!
+//! 1. for each SI type, determine the set of basic blocks that are *FC
+//!    candidates* (the FDF compares the required execution count against
+//!    the profiled expectation);
+//! 2. per basic block, remove candidates that are incompatible with the
+//!    other candidates of the same block (Fig. 5 trimming on the SI
+//!    representatives);
+//! 3. choose actual FCs out of the candidates by a depth-first search on
+//!    the transposed BB graph, so that each chain of candidates leading to
+//!    an SI usage contributes the most upstream still-suitable candidate.
+
+use rispp_core::forecast::FdfParams;
+use rispp_core::molecule::Molecule;
+use rispp_core::selection::trim_forecast_candidates;
+use rispp_core::si::{SiId, SiLibrary};
+
+use crate::analysis::SiUsageAnalysis;
+use crate::graph::{BlockId, Cfg};
+use crate::profile::Profile;
+
+/// A forecast-point candidate or final forecast point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastPoint {
+    /// Block carrying the forecast.
+    pub block: BlockId,
+    /// Forecasted SI.
+    pub si: SiId,
+    /// Profiled probability of reaching an execution of the SI.
+    pub probability: f64,
+    /// Profiled temporal distance (cycles) until the usage.
+    pub distance: f64,
+    /// Profiled expected number of executions once reached.
+    pub expected_executions: f64,
+}
+
+/// Step 1: FC candidates of one SI — every block whose profiled expected
+/// execution count is at least the FDF requirement.
+///
+/// Blocks that use the SI themselves are excluded: rotation could never
+/// complete before the usage (their temporal distance is 0).
+#[must_use]
+pub fn determine_candidates(
+    cfg: &Cfg,
+    analysis: &SiUsageAnalysis,
+    si: SiId,
+    fdf: &FdfParams,
+) -> Vec<ForecastPoint> {
+    let mut out = Vec::new();
+    for b in cfg.ids() {
+        if cfg.block(b).uses(si) {
+            continue;
+        }
+        let p = analysis.probability[b.index()];
+        let t = analysis.distance[b.index()];
+        let e = analysis.expected_executions[b.index()];
+        if p <= 0.0 || !t.is_finite() || t <= 0.0 {
+            continue;
+        }
+        if e >= fdf.eval(p, t) {
+            out.push(ForecastPoint {
+                block: b,
+                si,
+                probability: p,
+                distance: t,
+                expected_executions: e,
+            });
+        }
+    }
+    out
+}
+
+/// Step 2: per-block trimming. For each block holding candidates of
+/// several SIs, keep only a subset whose representative supremum fits the
+/// available Atom Containers, dropping the SIs with the worst expected
+/// speed-up per container (Fig. 5).
+#[must_use]
+pub fn trim_per_block(
+    candidates: Vec<ForecastPoint>,
+    lib: &SiLibrary,
+    available_containers: u32,
+) -> Vec<ForecastPoint> {
+    let mut by_block: std::collections::BTreeMap<usize, Vec<ForecastPoint>> = Default::default();
+    for c in candidates {
+        by_block.entry(c.block.index()).or_default().push(c);
+    }
+    let mut out = Vec::new();
+    for (_, fcs) in by_block {
+        let reps: Vec<Molecule> = fcs.iter().map(|f| lib.get(f.si).representative()).collect();
+        let speedups: Vec<f64> = fcs
+            .iter()
+            .map(|f| {
+                let si = lib.get(f.si);
+                si.sw_cycles() as f64 / si.fastest().cycles as f64
+            })
+            .collect();
+        let trim = trim_forecast_candidates(&reps, &speedups, available_containers)
+            .expect("library enforces one molecule width");
+        for i in trim.kept {
+            out.push(fcs[i].clone());
+        }
+    }
+    out
+}
+
+/// Step 3: choose the final FCs by a depth-first search on the transposed
+/// BB graph.
+///
+/// For each SI usage, the DFS walks backwards through the candidate blocks.
+/// Along each backward path the *most upstream candidate that is still in
+/// the FDF sweet spot* (distance within `[t_rot, far_onset · t_rot]`)
+/// becomes the FC; when a path leaves the sweet spot (the next candidate is
+/// too far), "the preceding FC Candidate is turned into an actual FC".
+/// Candidates that are never the best of any path are dropped, which keeps
+/// the number of run-time re-evaluations low.
+#[must_use]
+pub fn place_forecast_points(
+    cfg: &Cfg,
+    candidates: &[ForecastPoint],
+    si: SiId,
+    fdf: &FdfParams,
+) -> Vec<ForecastPoint> {
+    let transposed = cfg.transposed();
+    let is_candidate: Vec<Option<&ForecastPoint>> = {
+        let mut v = vec![None; cfg.len()];
+        for c in candidates.iter().filter(|c| c.si == si) {
+            v[c.block.index()] = Some(c);
+        }
+        v
+    };
+    let sweet = |d: f64| d >= fdf.t_rot && d <= fdf.far_onset * fdf.t_rot;
+
+    let mut chosen = vec![false; cfg.len()];
+    let mut visited = vec![false; cfg.len()];
+    // DFS from every SI usage on the transposed graph; remember the best
+    // candidate seen so far on the current path.
+    for start in cfg.blocks_using(si) {
+        let mut stack: Vec<(BlockId, Option<BlockId>)> = vec![(start, None)];
+        while let Some((b, mut best)) = stack.pop() {
+            if let Some(c) = is_candidate[b.index()] {
+                if sweet(c.distance) {
+                    // Still in the sweet spot: this more-upstream candidate
+                    // supersedes the previous best of the path.
+                    best = Some(b);
+                } else if c.distance > fdf.far_onset * fdf.t_rot {
+                    // Too far: finalise the preceding candidate and stop
+                    // extending the path.
+                    if let Some(p) = best {
+                        chosen[p.index()] = true;
+                    }
+                    continue;
+                }
+                // (Too close: keep walking; an upstream candidate may work.)
+            }
+            let succs = transposed.successors(b);
+            if succs.is_empty() {
+                // Path ends (program entry): finalise the best candidate.
+                if let Some(p) = best {
+                    chosen[p.index()] = true;
+                }
+                continue;
+            }
+            let mut extended = false;
+            for &up in succs {
+                if !visited[up.index()] {
+                    visited[up.index()] = true;
+                    stack.push((up, best));
+                    extended = true;
+                }
+            }
+            if !extended {
+                if let Some(p) = best {
+                    chosen[p.index()] = true;
+                }
+            }
+        }
+    }
+
+    candidates
+        .iter()
+        .filter(|c| c.si == si && chosen[c.block.index()])
+        .cloned()
+        .collect()
+}
+
+/// End-to-end pass: analysis → candidates → per-block trimming →
+/// placement, for every SI in the library. Returns the final annotated
+/// FCs ("annotated with the profiled probability, temporal distance, and
+/// the expected number of executions as initial values for the online
+/// phase").
+#[must_use]
+pub fn insert_forecast_points<F>(
+    cfg: &Cfg,
+    profile: &Profile,
+    lib: &SiLibrary,
+    fdf_of: F,
+    available_containers: u32,
+) -> Vec<ForecastPoint>
+where
+    F: Fn(SiId) -> FdfParams,
+{
+    let mut all_candidates = Vec::new();
+    let mut fdfs = Vec::new();
+    for si in lib.ids() {
+        let fdf = fdf_of(si);
+        let analysis = SiUsageAnalysis::compute(cfg, profile, si, |b| {
+            let blk = cfg.block(b);
+            blk.plain_cycles as f64
+                + blk
+                    .si_uses
+                    .iter()
+                    .map(|&(s, c)| u64::from(c) * lib.get(s).sw_cycles())
+                    .sum::<u64>() as f64
+        });
+        all_candidates.extend(determine_candidates(cfg, &analysis, si, &fdf));
+        fdfs.push(fdf);
+    }
+    let trimmed = trim_per_block(all_candidates, lib, available_containers);
+    let mut placed = Vec::new();
+    for si in lib.ids() {
+        placed.extend(place_forecast_points(cfg, &trimmed, si, &fdfs[si.index()]));
+    }
+    placed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::BasicBlock;
+    use rispp_core::si::{MoleculeImpl, SpecialInstruction};
+
+    fn fdf() -> FdfParams {
+        // T_Rot = 1000 cycles, T_SW = 50, T_HW = 5, E_Rot → offset = 2.
+        FdfParams::new(1000.0, 50.0, 5.0, 90.0, 1.0)
+    }
+
+    /// entry(4000 cycles) -> mid(500) -> hot loop using the SI.
+    fn pipeline_cfg(loop_exit_pct: u64) -> (Cfg, Profile) {
+        let mut cfg = Cfg::new();
+        let entry = cfg.add_block(BasicBlock::plain("entry", 4000));
+        let mid = cfg.add_block(BasicBlock::plain("mid", 500));
+        let hot = cfg.add_block(BasicBlock::with_si("hot", 10, vec![(SiId(0), 1)]));
+        let exit = cfg.add_block(BasicBlock::plain("exit", 1));
+        cfg.add_edge(entry, mid);
+        cfg.add_edge(mid, hot);
+        cfg.add_edge(hot, hot);
+        cfg.add_edge(hot, exit);
+        let back = 100 - loop_exit_pct;
+        let profile = Profile::from_edge_counts(
+            &cfg,
+            vec![vec![10], vec![10], vec![back, loop_exit_pct], vec![]],
+        );
+        (cfg, profile)
+    }
+
+    fn analysis(cfg: &Cfg, profile: &Profile) -> SiUsageAnalysis {
+        SiUsageAnalysis::compute(cfg, profile, SiId(0), |b| cfg.block(b).plain_cycles as f64)
+    }
+
+    #[test]
+    fn hot_loop_produces_candidates() {
+        // 1 % exit probability → ~100 expected executions, far above the
+        // FDF requirement for the well-placed `entry` block.
+        let (cfg, profile) = pipeline_cfg(1);
+        let a = analysis(&cfg, &profile);
+        let cands = determine_candidates(&cfg, &a, SiId(0), &fdf());
+        let blocks: Vec<BlockId> = cands.iter().map(|c| c.block).collect();
+        assert!(blocks.contains(&BlockId(0)), "entry should be a candidate");
+        assert!(blocks.contains(&BlockId(1)), "mid should be a candidate");
+        // The SI block itself is never a candidate.
+        assert!(!blocks.contains(&BlockId(2)));
+    }
+
+    #[test]
+    fn cold_si_produces_no_candidates() {
+        // 90 % exit probability → ~1.1 expected executions < offset 2.
+        let (cfg, profile) = pipeline_cfg(90);
+        let a = analysis(&cfg, &profile);
+        let cands = determine_candidates(&cfg, &a, SiId(0), &fdf());
+        assert!(cands.is_empty(), "got {cands:?}");
+    }
+
+    #[test]
+    fn placement_prefers_upstream_candidate_in_sweet_spot() {
+        let (cfg, profile) = pipeline_cfg(1);
+        let a = analysis(&cfg, &profile);
+        let cands = determine_candidates(&cfg, &a, SiId(0), &fdf());
+        let placed = place_forecast_points(&cfg, &cands, SiId(0), &fdf());
+        // entry's distance (4500) is within [1000, 10000]; mid's (500) is
+        // too close. The DFS keeps the most upstream sweet-spot candidate.
+        assert_eq!(placed.len(), 1);
+        assert_eq!(placed[0].block, BlockId(0));
+    }
+
+    fn tiny_library() -> SiLibrary {
+        let mut lib = SiLibrary::new(2);
+        lib.insert(
+            SpecialInstruction::new(
+                "S0",
+                50,
+                vec![MoleculeImpl::new(Molecule::from_counts([1, 0]), 5)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lib.insert(
+            SpecialInstruction::new(
+                "S1",
+                40,
+                vec![MoleculeImpl::new(Molecule::from_counts([0, 2]), 4)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lib
+    }
+
+    #[test]
+    fn trimming_drops_incompatible_candidate() {
+        let lib = tiny_library();
+        let mk = |si: usize| ForecastPoint {
+            block: BlockId(0),
+            si: SiId(si),
+            probability: 1.0,
+            distance: 2000.0,
+            expected_executions: 50.0,
+        };
+        // Only 2 containers: sup of (1,0) and (0,2) needs 3.
+        let trimmed = trim_per_block(vec![mk(0), mk(1)], &lib, 2);
+        assert_eq!(trimmed.len(), 1);
+        // S1 frees 2 containers per 10× speed-up vs S0's 1 per 10× —
+        // trimming removes the worse relation (S1).
+        assert_eq!(trimmed[0].si, SiId(0));
+    }
+
+    #[test]
+    fn end_to_end_insertion() {
+        let (cfg, profile) = pipeline_cfg(1);
+        let lib = {
+            let mut lib = SiLibrary::new(2);
+            lib.insert(
+                SpecialInstruction::new(
+                    "S0",
+                    50,
+                    vec![MoleculeImpl::new(Molecule::from_counts([1, 1]), 5)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+            lib
+        };
+        let fcs = insert_forecast_points(&cfg, &profile, &lib, |_| fdf(), 4);
+        assert_eq!(fcs.len(), 1);
+        assert_eq!(fcs[0].block, BlockId(0));
+        assert!(fcs[0].expected_executions > 10.0);
+        assert!(fcs[0].probability > 0.99);
+    }
+}

@@ -1,0 +1,297 @@
+//! Basic-block graphs: the compile-time view of an application.
+//!
+//! Forecast points are inserted "on the Base-Block (BB) level of the
+//! application" (paper §4). A [`Cfg`] is a directed graph of
+//! [`BasicBlock`]s; each block carries its plain-instruction cycle cost and
+//! the Special Instructions it uses.
+
+use std::fmt;
+
+use rispp_core::si::SiId;
+
+/// Index of a basic block within a [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub usize);
+
+impl BlockId {
+    /// Returns the dense index of this block.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// One basic block: straight-line code with optional SI usages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Human-readable label for diagnostics and DOT export.
+    pub name: String,
+    /// Cycle cost of the plain (non-SI) instructions of the block.
+    pub plain_cycles: u64,
+    /// SIs used by this block, with per-visit execution counts.
+    pub si_uses: Vec<(SiId, u32)>,
+}
+
+impl BasicBlock {
+    /// Creates a block without SI usages.
+    #[must_use]
+    pub fn plain<S: Into<String>>(name: S, plain_cycles: u64) -> Self {
+        BasicBlock {
+            name: name.into(),
+            plain_cycles,
+            si_uses: Vec::new(),
+        }
+    }
+
+    /// Creates a block that uses SIs.
+    #[must_use]
+    pub fn with_si<S: Into<String>>(
+        name: S,
+        plain_cycles: u64,
+        si_uses: Vec<(SiId, u32)>,
+    ) -> Self {
+        BasicBlock {
+            name: name.into(),
+            plain_cycles,
+            si_uses,
+        }
+    }
+
+    /// Per-visit execution count of one SI in this block.
+    #[must_use]
+    pub fn uses_of(&self, si: SiId) -> u32 {
+        self.si_uses
+            .iter()
+            .filter(|&&(s, _)| s == si)
+            .map(|&(_, c)| c)
+            .sum()
+    }
+
+    /// Returns `true` if the block executes `si` at least once per visit.
+    #[must_use]
+    pub fn uses(&self, si: SiId) -> bool {
+        self.uses_of(si) > 0
+    }
+}
+
+/// A control-flow graph of basic blocks.
+///
+/// # Examples
+///
+/// ```
+/// use rispp_cfg::graph::{BasicBlock, Cfg};
+///
+/// let mut cfg = Cfg::new();
+/// let a = cfg.add_block(BasicBlock::plain("entry", 10));
+/// let b = cfg.add_block(BasicBlock::plain("exit", 5));
+/// cfg.add_edge(a, b);
+/// assert_eq!(cfg.entry(), a);
+/// assert_eq!(cfg.successors(a), &[b]);
+/// assert_eq!(cfg.predecessors(b), &[a]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Creates an empty graph. The first added block becomes the entry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a block and returns its id.
+    pub fn add_block(&mut self, block: BasicBlock) -> BlockId {
+        self.blocks.push(block);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        BlockId(self.blocks.len() - 1)
+    }
+
+    /// Adds a directed edge. Parallel edges are allowed (they carry
+    /// independent profile counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: BlockId, to: BlockId) {
+        assert!(from.index() < self.blocks.len(), "edge source out of range");
+        assert!(to.index() < self.blocks.len(), "edge target out of range");
+        self.succs[from.index()].push(to);
+        self.preds[to.index()].push(from);
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns `true` for a graph without blocks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The entry block (the first one added).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty graph.
+    #[must_use]
+    pub fn entry(&self) -> BlockId {
+        assert!(!self.blocks.is_empty(), "empty CFG has no entry");
+        BlockId(0)
+    }
+
+    /// The block with a given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BasicBlock {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Successor blocks (in edge insertion order).
+    #[must_use]
+    pub fn successors(&self, id: BlockId) -> &[BlockId] {
+        &self.succs[id.index()]
+    }
+
+    /// Predecessor blocks.
+    #[must_use]
+    pub fn predecessors(&self, id: BlockId) -> &[BlockId] {
+        &self.preds[id.index()]
+    }
+
+    /// Iterates `(id, block)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i), b))
+    }
+
+    /// All block ids in order.
+    pub fn ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len()).map(BlockId)
+    }
+
+    /// Blocks without successors (program exits).
+    pub fn exits(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.ids().filter(|&b| self.successors(b).is_empty())
+    }
+
+    /// Blocks that use a given SI.
+    pub fn blocks_using(&self, si: SiId) -> impl Iterator<Item = BlockId> + '_ {
+        self.iter()
+            .filter(move |(_, b)| b.uses(si))
+            .map(|(id, _)| id)
+    }
+
+    /// The transposed graph (all edges reversed), used by the forecast
+    /// placement pass.
+    #[must_use]
+    pub fn transposed(&self) -> Cfg {
+        let mut t = Cfg::new();
+        for b in &self.blocks {
+            t.add_block(b.clone());
+        }
+        for (from, succs) in self.succs.iter().enumerate() {
+            for &to in succs {
+                t.add_edge(to, BlockId(from));
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Cfg {
+        let mut cfg = Cfg::new();
+        let a = cfg.add_block(BasicBlock::plain("a", 1));
+        let b = cfg.add_block(BasicBlock::with_si("b", 2, vec![(SiId(0), 3)]));
+        let c = cfg.add_block(BasicBlock::plain("c", 3));
+        let d = cfg.add_block(BasicBlock::plain("d", 4));
+        cfg.add_edge(a, b);
+        cfg.add_edge(a, c);
+        cfg.add_edge(b, d);
+        cfg.add_edge(c, d);
+        cfg
+    }
+
+    #[test]
+    fn diamond_topology() {
+        let cfg = diamond();
+        assert_eq!(cfg.len(), 4);
+        assert_eq!(cfg.successors(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.predecessors(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.exits().collect::<Vec<_>>(), vec![BlockId(3)]);
+    }
+
+    #[test]
+    fn blocks_using_finds_si_blocks() {
+        let cfg = diamond();
+        assert_eq!(
+            cfg.blocks_using(SiId(0)).collect::<Vec<_>>(),
+            vec![BlockId(1)]
+        );
+        assert!(cfg.blocks_using(SiId(1)).next().is_none());
+    }
+
+    #[test]
+    fn uses_of_sums_duplicates() {
+        let b = BasicBlock::with_si("x", 0, vec![(SiId(1), 2), (SiId(1), 3), (SiId(0), 1)]);
+        assert_eq!(b.uses_of(SiId(1)), 5);
+        assert!(b.uses(SiId(0)));
+        assert!(!b.uses(SiId(2)));
+    }
+
+    #[test]
+    fn transposed_reverses_edges() {
+        let cfg = diamond();
+        let t = cfg.transposed();
+        assert_eq!(t.successors(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(t.successors(BlockId(0)).len(), 0);
+        assert_eq!(t.successors(BlockId(1)), &[BlockId(0)]);
+    }
+
+    #[test]
+    fn parallel_edges_allowed() {
+        let mut cfg = Cfg::new();
+        let a = cfg.add_block(BasicBlock::plain("a", 1));
+        let b = cfg.add_block(BasicBlock::plain("b", 1));
+        cfg.add_edge(a, b);
+        cfg.add_edge(a, b);
+        assert_eq!(cfg.successors(a).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no entry")]
+    fn empty_cfg_entry_panics() {
+        let _ = Cfg::new().entry();
+    }
+}

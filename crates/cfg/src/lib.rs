@@ -1,0 +1,56 @@
+//! # rispp-cfg — compile-time analysis substrate for RISPP
+//!
+//! The RISPP compile-time flow (paper §4) inserts *Forecast points* (FCs)
+//! into an application's basic-block graph so the run-time system can start
+//! rotations milliseconds before an SI is needed. This crate implements
+//! that flow from scratch:
+//!
+//! * [`graph`] — basic blocks, edges, SI usages;
+//! * [`profile`] — block/edge execution counts, explicit or from
+//!   random-walk simulation;
+//! * [`scc`] — Tarjan's strongly-connected-components decomposition;
+//! * [`analysis`] — reach probability, expected execution count and
+//!   temporal distance per block, solved hierarchically over the SCC
+//!   condensation (the paper's recursive Li/Hauck extension);
+//! * [`forecast_points`] — FC candidate determination via the Forecast
+//!   Decision Function, per-block trimming (Fig. 5) and placement on the
+//!   transposed graph;
+//! * [`aes`] — the synthetic AES application of Fig. 3;
+//! * [`dot`] — Graphviz export with profile/SI/FC annotations.
+//!
+//! # Examples
+//!
+//! ```
+//! use rispp_cfg::aes::{build_aes, AesSis};
+//! use rispp_cfg::analysis::SiUsageAnalysis;
+//!
+//! let sis = AesSis::default();
+//! let (cfg, profile, blocks) = build_aes(sis, 100);
+//! let analysis = SiUsageAnalysis::compute(&cfg, &profile, sis.sub_shift, |b| {
+//!     cfg.block(b).plain_cycles as f64
+//! });
+//! // The encryption loop makes SubBytes executions near-certain.
+//! assert!(analysis.probability[blocks.entry.index()] > 0.99);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod analysis;
+pub mod dominators;
+pub mod dot;
+pub mod fc_blocks;
+pub mod forecast_points;
+pub mod graph;
+pub mod paths;
+pub mod profile;
+pub mod scc;
+
+pub use analysis::SiUsageAnalysis;
+pub use dominators::{natural_loops, DominatorTree, NaturalLoop};
+pub use fc_blocks::{group_into_fc_blocks, FcBlock};
+pub use forecast_points::{insert_forecast_points, ForecastPoint};
+pub use graph::{BasicBlock, BlockId, Cfg};
+pub use paths::PathNumbering;
+pub use profile::Profile;
+pub use scc::SccDecomposition;

@@ -1,0 +1,313 @@
+//! Ball–Larus path profiling: unique, compact numbering of the acyclic
+//! paths through a BB graph.
+//!
+//! Edge profiles (what [`crate::profile`] collects) cannot distinguish
+//! *correlated* branches — exactly the information that sharpens the
+//! reach-probability estimates behind forecast candidates. The classic
+//! remedy is Ball–Larus numbering: every acyclic entry→exit path gets a
+//! unique integer in `0..num_paths`, so one counter per executed path
+//! reconstructs the full path spectrum. Back edges (detected by DFS) are
+//! excluded, as in the original scheme where they terminate and restart
+//! path regions.
+
+use crate::graph::{BlockId, Cfg};
+
+/// Ball–Larus path numbering of a CFG's acyclic (forward-edge) skeleton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathNumbering {
+    /// `num_paths[b]`: number of distinct forward paths from `b` to any
+    /// exit (0 for blocks unreachable from the entry).
+    num_paths: Vec<u64>,
+    /// `edge_values[b][i]`: the Ball–Larus increment of the `i`-th
+    /// outgoing edge of `b`; `None` marks a back edge.
+    edge_values: Vec<Vec<Option<u64>>>,
+}
+
+impl PathNumbering {
+    /// Computes the numbering. Back edges are identified by an iterative
+    /// DFS from the entry (an edge closing a cycle on the current DFS
+    /// stack).
+    #[must_use]
+    pub fn compute(cfg: &Cfg) -> Self {
+        let n = cfg.len();
+        let mut is_back: Vec<Vec<bool>> = cfg
+            .ids()
+            .map(|b| vec![false; cfg.successors(b).len()])
+            .collect();
+        // Iterative DFS with colour marking: 0 = white, 1 = on stack,
+        // 2 = done.
+        let mut colour = vec![0u8; n];
+        if n > 0 {
+            let entry = cfg.entry();
+            let mut stack: Vec<(usize, usize)> = vec![(entry.index(), 0)];
+            colour[entry.index()] = 1;
+            while let Some(&mut (v, ref mut pos)) = stack.last_mut() {
+                let succs = cfg.successors(BlockId(v));
+                if *pos < succs.len() {
+                    let i = *pos;
+                    *pos += 1;
+                    let w = succs[i].index();
+                    match colour[w] {
+                        0 => {
+                            colour[w] = 1;
+                            stack.push((w, 0));
+                        }
+                        1 => is_back[v][i] = true, // closes a cycle
+                        _ => {}
+                    }
+                } else {
+                    colour[v] = 2;
+                    stack.pop();
+                }
+            }
+        }
+
+        // Reverse topological order of the forward-edge DAG: repeated
+        // relaxation is overkill; a post-order over forward edges works.
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        {
+            let mut visited = vec![false; n];
+            for root in 0..n {
+                if visited[root] || colour[root] == 0 {
+                    continue; // unreachable blocks keep num_paths = 0
+                }
+                let mut stack = vec![(root, 0usize)];
+                visited[root] = true;
+                while let Some(&mut (v, ref mut pos)) = stack.last_mut() {
+                    let succs = cfg.successors(BlockId(v));
+                    // Advance to the next forward, unvisited successor.
+                    let mut pushed = false;
+                    while *pos < succs.len() {
+                        let i = *pos;
+                        *pos += 1;
+                        let w = succs[i].index();
+                        if !is_back[v][i] && !visited[w] {
+                            visited[w] = true;
+                            stack.push((w, 0));
+                            pushed = true;
+                            break;
+                        }
+                    }
+                    if !pushed {
+                        order.push(v);
+                        stack.pop();
+                    }
+                }
+            }
+        }
+
+        let mut num_paths = vec![0u64; n];
+        let mut edge_values: Vec<Vec<Option<u64>>> = cfg
+            .ids()
+            .map(|b| vec![None; cfg.successors(b).len()])
+            .collect();
+        for &v in &order {
+            let succs = cfg.successors(BlockId(v));
+            let forward: Vec<usize> = (0..succs.len()).filter(|&i| !is_back[v][i]).collect();
+            if forward.is_empty() {
+                num_paths[v] = 1; // exit of the acyclic skeleton
+                continue;
+            }
+            // Parallel edges to the same target are one path choice (a
+            // path is a block sequence): they share one increment.
+            let mut acc = 0u64;
+            let mut seen: Vec<(usize, u64)> = Vec::new(); // (target, value)
+            for &i in &forward {
+                let w = succs[i].index();
+                if let Some(&(_, value)) = seen.iter().find(|&&(t, _)| t == w) {
+                    edge_values[v][i] = Some(value);
+                    continue;
+                }
+                edge_values[v][i] = Some(acc);
+                seen.push((w, acc));
+                acc += num_paths[w];
+            }
+            num_paths[v] = acc;
+        }
+
+        PathNumbering {
+            num_paths,
+            edge_values,
+        }
+    }
+
+    /// Number of distinct forward paths from `b` to an exit.
+    #[must_use]
+    pub fn num_paths(&self, b: BlockId) -> u64 {
+        self.num_paths[b.index()]
+    }
+
+    /// The increment of the `i`-th outgoing edge of `b`, or `None` for a
+    /// back edge.
+    #[must_use]
+    pub fn edge_value(&self, b: BlockId, i: usize) -> Option<u64> {
+        self.edge_values[b.index()][i]
+    }
+
+    /// Returns `true` when the `i`-th outgoing edge of `b` is a back
+    /// edge.
+    #[must_use]
+    pub fn is_back_edge(&self, b: BlockId, i: usize) -> bool {
+        self.edge_values[b.index()][i].is_none()
+    }
+
+    /// Decodes path id `id` starting at `from` back into its block
+    /// sequence (the Ball–Larus regeneration algorithm). Returns `None`
+    /// for out-of-range ids.
+    #[must_use]
+    pub fn decode(&self, cfg: &Cfg, from: BlockId, id: u64) -> Option<Vec<BlockId>> {
+        if id >= self.num_paths(from) {
+            return None;
+        }
+        let mut path = vec![from];
+        let mut at = from;
+        let mut remaining = id;
+        loop {
+            let succs = cfg.successors(at);
+            // Pick the forward edge with the largest increment ≤ remaining.
+            let mut chosen: Option<(usize, u64)> = None;
+            for i in 0..succs.len() {
+                if let Some(v) = self.edge_value(at, i) {
+                    if v <= remaining && chosen.is_none_or(|(_, cv)| v > cv) {
+                        chosen = Some((i, v));
+                    }
+                }
+            }
+            match chosen {
+                Some((i, v)) => {
+                    remaining -= v;
+                    at = succs[i];
+                    path.push(at);
+                }
+                None => return (remaining == 0).then_some(path),
+            }
+        }
+    }
+
+    /// Encodes a block sequence into its path id: the sum of the edge
+    /// increments along it. Returns `None` if the sequence uses a back
+    /// edge or a non-edge.
+    #[must_use]
+    pub fn encode(&self, cfg: &Cfg, path: &[BlockId]) -> Option<u64> {
+        let mut id = 0u64;
+        for pair in path.windows(2) {
+            let i = cfg.successors(pair[0]).iter().position(|&s| s == pair[1])?;
+            id += self.edge_value(pair[0], i)?;
+        }
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::{build_aes, AesSis};
+    use crate::graph::BasicBlock;
+
+    fn diamond() -> Cfg {
+        let mut cfg = Cfg::new();
+        let a = cfg.add_block(BasicBlock::plain("a", 1));
+        let b = cfg.add_block(BasicBlock::plain("b", 1));
+        let c = cfg.add_block(BasicBlock::plain("c", 1));
+        let d = cfg.add_block(BasicBlock::plain("d", 1));
+        cfg.add_edge(a, b);
+        cfg.add_edge(a, c);
+        cfg.add_edge(b, d);
+        cfg.add_edge(c, d);
+        cfg
+    }
+
+    #[test]
+    fn diamond_has_two_paths() {
+        let cfg = diamond();
+        let pn = PathNumbering::compute(&cfg);
+        assert_eq!(pn.num_paths(BlockId(0)), 2);
+        assert_eq!(pn.num_paths(BlockId(3)), 1);
+    }
+
+    #[test]
+    fn path_ids_are_a_bijection() {
+        let cfg = diamond();
+        let pn = PathNumbering::compute(&cfg);
+        let entry = cfg.entry();
+        let mut seen = std::collections::BTreeSet::new();
+        for id in 0..pn.num_paths(entry) {
+            let path = pn.decode(&cfg, entry, id).expect("valid id");
+            assert_eq!(pn.encode(&cfg, &path), Some(id));
+            assert!(seen.insert(path));
+        }
+        assert!(pn.decode(&cfg, entry, pn.num_paths(entry)).is_none());
+    }
+
+    #[test]
+    fn nested_diamonds_multiply() {
+        // Two diamonds in sequence: 2 × 2 = 4 paths.
+        let mut cfg = Cfg::new();
+        let ids: Vec<BlockId> = (0..7)
+            .map(|i| cfg.add_block(BasicBlock::plain(format!("b{i}"), 1)))
+            .collect();
+        cfg.add_edge(ids[0], ids[1]);
+        cfg.add_edge(ids[0], ids[2]);
+        cfg.add_edge(ids[1], ids[3]);
+        cfg.add_edge(ids[2], ids[3]);
+        cfg.add_edge(ids[3], ids[4]);
+        cfg.add_edge(ids[3], ids[5]);
+        cfg.add_edge(ids[4], ids[6]);
+        cfg.add_edge(ids[5], ids[6]);
+        let pn = PathNumbering::compute(&cfg);
+        assert_eq!(pn.num_paths(ids[0]), 4);
+        // All four ids decode to distinct paths through both diamonds.
+        let paths: Vec<_> = (0..4)
+            .map(|id| pn.decode(&cfg, ids[0], id).unwrap())
+            .collect();
+        assert_eq!(
+            paths.iter().collect::<std::collections::BTreeSet<_>>().len(),
+            4
+        );
+    }
+
+    #[test]
+    fn back_edges_are_excluded() {
+        let mut cfg = Cfg::new();
+        let a = cfg.add_block(BasicBlock::plain("a", 1));
+        let b = cfg.add_block(BasicBlock::plain("b", 1));
+        let c = cfg.add_block(BasicBlock::plain("c", 1));
+        cfg.add_edge(a, b);
+        cfg.add_edge(b, b); // self loop: back edge
+        cfg.add_edge(b, c);
+        let pn = PathNumbering::compute(&cfg);
+        assert!(pn.is_back_edge(b, 0));
+        assert!(!pn.is_back_edge(b, 1));
+        assert_eq!(pn.num_paths(a), 1);
+    }
+
+    #[test]
+    fn aes_skeleton_path_count() {
+        let (cfg, _, blocks) = build_aes(AesSis::default(), 4);
+        let pn = PathNumbering::compute(&cfg);
+        // Acyclic skeleton: entry → key_schedule → block_loop →
+        // {output | round_head → {normal round | final_round …}}.
+        let n = pn.num_paths(cfg.entry());
+        assert!(n >= 2, "paths = {n}");
+        // Every id decodes and re-encodes to itself.
+        for id in 0..n {
+            let p = pn.decode(&cfg, cfg.entry(), id).unwrap();
+            assert_eq!(pn.encode(&cfg, &p), Some(id));
+        }
+        // The loop back edges are excluded.
+        let round_to_head = cfg
+            .successors(blocks.add_key)
+            .iter()
+            .position(|&s| s == blocks.round_head)
+            .unwrap();
+        assert!(pn.is_back_edge(blocks.add_key, round_to_head));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_zero_paths() {
+        let mut cfg = diamond();
+        let orphan = cfg.add_block(BasicBlock::plain("orphan", 1));
+        let pn = PathNumbering::compute(&cfg);
+        assert_eq!(pn.num_paths(orphan), 0);
+    }
+}

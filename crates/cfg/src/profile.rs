@@ -1,0 +1,229 @@
+//! Execution profiles of a [`Cfg`]: block and edge
+//! counts, and a simulated profiler.
+//!
+//! The paper's tool-chain obtains probability / temporal-distance /
+//! execution-count measurements from profiling runs; here the same
+//! information comes either from explicit counts (deterministic tests) or
+//! from random-walk simulation of the application over its branch
+//! propensities.
+
+use rand::Rng;
+
+use crate::graph::{BlockId, Cfg};
+
+/// Block and edge execution counts for one CFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    block_counts: Vec<u64>,
+    /// Parallel to `cfg.successors(b)`: count per outgoing edge.
+    edge_counts: Vec<Vec<u64>>,
+}
+
+impl Profile {
+    /// An all-zero profile shaped like `cfg`.
+    #[must_use]
+    pub fn zeroed(cfg: &Cfg) -> Self {
+        Profile {
+            block_counts: vec![0; cfg.len()],
+            edge_counts: cfg.ids().map(|b| vec![0; cfg.successors(b).len()]).collect(),
+        }
+    }
+
+    /// Builds a profile from explicit edge counts (`edge_counts[b][i]` is
+    /// the count of the `i`-th outgoing edge of block `b`). Block counts
+    /// are derived: entry gets the sum of its outgoing counts (or 1 for an
+    /// exit-only entry), every other block the sum of its incoming counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape does not match `cfg`.
+    #[must_use]
+    pub fn from_edge_counts(cfg: &Cfg, edge_counts: Vec<Vec<u64>>) -> Self {
+        assert_eq!(edge_counts.len(), cfg.len(), "one count row per block");
+        for b in cfg.ids() {
+            assert_eq!(
+                edge_counts[b.index()].len(),
+                cfg.successors(b).len(),
+                "one count per outgoing edge of {b}"
+            );
+        }
+        let mut block_counts = vec![0u64; cfg.len()];
+        for b in cfg.ids() {
+            for (i, &to) in cfg.successors(b).iter().enumerate() {
+                block_counts[to.index()] += edge_counts[b.index()][i];
+            }
+        }
+        let entry = cfg.entry().index();
+        let entry_out: u64 = edge_counts[entry].iter().sum();
+        block_counts[entry] = block_counts[entry].max(entry_out).max(1);
+        Profile {
+            block_counts,
+            edge_counts,
+        }
+    }
+
+    /// Profiles the CFG by `runs` random walks from the entry, choosing
+    /// successors according to `branch_weights` (same shape as the edge
+    /// lists; uniform when a row is empty). Each walk stops at an exit or
+    /// after `max_steps`.
+    #[must_use]
+    pub fn from_random_walks<R: Rng>(
+        cfg: &Cfg,
+        branch_weights: &[Vec<f64>],
+        runs: u32,
+        max_steps: u32,
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(branch_weights.len(), cfg.len(), "one weight row per block");
+        let mut profile = Profile::zeroed(cfg);
+        for _ in 0..runs {
+            let mut at = cfg.entry();
+            profile.block_counts[at.index()] += 1;
+            for _ in 0..max_steps {
+                let succs = cfg.successors(at);
+                if succs.is_empty() {
+                    break;
+                }
+                let weights = &branch_weights[at.index()];
+                let pick = if weights.len() == succs.len() {
+                    pick_weighted(weights, rng)
+                } else {
+                    rng.gen_range(0..succs.len())
+                };
+                profile.edge_counts[at.index()][pick] += 1;
+                at = succs[pick];
+                profile.block_counts[at.index()] += 1;
+            }
+        }
+        profile
+    }
+
+    /// Executions of a block over the whole profile.
+    #[must_use]
+    pub fn block_count(&self, b: BlockId) -> u64 {
+        self.block_counts[b.index()]
+    }
+
+    /// Count of the `i`-th outgoing edge of `b`.
+    #[must_use]
+    pub fn edge_count(&self, b: BlockId, i: usize) -> u64 {
+        self.edge_counts[b.index()][i]
+    }
+
+    /// Probability of taking the `i`-th outgoing edge of `b`, relative to
+    /// all outgoing traffic of `b`. Falls back to a uniform split when `b`
+    /// was never observed leaving.
+    #[must_use]
+    pub fn edge_probability(&self, b: BlockId, i: usize) -> f64 {
+        let row = &self.edge_counts[b.index()];
+        let total: u64 = row.iter().sum();
+        if total == 0 {
+            if row.is_empty() {
+                0.0
+            } else {
+                1.0 / row.len() as f64
+            }
+        } else {
+            row[i] as f64 / total as f64
+        }
+    }
+
+    /// Records one block visit (used by online profilers).
+    pub fn record_block(&mut self, b: BlockId) {
+        self.block_counts[b.index()] += 1;
+    }
+
+    /// Records one traversal of the `i`-th outgoing edge of `b`.
+    pub fn record_edge(&mut self, b: BlockId, i: usize) {
+        self.edge_counts[b.index()][i] += 1;
+    }
+}
+
+fn pick_weighted<R: Rng>(weights: &[f64], rng: &mut R) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.gen_range(0..weights.len());
+    }
+    let mut x = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::BasicBlock;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn branchy() -> Cfg {
+        let mut cfg = Cfg::new();
+        let a = cfg.add_block(BasicBlock::plain("a", 1));
+        let b = cfg.add_block(BasicBlock::plain("b", 1));
+        let c = cfg.add_block(BasicBlock::plain("c", 1));
+        let d = cfg.add_block(BasicBlock::plain("d", 1));
+        cfg.add_edge(a, b);
+        cfg.add_edge(a, c);
+        cfg.add_edge(b, d);
+        cfg.add_edge(c, d);
+        cfg
+    }
+
+    #[test]
+    fn explicit_counts_derive_block_counts() {
+        let cfg = branchy();
+        let profile = Profile::from_edge_counts(
+            &cfg,
+            vec![vec![30, 70], vec![30], vec![70], vec![]],
+        );
+        assert_eq!(profile.block_count(BlockId(0)), 100);
+        assert_eq!(profile.block_count(BlockId(1)), 30);
+        assert_eq!(profile.block_count(BlockId(3)), 100);
+        assert!((profile.edge_probability(BlockId(0), 1) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unobserved_branch_splits_uniformly() {
+        let cfg = branchy();
+        let profile = Profile::zeroed(&cfg);
+        assert!((profile.edge_probability(BlockId(0), 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_walks_follow_weights() {
+        let cfg = branchy();
+        let weights = vec![vec![0.2, 0.8], vec![1.0], vec![1.0], vec![]];
+        let mut rng = StdRng::seed_from_u64(42);
+        let profile = Profile::from_random_walks(&cfg, &weights, 10_000, 100, &mut rng);
+        let p = profile.edge_probability(BlockId(0), 1);
+        assert!((p - 0.8).abs() < 0.03, "observed branch probability {p}");
+        // Every walk reaches the single exit.
+        assert_eq!(profile.block_count(BlockId(3)), 10_000);
+    }
+
+    #[test]
+    fn walk_terminates_in_loops() {
+        let mut cfg = Cfg::new();
+        let a = cfg.add_block(BasicBlock::plain("a", 1));
+        cfg.add_edge(a, a); // infinite self-loop
+        let mut rng = StdRng::seed_from_u64(1);
+        let profile =
+            Profile::from_random_walks(&cfg, &[vec![1.0]], 3, 50, &mut rng);
+        assert_eq!(profile.block_count(a), 3 * 51);
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let cfg = branchy();
+        let mut profile = Profile::zeroed(&cfg);
+        profile.record_block(BlockId(2));
+        profile.record_edge(BlockId(0), 0);
+        assert_eq!(profile.block_count(BlockId(2)), 1);
+        assert_eq!(profile.edge_count(BlockId(0), 0), 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! Strongly connected components (Tarjan) and the condensation DAG.
+//!
+//! The paper's probability analysis "segments the BB graph into a tree of
+//! strongly connected components (SCC), recursively calls itself to
+//! compute the probability values of the SCCs and finally executes the
+//! algorithm proposed by Li/Hauck to compute the probability in the
+//! resulting tree". This module provides the segmentation; the hierarchical
+//! solve lives in [`crate::analysis`].
+
+use crate::graph::{BlockId, Cfg};
+
+/// SCC decomposition of a [`Cfg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccDecomposition {
+    /// `component[b]` is the SCC index of block `b`. SCC indices are in
+    /// *reverse topological order of discovery*: Tarjan emits sinks first,
+    /// so iterating components `0..n` visits successors before
+    /// predecessors.
+    component: Vec<usize>,
+    /// Members of each component.
+    members: Vec<Vec<BlockId>>,
+}
+
+impl SccDecomposition {
+    /// Runs Tarjan's algorithm (iterative, so deep graphs cannot overflow
+    /// the call stack).
+    #[must_use]
+    pub fn compute(cfg: &Cfg) -> Self {
+        let n = cfg.len();
+        let mut index = vec![usize::MAX; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut component = vec![usize::MAX; n];
+        let mut members: Vec<Vec<BlockId>> = Vec::new();
+        let mut next_index = 0usize;
+
+        // Explicit DFS state: (node, next-successor-position).
+        let mut call_stack: Vec<(usize, usize)> = Vec::new();
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            call_stack.push((root, 0));
+            index[root] = next_index;
+            lowlink[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+
+            while let Some(&mut (v, ref mut pos)) = call_stack.last_mut() {
+                let succs = cfg.successors(BlockId(v));
+                if *pos < succs.len() {
+                    let w = succs[*pos].index();
+                    *pos += 1;
+                    if index[w] == usize::MAX {
+                        index[w] = next_index;
+                        lowlink[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call_stack.push((w, 0));
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                } else {
+                    call_stack.pop();
+                    if let Some(&(parent, _)) = call_stack.last() {
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                    if lowlink[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            component[w] = members.len();
+                            comp.push(BlockId(w));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        members.push(comp);
+                    }
+                }
+            }
+        }
+        SccDecomposition { component, members }
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` for an empty decomposition.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Component index of a block.
+    #[must_use]
+    pub fn component_of(&self, b: BlockId) -> usize {
+        self.component[b.index()]
+    }
+
+    /// Members of one component.
+    #[must_use]
+    pub fn members(&self, comp: usize) -> &[BlockId] {
+        &self.members[comp]
+    }
+
+    /// Returns `true` when the component is a genuine cycle: more than one
+    /// member, or a single member with a self-edge.
+    #[must_use]
+    pub fn is_cyclic(&self, comp: usize, cfg: &Cfg) -> bool {
+        let m = &self.members[comp];
+        m.len() > 1 || cfg.successors(m[0]).contains(&m[0])
+    }
+
+    /// Component indices in topological order of the condensation DAG
+    /// (predecessor components first). Tarjan emits components in reverse
+    /// topological order, so this is simply `n-1, …, 0`.
+    pub fn topological(&self) -> impl Iterator<Item = usize> {
+        (0..self.members.len()).rev()
+    }
+
+    /// Component indices in *reverse* topological order (successor
+    /// components first) — the processing order of the hierarchical
+    /// probability solve.
+    pub fn reverse_topological(&self) -> impl Iterator<Item = usize> {
+        0..self.members.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::BasicBlock;
+
+    fn cfg_with_loop() -> Cfg {
+        // a -> b <-> c -> d, plus c -> b back edge forms SCC {b, c}.
+        let mut cfg = Cfg::new();
+        let a = cfg.add_block(BasicBlock::plain("a", 1));
+        let b = cfg.add_block(BasicBlock::plain("b", 1));
+        let c = cfg.add_block(BasicBlock::plain("c", 1));
+        let d = cfg.add_block(BasicBlock::plain("d", 1));
+        cfg.add_edge(a, b);
+        cfg.add_edge(b, c);
+        cfg.add_edge(c, b);
+        cfg.add_edge(c, d);
+        cfg
+    }
+
+    #[test]
+    fn loop_collapses_into_one_component() {
+        let cfg = cfg_with_loop();
+        let scc = SccDecomposition::compute(&cfg);
+        assert_eq!(scc.len(), 3);
+        assert_eq!(scc.component_of(BlockId(1)), scc.component_of(BlockId(2)));
+        assert_ne!(scc.component_of(BlockId(0)), scc.component_of(BlockId(1)));
+        assert_ne!(scc.component_of(BlockId(3)), scc.component_of(BlockId(1)));
+    }
+
+    #[test]
+    fn cyclicity_detection() {
+        let cfg = cfg_with_loop();
+        let scc = SccDecomposition::compute(&cfg);
+        let loop_comp = scc.component_of(BlockId(1));
+        assert!(scc.is_cyclic(loop_comp, &cfg));
+        assert!(!scc.is_cyclic(scc.component_of(BlockId(0)), &cfg));
+    }
+
+    #[test]
+    fn self_loop_is_cyclic() {
+        let mut cfg = Cfg::new();
+        let a = cfg.add_block(BasicBlock::plain("a", 1));
+        cfg.add_edge(a, a);
+        let scc = SccDecomposition::compute(&cfg);
+        assert!(scc.is_cyclic(scc.component_of(a), &cfg));
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let cfg = cfg_with_loop();
+        let scc = SccDecomposition::compute(&cfg);
+        let order: Vec<usize> = scc.topological().collect();
+        // Each block's component must appear no later than its successors'.
+        let pos = |comp: usize| order.iter().position(|&c| c == comp).unwrap();
+        for b in cfg.ids() {
+            for &s in cfg.successors(b) {
+                let (cb, cs) = (scc.component_of(b), scc.component_of(s));
+                if cb != cs {
+                    assert!(pos(cb) < pos(cs), "component order violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let mut cfg = Cfg::new();
+        let a = cfg.add_block(BasicBlock::plain("a", 1));
+        let b = cfg.add_block(BasicBlock::plain("b", 1));
+        cfg.add_edge(a, b);
+        let scc = SccDecomposition::compute(&cfg);
+        assert_eq!(scc.len(), 2);
+        for comp in 0..scc.len() {
+            assert_eq!(scc.members(comp).len(), 1);
+        }
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        let mut cfg = Cfg::new();
+        let mut prev = cfg.add_block(BasicBlock::plain("b0", 1));
+        for i in 1..100_000 {
+            let next = cfg.add_block(BasicBlock::plain(format!("b{i}"), 1));
+            cfg.add_edge(prev, next);
+            prev = next;
+        }
+        let scc = SccDecomposition::compute(&cfg);
+        assert_eq!(scc.len(), 100_000);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests on the CFG analyses: random graphs (DAGs plus random
+//! back edges) must produce probabilities in [0, 1], consistent
+//! distances, execution counts bounded below by direct uses, and
+//! SCC/dominator/path-numbering invariants.
+
+use proptest::prelude::*;
+use rispp_cfg::analysis::SiUsageAnalysis;
+use rispp_cfg::dominators::{natural_loops, DominatorTree};
+use rispp_cfg::graph::{BasicBlock, BlockId, Cfg};
+use rispp_cfg::paths::PathNumbering;
+use rispp_cfg::profile::Profile;
+use rispp_cfg::scc::SccDecomposition;
+use rispp_core::si::SiId;
+
+const SI: SiId = SiId(0);
+
+/// A random CFG: a spine DAG with extra forward edges, optional back
+/// edges, and SI uses sprinkled in; plus a consistent random profile.
+fn random_cfg() -> impl Strategy<Value = (Cfg, Profile)> {
+    (
+        3usize..12,                                     // blocks
+        proptest::collection::vec((0usize..12, 0usize..12), 0..10), // extra edges
+        proptest::collection::vec(0usize..12, 0..4),    // SI-using blocks
+        proptest::collection::vec(1u64..50, 0..40),     // edge counts
+    )
+        .prop_map(|(n, extra, uses, counts)| {
+            let mut cfg = Cfg::new();
+            let ids: Vec<BlockId> = (0..n)
+                .map(|i| {
+                    let si_uses = if uses.contains(&i) {
+                        vec![(SI, 1 + (i as u32 % 3))]
+                    } else {
+                        vec![]
+                    };
+                    cfg.add_block(BasicBlock::with_si(
+                        format!("b{i}"),
+                        1 + (i as u64 * 7) % 40,
+                        si_uses,
+                    ))
+                })
+                .collect();
+            // Spine: guarantees every block is reachable.
+            for w in ids.windows(2) {
+                cfg.add_edge(w[0], w[1]);
+            }
+            // Extra edges (any direction → loops possible).
+            for &(a, b) in &extra {
+                if a < n && b < n {
+                    cfg.add_edge(ids[a], ids[b]);
+                }
+            }
+            // Random, consistent profile counts per edge.
+            let mut ci = counts.into_iter().cycle();
+            let edge_counts: Vec<Vec<u64>> = cfg
+                .ids()
+                .map(|b| {
+                    cfg.successors(b)
+                        .iter()
+                        .map(|_| ci.next().unwrap_or(1))
+                        .collect()
+                })
+                .collect();
+            let profile = Profile::from_edge_counts(&cfg, edge_counts);
+            (cfg, profile)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn probabilities_are_probabilities((cfg, profile) in random_cfg()) {
+        let a = SiUsageAnalysis::compute(&cfg, &profile, SI, |b| {
+            cfg.block(b).plain_cycles as f64
+        });
+        for b in cfg.ids() {
+            let p = a.probability[b.index()];
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&p), "p[{b}] = {p}");
+            if cfg.block(b).uses(SI) {
+                prop_assert!((p - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn distance_finite_iff_reachable((cfg, profile) in random_cfg()) {
+        let a = SiUsageAnalysis::compute(&cfg, &profile, SI, |b| {
+            cfg.block(b).plain_cycles as f64
+        });
+        for b in cfg.ids() {
+            let p = a.probability[b.index()];
+            let d = a.distance[b.index()];
+            if p > 1e-9 {
+                prop_assert!(d.is_finite(), "p[{b}] = {p} but d = {d}");
+                prop_assert!(d >= -1e-9);
+            } else {
+                prop_assert!(d.is_infinite(), "p[{b}] = 0 but d = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn executions_dominate_own_uses((cfg, profile) in random_cfg()) {
+        let a = SiUsageAnalysis::compute(&cfg, &profile, SI, |_| 1.0);
+        for b in cfg.ids() {
+            let own = f64::from(cfg.block(b).uses_of(SI));
+            prop_assert!(
+                a.expected_executions[b.index()] >= own - 1e-6,
+                "{b}: {} < {own}",
+                a.expected_executions[b.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn scc_partitions_the_graph((cfg, _) in random_cfg()) {
+        let scc = SccDecomposition::compute(&cfg);
+        let mut seen = vec![false; cfg.len()];
+        for comp in 0..scc.len() {
+            for &b in scc.members(comp) {
+                prop_assert!(!seen[b.index()], "block in two components");
+                seen[b.index()] = true;
+                prop_assert_eq!(scc.component_of(b), comp);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn dominator_tree_is_consistent((cfg, _) in random_cfg()) {
+        let dom = DominatorTree::compute(&cfg);
+        let entry = cfg.entry();
+        for b in cfg.ids() {
+            if let Some(idom) = dom.idom(b) {
+                // The immediate dominator dominates, and the entry
+                // dominates everything reachable.
+                prop_assert!(dom.dominates(idom, b));
+                prop_assert!(dom.dominates(entry, b));
+            }
+        }
+        // Natural loops: the header always dominates the whole body.
+        for l in natural_loops(&cfg, &dom) {
+            for &b in &l.body {
+                prop_assert!(dom.dominates(l.header, b));
+            }
+        }
+    }
+
+    #[test]
+    fn path_numbering_is_bijective((cfg, _) in random_cfg()) {
+        let pn = PathNumbering::compute(&cfg);
+        let entry = cfg.entry();
+        let n = pn.num_paths(entry).min(64); // cap the enumeration
+        let mut seen = std::collections::BTreeSet::new();
+        for id in 0..n {
+            let path = pn.decode(&cfg, entry, id);
+            prop_assert!(path.is_some(), "id {id} of {n} undecodable");
+            let path = path.unwrap();
+            prop_assert_eq!(pn.encode(&cfg, &path), Some(id));
+            prop_assert!(seen.insert(path));
+        }
+        prop_assert!(pn.decode(&cfg, entry, pn.num_paths(entry)).is_none());
+    }
+}

@@ -1,0 +1,189 @@
+//! Atom identities and the registry of Atom kinds.
+//!
+//! An *Atom* is an elementary, reusable hardware data path (e.g. `Transform`
+//! or `QuadSub` in the H.264 case study of the paper). The formal model in
+//! [`crate::molecule`] only cares about *how many instances* of each Atom
+//! kind a Molecule requires, so an Atom kind is identified by a dense index
+//! into an [`AtomSet`].
+
+use std::fmt;
+
+/// Index of an Atom kind within an [`AtomSet`].
+///
+/// `AtomKind` is a cheap, `Copy` newtype so that Molecule code cannot
+/// accidentally confuse Atom indices with instance counts or container
+/// indices.
+///
+/// # Examples
+///
+/// ```
+/// use rispp_core::atom::{AtomKind, AtomSet};
+///
+/// let set = AtomSet::from_names(["Transform", "Pack"]);
+/// let transform = set.kind_by_name("Transform").expect("registered");
+/// assert_eq!(transform, AtomKind(0));
+/// assert_eq!(set.name(transform), "Transform");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AtomKind(pub usize);
+
+impl AtomKind {
+    /// Returns the dense index of this Atom kind.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for AtomKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "atom#{}", self.0)
+    }
+}
+
+impl From<usize> for AtomKind {
+    fn from(index: usize) -> Self {
+        AtomKind(index)
+    }
+}
+
+/// Registry of the `n` Atom kinds available on a platform.
+///
+/// The paper's formal model is parameterised on `n`, the number of different
+/// available Atoms; an `AtomSet` pins down that `n` and gives each dimension
+/// a human-readable name.
+///
+/// # Examples
+///
+/// ```
+/// use rispp_core::atom::AtomSet;
+///
+/// let set = AtomSet::from_names(["Load", "QuadSub", "Pack", "Transform"]);
+/// assert_eq!(set.len(), 4);
+/// assert_eq!(set.names().count(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AtomSet {
+    names: Vec<String>,
+}
+
+impl AtomSet {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a registry from a list of names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two names are equal; Atom kinds must be distinguishable.
+    #[must_use]
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut set = Self::new();
+        for name in names {
+            set.register(name);
+        }
+        set
+    }
+
+    /// Registers a new Atom kind and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered.
+    pub fn register<S: Into<String>>(&mut self, name: S) -> AtomKind {
+        let name = name.into();
+        assert!(
+            !self.names.contains(&name),
+            "atom kind {name:?} registered twice"
+        );
+        self.names.push(name);
+        AtomKind(self.names.len() - 1)
+    }
+
+    /// Number of registered Atom kinds (the `n` of the formal model).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no Atom kinds are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of an Atom kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is out of range for this set.
+    #[must_use]
+    pub fn name(&self, kind: AtomKind) -> &str {
+        &self.names[kind.0]
+    }
+
+    /// Looks an Atom kind up by name.
+    #[must_use]
+    pub fn kind_by_name(&self, name: &str) -> Option<AtomKind> {
+        self.names.iter().position(|n| n == name).map(AtomKind)
+    }
+
+    /// Iterates over all registered kinds in index order.
+    pub fn kinds(&self) -> impl Iterator<Item = AtomKind> + '_ {
+        (0..self.names.len()).map(AtomKind)
+    }
+
+    /// Iterates over all registered names in index order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assigns_dense_indices() {
+        let mut set = AtomSet::new();
+        let a = set.register("A");
+        let b = set.register("B");
+        assert_eq!(a, AtomKind(0));
+        assert_eq!(b, AtomKind(1));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn lookup_by_name_roundtrips() {
+        let set = AtomSet::from_names(["Load", "Store"]);
+        for kind in set.kinds() {
+            assert_eq!(set.kind_by_name(set.name(kind)), Some(kind));
+        }
+        assert_eq!(set.kind_by_name("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_names_rejected() {
+        let _ = AtomSet::from_names(["X", "X"]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(AtomKind(3).to_string(), "atom#3");
+    }
+
+    #[test]
+    fn empty_set_reports_empty() {
+        let set = AtomSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.kinds().count(), 0);
+    }
+}

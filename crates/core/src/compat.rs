@@ -1,0 +1,214 @@
+//! SI compatibility metrics (paper §3.2).
+//!
+//! "To find a metric for the compatibility of SIs we have to consider
+//! that an SI in general consists of multiple Molecules with potentially
+//! different compatibilities. […] we decided to represent each SI by a
+//! Meta-Molecule for the average Atom usage of its Molecules. By doing so
+//! we reduce the incompatibilities of the SIs to the incompatibilities of
+//! the representing Meta-Molecules."
+//!
+//! Two SIs are *compatible* to the degree that their representatives
+//! share Atoms: hosting both costs `|Rep(a) ∪ Rep(b)|` containers instead
+//! of `|Rep(a)| + |Rep(b)|`. These metrics drive both the compile-time
+//! forecast-candidate selection and the run-time choice of which
+//! requested SIs to support in hardware.
+
+use crate::molecule::Molecule;
+use crate::si::{SiId, SiLibrary};
+
+/// Pairwise compatibility of two representative Meta-Molecules: the
+/// fraction of Atom instances shared, `|a ∩ b| / |a ∪ b|` (a Jaccard
+/// index on the lattice). 1.0 means identical requirements, 0.0 means
+/// fully disjoint.
+///
+/// # Panics
+///
+/// Panics on width mismatch (the inputs come from one library).
+#[must_use]
+pub fn molecule_compatibility(a: &Molecule, b: &Molecule) -> f64 {
+    let union = a.try_union(b).expect("same platform width");
+    let inter = a.try_intersection(b).expect("same platform width");
+    let u = union.determinant();
+    if u == 0 {
+        return 1.0; // two empty requirements are trivially compatible
+    }
+    f64::from(inter.determinant()) / f64::from(u)
+}
+
+/// Containers *saved* by co-hosting two SIs instead of provisioning them
+/// separately: `|a| + |b| − |a ∪ b|`.
+#[must_use]
+pub fn shared_atoms(a: &Molecule, b: &Molecule) -> u32 {
+    let union = a.try_union(b).expect("same platform width");
+    a.determinant() + b.determinant() - union.determinant()
+}
+
+/// The full pairwise compatibility matrix of a library (symmetric, unit
+/// diagonal), indexed `[i][j]` by SI index.
+#[must_use]
+pub fn compatibility_matrix(lib: &SiLibrary) -> Vec<Vec<f64>> {
+    let reps: Vec<Molecule> = lib.iter().map(|(_, si)| si.representative()).collect();
+    let n = reps.len();
+    let mut m = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            m[i][j] = if i == j {
+                1.0
+            } else {
+                molecule_compatibility(&reps[i], &reps[j])
+            };
+        }
+    }
+    m
+}
+
+/// Average compatibility of one SI against a set of others — the
+/// "statistical indicator" of §3.2 used to rank forecast candidates.
+///
+/// Returns 1.0 for an empty `others` set.
+#[must_use]
+pub fn average_compatibility(lib: &SiLibrary, si: SiId, others: &[SiId]) -> f64 {
+    let rep = lib.get(si).representative();
+    let rest: Vec<f64> = others
+        .iter()
+        .filter(|&&o| o != si)
+        .map(|&o| molecule_compatibility(&rep, &lib.get(o).representative()))
+        .collect();
+    if rest.is_empty() {
+        1.0
+    } else {
+        rest.iter().sum::<f64>() / rest.len() as f64
+    }
+}
+
+/// Greedy compatibility-driven SI subset selection: from the requested
+/// SIs, grows the supported set by repeatedly adding the SI whose
+/// representative costs the fewest *additional* containers (maximum Atom
+/// sharing with the set built so far), until the budget is exhausted.
+///
+/// Returns the chosen SI ids and the representative supremum of the
+/// choice. This is the run-time counterpart of the compile-time Fig. 5
+/// trimming: Fig. 5 *removes* the worst candidates, this *adds* the most
+/// compatible ones.
+#[must_use]
+pub fn select_compatible_sis(
+    lib: &SiLibrary,
+    requested: &[SiId],
+    available_containers: u32,
+) -> (Vec<SiId>, Molecule) {
+    let mut chosen: Vec<SiId> = Vec::new();
+    let mut hosted = Molecule::zero(lib.width());
+    let mut remaining: Vec<SiId> = requested.to_vec();
+    loop {
+        let mut best: Option<(usize, u32)> = None; // (index, additional atoms)
+        for (i, &si) in remaining.iter().enumerate() {
+            let rep = lib.get(si).representative();
+            let additional = hosted
+                .additional_atoms(&rep)
+                .expect("library enforces one width")
+                .determinant();
+            if hosted.determinant() + additional > available_containers {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((_, cost)) => additional < cost,
+            };
+            if better {
+                best = Some((i, additional));
+            }
+        }
+        let Some((i, _)) = best else { break };
+        let si = remaining.remove(i);
+        hosted = hosted
+            .try_union(&lib.get(si).representative())
+            .expect("library enforces one width");
+        chosen.push(si);
+    }
+    (chosen, hosted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::si::{MoleculeImpl, SpecialInstruction};
+
+    fn mol(v: impl IntoIterator<Item = u32>) -> Molecule {
+        Molecule::from_counts(v)
+    }
+
+    fn lib3() -> (SiLibrary, SiId, SiId, SiId) {
+        let mut lib = SiLibrary::new(3);
+        let mk = |counts: [u32; 3]| {
+            SpecialInstruction::new("si", 100, vec![MoleculeImpl::new(mol(counts), 10)]).unwrap()
+        };
+        let a = lib.insert(mk([2, 1, 0])).unwrap();
+        let b = lib.insert(mk([2, 0, 0])).unwrap(); // shares atoms with a
+        let c = lib.insert(mk([0, 0, 3])).unwrap(); // disjoint
+        (lib, a, b, c)
+    }
+
+    #[test]
+    fn compatibility_is_jaccard_on_the_lattice() {
+        let a = mol([2, 1, 0]);
+        let b = mol([2, 0, 0]);
+        // ∩ = (2,0,0) → 2; ∪ = (2,1,0) → 3.
+        assert!((molecule_compatibility(&a, &b) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(molecule_compatibility(&a, &a), 1.0);
+        assert_eq!(molecule_compatibility(&a, &mol([0, 0, 5])), 0.0);
+        assert_eq!(
+            molecule_compatibility(&Molecule::zero(3), &Molecule::zero(3)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn shared_atoms_counts_savings() {
+        assert_eq!(shared_atoms(&mol([2, 1, 0]), &mol([2, 0, 0])), 2);
+        assert_eq!(shared_atoms(&mol([1, 0, 0]), &mol([0, 0, 1])), 0);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let (lib, ..) = lib3();
+        let m = compatibility_matrix(&lib);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+            for (j, v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn average_compatibility_ranks_sharing() {
+        let (lib, a, b, c) = lib3();
+        let ab = average_compatibility(&lib, a, &[b]);
+        let ac = average_compatibility(&lib, a, &[c]);
+        assert!(ab > ac);
+        assert_eq!(average_compatibility(&lib, a, &[]), 1.0);
+        assert_eq!(average_compatibility(&lib, a, &[a]), 1.0);
+    }
+
+    #[test]
+    fn greedy_selection_prefers_compatible_sis() {
+        let (lib, a, b, c) = lib3();
+        // Budget 3: a (3 atoms) + b (free, subset) fit; c (3 disjoint) not.
+        let (chosen, hosted) = select_compatible_sis(&lib, &[a, b, c], 3);
+        assert!(chosen.contains(&a) && chosen.contains(&b));
+        assert!(!chosen.contains(&c));
+        assert_eq!(hosted, mol([2, 1, 0]));
+    }
+
+    #[test]
+    fn selection_respects_budget_exactly() {
+        let (lib, a, b, c) = lib3();
+        let (chosen, hosted) = select_compatible_sis(&lib, &[a, b, c], 6);
+        assert_eq!(chosen.len(), 3);
+        assert!(hosted.determinant() <= 6);
+        let (none, hosted0) = select_compatible_sis(&lib, &[a, b, c], 1);
+        assert!(none.is_empty());
+        assert!(hosted0.is_zero());
+    }
+
+}

@@ -1,0 +1,176 @@
+//! Energy accounting (paper §4.1).
+//!
+//! The FDF's amortisation offset is "computed as the energy cost for the
+//! rotation divided by the difference of the execution of S in software
+//! and in hardware", scaled by the α trade-off parameter. This module
+//! provides that energy model: per-rotation energy proportional to the
+//! bitstream transfer, per-execution energy proportional to active
+//! cycles, with separate core and fabric power levels.
+
+use crate::si::SpecialInstruction;
+
+/// Energy model parameters. All energies come out in nanojoules with the
+/// default parameters (100 MHz core, mW-range embedded power budgets).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Core power while executing software, in watts.
+    pub core_power_w: f64,
+    /// Fabric power while a hardware Molecule executes, in watts.
+    pub fabric_power_w: f64,
+    /// Energy to transfer and write one bitstream byte during rotation,
+    /// in joules/byte.
+    pub rotation_energy_per_byte_j: f64,
+    /// Core clock in hertz (converts cycles to seconds).
+    pub clock_hz: f64,
+}
+
+impl Default for EnergyModel {
+    /// Virtex-II-era embedded defaults: a 100 MHz core at 250 mW, the
+    /// active fabric region at 120 mW, 5 nJ per configuration byte.
+    fn default() -> Self {
+        EnergyModel {
+            core_power_w: 0.250,
+            fabric_power_w: 0.120,
+            rotation_energy_per_byte_j: 5e-9,
+            clock_hz: 100e6,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Energy of one rotation writing `bitstream_bytes`, in joules.
+    #[must_use]
+    pub fn rotation_energy_j(&self, bitstream_bytes: u64) -> f64 {
+        bitstream_bytes as f64 * self.rotation_energy_per_byte_j
+    }
+
+    /// Energy of executing `cycles` on the core (software Molecule).
+    #[must_use]
+    pub fn sw_execution_energy_j(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz * self.core_power_w
+    }
+
+    /// Energy of executing `cycles` on the fabric (hardware Molecule).
+    #[must_use]
+    pub fn hw_execution_energy_j(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz * self.fabric_power_w
+    }
+
+    /// Energy saved per SI execution by the fastest hardware Molecule
+    /// versus software, in joules. Can be negative only for a degenerate
+    /// SI whose hardware is barely faster but the fabric much hungrier.
+    #[must_use]
+    pub fn per_execution_saving_j(&self, si: &SpecialInstruction) -> f64 {
+        self.sw_execution_energy_j(si.sw_cycles())
+            - self.hw_execution_energy_j(si.fastest().cycles)
+    }
+
+    /// The paper's energy-amortisation count: executions needed before a
+    /// rotation of `bitstream_bytes` pays for itself,
+    /// `offset = α · E_Rot / (E_SW − E_HW)`.
+    ///
+    /// Returns `f64::INFINITY` when hardware never saves energy.
+    #[must_use]
+    pub fn amortisation_executions(
+        &self,
+        si: &SpecialInstruction,
+        bitstream_bytes: u64,
+        alpha: f64,
+    ) -> f64 {
+        let saving = self.per_execution_saving_j(si);
+        if saving <= 0.0 {
+            return f64::INFINITY;
+        }
+        alpha * self.rotation_energy_j(bitstream_bytes) / saving
+    }
+
+    /// Total energy of a run: `n_sw` software executions, `n_hw` hardware
+    /// executions (at the fastest Molecule), `rotations` as
+    /// `(bitstream_bytes)` entries.
+    #[must_use]
+    pub fn run_energy_j(
+        &self,
+        si: &SpecialInstruction,
+        n_sw: u64,
+        n_hw: u64,
+        rotation_bytes: &[u64],
+    ) -> f64 {
+        n_sw as f64 * self.sw_execution_energy_j(si.sw_cycles())
+            + n_hw as f64 * self.hw_execution_energy_j(si.fastest().cycles)
+            + rotation_bytes
+                .iter()
+                .map(|&b| self.rotation_energy_j(b))
+                .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::molecule::Molecule;
+    use crate::si::MoleculeImpl;
+
+    fn si(sw: u64, hw: u64) -> SpecialInstruction {
+        SpecialInstruction::new(
+            "e",
+            sw,
+            vec![MoleculeImpl::new(Molecule::from_counts([1]), hw)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rotation_energy_scales_with_bitstream() {
+        let m = EnergyModel::default();
+        let small = m.rotation_energy_j(58_141);
+        let big = m.rotation_energy_j(65_713);
+        assert!(big > small);
+        // ~0.3 mJ per rotation at 5 nJ/byte — a realistic magnitude.
+        assert!((2e-4..5e-4).contains(&small));
+    }
+
+    #[test]
+    fn hardware_saves_execution_energy() {
+        let m = EnergyModel::default();
+        let s = si(544, 24);
+        assert!(m.per_execution_saving_j(&s) > 0.0);
+        assert!(m.sw_execution_energy_j(544) > m.hw_execution_energy_j(24));
+    }
+
+    #[test]
+    fn amortisation_count_matches_hand_calculation() {
+        let m = EnergyModel::default();
+        let s = si(544, 24);
+        // E_SW = 544/100e6·0.25 = 1.36 µJ; E_HW = 24/100e6·0.12 = 28.8 nJ.
+        // E_Rot(58141 B) = 290.7 µJ → offset ≈ 218 executions at α = 1.
+        let n = m.amortisation_executions(&s, 58_141, 1.0);
+        assert!((215.0..222.0).contains(&n), "n = {n}");
+        // α = 2 doubles the requirement.
+        let n2 = m.amortisation_executions(&s, 58_141, 2.0);
+        assert!((n2 / n - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_hardware_never_amortises() {
+        let m = EnergyModel {
+            fabric_power_w: 100.0, // absurdly hungry fabric
+            ..EnergyModel::default()
+        };
+        let s = si(100, 99);
+        assert_eq!(m.amortisation_executions(&s, 1_000, 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn run_energy_totals() {
+        let m = EnergyModel::default();
+        let s = si(544, 24);
+        let only_sw = m.run_energy_j(&s, 100, 0, &[]);
+        let rotated = m.run_energy_j(&s, 0, 100, &[58_141; 4]);
+        // 100 executions amortise less than the 4-rotation cost here…
+        assert!(rotated > 0.0 && only_sw > 0.0);
+        // …but 1000 executions flip the comparison.
+        let sw_1k = m.run_energy_j(&s, 1_000, 0, &[]);
+        let hw_1k = m.run_energy_j(&s, 0, 1_000, &[58_141; 4]);
+        assert!(hw_1k < sw_1k);
+    }
+}

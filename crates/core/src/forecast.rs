@@ -1,0 +1,298 @@
+//! Forecasting: the Forecast Decision Function (FDF) and run-time updated
+//! forecast values.
+//!
+//! Section 4 of the paper: because a rotation takes milliseconds, the SIs
+//! needed next must be forecast early. At compile time, *Forecast points*
+//! (FCs) are inserted into the basic-block graph. Whether a basic block `B`
+//! is a good candidate to forecast an SI `S` depends on
+//!
+//! * the probability `p` of reaching an execution of `S` from `B`,
+//! * the temporal distance `t` between `B` and the usage of `S`, and
+//! * the expected number of executions of `S` once it is reached.
+//!
+//! The FDF maps `(p, t)` to the *minimum number of expected executions*
+//! that `B` must promise before it becomes an FC candidate (Fig. 4). The
+//! published plot is U-shaped over `log(t / T_Rot)`: blocks closer than one
+//! rotation time are bad candidates (rotation cannot finish in time), and
+//! blocks farther than about ten rotation times are bad candidates too
+//! (they would block Atom Containers for too long). Higher reach
+//! probability lowers the requirement everywhere.
+//!
+//! The paper prints the formula with "some additional adjustment parameters
+//! omitted for clarity"; [`FdfParams`] exposes those adjustments explicitly
+//! (`near_weight`, `far_weight`, `far_onset`) with defaults calibrated to
+//! reproduce the value range of Fig. 4 (≈0–500 expected executions over
+//! `t/T_Rot ∈ [0.1, 100]`, `p ∈ [40 %, 100 %]`).
+
+use std::fmt;
+
+use crate::si::SiId;
+
+/// Parameters of the Forecast Decision Function for one SI.
+///
+/// Times may be in any unit (cycles or µs) as long as all of them use the
+/// same unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FdfParams {
+    /// Average rotation time `T_Rot` for the SI (time to load the Atoms of
+    /// its minimal Molecule).
+    pub t_rot: f64,
+    /// Software execution time `T_SW` of one SI invocation.
+    pub t_sw: f64,
+    /// Hardware execution time `T_HW` of one SI invocation (fastest
+    /// Molecule), used for the energy-amortisation offset.
+    pub t_hw: f64,
+    /// Energy cost `E_Rot` of one rotation, in the same unit as the
+    /// per-execution energy difference implied by `t_sw − t_hw`.
+    pub e_rot: f64,
+    /// Trade-off scaling factor α between energy efficiency and speed-up
+    /// (paper §4.1). α > 1 biases towards energy efficiency (more required
+    /// executions), α < 1 towards speed-up.
+    pub alpha: f64,
+    /// Weight of the near-distance penalty (rotation cannot complete).
+    pub near_weight: f64,
+    /// Weight of the far-distance penalty (Atom Containers blocked).
+    pub far_weight: f64,
+    /// Distance (in multiples of `t_rot`) beyond which the far penalty
+    /// starts growing. The paper's Fig. 4 shows ≈10.
+    pub far_onset: f64,
+}
+
+impl FdfParams {
+    /// Parameters with the adjustment weights calibrated to Fig. 4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_sw <= t_hw` (hardware must be faster than software for a
+    /// rotation ever to amortise) or any time is non-positive.
+    #[must_use]
+    pub fn new(t_rot: f64, t_sw: f64, t_hw: f64, e_rot: f64, alpha: f64) -> Self {
+        assert!(t_rot > 0.0 && t_sw > 0.0 && t_hw > 0.0, "times must be positive");
+        assert!(t_sw > t_hw, "software molecule must be slower than hardware");
+        FdfParams {
+            t_rot,
+            t_sw,
+            t_hw,
+            e_rot,
+            alpha,
+            near_weight: 22.0,
+            far_weight: 9.0,
+            far_onset: 10.0,
+        }
+    }
+
+    /// The amortisation offset: the minimum number of executions needed to
+    /// make the rotation energy-efficient,
+    /// `offset = α · E_Rot / (T_SW − T_HW)`.
+    #[must_use]
+    pub fn offset(&self) -> f64 {
+        self.alpha * self.e_rot / (self.t_sw - self.t_hw)
+    }
+
+    /// Evaluates the Forecast Decision Function.
+    ///
+    /// * `probability` — probability `p ∈ (0, 1]` of reaching an execution
+    ///   of the SI;
+    /// * `distance` — temporal distance `t > 0` until the usage of the SI
+    ///   (same unit as `t_rot`).
+    ///
+    /// Returns the minimum number of expected SI executions required for
+    /// the block to become an FC candidate. Lower is better for the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is not in `(0, 1]` or `distance <= 0`.
+    #[must_use]
+    pub fn eval(&self, probability: f64, distance: f64) -> f64 {
+        assert!(
+            probability > 0.0 && probability <= 1.0,
+            "probability must be in (0, 1]"
+        );
+        assert!(distance > 0.0, "distance must be positive");
+        let rel = distance / self.t_rot;
+        // Near penalty: rotation would not complete before the SI is used;
+        // the closer the block, the more "wasted" software executions and
+        // thus the more future executions required to justify rotating now.
+        let near = self.near_weight * (1.0 / rel - 1.0);
+        // Far penalty: a forecast too early blocks Atom Containers; grows
+        // linearly past `far_onset` rotation times.
+        let far = self.far_weight * (rel / self.far_onset - 1.0);
+        self.offset() + near.max(far).max(0.0) / probability
+    }
+
+    /// Evaluates the FDF over a `(probability, relative-distance)` grid and
+    /// returns rows of `(p, t_rel, fdf)` — the data behind Fig. 4.
+    #[must_use]
+    pub fn surface(&self, probabilities: &[f64], rel_distances: &[f64]) -> Vec<(f64, f64, f64)> {
+        let mut out = Vec::with_capacity(probabilities.len() * rel_distances.len());
+        for &p in probabilities {
+            for &rel in rel_distances {
+                out.push((p, rel, self.eval(p, rel * self.t_rot)));
+            }
+        }
+        out
+    }
+}
+
+/// A run-time updatable forecast for one SI: how likely, how soon, and how
+/// often the SI is expected to execute.
+///
+/// Initial values come from compile-time profiling; the run-time system
+/// fine-tunes them with observed behaviour via exponential smoothing
+/// ([`ForecastValue::observe`]), which is the paper's "forecast updating
+/// scheme maximising the expectation of the prediction".
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastValue {
+    /// SI this forecast refers to.
+    pub si: SiId,
+    /// Probability of reaching an execution of the SI.
+    pub probability: f64,
+    /// Temporal distance until the usage (cycles).
+    pub distance: f64,
+    /// Expected number of executions once reached.
+    pub expected_executions: f64,
+}
+
+impl ForecastValue {
+    /// Creates a forecast from compile-time profiling values.
+    #[must_use]
+    pub fn new(si: SiId, probability: f64, distance: f64, expected_executions: f64) -> Self {
+        ForecastValue {
+            si,
+            probability,
+            distance,
+            expected_executions,
+        }
+    }
+
+    /// Folds one observed outcome into the forecast with smoothing factor
+    /// `lambda ∈ [0, 1]` (weight of the new observation).
+    ///
+    /// * `reached` — whether an execution of the SI was actually reached;
+    /// * `observed_distance` — measured distance (only used when reached);
+    /// * `observed_executions` — measured execution count (only when
+    ///   reached).
+    pub fn observe(
+        &mut self,
+        lambda: f64,
+        reached: bool,
+        observed_distance: f64,
+        observed_executions: f64,
+    ) {
+        let hit = if reached { 1.0 } else { 0.0 };
+        self.probability = lambda * hit + (1.0 - lambda) * self.probability;
+        if reached {
+            self.distance = lambda * observed_distance + (1.0 - lambda) * self.distance;
+            self.expected_executions =
+                lambda * observed_executions + (1.0 - lambda) * self.expected_executions;
+        }
+    }
+
+    /// Benefit estimate used by the run-time selector: expected cycles saved
+    /// by having the SI in hardware, `p · n_exec · (T_SW − T_HW)`.
+    #[must_use]
+    pub fn expected_benefit(&self, t_sw: f64, t_hw: f64) -> f64 {
+        self.probability * self.expected_executions * (t_sw - t_hw).max(0.0)
+    }
+}
+
+impl fmt::Display for ForecastValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: p={:.2} d={:.0} n={:.1}",
+            self.si, self.probability, self.distance, self.expected_executions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> FdfParams {
+        FdfParams::new(1000.0, 50.0, 5.0, 900.0, 1.0)
+    }
+
+    #[test]
+    fn offset_is_energy_amortisation() {
+        let p = params();
+        assert!((p.offset() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fdf_is_u_shaped_over_distance() {
+        let p = params();
+        let near = p.eval(1.0, 0.1 * p.t_rot);
+        let sweet = p.eval(1.0, 3.0 * p.t_rot);
+        let far = p.eval(1.0, 100.0 * p.t_rot);
+        assert!(near > sweet, "near penalty missing: {near} <= {sweet}");
+        assert!(far > sweet, "far penalty missing: {far} <= {sweet}");
+    }
+
+    #[test]
+    fn fdf_in_sweet_spot_is_just_offset() {
+        let p = params();
+        // Between 1 and 10 rotation times both penalties are inactive.
+        assert!((p.eval(0.7, 2.0 * p.t_rot) - p.offset()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_probability_never_raises_requirement() {
+        let p = params();
+        for rel in [0.1, 0.5, 1.0, 5.0, 50.0] {
+            let low = p.eval(0.4, rel * p.t_rot);
+            let high = p.eval(1.0, rel * p.t_rot);
+            assert!(high <= low + 1e-12, "p raised FDF at rel={rel}");
+        }
+    }
+
+    #[test]
+    fn fig4_value_range_reproduced() {
+        let p = params();
+        // At the extreme corner of Fig. 4 (t = 0.1 T_Rot, p = 40 %) the
+        // published surface peaks in the 450..=500 band.
+        let peak = p.eval(0.4, 0.1 * p.t_rot) - p.offset();
+        assert!((450.0..=520.0).contains(&peak), "peak {peak} out of band");
+    }
+
+    #[test]
+    fn surface_covers_grid() {
+        let p = params();
+        let s = p.surface(&[0.4, 1.0], &[0.1, 1.0, 10.0]);
+        assert_eq!(s.len(), 6);
+        assert!(s.iter().all(|&(_, _, v)| v.is_finite() && v >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn zero_probability_rejected() {
+        let _ = params().eval(0.0, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slower than hardware")]
+    fn sw_must_be_slower() {
+        let _ = FdfParams::new(100.0, 5.0, 50.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn observe_moves_towards_observation() {
+        let mut f = ForecastValue::new(SiId(0), 0.5, 1000.0, 10.0);
+        f.observe(0.5, true, 2000.0, 20.0);
+        assert!((f.probability - 0.75).abs() < 1e-9);
+        assert!((f.distance - 1500.0).abs() < 1e-9);
+        assert!((f.expected_executions - 15.0).abs() < 1e-9);
+        f.observe(0.5, false, 0.0, 0.0);
+        assert!((f.probability - 0.375).abs() < 1e-9);
+        // distance/executions untouched on a miss
+        assert!((f.distance - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_benefit_scales_with_probability() {
+        let f = ForecastValue::new(SiId(1), 0.5, 100.0, 8.0);
+        assert!((f.expected_benefit(50.0, 10.0) - 160.0).abs() < 1e-9);
+        assert_eq!(f.expected_benefit(10.0, 50.0), 0.0);
+    }
+}

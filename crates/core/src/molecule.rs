@@ -1,0 +1,462 @@
+//! The formal Molecule model: vectors in ℕⁿ with lattice structure.
+//!
+//! Section 3.1 of the paper defines the data structure `(ℕⁿ, ∪, ∩, ≤)`:
+//! a *Molecule* `m = (m₁, …, mₙ)` records how many instances of each Atom
+//! kind are required to implement it. The operators are
+//!
+//! * `m ∪ o` — element-wise maximum: the *Meta-Molecule* containing the
+//!   Atoms required to implement both `m` and `o` (not necessarily
+//!   concurrently);
+//! * `m ∩ o` — element-wise minimum: the Atoms collectively needed by both;
+//! * `m ≤ o` — element-wise comparison (partial order);
+//! * `sup M` / `inf M` — supremum/infimum of a set of Molecules;
+//! * `|m|` (the *determinant*) — the total number of Atom instances, Σᵢ mᵢ;
+//! * `o ⊖ m` ([`Molecule::additional_atoms`]) — the minimum set of Atoms
+//!   that still have to be made available to implement `o` when the Atoms
+//!   of `m` are already loaded.
+//!
+//! `(ℕⁿ, ∪)` is an Abelian semigroup with neutral element `(0, …, 0)` and
+//! `(ℕⁿ, ≤)` is a complete lattice; the property tests in this crate check
+//! these laws.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Index};
+
+use crate::atom::AtomKind;
+use crate::error::WidthMismatchError;
+
+/// An element of ℕⁿ: the per-Atom-kind instance requirements of a Molecule
+/// (or Meta-Molecule).
+///
+/// The width `n` is dynamic and fixed per platform by the
+/// [`AtomSet`](crate::atom::AtomSet). All binary operations require equal
+/// widths; the checked variants return [`WidthMismatchError`], the operator
+/// sugar (`|`, `&`) panics.
+///
+/// # Examples
+///
+/// ```
+/// use rispp_core::molecule::Molecule;
+///
+/// let m = Molecule::from_counts([1, 0, 2]);
+/// let o = Molecule::from_counts([0, 3, 1]);
+/// let sup = m.clone() | o.clone();
+/// assert_eq!(sup, Molecule::from_counts([1, 3, 2]));
+/// assert_eq!(m.determinant(), 3);
+/// assert!(m <= sup);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Molecule {
+    counts: Vec<u32>,
+}
+
+impl Molecule {
+    /// The neutral element `(0, …, 0)` of width `n`.
+    #[must_use]
+    pub fn zero(n: usize) -> Self {
+        Molecule {
+            counts: vec![0; n],
+        }
+    }
+
+    /// Builds a Molecule from explicit per-kind counts.
+    #[must_use]
+    pub fn from_counts<I>(counts: I) -> Self
+    where
+        I: IntoIterator<Item = u32>,
+    {
+        Molecule {
+            counts: counts.into_iter().collect(),
+        }
+    }
+
+    /// Builds a Molecule of width `n` from sparse `(kind, count)` pairs.
+    ///
+    /// Pairs with the same kind accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any kind index is `>= n`.
+    #[must_use]
+    pub fn from_pairs<I>(n: usize, pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (AtomKind, u32)>,
+    {
+        let mut m = Molecule::zero(n);
+        for (kind, count) in pairs {
+            m.counts[kind.index()] += count;
+        }
+        m
+    }
+
+    /// Width `n` of the vector (number of Atom kinds on the platform).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The determinant `|m| = Σᵢ mᵢ`: total Atom instances required.
+    #[must_use]
+    pub fn determinant(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// Returns `true` if this is the neutral element (no Atoms required).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Count of instances required for one Atom kind.
+    ///
+    /// Returns 0 for kinds beyond the width (a narrower vector is implicitly
+    /// zero-extended, which matches the formal model where all vectors share
+    /// the platform width).
+    #[must_use]
+    pub fn count(&self, kind: AtomKind) -> u32 {
+        self.counts.get(kind.index()).copied().unwrap_or(0)
+    }
+
+    /// Mutates the count of one Atom kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is out of range.
+    pub fn set_count(&mut self, kind: AtomKind, count: u32) {
+        self.counts[kind.index()] = count;
+    }
+
+    /// Iterates over `(kind, count)` for all kinds, including zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (AtomKind, u32)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (AtomKind(i), c))
+    }
+
+    /// Iterates over `(kind, count)` for kinds with non-zero counts.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (AtomKind, u32)> + '_ {
+        self.iter().filter(|&(_, c)| c > 0)
+    }
+
+    /// The raw count slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Checked `∪` (element-wise max): the Meta-Molecule able to host both
+    /// operands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WidthMismatchError`] when the widths differ.
+    pub fn try_union(&self, other: &Molecule) -> Result<Molecule, WidthMismatchError> {
+        self.check_width(other)?;
+        Ok(Molecule::from_counts(
+            self.counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(&a, &b)| a.max(b)),
+        ))
+    }
+
+    /// Checked `∩` (element-wise min): Atoms collectively required by both.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WidthMismatchError`] when the widths differ.
+    pub fn try_intersection(&self, other: &Molecule) -> Result<Molecule, WidthMismatchError> {
+        self.check_width(other)?;
+        Ok(Molecule::from_counts(
+            self.counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(&a, &b)| a.min(b)),
+        ))
+    }
+
+    /// The paper's `⊖` operator: the minimum Meta-Molecule that still has to
+    /// be offered so that `goal` becomes implementable, assuming the Atoms
+    /// of `self` are already available.
+    ///
+    /// `pᵢ = max(goalᵢ − selfᵢ, 0)` — i.e. saturating subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WidthMismatchError`] when the widths differ.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rispp_core::molecule::Molecule;
+    ///
+    /// let loaded = Molecule::from_counts([2, 1, 0]);
+    /// let goal = Molecule::from_counts([1, 3, 2]);
+    /// let missing = loaded.additional_atoms(&goal)?;
+    /// assert_eq!(missing, Molecule::from_counts([0, 2, 2]));
+    /// # Ok::<(), rispp_core::error::WidthMismatchError>(())
+    /// ```
+    pub fn additional_atoms(&self, goal: &Molecule) -> Result<Molecule, WidthMismatchError> {
+        self.check_width(goal)?;
+        Ok(Molecule::from_counts(
+            goal.counts
+                .iter()
+                .zip(&self.counts)
+                .map(|(&g, &have)| g.saturating_sub(have)),
+        ))
+    }
+
+    /// Partial-order test `self ≤ other` (per-element).
+    ///
+    /// Unlike [`PartialOrd`], this never mixes widths silently: differing
+    /// widths compare as *incomparable* (`false` both ways).
+    #[must_use]
+    pub fn le(&self, other: &Molecule) -> bool {
+        self.width() == other.width()
+            && self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .all(|(&a, &b)| a <= b)
+    }
+
+    /// Supremum of a set of Molecules: `sup M = ∪_{m ∈ M} m`.
+    ///
+    /// `sup ∅` is the neutral element of width `n`. The supremum declares
+    /// every Atom needed to implement *any* Molecule of `M`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WidthMismatchError`] if members have differing widths.
+    pub fn supremum<'a, I>(n: usize, molecules: I) -> Result<Molecule, WidthMismatchError>
+    where
+        I: IntoIterator<Item = &'a Molecule>,
+    {
+        let mut acc = Molecule::zero(n);
+        for m in molecules {
+            acc = acc.try_union(m)?;
+        }
+        Ok(acc)
+    }
+
+    /// Infimum of a non-empty set of Molecules: `inf M = ∩_{m ∈ M} m`.
+    ///
+    /// The infimum contains the Atoms collectively needed by *all* Molecules
+    /// of `M`. Returns `None` for an empty iterator (the lattice-theoretic
+    /// `inf ∅` would be the top element, which does not exist in ℕⁿ with
+    /// finite counts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WidthMismatchError`] if members have differing widths.
+    pub fn infimum<'a, I>(molecules: I) -> Result<Option<Molecule>, WidthMismatchError>
+    where
+        I: IntoIterator<Item = &'a Molecule>,
+    {
+        let mut iter = molecules.into_iter();
+        let Some(first) = iter.next() else {
+            return Ok(None);
+        };
+        let mut acc = first.clone();
+        for m in iter {
+            acc = acc.try_intersection(m)?;
+        }
+        Ok(Some(acc))
+    }
+
+    fn check_width(&self, other: &Molecule) -> Result<(), WidthMismatchError> {
+        if self.width() == other.width() {
+            Ok(())
+        } else {
+            Err(WidthMismatchError {
+                left: self.width(),
+                right: other.width(),
+            })
+        }
+    }
+}
+
+impl PartialOrd for Molecule {
+    /// The lattice partial order: `Some(_)` only when the vectors are
+    /// comparable element-wise and of equal width.
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        if self.width() != other.width() {
+            return None;
+        }
+        let le = self.le(other);
+        let ge = other.le(self);
+        match (le, ge) {
+            (true, true) => Some(std::cmp::Ordering::Equal),
+            (true, false) => Some(std::cmp::Ordering::Less),
+            (false, true) => Some(std::cmp::Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+}
+
+/// `m | o` is the paper's `m ∪ o` (element-wise max).
+///
+/// # Panics
+///
+/// Panics on width mismatch; use [`Molecule::try_union`] to handle that case.
+impl BitOr for Molecule {
+    type Output = Molecule;
+
+    fn bitor(self, rhs: Molecule) -> Molecule {
+        self.try_union(&rhs).expect("molecule width mismatch in ∪")
+    }
+}
+
+impl BitOr for &Molecule {
+    type Output = Molecule;
+
+    fn bitor(self, rhs: &Molecule) -> Molecule {
+        self.try_union(rhs).expect("molecule width mismatch in ∪")
+    }
+}
+
+/// `m & o` is the paper's `m ∩ o` (element-wise min).
+///
+/// # Panics
+///
+/// Panics on width mismatch; use [`Molecule::try_intersection`] instead.
+impl BitAnd for Molecule {
+    type Output = Molecule;
+
+    fn bitand(self, rhs: Molecule) -> Molecule {
+        self.try_intersection(&rhs)
+            .expect("molecule width mismatch in ∩")
+    }
+}
+
+impl BitAnd for &Molecule {
+    type Output = Molecule;
+
+    fn bitand(self, rhs: &Molecule) -> Molecule {
+        self.try_intersection(rhs)
+            .expect("molecule width mismatch in ∩")
+    }
+}
+
+impl Index<AtomKind> for Molecule {
+    type Output = u32;
+
+    fn index(&self, kind: AtomKind) -> &u32 {
+        &self.counts[kind.index()]
+    }
+}
+
+impl fmt::Display for Molecule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<u32> for Molecule {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        Molecule::from_counts(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(v: impl IntoIterator<Item = u32>) -> Molecule {
+        Molecule::from_counts(v)
+    }
+
+    #[test]
+    fn union_is_elementwise_max() {
+        assert_eq!(m([1, 4, 0]) | m([3, 2, 0]), m([3, 4, 0]));
+    }
+
+    #[test]
+    fn intersection_is_elementwise_min() {
+        assert_eq!(m([1, 4, 0]) & m([3, 2, 0]), m([1, 2, 0]));
+    }
+
+    #[test]
+    fn zero_is_neutral_for_union() {
+        let a = m([5, 0, 7]);
+        assert_eq!(a.clone() | Molecule::zero(3), a);
+    }
+
+    #[test]
+    fn additional_atoms_saturates() {
+        let have = m([2, 1, 0]);
+        let goal = m([1, 3, 2]);
+        assert_eq!(have.additional_atoms(&goal).unwrap(), m([0, 2, 2]));
+    }
+
+    #[test]
+    fn additional_atoms_zero_when_already_loaded() {
+        let have = m([2, 3, 1]);
+        let goal = m([1, 3, 0]);
+        assert!(have.additional_atoms(&goal).unwrap().is_zero());
+    }
+
+    #[test]
+    fn supremum_over_set() {
+        let set = [m([1, 0]), m([0, 2]), m([1, 1])];
+        assert_eq!(Molecule::supremum(2, &set).unwrap(), m([1, 2]));
+        assert_eq!(Molecule::supremum(2, []).unwrap(), Molecule::zero(2));
+    }
+
+    #[test]
+    fn infimum_over_set() {
+        let set = [m([1, 3]), m([2, 2]), m([1, 1])];
+        assert_eq!(Molecule::infimum(&set).unwrap(), Some(m([1, 1])));
+        assert_eq!(Molecule::infimum([]).unwrap(), None);
+    }
+
+    #[test]
+    fn partial_order_detects_incomparable() {
+        let a = m([1, 0]);
+        let b = m([0, 1]);
+        assert_eq!(a.partial_cmp(&b), None);
+        assert!(a.le(&(a.clone() | b.clone())));
+        assert!(b.le(&(&a | &b)));
+    }
+
+    #[test]
+    fn width_mismatch_is_error() {
+        assert!(m([1]).try_union(&m([1, 2])).is_err());
+        assert!(m([1]).try_intersection(&m([1, 2])).is_err());
+        assert!(m([1]).additional_atoms(&m([1, 2])).is_err());
+        assert!(!m([1]).le(&m([1, 2])));
+        assert_eq!(m([1]).partial_cmp(&m([1, 2])), None);
+    }
+
+    #[test]
+    fn determinant_sums_counts() {
+        assert_eq!(m([1, 2, 3]).determinant(), 6);
+        assert_eq!(Molecule::zero(4).determinant(), 0);
+    }
+
+    #[test]
+    fn from_pairs_accumulates() {
+        let mol = Molecule::from_pairs(3, [(AtomKind(0), 1), (AtomKind(0), 2), (AtomKind(2), 1)]);
+        assert_eq!(mol, m([3, 0, 1]));
+    }
+
+    #[test]
+    fn display_formats_vector() {
+        assert_eq!(m([1, 0, 4]).to_string(), "(1,0,4)");
+    }
+
+    #[test]
+    fn index_by_kind() {
+        let mol = m([7, 8]);
+        assert_eq!(mol[AtomKind(1)], 8);
+        assert_eq!(mol.count(AtomKind(9)), 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Pareto analysis of the area–performance design space (Fig. 13).
+//!
+//! Each Molecule of an SI is a point `(|m|, cycles)`: total Atom instances
+//! versus execution latency. The RISPP run-time system moves along the
+//! Pareto-optimal front of these points as Atoms are rotated in and out —
+//! the "dynamic trade-off" of the paper — whereas a classic ASIP must pick
+//! a single fixed point at design time.
+
+/// A point in the area–performance plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TradeOffPoint {
+    /// Total Atom instances of the Molecule (`|m|`).
+    pub atoms: u32,
+    /// Execution latency in cycles.
+    pub cycles: u64,
+}
+
+impl TradeOffPoint {
+    /// Creates a point.
+    #[must_use]
+    pub fn new(atoms: u32, cycles: u64) -> Self {
+        TradeOffPoint { atoms, cycles }
+    }
+
+    /// Returns `true` when `self` dominates `other`: no worse in both
+    /// dimensions and strictly better in at least one (both are minimised).
+    #[must_use]
+    pub fn dominates(self, other: TradeOffPoint) -> bool {
+        self.atoms <= other.atoms
+            && self.cycles <= other.cycles
+            && (self.atoms < other.atoms || self.cycles < other.cycles)
+    }
+}
+
+/// Returns the indices of the Pareto-optimal points (minimising both Atom
+/// count and cycles), sorted by ascending Atom count.
+///
+/// Duplicate points are all retained (none dominates its twin), which keeps
+/// index bookkeeping for callers simple.
+///
+/// # Examples
+///
+/// ```
+/// use rispp_core::pareto::{pareto_front, TradeOffPoint};
+///
+/// let pts = [
+///     TradeOffPoint::new(4, 24),
+///     TradeOffPoint::new(6, 30), // dominated by (4, 24)
+///     TradeOffPoint::new(8, 15),
+/// ];
+/// assert_eq!(pareto_front(&pts), vec![0, 2]);
+/// ```
+#[must_use]
+pub fn pareto_front(points: &[TradeOffPoint]) -> Vec<usize> {
+    let mut front: Vec<usize> = (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, &p)| j != i && p.dominates(points[i]))
+        })
+        .collect();
+    front.sort_by_key(|&i| (points[i].atoms, points[i].cycles));
+    front
+}
+
+/// For each Atom budget in `0..=max_atoms`, the best (lowest) latency
+/// achievable with any point whose Atom count fits the budget — the
+/// step-wise "highlighted lines" of Fig. 13. `None` where no point fits.
+#[must_use]
+pub fn latency_staircase(points: &[TradeOffPoint], max_atoms: u32) -> Vec<Option<u64>> {
+    (0..=max_atoms)
+        .map(|budget| {
+            points
+                .iter()
+                .filter(|p| p.atoms <= budget)
+                .map(|p| p.cycles)
+                .min()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_is_strict() {
+        let a = TradeOffPoint::new(4, 24);
+        assert!(!a.dominates(a));
+        assert!(a.dominates(TradeOffPoint::new(5, 24)));
+        assert!(a.dominates(TradeOffPoint::new(4, 25)));
+        assert!(!a.dominates(TradeOffPoint::new(3, 30)));
+    }
+
+    #[test]
+    fn front_filters_dominated_points() {
+        let pts = [
+            TradeOffPoint::new(4, 24),
+            TradeOffPoint::new(5, 22),
+            TradeOffPoint::new(5, 30),
+            TradeOffPoint::new(16, 12),
+        ];
+        assert_eq!(pareto_front(&pts), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn front_of_empty_is_empty() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let pts = [TradeOffPoint::new(4, 24), TradeOffPoint::new(4, 24)];
+        assert_eq!(pareto_front(&pts).len(), 2);
+    }
+
+    #[test]
+    fn staircase_is_monotone_nonincreasing() {
+        let pts = [
+            TradeOffPoint::new(4, 24),
+            TradeOffPoint::new(6, 18),
+            TradeOffPoint::new(10, 12),
+        ];
+        let stairs = latency_staircase(&pts, 12);
+        assert_eq!(stairs[0], None);
+        assert_eq!(stairs[4], Some(24));
+        assert_eq!(stairs[5], Some(24));
+        assert_eq!(stairs[6], Some(18));
+        assert_eq!(stairs[10], Some(12));
+        assert_eq!(stairs[12], Some(12));
+        let known: Vec<u64> = stairs.iter().copied().flatten().collect();
+        assert!(known.windows(2).all(|w| w[1] <= w[0]));
+    }
+}

@@ -1,0 +1,445 @@
+//! Special Instructions (SIs) and their Molecule implementations.
+//!
+//! Section 3.2 of the paper: an SI consists of multiple hardware Molecules
+//! plus one optimised software Molecule. At run time the fastest Molecule
+//! whose Atom requirement is satisfied by the currently loaded Atoms is
+//! used; when no hardware Molecule fits, the software Molecule executes on
+//! the core pipeline.
+//!
+//! The *representative Meta-Molecule* `Rep(S)` reduces the compatibility of
+//! SIs to the compatibility of single vectors: `Rep(S)ᵢ = ⌈ mean of mᵢ over
+//! the hardware Molecules of S ⌉`.
+
+use std::fmt;
+
+use crate::error::CoreError;
+use crate::molecule::Molecule;
+
+/// Identifier of a Special Instruction within an [`SiLibrary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiId(pub usize);
+
+impl SiId {
+    /// Returns the dense index of this SI.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for SiId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "si#{}", self.0)
+    }
+}
+
+/// One hardware implementation option of an SI: an Atom requirement vector
+/// plus its latency in processor cycles.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MoleculeImpl {
+    /// Atom instances required to run this implementation.
+    pub molecule: Molecule,
+    /// Latency of one SI execution with this implementation, in cycles.
+    pub cycles: u64,
+}
+
+impl MoleculeImpl {
+    /// Creates an implementation option.
+    #[must_use]
+    pub fn new(molecule: Molecule, cycles: u64) -> Self {
+        MoleculeImpl { molecule, cycles }
+    }
+}
+
+impl fmt::Display for MoleculeImpl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {} cycles", self.molecule, self.cycles)
+    }
+}
+
+/// A Special Instruction: a named operation with one software Molecule and
+/// one or more hardware Molecules.
+///
+/// # Examples
+///
+/// ```
+/// use rispp_core::molecule::Molecule;
+/// use rispp_core::si::{MoleculeImpl, SpecialInstruction};
+///
+/// let si = SpecialInstruction::new(
+///     "HT_2x2",
+///     5 * 8, // software latency
+///     vec![MoleculeImpl::new(Molecule::from_counts([0, 1]), 5)],
+/// )?;
+/// assert_eq!(si.fastest().cycles, 5);
+/// # Ok::<(), rispp_core::error::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecialInstruction {
+    name: String,
+    sw_cycles: u64,
+    molecules: Vec<MoleculeImpl>,
+}
+
+impl SpecialInstruction {
+    /// Creates an SI from its software latency and hardware Molecules.
+    ///
+    /// Hardware Molecules are sorted by ascending cycle count so that
+    /// "fastest available" queries are a linear scan from the front.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::EmptySpecialInstruction`] when `molecules` is empty —
+    ///   an SI without hardware options cannot participate in rotation;
+    /// * [`CoreError::ZeroCycleMolecule`] when a Molecule declares zero
+    ///   cycles.
+    pub fn new<S: Into<String>>(
+        name: S,
+        sw_cycles: u64,
+        mut molecules: Vec<MoleculeImpl>,
+    ) -> Result<Self, CoreError> {
+        let name = name.into();
+        if molecules.is_empty() {
+            return Err(CoreError::EmptySpecialInstruction { name });
+        }
+        if molecules.iter().any(|m| m.cycles == 0) || sw_cycles == 0 {
+            return Err(CoreError::ZeroCycleMolecule { si: name });
+        }
+        molecules.sort_by_key(|m| (m.cycles, m.molecule.determinant()));
+        Ok(SpecialInstruction {
+            name,
+            sw_cycles,
+            molecules,
+        })
+    }
+
+    /// Name of the SI (e.g. `"SATD_4x4"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Latency of the optimised software Molecule, in cycles.
+    #[must_use]
+    pub fn sw_cycles(&self) -> u64 {
+        self.sw_cycles
+    }
+
+    /// All hardware Molecules, fastest first.
+    #[must_use]
+    pub fn molecules(&self) -> &[MoleculeImpl] {
+        &self.molecules
+    }
+
+    /// The fastest hardware Molecule.
+    #[must_use]
+    pub fn fastest(&self) -> &MoleculeImpl {
+        &self.molecules[0]
+    }
+
+    /// The hardware Molecule with the smallest Atom requirement (the
+    /// "minimal Molecule" that first enables hardware execution).
+    #[must_use]
+    pub fn minimal(&self) -> &MoleculeImpl {
+        self.molecules
+            .iter()
+            .min_by_key(|m| (m.molecule.determinant(), m.cycles))
+            .expect("SI always has >= 1 molecule")
+    }
+
+    /// Width of this SI's Molecules (the platform Atom-kind count).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.molecules[0].molecule.width()
+    }
+
+    /// The fastest hardware Molecule executable with the Atoms in
+    /// `available`, or `None` when even the minimal Molecule does not fit
+    /// (→ software execution).
+    #[must_use]
+    pub fn best_available(&self, available: &Molecule) -> Option<&MoleculeImpl> {
+        self.molecules
+            .iter()
+            .find(|m| m.molecule.le(available))
+    }
+
+    /// Execution latency given the loaded Atoms: the fastest fitting
+    /// hardware Molecule, else the software Molecule.
+    #[must_use]
+    pub fn exec_cycles(&self, available: &Molecule) -> u64 {
+        self.best_available(available)
+            .map_or(self.sw_cycles, |m| m.cycles)
+    }
+
+    /// The fastest hardware Molecule whose *total* Atom demand fits within a
+    /// budget of `max_atoms` Atom Containers (assuming one Atom instance per
+    /// container, as in the paper's prototype).
+    #[must_use]
+    pub fn best_within_budget(&self, max_atoms: u32) -> Option<&MoleculeImpl> {
+        self.molecules
+            .iter()
+            .filter(|m| m.molecule.determinant() <= max_atoms)
+            .min_by_key(|m| (m.cycles, m.molecule.determinant()))
+    }
+
+    /// `Rep(S)`: the representative Meta-Molecule — per-kind ceiling of the
+    /// average Atom usage over all hardware Molecules (the software Molecule
+    /// is omitted, as in the paper).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rispp_core::molecule::Molecule;
+    /// use rispp_core::si::{MoleculeImpl, SpecialInstruction};
+    ///
+    /// let si = SpecialInstruction::new(
+    ///     "demo",
+    ///     100,
+    ///     vec![
+    ///         MoleculeImpl::new(Molecule::from_counts([1, 0]), 20),
+    ///         MoleculeImpl::new(Molecule::from_counts([2, 1]), 10),
+    ///     ],
+    /// )?;
+    /// // mean = (1.5, 0.5) → ceiling = (2, 1)
+    /// assert_eq!(si.representative(), Molecule::from_counts([2, 1]));
+    /// # Ok::<(), rispp_core::error::CoreError>(())
+    /// ```
+    #[must_use]
+    pub fn representative(&self) -> Molecule {
+        let n = self.width();
+        let k = self.molecules.len() as u32;
+        let mut sums = vec![0u32; n];
+        for mi in &self.molecules {
+            for (kind, c) in mi.molecule.iter() {
+                sums[kind.index()] += c;
+            }
+        }
+        Molecule::from_counts(sums.into_iter().map(|s| s.div_ceil(k)))
+    }
+
+    /// Expected speed-up of hardware over software execution for this SI,
+    /// using the fastest Molecule that fits in `budget_atoms` containers.
+    ///
+    /// Returns 1.0 when no hardware Molecule fits (no speed-up over SW).
+    #[must_use]
+    pub fn expected_speedup(&self, budget_atoms: u32) -> f64 {
+        match self.best_within_budget(budget_atoms) {
+            Some(m) => self.sw_cycles as f64 / m.cycles as f64,
+            None => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for SpecialInstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} molecules, sw {} cycles)",
+            self.name,
+            self.molecules.len(),
+            self.sw_cycles
+        )
+    }
+}
+
+/// A library of Special Instructions sharing one platform
+/// [`AtomSet`](crate::atom::AtomSet) width.
+///
+/// # Examples
+///
+/// ```
+/// use rispp_core::molecule::Molecule;
+/// use rispp_core::si::{MoleculeImpl, SiLibrary, SpecialInstruction};
+///
+/// let mut lib = SiLibrary::new(2);
+/// let id = lib.insert(SpecialInstruction::new(
+///     "demo",
+///     50,
+///     vec![MoleculeImpl::new(Molecule::from_counts([1, 1]), 5)],
+/// )?)?;
+/// assert_eq!(lib.get(id).name(), "demo");
+/// # Ok::<(), rispp_core::error::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SiLibrary {
+    width: usize,
+    sis: Vec<SpecialInstruction>,
+}
+
+impl SiLibrary {
+    /// Creates an empty library for a platform with `width` Atom kinds.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        SiLibrary {
+            width,
+            sis: Vec::new(),
+        }
+    }
+
+    /// Platform Atom-kind count all member SIs must use.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Adds an SI and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::WidthMismatch`] if the SI's Molecules have a
+    /// different width than the library.
+    pub fn insert(&mut self, si: SpecialInstruction) -> Result<SiId, CoreError> {
+        if si.width() != self.width {
+            return Err(CoreError::WidthMismatch(
+                crate::error::WidthMismatchError {
+                    left: self.width,
+                    right: si.width(),
+                },
+            ));
+        }
+        self.sis.push(si);
+        Ok(SiId(self.sis.len() - 1))
+    }
+
+    /// Number of SIs in the library.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sis.len()
+    }
+
+    /// Returns `true` when the library holds no SIs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sis.is_empty()
+    }
+
+    /// The SI with a given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this library.
+    #[must_use]
+    pub fn get(&self, id: SiId) -> &SpecialInstruction {
+        &self.sis[id.0]
+    }
+
+    /// Looks an SI up by name.
+    #[must_use]
+    pub fn id_by_name(&self, name: &str) -> Option<SiId> {
+        self.sis.iter().position(|s| s.name() == name).map(SiId)
+    }
+
+    /// Iterates `(id, si)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (SiId, &SpecialInstruction)> {
+        self.sis.iter().enumerate().map(|(i, s)| (SiId(i), s))
+    }
+
+    /// All ids in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = SiId> + '_ {
+        (0..self.sis.len()).map(SiId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mol(v: impl IntoIterator<Item = u32>) -> Molecule {
+        Molecule::from_counts(v)
+    }
+
+    fn demo_si() -> SpecialInstruction {
+        SpecialInstruction::new(
+            "demo",
+            100,
+            vec![
+                MoleculeImpl::new(mol([1, 1, 0]), 24),
+                MoleculeImpl::new(mol([2, 1, 0]), 18),
+                MoleculeImpl::new(mol([2, 2, 1]), 10),
+            ],
+        )
+        .expect("valid SI")
+    }
+
+    #[test]
+    fn molecules_sorted_fastest_first() {
+        let si = demo_si();
+        assert_eq!(si.fastest().cycles, 10);
+        assert_eq!(si.molecules()[2].cycles, 24);
+    }
+
+    #[test]
+    fn minimal_is_smallest_atom_demand() {
+        let si = demo_si();
+        assert_eq!(si.minimal().molecule, mol([1, 1, 0]));
+    }
+
+    #[test]
+    fn best_available_picks_fastest_fitting() {
+        let si = demo_si();
+        assert_eq!(si.best_available(&mol([2, 1, 0])).unwrap().cycles, 18);
+        assert_eq!(si.best_available(&mol([9, 9, 9])).unwrap().cycles, 10);
+        assert!(si.best_available(&mol([1, 0, 0])).is_none());
+    }
+
+    #[test]
+    fn exec_cycles_falls_back_to_software() {
+        let si = demo_si();
+        assert_eq!(si.exec_cycles(&mol([0, 0, 0])), 100);
+        assert_eq!(si.exec_cycles(&mol([1, 1, 0])), 24);
+    }
+
+    #[test]
+    fn budget_limits_molecule_choice() {
+        let si = demo_si();
+        assert_eq!(si.best_within_budget(2).unwrap().cycles, 24);
+        assert_eq!(si.best_within_budget(3).unwrap().cycles, 18);
+        assert_eq!(si.best_within_budget(5).unwrap().cycles, 10);
+        assert!(si.best_within_budget(1).is_none());
+    }
+
+    #[test]
+    fn representative_is_ceiled_mean() {
+        let si = demo_si();
+        // means: (5/3, 4/3, 1/3) → (2, 2, 1)
+        assert_eq!(si.representative(), mol([2, 2, 1]));
+    }
+
+    #[test]
+    fn expected_speedup_vs_budget() {
+        let si = demo_si();
+        assert!((si.expected_speedup(5) - 10.0).abs() < 1e-9);
+        assert!((si.expected_speedup(1) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_si_rejected() {
+        let err = SpecialInstruction::new("x", 10, vec![]).unwrap_err();
+        assert!(matches!(err, CoreError::EmptySpecialInstruction { .. }));
+    }
+
+    #[test]
+    fn zero_cycles_rejected() {
+        let err =
+            SpecialInstruction::new("x", 10, vec![MoleculeImpl::new(mol([1]), 0)]).unwrap_err();
+        assert!(matches!(err, CoreError::ZeroCycleMolecule { .. }));
+    }
+
+    #[test]
+    fn library_enforces_width() {
+        let mut lib = SiLibrary::new(2);
+        let si = SpecialInstruction::new("w3", 10, vec![MoleculeImpl::new(mol([1, 0, 0]), 5)])
+            .expect("valid SI");
+        assert!(lib.insert(si).is_err());
+    }
+
+    #[test]
+    fn library_lookup_by_name() {
+        let mut lib = SiLibrary::new(3);
+        let id = lib.insert(demo_si()).unwrap();
+        assert_eq!(lib.id_by_name("demo"), Some(id));
+        assert_eq!(lib.id_by_name("nope"), None);
+        assert_eq!(lib.len(), 1);
+        assert!(!lib.is_empty());
+    }
+}

@@ -1,0 +1,285 @@
+//! Automatic generation of reusable Atoms (the paper's stated future
+//! work: "we consider automatic generation of reusable Atoms by e.g.
+//! methods for finding the longest common subsequence of multiple
+//! sequences", referencing Brisk et al., DAC 2004).
+//!
+//! An SI's data path is described as a sequence of primitive operations
+//! ([`DataPathOp`]). A candidate Atom is a subsequence that several SIs
+//! share — the longer the subsequence and the more SIs share it, the more
+//! area is saved by implementing it once as a reusable Atom. This module
+//! finds such candidates by pairwise longest-common-subsequence (LCS)
+//! followed by greedy multi-sequence intersection, and scores them by
+//! the classic reuse metric `(sharers − 1) × length`.
+//!
+//! The result explains the case study's hand design: the add/sub
+//! butterfly shared by DCT/HT (the Transform Atom of Fig. 9) falls out
+//! as the top candidate of the transform SIs' data paths.
+
+use std::collections::BTreeMap;
+
+/// Primitive data-path operations an SI is composed of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DataPathOp {
+    /// Load operands from the register file.
+    Load,
+    /// Packed add.
+    Add,
+    /// Packed subtract.
+    Sub,
+    /// Constant shift left.
+    ShiftLeft,
+    /// Constant shift right.
+    ShiftRight,
+    /// Absolute value.
+    Abs,
+    /// Accumulate (reduction add).
+    Accumulate,
+    /// 16↔32-bit lane pack/unpack.
+    Pack,
+    /// Multiplex on a control signal.
+    Mux,
+    /// Store results back.
+    Store,
+}
+
+/// A named SI data-path description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataPath {
+    /// SI name.
+    pub name: String,
+    /// The operation sequence.
+    pub ops: Vec<DataPathOp>,
+}
+
+impl DataPath {
+    /// Creates a data path.
+    #[must_use]
+    pub fn new<S: Into<String>>(name: S, ops: Vec<DataPathOp>) -> Self {
+        DataPath {
+            name: name.into(),
+            ops,
+        }
+    }
+}
+
+/// Longest common subsequence of two op sequences (classic quadratic DP).
+#[must_use]
+pub fn lcs(a: &[DataPathOp], b: &[DataPathOp]) -> Vec<DataPathOp> {
+    let n = a.len();
+    let m = b.len();
+    let mut table = vec![vec![0usize; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            table[i][j] = if a[i] == b[j] {
+                table[i + 1][j + 1] + 1
+            } else {
+                table[i + 1][j].max(table[i][j + 1])
+            };
+        }
+    }
+    let mut out = Vec::with_capacity(table[0][0]);
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            out.push(a[i]);
+            i += 1;
+            j += 1;
+        } else if table[i + 1][j] >= table[i][j + 1] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Returns `true` when `needle` is a subsequence of `haystack`.
+#[must_use]
+pub fn is_subsequence(needle: &[DataPathOp], haystack: &[DataPathOp]) -> bool {
+    let mut it = haystack.iter();
+    needle.iter().all(|op| it.any(|h| h == op))
+}
+
+/// A proposed reusable Atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomCandidate {
+    /// The shared operation subsequence.
+    pub ops: Vec<DataPathOp>,
+    /// Names of the SIs whose data paths contain the subsequence.
+    pub shared_by: Vec<String>,
+    /// Reuse score: `(sharers − 1) × length` — operations that no longer
+    /// need dedicated hardware.
+    pub score: usize,
+}
+
+/// Proposes reusable Atoms for a set of SI data paths.
+///
+/// For every pair of data paths the LCS is computed; each LCS is then
+/// checked against *all* data paths (it may be shared more widely than
+/// the generating pair), deduplicated, filtered by `min_length`, and
+/// scored. Candidates are returned best-score first.
+#[must_use]
+pub fn propose_atoms(paths: &[DataPath], min_length: usize) -> Vec<AtomCandidate> {
+    let mut seen: BTreeMap<Vec<DataPathOp>, Vec<String>> = BTreeMap::new();
+    for (i, a) in paths.iter().enumerate() {
+        for b in paths.iter().skip(i + 1) {
+            let common = lcs(&a.ops, &b.ops);
+            if common.len() < min_length {
+                continue;
+            }
+            seen.entry(common).or_default();
+        }
+    }
+    // Widen each candidate to every data path containing it.
+    let mut out: Vec<AtomCandidate> = seen
+        .into_keys()
+        .map(|ops| {
+            let shared_by: Vec<String> = paths
+                .iter()
+                .filter(|p| is_subsequence(&ops, &p.ops))
+                .map(|p| p.name.clone())
+                .collect();
+            let score = shared_by.len().saturating_sub(1) * ops.len();
+            AtomCandidate {
+                ops,
+                shared_by,
+                score,
+            }
+        })
+        .filter(|c| c.shared_by.len() >= 2)
+        .collect();
+    out.sort_by(|a, b| {
+        b.score
+            .cmp(&a.score)
+            .then(b.ops.len().cmp(&a.ops.len()))
+            .then(a.ops.cmp(&b.ops))
+    });
+    out
+}
+
+/// The case-study data paths: the three transform SIs plus SATD and SAD,
+/// written as linear op sequences over the Fig. 9 primitives.
+#[must_use]
+pub fn h264_data_paths() -> Vec<DataPath> {
+    use DataPathOp::*;
+    vec![
+        // DCT: butterfly with the shift elements switched in.
+        DataPath::new(
+            "DCT_4x4",
+            vec![
+                Load, Pack, Add, Sub, ShiftLeft, Add, Sub, Pack, Store,
+            ],
+        ),
+        // HT_4x4: the same butterfly without the shifts.
+        DataPath::new(
+            "HT_4x4",
+            vec![Load, Pack, Add, Sub, Add, Sub, Pack, Store],
+        ),
+        // HT_2x2: a single butterfly stage.
+        DataPath::new("HT_2x2", vec![Load, Add, Sub, Store]),
+        // SATD: residual, pack, butterfly, magnitude accumulation.
+        DataPath::new(
+            "SATD_4x4",
+            vec![
+                Load, Sub, Pack, Add, Sub, Add, Sub, Abs, Accumulate, Store,
+            ],
+        ),
+        // SAD: residual and magnitude accumulation only.
+        DataPath::new("SAD_4x4", vec![Load, Sub, Abs, Accumulate, Store]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use DataPathOp::*;
+
+    #[test]
+    fn lcs_of_identical_sequences_is_the_sequence() {
+        let s = vec![Load, Add, Sub, Store];
+        assert_eq!(lcs(&s, &s), s);
+    }
+
+    #[test]
+    fn lcs_of_disjoint_sequences_is_empty() {
+        assert!(lcs(&[Add, Add], &[Sub, Mux]).is_empty());
+    }
+
+    #[test]
+    fn lcs_finds_interleaved_commonality() {
+        let a = vec![Load, Add, ShiftLeft, Sub, Store];
+        let b = vec![Load, Mux, Add, Sub, Pack, Store];
+        assert_eq!(lcs(&a, &b), vec![Load, Add, Sub, Store]);
+    }
+
+    #[test]
+    fn lcs_is_a_subsequence_of_both() {
+        let a = vec![Load, Pack, Add, Sub, ShiftLeft, Store];
+        let b = vec![Load, Add, Pack, Sub, Store];
+        let c = lcs(&a, &b);
+        assert!(is_subsequence(&c, &a));
+        assert!(is_subsequence(&c, &b));
+    }
+
+    #[test]
+    fn subsequence_check() {
+        let h = vec![Load, Add, Sub, Store];
+        assert!(is_subsequence(&[Add, Store], &h));
+        assert!(is_subsequence(&[], &h));
+        assert!(!is_subsequence(&[Store, Add], &h)); // order matters
+        assert!(!is_subsequence(&[Mux], &h));
+    }
+
+    #[test]
+    fn butterfly_emerges_as_the_top_shared_atom() {
+        // The paper's Fig. 9 insight: the add/sub butterfly (plus the
+        // load/store scaffold) is shared by all transform SIs, so it tops
+        // the candidate list.
+        let candidates = propose_atoms(&h264_data_paths(), 3);
+        assert!(!candidates.is_empty());
+        let top = &candidates[0];
+        assert!(top.shared_by.len() >= 3, "top: {top:?}");
+        assert!(top.ops.contains(&Add) && top.ops.contains(&Sub));
+        // DCT and HT_4x4 both share it — the Transform Atom's clients.
+        assert!(top.shared_by.iter().any(|n| n == "DCT_4x4"));
+        assert!(top.shared_by.iter().any(|n| n == "HT_4x4"));
+    }
+
+    #[test]
+    fn candidates_are_sorted_by_score() {
+        let candidates = propose_atoms(&h264_data_paths(), 2);
+        assert!(candidates.windows(2).all(|w| w[0].score >= w[1].score));
+        // Every candidate is shared by at least two SIs and respects the
+        // minimum length.
+        assert!(candidates
+            .iter()
+            .all(|c| c.shared_by.len() >= 2 && c.ops.len() >= 2));
+    }
+
+    #[test]
+    fn min_length_filters_trivial_candidates() {
+        let all = propose_atoms(&h264_data_paths(), 2);
+        let long = propose_atoms(&h264_data_paths(), 5);
+        assert!(long.len() <= all.len());
+        assert!(long.iter().all(|c| c.ops.len() >= 5));
+    }
+
+    #[test]
+    fn score_counts_saved_operations() {
+        let paths = vec![
+            DataPath::new("a", vec![Load, Add, Store]),
+            DataPath::new("b", vec![Load, Add, Store]),
+            DataPath::new("c", vec![Load, Add, Store]),
+        ];
+        let candidates = propose_atoms(&paths, 2);
+        // One candidate [Load, Add, Store], shared by 3: score (3−1)·3 = 6.
+        assert_eq!(candidates[0].score, 6);
+        assert_eq!(candidates[0].shared_by.len(), 3);
+    }
+
+    #[test]
+    fn single_path_yields_nothing() {
+        let paths = vec![DataPath::new("only", vec![Load, Add, Store])];
+        assert!(propose_atoms(&paths, 1).is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests on the selection algorithms: the Fig. 5 trimming loop
+//! terminates with an invariant-respecting result, and run-time Molecule
+//! selection never exceeds its Atom-Container budget and never makes an SI
+//! slower.
+
+use proptest::prelude::*;
+use rispp_core::molecule::Molecule;
+use rispp_core::selection::{select_molecules, trim_forecast_candidates};
+use rispp_core::si::{MoleculeImpl, SiId, SiLibrary, SpecialInstruction};
+
+const WIDTH: usize = 4;
+
+fn molecule() -> impl Strategy<Value = Molecule> {
+    proptest::collection::vec(0u32..5, WIDTH).prop_map(Molecule::from_counts)
+}
+
+fn nonzero_molecule() -> impl Strategy<Value = Molecule> {
+    molecule().prop_filter("must need at least one atom", |m| !m.is_zero())
+}
+
+prop_compose! {
+    fn si_strategy()(
+        mols in proptest::collection::vec((nonzero_molecule(), 1u64..100), 1..5),
+        extra_sw in 1u64..1000,
+    ) -> SpecialInstruction {
+        let max_hw = mols.iter().map(|(_, c)| *c).max().unwrap_or(1);
+        let sw = max_hw + extra_sw; // software is always slower than hardware
+        SpecialInstruction::new(
+            "prop-si",
+            sw,
+            mols.into_iter()
+                .map(|(m, c)| MoleculeImpl::new(m, c))
+                .collect(),
+        )
+        .expect("strategy builds valid SIs")
+    }
+}
+
+proptest! {
+    #[test]
+    fn trim_result_partitions_input(
+        reps in proptest::collection::vec(nonzero_molecule(), 0..8),
+        budget in 0u32..20,
+    ) {
+        let speedups = vec![2.0; reps.len()];
+        let out = trim_forecast_candidates(&reps, &speedups, budget).unwrap();
+        let mut all: Vec<usize> = out.kept.iter().chain(&out.removed).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..reps.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn trim_final_sup_is_sup_of_kept(
+        reps in proptest::collection::vec(nonzero_molecule(), 1..8),
+        budget in 0u32..20,
+    ) {
+        let speedups = vec![2.0; reps.len()];
+        let out = trim_forecast_candidates(&reps, &speedups, budget).unwrap();
+        let expect = Molecule::supremum(WIDTH, out.kept.iter().map(|&i| &reps[i])).unwrap();
+        prop_assert_eq!(out.final_sup, expect);
+    }
+
+    #[test]
+    fn trim_never_removes_when_budget_generous(
+        reps in proptest::collection::vec(nonzero_molecule(), 1..8),
+    ) {
+        let speedups = vec![2.0; reps.len()];
+        // WIDTH * 4 (max count) covers any supremum.
+        let out = trim_forecast_candidates(&reps, &speedups, (WIDTH as u32) * 4).unwrap();
+        prop_assert!(out.removed.is_empty());
+    }
+
+    #[test]
+    fn trim_only_stalls_on_clusters(
+        reps in proptest::collection::vec(nonzero_molecule(), 1..8),
+        budget in 0u32..20,
+    ) {
+        // If the outcome still exceeds the budget, it must be because no
+        // single removal frees any container (the Fig. 5 cluster condition:
+        // ∀ m ∈ M: m ≤ sup(M \ {m})).
+        let speedups = vec![2.0; reps.len()];
+        let out = trim_forecast_candidates(&reps, &speedups, budget).unwrap();
+        if !out.fits(budget) && !out.kept.is_empty() {
+            for &i in &out.kept {
+                let others = Molecule::supremum(
+                    WIDTH,
+                    out.kept.iter().filter(|&&j| j != i).map(|&j| &reps[j]),
+                )
+                .unwrap();
+                prop_assert!(reps[i].le(&others), "removal of {} would have freed atoms", i);
+            }
+        }
+    }
+
+    #[test]
+    fn selection_respects_budget(
+        sis in proptest::collection::vec(si_strategy(), 1..5),
+        capacity in 0u32..16,
+    ) {
+        let mut lib = SiLibrary::new(WIDTH);
+        let ids: Vec<SiId> = sis
+            .into_iter()
+            .map(|si| lib.insert(si).unwrap())
+            .collect();
+        let demands: Vec<(SiId, f64)> = ids.iter().map(|&id| (id, 1.0)).collect();
+        let sel = select_molecules(&lib, &demands, capacity);
+        prop_assert!(sel.target.determinant() <= capacity);
+    }
+
+    #[test]
+    fn selection_choices_fit_in_target(
+        sis in proptest::collection::vec(si_strategy(), 1..5),
+        capacity in 0u32..16,
+    ) {
+        let mut lib = SiLibrary::new(WIDTH);
+        let ids: Vec<SiId> = sis
+            .into_iter()
+            .map(|si| lib.insert(si).unwrap())
+            .collect();
+        let demands: Vec<(SiId, f64)> = ids.iter().map(|&id| (id, 1.0)).collect();
+        let sel = select_molecules(&lib, &demands, capacity);
+        for choice in &sel.chosen {
+            let m = &lib.get(choice.si).molecules()[choice.molecule_index];
+            prop_assert!(m.molecule.le(&sel.target));
+            prop_assert_eq!(m.cycles, choice.cycles);
+        }
+    }
+
+    #[test]
+    fn selection_never_slower_than_software(
+        sis in proptest::collection::vec(si_strategy(), 1..5),
+        capacity in 0u32..16,
+    ) {
+        let mut lib = SiLibrary::new(WIDTH);
+        let ids: Vec<SiId> = sis
+            .into_iter()
+            .map(|si| lib.insert(si).unwrap())
+            .collect();
+        let demands: Vec<(SiId, f64)> = ids.iter().map(|&id| (id, 1.0)).collect();
+        let sel = select_molecules(&lib, &demands, capacity);
+        for &id in &ids {
+            let si = lib.get(id);
+            prop_assert!(si.exec_cycles(&sel.target) <= si.sw_cycles());
+        }
+    }
+
+    #[test]
+    fn representative_bounds(si in si_strategy()) {
+        // Rep(S) lies between the infimum and supremum of the Molecules.
+        let rep = si.representative();
+        let mols: Vec<Molecule> =
+            si.molecules().iter().map(|m| m.molecule.clone()).collect();
+        let sup = Molecule::supremum(WIDTH, &mols).unwrap();
+        let inf = Molecule::infimum(&mols).unwrap().unwrap();
+        prop_assert!(inf.le(&rep));
+        prop_assert!(rep.le(&sup));
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for the formal model of Section 3.1: `(ℕⁿ, ∪)` is an
+//! Abelian semigroup with neutral element, `(ℕⁿ, ≤)` is a partially
+//! ordered set forming a complete lattice, and the `⊖` operator yields the
+//! minimal completing Meta-Molecule.
+
+use proptest::prelude::*;
+use rispp_core::molecule::Molecule;
+
+const WIDTH: usize = 6;
+
+fn molecule() -> impl Strategy<Value = Molecule> {
+    proptest::collection::vec(0u32..16, WIDTH).prop_map(Molecule::from_counts)
+}
+
+proptest! {
+    // --- (ℕⁿ, ∪) is an Abelian semigroup with neutral element 0 ---
+
+    #[test]
+    fn union_commutative(a in molecule(), b in molecule()) {
+        prop_assert_eq!(&a | &b, &b | &a);
+    }
+
+    #[test]
+    fn union_associative(a in molecule(), b in molecule(), c in molecule()) {
+        prop_assert_eq!(&(&a | &b) | &c, &a | &(&b | &c));
+    }
+
+    #[test]
+    fn union_idempotent(a in molecule()) {
+        prop_assert_eq!(&a | &a, a.clone());
+    }
+
+    #[test]
+    fn zero_is_neutral(a in molecule()) {
+        prop_assert_eq!(&a | &Molecule::zero(WIDTH), a.clone());
+    }
+
+    // --- (ℕⁿ, ∩) laws ---
+
+    #[test]
+    fn intersection_commutative(a in molecule(), b in molecule()) {
+        prop_assert_eq!(&a & &b, &b & &a);
+    }
+
+    #[test]
+    fn intersection_associative(a in molecule(), b in molecule(), c in molecule()) {
+        prop_assert_eq!(&(&a & &b) & &c, &a & &(&b & &c));
+    }
+
+    #[test]
+    fn absorption_laws(a in molecule(), b in molecule()) {
+        prop_assert_eq!(&a | &(&a & &b), a.clone());
+        prop_assert_eq!(&a & &(&a | &b), a.clone());
+    }
+
+    // --- (ℕⁿ, ≤) is a partial order; sup/inf are least/greatest bounds ---
+
+    #[test]
+    fn le_reflexive(a in molecule()) {
+        prop_assert!(a.le(&a));
+    }
+
+    #[test]
+    fn le_antisymmetric(a in molecule(), b in molecule()) {
+        if a.le(&b) && b.le(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn le_transitive(a in molecule(), b in molecule(), c in molecule()) {
+        if a.le(&b) && b.le(&c) {
+            prop_assert!(a.le(&c));
+        }
+    }
+
+    #[test]
+    fn union_is_least_upper_bound(a in molecule(), b in molecule(), c in molecule()) {
+        let sup = &a | &b;
+        prop_assert!(a.le(&sup));
+        prop_assert!(b.le(&sup));
+        // Least: any other upper bound is above the union.
+        if a.le(&c) && b.le(&c) {
+            prop_assert!(sup.le(&c));
+        }
+    }
+
+    #[test]
+    fn intersection_is_greatest_lower_bound(a in molecule(), b in molecule(), c in molecule()) {
+        let inf = &a & &b;
+        prop_assert!(inf.le(&a));
+        prop_assert!(inf.le(&b));
+        if c.le(&a) && c.le(&b) {
+            prop_assert!(c.le(&inf));
+        }
+    }
+
+    #[test]
+    fn supremum_bounds_every_member(
+        ms in proptest::collection::vec(molecule(), 0..6)
+    ) {
+        let sup = Molecule::supremum(WIDTH, &ms).unwrap();
+        for m in &ms {
+            prop_assert!(m.le(&sup));
+        }
+    }
+
+    #[test]
+    fn infimum_below_every_member(
+        ms in proptest::collection::vec(molecule(), 1..6)
+    ) {
+        let inf = Molecule::infimum(&ms).unwrap().unwrap();
+        for m in &ms {
+            prop_assert!(inf.le(m));
+        }
+    }
+
+    // --- the ⊖ operator ---
+
+    #[test]
+    fn additional_atoms_completes_the_goal(have in molecule(), goal in molecule()) {
+        let missing = have.additional_atoms(&goal).unwrap();
+        // Loading the missing Atoms on top of `have` suffices for `goal`.
+        let after = Molecule::from_counts(
+            have.as_slice()
+                .iter()
+                .zip(missing.as_slice())
+                .map(|(&h, &m)| h + m),
+        );
+        prop_assert!(goal.le(&after));
+    }
+
+    #[test]
+    fn additional_atoms_is_minimal(have in molecule(), goal in molecule()) {
+        let missing = have.additional_atoms(&goal).unwrap();
+        // Minimality: removing any single Atom from `missing` breaks the goal.
+        for (kind, count) in missing.iter_nonzero() {
+            let mut smaller = missing.clone();
+            smaller.set_count(kind, count - 1);
+            let after = Molecule::from_counts(
+                have.as_slice()
+                    .iter()
+                    .zip(smaller.as_slice())
+                    .map(|(&h, &m)| h + m),
+            );
+            prop_assert!(!goal.le(&after));
+        }
+    }
+
+    #[test]
+    fn additional_atoms_zero_iff_goal_loaded(have in molecule(), goal in molecule()) {
+        let missing = have.additional_atoms(&goal).unwrap();
+        prop_assert_eq!(missing.is_zero(), goal.le(&have));
+    }
+
+    // --- determinant ---
+
+    #[test]
+    fn determinant_monotone(a in molecule(), b in molecule()) {
+        if a.le(&b) {
+            prop_assert!(a.determinant() <= b.determinant());
+        }
+    }
+
+    #[test]
+    fn determinant_union_bounds(a in molecule(), b in molecule()) {
+        let sup = (&a | &b).determinant();
+        prop_assert!(sup >= a.determinant().max(b.determinant()));
+        prop_assert!(u64::from(sup) <= u64::from(a.determinant()) + u64::from(b.determinant()));
+    }
+}

@@ -1,0 +1,245 @@
+//! Hardware characteristics of Atoms (the paper's Table 1) and the
+//! reconfiguration-interface model.
+//!
+//! The prototype loads Atom bitstreams through the Virtex-II SelectMap
+//! interface. All four measured (bitstream size, rotation time) pairs of
+//! Table 1 give the same effective transfer rate of 69.2 MB/s (e.g.
+//! 59 353 B / 857.63 µs), so the model derives rotation time from bitstream
+//! size at that rate — which also reproduces the paper's observation that
+//! the AC covering an embedded BlockRAM row (Pack) has a noticeably larger
+//! bitstream and therefore rotation time, despite moderate logic
+//! utilisation.
+
+use crate::clock::Clock;
+use rispp_core::atom::{AtomKind, AtomSet};
+
+/// Effective SelectMap transfer rate implied by Table 1, in bytes/second.
+pub const SELECTMAP_RATE_BYTES_PER_SEC: f64 = 69.2e6;
+
+/// Slices per Atom Container in the prototype (full FPGA height, 4 CLB
+/// columns on the XC2V3000).
+pub const CONTAINER_SLICES: u32 = 1024;
+
+/// 4-input LUTs per Atom Container.
+pub const CONTAINER_LUTS: u32 = 2048;
+
+/// Synthesis/implementation characteristics of one Atom kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtomHwProfile {
+    /// Human-readable Atom name (matches the platform [`AtomSet`]).
+    pub name: String,
+    /// Occupied slices.
+    pub slices: u32,
+    /// Occupied 4-input LUTs.
+    pub luts: u32,
+    /// Partial bitstream size in bytes.
+    pub bitstream_bytes: u64,
+}
+
+impl AtomHwProfile {
+    /// Creates a profile.
+    #[must_use]
+    pub fn new<S: Into<String>>(name: S, slices: u32, luts: u32, bitstream_bytes: u64) -> Self {
+        AtomHwProfile {
+            name: name.into(),
+            slices,
+            luts,
+            bitstream_bytes,
+        }
+    }
+
+    /// Container logic utilisation as a fraction of [`CONTAINER_LUTS`]
+    /// (Table 1's utilisation column is LUT-based: e.g. SATD 808/2048 =
+    /// 39.5 %).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        f64::from(self.luts) / f64::from(CONTAINER_LUTS)
+    }
+
+    /// Rotation (reconfiguration) time in microseconds at a given transfer
+    /// rate.
+    #[must_use]
+    pub fn rotation_time_us(&self, rate_bytes_per_sec: f64) -> f64 {
+        self.bitstream_bytes as f64 / rate_bytes_per_sec * 1e6
+    }
+}
+
+/// Catalog of per-Atom hardware profiles, indexed like the platform
+/// [`AtomSet`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AtomCatalog {
+    profiles: Vec<AtomHwProfile>,
+    rate_bytes_per_sec: f64,
+}
+
+impl AtomCatalog {
+    /// Creates a catalog from per-kind profiles (index-aligned with the
+    /// platform [`AtomSet`]) at the default SelectMap rate.
+    #[must_use]
+    pub fn new(profiles: Vec<AtomHwProfile>) -> Self {
+        AtomCatalog {
+            profiles,
+            rate_bytes_per_sec: SELECTMAP_RATE_BYTES_PER_SEC,
+        }
+    }
+
+    /// Overrides the reconfiguration transfer rate (e.g. to explore faster
+    /// memory bandwidth, from which the paper says the concept "would
+    /// directly profit").
+    #[must_use]
+    pub fn with_rate(mut self, rate_bytes_per_sec: f64) -> Self {
+        assert!(rate_bytes_per_sec > 0.0, "transfer rate must be positive");
+        self.rate_bytes_per_sec = rate_bytes_per_sec;
+        self
+    }
+
+    /// Reconfiguration transfer rate in bytes/second.
+    #[must_use]
+    pub fn rate_bytes_per_sec(&self) -> f64 {
+        self.rate_bytes_per_sec
+    }
+
+    /// Number of profiled Atom kinds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Returns `true` when the catalog is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Profile of one Atom kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is out of range.
+    #[must_use]
+    pub fn profile(&self, kind: AtomKind) -> &AtomHwProfile {
+        &self.profiles[kind.index()]
+    }
+
+    /// Rotation time of one Atom in microseconds.
+    #[must_use]
+    pub fn rotation_time_us(&self, kind: AtomKind) -> f64 {
+        self.profile(kind).rotation_time_us(self.rate_bytes_per_sec)
+    }
+
+    /// Rotation time of one Atom in core cycles under `clock`.
+    #[must_use]
+    pub fn rotation_cycles(&self, kind: AtomKind, clock: &Clock) -> u64 {
+        clock.us_to_cycles(self.rotation_time_us(kind))
+    }
+
+    /// Iterates `(kind, profile)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AtomKind, &AtomHwProfile)> {
+        self.profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (AtomKind(i), p))
+    }
+
+    /// Checks that the catalog names align with an [`AtomSet`].
+    #[must_use]
+    pub fn matches(&self, atoms: &AtomSet) -> bool {
+        self.len() == atoms.len()
+            && self
+                .iter()
+                .all(|(kind, profile)| atoms.name(kind) == profile.name)
+    }
+}
+
+/// The four measured Atom profiles of the paper's Table 1, in the order
+/// Transform, SATD, Pack, QuadSub.
+///
+/// # Examples
+///
+/// ```
+/// use rispp_fabric::catalog::{table1_profiles, SELECTMAP_RATE_BYTES_PER_SEC};
+///
+/// let transform = &table1_profiles()[0];
+/// let t = transform.rotation_time_us(SELECTMAP_RATE_BYTES_PER_SEC);
+/// assert!((t - 857.63).abs() < 1.0); // Table 1: 857.63 µs
+/// ```
+#[must_use]
+pub fn table1_profiles() -> [AtomHwProfile; 4] {
+    [
+        AtomHwProfile::new("Transform", 517, 1034, 59_353),
+        AtomHwProfile::new("SATD", 407, 808, 58_141),
+        AtomHwProfile::new("Pack", 406, 812, 65_713),
+        AtomHwProfile::new("QuadSub", 352, 700, 58_745),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rotation_times_reproduced() {
+        // Paper Table 1: rotation time [µs] per Atom.
+        let expected = [857.63, 840.11, 949.53, 848.84];
+        for (profile, want) in table1_profiles().iter().zip(expected) {
+            let got = profile.rotation_time_us(SELECTMAP_RATE_BYTES_PER_SEC);
+            assert!(
+                (got - want).abs() / want < 0.005,
+                "{}: got {got:.2} µs, want {want:.2} µs",
+                profile.name
+            );
+        }
+    }
+
+    #[test]
+    fn table1_utilizations_reproduced() {
+        // Paper Table 1: utilisation 50.5 %, 39.5 %, 39.7 %, 34.2 %.
+        let expected = [0.505, 0.395, 0.397, 0.342];
+        for (profile, want) in table1_profiles().iter().zip(expected) {
+            assert!(
+                (profile.utilization() - want).abs() < 0.005,
+                "{}: utilization {}",
+                profile.name,
+                profile.utilization()
+            );
+        }
+    }
+
+    #[test]
+    fn pack_has_biggest_bitstream() {
+        // The AC loaded with Pack covers a BlockRAM row → biggest bitstream
+        // and rotation time despite moderate logic utilisation.
+        let profiles = table1_profiles();
+        let pack = profiles.iter().find(|p| p.name == "Pack").unwrap();
+        assert!(profiles
+            .iter()
+            .all(|p| p.bitstream_bytes <= pack.bitstream_bytes));
+        assert!(pack.utilization() < 0.5);
+    }
+
+    #[test]
+    fn rotation_cycles_uses_clock() {
+        let catalog = AtomCatalog::new(table1_profiles().to_vec());
+        let clock = Clock::default();
+        let cycles = catalog.rotation_cycles(AtomKind(0), &clock);
+        // ~857.63 µs at 100 MHz ≈ 85 763 cycles.
+        assert!((85_000..87_000).contains(&cycles), "cycles = {cycles}");
+    }
+
+    #[test]
+    fn faster_rate_shrinks_rotation() {
+        let catalog = AtomCatalog::new(table1_profiles().to_vec());
+        let fast = catalog.clone().with_rate(2.0 * SELECTMAP_RATE_BYTES_PER_SEC);
+        let k = AtomKind(2);
+        assert!(fast.rotation_time_us(k) < catalog.rotation_time_us(k) / 1.9);
+    }
+
+    #[test]
+    fn matches_checks_names() {
+        let catalog = AtomCatalog::new(table1_profiles().to_vec());
+        let good = AtomSet::from_names(["Transform", "SATD", "Pack", "QuadSub"]);
+        let bad = AtomSet::from_names(["Transform", "Pack", "SATD", "QuadSub"]);
+        assert!(catalog.matches(&good));
+        assert!(!catalog.matches(&bad));
+    }
+}

@@ -1,0 +1,90 @@
+//! Time base: conversion between wall-clock microseconds (the unit of the
+//! paper's Table 1 rotation times) and core-processor cycles (the unit of
+//! Molecule latencies and of the simulation).
+
+/// A fixed-frequency clock for µs ↔ cycle conversion.
+///
+/// The paper's prototype runs a DLX soft core on a Virtex-II; we model it
+/// at 100 MHz (see `DESIGN.md` §6), which puts one ~850 µs rotation at
+/// ~85 000 core cycles — three to four orders of magnitude above a single
+/// SI execution, exactly the regime that makes forecasting necessary.
+///
+/// # Examples
+///
+/// ```
+/// use rispp_fabric::clock::Clock;
+///
+/// let clock = Clock::default();
+/// assert_eq!(clock.hz(), 100_000_000);
+/// assert_eq!(clock.us_to_cycles(857.63), 85_763);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Clock {
+    hz: u64,
+}
+
+impl Clock {
+    /// The default modelling frequency, 100 MHz.
+    pub const DEFAULT_HZ: u64 = 100_000_000;
+
+    /// Creates a clock with a custom frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero.
+    #[must_use]
+    pub fn new(hz: u64) -> Self {
+        assert!(hz > 0, "clock frequency must be positive");
+        Clock { hz }
+    }
+
+    /// Clock frequency in Hertz.
+    #[must_use]
+    pub fn hz(&self) -> u64 {
+        self.hz
+    }
+
+    /// Converts a duration in microseconds to cycles (rounded to nearest).
+    #[must_use]
+    pub fn us_to_cycles(&self, us: f64) -> u64 {
+        (us * self.hz as f64 / 1e6).round() as u64
+    }
+
+    /// Converts a cycle count to microseconds.
+    #[must_use]
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 * 1e6 / self.hz as f64
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::new(Self::DEFAULT_HZ)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_stable() {
+        let clock = Clock::default();
+        for us in [1.0, 857.63, 949.53, 10_000.0] {
+            let cycles = clock.us_to_cycles(us);
+            assert!((clock.cycles_to_us(cycles) - us).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn custom_frequency() {
+        let clock = Clock::new(50_000_000);
+        assert_eq!(clock.us_to_cycles(1.0), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_hz_rejected() {
+        let _ = Clock::new(0);
+    }
+}

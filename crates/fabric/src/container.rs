@@ -1,0 +1,162 @@
+//! Atom Containers: the partially reconfigurable regions holding Atoms.
+
+use std::fmt;
+
+use rispp_core::atom::AtomKind;
+
+/// Index of an Atom Container on the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContainerId(pub usize);
+
+impl ContainerId {
+    /// Returns the dense index of this container.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ContainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AC{}", self.0)
+    }
+}
+
+/// Occupancy state of one Atom Container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerState {
+    /// The container holds no Atom.
+    Empty,
+    /// A rotation is writing `kind` into the container; until `done_at` the
+    /// container is unusable (its previous content is already gone).
+    Loading {
+        /// Atom being written.
+        kind: AtomKind,
+        /// Cycle at which the rotation completes.
+        done_at: u64,
+    },
+    /// The container holds a usable Atom.
+    Loaded {
+        /// Atom held.
+        kind: AtomKind,
+    },
+}
+
+/// One Atom Container with replacement-policy metadata.
+///
+/// The `owner` tag implements the paper's Fig. 6 semantics: containers are
+/// *allocated* to tasks, but a loaded Atom stays usable by any task as long
+/// as it physically remains in the container ("they still contain the
+/// Atoms needed to implement that SI and they share the available HW
+/// resources").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtomContainer {
+    state: ContainerState,
+    owner: Option<u32>,
+    last_used: u64,
+}
+
+impl AtomContainer {
+    /// A fresh, empty, unowned container.
+    #[must_use]
+    pub fn new() -> Self {
+        AtomContainer {
+            state: ContainerState::Empty,
+            owner: None,
+            last_used: 0,
+        }
+    }
+
+    /// Current occupancy state.
+    #[must_use]
+    pub fn state(&self) -> ContainerState {
+        self.state
+    }
+
+    pub(crate) fn set_state(&mut self, state: ContainerState) {
+        self.state = state;
+    }
+
+    /// The usable Atom, if one is fully loaded.
+    #[must_use]
+    pub fn loaded_kind(&self) -> Option<AtomKind> {
+        match self.state {
+            ContainerState::Loaded { kind } => Some(kind),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` while a rotation is in flight for this container.
+    #[must_use]
+    pub fn is_loading(&self) -> bool {
+        matches!(self.state, ContainerState::Loading { .. })
+    }
+
+    /// Task tag of the current allocation, if any.
+    #[must_use]
+    pub fn owner(&self) -> Option<u32> {
+        self.owner
+    }
+
+    /// Re-allocates the container to a task (or to none).
+    pub fn set_owner(&mut self, owner: Option<u32>) {
+        self.owner = owner;
+    }
+
+    /// Cycle of the most recent use of the contained Atom.
+    #[must_use]
+    pub fn last_used(&self) -> u64 {
+        self.last_used
+    }
+
+    /// Records a use of the contained Atom at cycle `now`.
+    pub fn touch(&mut self, now: u64) {
+        self.last_used = self.last_used.max(now);
+    }
+}
+
+impl Default for AtomContainer {
+    fn default() -> Self {
+        AtomContainer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_container_is_empty() {
+        let c = AtomContainer::new();
+        assert_eq!(c.state(), ContainerState::Empty);
+        assert_eq!(c.loaded_kind(), None);
+        assert!(!c.is_loading());
+        assert_eq!(c.owner(), None);
+    }
+
+    #[test]
+    fn loading_hides_the_atom() {
+        let mut c = AtomContainer::new();
+        c.set_state(ContainerState::Loading {
+            kind: AtomKind(1),
+            done_at: 100,
+        });
+        assert!(c.is_loading());
+        assert_eq!(c.loaded_kind(), None);
+        c.set_state(ContainerState::Loaded { kind: AtomKind(1) });
+        assert_eq!(c.loaded_kind(), Some(AtomKind(1)));
+    }
+
+    #[test]
+    fn touch_is_monotone() {
+        let mut c = AtomContainer::new();
+        c.touch(50);
+        c.touch(20);
+        assert_eq!(c.last_used(), 50);
+    }
+
+    #[test]
+    fn display_of_container_id() {
+        assert_eq!(ContainerId(3).to_string(), "AC3");
+    }
+}

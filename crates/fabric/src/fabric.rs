@@ -1,0 +1,588 @@
+//! The reconfigurable fabric: Atom Containers plus a single
+//! reconfiguration port that serialises rotations.
+//!
+//! The model captures exactly the properties the RISPP algorithms depend
+//! on: (1) a rotation takes `bitstream / rate` wall-clock time, (2) only
+//! one rotation can be in flight at a time (one SelectMap port), (3) a
+//! container's previous Atom stays usable until its overwrite *starts*,
+//! and (4) a loading container is unusable until the rotation completes.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use rispp_core::atom::{AtomKind, AtomSet};
+use rispp_core::molecule::Molecule;
+
+use crate::catalog::AtomCatalog;
+use crate::clock::Clock;
+use crate::container::{AtomContainer, ContainerId, ContainerState};
+
+/// Errors produced by fabric operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FabricError {
+    /// The container index is out of range.
+    UnknownContainer(ContainerId),
+    /// The Atom kind is not in the platform catalog.
+    UnknownKind(AtomKind),
+    /// The container already has a rotation queued or in flight.
+    RotationPending(ContainerId),
+    /// Time went backwards in `advance_to`.
+    TimeReversal {
+        /// Current fabric time.
+        now: u64,
+        /// Requested (earlier) time.
+        requested: u64,
+    },
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::UnknownContainer(c) => write!(f, "unknown atom container {c}"),
+            FabricError::UnknownKind(k) => write!(f, "unknown atom kind {k}"),
+            FabricError::RotationPending(c) => {
+                write!(f, "rotation already pending for container {c}")
+            }
+            FabricError::TimeReversal { now, requested } => {
+                write!(f, "cannot advance fabric from cycle {now} back to {requested}")
+            }
+        }
+    }
+}
+
+impl Error for FabricError {}
+
+/// Timeline events emitted by the fabric, for traces and the Fig. 6
+/// scenario reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricEvent {
+    /// A rotation left the queue and began writing the container.
+    RotationStarted {
+        /// Target container.
+        container: ContainerId,
+        /// Atom being written.
+        kind: AtomKind,
+        /// Start cycle.
+        at: u64,
+    },
+    /// A rotation completed; the Atom is now usable.
+    RotationCompleted {
+        /// Target container.
+        container: ContainerId,
+        /// Atom now loaded.
+        kind: AtomKind,
+        /// Completion cycle.
+        at: u64,
+    },
+}
+
+impl FabricEvent {
+    /// Cycle at which the event occurred.
+    #[must_use]
+    pub fn at(&self) -> u64 {
+        match *self {
+            FabricEvent::RotationStarted { at, .. } | FabricEvent::RotationCompleted { at, .. } => {
+                at
+            }
+        }
+    }
+}
+
+/// The reconfigurable fabric simulator.
+///
+/// # Examples
+///
+/// ```
+/// use rispp_core::atom::{AtomKind, AtomSet};
+/// use rispp_fabric::catalog::{table1_profiles, AtomCatalog};
+/// use rispp_fabric::container::ContainerId;
+/// use rispp_fabric::fabric::Fabric;
+///
+/// let atoms = AtomSet::from_names(["Transform", "SATD", "Pack", "QuadSub"]);
+/// let catalog = AtomCatalog::new(table1_profiles().to_vec());
+/// let mut fabric = Fabric::new(atoms, catalog, 4);
+///
+/// fabric.request_rotation(ContainerId(0), AtomKind(0))?;
+/// let done = fabric.next_completion().expect("one rotation in flight");
+/// fabric.advance_to(done)?;
+/// assert_eq!(fabric.loaded_molecule().count(AtomKind(0)), 1);
+/// # Ok::<(), rispp_fabric::fabric::FabricError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    atoms: AtomSet,
+    catalog: AtomCatalog,
+    clock: Clock,
+    containers: Vec<AtomContainer>,
+    /// FIFO of requested-but-not-started rotations.
+    queue: VecDeque<(ContainerId, AtomKind)>,
+    /// Container with the in-flight rotation, if any.
+    in_flight: Option<ContainerId>,
+    now: u64,
+    events: Vec<FabricEvent>,
+}
+
+impl Fabric {
+    /// Creates a fabric with `containers` Atom Containers at the default
+    /// 100 MHz clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog does not cover the atom set (name-for-name).
+    #[must_use]
+    pub fn new(atoms: AtomSet, catalog: AtomCatalog, containers: usize) -> Self {
+        Self::with_clock(atoms, catalog, containers, Clock::default())
+    }
+
+    /// Creates a fabric with an explicit clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog does not cover the atom set (name-for-name).
+    #[must_use]
+    pub fn with_clock(
+        atoms: AtomSet,
+        catalog: AtomCatalog,
+        containers: usize,
+        clock: Clock,
+    ) -> Self {
+        assert!(
+            catalog.matches(&atoms),
+            "atom catalog must be index-aligned with the atom set"
+        );
+        Fabric {
+            atoms,
+            catalog,
+            clock,
+            containers: vec![AtomContainer::new(); containers],
+            queue: VecDeque::new(),
+            in_flight: None,
+            now: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// The platform Atom set.
+    #[must_use]
+    pub fn atoms(&self) -> &AtomSet {
+        &self.atoms
+    }
+
+    /// The Atom hardware catalog.
+    #[must_use]
+    pub fn catalog(&self) -> &AtomCatalog {
+        &self.catalog
+    }
+
+    /// The simulation clock.
+    #[must_use]
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Current fabric time, in cycles.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of Atom Containers.
+    #[must_use]
+    pub fn num_containers(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Read access to one container.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn container(&self, id: ContainerId) -> &AtomContainer {
+        &self.containers[id.index()]
+    }
+
+    /// Iterates `(id, container)` pairs.
+    pub fn iter_containers(&self) -> impl Iterator<Item = (ContainerId, &AtomContainer)> {
+        self.containers
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ContainerId(i), c))
+    }
+
+    /// Re-allocates a container to a task tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::UnknownContainer`] for an out-of-range id.
+    pub fn set_owner(&mut self, id: ContainerId, owner: Option<u32>) -> Result<(), FabricError> {
+        self.containers
+            .get_mut(id.index())
+            .ok_or(FabricError::UnknownContainer(id))?
+            .set_owner(owner);
+        Ok(())
+    }
+
+    /// Records that the Atoms of `used` were exercised at the current time
+    /// (for LRU-style replacement decisions). For each kind, the
+    /// most-recently-loaded containers are touched first.
+    pub fn touch_atoms(&mut self, used: &Molecule) {
+        let now = self.now;
+        for (kind, count) in used.iter_nonzero() {
+            let mut remaining = count;
+            for c in self.containers.iter_mut() {
+                if remaining == 0 {
+                    break;
+                }
+                if c.loaded_kind() == Some(kind) {
+                    c.touch(now);
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+
+    /// The Meta-Molecule of all *usable* (fully loaded) Atoms.
+    #[must_use]
+    pub fn loaded_molecule(&self) -> Molecule {
+        Molecule::from_pairs(
+            self.atoms.len(),
+            self.containers
+                .iter()
+                .filter_map(|c| c.loaded_kind().map(|k| (k, 1))),
+        )
+    }
+
+    /// The Meta-Molecule that will be loaded once all queued and in-flight
+    /// rotations complete (loaded Atoms not scheduled for overwrite, plus
+    /// every rotation target).
+    #[must_use]
+    pub fn committed_molecule(&self) -> Molecule {
+        let pending_overwrite: Vec<usize> = self
+            .queue
+            .iter()
+            .map(|&(c, _)| c.index())
+            .collect();
+        let mut pairs: Vec<(AtomKind, u32)> = Vec::new();
+        for (i, c) in self.containers.iter().enumerate() {
+            match c.state() {
+                ContainerState::Loaded { kind } if !pending_overwrite.contains(&i) => {
+                    pairs.push((kind, 1));
+                }
+                ContainerState::Loading { kind, .. } => pairs.push((kind, 1)),
+                _ => {}
+            }
+        }
+        pairs.extend(self.queue.iter().map(|&(_, k)| (k, 1)));
+        Molecule::from_pairs(self.atoms.len(), pairs)
+    }
+
+    /// Returns `true` when neither a rotation is in flight nor queued.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_none() && self.queue.is_empty()
+    }
+
+    /// Completion cycle of the in-flight rotation, if any.
+    #[must_use]
+    pub fn next_completion(&self) -> Option<u64> {
+        let id = self.in_flight?;
+        match self.containers[id.index()].state() {
+            ContainerState::Loading { done_at, .. } => Some(done_at),
+            _ => None,
+        }
+    }
+
+    /// Cycle by which *all* currently queued rotations will have completed.
+    #[must_use]
+    pub fn all_rotations_done_at(&self) -> Option<u64> {
+        let mut t = self.next_completion()?;
+        for &(_, kind) in &self.queue {
+            t += self.catalog.rotation_cycles(kind, &self.clock);
+        }
+        Some(t)
+    }
+
+    /// Requests a rotation writing `kind` into container `id`.
+    ///
+    /// The request queues behind the single reconfiguration port. Until the
+    /// write starts, the container's previous Atom (if any) stays usable.
+    ///
+    /// # Errors
+    ///
+    /// * [`FabricError::UnknownContainer`] / [`FabricError::UnknownKind`]
+    ///   for out-of-range arguments;
+    /// * [`FabricError::RotationPending`] when the container already has a
+    ///   queued or in-flight rotation.
+    pub fn request_rotation(&mut self, id: ContainerId, kind: AtomKind) -> Result<(), FabricError> {
+        if id.index() >= self.containers.len() {
+            return Err(FabricError::UnknownContainer(id));
+        }
+        if kind.index() >= self.atoms.len() {
+            return Err(FabricError::UnknownKind(kind));
+        }
+        let pending = self.in_flight == Some(id)
+            || self.queue.iter().any(|&(c, _)| c == id);
+        if pending {
+            return Err(FabricError::RotationPending(id));
+        }
+        self.queue.push_back((id, kind));
+        self.pump(self.now);
+        Ok(())
+    }
+
+    /// Cancels a queued (not yet started) rotation. Returns `true` if a
+    /// request was removed.
+    pub fn cancel_pending(&mut self, id: ContainerId) -> bool {
+        let before = self.queue.len();
+        self.queue.retain(|&(c, _)| c != id);
+        before != self.queue.len()
+    }
+
+    /// Cancels every queued (not yet started) rotation and returns how
+    /// many were removed. The in-flight rotation, if any, continues — the
+    /// SelectMap port cannot abort a partial bitstream write.
+    pub fn cancel_all_pending(&mut self) -> usize {
+        let n = self.queue.len();
+        self.queue.clear();
+        n
+    }
+
+    /// The queued (not yet started) rotations in FIFO order.
+    #[must_use]
+    pub fn pending_rotations(&self) -> Vec<(ContainerId, AtomKind)> {
+        self.queue.iter().copied().collect()
+    }
+
+    /// Advances fabric time to `t`, completing and starting rotations, and
+    /// returns the events that occurred in `(now, t]` in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::TimeReversal`] when `t` is in the past.
+    pub fn advance_to(&mut self, t: u64) -> Result<Vec<FabricEvent>, FabricError> {
+        if t < self.now {
+            return Err(FabricError::TimeReversal {
+                now: self.now,
+                requested: t,
+            });
+        }
+        self.pump(t);
+        self.now = t;
+        Ok(std::mem::take(&mut self.events))
+    }
+
+    /// Processes completions and queue starts with horizon `t`.
+    fn pump(&mut self, t: u64) {
+        loop {
+            // Complete the in-flight rotation if it finishes within the
+            // horizon.
+            if let Some(id) = self.in_flight {
+                let ContainerState::Loading { kind, done_at } = self.containers[id.index()].state()
+                else {
+                    unreachable!("in-flight container must be loading");
+                };
+                if done_at <= t {
+                    self.containers[id.index()].set_state(ContainerState::Loaded { kind });
+                    self.events.push(FabricEvent::RotationCompleted {
+                        container: id,
+                        kind,
+                        at: done_at,
+                    });
+                    self.in_flight = None;
+                    // The port frees at `done_at`; queued loads may start.
+                    if let Some((next_id, next_kind)) = self.queue.pop_front() {
+                        self.start_rotation(next_id, next_kind, done_at);
+                    }
+                    continue;
+                }
+                break; // still in flight past the horizon
+            }
+            // Port idle: the only way a request lingers here is that it was
+            // just enqueued (request_rotation pumps immediately), so it
+            // starts at the current time.
+            match self.queue.pop_front() {
+                Some((id, kind)) => self.start_rotation(id, kind, self.now),
+                None => break,
+            }
+        }
+    }
+
+    fn start_rotation(&mut self, id: ContainerId, kind: AtomKind, at: u64) {
+        let duration = self.catalog.rotation_cycles(kind, &self.clock);
+        self.containers[id.index()].set_state(ContainerState::Loading {
+            kind,
+            done_at: at + duration,
+        });
+        self.events.push(FabricEvent::RotationStarted {
+            container: id,
+            kind,
+            at,
+        });
+        self.in_flight = Some(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::table1_profiles;
+
+    fn fabric(containers: usize) -> Fabric {
+        let atoms = AtomSet::from_names(["Transform", "SATD", "Pack", "QuadSub"]);
+        let catalog = AtomCatalog::new(table1_profiles().to_vec());
+        Fabric::new(atoms, catalog, containers)
+    }
+
+    #[test]
+    fn single_rotation_completes_after_rotation_time() {
+        let mut f = fabric(2);
+        f.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
+        let done = f.next_completion().unwrap();
+        // Transform: 857.63 µs ≈ 85 763 cycles at 100 MHz.
+        assert!((85_000..87_000).contains(&done));
+        let events = f.advance_to(done).unwrap();
+        assert_eq!(events.len(), 2); // started + completed
+        assert_eq!(f.loaded_molecule(), Molecule::from_counts([1, 0, 0, 0]));
+        assert!(f.is_idle());
+    }
+
+    #[test]
+    fn rotations_serialize_through_one_port() {
+        let mut f = fabric(2);
+        f.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
+        f.request_rotation(ContainerId(1), AtomKind(1)).unwrap();
+        let first_done = f.next_completion().unwrap();
+        let events = f.advance_to(first_done).unwrap();
+        // Second rotation starts exactly when the first completes.
+        assert!(events.iter().any(|e| matches!(
+            e,
+            FabricEvent::RotationStarted { container: ContainerId(1), at, .. } if *at == first_done
+        )));
+        assert_eq!(f.loaded_molecule().determinant(), 1);
+        let all_done = f.next_completion().unwrap();
+        f.advance_to(all_done).unwrap();
+        assert_eq!(f.loaded_molecule().determinant(), 2);
+    }
+
+    #[test]
+    fn old_atom_usable_until_overwrite_starts() {
+        let mut f = fabric(1);
+        f.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
+        f.advance_to(f.next_completion().unwrap()).unwrap();
+        assert_eq!(f.loaded_molecule().count(AtomKind(0)), 1);
+        // Overwrite with a different kind: usable old atom disappears as
+        // soon as the rotation starts (the port is free, so immediately).
+        f.request_rotation(ContainerId(0), AtomKind(2)).unwrap();
+        assert_eq!(f.loaded_molecule().determinant(), 0);
+        f.advance_to(f.next_completion().unwrap()).unwrap();
+        assert_eq!(f.loaded_molecule().count(AtomKind(2)), 1);
+    }
+
+    #[test]
+    fn queued_overwrite_keeps_old_atom_until_start() {
+        let mut f = fabric(2);
+        f.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
+        f.advance_to(f.next_completion().unwrap()).unwrap();
+        // Start a long rotation on AC1, then queue an overwrite of AC0.
+        f.request_rotation(ContainerId(1), AtomKind(2)).unwrap();
+        f.request_rotation(ContainerId(0), AtomKind(3)).unwrap();
+        // AC0's Transform is still usable while the port works on AC1.
+        assert_eq!(f.loaded_molecule().count(AtomKind(0)), 1);
+        let t1 = f.next_completion().unwrap();
+        f.advance_to(t1).unwrap();
+        // Now the overwrite of AC0 started: Transform gone, Pack loaded.
+        assert_eq!(f.loaded_molecule().count(AtomKind(0)), 0);
+        assert_eq!(f.loaded_molecule().count(AtomKind(2)), 1);
+    }
+
+    #[test]
+    fn committed_molecule_includes_queue() {
+        let mut f = fabric(3);
+        f.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
+        f.request_rotation(ContainerId(1), AtomKind(1)).unwrap();
+        f.request_rotation(ContainerId(2), AtomKind(1)).unwrap();
+        assert_eq!(
+            f.committed_molecule(),
+            Molecule::from_counts([1, 2, 0, 0])
+        );
+        assert_eq!(f.loaded_molecule().determinant(), 0);
+    }
+
+    #[test]
+    fn duplicate_request_rejected() {
+        let mut f = fabric(2);
+        f.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
+        assert_eq!(
+            f.request_rotation(ContainerId(0), AtomKind(1)),
+            Err(FabricError::RotationPending(ContainerId(0)))
+        );
+    }
+
+    #[test]
+    fn out_of_range_arguments_rejected() {
+        let mut f = fabric(1);
+        assert!(matches!(
+            f.request_rotation(ContainerId(5), AtomKind(0)),
+            Err(FabricError::UnknownContainer(_))
+        ));
+        assert!(matches!(
+            f.request_rotation(ContainerId(0), AtomKind(9)),
+            Err(FabricError::UnknownKind(_))
+        ));
+    }
+
+    #[test]
+    fn time_reversal_rejected() {
+        let mut f = fabric(1);
+        f.advance_to(100).unwrap();
+        assert!(matches!(
+            f.advance_to(50),
+            Err(FabricError::TimeReversal { .. })
+        ));
+    }
+
+    #[test]
+    fn cancel_pending_removes_queued_only() {
+        let mut f = fabric(2);
+        f.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
+        f.request_rotation(ContainerId(1), AtomKind(1)).unwrap();
+        assert!(f.cancel_pending(ContainerId(1)));
+        assert!(!f.cancel_pending(ContainerId(0))); // already in flight
+        f.advance_to(f.next_completion().unwrap()).unwrap();
+        assert!(f.is_idle());
+        assert_eq!(f.loaded_molecule().determinant(), 1);
+    }
+
+    #[test]
+    fn all_rotations_done_at_accumulates_queue() {
+        let mut f = fabric(3);
+        f.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
+        f.request_rotation(ContainerId(1), AtomKind(0)).unwrap();
+        let single = f.next_completion().unwrap();
+        let all = f.all_rotations_done_at().unwrap();
+        assert_eq!(all, 2 * single);
+    }
+
+    #[test]
+    fn touch_atoms_updates_lru_metadata() {
+        let mut f = fabric(2);
+        f.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
+        f.request_rotation(ContainerId(1), AtomKind(1)).unwrap();
+        let t = f.all_rotations_done_at().unwrap();
+        f.advance_to(t + 10).unwrap();
+        f.touch_atoms(&Molecule::from_counts([1, 0, 0, 0]));
+        assert_eq!(f.container(ContainerId(0)).last_used(), t + 10);
+        assert_eq!(f.container(ContainerId(1)).last_used(), 0);
+    }
+
+    #[test]
+    fn owner_reallocation() {
+        let mut f = fabric(1);
+        f.set_owner(ContainerId(0), Some(7)).unwrap();
+        assert_eq!(f.container(ContainerId(0)).owner(), Some(7));
+        assert!(f.set_owner(ContainerId(3), None).is_err());
+    }
+}

@@ -1,0 +1,474 @@
+//! CAVLC-structured residual coding.
+//!
+//! H.264's baseline entropy coder (Context-Adaptive Variable-Length
+//! Coding) beats plain universal codes by exploiting three structural
+//! facts about quantised 4×4 residuals: (1) the number of coefficients in
+//! a block correlates with its neighbours (context adaptivity), (2) the
+//! last few non-zero coefficients are almost always ±1 ("trailing ones"),
+//! and (3) level magnitudes grow towards the DC end, so the level-code
+//! suffix length escalates adaptively.
+//!
+//! This module implements that structure faithfully — syntax element for
+//! syntax element: `coeff_token` (context-adaptive), trailing-one signs,
+//! levels with the standard's adaptive `suffixLength` escalation,
+//! `total_zeros` and `run_before`. The individual VLC code *tables* are
+//! replaced by systematically constructed prefix codes (documented
+//! substitution: the published tables are pages of constants; the
+//! adaptive structure, not the table entries, is what this reproduction
+//! exercises). Streams are self-consistent: [`decode_cavlc_block`]
+//! inverts [`encode_cavlc_block`] exactly.
+
+use crate::block::Block4x4;
+use crate::entropy::{zigzag_scan, zigzag_unscan, BitReader, BitWriter};
+
+/// Coding context: the predicted coefficient count `nC`, derived from the
+/// already-coded left and top neighbour blocks (their average, as in the
+/// standard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CavlcContext {
+    /// Total coefficients of the left neighbour block, if coded.
+    pub left_total: Option<u8>,
+    /// Total coefficients of the top neighbour block, if coded.
+    pub top_total: Option<u8>,
+}
+
+impl CavlcContext {
+    /// The predicted coefficient count `nC`.
+    #[must_use]
+    pub fn nc(&self) -> u8 {
+        match (self.left_total, self.top_total) {
+            (Some(l), Some(t)) => (l + t).div_ceil(2),
+            (Some(x), None) | (None, Some(x)) => x,
+            (None, None) => 0,
+        }
+    }
+}
+
+/// `coeff_token` table choice by context, mirroring the standard's four
+/// regimes (nC < 2, < 4, < 8, ≥ 8).
+fn token_regime(nc: u8) -> u8 {
+    match nc {
+        0..=1 => 0,
+        2..=3 => 1,
+        4..=7 => 2,
+        _ => 3,
+    }
+}
+
+/// Likelihood-ordered (total_coeffs, trailing_ones) table for one context
+/// regime: combinations whose `total` is close to the regime's expected
+/// coefficient count come first (and thus get the shortest codes), and
+/// within one `total` more trailing ones are likelier. Both sides derive
+/// the same table deterministically — the systematic replacement for the
+/// standard's printed VLC tables.
+fn token_table(regime: u8) -> Vec<(u8, u8)> {
+    let expected = i32::from(regime) * 4; // regimes expect 0, 4, 8 coeffs
+    let mut entries: Vec<(u8, u8)> = (0..=16u8)
+        .flat_map(|total| (0..=3.min(total)).map(move |t1s| (total, t1s)))
+        .collect();
+    entries.sort_by_key(|&(total, t1s)| {
+        (
+            (i32::from(total) - expected).abs(),
+            total,
+            std::cmp::Reverse(t1s),
+        )
+    });
+    entries
+}
+
+/// Writes the joint (total_coeffs, trailing_ones) symbol; regime 3 uses a
+/// fixed 7-bit code like the standard's FLC for nC ≥ 8.
+fn put_coeff_token(w: &mut BitWriter, nc: u8, total: u8, t1s: u8) {
+    debug_assert!(total <= 16 && t1s <= 3.min(total));
+    match token_regime(nc) {
+        3 => w.put_bits(u32::from(total) * 4 + u32::from(t1s), 7),
+        regime => {
+            let table = token_table(regime);
+            let index = table
+                .iter()
+                .position(|&e| e == (total, t1s))
+                .expect("table enumerates all combinations");
+            w.put_ue(index as u32);
+        }
+    }
+}
+
+fn read_coeff_token(r: &mut BitReader<'_>, nc: u8) -> Option<(u8, u8)> {
+    match token_regime(nc) {
+        3 => {
+            let symbol = r.bits(7)?;
+            let total = (symbol / 4) as u8;
+            let t1s = (symbol % 4) as u8;
+            if total > 16 || t1s > 3.min(total) {
+                return None;
+            }
+            Some((total, t1s))
+        }
+        regime => {
+            let index = r.ue()? as usize;
+            token_table(regime).get(index).copied()
+        }
+    }
+}
+
+/// Writes one level with the standard's prefix/suffix scheme and returns
+/// the updated `suffix_length`.
+fn put_level(w: &mut BitWriter, level: i32, suffix_length: u32) -> u32 {
+    debug_assert!(level != 0);
+    // Map signed level to code: positive → even, negative → odd.
+    let abs = level.unsigned_abs();
+    let code = (abs - 1) * 2 + u32::from(level < 0);
+    let prefix = code >> suffix_length;
+    // Unary prefix (capped escape like the standard's prefix 15 escape).
+    if prefix < 15 {
+        w.put_bits(0, prefix as u8); // `prefix` zeros
+        w.put_bits(1, 1);
+        if suffix_length > 0 {
+            w.put_bits(code & ((1 << suffix_length) - 1), suffix_length as u8);
+        }
+    } else {
+        // Escape: 15 zeros, marker, then a 20-bit fixed code.
+        w.put_bits(0, 15);
+        w.put_bits(1, 1);
+        w.put_bits(code, 20);
+    }
+    // Adaptive escalation: larger levels widen the suffix (standard rule:
+    // increase when |level| > 3 << (suffixLength − 1)).
+    let threshold = if suffix_length == 0 {
+        3
+    } else {
+        3u32 << (suffix_length - 1)
+    };
+    if abs > threshold && suffix_length < 6 {
+        suffix_length + 1
+    } else {
+        suffix_length
+    }
+}
+
+fn read_level(r: &mut BitReader<'_>, suffix_length: u32) -> Option<(i32, u32)> {
+    let mut prefix = 0u32;
+    while r.bit()? == 0 {
+        prefix += 1;
+        if prefix > 15 {
+            return None;
+        }
+    }
+    let code = if prefix < 15 {
+        let suffix = if suffix_length > 0 {
+            r.bits(suffix_length as u8)?
+        } else {
+            0
+        };
+        (prefix << suffix_length) | suffix
+    } else {
+        r.bits(20)?
+    };
+    let abs = code / 2 + 1;
+    let level = if code.is_multiple_of(2) {
+        abs as i32
+    } else {
+        -(abs as i32)
+    };
+    let threshold = if suffix_length == 0 {
+        3
+    } else {
+        3u32 << (suffix_length - 1)
+    };
+    let next = if abs > threshold && suffix_length < 6 {
+        suffix_length + 1
+    } else {
+        suffix_length
+    };
+    Some((level, next))
+}
+
+/// Encodes one quantised 4×4 block with the CAVLC structure; returns the
+/// bit count and the block's `total_coeffs` (the context for its right
+/// and bottom neighbours).
+pub fn encode_cavlc_block(
+    w: &mut BitWriter,
+    levels: &Block4x4,
+    ctx: CavlcContext,
+) -> (usize, u8) {
+    let before = w.bit_len();
+    let seq = zigzag_scan(levels);
+    // Gather non-zero coefficients, last (highest-frequency) first, as
+    // CAVLC codes them in reverse scan order.
+    let nonzero: Vec<(usize, i32)> = seq
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| v != 0)
+        .map(|(i, &v)| (i, v))
+        .collect();
+    let total = nonzero.len() as u8;
+
+    // Trailing ones: up to three ±1s at the high-frequency end.
+    let mut t1s = 0u8;
+    for &(_, v) in nonzero.iter().rev().take(3) {
+        if v.abs() == 1 {
+            t1s += 1;
+        } else {
+            break;
+        }
+    }
+
+    put_coeff_token(w, ctx.nc(), total, t1s);
+    if total == 0 {
+        return (w.bit_len() - before, 0);
+    }
+
+    // Signs of the trailing ones (1 = negative), high frequency first.
+    for &(_, v) in nonzero.iter().rev().take(usize::from(t1s)) {
+        w.put_bits(u32::from(v < 0), 1);
+    }
+
+    // Remaining levels, high frequency first, with adaptive suffixes.
+    // (The standard starts with suffixLength 1 when total > 10 and fewer
+    // than 3 trailing ones.)
+    let mut suffix_length = u32::from(total > 10 && t1s < 3);
+    for &(_, v) in nonzero.iter().rev().skip(usize::from(t1s)) {
+        suffix_length = put_level(w, v, suffix_length);
+    }
+
+    // total_zeros: zeros interleaved before the last coefficient.
+    let last_index = nonzero.last().expect("total > 0").0;
+    let total_zeros = (last_index + 1) as u32 - u32::from(total);
+    w.put_ue(total_zeros);
+
+    // run_before for each coefficient (reverse order, except the first in
+    // scan order which absorbs the remainder).
+    let mut zeros_left = total_zeros;
+    for window in nonzero.windows(2).rev() {
+        if zeros_left == 0 {
+            break;
+        }
+        let run = (window[1].0 - window[0].0 - 1) as u32;
+        w.put_ue(run);
+        zeros_left -= run;
+    }
+    (w.bit_len() - before, total)
+}
+
+/// Decodes one block written by [`encode_cavlc_block`]; returns the block
+/// and its `total_coeffs` context value.
+pub fn decode_cavlc_block(
+    r: &mut BitReader<'_>,
+    ctx: CavlcContext,
+) -> Option<(Block4x4, u8)> {
+    let (total, t1s) = read_coeff_token(r, ctx.nc())?;
+    if total == 0 {
+        return Some(([[0; 4]; 4], 0));
+    }
+    // Levels, high frequency first.
+    let mut levels_rev: Vec<i32> = Vec::with_capacity(usize::from(total));
+    for _ in 0..t1s {
+        let negative = r.bit()? == 1;
+        levels_rev.push(if negative { -1 } else { 1 });
+    }
+    let mut suffix_length = u32::from(total > 10 && t1s < 3);
+    for _ in t1s..total {
+        let (level, next) = read_level(r, suffix_length)?;
+        suffix_length = next;
+        levels_rev.push(level);
+    }
+    let total_zeros = r.ue()?;
+    if u32::from(total) + total_zeros > 16 {
+        return None;
+    }
+    // Runs, matching the encoder's reverse traversal.
+    let mut runs_rev: Vec<u32> = Vec::with_capacity(usize::from(total) - 1);
+    let mut zeros_left = total_zeros;
+    for _ in 0..usize::from(total) - 1 {
+        if zeros_left == 0 {
+            runs_rev.push(0);
+            continue;
+        }
+        let run = r.ue()?;
+        if run > zeros_left {
+            return None;
+        }
+        zeros_left -= run;
+        runs_rev.push(run);
+    }
+
+    // Rebuild the scan sequence: the first coefficient (scan order) sits
+    // after the remaining zeros.
+    let mut seq = [0i32; 16];
+    let mut pos = zeros_left as usize;
+    // levels_rev is high-frequency-first; runs_rev[i] is the gap before
+    // levels_rev[i] (between it and the next-lower-frequency coeff).
+    let levels_scan: Vec<i32> = levels_rev.iter().rev().copied().collect();
+    let runs_scan: Vec<u32> = runs_rev.iter().rev().copied().collect();
+    for (i, &level) in levels_scan.iter().enumerate() {
+        if pos > 15 {
+            return None;
+        }
+        seq[pos] = level;
+        pos += 1;
+        if i < runs_scan.len() {
+            pos += runs_scan[i] as usize;
+        }
+    }
+    Some((zigzag_unscan(&seq), total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::quantize4x4;
+    use crate::transform::forward_dct4x4;
+
+    fn roundtrip(levels: &Block4x4, ctx: CavlcContext) -> (usize, u8) {
+        let mut w = BitWriter::new();
+        let (bits, total) = encode_cavlc_block(&mut w, levels, ctx);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let (decoded, total2) = decode_cavlc_block(&mut r, ctx).expect("decodes");
+        assert_eq!(&decoded, levels, "roundtrip mismatch");
+        assert_eq!(total, total2);
+        (bits, total)
+    }
+
+    #[test]
+    fn empty_block_roundtrips_cheaply() {
+        let (bits, total) = roundtrip(&[[0; 4]; 4], CavlcContext::default());
+        assert_eq!(total, 0);
+        assert!(bits <= 3, "{bits} bits for an empty block");
+    }
+
+    #[test]
+    fn typical_residual_roundtrips() {
+        let block = [
+            [9, -3, 1, 0],
+            [2, 1, 0, 0],
+            [-1, 0, 0, 0],
+            [0, 0, 0, 0],
+        ];
+        roundtrip(&block, CavlcContext::default());
+        roundtrip(
+            &block,
+            CavlcContext {
+                left_total: Some(6),
+                top_total: Some(2),
+            },
+        );
+    }
+
+    #[test]
+    fn dense_and_large_levels_roundtrip() {
+        let mut block = [[0i32; 4]; 4];
+        for (r, row) in block.iter_mut().enumerate() {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = ((r * 4 + c) as i32 - 8) * 37; // up to ±296
+            }
+        }
+        roundtrip(&block, CavlcContext::default());
+    }
+
+    #[test]
+    fn huge_levels_take_the_escape_path() {
+        let mut block = [[0i32; 4]; 4];
+        block[0][0] = 200_000;
+        block[1][1] = -150_000;
+        roundtrip(&block, CavlcContext::default());
+    }
+
+    #[test]
+    fn every_context_regime_roundtrips() {
+        let block = [
+            [5, 1, 0, 0],
+            [-1, 0, 0, 0],
+            [0, 0, 0, 0],
+            [0, 0, 0, 0],
+        ];
+        for nc in [0u8, 2, 5, 9] {
+            let ctx = CavlcContext {
+                left_total: Some(nc),
+                top_total: Some(nc),
+            };
+            roundtrip(&block, ctx);
+        }
+    }
+
+    #[test]
+    fn context_prediction_averages_neighbours() {
+        let ctx = CavlcContext {
+            left_total: Some(4),
+            top_total: Some(7),
+        };
+        assert_eq!(ctx.nc(), 6); // (4 + 7 + 1) / 2
+        assert_eq!(CavlcContext::default().nc(), 0);
+        assert_eq!(
+            CavlcContext {
+                left_total: Some(9),
+                top_total: None
+            }
+            .nc(),
+            9
+        );
+    }
+
+    #[test]
+    fn matched_context_codes_shorter() {
+        // A sparse block in the sparse-expectation regime (nC = 0) costs
+        // fewer token bits than in the dense-expectation regime.
+        let sparse = {
+            let mut b = [[0i32; 4]; 4];
+            b[0][0] = 1;
+            b
+        };
+        let cost = |nc: u8| {
+            let mut w = BitWriter::new();
+            let ctx = CavlcContext {
+                left_total: Some(nc),
+                top_total: Some(nc),
+            };
+            encode_cavlc_block(&mut w, &sparse, ctx).0
+        };
+        assert!(cost(0) < cost(5), "{} !< {}", cost(0), cost(5));
+    }
+
+    #[test]
+    fn trailing_ones_are_one_bit_each() {
+        // Three trailing ±1s after the token cost exactly 3 sign bits —
+        // much cheaper than three coded levels.
+        let t1_block = {
+            let mut b = [[0i32; 4]; 4];
+            b[0][0] = 1;
+            b[0][1] = -1;
+            b[1][0] = 1;
+            b
+        };
+        let level_block = {
+            let mut b = [[0i32; 4]; 4];
+            b[0][0] = 4;
+            b[0][1] = -4;
+            b[1][0] = 4;
+            b
+        };
+        let cost = |b: &Block4x4| {
+            let mut w = BitWriter::new();
+            encode_cavlc_block(&mut w, b, CavlcContext::default()).0
+        };
+        assert!(cost(&t1_block) < cost(&level_block));
+    }
+
+    #[test]
+    fn real_quantised_residuals_roundtrip() {
+        // Drive the whole transform/quant pipeline and round-trip every
+        // produced block at several QPs.
+        for qp in [8u8, 20, 32] {
+            for seed in 0..20i32 {
+                let mut px = [[0i32; 4]; 4];
+                for (r, row) in px.iter_mut().enumerate() {
+                    for (c, v) in row.iter_mut().enumerate() {
+                        *v = ((seed * 37 + r as i32 * 13 + c as i32 * 7) % 61) - 30;
+                    }
+                }
+                let levels = quantize4x4(&forward_dct4x4(&px), qp);
+                roundtrip(&levels, CavlcContext::default());
+            }
+        }
+    }
+}

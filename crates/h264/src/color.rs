@@ -1,0 +1,242 @@
+//! Colour-space conversion: BT.601 studio-range RGB ↔ YCbCr with 4:2:0
+//! chroma subsampling — how camera pixels become the [`Frame`]s the
+//! encoder consumes, using the standard integer approximations.
+
+use crate::block::{Frame, Plane};
+
+/// An interleaved 8-bit RGB image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RgbImage {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// `width × height × 3` bytes, row-major RGB.
+    pub data: Vec<u8>,
+}
+
+impl RgbImage {
+    /// Creates a solid-colour image.
+    #[must_use]
+    pub fn filled(width: usize, height: usize, rgb: [u8; 3]) -> Self {
+        let mut data = Vec::with_capacity(width * height * 3);
+        for _ in 0..width * height {
+            data.extend_from_slice(&rgb);
+        }
+        RgbImage {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[must_use]
+    pub fn pixel(&self, x: usize, y: usize) -> [u8; 3] {
+        let i = (y * self.width + x) * 3;
+        [self.data[i], self.data[i + 1], self.data[i + 2]]
+    }
+
+    /// Writes a pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set_pixel(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        let i = (y * self.width + x) * 3;
+        self.data[i..i + 3].copy_from_slice(&rgb);
+    }
+}
+
+/// BT.601 RGB → (Y, Cb, Cr), studio range (Y ∈ 16..=235).
+#[must_use]
+pub fn rgb_to_ycbcr(r: u8, g: u8, b: u8) -> (u8, u8, u8) {
+    let (r, g, b) = (i32::from(r), i32::from(g), i32::from(b));
+    let y = ((66 * r + 129 * g + 25 * b + 128) >> 8) + 16;
+    let cb = ((-38 * r - 74 * g + 112 * b + 128) >> 8) + 128;
+    let cr = ((112 * r - 94 * g - 18 * b + 128) >> 8) + 128;
+    (
+        y.clamp(0, 255) as u8,
+        cb.clamp(0, 255) as u8,
+        cr.clamp(0, 255) as u8,
+    )
+}
+
+/// BT.601 (Y, Cb, Cr) → RGB, studio range.
+#[must_use]
+pub fn ycbcr_to_rgb(y: u8, cb: u8, cr: u8) -> (u8, u8, u8) {
+    let c = i32::from(y) - 16;
+    let d = i32::from(cb) - 128;
+    let e = i32::from(cr) - 128;
+    let r = (298 * c + 409 * e + 128) >> 8;
+    let g = (298 * c - 100 * d - 208 * e + 128) >> 8;
+    let b = (298 * c + 516 * d + 128) >> 8;
+    (
+        r.clamp(0, 255) as u8,
+        g.clamp(0, 255) as u8,
+        b.clamp(0, 255) as u8,
+    )
+}
+
+/// Converts an RGB image to a 4:2:0 [`Frame`], averaging each 2×2 chroma
+/// quad.
+///
+/// # Panics
+///
+/// Panics unless the dimensions are multiples of 16 (whole macroblocks).
+#[must_use]
+pub fn rgb_to_frame(image: &RgbImage) -> Frame {
+    assert_eq!(image.width % 16, 0, "width must be a multiple of 16");
+    assert_eq!(image.height % 16, 0, "height must be a multiple of 16");
+    let mut frame = Frame::grey(image.width, image.height);
+    for y in 0..image.height {
+        for x in 0..image.width {
+            let [r, g, b] = image.pixel(x, y);
+            let (yy, _, _) = rgb_to_ycbcr(r, g, b);
+            frame.y.set_sample(x, y, yy);
+        }
+    }
+    for cy in 0..image.height / 2 {
+        for cx in 0..image.width / 2 {
+            let mut cb_sum = 0u32;
+            let mut cr_sum = 0u32;
+            for (dx, dy) in [(0, 0), (1, 0), (0, 1), (1, 1)] {
+                let [r, g, b] = image.pixel(cx * 2 + dx, cy * 2 + dy);
+                let (_, cb, cr) = rgb_to_ycbcr(r, g, b);
+                cb_sum += u32::from(cb);
+                cr_sum += u32::from(cr);
+            }
+            frame.cb.set_sample(cx, cy, ((cb_sum + 2) / 4) as u8);
+            frame.cr.set_sample(cx, cy, ((cr_sum + 2) / 4) as u8);
+        }
+    }
+    frame
+}
+
+/// Converts a 4:2:0 [`Frame`] back to RGB (nearest-neighbour chroma
+/// upsampling).
+#[must_use]
+pub fn frame_to_rgb(frame: &Frame) -> RgbImage {
+    let (w, h) = (frame.width(), frame.height());
+    let mut image = RgbImage::filled(w, h, [0, 0, 0]);
+    let sample = |p: &Plane, x: usize, y: usize| p.sample(x as isize, y as isize);
+    for y in 0..h {
+        for x in 0..w {
+            let (r, g, b) = ycbcr_to_rgb(
+                sample(&frame.y, x, y),
+                sample(&frame.cb, x / 2, y / 2),
+                sample(&frame.cr, x / 2, y / 2),
+            );
+            image.set_pixel(x, y, [r, g, b]);
+        }
+    }
+    image
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grey_is_chroma_neutral() {
+        for v in [0u8, 64, 128, 200, 255] {
+            let (_, cb, cr) = rgb_to_ycbcr(v, v, v);
+            assert!(cb.abs_diff(128) <= 1, "cb {cb} for grey {v}");
+            assert!(cr.abs_diff(128) <= 1, "cr {cr} for grey {v}");
+        }
+    }
+
+    #[test]
+    fn primaries_land_in_the_right_quadrants() {
+        let (_, cb_r, cr_r) = rgb_to_ycbcr(255, 0, 0);
+        assert!(cr_r > 200 && cb_r < 128, "red: cb {cb_r} cr {cr_r}");
+        let (_, cb_b, cr_b) = rgb_to_ycbcr(0, 0, 255);
+        assert!(cb_b > 200 && cr_b < 128, "blue: cb {cb_b} cr {cr_b}");
+        let (y_w, _, _) = rgb_to_ycbcr(255, 255, 255);
+        assert!(y_w >= 234, "white luma {y_w}");
+        let (y_k, _, _) = rgb_to_ycbcr(0, 0, 0);
+        assert_eq!(y_k, 16);
+    }
+
+    #[test]
+    fn pixel_roundtrip_is_tight() {
+        for r in (0..=255u16).step_by(37) {
+            for g in (0..=255u16).step_by(41) {
+                for b in (0..=255u16).step_by(43) {
+                    let (y, cb, cr) = rgb_to_ycbcr(r as u8, g as u8, b as u8);
+                    let (r2, g2, b2) = ycbcr_to_rgb(y, cb, cr);
+                    assert!(
+                        (i32::from(r2) - i32::from(r)).abs() <= 3
+                            && (i32::from(g2) - i32::from(g)).abs() <= 3
+                            && (i32::from(b2) - i32::from(b)).abs() <= 3,
+                        "({r},{g},{b}) -> ({r2},{g2},{b2})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_on_smooth_content() {
+        // Chroma subsampling loses detail on sharp edges but not on
+        // smooth gradients.
+        let mut image = RgbImage::filled(32, 32, [0, 0, 0]);
+        for y in 0..32 {
+            for x in 0..32 {
+                image.set_pixel(x, y, [(x * 8) as u8, (y * 8) as u8, 120]);
+            }
+        }
+        let frame = rgb_to_frame(&image);
+        let back = frame_to_rgb(&frame);
+        let mut max_err = 0i32;
+        for y in 0..32 {
+            for x in 0..32 {
+                let a = image.pixel(x, y);
+                let b = back.pixel(x, y);
+                for i in 0..3 {
+                    max_err = max_err.max((i32::from(a[i]) - i32::from(b[i])).abs());
+                }
+            }
+        }
+        assert!(max_err <= 8, "max channel error {max_err}");
+    }
+
+    #[test]
+    fn chroma_is_averaged_over_quads() {
+        // Alternating red/blue columns: the 2×2 chroma quad averages out.
+        let mut image = RgbImage::filled(32, 32, [0, 0, 0]);
+        for y in 0..32 {
+            for x in 0..32 {
+                let rgb = if x % 2 == 0 { [255, 0, 0] } else { [0, 0, 255] };
+                image.set_pixel(x, y, rgb);
+            }
+        }
+        let frame = rgb_to_frame(&image);
+        // Averaged chroma sits strictly between the pure-red and
+        // pure-blue values (red: cb 90/cr 239; blue: cb 240/cr 111).
+        let cb = frame.cb.sample(8, 8);
+        let cr = frame.cr.sample(8, 8);
+        assert!((120..=210).contains(&cb), "cb {cb}");
+        assert!((141..=209).contains(&cr), "cr {cr}");
+    }
+
+    #[test]
+    fn converted_frames_feed_the_encoder() {
+        use crate::encoder::{encode_frame, EncoderConfig};
+        let reference = rgb_to_frame(&RgbImage::filled(32, 32, [90, 140, 60]));
+        let mut image = RgbImage::filled(32, 32, [90, 140, 60]);
+        for y in 8..16 {
+            for x in 8..24 {
+                image.set_pixel(x, y, [200, 40, 40]);
+            }
+        }
+        let current = rgb_to_frame(&image);
+        let result = encode_frame(&current, &reference, &EncoderConfig::default());
+        assert!(result.luma_psnr > 30.0);
+        assert!(result.bits > 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! In-loop deblocking filter (the LF stage of Fig. 1), simplified to the
+//! H.264 normal-strength (bS < 4) luma edge filter with fixed α/β
+//! thresholds derived from QP.
+
+use crate::block::Plane;
+
+/// α (edge activity) threshold per QP, from the H.264 table (subset —
+/// indexed lookup clamps into range).
+const ALPHA: [i32; 52] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 4, 4, 5, 6, 7, 8, 9, 10, 12, 13, 15, 17, 20,
+    22, 25, 28, 32, 36, 40, 45, 50, 56, 63, 71, 80, 90, 101, 113, 127, 144, 162, 182, 203, 226,
+    255, 255,
+];
+
+/// β (gradient) threshold per QP.
+const BETA: [i32; 52] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 6, 6, 7, 7, 8,
+    8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13, 14, 14, 15, 15, 16, 16, 17, 17, 18, 18,
+];
+
+fn clip(v: i32, lo: i32, hi: i32) -> i32 {
+    v.clamp(lo, hi)
+}
+
+/// Filters one vertical 4-sample edge segment at column `x` (samples
+/// `x-2..x+2` of rows `y..y+4`). Returns the number of sample pairs
+/// modified.
+pub fn filter_vertical_edge(plane: &mut Plane, x: usize, y: usize, qp: u8) -> u32 {
+    assert!(qp <= 51, "H.264 QP range is 0..=51");
+    if x < 2 || x + 1 >= plane.width {
+        return 0;
+    }
+    let alpha = ALPHA[usize::from(qp)];
+    let beta = BETA[usize::from(qp)];
+    let mut modified = 0;
+    for r in 0..4 {
+        let yy = y + r;
+        if yy >= plane.height {
+            break;
+        }
+        let p1 = i32::from(plane.sample(x as isize - 2, yy as isize));
+        let p0 = i32::from(plane.sample(x as isize - 1, yy as isize));
+        let q0 = i32::from(plane.sample(x as isize, yy as isize));
+        let q1 = i32::from(plane.sample(x as isize + 1, yy as isize));
+        // Filter condition of the standard: a real edge discontinuity that
+        // is small enough to be a coding artefact rather than content.
+        if (p0 - q0).abs() < alpha && (p1 - p0).abs() < beta && (q1 - q0).abs() < beta {
+            let delta = clip(((q0 - p0) * 4 + (p1 - q1) + 4) >> 3, -3, 3);
+            let new_p0 = clip(p0 + delta, 0, 255);
+            let new_q0 = clip(q0 - delta, 0, 255);
+            plane.set_sample(x - 1, yy, new_p0 as u8);
+            plane.set_sample(x, yy, new_q0 as u8);
+            if delta != 0 {
+                modified += 1;
+            }
+        }
+    }
+    modified
+}
+
+/// Runs the filter over every 4×4 block edge of the plane and returns the
+/// number of modified sample pairs — the LF workload of one frame.
+pub fn deblock_plane(plane: &mut Plane, qp: u8) -> u32 {
+    let mut modified = 0;
+    let width = plane.width;
+    let height = plane.height;
+    for y in (0..height).step_by(4) {
+        for x in (4..width).step_by(4) {
+            modified += filter_vertical_edge(plane, x, y, qp);
+        }
+    }
+    modified
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_plane(left: u8, right: u8) -> Plane {
+        let mut p = Plane::filled(8, 8, left);
+        for y in 0..8 {
+            for x in 4..8 {
+                p.set_sample(x, y, right);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn small_step_is_smoothed() {
+        let mut p = step_plane(100, 104);
+        let modified = filter_vertical_edge(&mut p, 4, 0, 30);
+        assert!(modified > 0);
+        let p0 = p.sample(3, 0);
+        let q0 = p.sample(4, 0);
+        assert!(p0 > 100 && q0 < 104, "edge not smoothed: {p0} {q0}");
+    }
+
+    #[test]
+    fn strong_content_edge_is_preserved() {
+        // A 100-level step is real content: |p0 - q0| >= α for QP 30.
+        let mut p = step_plane(50, 150);
+        let modified = filter_vertical_edge(&mut p, 4, 0, 30);
+        assert_eq!(modified, 0);
+        assert_eq!(p.sample(3, 0), 50);
+        assert_eq!(p.sample(4, 0), 150);
+    }
+
+    #[test]
+    fn flat_region_untouched() {
+        let mut p = Plane::filled(8, 8, 128);
+        let before = p.clone();
+        deblock_plane(&mut p, 30);
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn low_qp_disables_filtering() {
+        // α = β = 0 below QP 16: nothing qualifies.
+        let mut p = step_plane(100, 103);
+        assert_eq!(deblock_plane(&mut p, 10), 0);
+    }
+
+    #[test]
+    fn deblock_plane_covers_all_edges() {
+        let mut p = step_plane(100, 104);
+        let modified = deblock_plane(&mut p, 30);
+        // One filtered edge column × 2 row groups of 4.
+        assert!(modified >= 8, "modified = {modified}");
+    }
+}

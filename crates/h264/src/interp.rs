@@ -1,0 +1,349 @@
+//! Half-sample interpolation: the H.264 6-tap Wiener filter
+//! `(1, −5, 20, 20, −5, 1) / 32` used by sub-pixel motion compensation —
+//! the data-path the Motion Compensation (MC) hot spot of Fig. 1 spends
+//! its area on.
+
+use crate::block::{Block4x4, Plane};
+use crate::me::MotionVector;
+use crate::satd::sad4x4;
+
+/// The 6-tap filter applied to six consecutive integer samples.
+#[must_use]
+pub fn six_tap(a: i32, b: i32, c: i32, d: i32, e: i32, f: i32) -> i32 {
+    a - 5 * b + 20 * c + 20 * d - 5 * e + f
+}
+
+fn clip255(v: i32) -> i32 {
+    v.clamp(0, 255)
+}
+
+/// Horizontal half-sample at `(x + ½, y)`.
+#[must_use]
+pub fn half_sample_h(plane: &Plane, x: isize, y: isize) -> i32 {
+    let s = |dx: isize| i32::from(plane.sample(x + dx, y));
+    clip255((six_tap(s(-2), s(-1), s(0), s(1), s(2), s(3)) + 16) >> 5)
+}
+
+/// Vertical half-sample at `(x, y + ½)`.
+#[must_use]
+pub fn half_sample_v(plane: &Plane, x: isize, y: isize) -> i32 {
+    let s = |dy: isize| i32::from(plane.sample(x, y + dy));
+    clip255((six_tap(s(-2), s(-1), s(0), s(1), s(2), s(3)) + 16) >> 5)
+}
+
+/// Diagonal half-sample at `(x + ½, y + ½)`: vertical filtering of
+/// horizontal intermediate values, with the standard's single final
+/// rounding (`>> 10`).
+#[must_use]
+pub fn half_sample_hv(plane: &Plane, x: isize, y: isize) -> i32 {
+    let h = |dy: isize| {
+        let s = |dx: isize| i32::from(plane.sample(x + dx, y + dy));
+        six_tap(s(-2), s(-1), s(0), s(1), s(2), s(3))
+    };
+    clip255((six_tap(h(-2), h(-1), h(0), h(1), h(2), h(3)) + 512) >> 10)
+}
+
+/// A motion vector in half-sample units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct HalfPelVector {
+    /// Horizontal displacement in half samples.
+    pub dx2: i16,
+    /// Vertical displacement in half samples.
+    pub dy2: i16,
+}
+
+impl HalfPelVector {
+    /// Promotes an integer vector.
+    #[must_use]
+    pub fn from_integer(mv: MotionVector) -> Self {
+        HalfPelVector {
+            dx2: i16::from(mv.dx) * 2,
+            dy2: i16::from(mv.dy) * 2,
+        }
+    }
+
+    /// Returns `true` when both components are at integer positions.
+    #[must_use]
+    pub fn is_integer(&self) -> bool {
+        self.dx2 % 2 == 0 && self.dy2 % 2 == 0
+    }
+}
+
+/// Extracts a motion-compensated 4×4 prediction at half-sample accuracy.
+#[must_use]
+pub fn compensate_half_pel(plane: &Plane, x: usize, y: usize, mv: HalfPelVector) -> Block4x4 {
+    let bx = x as isize + isize::from(mv.dx2 >> 1);
+    let by = y as isize + isize::from(mv.dy2 >> 1);
+    let frac_x = mv.dx2.rem_euclid(2) == 1;
+    let frac_y = mv.dy2.rem_euclid(2) == 1;
+    let mut out = [[0i32; 4]; 4];
+    for (r, row) in out.iter_mut().enumerate() {
+        for (c, v) in row.iter_mut().enumerate() {
+            let px = bx + c as isize;
+            let py = by + r as isize;
+            *v = match (frac_x, frac_y) {
+                (false, false) => i32::from(plane.sample(px, py)),
+                (true, false) => half_sample_h(plane, px, py),
+                (false, true) => half_sample_v(plane, px, py),
+                (true, true) => half_sample_hv(plane, px, py),
+            };
+        }
+    }
+    out
+}
+
+/// Half-pel refinement around an integer-search result: evaluates the 8
+/// half-sample neighbours and returns the best vector and its SAD cost.
+#[must_use]
+pub fn refine_half_pel(
+    current: &Plane,
+    reference: &Plane,
+    x: usize,
+    y: usize,
+    integer_mv: MotionVector,
+) -> (HalfPelVector, u32) {
+    let orig = current.block4x4(x as isize, y as isize);
+    let centre = HalfPelVector::from_integer(integer_mv);
+    let mut best = centre;
+    let mut best_cost = sad4x4(&orig, &compensate_half_pel(reference, x, y, centre));
+    for ddy in -1i16..=1 {
+        for ddx in -1i16..=1 {
+            if ddx == 0 && ddy == 0 {
+                continue;
+            }
+            let cand = HalfPelVector {
+                dx2: centre.dx2 + ddx,
+                dy2: centre.dy2 + ddy,
+            };
+            let cost = sad4x4(&orig, &compensate_half_pel(reference, x, y, cand));
+            if cost < best_cost {
+                best_cost = cost;
+                best = cand;
+            }
+        }
+    }
+    (best, best_cost)
+}
+
+/// A motion vector in quarter-sample units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct QuarterPelVector {
+    /// Horizontal displacement in quarter samples.
+    pub dx4: i16,
+    /// Vertical displacement in quarter samples.
+    pub dy4: i16,
+}
+
+impl QuarterPelVector {
+    /// Promotes a half-pel vector.
+    #[must_use]
+    pub fn from_half_pel(mv: HalfPelVector) -> Self {
+        QuarterPelVector {
+            dx4: mv.dx2 * 2,
+            dy4: mv.dy2 * 2,
+        }
+    }
+}
+
+/// Sample at a quarter-pel position: H.264 derives quarter samples by
+/// averaging the two nearest integer/half samples.
+#[must_use]
+pub fn quarter_sample(plane: &Plane, x4: isize, y4: isize) -> i32 {
+    let at_half = |x4: isize, y4: isize| -> i32 {
+        debug_assert!(x4 % 2 == 0 && y4 % 2 == 0);
+        let (x, y) = (x4 / 4, y4 / 4);
+        let frac_x = x4.rem_euclid(4) == 2;
+        let frac_y = y4.rem_euclid(4) == 2;
+        let (bx, by) = (x4.div_euclid(4), y4.div_euclid(4));
+        match (frac_x, frac_y) {
+            (false, false) => i32::from(plane.sample(x, y)),
+            (true, false) => half_sample_h(plane, bx, by),
+            (false, true) => half_sample_v(plane, bx, by),
+            (true, true) => half_sample_hv(plane, bx, by),
+        }
+    };
+    if x4 % 2 == 0 && y4 % 2 == 0 {
+        return at_half(x4, y4);
+    }
+    // Average the two nearest even (integer/half) positions, preferring
+    // the axis with the fractional offset.
+    let (ax, ay, bx2, by2) = if x4 % 2 != 0 && y4 % 2 != 0 {
+        (x4 - 1, y4 - 1, x4 + 1, y4 + 1)
+    } else if x4 % 2 != 0 {
+        (x4 - 1, y4, x4 + 1, y4)
+    } else {
+        (x4, y4 - 1, x4, y4 + 1)
+    };
+    (at_half(ax, ay) + at_half(bx2, by2) + 1) >> 1
+}
+
+/// Motion-compensated 4×4 prediction at quarter-sample accuracy.
+#[must_use]
+pub fn compensate_quarter_pel(
+    plane: &Plane,
+    x: usize,
+    y: usize,
+    mv: QuarterPelVector,
+) -> Block4x4 {
+    let mut out = [[0i32; 4]; 4];
+    for (r, row) in out.iter_mut().enumerate() {
+        for (c, v) in row.iter_mut().enumerate() {
+            let x4 = 4 * (x as isize + c as isize) + isize::from(mv.dx4);
+            let y4 = 4 * (y as isize + r as isize) + isize::from(mv.dy4);
+            *v = quarter_sample(plane, x4, y4);
+        }
+    }
+    out
+}
+
+/// Quarter-pel refinement around a half-pel result.
+#[must_use]
+pub fn refine_quarter_pel(
+    current: &Plane,
+    reference: &Plane,
+    x: usize,
+    y: usize,
+    half_mv: HalfPelVector,
+) -> (QuarterPelVector, u32) {
+    let orig = current.block4x4(x as isize, y as isize);
+    let centre = QuarterPelVector::from_half_pel(half_mv);
+    let mut best = centre;
+    let mut best_cost = sad4x4(&orig, &compensate_quarter_pel(reference, x, y, centre));
+    for ddy in -1i16..=1 {
+        for ddx in -1i16..=1 {
+            if ddx == 0 && ddy == 0 {
+                continue;
+            }
+            let cand = QuarterPelVector {
+                dx4: centre.dx4 + ddx,
+                dy4: centre.dy4 + ddy,
+            };
+            let cost = sad4x4(&orig, &compensate_quarter_pel(reference, x, y, cand));
+            if cost < best_cost {
+                best_cost = cost;
+                best = cand;
+            }
+        }
+    }
+    (best, best_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::me::full_search_4x4;
+    use crate::video::SyntheticVideo;
+
+    #[test]
+    fn six_tap_is_the_wiener_kernel() {
+        // Flat input: taps sum to 32.
+        assert_eq!(six_tap(9, 9, 9, 9, 9, 9), 9 * 32);
+        // Unit impulse picks each coefficient.
+        assert_eq!(six_tap(1, 0, 0, 0, 0, 0), 1);
+        assert_eq!(six_tap(0, 1, 0, 0, 0, 0), -5);
+        assert_eq!(six_tap(0, 0, 1, 0, 0, 0), 20);
+    }
+
+    #[test]
+    fn half_samples_of_flat_plane_are_flat() {
+        let p = Plane::filled(16, 16, 80);
+        assert_eq!(half_sample_h(&p, 8, 8), 80);
+        assert_eq!(half_sample_v(&p, 8, 8), 80);
+        assert_eq!(half_sample_hv(&p, 8, 8), 80);
+    }
+
+    #[test]
+    fn half_sample_interpolates_a_ramp() {
+        // A horizontal ramp: the half sample between v and v+2 is v+1.
+        let mut p = Plane::filled(16, 4, 0);
+        for y in 0..4 {
+            for x in 0..16 {
+                p.set_sample(x, y, (x * 2) as u8);
+            }
+        }
+        let h = half_sample_h(&p, 8, 1);
+        assert_eq!(h, 17); // between 16 and 18
+    }
+
+    #[test]
+    fn integer_vector_compensation_matches_direct_read() {
+        let mut v = SyntheticVideo::new(32, 32, 9);
+        let f = v.next_frame();
+        let mv = HalfPelVector::from_integer(MotionVector { dx: 2, dy: -1 });
+        assert!(mv.is_integer());
+        let pred = compensate_half_pel(&f.y, 12, 12, mv);
+        assert_eq!(pred, f.y.block4x4(14, 11));
+    }
+
+    #[test]
+    fn refinement_never_worse_than_integer() {
+        let mut v = SyntheticVideo::new(48, 48, 4);
+        let f0 = v.next_frame();
+        let f1 = v.next_frame();
+        let int_res = full_search_4x4(&f1.y, &f0.y, 20, 20, 4);
+        let (half_mv, half_cost) = refine_half_pel(&f1.y, &f0.y, 20, 20, int_res.mv);
+        assert!(half_cost <= int_res.cost, "{half_cost} > {}", int_res.cost);
+        let _ = half_mv;
+    }
+
+    #[test]
+    fn quarter_sample_at_integer_positions_reads_directly() {
+        let mut v = SyntheticVideo::new(32, 32, 2);
+        let f = v.next_frame();
+        for (x, y) in [(8usize, 8usize), (15, 3), (20, 27)] {
+            assert_eq!(
+                quarter_sample(&f.y, 4 * x as isize, 4 * y as isize),
+                i32::from(f.y.sample(x as isize, y as isize))
+            );
+        }
+    }
+
+    #[test]
+    fn quarter_sample_interpolates_between_neighbours() {
+        // Horizontal ramp: quarter positions land between integer and
+        // half samples.
+        let mut p = Plane::filled(16, 4, 0);
+        for y in 0..4 {
+            for x in 0..16 {
+                p.set_sample(x, y, (x * 8) as u8);
+            }
+        }
+        let int_v = quarter_sample(&p, 4 * 8, 4);
+        let quarter = quarter_sample(&p, 4 * 8 + 1, 4);
+        let half = quarter_sample(&p, 4 * 8 + 2, 4);
+        assert!(int_v <= quarter && quarter <= half, "{int_v} {quarter} {half}");
+    }
+
+    #[test]
+    fn quarter_compensation_at_zero_vector_is_identity() {
+        let mut v = SyntheticVideo::new(32, 32, 6);
+        let f = v.next_frame();
+        let pred = compensate_quarter_pel(&f.y, 12, 12, QuarterPelVector::default());
+        assert_eq!(pred, f.y.block4x4(12, 12));
+    }
+
+    #[test]
+    fn quarter_refinement_never_worse_than_half() {
+        let mut v = SyntheticVideo::new(48, 48, 8);
+        let f0 = v.next_frame();
+        let f1 = v.next_frame();
+        let int_res = full_search_4x4(&f1.y, &f0.y, 20, 20, 4);
+        let (half_mv, half_cost) = refine_half_pel(&f1.y, &f0.y, 20, 20, int_res.mv);
+        let (_, quarter_cost) = refine_quarter_pel(&f1.y, &f0.y, 20, 20, half_mv);
+        assert!(quarter_cost <= half_cost, "{quarter_cost} > {half_cost}");
+        assert!(half_cost <= int_res.cost);
+    }
+
+    #[test]
+    fn output_is_clipped_to_pixel_range() {
+        // Alternating extremes can overshoot before clipping.
+        let mut p = Plane::filled(16, 1, 0);
+        for x in 0..16 {
+            p.set_sample(x, 0, if x % 2 == 0 { 255 } else { 0 });
+        }
+        for x in 2..13 {
+            let v = half_sample_h(&p, x, 0);
+            assert!((0..=255).contains(&v), "unclipped {v}");
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Intra prediction (the "Intra MB injection" the Quality Manager can
+//! switch to in the paper's Fig. 7 flow).
+
+use crate::block::{Block4x4, Plane};
+
+/// Intra 4×4 prediction modes (a representative subset of the nine H.264
+/// modes: the three that dominate selection frequency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntraMode {
+    /// Mean of the available neighbours (mode 2).
+    Dc,
+    /// Copy the row above (mode 0).
+    Vertical,
+    /// Copy the column to the left (mode 1).
+    Horizontal,
+}
+
+/// All supported modes, in H.264 signalling preference order.
+pub const INTRA_MODES: [IntraMode; 3] =
+    [IntraMode::Dc, IntraMode::Vertical, IntraMode::Horizontal];
+
+/// Predicts a 4×4 block at `(x, y)` from its reconstructed neighbours in
+/// `plane`.
+///
+/// Border handling follows the standard's availability fallback: samples
+/// outside the plane clamp to the edge, and the DC of a block in the
+/// top-left corner degrades to 128.
+#[must_use]
+pub fn predict4x4(plane: &Plane, x: usize, y: usize, mode: IntraMode) -> Block4x4 {
+    let xi = x as isize;
+    let yi = y as isize;
+    let mut out = [[0i32; 4]; 4];
+    match mode {
+        IntraMode::Dc => {
+            let have_top = y > 0;
+            let have_left = x > 0;
+            let dc = if have_top || have_left {
+                let mut sum = 0u32;
+                let mut n = 0u32;
+                if have_top {
+                    for c in 0..4 {
+                        sum += u32::from(plane.sample(xi + c, yi - 1));
+                    }
+                    n += 4;
+                }
+                if have_left {
+                    for r in 0..4 {
+                        sum += u32::from(plane.sample(xi - 1, yi + r));
+                    }
+                    n += 4;
+                }
+                ((sum + n / 2) / n) as i32
+            } else {
+                128
+            };
+            out = [[dc; 4]; 4];
+        }
+        IntraMode::Vertical => {
+            for (r, row) in out.iter_mut().enumerate() {
+                let _ = r;
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = i32::from(plane.sample(xi + c as isize, yi - 1));
+                }
+            }
+        }
+        IntraMode::Horizontal => {
+            for (r, row) in out.iter_mut().enumerate() {
+                let left = i32::from(plane.sample(xi - 1, yi + r as isize));
+                for v in row.iter_mut() {
+                    *v = left;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The full nine intra 4×4 prediction modes of H.264 (mode numbers as in
+/// the standard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntraMode4x4 {
+    /// Mode 0 — vertical.
+    Vertical,
+    /// Mode 1 — horizontal.
+    Horizontal,
+    /// Mode 2 — DC.
+    Dc,
+    /// Mode 3 — diagonal down-left.
+    DiagonalDownLeft,
+    /// Mode 4 — diagonal down-right.
+    DiagonalDownRight,
+    /// Mode 5 — vertical-right.
+    VerticalRight,
+    /// Mode 6 — horizontal-down.
+    HorizontalDown,
+    /// Mode 7 — vertical-left.
+    VerticalLeft,
+    /// Mode 8 — horizontal-up.
+    HorizontalUp,
+}
+
+/// All nine modes in standard numbering order.
+pub const INTRA_MODES_4X4: [IntraMode4x4; 9] = [
+    IntraMode4x4::Vertical,
+    IntraMode4x4::Horizontal,
+    IntraMode4x4::Dc,
+    IntraMode4x4::DiagonalDownLeft,
+    IntraMode4x4::DiagonalDownRight,
+    IntraMode4x4::VerticalRight,
+    IntraMode4x4::HorizontalDown,
+    IntraMode4x4::VerticalLeft,
+    IntraMode4x4::HorizontalUp,
+];
+
+impl IntraMode4x4 {
+    /// Standard mode number (0..=8).
+    #[must_use]
+    pub fn number(self) -> u8 {
+        INTRA_MODES_4X4
+            .iter()
+            .position(|&m| m == self)
+            .expect("mode is in the table") as u8
+    }
+
+    /// Mode from its standard number.
+    #[must_use]
+    pub fn from_number(n: u8) -> Option<Self> {
+        INTRA_MODES_4X4.get(usize::from(n)).copied()
+    }
+}
+
+/// Reference samples of a 4×4 block: `top[0..8]` are `p[x, −1]`
+/// (including the four top-right samples), `left[0..4]` are `p[−1, y]`,
+/// `corner` is `p[−1, −1]`. Samples outside the plane clamp to the edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Neighbours {
+    top: [i32; 8],
+    left: [i32; 4],
+    corner: i32,
+}
+
+fn neighbours(plane: &Plane, x: usize, y: usize) -> Neighbours {
+    let xi = x as isize;
+    let yi = y as isize;
+    let mut top = [0i32; 8];
+    for (i, t) in top.iter_mut().enumerate() {
+        *t = i32::from(plane.sample(xi + i as isize, yi - 1));
+    }
+    let mut left = [0i32; 4];
+    for (i, l) in left.iter_mut().enumerate() {
+        *l = i32::from(plane.sample(xi - 1, yi + i as isize));
+    }
+    Neighbours {
+        top,
+        left,
+        corner: i32::from(plane.sample(xi - 1, yi - 1)),
+    }
+}
+
+fn avg2(a: i32, b: i32) -> i32 {
+    (a + b + 1) >> 1
+}
+
+fn avg3(a: i32, b: i32, c: i32) -> i32 {
+    (a + 2 * b + c + 2) >> 2
+}
+
+/// Predicts a 4×4 block with any of the nine standard modes.
+///
+/// The geometry follows H.264 §8.3.1.2; unavailable neighbours clamp to
+/// the plane border (this simulator's availability model), and the DC of
+/// the top-left corner block degrades to 128 as in [`predict4x4`].
+#[must_use]
+pub fn predict4x4_full(plane: &Plane, x: usize, y: usize, mode: IntraMode4x4) -> Block4x4 {
+    use IntraMode4x4::*;
+    match mode {
+        Vertical => return predict4x4(plane, x, y, IntraMode::Vertical),
+        Horizontal => return predict4x4(plane, x, y, IntraMode::Horizontal),
+        Dc => return predict4x4(plane, x, y, IntraMode::Dc),
+        _ => {}
+    }
+    let n = neighbours(plane, x, y);
+    let t = &n.top;
+    let l = &n.left;
+    let c = n.corner;
+    let mut out = [[0i32; 4]; 4];
+    for (yy, row) in out.iter_mut().enumerate() {
+        for (xx, v) in row.iter_mut().enumerate() {
+            *v = match mode {
+                DiagonalDownLeft => {
+                    if xx == 3 && yy == 3 {
+                        avg3(t[6], t[7], t[7])
+                    } else {
+                        avg3(t[xx + yy], t[xx + yy + 1], t[(xx + yy + 2).min(7)])
+                    }
+                }
+                DiagonalDownRight => match xx.cmp(&yy) {
+                    std::cmp::Ordering::Greater => {
+                        avg3(
+                            if xx - yy >= 2 { t[xx - yy - 2] } else { c },
+                            if xx - yy >= 1 { t[xx - yy - 1] } else { c },
+                            t[xx - yy],
+                        )
+                    }
+                    std::cmp::Ordering::Less => avg3(
+                        if yy - xx >= 2 { l[yy - xx - 2] } else { c },
+                        if yy - xx >= 1 { l[yy - xx - 1] } else { c },
+                        l[yy - xx],
+                    ),
+                    std::cmp::Ordering::Equal => avg3(t[0], c, l[0]),
+                },
+                VerticalRight => {
+                    let z = 2 * xx as i32 - yy as i32;
+                    if z >= 0 && z % 2 == 0 {
+                        let i = xx - yy / 2;
+                        if i >= 1 {
+                            avg2(t[i - 1], t[i])
+                        } else {
+                            avg2(c, t[0])
+                        }
+                    } else if z >= 0 {
+                        let i = xx - yy / 2;
+                        avg3(
+                            if i >= 2 { t[i - 2] } else { c },
+                            if i >= 1 { t[i - 1] } else { c },
+                            t[i],
+                        )
+                    } else if z == -1 {
+                        avg3(l[0], c, t[0])
+                    } else {
+                        avg3(
+                            l[yy - 2 * xx - 1],
+                            if yy >= 2 * xx + 2 { l[yy - 2 * xx - 2] } else { c },
+                            if yy >= 2 * xx + 3 { l[yy - 2 * xx - 3] } else { c },
+                        )
+                    }
+                }
+                HorizontalDown => {
+                    let z = 2 * yy as i32 - xx as i32;
+                    if z >= 0 && z % 2 == 0 {
+                        let i = yy - xx / 2;
+                        if i >= 1 {
+                            avg2(l[i - 1], l[i])
+                        } else {
+                            avg2(c, l[0])
+                        }
+                    } else if z >= 0 {
+                        let i = yy - xx / 2;
+                        avg3(
+                            if i >= 2 { l[i - 2] } else { c },
+                            if i >= 1 { l[i - 1] } else { c },
+                            l[i],
+                        )
+                    } else if z == -1 {
+                        avg3(t[0], c, l[0])
+                    } else {
+                        avg3(
+                            t[xx - 2 * yy - 1],
+                            if xx >= 2 * yy + 2 { t[xx - 2 * yy - 2] } else { c },
+                            if xx >= 2 * yy + 3 { t[xx - 2 * yy - 3] } else { c },
+                        )
+                    }
+                }
+                VerticalLeft => {
+                    let i = xx + yy / 2;
+                    if yy % 2 == 0 {
+                        avg2(t[i], t[(i + 1).min(7)])
+                    } else {
+                        avg3(t[i], t[(i + 1).min(7)], t[(i + 2).min(7)])
+                    }
+                }
+                HorizontalUp => {
+                    let z = xx + 2 * yy;
+                    if z >= 5 {
+                        l[3]
+                    } else if z % 2 == 0 {
+                        avg2(l[yy + xx / 2], l[(yy + xx / 2 + 1).min(3)])
+                    } else {
+                        avg3(
+                            l[yy + xx / 2],
+                            l[(yy + xx / 2 + 1).min(3)],
+                            l[(yy + xx / 2 + 2).min(3)],
+                        )
+                    }
+                }
+                Vertical | Horizontal | Dc => unreachable!("handled above"),
+            };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane_with_border() -> Plane {
+        // 8×8 plane: top row = 10, left column = 50, rest = 0.
+        let mut p = Plane::filled(8, 8, 0);
+        for x in 0..8 {
+            p.set_sample(x, 0, 10);
+        }
+        for y in 0..8 {
+            p.set_sample(0, y, 50);
+        }
+        p
+    }
+
+    #[test]
+    fn vertical_copies_top_row() {
+        let p = plane_with_border();
+        let b = predict4x4(&p, 4, 1, IntraMode::Vertical);
+        assert_eq!(b, [[10; 4]; 4]);
+    }
+
+    #[test]
+    fn horizontal_copies_left_column() {
+        let p = plane_with_border();
+        let b = predict4x4(&p, 1, 4, IntraMode::Horizontal);
+        assert_eq!(b, [[50; 4]; 4]);
+    }
+
+    #[test]
+    fn dc_averages_both_borders() {
+        let p = plane_with_border();
+        let b = predict4x4(&p, 1, 1, IntraMode::Dc);
+        // top neighbours are row 0 → 10s; left neighbours column 0 → 50s.
+        assert_eq!(b[0][0], 30);
+    }
+
+    #[test]
+    fn corner_dc_defaults_to_mid_grey() {
+        let p = plane_with_border();
+        let b = predict4x4(&p, 0, 0, IntraMode::Dc);
+        assert_eq!(b, [[128; 4]; 4]);
+    }
+
+    #[test]
+    fn modes_cover_constant_plane_exactly() {
+        let p = Plane::filled(8, 8, 77);
+        for mode in INTRA_MODES {
+            if mode == IntraMode::Dc {
+                continue; // corner DC would be 128
+            }
+            let b = predict4x4(&p, 4, 4, mode);
+            assert_eq!(b, [[77; 4]; 4], "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn all_nine_modes_cover_constant_plane() {
+        // Every directional predictor is an average of border samples, so
+        // a constant border must yield a constant prediction.
+        let p = Plane::filled(16, 16, 93);
+        for mode in INTRA_MODES_4X4 {
+            let b = predict4x4_full(&p, 8, 8, mode);
+            assert_eq!(b, [[93; 4]; 4], "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn mode_numbers_roundtrip() {
+        for (n, &mode) in INTRA_MODES_4X4.iter().enumerate() {
+            assert_eq!(mode.number(), n as u8);
+            assert_eq!(IntraMode4x4::from_number(n as u8), Some(mode));
+        }
+        assert_eq!(IntraMode4x4::from_number(9), None);
+    }
+
+    #[test]
+    fn diagonal_down_left_follows_the_top_row() {
+        // Top row carries a ramp; DDL propagates it along the ↙ diagonal,
+        // so pred[x][y] only depends on x + y.
+        let mut p = Plane::filled(16, 16, 0);
+        for x in 0..16 {
+            for y in 0..16 {
+                p.set_sample(x, y, (x * 8) as u8);
+            }
+        }
+        let b = predict4x4_full(&p, 4, 4, IntraMode4x4::DiagonalDownLeft);
+        for y1 in 0..4 {
+            for x1 in 0..4 {
+                for y2 in 0..4 {
+                    for x2 in 0..4 {
+                        if x1 + y1 == x2 + y2 && x1 + y1 < 6 {
+                            assert_eq!(
+                                b[y1][x1], b[y2][x2],
+                                "anti-diagonal {} not constant",
+                                x1 + y1
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn horizontal_up_saturates_to_last_left_sample() {
+        let mut p = Plane::filled(8, 8, 10);
+        p.set_sample(3, 7, 200); // left neighbour of (4, 7): l[3]
+        let b = predict4x4_full(&p, 4, 4, IntraMode4x4::HorizontalUp);
+        // Bottom-right region (z = x + 2y >= 5) copies l[3].
+        assert_eq!(b[3][3], 200);
+        assert_eq!(b[3][0], 200); // z = 6
+    }
+
+    #[test]
+    fn directional_modes_differ_on_structured_content() {
+        // On a diagonal edge the nine modes produce distinct predictions
+        // (at least several of them), which is what makes mode selection
+        // worthwhile.
+        let mut p = Plane::filled(16, 16, 0);
+        for x in 0..16usize {
+            for y in 0..16usize {
+                let v = if x > y { 220 } else { 30 };
+                p.set_sample(x, y, v);
+            }
+        }
+        let preds: Vec<Block4x4> = INTRA_MODES_4X4
+            .iter()
+            .map(|&m| predict4x4_full(&p, 8, 8, m))
+            .collect();
+        let distinct = preds
+            .iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        assert!(distinct >= 5, "only {distinct} distinct predictions");
+    }
+}

@@ -1,0 +1,207 @@
+//! Intra 16×16 prediction: the whole-macroblock intra modes of H.264
+//! (Vertical, Horizontal, DC and the least-squares **Plane** mode), used
+//! for smooth areas where per-4×4 signalling would waste bits.
+
+use crate::block::Plane;
+
+/// A 16×16 prediction block.
+pub type Block16x16 = [[i32; 16]; 16];
+
+/// The four intra 16×16 modes (standard numbering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntraMode16x16 {
+    /// Mode 0 — copy the row above.
+    Vertical,
+    /// Mode 1 — copy the column to the left.
+    Horizontal,
+    /// Mode 2 — mean of the available neighbours.
+    Dc,
+    /// Mode 3 — first-order plane fit through the border samples.
+    Plane,
+}
+
+/// All four modes in standard numbering order.
+pub const INTRA_MODES_16X16: [IntraMode16x16; 4] = [
+    IntraMode16x16::Vertical,
+    IntraMode16x16::Horizontal,
+    IntraMode16x16::Dc,
+    IntraMode16x16::Plane,
+];
+
+fn clip255(v: i32) -> i32 {
+    v.clamp(0, 255)
+}
+
+/// Predicts the 16×16 macroblock at pixel position `(x, y)` from its
+/// reconstructed neighbours.
+///
+/// Availability follows this simulator's clamping model; the DC of the
+/// top-left macroblock degrades to 128 as in the standard.
+#[must_use]
+pub fn predict16x16(plane: &Plane, x: usize, y: usize, mode: IntraMode16x16) -> Block16x16 {
+    let xi = x as isize;
+    let yi = y as isize;
+    let top = |i: isize| i32::from(plane.sample(xi + i, yi - 1));
+    let left = |i: isize| i32::from(plane.sample(xi - 1, yi + i));
+    let mut out = [[0i32; 16]; 16];
+    match mode {
+        IntraMode16x16::Vertical => {
+            for row in &mut out {
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = top(c as isize);
+                }
+            }
+        }
+        IntraMode16x16::Horizontal => {
+            for (r, row) in out.iter_mut().enumerate() {
+                let l = left(r as isize);
+                for v in row.iter_mut() {
+                    *v = l;
+                }
+            }
+        }
+        IntraMode16x16::Dc => {
+            let have_top = y > 0;
+            let have_left = x > 0;
+            let dc = if have_top || have_left {
+                let mut sum = 0i32;
+                let mut n = 0i32;
+                if have_top {
+                    for i in 0..16 {
+                        sum += top(i);
+                    }
+                    n += 16;
+                }
+                if have_left {
+                    for i in 0..16 {
+                        sum += left(i);
+                    }
+                    n += 16;
+                }
+                (sum + n / 2) / n
+            } else {
+                128
+            };
+            out = [[dc; 16]; 16];
+        }
+        IntraMode16x16::Plane => {
+            // H.264 §8.3.3.4: a first-order fit through the border.
+            let mut h = 0i32;
+            let mut v = 0i32;
+            for i in 0..8i32 {
+                h += (i + 1) * (top((8 + i) as isize) - top((6 - i) as isize));
+                v += (i + 1) * (left((8 + i) as isize) - left((6 - i) as isize));
+            }
+            let a = 16 * (top(15) + left(15));
+            let b = (5 * h + 32) >> 6;
+            let c = (5 * v + 32) >> 6;
+            for (yy, row) in out.iter_mut().enumerate() {
+                for (xx, val) in row.iter_mut().enumerate() {
+                    *val = clip255((a + b * (xx as i32 - 7) + c * (yy as i32 - 7) + 16) >> 5);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Sum of absolute differences between a source macroblock and a 16×16
+/// prediction — the mode-decision cost.
+#[must_use]
+pub fn sad16x16(plane: &Plane, x: usize, y: usize, pred: &Block16x16) -> u32 {
+    let mut acc = 0u32;
+    for (r, row) in pred.iter().enumerate() {
+        for (c, &p) in row.iter().enumerate() {
+            let s = i32::from(plane.sample((x + c) as isize, (y + r) as isize));
+            acc += s.abs_diff(p);
+        }
+    }
+    acc
+}
+
+/// Picks the best 16×16 intra mode by SAD. Returns `(mode, cost)`.
+#[must_use]
+pub fn best_mode16x16(plane: &Plane, x: usize, y: usize) -> (IntraMode16x16, u32) {
+    INTRA_MODES_16X16
+        .iter()
+        .map(|&m| (m, sad16x16(plane, x, y, &predict16x16(plane, x, y, m))))
+        .min_by_key(|&(_, cost)| cost)
+        .expect("mode table is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_plane_predicts_flat_in_every_mode() {
+        let p = Plane::filled(48, 48, 120);
+        for mode in INTRA_MODES_16X16 {
+            let pred = predict16x16(&p, 16, 16, mode);
+            assert_eq!(pred, [[120; 16]; 16], "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn plane_mode_reconstructs_a_linear_ramp() {
+        // A plane u(x, y) = 40 + 2x + 3y is exactly representable by the
+        // first-order fit; prediction error stays within rounding.
+        let mut p = Plane::filled(64, 64, 0);
+        for y in 0..64usize {
+            for x in 0..64usize {
+                p.set_sample(x, y, (40 + 2 * x + 3 * y).min(255) as u8);
+            }
+        }
+        let pred = predict16x16(&p, 16, 16, IntraMode16x16::Plane);
+        for (yy, row) in pred.iter().enumerate() {
+            for (xx, &v) in row.iter().enumerate() {
+                let truth = (40 + 2 * (16 + xx) + 3 * (16 + yy)) as i32;
+                assert!((v - truth).abs() <= 2, "({xx},{yy}): {v} vs {truth}");
+            }
+        }
+        // And the mode decision picks Plane on such content.
+        let (mode, _) = best_mode16x16(&p, 16, 16);
+        assert_eq!(mode, IntraMode16x16::Plane);
+    }
+
+    #[test]
+    fn dc_of_corner_macroblock_is_mid_grey() {
+        let p = Plane::filled(32, 32, 7);
+        let pred = predict16x16(&p, 0, 0, IntraMode16x16::Dc);
+        assert_eq!(pred, [[128; 16]; 16]);
+    }
+
+    #[test]
+    fn vertical_copies_the_top_row() {
+        let mut p = Plane::filled(48, 48, 0);
+        for x in 0..48 {
+            p.set_sample(x, 15, (x * 5 % 250) as u8);
+        }
+        let pred = predict16x16(&p, 16, 16, IntraMode16x16::Vertical);
+        for row in &pred {
+            for (c, &v) in row.iter().enumerate() {
+                assert_eq!(v, i32::from(p.sample((16 + c) as isize, 15)));
+            }
+        }
+    }
+
+    #[test]
+    fn mode_decision_picks_horizontal_on_row_stripes() {
+        let mut p = Plane::filled(48, 48, 0);
+        for y in 0..48usize {
+            for x in 0..48usize {
+                p.set_sample(x, y, if y % 2 == 0 { 200 } else { 40 });
+            }
+        }
+        let (mode, cost) = best_mode16x16(&p, 16, 16);
+        assert_eq!(mode, IntraMode16x16::Horizontal);
+        assert_eq!(cost, 0);
+    }
+
+    #[test]
+    fn sad_counts_prediction_error() {
+        let p = Plane::filled(32, 32, 100);
+        let pred = [[90i32; 16]; 16];
+        assert_eq!(sad16x16(&p, 0, 0, &pred), 256 * 10);
+    }
+}

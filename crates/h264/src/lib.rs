@@ -1,0 +1,57 @@
+//! # rispp-h264 — the H.264 case-study substrate
+//!
+//! The paper evaluates RISPP with an ITU-T H.264 video encoder. This crate
+//! builds that workload from scratch:
+//!
+//! * bit-exact pixel kernels every Molecule level is functionally
+//!   equivalent to — the 4×4 integer DCT, 4×4/2×2 Hadamard transforms
+//!   ([`transform`]), SATD/SAD cost metrics ([`satd`]), H.264 scalar
+//!   quantisation ([`quant`]), intra prediction ([`intra`]), full-search
+//!   motion estimation ([`me`]) and the in-loop deblocking filter
+//!   ([`deblock`]);
+//! * the Special-Instruction library of the case study — the paper's
+//!   Table 2 Molecules over the QuadSub/Pack/Transform/SATD Atoms
+//!   ([`si_library`]);
+//! * a deterministic synthetic video source with real inter-frame motion
+//!   ([`video`]);
+//! * the Fig. 7 encoding flow with SI invocation accounting and the
+//!   Fig. 12 cycle model ([`encoder`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use rispp_h264::encoder::{encode_frame, EncoderConfig};
+//! use rispp_h264::video::SyntheticVideo;
+//!
+//! let mut video = SyntheticVideo::new(32, 32, 42);
+//! let reference = video.next_frame();
+//! let current = video.next_frame();
+//! let result = encode_frame(&current, &reference, &EncoderConfig::default());
+//! // Fig. 7 fixes the SI mix: 256 SATD per macroblock.
+//! assert_eq!(result.counts.satd_4x4, 256 * current.macroblocks() as u64);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod cavlc;
+pub mod color;
+pub mod deblock;
+pub mod decoder;
+pub mod entropy;
+pub mod encoder;
+pub mod interp;
+pub mod intra;
+pub mod intra16;
+pub mod me;
+pub mod quant;
+pub mod rate;
+pub mod satd;
+pub mod si_library;
+pub mod transform;
+pub mod video;
+
+pub use block::{Block4x4, Frame, Plane};
+pub use encoder::{encode_frame, EncoderConfig, SiInvocationCounts};
+pub use si_library::{atom_set, build_library, H264Atoms, H264Sis};
+pub use video::SyntheticVideo;

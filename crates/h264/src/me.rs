@@ -1,0 +1,289 @@
+//! Integer-pixel motion estimation: full search over a window using SAD
+//! (the ME stage of Fig. 1; the paper notes QuadSub + SATD Atoms combine
+//! into an SAD SI used exactly here).
+
+use crate::block::{Block4x4, Plane};
+use crate::satd::sad4x4;
+
+/// A motion vector in integer luma samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MotionVector {
+    /// Horizontal displacement.
+    pub dx: i8,
+    /// Vertical displacement.
+    pub dy: i8,
+}
+
+/// Result of one block search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MotionSearchResult {
+    /// Best motion vector found.
+    pub mv: MotionVector,
+    /// SAD cost at the best vector.
+    pub cost: u32,
+    /// Number of candidate positions evaluated (= SAD SI invocations).
+    pub evaluated: u32,
+}
+
+/// Full-search motion estimation of the 4×4 block at `(x, y)` of
+/// `current` within `reference`, over `±range` in both axes.
+///
+/// Ties resolve towards the shorter vector, then raster order — the
+/// deterministic tie-break every real encoder implements to keep motion
+/// fields coherent.
+///
+/// # Panics
+///
+/// Panics if `range` is 0 (the search would be meaningless) or exceeds
+/// `i8::MAX`.
+#[must_use]
+pub fn full_search_4x4(
+    current: &Plane,
+    reference: &Plane,
+    x: usize,
+    y: usize,
+    range: u8,
+) -> MotionSearchResult {
+    assert!(range > 0 && range <= i8::MAX as u8, "bad search range");
+    let orig = current.block4x4(x as isize, y as isize);
+    let r = i16::from(range);
+    let mut best = MotionSearchResult {
+        mv: MotionVector::default(),
+        cost: u32::MAX,
+        evaluated: 0,
+    };
+    let mut evaluated = 0u32;
+    for dy in -r..=r {
+        for dx in -r..=r {
+            let cand = reference.block4x4(x as isize + isize::from(dx), y as isize + isize::from(dy));
+            let cost = sad4x4(&orig, &cand);
+            evaluated += 1;
+            let mv = MotionVector {
+                dx: dx as i8,
+                dy: dy as i8,
+            };
+            if cost < best.cost || (cost == best.cost && mv_rank(mv) < mv_rank(best.mv)) {
+                best.mv = mv;
+                best.cost = cost;
+            }
+        }
+    }
+    best.evaluated = evaluated;
+    best
+}
+
+/// Extracts the predicted block for a motion vector.
+#[must_use]
+pub fn motion_compensate_4x4(
+    reference: &Plane,
+    x: usize,
+    y: usize,
+    mv: MotionVector,
+) -> Block4x4 {
+    reference.block4x4(x as isize + isize::from(mv.dx), y as isize + isize::from(mv.dy))
+}
+
+fn mv_rank(mv: MotionVector) -> (u16, i8, i8) {
+    let len = u16::from(mv.dx.unsigned_abs()) + u16::from(mv.dy.unsigned_abs());
+    (len, mv.dy, mv.dx)
+}
+
+/// SAD of a whole 16×16 macroblock at displacement `(dx, dy)`, with an
+/// early-out once `best_so_far` is exceeded (the standard ME
+/// optimisation: most candidates are rejected after a few rows). Returns
+/// `u32::MAX` for early-rejected candidates, so partial sums can never be
+/// mistaken for real costs.
+#[must_use]
+pub fn sad16x16_at(
+    current: &Plane,
+    reference: &Plane,
+    x: usize,
+    y: usize,
+    dx: isize,
+    dy: isize,
+    best_so_far: u32,
+) -> u32 {
+    let mut acc = 0u32;
+    for r in 0..16isize {
+        for c in 0..16isize {
+            let a = i32::from(current.sample(x as isize + c, y as isize + r));
+            let b = i32::from(reference.sample(x as isize + c + dx, y as isize + r + dy));
+            acc += a.abs_diff(b);
+        }
+        if acc > best_so_far {
+            return u32::MAX; // candidate already lost
+        }
+    }
+    acc
+}
+
+/// Full-search ME for a whole 16×16 macroblock: one motion vector for the
+/// MB (H.264's 16×16 partition), with the early-termination SAD.
+///
+/// # Panics
+///
+/// Panics if `range` is 0 or exceeds `i8::MAX`.
+#[must_use]
+pub fn full_search_16x16(
+    current: &Plane,
+    reference: &Plane,
+    x: usize,
+    y: usize,
+    range: u8,
+) -> MotionSearchResult {
+    assert!(range > 0 && range <= i8::MAX as u8, "bad search range");
+    let r = i16::from(range);
+    let mut best = MotionSearchResult {
+        mv: MotionVector::default(),
+        cost: u32::MAX,
+        evaluated: 0,
+    };
+    let mut evaluated = 0u32;
+    for dy in -r..=r {
+        for dx in -r..=r {
+            let cost = sad16x16_at(
+                current,
+                reference,
+                x,
+                y,
+                isize::from(dx),
+                isize::from(dy),
+                best.cost,
+            );
+            evaluated += 1;
+            let mv = MotionVector {
+                dx: dx as i8,
+                dy: dy as i8,
+            };
+            if cost < best.cost || (cost == best.cost && mv_rank(mv) < mv_rank(best.mv)) {
+                best.mv = mv;
+                best.cost = cost;
+            }
+        }
+    }
+    best.evaluated = evaluated;
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A plane with a bright 4×4 patch at `(px, py)`.
+    fn patch_plane(px: usize, py: usize) -> Plane {
+        let mut p = Plane::filled(32, 32, 20);
+        for r in 0..4 {
+            for c in 0..4 {
+                p.set_sample(px + c, py + r, 200);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn finds_translated_patch() {
+        let current = patch_plane(12, 10);
+        let reference = patch_plane(9, 13); // moved by (+3, -3) to current
+        let res = full_search_4x4(&current, &reference, 12, 10, 4);
+        assert_eq!(res.mv, MotionVector { dx: -3, dy: 3 });
+        assert_eq!(res.cost, 0);
+    }
+
+    #[test]
+    fn zero_motion_on_static_content() {
+        let p = patch_plane(8, 8);
+        let res = full_search_4x4(&p, &p, 8, 8, 6);
+        assert_eq!(res.mv, MotionVector::default());
+        assert_eq!(res.cost, 0);
+    }
+
+    #[test]
+    fn evaluates_full_window() {
+        let p = patch_plane(8, 8);
+        let res = full_search_4x4(&p, &p, 8, 8, 3);
+        assert_eq!(res.evaluated, 49); // (2·3+1)²
+    }
+
+    #[test]
+    fn compensation_matches_search() {
+        let current = patch_plane(12, 10);
+        let reference = patch_plane(10, 10);
+        let res = full_search_4x4(&current, &reference, 12, 10, 4);
+        let pred = motion_compensate_4x4(&reference, 12, 10, res.mv);
+        assert_eq!(sad4x4(&current.block4x4(12, 10), &pred), res.cost);
+    }
+
+    #[test]
+    fn tie_break_prefers_short_vectors() {
+        // Uniform planes: every candidate costs 0; the zero vector wins.
+        let a = Plane::filled(32, 32, 90);
+        let res = full_search_4x4(&a, &a, 16, 16, 5);
+        assert_eq!(res.mv, MotionVector::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad search range")]
+    fn zero_range_rejected() {
+        let p = Plane::filled(16, 16, 0);
+        let _ = full_search_4x4(&p, &p, 0, 0, 0);
+    }
+
+    /// A plane with a bright 16×16 patch at `(px, py)`.
+    fn big_patch_plane(px: usize, py: usize) -> Plane {
+        let mut p = Plane::filled(64, 64, 30);
+        for r in 0..16 {
+            for c in 0..16 {
+                p.set_sample(px + c, py + r, 210);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn mb_search_finds_translated_patch() {
+        let current = big_patch_plane(24, 20);
+        let reference = big_patch_plane(20, 24);
+        let res = full_search_16x16(&current, &reference, 24, 20, 6);
+        assert_eq!(res.mv, MotionVector { dx: -4, dy: 4 });
+        assert_eq!(res.cost, 0);
+        assert_eq!(res.evaluated, 169); // (2·6+1)²
+    }
+
+    #[test]
+    fn mb_search_ties_resolve_to_zero_vector() {
+        let p = Plane::filled(64, 64, 90);
+        let res = full_search_16x16(&p, &p, 24, 24, 5);
+        assert_eq!(res.mv, MotionVector::default());
+        assert_eq!(res.cost, 0);
+    }
+
+    #[test]
+    fn mb_search_agrees_with_exhaustive_sad() {
+        // The early-termination search must return the same optimum as a
+        // naive full evaluation.
+        let current = big_patch_plane(24, 20);
+        let mut reference = big_patch_plane(22, 21);
+        // Add structure so costs are distinct.
+        for i in 0..64 {
+            reference.set_sample(i, 0, (i * 3) as u8);
+        }
+        let fast = full_search_16x16(&current, &reference, 24, 20, 4);
+        let mut best = u32::MAX;
+        for dy in -4isize..=4 {
+            for dx in -4isize..=4 {
+                let c = sad16x16_at(&current, &reference, 24, 20, dx, dy, u32::MAX - 1);
+                best = best.min(c);
+            }
+        }
+        assert_eq!(fast.cost, best);
+    }
+
+    #[test]
+    fn early_out_rejects_with_sentinel() {
+        let a = big_patch_plane(24, 24);
+        let b = Plane::filled(64, 64, 0);
+        // Tight budget: the candidate must be rejected as MAX.
+        let c = sad16x16_at(&a, &b, 24, 24, 0, 0, 10);
+        assert_eq!(c, u32::MAX);
+    }
+}

@@ -1,0 +1,157 @@
+//! H.264 scalar quantisation of 4×4 transform coefficients (the TQ stage
+//! of Fig. 1), with the standard's multiplier tables folding the DCT
+//! scaling into the quantiser.
+
+use crate::block::Block4x4;
+
+/// Forward quantiser multipliers M(QP%6, pos-class), classes
+/// (0,0)-type / (1,1)-type / other.
+const M: [[i32; 3]; 6] = [
+    [13107, 5243, 8066],
+    [11916, 4660, 7490],
+    [10082, 4194, 6554],
+    [9362, 3647, 5825],
+    [8192, 3355, 5243],
+    [7282, 2893, 4559],
+];
+
+/// Inverse quantiser (rescale) multipliers V(QP%6, pos-class).
+const V: [[i32; 3]; 6] = [
+    [10, 16, 13],
+    [11, 18, 14],
+    [13, 20, 16],
+    [14, 23, 18],
+    [16, 25, 20],
+    [18, 29, 23],
+];
+
+fn pos_class(r: usize, c: usize) -> usize {
+    match (r % 2, c % 2) {
+        (0, 0) => 0,
+        (1, 1) => 1,
+        _ => 2,
+    }
+}
+
+/// Quantises forward-transform coefficients at quantisation parameter
+/// `qp` (0..=51).
+///
+/// # Panics
+///
+/// Panics if `qp > 51`.
+#[must_use]
+pub fn quantize4x4(coeffs: &Block4x4, qp: u8) -> Block4x4 {
+    assert!(qp <= 51, "H.264 QP range is 0..=51");
+    let qbits = 15 + u32::from(qp / 6);
+    let f = (1i64 << qbits) / 6; // intra rounding offset
+    let table = &M[usize::from(qp % 6)];
+    let mut out = [[0i32; 4]; 4];
+    for r in 0..4 {
+        for c in 0..4 {
+            let z = i64::from(coeffs[r][c]);
+            let m = i64::from(table[pos_class(r, c)]);
+            let level = (z.abs() * m + f) >> qbits;
+            out[r][c] = (level as i32) * z.signum() as i32;
+        }
+    }
+    out
+}
+
+/// Rescales quantised levels back to transform-domain coefficients
+/// (input to [`crate::transform::inverse_dct4x4`]).
+///
+/// # Panics
+///
+/// Panics if `qp > 51`.
+#[must_use]
+pub fn dequantize4x4(levels: &Block4x4, qp: u8) -> Block4x4 {
+    assert!(qp <= 51, "H.264 QP range is 0..=51");
+    let shift = u32::from(qp / 6);
+    let table = &V[usize::from(qp % 6)];
+    let mut out = [[0i32; 4]; 4];
+    for r in 0..4 {
+        for c in 0..4 {
+            out[r][c] = (levels[r][c] * table[pos_class(r, c)]) << shift;
+        }
+    }
+    out
+}
+
+/// Count of non-zero levels, the encoder's cheap "is this block coded"
+/// predicate.
+#[must_use]
+pub fn nonzero_count(levels: &Block4x4) -> usize {
+    levels.iter().flatten().filter(|&&v| v != 0).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::{forward_dct4x4, inverse_dct4x4};
+
+    fn pixels() -> Block4x4 {
+        [
+            [58, 64, 51, 58],
+            [52, 64, 56, 66],
+            [62, 63, 61, 64],
+            [59, 51, 63, 69],
+        ]
+    }
+
+    #[test]
+    fn zero_block_stays_zero() {
+        let z = [[0i32; 4]; 4];
+        assert_eq!(quantize4x4(&z, 26), z);
+        assert_eq!(dequantize4x4(&z, 26), z);
+    }
+
+    #[test]
+    fn roundtrip_error_is_bounded_at_low_qp() {
+        let x = pixels();
+        let coeffs = forward_dct4x4(&x);
+        let q = quantize4x4(&coeffs, 4);
+        let dq = dequantize4x4(&q, 4);
+        let back = inverse_dct4x4(&dq);
+        for (br, xr) in back.iter().zip(&x) {
+            for (bv, xv) in br.iter().zip(xr) {
+                assert!((bv - xv).abs() <= 2, "reconstruction {bv} vs {xv}");
+            }
+        }
+    }
+
+    #[test]
+    fn higher_qp_zeroes_more_coefficients() {
+        let x = pixels();
+        let coeffs = forward_dct4x4(&x);
+        let low = nonzero_count(&quantize4x4(&coeffs, 8));
+        let high = nonzero_count(&quantize4x4(&coeffs, 40));
+        assert!(high <= low, "QP40 kept {high} > QP8 {low}");
+        assert!(high < 16);
+    }
+
+    #[test]
+    fn quantisation_preserves_sign() {
+        let mut coeffs = [[0i32; 4]; 4];
+        coeffs[0][0] = 4000;
+        coeffs[1][1] = -4000;
+        let q = quantize4x4(&coeffs, 20);
+        assert!(q[0][0] > 0);
+        assert!(q[1][1] < 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "QP range")]
+    fn qp_out_of_range_rejected() {
+        let _ = quantize4x4(&[[0; 4]; 4], 52);
+    }
+
+    #[test]
+    fn qp_periodicity_in_shift() {
+        // QP and QP+6 differ exactly by one doubling in the rescale.
+        let mut levels = [[0i32; 4]; 4];
+        levels[2][1] = 5;
+        let a = dequantize4x4(&levels, 10);
+        let b = dequantize4x4(&levels, 16);
+        assert_eq!(b[2][1], 2 * a[2][1]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Frame-level rate control: a proportional QP controller steering the
+//! encoder towards a target bitrate (the knob the paper's Quality
+//! Manager turns when the "30 frames … at high video quality" schedule
+//! of the Multimedia TV workload gets tight).
+
+use crate::encoder::EncoderConfig;
+
+/// A proportional frame-level rate controller.
+///
+/// After each frame, [`RateController::update`] compares the produced
+/// bits against the per-frame budget and nudges QP by up to
+/// `max_step` — coarser quantisation when over budget, finer when under.
+///
+/// # Examples
+///
+/// ```
+/// use rispp_h264::rate::RateController;
+///
+/// let mut rc = RateController::new(4_000, 28);
+/// let qp0 = rc.qp();
+/// rc.update(9_000); // frame came out far too big
+/// assert!(rc.qp() > qp0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RateController {
+    target_bits: usize,
+    qp: u8,
+    max_step: u8,
+}
+
+impl RateController {
+    /// Creates a controller with a per-frame bit budget and a starting QP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_bits` is 0 or `initial_qp > 51`.
+    #[must_use]
+    pub fn new(target_bits: usize, initial_qp: u8) -> Self {
+        assert!(target_bits > 0, "target bitrate must be positive");
+        assert!(initial_qp <= 51, "H.264 QP range is 0..=51");
+        RateController {
+            target_bits,
+            qp: initial_qp,
+            max_step: 4,
+        }
+    }
+
+    /// The QP to encode the next frame with.
+    #[must_use]
+    pub fn qp(&self) -> u8 {
+        self.qp
+    }
+
+    /// The per-frame bit budget.
+    #[must_use]
+    pub fn target_bits(&self) -> usize {
+        self.target_bits
+    }
+
+    /// An [`EncoderConfig`] carrying the controller's current QP.
+    #[must_use]
+    pub fn config(&self, base: &EncoderConfig) -> EncoderConfig {
+        EncoderConfig {
+            qp: self.qp,
+            ..*base
+        }
+    }
+
+    /// Feeds back the bits the last frame actually produced and adapts QP
+    /// proportionally to the (log) overshoot, clamped to `max_step` per
+    /// frame and the 0..=51 QP range. Returns the new QP.
+    pub fn update(&mut self, actual_bits: usize) -> u8 {
+        let ratio = actual_bits.max(1) as f64 / self.target_bits as f64;
+        // ~3 QP per doubling of bitrate: half the classic 6-per-doubling
+        // rule of thumb, traded for loop stability on small frames.
+        let step = (3.0 * ratio.log2()).round();
+        let step = step.clamp(-f64::from(self.max_step), f64::from(self.max_step)) as i16;
+        self.qp = (i16::from(self.qp) + step).clamp(0, 51) as u8;
+        self.qp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::encode_frame;
+    use crate::video::SyntheticVideo;
+
+    #[test]
+    fn overshoot_raises_qp_and_undershoot_lowers_it() {
+        let mut rc = RateController::new(1_000, 30);
+        rc.update(4_000);
+        assert!(rc.qp() > 30);
+        let mut rc = RateController::new(1_000, 30);
+        rc.update(200);
+        assert!(rc.qp() < 30);
+    }
+
+    #[test]
+    fn exact_budget_holds_qp() {
+        let mut rc = RateController::new(1_000, 30);
+        assert_eq!(rc.update(1_000), 30);
+    }
+
+    #[test]
+    fn steps_are_clamped() {
+        let mut rc = RateController::new(1_000, 30);
+        rc.update(1_000_000); // absurd overshoot
+        assert_eq!(rc.qp(), 34); // one max_step, not a jump to 51
+        let mut rc = RateController::new(1_000_000, 30);
+        rc.update(1);
+        assert_eq!(rc.qp(), 26);
+    }
+
+    #[test]
+    fn qp_saturates_at_range_ends() {
+        let mut rc = RateController::new(1, 50);
+        for _ in 0..5 {
+            rc.update(100_000);
+        }
+        assert_eq!(rc.qp(), 51);
+        let mut rc = RateController::new(1_000_000, 2);
+        for _ in 0..5 {
+            rc.update(1);
+        }
+        assert_eq!(rc.qp(), 0);
+    }
+
+    #[test]
+    fn closed_loop_converges_to_the_budget() {
+        // Encode 24 frames with feedback; the later frames must land near
+        // the budget while the PSNR stays sensible.
+        let mut video = SyntheticVideo::new(64, 48, 5);
+        let mut reference = video.next_frame();
+        let target = 6_000usize;
+        let mut rc = RateController::new(target, 40); // start far too coarse
+        let base = EncoderConfig::default();
+        let mut tail = Vec::new();
+        for frame in 0..24 {
+            let current = video.next_frame();
+            let enc = encode_frame(&current, &reference, &rc.config(&base));
+            if frame >= 16 {
+                tail.push(enc.bits);
+            }
+            rc.update(enc.bits);
+            let mut next_ref = current.clone();
+            next_ref.y = enc.recon.clone();
+            reference = next_ref;
+        }
+        // The steady state (mean of the last 8 frames) lands near the
+        // budget despite frame-to-frame noise.
+        let mean = tail.iter().sum::<usize>() as f64 / tail.len() as f64;
+        let rel = (mean - target as f64).abs() / target as f64;
+        assert!(rel < 0.5, "steady state {mean:.0} bits for target {target}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_target_rejected() {
+        let _ = RateController::new(0, 28);
+    }
+}

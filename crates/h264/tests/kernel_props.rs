@@ -1,0 +1,197 @@
+//! Property tests on the H.264 kernels: transform linearity, metric
+//! axioms of SAD/SATD, quantiser monotonicity, and entropy-codec
+//! round-trips on arbitrary blocks.
+
+use proptest::prelude::*;
+use rispp_h264::block::Block4x4;
+use rispp_h264::entropy::{decode_block, encode_block, BitReader, BitWriter};
+use rispp_h264::quant::{dequantize4x4, nonzero_count, quantize4x4};
+use rispp_h264::satd::{residual4x4, sad4x4, satd4x4};
+use rispp_h264::transform::{forward_dct4x4, hadamard4x4, inverse_dct4x4};
+
+fn block(range: std::ops::Range<i32>) -> impl Strategy<Value = Block4x4> {
+    proptest::array::uniform4(proptest::array::uniform4(range))
+}
+
+fn pixel_block() -> impl Strategy<Value = Block4x4> {
+    block(0..256)
+}
+
+proptest! {
+    // --- transforms ---
+
+    #[test]
+    fn dct_is_linear(a in block(-256..256), b in block(-256..256)) {
+        let mut sum = [[0i32; 4]; 4];
+        for r in 0..4 {
+            for c in 0..4 {
+                sum[r][c] = a[r][c] + b[r][c];
+            }
+        }
+        let ta = forward_dct4x4(&a);
+        let tb = forward_dct4x4(&b);
+        let ts = forward_dct4x4(&sum);
+        for r in 0..4 {
+            for c in 0..4 {
+                prop_assert_eq!(ts[r][c], ta[r][c] + tb[r][c]);
+            }
+        }
+    }
+
+    #[test]
+    fn dct_dc_is_sixteen_times_mean_sum(a in block(-128..128)) {
+        let t = forward_dct4x4(&a);
+        let sum: i32 = a.iter().flatten().sum();
+        prop_assert_eq!(t[0][0], sum);
+    }
+
+    #[test]
+    fn hadamard_energy_is_scaled(a in block(-128..128)) {
+        // Parseval for the ±1 Hadamard: Σ T² = 16 · Σ x².
+        let t = hadamard4x4(&a, false);
+        let ein: i64 = a.iter().flatten().map(|&v| i64::from(v) * i64::from(v)).sum();
+        let eout: i64 = t.iter().flatten().map(|&v| i64::from(v) * i64::from(v)).sum();
+        prop_assert_eq!(eout, 16 * ein);
+    }
+
+    #[test]
+    fn quant_dequant_inverse_roundtrip_bounded(a in pixel_block()) {
+        // Residuals in pixel range survive the full QP-8 pipeline within
+        // a small tolerance.
+        let mut residual = a;
+        for row in &mut residual {
+            for v in row {
+                *v -= 128;
+            }
+        }
+        let coeffs = forward_dct4x4(&residual);
+        let rec = inverse_dct4x4(&dequantize4x4(&quantize4x4(&coeffs, 8), 8));
+        for r in 0..4 {
+            for c in 0..4 {
+                prop_assert!((rec[r][c] - residual[r][c]).abs() <= 4,
+                    "({r},{c}): {} vs {}", rec[r][c], residual[r][c]);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_qp_never_more_coefficients(a in pixel_block(), qp1 in 0u8..44) {
+        let coeffs = forward_dct4x4(&a);
+        let low = nonzero_count(&quantize4x4(&coeffs, qp1));
+        let high = nonzero_count(&quantize4x4(&coeffs, qp1 + 8));
+        prop_assert!(high <= low);
+    }
+
+    // --- cost metrics ---
+
+    #[test]
+    fn sad_is_a_metric(a in pixel_block(), b in pixel_block(), c in pixel_block()) {
+        prop_assert_eq!(sad4x4(&a, &b), sad4x4(&b, &a));
+        prop_assert_eq!(sad4x4(&a, &a), 0);
+        prop_assert!(sad4x4(&a, &c) <= sad4x4(&a, &b) + sad4x4(&b, &c));
+    }
+
+    #[test]
+    fn satd_is_symmetric_and_faithful(a in pixel_block(), b in pixel_block()) {
+        prop_assert_eq!(satd4x4(&a, &b), satd4x4(&b, &a));
+        // Zero iff identical (Hadamard is invertible).
+        prop_assert_eq!(satd4x4(&a, &b) == 0, a == b);
+    }
+
+    #[test]
+    fn residual_plus_prediction_restores(a in pixel_block(), b in pixel_block()) {
+        let r = residual4x4(&a, &b);
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert_eq!(b[i][j] + r[i][j], a[i][j]);
+            }
+        }
+    }
+
+    // --- entropy coding ---
+
+    #[test]
+    fn block_codec_roundtrips(levels in block(-512..512)) {
+        let mut w = BitWriter::new();
+        encode_block(&mut w, &levels);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        prop_assert_eq!(decode_block(&mut r), Some(levels));
+    }
+
+    #[test]
+    fn ue_se_roundtrip(values in proptest::collection::vec(-5000i32..5000, 1..50)) {
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.put_se(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            prop_assert_eq!(r.se(), Some(v));
+        }
+    }
+
+    #[test]
+    fn cavlc_roundtrips_arbitrary_blocks(
+        levels in block(-2000..2000),
+        left in proptest::option::of(0u8..17),
+        top in proptest::option::of(0u8..17),
+    ) {
+        use rispp_h264::cavlc::{decode_cavlc_block, encode_cavlc_block, CavlcContext};
+        let ctx = CavlcContext { left_total: left, top_total: top };
+        let mut w = BitWriter::new();
+        let (_, total) = encode_cavlc_block(&mut w, &levels, ctx);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let (decoded, total2) = decode_cavlc_block(&mut r, ctx).expect("self-consistent");
+        prop_assert_eq!(decoded, levels);
+        prop_assert_eq!(total, total2);
+    }
+
+    #[test]
+    fn cavlc_decoder_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..64),
+        nc in 0u8..17,
+    ) {
+        use rispp_h264::cavlc::{decode_cavlc_block, CavlcContext};
+        let ctx = CavlcContext { left_total: Some(nc), top_total: Some(nc) };
+        let mut r = BitReader::new(&bytes);
+        // Must either decode something or reject; never panic.
+        let _ = decode_cavlc_block(&mut r, ctx);
+    }
+
+    #[test]
+    fn frame_decoder_never_panics_on_corruption(
+        flips in proptest::collection::vec((0usize..10_000, 0u8..8), 1..12),
+    ) {
+        use rispp_h264::decoder::decode_frame;
+        use rispp_h264::encoder::{encode_frame, EncoderConfig};
+        use rispp_h264::video::SyntheticVideo;
+        let mut v = SyntheticVideo::new(32, 32, 3);
+        let f0 = v.next_frame();
+        let f1 = v.next_frame();
+        let config = EncoderConfig::default();
+        let enc = encode_frame(&f1, &f0, &config);
+        let mut stream = enc.stream.clone();
+        for (pos, bit) in flips {
+            let i = pos % stream.len();
+            stream[i] ^= 1 << bit;
+        }
+        // Corrupted streams must decode to *something* or be rejected —
+        // never panic.
+        let _ = decode_frame(&stream, &f0, &config);
+    }
+
+    #[test]
+    fn bit_length_counts_exactly(chunks in proptest::collection::vec((0u32..1024, 1u8..11), 0..20)) {
+        let mut w = BitWriter::new();
+        let mut expect = 0usize;
+        for &(v, n) in &chunks {
+            w.put_bits(v & ((1 << n) - 1), n);
+            expect += usize::from(n);
+        }
+        prop_assert_eq!(w.bit_len(), expect);
+        prop_assert_eq!(w.as_bytes().len(), expect.div_ceil(8));
+    }
+}

@@ -1,0 +1,32 @@
+//! # rispp-rt — the RISPP run-time architecture
+//!
+//! The run-time half of the paper (§5): given the SI library (from
+//! `rispp-core`/`rispp-h264`) and the reconfigurable fabric (from
+//! `rispp-fabric`), the [`manager::RisppManager`]
+//!
+//! * **monitors** forecast events and fine-tunes their values with
+//!   observed behaviour;
+//! * **selects** which SIs get hardware and with which Molecules, under
+//!   the Atom-Container budget;
+//! * **schedules** rotations through the single reconfiguration port,
+//!   most-important SI first, with victims picked by a
+//!   [`policy::ReplacementPolicy`];
+//! * **dispatches** SI executions to the fastest currently loaded
+//!   Molecule, falling back to software — the gradual SW → HW upgrade of
+//!   the paper's Fig. 6 scenario.
+//!
+//! # Examples
+//!
+//! See [`manager::RisppManager`] for an end-to-end forecast → rotate →
+//! execute walkthrough.
+
+#![warn(missing_docs)]
+
+pub mod manager;
+pub mod policy;
+
+pub use manager::{
+    EnergyReport, ExecutionRecord, FcStats, PowerMode, RisppManager, RotationStrategy, SiStats,
+    TaskId,
+};
+pub use policy::{LruSurplusPolicy, ReplacementPolicy};

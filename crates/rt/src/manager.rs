@@ -1,0 +1,857 @@
+//! The RISPP run-time manager (paper §5).
+//!
+//! The manager performs the three run-time tasks of the paper:
+//!
+//! 1. **Monitoring** — forecast values announced by FC instrumentation are
+//!    stored per task and fine-tuned with observed behaviour
+//!    ([`RisppManager::record_fc_outcome`]);
+//! 2. **Selecting** — on every forecast change the Molecule selection is
+//!    recomputed over all active demands under the Atom-Container budget
+//!    ([`rispp_core::selection::select_molecules`]);
+//! 3. **Scheduling** — rotations are (re)queued so the fabric converges to
+//!    the selected target Meta-Molecule, most-important SI first
+//!    ("Rotation in Advance"), with victims chosen by a replacement
+//!    policy.
+//!
+//! SI execution always uses the fastest Molecule the *currently loaded*
+//! Atoms support, falling back to the software Molecule — so execution
+//! upgrades gradually while rotations complete, exactly the T4/T5 steps of
+//! the paper's Fig. 6 scenario.
+
+use std::collections::BTreeMap;
+
+use rispp_core::forecast::ForecastValue;
+use rispp_core::molecule::Molecule;
+use rispp_core::selection::{select_molecules, MoleculeSelection};
+use rispp_core::si::{SiId, SiLibrary};
+use rispp_fabric::fabric::{Fabric, FabricError, FabricEvent};
+
+use crate::policy::{LruSurplusPolicy, ReplacementPolicy};
+
+/// Identifier of a task issuing forecasts and SI executions.
+pub type TaskId = u32;
+
+/// Outcome of one SI execution through the manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionRecord {
+    /// Executed SI.
+    pub si: SiId,
+    /// Latency in cycles.
+    pub cycles: u64,
+    /// `true` when a hardware Molecule executed, `false` for software.
+    pub hardware: bool,
+}
+
+/// Per-SI execution statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SiStats {
+    /// Hardware executions.
+    pub hw_executions: u64,
+    /// Software executions.
+    pub sw_executions: u64,
+    /// Total cycles spent in this SI.
+    pub cycles: u64,
+    /// Cycles spent in hardware Molecules (subset of `cycles`).
+    pub hw_cycles: u64,
+}
+
+impl SiStats {
+    /// Cycles spent in the software Molecule.
+    #[must_use]
+    pub fn sw_cycles(&self) -> u64 {
+        self.cycles - self.hw_cycles
+    }
+}
+
+/// Energy totals of a manager's run under an
+/// [`EnergyModel`](rispp_core::energy::EnergyModel).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyReport {
+    /// Energy of software SI executions, in joules.
+    pub sw_execution_j: f64,
+    /// Energy of hardware SI executions, in joules.
+    pub hw_execution_j: f64,
+    /// Energy of bitstream transfers (rotations), in joules.
+    pub rotation_j: f64,
+}
+
+impl EnergyReport {
+    /// Total energy in joules.
+    #[must_use]
+    pub fn total_j(&self) -> f64 {
+        self.sw_execution_j + self.hw_execution_j + self.rotation_j
+    }
+}
+
+/// Per-SI forecast monitoring statistics (the paper's run-time task (a):
+/// "Monitoring FCs and SIs in order to fine-tune the profiling
+/// information").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FcStats {
+    /// Forecasts announced for this SI (over all tasks).
+    pub issued: u64,
+    /// Negative forecasts (retractions).
+    pub retracted: u64,
+    /// Recorded outcomes where the SI was actually reached.
+    pub hits: u64,
+    /// Recorded outcomes where it was not.
+    pub misses: u64,
+}
+
+impl FcStats {
+    /// Fraction of recorded outcomes that were hits (`None` before any
+    /// outcome was recorded).
+    #[must_use]
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / total as f64)
+        }
+    }
+}
+
+/// Adaptation goal of the run-time system (the paper's §1 motivation
+/// "change in design constraints (system runs out of energy, for
+/// example)").
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PowerMode {
+    /// Maximise speed-up: demands are weighted by expected cycle savings.
+    #[default]
+    Performance,
+    /// Save energy: an SI only earns hardware when its expected execution
+    /// count amortises the rotation energy under the given
+    /// [`EnergyModel`](rispp_core::energy::EnergyModel) with trade-off
+    /// factor α; demand weights become expected energy savings.
+    EnergySaving {
+        /// The energy model used for amortisation checks.
+        model: rispp_core::energy::EnergyModel,
+        /// The α trade-off factor of §4.1 (α > 1 = stricter).
+        alpha: f64,
+    },
+}
+
+/// Order in which the rotation scheduler requests Atoms — the design
+/// choice behind the paper's "Rotation in Advance".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RotationStrategy {
+    /// Stage the SI's upgrade path: smallest (slowest) fitting Molecule
+    /// first, so hardware execution starts as early as possible and then
+    /// gradually upgrades (the paper's behaviour).
+    #[default]
+    UpgradePath,
+    /// Load the final target Molecule's Atoms in plain kind order —
+    /// hardware execution only starts once everything is there. Kept as
+    /// the ablation baseline (see the `ablation_rotation` harness).
+    TargetOnly,
+}
+
+/// The run-time manager tying the SI library, fabric and selection
+/// algorithms together.
+///
+/// # Examples
+///
+/// ```
+/// use rispp_core::forecast::ForecastValue;
+/// use rispp_fabric::{AtomCatalog, Fabric};
+/// use rispp_fabric::catalog::AtomHwProfile;
+/// use rispp_h264::si_library::{atom_set, build_library};
+/// use rispp_rt::manager::RisppManager;
+///
+/// let (lib, sis) = build_library();
+/// let profiles = vec![
+///     AtomHwProfile::new("QuadSub", 352, 700, 58_745),
+///     AtomHwProfile::new("Pack", 406, 812, 65_713),
+///     AtomHwProfile::new("Transform", 517, 1034, 59_353),
+///     AtomHwProfile::new("SATD", 407, 808, 58_141),
+/// ];
+/// let fabric = Fabric::new(atom_set(), AtomCatalog::new(profiles), 4);
+/// let mut mgr = RisppManager::new(lib, fabric);
+///
+/// // A forecast triggers rotations; until they finish, execution is SW.
+/// mgr.forecast(0, ForecastValue::new(sis.satd_4x4, 1.0, 200_000.0, 500.0));
+/// assert!(!mgr.execute_si(0, sis.satd_4x4).hardware);
+///
+/// // After all rotations complete, the SI executes in hardware.
+/// let done = mgr.all_rotations_done_at().expect("rotations queued");
+/// mgr.advance_to(done)?;
+/// assert!(mgr.execute_si(0, sis.satd_4x4).hardware);
+/// # Ok::<(), rispp_fabric::FabricError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RisppManager<P = LruSurplusPolicy> {
+    lib: SiLibrary,
+    fabric: Fabric,
+    policy: P,
+    /// Active forecasts, keyed by (task, si).
+    demands: BTreeMap<(TaskId, usize), ForecastValue>,
+    selection: MoleculeSelection,
+    stats: Vec<SiStats>,
+    fc_stats: Vec<FcStats>,
+    rotations_requested: u64,
+    rotation_bytes: u64,
+    reselects: u64,
+    rotation_strategy: RotationStrategy,
+    power_mode: PowerMode,
+    /// Smoothing factor for online forecast fine-tuning.
+    lambda: f64,
+}
+
+impl RisppManager<LruSurplusPolicy> {
+    /// Creates a manager with the default LRU-surplus replacement policy.
+    #[must_use]
+    pub fn new(lib: SiLibrary, fabric: Fabric) -> Self {
+        Self::with_policy(lib, fabric, LruSurplusPolicy::new())
+    }
+}
+
+impl<P: ReplacementPolicy> RisppManager<P> {
+    /// Creates a manager with an explicit replacement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library width differs from the fabric's Atom count.
+    #[must_use]
+    pub fn with_policy(lib: SiLibrary, fabric: Fabric, policy: P) -> Self {
+        assert_eq!(
+            lib.width(),
+            fabric.atoms().len(),
+            "SI library and fabric must agree on the atom kinds"
+        );
+        let stats = vec![SiStats::default(); lib.len()];
+        let fc_stats = vec![FcStats::default(); lib.len()];
+        RisppManager {
+            lib,
+            fabric,
+            policy,
+            demands: BTreeMap::new(),
+            selection: MoleculeSelection::default(),
+            stats,
+            fc_stats,
+            rotations_requested: 0,
+            rotation_bytes: 0,
+            reselects: 0,
+            rotation_strategy: RotationStrategy::default(),
+            power_mode: PowerMode::default(),
+            lambda: 0.25,
+        }
+    }
+
+    /// Switches the adaptation goal (see [`PowerMode`]). Takes effect on
+    /// the next forecast event.
+    pub fn set_power_mode(&mut self, mode: PowerMode) {
+        self.power_mode = mode;
+        self.reselect();
+    }
+
+    /// Number of selection re-evaluations so far — every FC event invokes
+    /// one, which is exactly why the compile-time pass trims FC
+    /// candidates ("every FC invokes the run-time system to
+    /// re-evaluate").
+    #[must_use]
+    pub fn reselects(&self) -> u64 {
+        self.reselects
+    }
+
+    /// Overrides the rotation scheduling strategy (default:
+    /// [`RotationStrategy::UpgradePath`]).
+    pub fn set_rotation_strategy(&mut self, strategy: RotationStrategy) {
+        self.rotation_strategy = strategy;
+    }
+
+    /// Overrides the forecast-smoothing factor λ ∈ [0, 1] (weight of each
+    /// new observation; default 0.25).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lambda ∈ [0, 1]`.
+    pub fn set_smoothing(&mut self, lambda: f64) {
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
+        self.lambda = lambda;
+    }
+
+    /// The SI library.
+    #[must_use]
+    pub fn library(&self) -> &SiLibrary {
+        &self.lib
+    }
+
+    /// The underlying fabric.
+    #[must_use]
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Current time in cycles.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.fabric.now()
+    }
+
+    /// Currently usable Atoms.
+    #[must_use]
+    pub fn loaded(&self) -> Molecule {
+        self.fabric.loaded_molecule()
+    }
+
+    /// The Meta-Molecule the current selection is converging to.
+    #[must_use]
+    pub fn target(&self) -> &Molecule {
+        &self.selection.target
+    }
+
+    /// Total rotations requested so far.
+    #[must_use]
+    pub fn rotations_requested(&self) -> u64 {
+        self.rotations_requested
+    }
+
+    /// Per-SI execution statistics.
+    #[must_use]
+    pub fn stats(&self, si: SiId) -> SiStats {
+        self.stats[si.index()]
+    }
+
+    /// Per-SI forecast monitoring statistics.
+    #[must_use]
+    pub fn fc_stats(&self, si: SiId) -> FcStats {
+        self.fc_stats[si.index()]
+    }
+
+    /// Total bitstream bytes of all (non-cancelled) requested rotations.
+    #[must_use]
+    pub fn rotation_bytes(&self) -> u64 {
+        self.rotation_bytes
+    }
+
+    /// Energy totals of the run so far under `model` (paper §4.1's energy
+    /// accounting: execution energy split SW/HW plus rotation transfers).
+    #[must_use]
+    pub fn energy_report(&self, model: &rispp_core::energy::EnergyModel) -> EnergyReport {
+        let mut report = EnergyReport {
+            rotation_j: model.rotation_energy_j(self.rotation_bytes),
+            ..EnergyReport::default()
+        };
+        for s in &self.stats {
+            report.sw_execution_j += model.sw_execution_energy_j(s.sw_cycles());
+            report.hw_execution_j += model.hw_execution_energy_j(s.hw_cycles);
+        }
+        report
+    }
+
+    /// Cycle at which all queued rotations will have completed.
+    #[must_use]
+    pub fn all_rotations_done_at(&self) -> Option<u64> {
+        self.fabric.all_rotations_done_at()
+    }
+
+    /// Advances time, completing rotations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::TimeReversal`] when `t` is in the past.
+    pub fn advance_to(&mut self, t: u64) -> Result<Vec<FabricEvent>, FabricError> {
+        self.fabric.advance_to(t)
+    }
+
+    /// Handles an FC event: task `task` announces (or updates) a forecast
+    /// for an SI. Triggers re-selection and rotation scheduling.
+    pub fn forecast(&mut self, task: TaskId, value: ForecastValue) {
+        self.fc_stats[value.si.index()].issued += 1;
+        self.demands.insert((task, value.si.index()), value);
+        self.reselect();
+    }
+
+    /// Handles a whole FC Block: several forecasts announced at once (the
+    /// compile-time pass "combines FCs to FC Blocks, which will ease the
+    /// run-time computation effort" — selection and rotation scheduling
+    /// run once for the batch instead of once per forecast).
+    pub fn forecast_block<I>(&mut self, task: TaskId, values: I)
+    where
+        I: IntoIterator<Item = ForecastValue>,
+    {
+        let mut any = false;
+        for value in values {
+            self.fc_stats[value.si.index()].issued += 1;
+            self.demands.insert((task, value.si.index()), value);
+            any = true;
+        }
+        if any {
+            self.reselect();
+        }
+    }
+
+    /// Handles a negative FC: the SI is forecast to be no longer needed by
+    /// `task` (the T2 step of Fig. 6). Frees its Atoms for other demands.
+    pub fn retract_forecast(&mut self, task: TaskId, si: SiId) {
+        self.fc_stats[si.index()].retracted += 1;
+        self.demands.remove(&(task, si.index()));
+        self.reselect();
+    }
+
+    /// Fine-tunes a stored forecast with run-time observation (the
+    /// "monitoring" task: exponential smoothing with factor λ).
+    pub fn record_fc_outcome(
+        &mut self,
+        task: TaskId,
+        si: SiId,
+        reached: bool,
+        observed_distance: f64,
+        observed_executions: f64,
+    ) {
+        let lambda = self.lambda;
+        if reached {
+            self.fc_stats[si.index()].hits += 1;
+        } else {
+            self.fc_stats[si.index()].misses += 1;
+        }
+        if let Some(fv) = self.demands.get_mut(&(task, si.index())) {
+            fv.observe(lambda, reached, observed_distance, observed_executions);
+        }
+        self.reselect();
+    }
+
+    /// Executes one SI for `task` using the fastest loaded Molecule, or
+    /// software when none fits. Updates LRU metadata and statistics.
+    pub fn execute_si(&mut self, _task: TaskId, si: SiId) -> ExecutionRecord {
+        let loaded = self.fabric.loaded_molecule();
+        let def = self.lib.get(si);
+        let record = match def.best_available(&loaded) {
+            Some(m) => {
+                self.fabric.touch_atoms(&m.molecule);
+                ExecutionRecord {
+                    si,
+                    cycles: m.cycles,
+                    hardware: true,
+                }
+            }
+            None => ExecutionRecord {
+                si,
+                cycles: def.sw_cycles(),
+                hardware: false,
+            },
+        };
+        let s = &mut self.stats[si.index()];
+        if record.hardware {
+            s.hw_executions += 1;
+            s.hw_cycles += record.cycles;
+        } else {
+            s.sw_executions += 1;
+        }
+        s.cycles += record.cycles;
+        record
+    }
+
+    /// Expected energy-rotation cost of loading an SI's minimal Molecule,
+    /// in bitstream bytes.
+    fn minimal_rotation_bytes(&self, si: SiId) -> u64 {
+        self.lib
+            .get(si)
+            .minimal()
+            .molecule
+            .iter_nonzero()
+            .map(|(kind, count)| {
+                u64::from(count) * self.fabric.catalog().profile(kind).bitstream_bytes
+            })
+            .sum()
+    }
+
+    /// Recomputes the Molecule selection from all active demands and
+    /// re-schedules rotations towards the new target.
+    fn reselect(&mut self) {
+        self.reselects += 1;
+        // Aggregate benefit weight per SI over all demanding tasks; the
+        // weighting depends on the adaptation goal.
+        let mut weights: BTreeMap<usize, (f64, TaskId)> = BTreeMap::new();
+        for (&(task, si), fv) in &self.demands {
+            let def = self.lib.get(SiId(si));
+            let benefit = match self.power_mode {
+                PowerMode::Performance => {
+                    fv.expected_benefit(def.sw_cycles() as f64, def.fastest().cycles as f64)
+                }
+                PowerMode::EnergySaving { model, alpha } => {
+                    // Rotation only pays when the expected executions
+                    // amortise its transfer energy (§4.1's offset).
+                    let bytes = self.minimal_rotation_bytes(SiId(si));
+                    let needed = model.amortisation_executions(def, bytes, alpha);
+                    let expected = fv.probability * fv.expected_executions;
+                    if expected < needed {
+                        0.0
+                    } else {
+                        expected * model.per_execution_saving_j(def) * 1e9 // nJ
+                    }
+                }
+            };
+            let entry = weights.entry(si).or_insert((0.0, task));
+            entry.0 += benefit;
+        }
+        let demands: Vec<(SiId, f64)> = weights
+            .iter()
+            .map(|(&si, &(w, _))| (SiId(si), w))
+            .collect();
+        let capacity = self.fabric.num_containers() as u32;
+        self.selection = select_molecules(&self.lib, &demands, capacity);
+        self.schedule_rotations(&weights);
+    }
+
+    /// Requeues rotations so the fabric converges to the selection target.
+    /// Queued-but-unstarted rotations are cancelled first (the port cannot
+    /// abort an in-flight write), then missing Atoms are requested in
+    /// descending SI importance.
+    fn schedule_rotations(&mut self, weights: &BTreeMap<usize, (f64, TaskId)>) {
+        // Cancelled queued rotations never transfer a bitstream: deduct
+        // them from the accounting before re-planning.
+        for (_, kind) in self.fabric.pending_rotations() {
+            self.rotations_requested -= 1;
+            self.rotation_bytes -= self.fabric.catalog().profile(kind).bitstream_bytes;
+        }
+        self.fabric.cancel_all_pending();
+        // Chosen implementations, most important SI first.
+        let mut order: Vec<&rispp_core::selection::ChosenMolecule> =
+            self.selection.chosen.iter().collect();
+        order.sort_by(|a, b| {
+            let wa = weights.get(&a.si.index()).map_or(0.0, |&(w, _)| w);
+            let wb = weights.get(&b.si.index()).map_or(0.0, |&(w, _)| w);
+            wb.partial_cmp(&wa).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let target = self.selection.target.clone();
+        for choice in order {
+            let owner = weights.get(&choice.si.index()).map(|&(_, t)| t);
+            let si_def = self.lib.get(choice.si);
+            let wanted = si_def.molecules()[choice.molecule_index].molecule.clone();
+            // "Rotation in Advance": load the SI's upgrade path stage by
+            // stage — smallest (slowest) Molecule first — so hardware
+            // execution starts as early as possible and then gradually
+            // upgrades, instead of only after the full target is loaded.
+            let mut stages: Vec<Molecule> = match self.rotation_strategy {
+                RotationStrategy::UpgradePath => {
+                    let mut s: Vec<Molecule> = si_def
+                        .molecules()
+                        .iter()
+                        .filter(|m| m.molecule.le(&wanted))
+                        .map(|m| m.molecule.clone())
+                        .collect();
+                    s.sort_by_key(Molecule::determinant);
+                    s
+                }
+                RotationStrategy::TargetOnly => Vec::new(),
+            };
+            stages.push(wanted);
+            for stage in stages {
+                loop {
+                    let committed = self.fabric.committed_molecule();
+                    let missing = committed
+                        .additional_atoms(&stage)
+                        .expect("widths agree by construction");
+                    let Some((kind, _)) = missing.iter_nonzero().next() else {
+                        break;
+                    };
+                    let Some(victim) = self.policy.choose_victim(&self.fabric, &target) else {
+                        return; // nothing evictable; stop scheduling
+                    };
+                    match self.fabric.request_rotation(victim, kind) {
+                        Ok(()) => {
+                            self.rotations_requested += 1;
+                            self.rotation_bytes +=
+                                self.fabric.catalog().profile(kind).bitstream_bytes;
+                            let _ = self.fabric.set_owner(victim, owner);
+                        }
+                        Err(_) => return, // defensive: victim raced a rotation
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rispp_core::si::{MoleculeImpl, SpecialInstruction};
+    use rispp_fabric::catalog::{AtomCatalog, AtomHwProfile};
+    use rispp_core::atom::AtomSet;
+
+    /// Two-kind platform with fast, equal rotation times for readability.
+    fn small_platform() -> (SiLibrary, Fabric, SiId, SiId) {
+        let atoms = AtomSet::from_names(["A", "B"]);
+        let catalog = AtomCatalog::new(vec![
+            AtomHwProfile::new("A", 100, 200, 6_920), // 100 µs → 10 000 cycles
+            AtomHwProfile::new("B", 100, 200, 6_920),
+        ]);
+        let fabric = Fabric::new(atoms, catalog, 3);
+        let mut lib = SiLibrary::new(2);
+        let s0 = lib
+            .insert(
+                SpecialInstruction::new(
+                    "S0",
+                    500,
+                    vec![
+                        MoleculeImpl::new(Molecule::from_counts([1, 1]), 20),
+                        MoleculeImpl::new(Molecule::from_counts([2, 1]), 10),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let s1 = lib
+            .insert(
+                SpecialInstruction::new(
+                    "S1",
+                    400,
+                    vec![MoleculeImpl::new(Molecule::from_counts([0, 2]), 15)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        (lib, fabric, s0, s1)
+    }
+
+    fn fv(si: SiId, execs: f64) -> ForecastValue {
+        ForecastValue::new(si, 1.0, 50_000.0, execs)
+    }
+
+    #[test]
+    fn forecast_triggers_rotations() {
+        let (lib, fabric, s0, _) = small_platform();
+        let mut mgr = RisppManager::new(lib, fabric);
+        mgr.forecast(0, fv(s0, 100.0));
+        assert!(mgr.rotations_requested() >= 2);
+        assert_eq!(mgr.target(), &Molecule::from_counts([2, 1]));
+    }
+
+    #[test]
+    fn execution_upgrades_gradually() {
+        let (lib, fabric, s0, _) = small_platform();
+        let mut mgr = RisppManager::new(lib, fabric);
+        mgr.forecast(0, fv(s0, 100.0));
+        // Nothing loaded yet → software.
+        let r0 = mgr.execute_si(0, s0);
+        assert!(!r0.hardware);
+        assert_eq!(r0.cycles, 500);
+        // Advance until the fabric holds (1, 1) — the minimal Molecule.
+        let mut t = mgr.now();
+        loop {
+            t += 10_000;
+            mgr.advance_to(t).unwrap();
+            if mgr.loaded().count(rispp_core::atom::AtomKind(0)) >= 1
+                && mgr.loaded().count(rispp_core::atom::AtomKind(1)) >= 1
+            {
+                break;
+            }
+            assert!(t < 1_000_000, "rotation never completed");
+        }
+        let r1 = mgr.execute_si(0, s0);
+        assert!(r1.hardware);
+        assert!(r1.cycles == 20 || r1.cycles == 10);
+        // After all rotations: the fastest Molecule.
+        if let Some(done) = mgr.all_rotations_done_at() {
+            mgr.advance_to(done).unwrap();
+        }
+        assert_eq!(mgr.execute_si(0, s0).cycles, 10);
+    }
+
+    #[test]
+    fn retraction_frees_atoms_for_other_task() {
+        let (lib, fabric, s0, s1) = small_platform();
+        let mut mgr = RisppManager::new(lib, fabric);
+        mgr.forecast(0, fv(s0, 100.0));
+        let done = mgr.all_rotations_done_at().unwrap();
+        mgr.advance_to(done).unwrap();
+        assert_eq!(mgr.execute_si(0, s0).cycles, 10);
+        // Task 1 wants S1 (needs two B atoms); S0's forecast retracts.
+        mgr.retract_forecast(0, s0);
+        mgr.forecast(1, fv(s1, 100.0));
+        let done = mgr.all_rotations_done_at().unwrap();
+        mgr.advance_to(done).unwrap();
+        let r = mgr.execute_si(1, s1);
+        assert!(r.hardware);
+        assert_eq!(r.cycles, 15);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (lib, fabric, s0, _) = small_platform();
+        let mut mgr = RisppManager::new(lib, fabric);
+        mgr.execute_si(0, s0);
+        mgr.execute_si(0, s0);
+        let s = mgr.stats(s0);
+        assert_eq!(s.sw_executions, 2);
+        assert_eq!(s.hw_executions, 0);
+        assert_eq!(s.cycles, 1000);
+    }
+
+    #[test]
+    fn observation_reweights_selection() {
+        let (lib, fabric, s0, s1) = small_platform();
+        let mut mgr = RisppManager::new(lib, fabric);
+        // Both tasks forecast; capacity 3 cannot host (2,1) ∪ (0,2) = (2,3).
+        mgr.forecast(0, fv(s0, 100.0));
+        mgr.forecast(1, fv(s1, 1.0));
+        // S0 dominates: target covers S0's fast molecule.
+        assert!(Molecule::from_counts([2, 1]).le(mgr.target()));
+        // Repeated misses of S0's forecast drain its probability.
+        for _ in 0..20 {
+            mgr.record_fc_outcome(0, s0, false, 0.0, 0.0);
+        }
+        // Now S1 should win the containers.
+        assert!(Molecule::from_counts([0, 2]).le(mgr.target()));
+    }
+
+    #[test]
+    fn fc_stats_track_monitoring() {
+        let (lib, fabric, s0, _) = small_platform();
+        let mut mgr = RisppManager::new(lib, fabric);
+        mgr.forecast(0, fv(s0, 10.0));
+        mgr.forecast(1, fv(s0, 10.0));
+        mgr.record_fc_outcome(0, s0, true, 1_000.0, 5.0);
+        mgr.record_fc_outcome(0, s0, false, 0.0, 0.0);
+        mgr.record_fc_outcome(0, s0, true, 1_000.0, 5.0);
+        mgr.retract_forecast(1, s0);
+        let fc = mgr.fc_stats(s0);
+        assert_eq!(fc.issued, 2);
+        assert_eq!(fc.retracted, 1);
+        assert_eq!((fc.hits, fc.misses), (2, 1));
+        assert!((fc.hit_rate().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fc_stats_empty_hit_rate_is_none() {
+        let (lib, fabric, s0, _) = small_platform();
+        let mgr = RisppManager::new(lib, fabric);
+        assert_eq!(mgr.fc_stats(s0).hit_rate(), None);
+    }
+
+    #[test]
+    fn target_only_strategy_delays_first_hw_execution() {
+        // The ablation: with TargetOnly, the atom load order follows the
+        // final molecule's kind order, so with an equal number of
+        // rotations the time to the *first* hardware execution can only
+        // be later or equal than with UpgradePath.
+        let first_hw_at = |strategy: RotationStrategy| {
+            let (lib, fabric, s0, _) = small_platform();
+            let mut mgr = RisppManager::new(lib, fabric);
+            mgr.set_rotation_strategy(strategy);
+            mgr.forecast(0, fv(s0, 100.0));
+            let mut t = 0u64;
+            loop {
+                t += 1_000;
+                mgr.advance_to(t).unwrap();
+                if mgr.execute_si(0, s0).hardware {
+                    return t;
+                }
+                assert!(t < 1_000_000, "never reached hardware");
+            }
+        };
+        let upgrade = first_hw_at(RotationStrategy::UpgradePath);
+        let target_only = first_hw_at(RotationStrategy::TargetOnly);
+        assert!(upgrade <= target_only, "{upgrade} > {target_only}");
+    }
+
+    #[test]
+    fn energy_saving_mode_refuses_unamortised_rotations() {
+        use rispp_core::energy::EnergyModel;
+        let (lib, fabric, s0, _) = small_platform();
+        let mut mgr = RisppManager::new(lib, fabric);
+        mgr.set_power_mode(PowerMode::EnergySaving {
+            model: EnergyModel::default(),
+            alpha: 1.0,
+        });
+        // Few expected executions: rotation energy never amortises.
+        mgr.forecast(0, fv(s0, 3.0));
+        assert_eq!(mgr.rotations_requested(), 0, "rotated for 3 executions");
+        // Many expected executions: rotation pays for itself.
+        mgr.forecast(0, fv(s0, 100_000.0));
+        assert!(mgr.rotations_requested() > 0);
+    }
+
+    #[test]
+    fn performance_mode_rotates_for_small_demands_too() {
+        let (lib, fabric, s0, _) = small_platform();
+        let mut mgr = RisppManager::new(lib, fabric);
+        mgr.forecast(0, fv(s0, 3.0));
+        assert!(mgr.rotations_requested() > 0);
+    }
+
+    #[test]
+    fn reselects_count_every_fc_event() {
+        let (lib, fabric, s0, s1) = small_platform();
+        let mut mgr = RisppManager::new(lib, fabric);
+        let before = mgr.reselects();
+        mgr.forecast(0, fv(s0, 10.0));
+        mgr.forecast(1, fv(s1, 10.0));
+        mgr.retract_forecast(0, s0);
+        mgr.record_fc_outcome(1, s1, true, 100.0, 5.0);
+        assert_eq!(mgr.reselects() - before, 4);
+        // A batched FC Block costs one re-evaluation, not two.
+        let b2 = mgr.reselects();
+        mgr.forecast_block(0, vec![fv(s0, 10.0), fv(s1, 10.0)]);
+        assert_eq!(mgr.reselects() - b2, 1);
+    }
+
+    #[test]
+    fn energy_report_accounts_all_three_terms() {
+        use rispp_core::energy::EnergyModel;
+        let (lib, fabric, s0, _) = small_platform();
+        let mut mgr = RisppManager::new(lib, fabric);
+        let model = EnergyModel::default();
+        // Pure software run: only SW execution energy.
+        mgr.execute_si(0, s0);
+        let r = mgr.energy_report(&model);
+        assert!(r.sw_execution_j > 0.0);
+        assert_eq!(r.hw_execution_j, 0.0);
+        assert_eq!(r.rotation_j, 0.0);
+        // Forecast → rotations add transfer energy; HW executions follow.
+        mgr.forecast(0, fv(s0, 100.0));
+        assert!(mgr.rotation_bytes() > 0);
+        let done = mgr.all_rotations_done_at().unwrap();
+        mgr.advance_to(done).unwrap();
+        mgr.execute_si(0, s0);
+        let r2 = mgr.energy_report(&model);
+        assert!(r2.rotation_j > 0.0);
+        assert!(r2.hw_execution_j > 0.0);
+        assert!(r2.total_j() > r.total_j());
+    }
+
+    #[test]
+    fn cancelled_rotations_are_not_billed() {
+        let (lib, fabric, s0, s1) = small_platform();
+        let mut mgr = RisppManager::new(lib, fabric);
+        mgr.forecast(0, fv(s0, 100.0));
+        let after_first = mgr.rotation_bytes();
+        // Immediate retraction cancels everything still queued; only the
+        // in-flight transfer (at most one) stays billed.
+        mgr.retract_forecast(0, s0);
+        assert!(mgr.rotation_bytes() <= after_first);
+        assert!(mgr.rotation_bytes() <= 6_920, "{}", mgr.rotation_bytes());
+        let _ = s1;
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn smoothing_out_of_range_rejected() {
+        let (lib, fabric, ..) = small_platform();
+        let mut mgr = RisppManager::new(lib, fabric);
+        mgr.set_smoothing(1.5);
+    }
+
+    #[test]
+    fn two_tasks_share_atoms() {
+        let (lib, fabric, s0, s1) = small_platform();
+        let mut mgr = RisppManager::new(lib, fabric);
+        mgr.forecast(0, fv(s0, 50.0));
+        mgr.forecast(1, fv(s1, 50.0));
+        let done = mgr.all_rotations_done_at().unwrap();
+        mgr.advance_to(done).unwrap();
+        // Capacity 3: selection can satisfy S0 minimal (1,1) and S1 (0,2)
+        // by sharing the B atoms: target (1,2).
+        let loaded = mgr.loaded();
+        assert!(
+            Molecule::from_counts([1, 1]).le(&loaded),
+            "loaded {loaded}"
+        );
+        let ra = mgr.execute_si(0, s0);
+        let rb = mgr.execute_si(1, s1);
+        assert!(ra.hardware && rb.hardware);
+    }
+}

@@ -1,0 +1,164 @@
+//! Atom-Container replacement policies.
+//!
+//! When the run-time manager needs to rotate a new Atom in, it must pick a
+//! victim container. The paper's scenario (Fig. 6) reallocates containers
+//! whose Atoms the current selection no longer needs; among those, the
+//! least-recently-used Atom goes first.
+
+use rispp_core::molecule::Molecule;
+use rispp_fabric::container::ContainerId;
+use rispp_fabric::fabric::Fabric;
+
+/// Strategy for choosing the container a new Atom is rotated into.
+pub trait ReplacementPolicy {
+    /// Picks a victim container for a new Atom, given the Meta-Molecule
+    /// `keep` of Atoms that must stay available. Containers with pending
+    /// rotations are never eligible. Returns `None` when every container
+    /// is either pending or protected.
+    fn choose_victim(&self, fabric: &Fabric, keep: &Molecule) -> Option<ContainerId>;
+}
+
+/// Default policy: empty containers first, then loaded containers whose
+/// Atom kind has surplus instances relative to `keep`, least-recently-used
+/// first.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LruSurplusPolicy;
+
+impl LruSurplusPolicy {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        LruSurplusPolicy
+    }
+}
+
+impl ReplacementPolicy for LruSurplusPolicy {
+    fn choose_victim(&self, fabric: &Fabric, keep: &Molecule) -> Option<ContainerId> {
+        let mut pending = vec![false; fabric.num_containers()];
+        for (id, c) in fabric.iter_containers() {
+            if c.is_loading() {
+                pending[id.index()] = true;
+            }
+        }
+        // Queued-but-unstarted rotations also make a container ineligible:
+        // it already has a new Atom on the way.
+        for (id, _) in fabric.pending_rotations() {
+            pending[id.index()] = true;
+        }
+        // Empty, non-pending containers are free wins.
+        for (id, c) in fabric.iter_containers() {
+            if !pending[id.index()] && c.loaded_kind().is_none() && !c.is_loading() {
+                return Some(id);
+            }
+        }
+        // Count surplus per kind: loaded instances beyond what `keep`
+        // requires.
+        let loaded = fabric.loaded_molecule();
+        let mut surplus: Vec<i64> = loaded
+            .iter()
+            .map(|(k, have)| i64::from(have) - i64::from(keep.count(k)))
+            .collect();
+        // LRU among surplus-kind containers.
+        let mut candidates: Vec<(u64, ContainerId)> = fabric
+            .iter_containers()
+            .filter_map(|(id, c)| {
+                let kind = c.loaded_kind()?;
+                if pending[id.index()] || surplus[kind.index()] <= 0 {
+                    None
+                } else {
+                    Some((c.last_used(), id))
+                }
+            })
+            .collect();
+        candidates.sort_unstable_by_key(|&(used, id)| (used, id));
+        let victim = candidates.first().map(|&(_, id)| id);
+        if let Some(id) = victim {
+            if let Some(kind) = fabric.container(id).loaded_kind() {
+                surplus[kind.index()] -= 1;
+            }
+        }
+        victim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rispp_core::atom::{AtomKind, AtomSet};
+    use rispp_fabric::catalog::{table1_profiles, AtomCatalog};
+
+    fn fabric(containers: usize) -> Fabric {
+        let atoms = AtomSet::from_names(["Transform", "SATD", "Pack", "QuadSub"]);
+        Fabric::new(atoms, AtomCatalog::new(table1_profiles().to_vec()), containers)
+    }
+
+    fn load(fabric: &mut Fabric, id: usize, kind: usize) {
+        fabric
+            .request_rotation(ContainerId(id), AtomKind(kind))
+            .unwrap();
+        let t = fabric.next_completion().unwrap();
+        fabric.advance_to(t).unwrap();
+    }
+
+    #[test]
+    fn prefers_empty_containers() {
+        let mut f = fabric(3);
+        load(&mut f, 0, 0);
+        let keep = Molecule::zero(4);
+        let victim = LruSurplusPolicy.choose_victim(&f, &keep).unwrap();
+        assert_ne!(victim, ContainerId(0)); // 0 holds an atom; 1/2 empty
+    }
+
+    #[test]
+    fn protects_kept_atoms() {
+        let mut f = fabric(2);
+        load(&mut f, 0, 0);
+        load(&mut f, 1, 1);
+        // Keep requires one Transform (kind 0): only container 1 (SATD)
+        // has surplus.
+        let keep = Molecule::from_counts([1, 0, 0, 0]);
+        assert_eq!(
+            LruSurplusPolicy.choose_victim(&f, &keep),
+            Some(ContainerId(1))
+        );
+    }
+
+    #[test]
+    fn evicts_least_recently_used_surplus() {
+        let mut f = fabric(2);
+        load(&mut f, 0, 0);
+        load(&mut f, 1, 0);
+        let t = f.now();
+        f.advance_to(t + 10).unwrap();
+        // Touch kind 0 once: the first matching container gets the newer
+        // stamp, so container 1 is the LRU victim.
+        f.touch_atoms(&Molecule::from_counts([1, 0, 0, 0]));
+        let keep = Molecule::from_counts([1, 0, 0, 0]); // one surplus Transform
+        assert_eq!(
+            LruSurplusPolicy.choose_victim(&f, &keep),
+            Some(ContainerId(1))
+        );
+    }
+
+    #[test]
+    fn returns_none_when_everything_protected() {
+        let mut f = fabric(2);
+        load(&mut f, 0, 0);
+        load(&mut f, 1, 1);
+        let keep = Molecule::from_counts([1, 1, 0, 0]);
+        assert_eq!(LruSurplusPolicy.choose_victim(&f, &keep), None);
+    }
+
+    #[test]
+    fn skips_loading_containers() {
+        let mut f = fabric(2);
+        load(&mut f, 0, 0);
+        f.request_rotation(ContainerId(1), AtomKind(2)).unwrap(); // in flight
+        let keep = Molecule::zero(4);
+        // Only container 0 is eligible (1 is loading).
+        assert_eq!(
+            LruSurplusPolicy.choose_victim(&f, &keep),
+            Some(ContainerId(0))
+        );
+    }
+}

@@ -1,0 +1,337 @@
+//! A small two-pass assembler for the DLX-style core of [`crate::cpu`].
+//!
+//! Syntax, one instruction per line:
+//!
+//! ```text
+//! ; comments run to the end of the line
+//!         addi  r1, r0, 200     ; counter
+//! loop:   beq   r1, r0, done
+//!         execsi 0              ; SI opcode by library index
+//!         addi  r1, r1, -1
+//!         jmp   loop
+//! done:   halt
+//! ```
+//!
+//! Mnemonics: `addi rd, rs, imm` · `add/sub/mul rd, rs, rt` ·
+//! `lw rd, rs, offset` · `sw rt, rs, offset` · `beq/bne rs, rt, label` ·
+//! `jmp label` · `execsi n` · `forecast n, p_milli, distance, execs` ·
+//! `retract n` · `halt`. Labels are `name:` prefixes; branch targets may
+//! be labels or absolute instruction indices.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use rispp_core::si::SiId;
+
+use crate::cpu::Instr;
+
+/// Assembly errors, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(token: &str, line: usize) -> Result<u8, AsmError> {
+    let t = token.trim();
+    let digits = t
+        .strip_prefix('r')
+        .or_else(|| t.strip_prefix('R'))
+        .ok_or_else(|| err(line, format!("expected register, got {t:?}")))?;
+    let n: u8 = digits
+        .parse()
+        .map_err(|_| err(line, format!("bad register {t:?}")))?;
+    if n >= 32 {
+        return Err(err(line, format!("register {t:?} out of range (0..32)")));
+    }
+    Ok(n)
+}
+
+fn parse_int<T: std::str::FromStr>(token: &str, line: usize) -> Result<T, AsmError> {
+    token
+        .trim()
+        .parse()
+        .map_err(|_| err(line, format!("bad number {:?}", token.trim())))
+}
+
+/// Assembles source text into a program.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line on syntax errors, unknown
+/// mnemonics, bad registers/numbers, or undefined labels.
+pub fn assemble(source: &str) -> Result<Vec<Instr>, AsmError> {
+    // Pass 1: strip comments/labels, record label addresses.
+    let mut labels: BTreeMap<String, usize> = BTreeMap::new();
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        let mut text = raw;
+        if let Some(pos) = text.find(';') {
+            text = &text[..pos];
+        }
+        let mut text = text.trim().to_string();
+        while let Some(pos) = text.find(':') {
+            let (label, rest) = text.split_at(pos);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(err(line_no, format!("bad label {label:?}")));
+            }
+            if labels.insert(label.to_string(), lines.len()).is_some() {
+                return Err(err(line_no, format!("duplicate label {label:?}")));
+            }
+            text = rest[1..].trim().to_string();
+        }
+        if !text.is_empty() {
+            lines.push((line_no, text));
+        }
+    }
+
+    let target = |token: &str, line: usize| -> Result<usize, AsmError> {
+        let t = token.trim();
+        if let Ok(n) = t.parse::<usize>() {
+            return Ok(n);
+        }
+        labels
+            .get(t)
+            .copied()
+            .ok_or_else(|| err(line, format!("undefined label {t:?}")))
+    };
+
+    // Pass 2: encode.
+    let mut program = Vec::with_capacity(lines.len());
+    for (line_no, text) in &lines {
+        let line = *line_no;
+        let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r),
+            None => (text.as_str(), ""),
+        };
+        let args: Vec<&str> = rest
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let want = |n: usize| -> Result<(), AsmError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(err(
+                    line,
+                    format!("{mnemonic} expects {n} operands, got {}", args.len()),
+                ))
+            }
+        };
+        let instr = match mnemonic.to_ascii_lowercase().as_str() {
+            "addi" => {
+                want(3)?;
+                Instr::Addi {
+                    rd: parse_reg(args[0], line)?,
+                    rs: parse_reg(args[1], line)?,
+                    imm: parse_int(args[2], line)?,
+                }
+            }
+            "add" | "sub" | "mul" => {
+                want(3)?;
+                let (rd, rs, rt) = (
+                    parse_reg(args[0], line)?,
+                    parse_reg(args[1], line)?,
+                    parse_reg(args[2], line)?,
+                );
+                match mnemonic.to_ascii_lowercase().as_str() {
+                    "add" => Instr::Add { rd, rs, rt },
+                    "sub" => Instr::Sub { rd, rs, rt },
+                    _ => Instr::Mul { rd, rs, rt },
+                }
+            }
+            "lw" => {
+                want(3)?;
+                Instr::Lw {
+                    rd: parse_reg(args[0], line)?,
+                    rs: parse_reg(args[1], line)?,
+                    offset: parse_int(args[2], line)?,
+                }
+            }
+            "sw" => {
+                want(3)?;
+                Instr::Sw {
+                    rt: parse_reg(args[0], line)?,
+                    rs: parse_reg(args[1], line)?,
+                    offset: parse_int(args[2], line)?,
+                }
+            }
+            "beq" | "bne" => {
+                want(3)?;
+                let rs = parse_reg(args[0], line)?;
+                let rt = parse_reg(args[1], line)?;
+                let t = target(args[2], line)?;
+                if mnemonic.eq_ignore_ascii_case("beq") {
+                    Instr::Beq { rs, rt, target: t }
+                } else {
+                    Instr::Bne { rs, rt, target: t }
+                }
+            }
+            "jmp" => {
+                want(1)?;
+                Instr::Jmp {
+                    target: target(args[0], line)?,
+                }
+            }
+            "execsi" => {
+                want(1)?;
+                Instr::ExecSi {
+                    si: SiId(parse_int(args[0], line)?),
+                }
+            }
+            "forecast" => {
+                want(4)?;
+                Instr::Forecast {
+                    si: SiId(parse_int(args[0], line)?),
+                    probability_milli: parse_int(args[1], line)?,
+                    distance: parse_int(args[2], line)?,
+                    executions: parse_int(args[3], line)?,
+                }
+            }
+            "retract" => {
+                want(1)?;
+                Instr::Retract {
+                    si: SiId(parse_int(args[0], line)?),
+                }
+            }
+            "halt" => {
+                want(0)?;
+                Instr::Halt
+            }
+            other => return Err(err(line, format!("unknown mnemonic {other:?}"))),
+        };
+        program.push(instr);
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{Cpu, StopReason};
+    use rispp_core::atom::AtomSet;
+    use rispp_core::molecule::Molecule;
+    use rispp_core::si::{MoleculeImpl, SiLibrary, SpecialInstruction};
+    use rispp_fabric::catalog::{AtomCatalog, AtomHwProfile};
+    use rispp_fabric::fabric::Fabric;
+    use rispp_rt::manager::RisppManager;
+
+    #[test]
+    fn assembles_and_runs_a_countdown() {
+        let src = "
+            ; countdown from 5, summing into r2
+                    addi r1, r0, 5
+            loop:   beq  r1, r0, done
+                    add  r2, r2, r1
+                    addi r1, r1, -1
+                    jmp  loop
+            done:   halt
+        ";
+        let program = assemble(src).expect("assembles");
+        let atoms = AtomSet::from_names(["A"]);
+        let catalog = AtomCatalog::new(vec![AtomHwProfile::new("A", 1, 2, 1_000)]);
+        let mut mgr = RisppManager::new(SiLibrary::new(1), Fabric::new(atoms, catalog, 0));
+        let mut cpu = Cpu::new(0);
+        let summary = cpu.run(&program, &mut mgr, 0, 1_000);
+        assert_eq!(summary.stop, StopReason::Halted);
+        assert_eq!(cpu.reg(2), 15);
+    }
+
+    #[test]
+    fn forecast_and_execsi_assemble() {
+        let src = "
+            forecast 0, 1000, 20000, 50
+            execsi 0
+            retract 0
+            halt
+        ";
+        let program = assemble(src).expect("assembles");
+        assert_eq!(program.len(), 4);
+        assert!(matches!(program[0], Instr::Forecast { .. }));
+        assert!(matches!(program[1], Instr::ExecSi { .. }));
+        assert!(matches!(program[2], Instr::Retract { .. }));
+
+        // And it actually drives the manager.
+        let atoms = AtomSet::from_names(["A"]);
+        let catalog = AtomCatalog::new(vec![AtomHwProfile::new("A", 1, 2, 1_000)]);
+        let mut lib = SiLibrary::new(1);
+        lib.insert(
+            SpecialInstruction::new(
+                "S",
+                100,
+                vec![MoleculeImpl::new(Molecule::from_counts([1]), 5)],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut mgr = RisppManager::new(lib, Fabric::new(atoms, catalog, 1));
+        let mut cpu = Cpu::new(0);
+        let summary = cpu.run(&program, &mut mgr, 0, 100);
+        assert_eq!(summary.stop, StopReason::Halted);
+        assert_eq!(summary.si_hw + summary.si_sw, 1);
+        assert!(mgr.rotations_requested() >= 1);
+    }
+
+    #[test]
+    fn numeric_branch_targets_work() {
+        let program = assemble("jmp 2\nhalt\nhalt").expect("assembles");
+        assert_eq!(program[0], Instr::Jmp { target: 2 });
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("addi r1, r0, 1\nbogus r1").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = assemble("addi r99, r0, 1").unwrap_err();
+        assert!(e.message.contains("out of range"));
+
+        let e = assemble("beq r1, r0, nowhere").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+
+        let e = assemble("x: halt\nx: halt").unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+
+        let e = assemble("add r1, r2").unwrap_err();
+        assert!(e.message.contains("expects 3"));
+    }
+
+    #[test]
+    fn labels_may_share_a_line_with_code_or_stand_alone() {
+        let src = "
+            start:
+                addi r1, r0, 1
+            end: halt
+        ";
+        let program = assemble(src).expect("assembles");
+        assert_eq!(program.len(), 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let program = assemble("; nothing\n\n   ; more nothing\nhalt ; stop").unwrap();
+        assert_eq!(program, vec![Instr::Halt]);
+    }
+}

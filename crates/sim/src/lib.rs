@@ -1,0 +1,45 @@
+//! # rispp-sim — task/processor simulation for RISPP
+//!
+//! Replaces the paper's DLX-core prototype with an event-driven simulator:
+//! tasks are programs of plain-cycle blocks, SI executions and forecast
+//! events ([`task`]); the multi-task [`engine`] interleaves them
+//! round-robin on one core while the fabric rotates Atoms concurrently;
+//! everything is recorded into a queryable [`trace`].
+//!
+//! [`scenario`] reconstructs the paper's Fig. 6 two-task scenario (video
+//! codec + second task sharing six Atom Containers) end to end.
+//!
+//! # Examples
+//!
+//! ```
+//! use rispp_sim::scenario::run_fig6;
+//!
+//! let report = run_fig6();
+//! // Task A falls back to software while Task B's SI1 occupies the
+//! // containers, and returns to hardware after the retraction (T4).
+//! assert!(report.t4.expect("T4 exists") > report.t2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod codec_runner;
+pub mod codegen;
+pub mod cpu;
+pub mod engine;
+pub mod multimode;
+pub mod scenario;
+pub mod task;
+pub mod trace;
+pub mod waveform;
+
+pub use asm::{assemble, AsmError};
+pub use codec_runner::{run_encoder_on_rispp, CodecRunOutcome};
+pub use codegen::{generate_trace_program, lower_block};
+pub use cpu::{Cpu, Instr, RunSummary, StopReason};
+pub use engine::Engine;
+pub use multimode::{run_multimode, MultiModeOutcome, PhaseSpec};
+pub use scenario::{fig6_engine, h264_fabric, run_fig6, Fig6Report};
+pub use task::{Op, ProgramCursor, Task};
+pub use trace::{Trace, TraceEntry, TraceEvent};
+pub use waveform::{container_timelines, render_waveform, ContainerTimeline, Occupancy};

@@ -1,0 +1,169 @@
+//! Task programs: the simulated applications running on the RISPP core.
+//!
+//! A task is a straight-line program of [`Op`]s — plain cycle blocks, SI
+//! executions and forecast events (the run-time face of the compile-time
+//! FC instrumentation of `rispp-cfg`). `Repeat` expresses loops without
+//! flattening them eagerly.
+
+use rispp_core::forecast::ForecastValue;
+use rispp_core::si::SiId;
+use rispp_rt::manager::TaskId;
+
+/// One instruction of a task program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Run plain (non-SI) code for the given number of cycles.
+    Plain(u64),
+    /// Execute one Special Instruction.
+    ExecSi(SiId),
+    /// Forecast point: announce a forecast value to the run-time system
+    /// (zero simulated cycles; FC handling runs in the manager hardware).
+    Forecast(ForecastValue),
+    /// FC Block: announce several forecasts at once (one selection pass;
+    /// see `RisppManager::forecast_block`).
+    ForecastBlock(Vec<ForecastValue>),
+    /// Negative forecast: the SI will no longer be needed.
+    RetractForecast(SiId),
+    /// Loop: run `body` `times` times.
+    Repeat {
+        /// Loop body.
+        body: Vec<Op>,
+        /// Iteration count.
+        times: u32,
+    },
+}
+
+/// A simulated task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// Task identifier used for forecasts and container ownership.
+    pub id: TaskId,
+    /// Human-readable name for traces.
+    pub name: String,
+    /// The program.
+    pub program: Vec<Op>,
+}
+
+impl Task {
+    /// Creates a task.
+    #[must_use]
+    pub fn new<S: Into<String>>(id: TaskId, name: S, program: Vec<Op>) -> Self {
+        Task {
+            id,
+            name: name.into(),
+            program,
+        }
+    }
+}
+
+/// A resumable cursor over a task program, expanding `Repeat` lazily.
+#[derive(Debug, Clone)]
+pub struct ProgramCursor {
+    /// Stack of (ops, position, remaining iterations of this frame).
+    frames: Vec<(Vec<Op>, usize, u32)>,
+}
+
+impl ProgramCursor {
+    /// Creates a cursor at the start of a program.
+    #[must_use]
+    pub fn new(program: Vec<Op>) -> Self {
+        ProgramCursor {
+            frames: vec![(program, 0, 1)],
+        }
+    }
+
+    /// Returns the next primitive op (never `Repeat`), or `None` at the
+    /// program end.
+    pub fn next_op(&mut self) -> Option<Op> {
+        loop {
+            let (ops, pos, remaining) = self.frames.last_mut()?;
+            if *pos >= ops.len() {
+                *remaining -= 1;
+                if *remaining > 0 {
+                    *pos = 0;
+                    continue;
+                }
+                self.frames.pop();
+                continue;
+            }
+            let op = ops[*pos].clone();
+            *pos += 1;
+            match op {
+                Op::Repeat { body, times } => {
+                    if times > 0 && !body.is_empty() {
+                        self.frames.push((body, 0, times));
+                    }
+                }
+                other => return Some(other),
+            }
+        }
+    }
+
+    /// Returns `true` when the program is exhausted.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_expands_repeats() {
+        let mut c = ProgramCursor::new(vec![
+            Op::Plain(1),
+            Op::Repeat {
+                body: vec![Op::Plain(2), Op::Plain(3)],
+                times: 2,
+            },
+            Op::Plain(4),
+        ]);
+        let mut seen = Vec::new();
+        while let Some(op) = c.next_op() {
+            if let Op::Plain(c) = op {
+                seen.push(c);
+            }
+        }
+        assert_eq!(seen, vec![1, 2, 3, 2, 3, 4]);
+        assert!(c.is_done());
+    }
+
+    #[test]
+    fn nested_repeats() {
+        let inner = Op::Repeat {
+            body: vec![Op::Plain(1)],
+            times: 3,
+        };
+        let mut c = ProgramCursor::new(vec![Op::Repeat {
+            body: vec![inner],
+            times: 2,
+        }]);
+        let mut n = 0;
+        while c.next_op().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn zero_iterations_skip_body() {
+        let mut c = ProgramCursor::new(vec![
+            Op::Repeat {
+                body: vec![Op::Plain(9)],
+                times: 0,
+            },
+            Op::Plain(1),
+        ]);
+        assert_eq!(c.next_op(), Some(Op::Plain(1)));
+        assert_eq!(c.next_op(), None);
+    }
+
+    #[test]
+    fn empty_program_is_done_after_first_poll() {
+        let mut c = ProgramCursor::new(vec![]);
+        assert_eq!(c.next_op(), None);
+        assert!(c.is_done());
+    }
+}

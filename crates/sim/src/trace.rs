@@ -1,0 +1,237 @@
+//! Execution traces: the timeline data behind the paper's Fig. 6.
+
+use std::fmt;
+
+use rispp_core::atom::AtomKind;
+use rispp_core::si::SiId;
+use rispp_fabric::container::ContainerId;
+use rispp_rt::manager::TaskId;
+
+/// One timeline event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A task announced a forecast for an SI.
+    Forecast {
+        /// Issuing task.
+        task: TaskId,
+        /// Forecasted SI.
+        si: SiId,
+    },
+    /// A task announced an SI is no longer needed.
+    Retract {
+        /// Issuing task.
+        task: TaskId,
+        /// Retracted SI.
+        si: SiId,
+    },
+    /// An SI executed.
+    SiExec {
+        /// Executing task.
+        task: TaskId,
+        /// Executed SI.
+        si: SiId,
+        /// Latency in cycles.
+        cycles: u64,
+        /// Hardware (`true`) or software Molecule.
+        hardware: bool,
+    },
+    /// A rotation began writing a container.
+    RotationStarted {
+        /// Target container.
+        container: ContainerId,
+        /// Atom being written.
+        kind: AtomKind,
+    },
+    /// A rotation completed.
+    RotationCompleted {
+        /// Target container.
+        container: ContainerId,
+        /// Atom now loaded.
+        kind: AtomKind,
+    },
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Cycle of the event.
+    pub at: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// An append-only execution trace with query helpers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event at cycle `at`.
+    pub fn push(&mut self, at: u64, event: TraceEvent) {
+        self.entries.push(TraceEntry { at, event });
+    }
+
+    /// All entries in record order (non-decreasing time).
+    #[must_use]
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` for an empty trace.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// SI executions of one task, as `(at, cycles, hardware)`.
+    pub fn executions(
+        &self,
+        task: TaskId,
+        si: SiId,
+    ) -> impl Iterator<Item = (u64, u64, bool)> + '_ {
+        self.entries.iter().filter_map(move |e| match e.event {
+            TraceEvent::SiExec {
+                task: t,
+                si: s,
+                cycles,
+                hardware,
+            } if t == task && s == si => Some((e.at, cycles, hardware)),
+            _ => None,
+        })
+    }
+
+    /// Time of the first hardware execution of `(task, si)` at or after
+    /// `from`.
+    #[must_use]
+    pub fn first_hw_execution_after(&self, task: TaskId, si: SiId, from: u64) -> Option<u64> {
+        self.executions(task, si)
+            .find(|&(at, _, hw)| hw && at >= from)
+            .map(|(at, _, _)| at)
+    }
+
+    /// Count of completed rotations.
+    #[must_use]
+    pub fn rotations_completed(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::RotationCompleted { .. }))
+            .count()
+    }
+
+    /// Time of the first forecast of `si` by `task`.
+    #[must_use]
+    pub fn forecast_time(&self, task: TaskId, si: SiId) -> Option<u64> {
+        self.entries.iter().find_map(|e| match e.event {
+            TraceEvent::Forecast { task: t, si: s } if t == task && s == si => Some(e.at),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            match &e.event {
+                TraceEvent::Forecast { task, si } => {
+                    writeln!(f, "{:>12}  task{task} forecast {si}", e.at)?;
+                }
+                TraceEvent::Retract { task, si } => {
+                    writeln!(f, "{:>12}  task{task} retract  {si}", e.at)?;
+                }
+                TraceEvent::SiExec {
+                    task,
+                    si,
+                    cycles,
+                    hardware,
+                } => {
+                    let how = if *hardware { "HW" } else { "SW" };
+                    writeln!(f, "{:>12}  task{task} exec {si} [{how} {cycles}cyc]", e.at)?;
+                }
+                TraceEvent::RotationStarted { container, kind } => {
+                    writeln!(f, "{:>12}  rotation start {container} <- {kind}", e.at)?;
+                }
+                TraceEvent::RotationCompleted { container, kind } => {
+                    writeln!(f, "{:>12}  rotation done  {container} = {kind}", e.at)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_helpers_find_events() {
+        let mut t = Trace::new();
+        t.push(
+            10,
+            TraceEvent::Forecast {
+                task: 0,
+                si: SiId(1),
+            },
+        );
+        t.push(
+            20,
+            TraceEvent::SiExec {
+                task: 0,
+                si: SiId(1),
+                cycles: 500,
+                hardware: false,
+            },
+        );
+        t.push(
+            30,
+            TraceEvent::RotationCompleted {
+                container: ContainerId(2),
+                kind: AtomKind(0),
+            },
+        );
+        t.push(
+            40,
+            TraceEvent::SiExec {
+                task: 0,
+                si: SiId(1),
+                cycles: 20,
+                hardware: true,
+            },
+        );
+        assert_eq!(t.forecast_time(0, SiId(1)), Some(10));
+        assert_eq!(t.first_hw_execution_after(0, SiId(1), 0), Some(40));
+        assert_eq!(t.rotations_completed(), 1);
+        assert_eq!(t.executions(0, SiId(1)).count(), 2);
+        assert_eq!(t.executions(1, SiId(1)).count(), 0);
+    }
+
+    #[test]
+    fn display_renders_every_entry() {
+        let mut t = Trace::new();
+        t.push(
+            5,
+            TraceEvent::SiExec {
+                task: 1,
+                si: SiId(0),
+                cycles: 24,
+                hardware: true,
+            },
+        );
+        let s = t.to_string();
+        assert!(s.contains("task1"));
+        assert!(s.contains("HW 24cyc"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Container-occupancy waveforms: the rendering behind the paper's
+//! Fig. 6, where each Atom Container is a row and time runs to the right.
+//!
+//! The occupancy history is reconstructed from the trace's rotation
+//! events: a container is *loading* between `RotationStarted` and
+//! `RotationCompleted`, holds the written Atom afterwards, and its
+//! previous content disappears at the rotation start (matching the fabric
+//! semantics).
+
+use rispp_core::atom::{AtomKind, AtomSet};
+use rispp_fabric::container::ContainerId;
+
+use crate::trace::{Trace, TraceEvent};
+
+/// Occupancy of one container during one time span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Occupancy {
+    /// Nothing loaded yet.
+    Empty,
+    /// A rotation is writing this Atom.
+    Loading(AtomKind),
+    /// The Atom is usable.
+    Loaded(AtomKind),
+}
+
+/// One container's occupancy timeline: `(from_cycle, occupancy)` change
+/// points, in time order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ContainerTimeline {
+    /// Change points; the occupancy holds until the next entry.
+    pub changes: Vec<(u64, Occupancy)>,
+}
+
+impl ContainerTimeline {
+    /// Occupancy at a given cycle.
+    #[must_use]
+    pub fn at(&self, cycle: u64) -> Occupancy {
+        let mut current = Occupancy::Empty;
+        for &(t, occ) in &self.changes {
+            if t > cycle {
+                break;
+            }
+            current = occ;
+        }
+        current
+    }
+}
+
+/// Reconstructs per-container occupancy timelines from a trace.
+#[must_use]
+pub fn container_timelines(trace: &Trace, containers: usize) -> Vec<ContainerTimeline> {
+    let mut timelines = vec![ContainerTimeline::default(); containers];
+    for entry in trace.entries() {
+        match entry.event {
+            TraceEvent::RotationStarted { container, kind } => {
+                if let Some(t) = timelines.get_mut(container.index()) {
+                    t.changes.push((entry.at, Occupancy::Loading(kind)));
+                }
+            }
+            TraceEvent::RotationCompleted { container, kind } => {
+                if let Some(t) = timelines.get_mut(container.index()) {
+                    t.changes.push((entry.at, Occupancy::Loaded(kind)));
+                }
+            }
+            _ => {}
+        }
+    }
+    timelines
+}
+
+/// Renders the Fig. 6-style ASCII waveform: one row per container,
+/// `columns` samples across `[0, end]`. Loaded Atoms print their name's
+/// first letter, loading prints it lower-case, empty prints `.`.
+#[must_use]
+pub fn render_waveform(
+    trace: &Trace,
+    atoms: &AtomSet,
+    containers: usize,
+    end: u64,
+    columns: usize,
+) -> String {
+    assert!(columns > 0, "need at least one column");
+    let timelines = container_timelines(trace, containers);
+    let letter = |kind: AtomKind, upper: bool| {
+        let c = atoms
+            .name(kind)
+            .chars()
+            .next()
+            .unwrap_or('?');
+        if upper {
+            c.to_ascii_uppercase()
+        } else {
+            c.to_ascii_lowercase()
+        }
+    };
+    let mut out = String::new();
+    for (i, timeline) in timelines.iter().enumerate() {
+        out.push_str(&format!("AC{i}: "));
+        for col in 0..columns {
+            let cycle = end * col as u64 / columns as u64;
+            let ch = match timeline.at(cycle) {
+                Occupancy::Empty => '.',
+                Occupancy::Loading(k) => letter(k, false),
+                Occupancy::Loaded(k) => letter(k, true),
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    let _ = ContainerId(0); // re-export sanity: the type is part of the API
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{fig6_engine, h264_fabric};
+    use rispp_h264::si_library::atom_set;
+
+    fn traced_run() -> (Trace, u64) {
+        let (mut engine, _) = fig6_engine();
+        let end = engine.run(100_000);
+        (engine.trace().clone(), end)
+    }
+
+    #[test]
+    fn timelines_follow_rotation_events() {
+        let (trace, _) = traced_run();
+        let timelines = container_timelines(&trace, 6);
+        assert_eq!(timelines.len(), 6);
+        // At time 0 everything is empty or just starting to load.
+        for t in &timelines {
+            assert!(matches!(t.at(0), Occupancy::Empty | Occupancy::Loading(_)));
+        }
+        // Something eventually gets loaded.
+        let loaded_any = timelines
+            .iter()
+            .any(|t| matches!(t.at(u64::MAX), Occupancy::Loaded(_)));
+        assert!(loaded_any);
+    }
+
+    #[test]
+    fn occupancy_transitions_are_loading_then_loaded() {
+        let (trace, _) = traced_run();
+        for t in container_timelines(&trace, 6) {
+            let mut prev: Option<Occupancy> = None;
+            for &(_, occ) in &t.changes {
+                if let (Some(Occupancy::Loading(k)), Occupancy::Loaded(k2)) = (prev, occ) {
+                    assert_eq!(k, k2, "completed a different atom than started");
+                }
+                prev = Some(occ);
+            }
+        }
+    }
+
+    #[test]
+    fn waveform_renders_one_row_per_container() {
+        let (trace, end) = traced_run();
+        let art = render_waveform(&trace, &atom_set(), 6, end, 64);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines.iter().all(|l| l.len() == 64 + 5)); // "ACi: " prefix
+        // The steady state contains loaded atoms (upper-case letters).
+        assert!(art.chars().any(|c| c.is_ascii_uppercase()));
+    }
+
+    #[test]
+    fn empty_trace_renders_dots() {
+        let fabric = h264_fabric(2);
+        let art = render_waveform(&Trace::new(), fabric.atoms(), 2, 100, 8);
+        assert_eq!(art, "AC0: ........\nAC1: ........\n");
+    }
+}

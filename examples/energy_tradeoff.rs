@@ -1,0 +1,76 @@
+//! The α trade-off of paper §4.1: when does rotating an SI into hardware
+//! pay off, in time and in energy? Sweeps the expected execution count
+//! and compares a software-only run against a rotate-then-execute run,
+//! with the FDF offset marking the break-even point.
+//!
+//! Run with: `cargo run -p rispp --example energy_tradeoff`
+
+use rispp::core::energy::EnergyModel;
+use rispp::h264::si_library::build_library;
+use rispp::sim::h264_fabric;
+
+fn main() {
+    let (lib, sis) = build_library();
+    let model = EnergyModel::default();
+    let satd = lib.get(sis.satd_4x4);
+
+    // The SATD_4x4 minimal Molecule needs 4 Atoms; total bitstream of the
+    // four Table 1 Atoms:
+    let fabric = h264_fabric(4);
+    let rotation_bytes: u64 = fabric
+        .atoms()
+        .kinds()
+        .map(|k| fabric.catalog().profile(k).bitstream_bytes)
+        .sum();
+    let rotation_cycles: u64 = fabric
+        .atoms()
+        .kinds()
+        .map(|k| fabric.catalog().rotation_cycles(k, fabric.clock()))
+        .sum();
+
+    println!("== Rotate or stay in software? (SATD_4x4) ==\n");
+    println!(
+        "rotation: {} bytes over 4 Atoms = {} cycles, {:.2} mJ",
+        rotation_bytes,
+        rotation_cycles,
+        model.rotation_energy_j(rotation_bytes) * 1e3
+    );
+    for alpha in [0.5, 1.0, 2.0] {
+        let offset = model.amortisation_executions(satd, rotation_bytes, alpha);
+        println!("energy break-even at alpha={alpha}: {offset:.0} executions");
+    }
+    println!();
+
+    println!(
+        "{:>8} {:>14} {:>14} {:>10} {:>12} {:>12} {:>8}",
+        "n execs", "SW cycles", "HW+rot cycles", "win", "SW energy", "HW energy", "win"
+    );
+    for n in [50u64, 100, 200, 220, 300, 500, 1_000, 5_000] {
+        let sw_cycles = n * satd.sw_cycles();
+        // Conservative model: every execution during the rotation window
+        // runs in software; afterwards the minimal Molecule (24 cycles).
+        let during = (rotation_cycles / satd.sw_cycles()).min(n);
+        let hw_cycles = during * satd.sw_cycles() + (n - during) * satd.minimal().cycles;
+        let sw_energy = model.sw_execution_energy_j(sw_cycles);
+        let hw_energy = model.sw_execution_energy_j(during * satd.sw_cycles())
+            + model.hw_execution_energy_j((n - during) * satd.minimal().cycles)
+            + model.rotation_energy_j(rotation_bytes);
+        println!(
+            "{:>8} {:>14} {:>14} {:>10} {:>11.2}mJ {:>11.2}mJ {:>8}",
+            n,
+            sw_cycles,
+            hw_cycles,
+            if hw_cycles < sw_cycles { "rotate" } else { "stay SW" },
+            sw_energy * 1e3,
+            hw_energy * 1e3,
+            if hw_energy < sw_energy { "rotate" } else { "stay SW" },
+        );
+    }
+
+    println!(
+        "\nThe FDF folds exactly this into its offset: below the break-even\n\
+         execution count a forecast candidate is rejected, and alpha shifts\n\
+         the threshold between energy efficiency (alpha > 1) and speed-up\n\
+         (alpha < 1) — the paper's tunable trade-off."
+    );
+}

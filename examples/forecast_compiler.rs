@@ -1,0 +1,76 @@
+//! The compile-time flow on the Fig. 3 AES application: profile the BB
+//! graph, analyse SI usage, insert forecast points, and emit an annotated
+//! Graphviz rendering.
+//!
+//! Run with: `cargo run -p rispp --example forecast_compiler`
+
+use rispp::cfg::aes::{build_aes, AesSis};
+use rispp::cfg::analysis::SiUsageAnalysis;
+use rispp::cfg::dot::to_dot;
+use rispp::cfg::forecast_points::insert_forecast_points;
+use rispp::prelude::*;
+
+fn main() {
+    // The synthetic AES application: key schedule + 10-round loop over
+    // 64 data blocks (Fig. 3's BB graph shape).
+    let sis = AesSis::default();
+    let (cfg, profile, blocks) = build_aes(sis, 64);
+
+    // A small SI library for the three AES SIs (SubBytes+ShiftRows,
+    // MixColumns, AddRoundKey) over two generic Atom kinds.
+    let mut library = SiLibrary::new(2);
+    for (name, sw, counts, cycles) in [
+        ("SubShift", 420u64, [2u32, 1u32], 18u64),
+        ("MixColumns", 380, [1, 2], 16),
+        ("AddKey", 120, [0, 1], 6),
+    ] {
+        library
+            .insert(
+                SpecialInstruction::new(
+                    name,
+                    sw,
+                    vec![MoleculeImpl::new(Molecule::from_counts(counts), cycles)],
+                )
+                .expect("valid SI"),
+            )
+            .expect("width matches");
+    }
+
+    println!("== Compile-time forecast insertion on the AES BB graph ==\n");
+
+    // Per-SI usage analysis from the entry block's perspective.
+    for (si, def) in library.iter() {
+        let analysis = SiUsageAnalysis::compute(&cfg, &profile, si, |b| {
+            cfg.block(b).plain_cycles as f64
+        });
+        let e = blocks.entry.index();
+        println!(
+            "{:<12} p(entry)={:.3}  distance={:>9.0} cycles  E[execs]={:>8.1}",
+            def.name(),
+            analysis.probability[e],
+            analysis.distance[e],
+            analysis.expected_executions[e]
+        );
+    }
+
+    // Forecast decision function per SI. The AES Atoms are small, so a
+    // rotation takes ~4k cycles — which puts the key schedule and the
+    // program entry inside the FDF sweet spot [T_Rot, 10·T_Rot].
+    let fdf = |_si: SiId| FdfParams::new(4_000.0, 400.0, 15.0, 2_000.0, 1.0);
+    let fcs = insert_forecast_points(&cfg, &profile, &library, fdf, 4);
+
+    println!("\nforecast points chosen ({}):", fcs.len());
+    for fc in &fcs {
+        println!(
+            "  block {:<14} SI {:<12} p={:.2} distance={:>9.0} E[execs]={:>8.1}",
+            cfg.block(fc.block).name,
+            library.get(fc.si).name(),
+            fc.probability,
+            fc.distance,
+            fc.expected_executions
+        );
+    }
+
+    let dot = to_dot(&cfg, &profile, &fcs);
+    println!("\nGraphviz (render with `dot -Tsvg`):\n\n{dot}");
+}

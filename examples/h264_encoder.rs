@@ -1,0 +1,70 @@
+//! Encode synthetic video with the Fig. 7 flow and compare RISPP resource
+//! configurations against the optimised-software baseline — the per-frame
+//! view of the paper's Fig. 12.
+//!
+//! Run with: `cargo run -p rispp --example h264_encoder`
+
+use rispp::h264::encoder::{encode_frame, macroblock_cycles, EncoderConfig, SiInvocationCounts};
+use rispp::h264::si_library::build_library;
+use rispp::h264::video::SyntheticVideo;
+use rispp::prelude::*;
+
+fn main() {
+    let (library, sis) = build_library();
+    let mut video = SyntheticVideo::new(64, 48, 2024);
+    let config = EncoderConfig::default();
+
+    // RISPP resource configurations: the meta-molecules the run-time
+    // selector converges to for 4, 5 and 6 Atom Containers, plus SW-only.
+    let configs: [(&str, Molecule); 4] = [
+        ("Opt. SW ", Molecule::zero(4)),
+        ("4 Atoms ", Molecule::from_counts([1, 1, 1, 1])),
+        ("5 Atoms ", Molecule::from_counts([1, 1, 2, 1])),
+        ("6 Atoms ", Molecule::from_counts([1, 2, 2, 1])),
+    ];
+
+    println!("== H.264 encoding engine on RISPP (per-frame cycles) ==\n");
+    println!("frame  PSNR[dB]  intra-MBs  {}", {
+        let mut h = String::new();
+        for (name, _) in &configs {
+            h.push_str(&format!("{name:>14}"));
+        }
+        h
+    });
+
+    let mut reference = video.next_frame();
+    let mut totals = [0u64; 4];
+    for frame_no in 0..5 {
+        let current = video.next_frame();
+        let result = encode_frame(&current, &reference, &config);
+        let per_mb = SiInvocationCounts::per_macroblock();
+        let mbs = current.macroblocks() as u64;
+        print!(
+            "{frame_no:>5}  {:>8.2}  {:>9}",
+            result.luma_psnr, result.intra_macroblocks
+        );
+        for (i, (_, loaded)) in configs.iter().enumerate() {
+            let cycles = mbs * macroblock_cycles(&per_mb, &library, &sis, loaded);
+            totals[i] += cycles;
+            print!("{cycles:>14}");
+        }
+        println!();
+        reference = current;
+    }
+
+    println!("\ntotals over 5 frames:");
+    for ((name, _), total) in configs.iter().zip(&totals) {
+        println!(
+            "  {name} {total:>12} cycles   speed-up vs SW: {:.2}x",
+            totals[0] as f64 / *total as f64
+        );
+    }
+    println!(
+        "\npaper Fig. 12 (per MB): 201,065 SW / 60,244 / 59,135 / 58,287 — \
+         this model: {} / {} / {} / {}",
+        macroblock_cycles(&SiInvocationCounts::per_macroblock(), &library, &sis, &configs[0].1),
+        macroblock_cycles(&SiInvocationCounts::per_macroblock(), &library, &sis, &configs[1].1),
+        macroblock_cycles(&SiInvocationCounts::per_macroblock(), &library, &sis, &configs[2].1),
+        macroblock_cycles(&SiInvocationCounts::per_macroblock(), &library, &sis, &configs[3].1),
+    );
+}

@@ -1,0 +1,180 @@
+//! Cross-crate property tests: random SI libraries and forecast streams
+//! through the full manager/fabric stack must preserve the RISPP
+//! invariants.
+
+use proptest::prelude::*;
+use rispp::prelude::*;
+
+const WIDTH: usize = 3;
+
+fn atom_names() -> [&'static str; WIDTH] {
+    ["A0", "A1", "A2"]
+}
+
+fn make_fabric(containers: usize) -> Fabric {
+    let atoms = AtomSet::from_names(atom_names());
+    let profiles = atom_names()
+        .iter()
+        .map(|n| rispp::fabric::AtomHwProfile::new(*n, 100, 200, 6_920))
+        .collect();
+    Fabric::new(atoms, AtomCatalog::new(profiles), containers)
+}
+
+fn molecule_strategy() -> impl Strategy<Value = Molecule> {
+    proptest::collection::vec(0u32..3, WIDTH)
+        .prop_filter("nonzero", |v| v.iter().any(|&c| c > 0))
+        .prop_map(Molecule::from_counts)
+}
+
+prop_compose! {
+    fn si_strategy()(
+        mols in proptest::collection::vec((molecule_strategy(), 5u64..50), 1..4),
+        extra in 50u64..500,
+    ) -> SpecialInstruction {
+        let max_hw = mols.iter().map(|(_, c)| *c).max().unwrap();
+        SpecialInstruction::new(
+            "si",
+            max_hw + extra,
+            mols.into_iter().map(|(m, c)| MoleculeImpl::new(m, c)).collect(),
+        ).expect("valid")
+    }
+}
+
+prop_compose! {
+    fn library_strategy()(sis in proptest::collection::vec(si_strategy(), 1..4))
+        -> SiLibrary
+    {
+        let mut lib = SiLibrary::new(WIDTH);
+        for si in sis {
+            lib.insert(si).expect("width ok");
+        }
+        lib
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Loaded Atoms never exceed the container count, no matter what the
+    /// forecast stream does.
+    #[test]
+    fn loaded_atoms_bounded_by_containers(
+        lib in library_strategy(),
+        containers in 0usize..5,
+        forecasts in proptest::collection::vec((0usize..4, 1.0f64..200.0), 1..8),
+    ) {
+        let mut mgr = RisppManager::new(lib.clone(), make_fabric(containers));
+        let mut t = 0u64;
+        for (si_pick, execs) in forecasts {
+            let si = SiId(si_pick % lib.len());
+            mgr.forecast(0, ForecastValue::new(si, 1.0, 50_000.0, execs));
+            t += 7_000;
+            mgr.advance_to(t).unwrap();
+            prop_assert!(mgr.loaded().determinant() as usize <= containers);
+            let _ = mgr.execute_si(0, si);
+        }
+        if let Some(done) = mgr.all_rotations_done_at() {
+            mgr.advance_to(done.max(t)).unwrap();
+        }
+        prop_assert!(mgr.loaded().determinant() as usize <= containers);
+    }
+
+    /// Execution latency never exceeds the software Molecule.
+    #[test]
+    fn execution_never_slower_than_software(
+        lib in library_strategy(),
+        containers in 0usize..5,
+        picks in proptest::collection::vec(0usize..4, 1..10),
+    ) {
+        let mut mgr = RisppManager::new(lib.clone(), make_fabric(containers));
+        let mut t = 0;
+        for pick in picks {
+            let si = SiId(pick % lib.len());
+            mgr.forecast(0, ForecastValue::new(si, 1.0, 50_000.0, 100.0));
+            t += 11_000;
+            mgr.advance_to(t).unwrap();
+            let rec = mgr.execute_si(0, si);
+            prop_assert!(rec.cycles <= lib.get(si).sw_cycles());
+            // Hardware records must match a real molecule's latency.
+            if rec.hardware {
+                prop_assert!(lib.get(si)
+                    .molecules()
+                    .iter()
+                    .any(|m| m.cycles == rec.cycles));
+            }
+        }
+    }
+
+    /// After all rotations settle, every selected SI executes at the
+    /// latency its chosen Molecule promises.
+    #[test]
+    fn settled_fabric_delivers_selected_latency(
+        lib in library_strategy(),
+        containers in 1usize..6,
+    ) {
+        let mut mgr = RisppManager::new(lib.clone(), make_fabric(containers));
+        for si in lib.ids() {
+            mgr.forecast(0, ForecastValue::new(si, 1.0, 50_000.0, 50.0));
+        }
+        if let Some(done) = mgr.all_rotations_done_at() {
+            mgr.advance_to(done).unwrap();
+        }
+        let loaded = mgr.loaded();
+        for si in lib.ids() {
+            let rec = mgr.execute_si(0, si);
+            prop_assert_eq!(rec.cycles, lib.get(si).exec_cycles(&loaded));
+        }
+    }
+
+    /// Energy-saving mode is strictly more conservative: it never
+    /// requests more rotations than performance mode for the same demand.
+    #[test]
+    fn energy_mode_never_rotates_more(
+        lib in library_strategy(),
+        containers in 1usize..5,
+        execs in 1.0f64..2_000.0,
+    ) {
+        use rispp::rt::PowerMode;
+        use rispp::core::energy::EnergyModel;
+        let si = SiId(0);
+        let fv = ForecastValue::new(si, 1.0, 50_000.0, execs);
+
+        let mut perf = RisppManager::new(lib.clone(), make_fabric(containers));
+        perf.forecast(0, fv.clone());
+
+        let mut eco = RisppManager::new(lib.clone(), make_fabric(containers));
+        eco.set_power_mode(PowerMode::EnergySaving {
+            model: EnergyModel::default(),
+            alpha: 1.0,
+        });
+        eco.forecast(0, fv);
+
+        prop_assert!(eco.rotations_requested() <= perf.rotations_requested());
+        prop_assert!(eco.rotation_bytes() <= perf.rotation_bytes());
+    }
+
+    /// The fabric clock is monotone and rotations serialise: completion
+    /// times are strictly increasing.
+    #[test]
+    fn rotations_serialize(
+        containers in 1usize..5,
+        kinds in proptest::collection::vec(0usize..WIDTH, 1..5),
+    ) {
+        let mut fabric = make_fabric(containers);
+        for (i, k) in kinds.iter().enumerate() {
+            let c = rispp::fabric::ContainerId(i % containers);
+            // Ignore duplicate-container errors; they're expected.
+            let _ = fabric.request_rotation(c, AtomKind(*k));
+        }
+        let mut completions = Vec::new();
+        while let Some(t) = fabric.next_completion() {
+            let events = fabric.advance_to(t).unwrap();
+            for e in events {
+                if let rispp::fabric::FabricEvent::RotationCompleted { at, .. } = e {
+                    completions.push(at);
+                }
+            }
+        }
+        prop_assert!(completions.windows(2).all(|w| w[0] < w[1]));
+    }
+}

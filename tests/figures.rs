@@ -1,0 +1,290 @@
+//! Figure- and table-level reproduction checks: every table and figure of
+//! the paper's evaluation has an assertion here pinning the reproduced
+//! shape (and, where the paper prints numbers, the numbers).
+
+use rispp::baseline::{AreaModel, ExtensibleProcessor};
+use rispp::core::pareto::{latency_staircase, pareto_front, TradeOffPoint};
+use rispp::core::selection::select_molecules;
+use rispp::h264::encoder::{macroblock_cycles, SiInvocationCounts};
+use rispp::h264::si_library::{build_library, table2_groups};
+use rispp::prelude::*;
+
+// ---------------------------------------------------------------- Fig. 1
+
+#[test]
+fn fig01_ge_saving_over_50_percent() {
+    let model = AreaModel::new(rispp::baseline::h264_phases(), 1.2);
+    // RISPP HW = α·GE_max ≤ GE_constraint; saving = (GE_total − α·GE_max)/GE_total.
+    assert!(model.ge_saving_percent() > 50.0);
+    assert!(model.fits_constraint(150_000));
+    // Performance maintenance: with the rotating area ≥ every phase's own
+    // hardware divided by α, each hot spot fits into α·GE_max.
+    for phase in model.phases() {
+        assert!(phase.gate_equivalents <= model.rispp_ge());
+    }
+}
+
+// ---------------------------------------------------------------- Fig. 4
+
+#[test]
+fn fig04_fdf_surface_shape() {
+    let fdf = FdfParams::new(1_000.0, 50.0, 5.0, 900.0, 1.0);
+    let rel: Vec<f64> = (0..=30).map(|i| 0.1 * 1.26f64.powi(i)).collect();
+    let surface = fdf.surface(&[0.4, 0.7, 1.0], &rel);
+    // U shape: the minimum over distance is interior, not at the ends.
+    for p in [0.4, 0.7, 1.0] {
+        let row: Vec<f64> = surface
+            .iter()
+            .filter(|&&(pp, _, _)| (pp - p).abs() < 1e-12)
+            .map(|&(_, _, v)| v)
+            .collect();
+        let min = row.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(row[0] > min, "no near penalty at p={p}");
+        assert!(row[row.len() - 1] > min, "no far penalty at p={p}");
+    }
+    // The paper's surface peaks in the 450..500 band at (p=40 %, t=0.1·T_Rot).
+    let peak = fdf.eval(0.4, 100.0) - fdf.offset();
+    assert!((450.0..=520.0).contains(&peak), "peak {peak}");
+}
+
+// --------------------------------------------------------------- Table 1
+
+#[test]
+fn tab01_rotation_times_match() {
+    use rispp::fabric::catalog::{table1_profiles, SELECTMAP_RATE_BYTES_PER_SEC};
+    let expected = [
+        ("Transform", 517u32, 1034u32, 59_353u64, 857.63),
+        ("SATD", 407, 808, 58_141, 840.11),
+        ("Pack", 406, 812, 65_713, 949.53),
+        ("QuadSub", 352, 700, 58_745, 848.84),
+    ];
+    for (profile, (name, slices, luts, bytes, rot_us)) in
+        table1_profiles().iter().zip(expected)
+    {
+        assert_eq!(profile.name, name);
+        assert_eq!(profile.slices, slices);
+        assert_eq!(profile.luts, luts);
+        assert_eq!(profile.bitstream_bytes, bytes);
+        let got = profile.rotation_time_us(SELECTMAP_RATE_BYTES_PER_SEC);
+        assert!(
+            (got - rot_us).abs() / rot_us < 0.005,
+            "{name}: {got:.2} vs {rot_us}"
+        );
+    }
+}
+
+// --------------------------------------------------------------- Table 2
+
+#[test]
+fn tab02_thirty_molecules_with_published_cycles() {
+    let groups = table2_groups();
+    let total: usize = groups.iter().map(|(_, e)| e.len()).sum();
+    assert_eq!(total, 30);
+    let all_cycles: Vec<u64> = groups
+        .iter()
+        .flat_map(|(_, e)| e.iter().map(|x| x.cycles))
+        .collect();
+    assert_eq!(*all_cycles.iter().min().unwrap(), 5);
+    assert_eq!(*all_cycles.iter().max().unwrap(), 24);
+}
+
+// --------------------------------------------------------------- Fig. 11
+
+#[test]
+fn fig11_si_execution_time_vs_resources() {
+    let (lib, sis) = build_library();
+    // Encoder demand mix (invocation counts per MB as weights).
+    let demands = [
+        (sis.satd_4x4, 256.0),
+        (sis.dct_4x4, 24.0),
+        (sis.ht_4x4, 1.0),
+        (sis.ht_2x2, 2.0),
+    ];
+    let latencies = |budget: u32| -> (u64, u64, u64) {
+        let sel = select_molecules(&lib, &demands, budget);
+        (
+            lib.get(sis.satd_4x4).exec_cycles(&sel.target),
+            lib.get(sis.dct_4x4).exec_cycles(&sel.target),
+            lib.get(sis.ht_4x4).exec_cycles(&sel.target),
+        )
+    };
+    let (s4, d4, h4) = latencies(4);
+    let (s5, d5, h5) = latencies(5);
+    let (s6, d6, h6) = latencies(6);
+    // 4 Atoms: the shared minimal set runs all three SIs in hardware.
+    assert_eq!((s4, d4, h4), (24, 24, 22));
+    // Latencies never regress with more resources, and something improves.
+    assert!(s5 <= s4 && d5 <= d4 && h5 <= h4);
+    assert!(s6 <= s5 && d6 <= d5 && h6 <= h5);
+    assert!(s6 < s4 && d6 < d4 && h6 < h4);
+    // Fig. 11 headline: hardware is > 22× faster than optimised software.
+    assert!(544 / s4 >= 22);
+    assert!(488 / d4 >= 20);
+}
+
+// --------------------------------------------------------------- Fig. 12
+
+#[test]
+fn fig12_allover_performance() {
+    let (lib, sis) = build_library();
+    let counts = SiInvocationCounts::per_macroblock();
+    let sw = macroblock_cycles(&counts, &lib, &sis, &Molecule::zero(4));
+    assert_eq!(sw, 201_065); // paper: Opt. SW
+
+    let cases = [
+        (Molecule::from_counts([1, 1, 1, 1]), 60_244.0), // 4 Atoms
+        (Molecule::from_counts([1, 1, 2, 1]), 59_135.0), // 5 Atoms
+        (Molecule::from_counts([1, 2, 2, 1]), 58_287.0), // 6 Atoms
+    ];
+    let mut prev = sw;
+    for (loaded, paper) in cases {
+        let got = macroblock_cycles(&counts, &lib, &sis, &loaded);
+        let rel = (got as f64 - paper).abs() / paper;
+        assert!(rel < 0.01, "{loaded}: {got} vs paper {paper}");
+        assert!(got < prev, "more atoms must not be slower");
+        prev = got;
+    }
+    // >300 % speed-up, then Amdahl flattening: the 4→6 Atom gain is small.
+    let four = macroblock_cycles(&counts, &lib, &sis, &Molecule::from_counts([1, 1, 1, 1]));
+    let six = macroblock_cycles(&counts, &lib, &sis, &Molecule::from_counts([1, 2, 2, 1]));
+    assert!(sw as f64 / four as f64 > 3.0);
+    assert!(((four - six) as f64) / (four as f64) < 0.05);
+}
+
+// --------------------------------------------------------------- Fig. 13
+
+#[test]
+fn fig13_pareto_fronts_and_dynamic_tradeoff() {
+    let (lib, sis) = build_library();
+    for si in [sis.satd_4x4, sis.dct_4x4, sis.ht_4x4, sis.ht_2x2] {
+        let def = lib.get(si);
+        let points: Vec<TradeOffPoint> = def
+            .molecules()
+            .iter()
+            .map(|m| TradeOffPoint::new(m.molecule.determinant(), m.cycles))
+            .collect();
+        let front = pareto_front(&points);
+        assert!(!front.is_empty());
+        // The staircase is monotone non-increasing over the Atom budget.
+        let stairs = latency_staircase(&points, 18);
+        let known: Vec<u64> = stairs.iter().copied().flatten().collect();
+        assert!(known.windows(2).all(|w| w[1] <= w[0]), "{}", def.name());
+    }
+    // SATD spans the full 4..16 Atom range of the figure.
+    let satd = lib.get(sis.satd_4x4);
+    let min = satd.minimal().molecule.determinant();
+    let max = satd
+        .molecules()
+        .iter()
+        .map(|m| m.molecule.determinant())
+        .max()
+        .unwrap();
+    assert_eq!((min, max), (4, 16));
+
+    // The ASIP fixes ONE point; RISPP can realise every Pareto point by
+    // rotating. Designed under a 6-atom budget, the ASIP can never reach
+    // the 12-cycle implementation RISPP reaches with 16 atoms' worth of
+    // rotation.
+    let asip = ExtensibleProcessor::design(lib.clone(), &[(sis.satd_4x4, 1.0)], 6);
+    let fixed = asip.exec_cycles(sis.satd_4x4);
+    assert!(fixed > 12);
+    assert_eq!(satd.fastest().cycles, 12);
+}
+
+// ----------------------------------------- Fig. 1 (performance half)
+
+#[test]
+fn fig01_performance_maintained_across_phases() {
+    use rispp::core::atom::{AtomKind, AtomSet};
+    use rispp::fabric::catalog::{AtomCatalog, AtomHwProfile};
+    use rispp::sim::multimode::{run_multimode, PhaseSpec};
+
+    let names = ["MeAtom", "McAtom", "TqAtom", "LfAtom"];
+    let atoms = AtomSet::from_names(names);
+    let catalog = AtomCatalog::new(
+        names
+            .iter()
+            .map(|n| AtomHwProfile::new(*n, 200, 400, 6_920))
+            .collect(),
+    );
+    let mut lib = SiLibrary::new(4);
+    let mut phases = Vec::new();
+    for (kind, (count, hw, sw, iters, execs, plain)) in [
+        (2u32, 6u64, 80u64, 2_000u32, 8u32, 40u64),
+        (3, 8, 120, 700, 6, 60),
+        (2, 7, 100, 1_000, 6, 50),
+        (2, 9, 90, 700, 4, 45),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let mut counts = [0u32; 4];
+        counts[kind] = *count;
+        let si = lib
+            .insert(
+                SpecialInstruction::new(
+                    format!("p{kind}"),
+                    *sw,
+                    vec![
+                        MoleculeImpl::new(
+                            Molecule::from_pairs(4, [(AtomKind(kind), 1)]),
+                            hw * 2,
+                        ),
+                        MoleculeImpl::new(Molecule::from_counts(counts), *hw),
+                    ],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        phases.push(PhaseSpec::new(format!("phase{kind}"), si, *iters, *execs, *plain));
+    }
+    let fabric = Fabric::new(atoms, catalog, 3);
+    let out = run_multimode(&lib, fabric, &phases, 3);
+    // RISPP at 1/3 of the ASIP area stays within 15 % of its performance
+    // and clearly beats an equal-area design-time-fixed processor.
+    assert_eq!(out.asip_full_area_atoms, 9);
+    assert!(out.rispp_vs_full_asip() < 1.15, "{}", out.rispp_vs_full_asip());
+    assert!(out.rispp_vs_equal_area() > 1.5, "{}", out.rispp_vs_equal_area());
+}
+
+// --------------------------------- §3.2: SI compatibility via Rep(S)
+
+#[test]
+fn transform_sis_share_atoms_as_in_fig2() {
+    use rispp::core::compat::{molecule_compatibility, select_compatible_sis};
+    let (lib, sis) = build_library();
+    // Fig. 2: HT_4x4, DCT_4x4 and SATD_4x4 are implemented "while sharing
+    // the same set of Atoms" — their representatives overlap strongly,
+    // while SAD (QuadSub+SATD only) overlaps the transforms less.
+    let ht = lib.get(sis.ht_4x4).representative();
+    let dct = lib.get(sis.dct_4x4).representative();
+    let sad = lib.get(sis.sad_4x4).representative();
+    assert!(molecule_compatibility(&ht, &dct) > 0.6);
+    assert!(molecule_compatibility(&ht, &sad) < 0.2);
+    // Compatibility-driven subset selection packs the transform SIs by
+    // Atom sharing: hosting HT_2x2 + HT_4x4 + DCT_4x4 costs 6 containers
+    // (their representatives overlap), and adding SATD_4x4's
+    // representative (3,3,3,3) re-uses the Pack/Transform instances.
+    let requested = [sis.satd_4x4, sis.dct_4x4, sis.ht_4x4, sis.ht_2x2];
+    let (small, hosted_small) = select_compatible_sis(&lib, &requested, 6);
+    assert_eq!(small.len(), 3);
+    assert_eq!(hosted_small.determinant(), 6);
+    let (all, hosted_all) = select_compatible_sis(&lib, &requested, 12);
+    assert_eq!(all.len(), 4, "all four SIs fit by sharing");
+    assert!(hosted_all.determinant() <= 12);
+}
+
+// --------------------------------------------- §6: rotation ≈ milliseconds
+
+#[test]
+fn rotation_time_is_milliseconds_at_core_speed() {
+    let fabric = rispp::sim::h264_fabric(4);
+    let clock = *fabric.clock();
+    for kind in fabric.atoms().kinds() {
+        let us = fabric.catalog().rotation_time_us(kind);
+        assert!((800.0..1_000.0).contains(&us), "{us} µs");
+        let cycles = fabric.catalog().rotation_cycles(kind, &clock);
+        // ~85–95k cycles: three to four orders of magnitude above an SI.
+        assert!((80_000..100_000).contains(&cycles));
+    }
+}

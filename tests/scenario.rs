@@ -1,0 +1,78 @@
+//! Fig. 6 scenario invariants, checked through the facade crate.
+
+use rispp::sim::scenario::run_fig6;
+
+#[test]
+fn t_sequence_is_ordered() {
+    let r = run_fig6();
+    let t4 = r.t4.expect("T4");
+    let t5 = r.t5.expect("T5");
+    assert!(r.t1 < r.t2, "T1 {} !< T2 {}", r.t1, r.t2);
+    assert!(r.t2 <= t4, "T2 {} !<= T4 {t4}", r.t2);
+    assert!(t4 < t5, "T4 {t4} !< T5 {t5}");
+    assert!(t5 < r.end);
+}
+
+#[test]
+fn software_window_exists_between_t1_and_t4() {
+    let r = run_fig6();
+    let t4 = r.t4.unwrap();
+    let sw_in_window = r
+        .satd_execs
+        .iter()
+        .filter(|&&(at, _, hw)| !hw && at > r.t1 && at < t4)
+        .count();
+    assert!(sw_in_window > 0, "no SW fallback in the re-allocation window");
+    // And no hardware SATD execution inside the eviction window once the
+    // first SW fallback happened.
+    let first_sw = r
+        .satd_execs
+        .iter()
+        .find(|&&(at, _, hw)| !hw && at > r.t1)
+        .map(|&(at, _, _)| at)
+        .unwrap();
+    assert!(!r
+        .satd_execs
+        .iter()
+        .any(|&(at, _, hw)| hw && at > first_sw && at < r.t2));
+}
+
+#[test]
+fn cross_task_atom_sharing_before_t1() {
+    let r = run_fig6();
+    // Task B's SAD executes in hardware before T1 using QuadSub/SATD
+    // Atoms that were rotated in for Task A's SATD Molecule.
+    assert!(r
+        .sad_execs
+        .iter()
+        .any(|&(at, cycles, hw)| hw && at < r.t1 && cycles <= 16));
+}
+
+#[test]
+fn gradual_upgrade_after_t4() {
+    let r = run_fig6();
+    let t4 = r.t4.unwrap();
+    let latencies: Vec<u64> = r
+        .satd_execs
+        .iter()
+        .filter(|&&(at, _, hw)| hw && at >= t4)
+        .map(|&(_, c, _)| c)
+        .collect();
+    // Monotone non-increasing: each rotation only improves the Molecule.
+    assert!(latencies.windows(2).all(|w| w[1] <= w[0]));
+    assert!(*latencies.last().unwrap() < latencies[0]);
+}
+
+#[test]
+fn dct_burst_runs_in_hardware() {
+    let r = run_fig6();
+    let hw = r.dct_execs.iter().filter(|e| e.2).count();
+    assert!(
+        hw * 10 >= r.dct_execs.len() * 9,
+        "{hw}/{} DCT executions in HW",
+        r.dct_execs.len()
+    );
+    // And the fastest DCT molecule under the burst's selection (12 cycles)
+    // is reached.
+    assert!(r.dct_execs.iter().any(|&(_, c, hw)| hw && c <= 12));
+}
