@@ -263,10 +263,7 @@ mod tests {
         let catalog = AtomCatalog::new(table1_profiles().to_vec());
         // One Transform + two SATD atoms (order: Transform, SATD, …).
         let m = Molecule::from_counts([1, 2, 0, 0]);
-        assert_eq!(
-            molecule_ge(&m, &catalog),
-            (517 + 2 * 407) * GE_PER_SLICE
-        );
+        assert_eq!(molecule_ge(&m, &catalog), (517 + 2 * 407) * GE_PER_SLICE);
         assert_eq!(molecule_ge(&Molecule::zero(4), &catalog), 0);
     }
 

@@ -56,7 +56,11 @@ impl ExtensibleProcessor {
     #[must_use]
     pub fn accelerates(&self, si: SiId) -> bool {
         self.fixed.choice_for(si).is_some()
-            || self.lib.get(si).best_available(&self.fixed.target).is_some()
+            || self
+                .lib
+                .get(si)
+                .best_available(&self.fixed.target)
+                .is_some()
     }
 }
 

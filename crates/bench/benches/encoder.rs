@@ -30,7 +30,7 @@ fn bench_encoder(c: &mut Criterion) {
     group.bench_function("manager/forecast_rotate_execute", |b| {
         b.iter(|| {
             let (lib, sis) = build_library();
-            let mut mgr = RisppManager::new(lib, h264_fabric(6));
+            let mut mgr = RisppManager::builder(lib, h264_fabric(6)).build();
             mgr.forecast(0, ForecastValue::new(sis.satd_4x4, 1.0, 400_000.0, 300.0));
             if let Some(done) = mgr.all_rotations_done_at() {
                 mgr.advance_to(done).unwrap();

@@ -11,14 +11,46 @@ use rispp::sim::waveform::render_waveform;
 
 fn fib_program(n: i64) -> Vec<Instr> {
     vec![
-        Instr::Addi { rd: 2, rs: 0, imm: 0 },
-        Instr::Addi { rd: 3, rs: 0, imm: 1 },
-        Instr::Addi { rd: 4, rs: 0, imm: n },
-        Instr::Beq { rs: 4, rt: 0, target: 9 },
-        Instr::Add { rd: 5, rs: 2, rt: 3 },
-        Instr::Add { rd: 2, rs: 3, rt: 0 },
-        Instr::Add { rd: 3, rs: 5, rt: 0 },
-        Instr::Addi { rd: 4, rs: 4, imm: -1 },
+        Instr::Addi {
+            rd: 2,
+            rs: 0,
+            imm: 0,
+        },
+        Instr::Addi {
+            rd: 3,
+            rs: 0,
+            imm: 1,
+        },
+        Instr::Addi {
+            rd: 4,
+            rs: 0,
+            imm: n,
+        },
+        Instr::Beq {
+            rs: 4,
+            rt: 0,
+            target: 9,
+        },
+        Instr::Add {
+            rd: 5,
+            rs: 2,
+            rt: 3,
+        },
+        Instr::Add {
+            rd: 2,
+            rs: 3,
+            rt: 0,
+        },
+        Instr::Add {
+            rd: 3,
+            rs: 5,
+            rt: 0,
+        },
+        Instr::Addi {
+            rd: 4,
+            rs: 4,
+            imm: -1,
+        },
         Instr::Jmp { target: 3 },
         Instr::Halt,
     ]
@@ -31,7 +63,7 @@ fn bench_runtime(c: &mut Criterion) {
         let program = fib_program(1_000);
         b.iter(|| {
             let (lib, _) = build_library();
-            let mut mgr = RisppManager::new(lib, h264_fabric(0));
+            let mut mgr = RisppManager::builder(lib, h264_fabric(0)).build();
             let mut cpu = Cpu::new(0);
             cpu.run(black_box(&program), &mut mgr, 0, 100_000)
         })
@@ -45,7 +77,7 @@ fn bench_runtime(c: &mut Criterion) {
     group.bench_function("waveform/fig6", |b| {
         let (mut engine, _) = fig6_engine();
         let end = engine.run(100_000);
-        let trace = engine.trace().clone();
+        let trace = engine.timeline().clone();
         let atoms = atom_set();
         b.iter(|| render_waveform(black_box(&trace), &atoms, 6, end, 96))
     });

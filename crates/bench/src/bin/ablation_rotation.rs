@@ -18,8 +18,9 @@ struct Run {
 
 fn run(strategy: RotationStrategy, containers: usize) -> Run {
     let (lib, sis) = build_library();
-    let mut mgr = RisppManager::new(lib, h264_fabric(containers));
-    mgr.set_rotation_strategy(strategy);
+    let mut mgr = RisppManager::builder(lib, h264_fabric(containers))
+        .rotation_strategy(strategy)
+        .build();
     mgr.forecast(0, ForecastValue::new(sis.satd_4x4, 1.0, 400_000.0, 400.0));
     let mut first_hw_at = 0;
     let mut first_hw_cycles = 0;

@@ -2,9 +2,7 @@
 //! how much weighted cycle saving the fast greedy heuristic (which must
 //! run on every forecast event) leaves on the table.
 
-use rispp::core::selection::{
-    select_molecules, select_molecules_exhaustive, selection_benefit,
-};
+use rispp::core::selection::{select_molecules, select_molecules_exhaustive, selection_benefit};
 use rispp::h264::si_library::build_library;
 use rispp_bench::print_table;
 

@@ -49,7 +49,7 @@ fn run_with(fcs: &[ForecastPoint]) -> (u64, u64, u64) {
     let (cfg, profile, _) = build_aes(AesSis::default(), 48);
     let mut rng = StdRng::seed_from_u64(7);
     let program = generate_trace_program(&cfg, &profile, fcs, 100_000, &mut rng);
-    let manager = RisppManager::new(lib, aes_fabric());
+    let manager = RisppManager::builder(lib, aes_fabric()).build();
     let mut engine = Engine::new(manager);
     engine.add_task(Task::new(0, "aes", program));
     let cycles = engine.run(5_000_000);
@@ -69,9 +69,8 @@ fn main() {
     // (a) naive: every candidate becomes a forecast point.
     let mut naive = Vec::new();
     for si in lib.ids() {
-        let analysis = SiUsageAnalysis::compute(&cfg, &profile, si, |b| {
-            cfg.block(b).plain_cycles as f64
-        });
+        let analysis =
+            SiUsageAnalysis::compute(&cfg, &profile, si, |b| cfg.block(b).plain_cycles as f64);
         naive.extend(determine_candidates(&cfg, &analysis, si, &fdf(si)));
     }
 

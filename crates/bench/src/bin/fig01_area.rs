@@ -19,12 +19,21 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["phase", "time share", "GE (dedicated SI hardware)"], &rows);
+    print_table(
+        &["phase", "time share", "GE (dedicated SI hardware)"],
+        &rows,
+    );
 
     let model = AreaModel::new(phases, 1.2);
     println!();
-    println!("extensible processor GE_total : {:>8}", model.extensible_ge());
-    println!("largest hot spot GE_max (MC)  : {:>8}", model.max_phase_ge());
+    println!(
+        "extensible processor GE_total : {:>8}",
+        model.extensible_ge()
+    );
+    println!(
+        "largest hot spot GE_max (MC)  : {:>8}",
+        model.max_phase_ge()
+    );
     println!(
         "RISPP HW = alpha * GE_max      : {:>8}  (alpha = {})",
         model.rispp_ge(),

@@ -77,9 +77,18 @@ fn main() {
     let fabric = Fabric::new(atoms, catalog, 3);
     let out = run_multimode(&lib, fabric, &phases, 3);
     println!("\nreference machines (3-AC RISPP row):");
-    println!("  full extensible processor : {:>9} cycles @ {} atoms", out.asip_full_cycles, out.asip_full_area_atoms);
-    println!("  equal-area extensible     : {:>9} cycles @ {} atoms", out.asip_equal_area_cycles, out.rispp_area_atoms);
-    println!("  pure software             : {:>9} cycles", out.software_cycles);
+    println!(
+        "  full extensible processor : {:>9} cycles @ {} atoms",
+        out.asip_full_cycles, out.asip_full_area_atoms
+    );
+    println!(
+        "  equal-area extensible     : {:>9} cycles @ {} atoms",
+        out.asip_equal_area_cycles, out.rispp_area_atoms
+    );
+    println!(
+        "  pure software             : {:>9} cycles",
+        out.software_cycles
+    );
     println!(
         "\nRISPP runs within {:.1}% of the full ASIP using {}/{} of its area —",
         (out.rispp_vs_full_asip() - 1.0) * 100.0,

@@ -64,12 +64,22 @@ fn main() {
         })
         .collect();
     print_table(
-        &["block", "visits", "p(SubShift)", "distance", "E[execs]", "FC candidate"],
+        &[
+            "block",
+            "visits",
+            "p(SubShift)",
+            "distance",
+            "E[execs]",
+            "FC candidate",
+        ],
         &rows,
     );
 
     let fcs = insert_forecast_points(&cfg, &profile, &lib, fdf, 4);
-    println!("\nfinal forecast points after trimming + placement: {}", fcs.len());
+    println!(
+        "\nfinal forecast points after trimming + placement: {}",
+        fcs.len()
+    );
     for fc in &fcs {
         println!(
             "  {} -> {}  (p={:.2}, d={:.0}, E={:.0})",

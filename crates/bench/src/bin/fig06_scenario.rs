@@ -1,8 +1,18 @@
 //! Fig. 6 — The run-time architecture scenario: two tasks sharing six
 //! Atom Containers, with forecasts, container re-allocation, rotations,
 //! cross-task Atom sharing and the gradual SW→HW upgrade.
+//!
+//! The waveform and event log below are rendered from a *replayed* JSONL
+//! export, not from the live run: every event is streamed through a
+//! [`JsonlSink`], parsed back, and accumulated into a fresh timeline —
+//! proving the figure is reproducible from the export alone.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use rispp::h264::si_library::atom_set;
+use rispp::obs::jsonl;
+use rispp::prelude::*;
 use rispp::sim::scenario::{fig6_engine, run_fig6};
 use rispp::sim::waveform::render_waveform;
 
@@ -11,8 +21,14 @@ fn main() {
 
     let report = run_fig6();
     println!("characteristic points of the timeline:");
-    println!("  T1 (more important SI1 forecasted)   cycle {:>9}", report.t1);
-    println!("  T2 (SI1 no longer needed)            cycle {:>9}", report.t2);
+    println!(
+        "  T1 (more important SI1 forecasted)   cycle {:>9}",
+        report.t1
+    );
+    println!(
+        "  T2 (SI1 no longer needed)            cycle {:>9}",
+        report.t2
+    );
     println!(
         "  T4 (SATD switches SW -> HW)          cycle {:>9}",
         report.t4.map_or(-1, |t| t as i64)
@@ -21,18 +37,41 @@ fn main() {
         "  T5 (SATD upgrades to faster Molecule) cycle {:>8}",
         report.t5.map_or(-1, |t| t as i64)
     );
-    println!("  rotations completed                  {:>9}", report.rotations);
+    println!(
+        "  rotations completed                  {:>9}",
+        report.rotations
+    );
+
+    // Re-run with a JSONL export attached, then rebuild the timeline
+    // purely from the exported text.
+    let (mut engine, _) = fig6_engine();
+    let export = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
+    engine.attach_sink(SinkHandle::shared(export.clone()));
+    let end = engine.run(100_000);
+
+    let text = String::from_utf8(export.borrow().writer().clone()).expect("JSONL is UTF-8");
+    let mut replayed = TimelineSink::new();
+    jsonl::replay(&text, &mut replayed).expect("export replays cleanly");
+    assert_eq!(
+        replayed.timeline(),
+        &*engine.timeline(),
+        "replayed timeline must match the live one"
+    );
+    let timeline = replayed.into_timeline();
+    println!(
+        "\nJSONL export: {} events, {} bytes; replay matches the live timeline.",
+        timeline.len(),
+        text.len()
+    );
 
     // Container-occupancy waveform: the figure's own rendering. Upper
     // case = loaded Atom (Q/P/T/S), lower case = rotation in flight,
     // '.' = empty.
-    let (mut engine, _) = fig6_engine();
-    let end = engine.run(100_000);
     println!("\ncontainer occupancy over time (Fig. 6 rows; {end} cycles across):");
-    print!("{}", render_waveform(engine.trace(), &atom_set(), 6, end, 96));
+    print!("{}", render_waveform(&timeline, &atom_set(), 6, end, 96));
 
-    println!("\nevent log (truncated):");
-    for line in engine.trace().to_string().lines().take(40) {
+    println!("\nevent log (truncated, from the replayed export):");
+    for line in timeline.to_string().lines().take(40) {
         println!("  {line}");
     }
     println!("  ...");

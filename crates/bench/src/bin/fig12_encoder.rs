@@ -14,7 +14,7 @@ use rispp_bench::print_table;
 fn live_macroblock_cycles(containers: usize) -> u64 {
     let (lib, sis) = build_library();
     let fabric = rispp::sim::h264_fabric(containers);
-    let mut mgr = RisppManager::new(lib, fabric);
+    let mut mgr = RisppManager::builder(lib, fabric).build();
     let demands = [
         (sis.satd_4x4, 256.0),
         (sis.dct_4x4, 24.0),
@@ -37,7 +37,12 @@ fn live_macroblock_cycles(containers: usize) -> u64 {
     ] {
         for _ in 0..n {
             let rec = mgr.execute_si(0, si);
-            total += rec.cycles + if rec.hardware { HW_DISPATCH_OVERHEAD } else { 0 };
+            total += rec.cycles
+                + if rec.hardware {
+                    HW_DISPATCH_OVERHEAD
+                } else {
+                    0
+                };
         }
     }
     total
@@ -56,7 +61,10 @@ fn main() {
 
     let paper = [201_065u64, 60_244, 59_135, 58_287];
     let mut rows = Vec::new();
-    for (i, label) in ["Opt. SW", "4 Atoms", "5 Atoms", "6 Atoms"].iter().enumerate() {
+    for (i, label) in ["Opt. SW", "4 Atoms", "5 Atoms", "6 Atoms"]
+        .iter()
+        .enumerate()
+    {
         let loaded = if i == 0 {
             Molecule::zero(4)
         } else {
@@ -73,11 +81,20 @@ fn main() {
             format!("{model}"),
             format!("{live}"),
             format!("{}", paper[i]),
-            format!("{:+.2}%", 100.0 * (model as f64 - paper[i] as f64) / paper[i] as f64),
+            format!(
+                "{:+.2}%",
+                100.0 * (model as f64 - paper[i] as f64) / paper[i] as f64
+            ),
         ]);
     }
     print_table(
-        &["config", "model cycles/MB", "live cycles/MB", "paper", "model vs paper"],
+        &[
+            "config",
+            "model cycles/MB",
+            "live cycles/MB",
+            "paper",
+            "model vs paper",
+        ],
         &rows,
     );
 

@@ -27,7 +27,11 @@ fn main() {
             .map(|m| TradeOffPoint::new(m.molecule.determinant(), m.cycles))
             .collect();
         let front = pareto_front(&points);
-        println!("{name}: {} molecules, Pareto-optimal: {}", points.len(), front.len());
+        println!(
+            "{name}: {} molecules, Pareto-optimal: {}",
+            points.len(),
+            front.len()
+        );
         let mut sorted: Vec<(usize, &TradeOffPoint)> = points.iter().enumerate().collect();
         sorted.sort_by_key(|(_, p)| (p.atoms, p.cycles));
         for (i, p) in sorted {
@@ -51,14 +55,14 @@ fn main() {
                 .map(|m| TradeOffPoint::new(m.molecule.determinant(), m.cycles))
                 .collect();
             let stairs = latency_staircase(&points, 18);
-            row.push(
-                stairs[budget as usize]
-                    .map_or("-".to_string(), |c| c.to_string()),
-            );
+            row.push(stairs[budget as usize].map_or("-".to_string(), |c| c.to_string()));
         }
         rows.push(row);
     }
-    print_table(&["#Atoms", "SATD_4x4", "DCT_4x4", "HT_4x4", "HT_2x2"], &rows);
+    print_table(
+        &["#Atoms", "SATD_4x4", "DCT_4x4", "HT_4x4", "HT_2x2"],
+        &rows,
+    );
 
     // ASIP comparison: a fixed design point cannot follow the staircase.
     let asip = ExtensibleProcessor::design(lib.clone(), &[(sis.satd_4x4, 1.0)], 6);

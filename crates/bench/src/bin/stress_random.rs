@@ -1,7 +1,12 @@
 //! Stress harness: random platforms (Atom sets, SI libraries, forecast
 //! streams) hammered through the full manager/fabric stack, asserting the
 //! RISPP invariants on every step. A seeded fuzzing pass that complements
-//! the property tests with much longer runs.
+//! the property tests with much longer runs. Every run also carries a
+//! [`CountersSink`], cross-checked against the harness's own tallies so
+//! the event stream itself is part of the fuzzed surface.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -58,7 +63,7 @@ fn random_platform(rng: &mut StdRng) -> (SiLibrary, Fabric) {
             ));
             fastest = 20;
         }
-        let sw = fastest + rng.gen_range(50..2_000);
+        let sw = fastest + rng.gen_range(50..2_000u64);
         lib.insert(SpecialInstruction::new(format!("si{s}"), sw, mols).expect("valid"))
             .expect("width");
     }
@@ -69,7 +74,10 @@ fn stress_one(seed: u64, steps: u32) -> StressStats {
     let mut rng = StdRng::seed_from_u64(seed);
     let (lib, fabric) = random_platform(&mut rng);
     let containers = fabric.num_containers();
-    let mut mgr = RisppManager::new(lib.clone(), fabric);
+    let counters = Rc::new(RefCell::new(CountersSink::new()));
+    let mut mgr = RisppManager::builder(lib.clone(), fabric)
+        .sink(SinkHandle::shared(counters.clone()))
+        .build();
     let mut stats = StressStats {
         forecasts: 0,
         retractions: 0,
@@ -108,7 +116,7 @@ fn stress_one(seed: u64, steps: u32) -> StressStats {
                 }
             }
             _ => {
-                let t = mgr.now() + rng.gen_range(1..200_000);
+                let t = mgr.now() + rng.gen_range(1..200_000u64);
                 mgr.advance_to(t).expect("monotone time");
             }
         }
@@ -120,6 +128,39 @@ fn stress_one(seed: u64, steps: u32) -> StressStats {
         assert!(mgr.target().determinant() as usize <= containers);
     }
     stats.rotations = mgr.rotations_requested();
+
+    // The exported event stream must agree with the harness's tallies.
+    let c = counters.borrow();
+    let (mut issued, mut retracted, mut execs, mut hw_execs) = (0u64, 0u64, 0u64, 0u64);
+    for i in 0..lib.len() {
+        let fc = c.fc(SiId(i));
+        issued += fc.issued;
+        retracted += fc.retracted;
+        let si = c.si(SiId(i));
+        execs += si.hw_executions + si.sw_executions;
+        hw_execs += si.hw_executions;
+    }
+    assert_eq!(
+        issued, stats.forecasts,
+        "seed {seed}: forecast events diverge"
+    );
+    assert_eq!(
+        retracted, stats.retractions,
+        "seed {seed}: retract events diverge"
+    );
+    assert_eq!(
+        execs, stats.executions,
+        "seed {seed}: execution events diverge"
+    );
+    assert_eq!(
+        hw_execs, stats.hw_executions,
+        "seed {seed}: HW split diverges"
+    );
+    assert!(
+        c.rotations_started() <= stats.rotations,
+        "seed {seed}: more rotations started than requested"
+    );
+    drop(c);
     stats
 }
 

@@ -32,14 +32,17 @@ fn main() {
             format!("{}", sel.target),
             format!("{cycles}"),
             format!("{:.2}x", sw as f64 / cycles as f64),
-            format!(
-                "{}",
-                lib.get(sis.satd_4x4).exec_cycles(&sel.target)
-            ),
+            format!("{}", lib.get(sis.satd_4x4).exec_cycles(&sel.target)),
         ]);
     }
     print_table(
-        &["#ACs", "target meta-molecule", "cycles/MB", "speed-up", "SATD cycles"],
+        &[
+            "#ACs",
+            "target meta-molecule",
+            "cycles/MB",
+            "speed-up",
+            "SATD cycles",
+        ],
         &rows,
     );
     println!(

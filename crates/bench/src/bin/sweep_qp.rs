@@ -16,7 +16,10 @@ fn main() {
     let mut rows = Vec::new();
     let mut prev_bits = usize::MAX;
     for qp in [4u8, 12, 20, 28, 36, 44, 51] {
-        let config = EncoderConfig { qp, ..Default::default() };
+        let config = EncoderConfig {
+            qp,
+            ..Default::default()
+        };
         let enc = encode_frame(&current, &reference, &config);
         let dec = decode_frame(&enc.stream, &reference, &config).expect("stream decodes");
         let exact = dec.luma == enc.recon;
@@ -28,11 +31,21 @@ fn main() {
             format!("{:.2}", enc.luma_psnr),
             format!("{}", enc.bits),
             format!("{:.3}", enc.bits as f64 / (64.0 * 48.0)),
-            if exact { "exact".into() } else { "MISMATCH".into() },
+            if exact {
+                "exact".into()
+            } else {
+                "MISMATCH".into()
+            },
         ]);
     }
     print_table(
-        &["QP", "luma PSNR [dB]", "frame bits", "bits/pixel", "decoder"],
+        &[
+            "QP",
+            "luma PSNR [dB]",
+            "frame bits",
+            "bits/pixel",
+            "decoder",
+        ],
         &rows,
     );
     println!(

@@ -21,8 +21,7 @@ fn fabric_at_rate(multiplier: f64, containers: usize) -> Fabric {
                 .clone()
         })
         .collect();
-    let catalog =
-        AtomCatalog::new(profiles).with_rate(multiplier * SELECTMAP_RATE_BYTES_PER_SEC);
+    let catalog = AtomCatalog::new(profiles).with_rate(multiplier * SELECTMAP_RATE_BYTES_PER_SEC);
     Fabric::new(atoms, catalog, containers)
 }
 
@@ -31,7 +30,7 @@ fn main() {
     let mut rows = Vec::new();
     for multiplier in [0.5, 1.0, 2.0, 4.0, 8.0] {
         let (lib, sis) = build_library();
-        let mut mgr = RisppManager::new(lib, fabric_at_rate(multiplier, 6));
+        let mut mgr = RisppManager::builder(lib, fabric_at_rate(multiplier, 6)).build();
         mgr.forecast(0, ForecastValue::new(sis.satd_4x4, 1.0, 400_000.0, 400.0));
         let mut first_hw = None;
         let mut fastest = None;
@@ -49,7 +48,10 @@ fn main() {
             }
         }
         rows.push(vec![
-            format!("{:.0} MB/s", multiplier * SELECTMAP_RATE_BYTES_PER_SEC / 1e6),
+            format!(
+                "{:.0} MB/s",
+                multiplier * SELECTMAP_RATE_BYTES_PER_SEC / 1e6
+            ),
             format!("{}", first_hw.map_or(-1, |t| t as i64)),
             format!("{}", fastest.map_or(-1, |t| t as i64)),
             format!("{total}"),

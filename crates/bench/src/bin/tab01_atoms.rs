@@ -52,7 +52,10 @@ fn main() {
     );
     let clock = Clock::default();
     let catalog = AtomCatalog::new(profiles.to_vec());
-    println!("\nrotation time in core cycles at {} MHz:", clock.hz() / 1_000_000);
+    println!(
+        "\nrotation time in core cycles at {} MHz:",
+        clock.hz() / 1_000_000
+    );
     for (kind, p) in catalog.iter() {
         println!(
             "  {:<10} {:>7} cycles",

@@ -43,7 +43,11 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut s = String::new();
         for (i, cell) in cells.iter().enumerate() {
-            s.push_str(&format!("{:>w$}  ", cell, w = widths[i.min(widths.len() - 1)]));
+            s.push_str(&format!(
+                "{:>w$}  ",
+                cell,
+                w = widths[i.min(widths.len() - 1)]
+            ));
         }
         println!("{}", s.trim_end());
     };

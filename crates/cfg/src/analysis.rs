@@ -268,10 +268,8 @@ mod tests {
         cfg.add_edge(body, head);
         cfg.add_edge(body, exit);
         // body loops back 90 times, exits 10 times.
-        let profile = Profile::from_edge_counts(
-            &cfg,
-            vec![vec![10], vec![100], vec![90, 10], vec![]],
-        );
+        let profile =
+            Profile::from_edge_counts(&cfg, vec![vec![10], vec![100], vec![90, 10], vec![]]);
         (cfg, profile)
     }
 
@@ -298,8 +296,7 @@ mod tests {
     #[test]
     fn loop_distance_to_first_use() {
         let (cfg, profile) = loop_cfg();
-        let a =
-            SiUsageAnalysis::compute(&cfg, &profile, SI, |b| cfg.block(b).plain_cycles as f64);
+        let a = SiUsageAnalysis::compute(&cfg, &profile, SI, |b| cfg.block(b).plain_cycles as f64);
         // head -> body is unconditional: distance(head) = 2.
         assert!((a.distance[1] - 2.0).abs() < 1e-9);
         assert!((a.distance[0] - 6.0).abs() < 1e-9);
@@ -332,13 +329,7 @@ mod tests {
         cfg.add_edge(cont, exit);
         let profile = Profile::from_edge_counts(
             &cfg,
-            vec![
-                vec![5],
-                vec![20],
-                vec![60, 20],
-                vec![15, 5],
-                vec![],
-            ],
+            vec![vec![5], vec![20], vec![60, 20], vec![15, 5], vec![]],
         );
         let scc = SccDecomposition::compute(&cfg);
         let fast = solve_executions(&cfg, &profile, SI, &scc);
@@ -357,11 +348,7 @@ mod tests {
                         .map(|(i, &s)| profile.edge_probability(b, i) * prev[s.index()])
                         .sum::<f64>();
             }
-            if slow
-                .iter()
-                .zip(&prev)
-                .all(|(a, b)| (a - b).abs() < 1e-13)
-            {
+            if slow.iter().zip(&prev).all(|(a, b)| (a - b).abs() < 1e-13) {
                 break;
             }
         }

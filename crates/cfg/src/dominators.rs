@@ -112,12 +112,7 @@ impl DominatorTree {
     }
 }
 
-fn intersect(
-    idom: &[Option<BlockId>],
-    order: &[usize],
-    mut a: BlockId,
-    mut b: BlockId,
-) -> BlockId {
+fn intersect(idom: &[Option<BlockId>], order: &[usize], mut a: BlockId, mut b: BlockId) -> BlockId {
     while a != b {
         while order[a.index()] > order[b.index()] {
             a = idom[a.index()].expect("processed in RPO");

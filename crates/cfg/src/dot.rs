@@ -43,8 +43,12 @@ pub fn to_dot(cfg: &Cfg, profile: &Profile, forecast_points: &[ForecastPoint]) -
         let fill = format!("#ff{g_b:02x}{g_b:02x}");
         let uses_si = !block.si_uses.is_empty();
         let is_fc = forecast_points.iter().any(|f| f.block == id);
-        let mut attrs = format!("label=\"{}\\n{} visits\", fillcolor=\"{}\"", block.name,
-            profile.block_count(id), fill);
+        let mut attrs = format!(
+            "label=\"{}\\n{} visits\", fillcolor=\"{}\"",
+            block.name,
+            profile.block_count(id),
+            fill
+        );
         if uses_si {
             attrs.push_str(", peripheries=2");
         }

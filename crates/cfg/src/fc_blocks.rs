@@ -53,7 +53,10 @@ impl FcBlock {
 pub fn group_into_fc_blocks(fcs: &[ForecastPoint]) -> Vec<FcBlock> {
     let mut by_block: std::collections::BTreeMap<usize, Vec<ForecastPoint>> = Default::default();
     for fc in fcs {
-        by_block.entry(fc.block.index()).or_default().push(fc.clone());
+        by_block
+            .entry(fc.block.index())
+            .or_default()
+            .push(fc.clone());
     }
     by_block
         .into_iter()

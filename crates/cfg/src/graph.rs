@@ -51,11 +51,7 @@ impl BasicBlock {
 
     /// Creates a block that uses SIs.
     #[must_use]
-    pub fn with_si<S: Into<String>>(
-        name: S,
-        plain_cycles: u64,
-        si_uses: Vec<(SiId, u32)>,
-    ) -> Self {
+    pub fn with_si<S: Into<String>>(name: S, plain_cycles: u64, si_uses: Vec<(SiId, u32)>) -> Self {
         BasicBlock {
             name: name.into(),
             plain_cycles,
@@ -186,10 +182,7 @@ impl Cfg {
 
     /// Iterates `(id, block)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
-        self.blocks
-            .iter()
-            .enumerate()
-            .map(|(i, b)| (BlockId(i), b))
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i), b))
     }
 
     /// All block ids in order.

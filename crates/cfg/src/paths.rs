@@ -261,7 +261,10 @@ mod tests {
             .map(|id| pn.decode(&cfg, ids[0], id).unwrap())
             .collect();
         assert_eq!(
-            paths.iter().collect::<std::collections::BTreeSet<_>>().len(),
+            paths
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
             4
         );
     }

@@ -25,7 +25,10 @@ impl Profile {
     pub fn zeroed(cfg: &Cfg) -> Self {
         Profile {
             block_counts: vec![0; cfg.len()],
-            edge_counts: cfg.ids().map(|b| vec![0; cfg.successors(b).len()]).collect(),
+            edge_counts: cfg
+                .ids()
+                .map(|b| vec![0; cfg.successors(b).len()])
+                .collect(),
         }
     }
 
@@ -177,10 +180,8 @@ mod tests {
     #[test]
     fn explicit_counts_derive_block_counts() {
         let cfg = branchy();
-        let profile = Profile::from_edge_counts(
-            &cfg,
-            vec![vec![30, 70], vec![30], vec![70], vec![]],
-        );
+        let profile =
+            Profile::from_edge_counts(&cfg, vec![vec![30, 70], vec![30], vec![70], vec![]]);
         assert_eq!(profile.block_count(BlockId(0)), 100);
         assert_eq!(profile.block_count(BlockId(1)), 30);
         assert_eq!(profile.block_count(BlockId(3)), 100);
@@ -212,8 +213,7 @@ mod tests {
         let a = cfg.add_block(BasicBlock::plain("a", 1));
         cfg.add_edge(a, a); // infinite self-loop
         let mut rng = StdRng::seed_from_u64(1);
-        let profile =
-            Profile::from_random_walks(&cfg, &[vec![1.0]], 3, 50, &mut rng);
+        let profile = Profile::from_random_walks(&cfg, &[vec![1.0]], 3, 50, &mut rng);
         assert_eq!(profile.block_count(a), 3 * 51);
     }
 

@@ -18,10 +18,10 @@ const SI: SiId = SiId(0);
 /// edges, and SI uses sprinkled in; plus a consistent random profile.
 fn random_cfg() -> impl Strategy<Value = (Cfg, Profile)> {
     (
-        3usize..12,                                     // blocks
+        3usize..12,                                                 // blocks
         proptest::collection::vec((0usize..12, 0usize..12), 0..10), // extra edges
-        proptest::collection::vec(0usize..12, 0..4),    // SI-using blocks
-        proptest::collection::vec(1u64..50, 0..40),     // edge counts
+        proptest::collection::vec(0usize..12, 0..4),                // SI-using blocks
+        proptest::collection::vec(1u64..50, 0..40),                 // edge counts
     )
         .prop_map(|(n, extra, uses, counts)| {
             let mut cfg = Cfg::new();

@@ -210,5 +210,4 @@ mod tests {
         assert!(none.is_empty());
         assert!(hosted0.is_zero());
     }
-
 }

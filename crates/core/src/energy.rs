@@ -61,8 +61,7 @@ impl EnergyModel {
     /// SI whose hardware is barely faster but the fabric much hungrier.
     #[must_use]
     pub fn per_execution_saving_j(&self, si: &SpecialInstruction) -> f64 {
-        self.sw_execution_energy_j(si.sw_cycles())
-            - self.hw_execution_energy_j(si.fastest().cycles)
+        self.sw_execution_energy_j(si.sw_cycles()) - self.hw_execution_energy_j(si.fastest().cycles)
     }
 
     /// The paper's energy-amortisation count: executions needed before a

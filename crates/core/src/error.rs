@@ -44,6 +44,14 @@ pub enum CoreError {
         /// Name of the offending SI.
         si: String,
     },
+    /// An [`SiId`](crate::si::SiId) was not issued by the library it was
+    /// used with.
+    UnknownSi {
+        /// The offending id's index.
+        id: usize,
+        /// Number of SIs in the library that rejected it.
+        library_len: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -54,7 +62,16 @@ impl fmt::Display for CoreError {
                 write!(f, "special instruction {name:?} has no hardware molecule")
             }
             CoreError::ZeroCycleMolecule { si } => {
-                write!(f, "special instruction {si:?} declares a zero-cycle molecule")
+                write!(
+                    f,
+                    "special instruction {si:?} declares a zero-cycle molecule"
+                )
+            }
+            CoreError::UnknownSi { id, library_len } => {
+                write!(
+                    f,
+                    "unknown special instruction id {id} (library holds {library_len} SIs)"
+                )
             }
         }
     }
@@ -87,6 +104,14 @@ mod tests {
             name: "SATD_4x4".into(),
         };
         assert!(c.to_string().contains("SATD_4x4"));
+        let u = CoreError::UnknownSi {
+            id: 7,
+            library_len: 3,
+        };
+        assert_eq!(
+            u.to_string(),
+            "unknown special instruction id 7 (library holds 3 SIs)"
+        );
     }
 
     #[test]

@@ -67,8 +67,14 @@ impl FdfParams {
     /// rotation ever to amortise) or any time is non-positive.
     #[must_use]
     pub fn new(t_rot: f64, t_sw: f64, t_hw: f64, e_rot: f64, alpha: f64) -> Self {
-        assert!(t_rot > 0.0 && t_sw > 0.0 && t_hw > 0.0, "times must be positive");
-        assert!(t_sw > t_hw, "software molecule must be slower than hardware");
+        assert!(
+            t_rot > 0.0 && t_sw > 0.0 && t_hw > 0.0,
+            "times must be positive"
+        );
+        assert!(
+            t_sw > t_hw,
+            "software molecule must be slower than hardware"
+        );
         FdfParams {
             t_rot,
             t_sw,

@@ -54,9 +54,7 @@ impl Molecule {
     /// The neutral element `(0, …, 0)` of width `n`.
     #[must_use]
     pub fn zero(n: usize) -> Self {
-        Molecule {
-            counts: vec![0; n],
-        }
+        Molecule { counts: vec![0; n] }
     }
 
     /// Builds a Molecule from explicit per-kind counts.
@@ -214,11 +212,7 @@ impl Molecule {
     #[must_use]
     pub fn le(&self, other: &Molecule) -> bool {
         self.width() == other.width()
-            && self
-                .counts
-                .iter()
-                .zip(&other.counts)
-                .all(|(&a, &b)| a <= b)
+            && self.counts.iter().zip(&other.counts).all(|(&a, &b)| a <= b)
     }
 
     /// Supremum of a set of Molecules: `sup M = ∪_{m ∈ M} m`.

@@ -96,11 +96,7 @@ pub fn trim_forecast_candidates(
         // of expected speed-up ("worst relation").
         let mut best: Option<(usize, f64)> = None;
         for (pos, &idx) in kept.iter().enumerate() {
-            let others: Vec<usize> = kept
-                .iter()
-                .copied()
-                .filter(|&j| j != idx)
-                .collect();
+            let others: Vec<usize> = kept.iter().copied().filter(|&j| j != idx).collect();
             let sup_without = sup_of(&others)?;
             let freed = f64::from(sup.determinant() - sup_without.determinant());
             let relation = freed / speedups[idx];

@@ -158,9 +158,7 @@ impl SpecialInstruction {
     /// (→ software execution).
     #[must_use]
     pub fn best_available(&self, available: &Molecule) -> Option<&MoleculeImpl> {
-        self.molecules
-            .iter()
-            .find(|m| m.molecule.le(available))
+        self.molecules.iter().find(|m| m.molecule.le(available))
     }
 
     /// Execution latency given the loaded Atoms: the fastest fitting
@@ -290,12 +288,10 @@ impl SiLibrary {
     /// different width than the library.
     pub fn insert(&mut self, si: SpecialInstruction) -> Result<SiId, CoreError> {
         if si.width() != self.width {
-            return Err(CoreError::WidthMismatch(
-                crate::error::WidthMismatchError {
-                    left: self.width,
-                    right: si.width(),
-                },
-            ));
+            return Err(CoreError::WidthMismatch(crate::error::WidthMismatchError {
+                left: self.width,
+                right: si.width(),
+            }));
         }
         self.sis.push(si);
         Ok(SiId(self.sis.len() - 1))
@@ -317,10 +313,18 @@ impl SiLibrary {
     ///
     /// # Panics
     ///
-    /// Panics if `id` was not issued by this library.
+    /// Panics if `id` was not issued by this library. Use
+    /// [`SiLibrary::try_get`] to handle unknown ids gracefully.
     #[must_use]
     pub fn get(&self, id: SiId) -> &SpecialInstruction {
         &self.sis[id.0]
+    }
+
+    /// The SI with a given id, or `None` when `id` was not issued by this
+    /// library (the fallible counterpart of [`SiLibrary::get`]).
+    #[must_use]
+    pub fn try_get(&self, id: SiId) -> Option<&SpecialInstruction> {
+        self.sis.get(id.0)
     }
 
     /// Looks an SI up by name.

@@ -166,23 +166,16 @@ pub fn h264_data_paths() -> Vec<DataPath> {
         // DCT: butterfly with the shift elements switched in.
         DataPath::new(
             "DCT_4x4",
-            vec![
-                Load, Pack, Add, Sub, ShiftLeft, Add, Sub, Pack, Store,
-            ],
+            vec![Load, Pack, Add, Sub, ShiftLeft, Add, Sub, Pack, Store],
         ),
         // HT_4x4: the same butterfly without the shifts.
-        DataPath::new(
-            "HT_4x4",
-            vec![Load, Pack, Add, Sub, Add, Sub, Pack, Store],
-        ),
+        DataPath::new("HT_4x4", vec![Load, Pack, Add, Sub, Add, Sub, Pack, Store]),
         // HT_2x2: a single butterfly stage.
         DataPath::new("HT_2x2", vec![Load, Add, Sub, Store]),
         // SATD: residual, pack, butterfly, magnitude accumulation.
         DataPath::new(
             "SATD_4x4",
-            vec![
-                Load, Sub, Pack, Add, Sub, Add, Sub, Abs, Accumulate, Store,
-            ],
+            vec![Load, Sub, Pack, Add, Sub, Add, Sub, Abs, Accumulate, Store],
         ),
         // SAD: residual and magnitude accumulation only.
         DataPath::new("SAD_4x4", vec![Load, Sub, Abs, Accumulate, Store]),

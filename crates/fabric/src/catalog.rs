@@ -229,7 +229,9 @@ mod tests {
     #[test]
     fn faster_rate_shrinks_rotation() {
         let catalog = AtomCatalog::new(table1_profiles().to_vec());
-        let fast = catalog.clone().with_rate(2.0 * SELECTMAP_RATE_BYTES_PER_SEC);
+        let fast = catalog
+            .clone()
+            .with_rate(2.0 * SELECTMAP_RATE_BYTES_PER_SEC);
         let k = AtomKind(2);
         assert!(fast.rotation_time_us(k) < catalog.rotation_time_us(k) / 1.9);
     }

@@ -1,13 +1,19 @@
-//! Time base: conversion between wall-clock microseconds (the unit of the
-//! paper's Table 1 rotation times) and core-processor cycles (the unit of
-//! Molecule latencies and of the simulation).
+//! Time base: the platform's single simulated clock, plus conversion
+//! between wall-clock microseconds (the unit of the paper's Table 1
+//! rotation times) and core-processor cycles (the unit of Molecule
+//! latencies and of the simulation).
 
-/// A fixed-frequency clock for µs ↔ cycle conversion.
+/// The platform clock: current simulated time plus µs ↔ cycle conversion.
 ///
 /// The paper's prototype runs a DLX soft core on a Virtex-II; we model it
 /// at 100 MHz (see `DESIGN.md` §6), which puts one ~850 µs rotation at
 /// ~85 000 core cycles — three to four orders of magnitude above a single
 /// SI execution, exactly the regime that makes forecasting necessary.
+///
+/// The clock is the one source of simulated time. The
+/// [`Fabric`](crate::fabric::Fabric) owns it and drives it forward via
+/// `advance_to`; the run-time manager and the simulation engine expose the
+/// same instance read-only, so "now" can never disagree between layers.
 ///
 /// # Examples
 ///
@@ -16,11 +22,13 @@
 ///
 /// let clock = Clock::default();
 /// assert_eq!(clock.hz(), 100_000_000);
+/// assert_eq!(clock.now(), 0);
 /// assert_eq!(clock.us_to_cycles(857.63), 85_763);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Clock {
     hz: u64,
+    now: u64,
 }
 
 impl Clock {
@@ -35,13 +43,36 @@ impl Clock {
     #[must_use]
     pub fn new(hz: u64) -> Self {
         assert!(hz > 0, "clock frequency must be positive");
-        Clock { hz }
+        Clock { hz, now: 0 }
     }
 
     /// Clock frequency in Hertz.
     #[must_use]
     pub fn hz(&self) -> u64 {
         self.hz
+    }
+
+    /// Current simulated time, in cycles since reset.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances the clock to cycle `t`.
+    ///
+    /// Normally driven by the fabric (which validates time monotonicity and
+    /// reports `FabricError::TimeReversal` to callers first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past.
+    pub fn advance_to(&mut self, t: u64) {
+        assert!(
+            t >= self.now,
+            "clock cannot run backwards ({} -> {t})",
+            self.now
+        );
+        self.now = t;
     }
 
     /// Converts a duration in microseconds to cycles (rounded to nearest).
@@ -86,5 +117,22 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_hz_rejected() {
         let _ = Clock::new(0);
+    }
+
+    #[test]
+    fn advance_is_monotone() {
+        let mut clock = Clock::default();
+        assert_eq!(clock.now(), 0);
+        clock.advance_to(100);
+        clock.advance_to(100);
+        assert_eq!(clock.now(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn advance_rejects_time_reversal() {
+        let mut clock = Clock::default();
+        clock.advance_to(100);
+        clock.advance_to(50);
     }
 }

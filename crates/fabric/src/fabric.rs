@@ -13,6 +13,7 @@ use std::fmt;
 
 use rispp_core::atom::{AtomKind, AtomSet};
 use rispp_core::molecule::Molecule;
+use rispp_obs::{Event, SinkHandle};
 
 use crate::catalog::AtomCatalog;
 use crate::clock::Clock;
@@ -46,7 +47,10 @@ impl fmt::Display for FabricError {
                 write!(f, "rotation already pending for container {c}")
             }
             FabricError::TimeReversal { now, requested } => {
-                write!(f, "cannot advance fabric from cycle {now} back to {requested}")
+                write!(
+                    f,
+                    "cannot advance fabric from cycle {now} back to {requested}"
+                )
             }
         }
     }
@@ -120,8 +124,10 @@ pub struct Fabric {
     queue: VecDeque<(ContainerId, AtomKind)>,
     /// Container with the in-flight rotation, if any.
     in_flight: Option<ContainerId>,
-    now: u64,
     events: Vec<FabricEvent>,
+    /// Structured-event sink (disabled by default). Cloning the fabric
+    /// shares the sink, since handles are reference-counted.
+    sink: SinkHandle,
 }
 
 impl Fabric {
@@ -159,8 +165,8 @@ impl Fabric {
             containers: vec![AtomContainer::new(); containers],
             queue: VecDeque::new(),
             in_flight: None,
-            now: 0,
             events: Vec::new(),
+            sink: SinkHandle::null(),
         }
     }
 
@@ -176,16 +182,29 @@ impl Fabric {
         &self.catalog
     }
 
-    /// The simulation clock.
+    /// The simulation clock — the single source of simulated time for the
+    /// whole platform (manager and engine re-expose this same instance).
     #[must_use]
     pub fn clock(&self) -> &Clock {
         &self.clock
     }
 
-    /// Current fabric time, in cycles.
+    /// Current fabric time, in cycles (shorthand for `clock().now()`).
     #[must_use]
     pub fn now(&self) -> u64 {
-        self.now
+        self.clock.now()
+    }
+
+    /// Installs a structured-event sink; the fabric emits
+    /// [`Event::RotationStarted`] / [`Event::RotationCompleted`] into it.
+    pub fn set_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
+    }
+
+    /// The installed structured-event sink (disabled by default).
+    #[must_use]
+    pub fn sink(&self) -> &SinkHandle {
+        &self.sink
     }
 
     /// Number of Atom Containers.
@@ -229,7 +248,7 @@ impl Fabric {
     /// (for LRU-style replacement decisions). For each kind, the
     /// most-recently-loaded containers are touched first.
     pub fn touch_atoms(&mut self, used: &Molecule) {
-        let now = self.now;
+        let now = self.clock.now();
         for (kind, count) in used.iter_nonzero() {
             let mut remaining = count;
             for c in self.containers.iter_mut() {
@@ -260,11 +279,7 @@ impl Fabric {
     /// every rotation target).
     #[must_use]
     pub fn committed_molecule(&self) -> Molecule {
-        let pending_overwrite: Vec<usize> = self
-            .queue
-            .iter()
-            .map(|&(c, _)| c.index())
-            .collect();
+        let pending_overwrite: Vec<usize> = self.queue.iter().map(|&(c, _)| c.index()).collect();
         let mut pairs: Vec<(AtomKind, u32)> = Vec::new();
         for (i, c) in self.containers.iter().enumerate() {
             match c.state() {
@@ -323,13 +338,12 @@ impl Fabric {
         if kind.index() >= self.atoms.len() {
             return Err(FabricError::UnknownKind(kind));
         }
-        let pending = self.in_flight == Some(id)
-            || self.queue.iter().any(|&(c, _)| c == id);
+        let pending = self.in_flight == Some(id) || self.queue.iter().any(|&(c, _)| c == id);
         if pending {
             return Err(FabricError::RotationPending(id));
         }
         self.queue.push_back((id, kind));
-        self.pump(self.now);
+        self.pump(self.clock.now());
         Ok(())
     }
 
@@ -363,14 +377,12 @@ impl Fabric {
     ///
     /// Returns [`FabricError::TimeReversal`] when `t` is in the past.
     pub fn advance_to(&mut self, t: u64) -> Result<Vec<FabricEvent>, FabricError> {
-        if t < self.now {
-            return Err(FabricError::TimeReversal {
-                now: self.now,
-                requested: t,
-            });
+        let now = self.clock.now();
+        if t < now {
+            return Err(FabricError::TimeReversal { now, requested: t });
         }
         self.pump(t);
-        self.now = t;
+        self.clock.advance_to(t);
         Ok(std::mem::take(&mut self.events))
     }
 
@@ -391,6 +403,10 @@ impl Fabric {
                         kind,
                         at: done_at,
                     });
+                    self.sink.emit_with(done_at, || Event::RotationCompleted {
+                        container: id.index() as u32,
+                        kind,
+                    });
                     self.in_flight = None;
                     // The port frees at `done_at`; queued loads may start.
                     if let Some((next_id, next_kind)) = self.queue.pop_front() {
@@ -404,7 +420,10 @@ impl Fabric {
             // just enqueued (request_rotation pumps immediately), so it
             // starts at the current time.
             match self.queue.pop_front() {
-                Some((id, kind)) => self.start_rotation(id, kind, self.now),
+                Some((id, kind)) => {
+                    let at = self.clock.now();
+                    self.start_rotation(id, kind, at);
+                }
                 None => break,
             }
         }
@@ -420,6 +439,10 @@ impl Fabric {
             container: id,
             kind,
             at,
+        });
+        self.sink.emit_with(at, || Event::RotationStarted {
+            container: id.index() as u32,
+            kind,
         });
         self.in_flight = Some(id);
     }
@@ -504,10 +527,7 @@ mod tests {
         f.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
         f.request_rotation(ContainerId(1), AtomKind(1)).unwrap();
         f.request_rotation(ContainerId(2), AtomKind(1)).unwrap();
-        assert_eq!(
-            f.committed_molecule(),
-            Molecule::from_counts([1, 2, 0, 0])
-        );
+        assert_eq!(f.committed_molecule(), Molecule::from_counts([1, 2, 0, 0]));
         assert_eq!(f.loaded_molecule().determinant(), 0);
     }
 
@@ -584,5 +604,52 @@ mod tests {
         f.set_owner(ContainerId(0), Some(7)).unwrap();
         assert_eq!(f.container(ContainerId(0)).owner(), Some(7));
         assert!(f.set_owner(ContainerId(3), None).is_err());
+    }
+
+    #[test]
+    fn sink_receives_rotation_events_at_source() {
+        use rispp_obs::TimelineSink;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let timeline = Rc::new(RefCell::new(TimelineSink::new()));
+        let mut f = fabric(2);
+        f.set_sink(SinkHandle::shared(timeline.clone()));
+        assert!(f.sink().is_enabled());
+
+        f.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
+        f.request_rotation(ContainerId(1), AtomKind(1)).unwrap();
+        let first_done = f.next_completion().unwrap();
+        let all_done = f.all_rotations_done_at().unwrap();
+        f.advance_to(all_done).unwrap();
+
+        let tl = timeline.borrow();
+        let records = tl.timeline().entries();
+        // start(0) @0, done(0), start(1) @first_done, done(1) @all_done.
+        assert_eq!(records.len(), 4);
+        assert_eq!(
+            records[0].event,
+            Event::RotationStarted {
+                container: 0,
+                kind: AtomKind(0)
+            }
+        );
+        assert_eq!(records[1].at, first_done);
+        assert_eq!(
+            records[2].event,
+            Event::RotationStarted {
+                container: 1,
+                kind: AtomKind(1)
+            }
+        );
+        assert_eq!(records[2].at, first_done);
+        assert_eq!(
+            records[3].event,
+            Event::RotationCompleted {
+                container: 1,
+                kind: AtomKind(1)
+            }
+        );
+        assert_eq!(records[3].at, all_done);
     }
 }

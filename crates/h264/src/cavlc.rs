@@ -186,11 +186,7 @@ fn read_level(r: &mut BitReader<'_>, suffix_length: u32) -> Option<(i32, u32)> {
 /// Encodes one quantised 4×4 block with the CAVLC structure; returns the
 /// bit count and the block's `total_coeffs` (the context for its right
 /// and bottom neighbours).
-pub fn encode_cavlc_block(
-    w: &mut BitWriter,
-    levels: &Block4x4,
-    ctx: CavlcContext,
-) -> (usize, u8) {
+pub fn encode_cavlc_block(w: &mut BitWriter, levels: &Block4x4, ctx: CavlcContext) -> (usize, u8) {
     let before = w.bit_len();
     let seq = zigzag_scan(levels);
     // Gather non-zero coefficients, last (highest-frequency) first, as
@@ -252,10 +248,7 @@ pub fn encode_cavlc_block(
 
 /// Decodes one block written by [`encode_cavlc_block`]; returns the block
 /// and its `total_coeffs` context value.
-pub fn decode_cavlc_block(
-    r: &mut BitReader<'_>,
-    ctx: CavlcContext,
-) -> Option<(Block4x4, u8)> {
+pub fn decode_cavlc_block(r: &mut BitReader<'_>, ctx: CavlcContext) -> Option<(Block4x4, u8)> {
     let (total, t1s) = read_coeff_token(r, ctx.nc())?;
     if total == 0 {
         return Some(([[0; 4]; 4], 0));
@@ -339,12 +332,7 @@ mod tests {
 
     #[test]
     fn typical_residual_roundtrips() {
-        let block = [
-            [9, -3, 1, 0],
-            [2, 1, 0, 0],
-            [-1, 0, 0, 0],
-            [0, 0, 0, 0],
-        ];
+        let block = [[9, -3, 1, 0], [2, 1, 0, 0], [-1, 0, 0, 0], [0, 0, 0, 0]];
         roundtrip(&block, CavlcContext::default());
         roundtrip(
             &block,
@@ -376,12 +364,7 @@ mod tests {
 
     #[test]
     fn every_context_regime_roundtrips() {
-        let block = [
-            [5, 1, 0, 0],
-            [-1, 0, 0, 0],
-            [0, 0, 0, 0],
-            [0, 0, 0, 0],
-        ];
+        let block = [[5, 1, 0, 0], [-1, 0, 0, 0], [0, 0, 0, 0], [0, 0, 0, 0]];
         for nc in [0u8, 2, 5, 9] {
             let ctx = CavlcContext {
                 left_total: Some(nc),

@@ -163,8 +163,16 @@ fn decode_macroblock(
             EntropyCoder::Cavlc => {
                 let (bxr, byr) = (sb % 4, sb / 4);
                 let ctx = CavlcContext {
-                    left_total: if bxr > 0 { luma_totals[byr][bxr - 1] } else { None },
-                    top_total: if byr > 0 { luma_totals[byr - 1][bxr] } else { None },
+                    left_total: if bxr > 0 {
+                        luma_totals[byr][bxr - 1]
+                    } else {
+                        None
+                    },
+                    top_total: if byr > 0 {
+                        luma_totals[byr - 1][bxr]
+                    } else {
+                        None
+                    },
                 };
                 let (levels, total) = decode_cavlc_block(reader, ctx)?;
                 luma_totals[byr][bxr] = Some(total);
@@ -190,8 +198,16 @@ fn decode_macroblock(
                 EntropyCoder::Cavlc => {
                     let (bxr, byr) = (blk % 2, blk / 2);
                     let ctx = CavlcContext {
-                        left_total: if bxr > 0 { chroma_totals[byr][bxr - 1] } else { None },
-                        top_total: if byr > 0 { chroma_totals[byr - 1][bxr] } else { None },
+                        left_total: if bxr > 0 {
+                            chroma_totals[byr][bxr - 1]
+                        } else {
+                            None
+                        },
+                        top_total: if byr > 0 {
+                            chroma_totals[byr - 1][bxr]
+                        } else {
+                            None
+                        },
                     };
                     let (levels, total) = decode_cavlc_block(reader, ctx)?;
                     chroma_totals[byr][bxr] = Some(total);
@@ -221,7 +237,10 @@ mod tests {
     fn decoder_matches_encoder_reconstruction_exactly() {
         let (f0, f1) = frames();
         for qp in [12u8, 28, 40] {
-            let config = EncoderConfig { qp, ..Default::default() };
+            let config = EncoderConfig {
+                qp,
+                ..Default::default()
+            };
             let enc = encode_frame(&f1, &f0, &config);
             let dec = decode_frame(&enc.stream, &f0, &config).expect("valid stream");
             assert_eq!(dec.luma, enc.recon, "luma mismatch at qp {qp}");
@@ -232,7 +251,10 @@ mod tests {
     fn cavlc_streams_roundtrip_and_are_smaller() {
         use crate::encoder::EntropyCoder;
         let (f0, f1) = frames();
-        let base = EncoderConfig { qp: 24, ..Default::default() };
+        let base = EncoderConfig {
+            qp: 24,
+            ..Default::default()
+        };
         let cavlc = EncoderConfig {
             entropy: EntropyCoder::Cavlc,
             ..base
@@ -317,7 +339,10 @@ mod tests {
     #[test]
     fn decoded_chroma_is_faithful() {
         let (f0, f1) = frames();
-        let config = EncoderConfig { qp: 16, ..Default::default() };
+        let config = EncoderConfig {
+            qp: 16,
+            ..Default::default()
+        };
         let enc = encode_frame(&f1, &f0, &config);
         let dec = decode_frame(&enc.stream, &f0, &config).expect("valid stream");
         // Chroma reconstruction tracks the source closely at low QP.

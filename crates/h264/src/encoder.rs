@@ -238,9 +238,7 @@ pub fn encode_macroblock_into(
         for ci in 0..CANDIDATES_PER_SUBBLOCK {
             let dx = cx + (ci % 4) as isize - 2;
             let dy = cy + (ci / 4) as isize - 2;
-            let pred = reference
-                .y
-                .block4x4(sx as isize + dx, sy as isize + dy);
+            let pred = reference.y.block4x4(sx as isize + dx, sy as isize + dy);
             let cost = satd4x4(&orig, &pred);
             counts.satd_4x4 += 1;
             if cost < best_cost {
@@ -302,8 +300,16 @@ pub fn encode_macroblock_into(
             }
             EntropyCoder::Cavlc => {
                 let ctx = CavlcContext {
-                    left_total: if bxr > 0 { luma_totals[byr][bxr - 1] } else { None },
-                    top_total: if byr > 0 { luma_totals[byr - 1][bxr] } else { None },
+                    left_total: if bxr > 0 {
+                        luma_totals[byr][bxr - 1]
+                    } else {
+                        None
+                    },
+                    top_total: if byr > 0 {
+                        luma_totals[byr - 1][bxr]
+                    } else {
+                        None
+                    },
                 };
                 let (_, total) = encode_cavlc_block(writer, &levels, ctx);
                 luma_totals[byr][bxr] = Some(total);
@@ -353,8 +359,16 @@ pub fn encode_macroblock_into(
                 EntropyCoder::Cavlc => {
                     let (bxr, byr) = (blk % 2, blk / 2);
                     let ctx = CavlcContext {
-                        left_total: if bxr > 0 { chroma_totals[byr][bxr - 1] } else { None },
-                        top_total: if byr > 0 { chroma_totals[byr - 1][bxr] } else { None },
+                        left_total: if bxr > 0 {
+                            chroma_totals[byr][bxr - 1]
+                        } else {
+                            None
+                        },
+                        top_total: if byr > 0 {
+                            chroma_totals[byr - 1][bxr]
+                        } else {
+                            None
+                        },
                     };
                     let (_, total) = encode_cavlc_block(writer, &levels, ctx);
                     chroma_totals[byr][bxr] = Some(total);
@@ -498,15 +512,36 @@ mod tests {
     #[test]
     fn reconstruction_quality_is_reasonable() {
         let (f0, f1) = two_frames();
-        let r = encode_frame(&f1, &f0, &EncoderConfig { qp: 20, ..Default::default() });
+        let r = encode_frame(
+            &f1,
+            &f0,
+            &EncoderConfig {
+                qp: 20,
+                ..Default::default()
+            },
+        );
         assert!(r.luma_psnr > 30.0, "PSNR {}", r.luma_psnr);
     }
 
     #[test]
     fn lower_qp_means_higher_quality() {
         let (f0, f1) = two_frames();
-        let hi = encode_frame(&f1, &f0, &EncoderConfig { qp: 12, ..Default::default() });
-        let lo = encode_frame(&f1, &f0, &EncoderConfig { qp: 44, ..Default::default() });
+        let hi = encode_frame(
+            &f1,
+            &f0,
+            &EncoderConfig {
+                qp: 12,
+                ..Default::default()
+            },
+        );
+        let lo = encode_frame(
+            &f1,
+            &f0,
+            &EncoderConfig {
+                qp: 44,
+                ..Default::default()
+            },
+        );
         assert!(hi.luma_psnr > lo.luma_psnr);
     }
 
@@ -578,7 +613,10 @@ mod tests {
     #[test]
     fn deblocking_changes_the_reconstruction() {
         let (f0, f1) = two_frames();
-        let coarse = EncoderConfig { qp: 46, ..Default::default() };
+        let coarse = EncoderConfig {
+            qp: 46,
+            ..Default::default()
+        };
         let plain = encode_frame(&f1, &f0, &coarse);
         let filtered = encode_frame(
             &f1,
@@ -597,8 +635,22 @@ mod tests {
     #[test]
     fn higher_qp_reduces_bitrate() {
         let (f0, f1) = two_frames();
-        let fine = encode_frame(&f1, &f0, &EncoderConfig { qp: 12, ..Default::default() });
-        let coarse = encode_frame(&f1, &f0, &EncoderConfig { qp: 44, ..Default::default() });
+        let fine = encode_frame(
+            &f1,
+            &f0,
+            &EncoderConfig {
+                qp: 12,
+                ..Default::default()
+            },
+        );
+        let coarse = encode_frame(
+            &f1,
+            &f0,
+            &EncoderConfig {
+                qp: 44,
+                ..Default::default()
+            },
+        );
         assert!(coarse.bits < fine.bits, "{} !< {}", coarse.bits, fine.bits);
         assert!(fine.bits > 0);
     }

@@ -336,12 +336,7 @@ mod tests {
 
     #[test]
     fn block_codec_roundtrips() {
-        let block = [
-            [17, -2, 0, 0],
-            [3, 0, 0, 1],
-            [0, 0, 0, 0],
-            [-1, 0, 0, 0],
-        ];
+        let block = [[17, -2, 0, 0], [3, 0, 0, 1], [0, 0, 0, 0], [-1, 0, 0, 0]];
         let mut w = BitWriter::new();
         let bits = encode_block(&mut w, &block);
         assert!(bits > 0);

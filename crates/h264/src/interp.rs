@@ -179,12 +179,7 @@ pub fn quarter_sample(plane: &Plane, x4: isize, y4: isize) -> i32 {
 
 /// Motion-compensated 4×4 prediction at quarter-sample accuracy.
 #[must_use]
-pub fn compensate_quarter_pel(
-    plane: &Plane,
-    x: usize,
-    y: usize,
-    mv: QuarterPelVector,
-) -> Block4x4 {
+pub fn compensate_quarter_pel(plane: &Plane, x: usize, y: usize, mv: QuarterPelVector) -> Block4x4 {
     let mut out = [[0i32; 4]; 4];
     for (r, row) in out.iter_mut().enumerate() {
         for (c, v) in row.iter_mut().enumerate() {
@@ -311,7 +306,10 @@ mod tests {
         let int_v = quarter_sample(&p, 4 * 8, 4);
         let quarter = quarter_sample(&p, 4 * 8 + 1, 4);
         let half = quarter_sample(&p, 4 * 8 + 2, 4);
-        assert!(int_v <= quarter && quarter <= half, "{int_v} {quarter} {half}");
+        assert!(
+            int_v <= quarter && quarter <= half,
+            "{int_v} {quarter} {half}"
+        );
     }
 
     #[test]

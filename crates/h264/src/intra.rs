@@ -16,8 +16,7 @@ pub enum IntraMode {
 }
 
 /// All supported modes, in H.264 signalling preference order.
-pub const INTRA_MODES: [IntraMode; 3] =
-    [IntraMode::Dc, IntraMode::Vertical, IntraMode::Horizontal];
+pub const INTRA_MODES: [IntraMode; 3] = [IntraMode::Dc, IntraMode::Vertical, IntraMode::Horizontal];
 
 /// Predicts a 4×4 block at `(x, y)` from its reconstructed neighbours in
 /// `plane`.
@@ -195,13 +194,11 @@ pub fn predict4x4_full(plane: &Plane, x: usize, y: usize, mode: IntraMode4x4) ->
                     }
                 }
                 DiagonalDownRight => match xx.cmp(&yy) {
-                    std::cmp::Ordering::Greater => {
-                        avg3(
-                            if xx - yy >= 2 { t[xx - yy - 2] } else { c },
-                            if xx - yy >= 1 { t[xx - yy - 1] } else { c },
-                            t[xx - yy],
-                        )
-                    }
+                    std::cmp::Ordering::Greater => avg3(
+                        if xx - yy >= 2 { t[xx - yy - 2] } else { c },
+                        if xx - yy >= 1 { t[xx - yy - 1] } else { c },
+                        t[xx - yy],
+                    ),
                     std::cmp::Ordering::Less => avg3(
                         if yy - xx >= 2 { l[yy - xx - 2] } else { c },
                         if yy - xx >= 1 { l[yy - xx - 1] } else { c },
@@ -230,8 +227,16 @@ pub fn predict4x4_full(plane: &Plane, x: usize, y: usize, mode: IntraMode4x4) ->
                     } else {
                         avg3(
                             l[yy - 2 * xx - 1],
-                            if yy >= 2 * xx + 2 { l[yy - 2 * xx - 2] } else { c },
-                            if yy >= 2 * xx + 3 { l[yy - 2 * xx - 3] } else { c },
+                            if yy >= 2 * xx + 2 {
+                                l[yy - 2 * xx - 2]
+                            } else {
+                                c
+                            },
+                            if yy >= 2 * xx + 3 {
+                                l[yy - 2 * xx - 3]
+                            } else {
+                                c
+                            },
                         )
                     }
                 }
@@ -256,8 +261,16 @@ pub fn predict4x4_full(plane: &Plane, x: usize, y: usize, mode: IntraMode4x4) ->
                     } else {
                         avg3(
                             t[xx - 2 * yy - 1],
-                            if xx >= 2 * yy + 2 { t[xx - 2 * yy - 2] } else { c },
-                            if xx >= 2 * yy + 3 { t[xx - 2 * yy - 3] } else { c },
+                            if xx >= 2 * yy + 2 {
+                                t[xx - 2 * yy - 2]
+                            } else {
+                                c
+                            },
+                            if xx >= 2 * yy + 3 {
+                                t[xx - 2 * yy - 3]
+                            } else {
+                                c
+                            },
                         )
                     }
                 }
@@ -384,7 +397,8 @@ mod tests {
                     for x2 in 0..4 {
                         if x1 + y1 == x2 + y2 && x1 + y1 < 6 {
                             assert_eq!(
-                                b[y1][x1], b[y2][x2],
+                                b[y1][x1],
+                                b[y2][x2],
                                 "anti-diagonal {} not constant",
                                 x1 + y1
                             );

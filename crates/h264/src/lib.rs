@@ -38,8 +38,8 @@ pub mod cavlc;
 pub mod color;
 pub mod deblock;
 pub mod decoder;
-pub mod entropy;
 pub mod encoder;
+pub mod entropy;
 pub mod interp;
 pub mod intra;
 pub mod intra16;

@@ -55,7 +55,8 @@ pub fn full_search_4x4(
     let mut evaluated = 0u32;
     for dy in -r..=r {
         for dx in -r..=r {
-            let cand = reference.block4x4(x as isize + isize::from(dx), y as isize + isize::from(dy));
+            let cand =
+                reference.block4x4(x as isize + isize::from(dx), y as isize + isize::from(dy));
             let cost = sad4x4(&orig, &cand);
             evaluated += 1;
             let mv = MotionVector {
@@ -74,13 +75,11 @@ pub fn full_search_4x4(
 
 /// Extracts the predicted block for a motion vector.
 #[must_use]
-pub fn motion_compensate_4x4(
-    reference: &Plane,
-    x: usize,
-    y: usize,
-    mv: MotionVector,
-) -> Block4x4 {
-    reference.block4x4(x as isize + isize::from(mv.dx), y as isize + isize::from(mv.dy))
+pub fn motion_compensate_4x4(reference: &Plane, x: usize, y: usize, mv: MotionVector) -> Block4x4 {
+    reference.block4x4(
+        x as isize + isize::from(mv.dx),
+        y as isize + isize::from(mv.dy),
+    )
 }
 
 fn mv_rank(mv: MotionVector) -> (u16, i8, i8) {

@@ -215,7 +215,11 @@ fn build_si(name: &str, sw: u64, entries: &[Table2Entry]) -> SpecialInstruction 
 pub fn build_library() -> (SiLibrary, H264Sis) {
     let mut lib = SiLibrary::new(ATOM_KINDS);
     let satd_4x4 = lib
-        .insert(build_si("SATD_4x4", sw_cycles::SATD_4X4, &SATD_4X4_MOLECULES))
+        .insert(build_si(
+            "SATD_4x4",
+            sw_cycles::SATD_4X4,
+            &SATD_4X4_MOLECULES,
+        ))
         .expect("width matches");
     let dct_4x4 = lib
         .insert(build_si("DCT_4x4", sw_cycles::DCT_4X4, &DCT_4X4_MOLECULES))

@@ -106,7 +106,10 @@ pub fn hadamard4x4(block: &Block4x4, halve: bool) -> Block4x4 {
 #[must_use]
 pub fn hadamard2x2(block: &Block2x2) -> Block2x2 {
     let [[a, b], [c, d]] = *block;
-    [[a + b + c + d, a - b + c - d], [a + b - c - d, a - b - c + d]]
+    [
+        [a + b + c + d, a - b + c - d],
+        [a + b - c - d, a - b - c + d],
+    ]
 }
 
 #[cfg(test)]

@@ -1,0 +1,339 @@
+//! The [`CountersSink`]: low-overhead aggregate statistics — per-SI
+//! execution counters, latency histograms, forecast monitoring counters
+//! and rotation/reselect totals — accumulated from the event stream.
+
+use std::collections::BTreeMap;
+
+use rispp_core::si::SiId;
+
+use crate::event::Event;
+use crate::sink::EventSink;
+
+/// Power-of-two latency histogram: bucket `i` counts samples in
+/// `[2^(i-1), 2^i)` cycles (bucket 0 counts zero-cycle samples).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 65],
+    total: u64,
+    sum: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; 65],
+            total: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_of(cycles: u64) -> usize {
+        (64 - cycles.leading_zeros()) as usize
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, cycles: u64) {
+        self.buckets[Self::bucket_of(cycles)] += 1;
+        self.total += 1;
+        self.sum += cycles;
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all recorded latencies, in cycles.
+    #[must_use]
+    pub fn sum_cycles(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean latency (`None` before any sample).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.total as f64)
+        }
+    }
+
+    /// Occupied buckets as `(bucket_upper_bound_exclusive, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let upper = if i >= 64 { u64::MAX } else { 1u64 << i };
+                (upper, n)
+            })
+    }
+}
+
+/// Per-SI execution counters (the sink-side equivalent of the manager's
+/// legacy `SiStats`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SiCounters {
+    /// Hardware executions.
+    pub hw_executions: u64,
+    /// Software executions.
+    pub sw_executions: u64,
+    /// Total cycles spent in this SI.
+    pub cycles: u64,
+    /// Cycles spent in hardware Molecules (subset of `cycles`).
+    pub hw_cycles: u64,
+    /// Latency distribution over all executions.
+    pub latency: LatencyHistogram,
+}
+
+impl SiCounters {
+    /// Cycles spent in the software Molecule.
+    #[must_use]
+    pub fn sw_cycles(&self) -> u64 {
+        self.cycles - self.hw_cycles
+    }
+}
+
+/// Per-SI forecast monitoring counters (the sink-side equivalent of the
+/// manager's legacy `FcStats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FcCounters {
+    /// Forecasts announced for this SI (over all tasks).
+    pub issued: u64,
+    /// Negative forecasts (retractions).
+    pub retracted: u64,
+    /// Monitored outcomes where the SI was actually reached.
+    pub hits: u64,
+    /// Monitored outcomes where it was not.
+    pub misses: u64,
+}
+
+/// Aggregating sink: counters and histograms, no per-event storage.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CountersSink {
+    per_si: BTreeMap<usize, SiCounters>,
+    fc: BTreeMap<usize, FcCounters>,
+    rotations_started: u64,
+    rotations_completed: u64,
+    reselects: u64,
+    reselect_ns: u64,
+    upgrade_steps: u64,
+}
+
+impl CountersSink {
+    /// Creates an empty counters sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Execution counters of one SI (zeroed default when never seen).
+    #[must_use]
+    pub fn si(&self, si: SiId) -> SiCounters {
+        self.per_si.get(&si.index()).cloned().unwrap_or_default()
+    }
+
+    /// Forecast counters of one SI (zeroed default when never seen).
+    #[must_use]
+    pub fn fc(&self, si: SiId) -> FcCounters {
+        self.fc.get(&si.index()).copied().unwrap_or_default()
+    }
+
+    /// Rotations that started.
+    #[must_use]
+    pub fn rotations_started(&self) -> u64 {
+        self.rotations_started
+    }
+
+    /// Rotations that completed.
+    #[must_use]
+    pub fn rotations_completed(&self) -> u64 {
+        self.rotations_completed
+    }
+
+    /// Selection re-evaluations observed.
+    #[must_use]
+    pub fn reselects(&self) -> u64 {
+        self.reselects
+    }
+
+    /// Total wall-clock nanoseconds spent in observed re-selections.
+    #[must_use]
+    pub fn reselect_ns(&self) -> u64 {
+        self.reselect_ns
+    }
+
+    /// Upgrade-path stages the scheduler staged.
+    #[must_use]
+    pub fn upgrade_steps(&self) -> u64 {
+        self.upgrade_steps
+    }
+}
+
+impl EventSink for CountersSink {
+    fn emit(&mut self, _at: u64, event: &Event) {
+        match event {
+            Event::RotationStarted { .. } => self.rotations_started += 1,
+            Event::RotationCompleted { .. } => self.rotations_completed += 1,
+            Event::SiExecuted { si, hw, cycles, .. } => {
+                let c = self.per_si.entry(si.index()).or_default();
+                if *hw {
+                    c.hw_executions += 1;
+                    c.hw_cycles += cycles;
+                } else {
+                    c.sw_executions += 1;
+                }
+                c.cycles += cycles;
+                c.latency.record(*cycles);
+            }
+            Event::ForecastUpdated { si, .. } => {
+                self.fc.entry(si.index()).or_default().issued += 1;
+            }
+            Event::ForecastRetracted { si, .. } => {
+                self.fc.entry(si.index()).or_default().retracted += 1;
+            }
+            Event::FcOutcome { si, reached, .. } => {
+                let c = self.fc.entry(si.index()).or_default();
+                if *reached {
+                    c.hits += 1;
+                } else {
+                    c.misses += 1;
+                }
+            }
+            Event::Reselect { duration_ns, .. } => {
+                self.reselects += 1;
+                self.reselect_ns += duration_ns;
+            }
+            Event::UpgradeStep { .. } => self.upgrade_steps += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ReselectTrigger;
+    use rispp_core::atom::AtomKind;
+
+    #[test]
+    fn counters_aggregate_every_event_kind() {
+        let mut sink = CountersSink::new();
+        let si = SiId(3);
+        sink.emit(
+            0,
+            &Event::ForecastUpdated {
+                task: 0,
+                si,
+                probability: 1.0,
+                expected_executions: 10.0,
+            },
+        );
+        sink.emit(
+            1,
+            &Event::RotationStarted {
+                container: 0,
+                kind: AtomKind(1),
+            },
+        );
+        sink.emit(
+            2,
+            &Event::SiExecuted {
+                task: 0,
+                si,
+                hw: false,
+                cycles: 500,
+                molecule: None,
+            },
+        );
+        sink.emit(
+            3,
+            &Event::RotationCompleted {
+                container: 0,
+                kind: AtomKind(1),
+            },
+        );
+        sink.emit(
+            4,
+            &Event::SiExecuted {
+                task: 0,
+                si,
+                hw: true,
+                cycles: 20,
+                molecule: None,
+            },
+        );
+        sink.emit(
+            5,
+            &Event::FcOutcome {
+                task: 0,
+                si,
+                reached: true,
+            },
+        );
+        sink.emit(
+            6,
+            &Event::FcOutcome {
+                task: 0,
+                si,
+                reached: false,
+            },
+        );
+        sink.emit(7, &Event::ForecastRetracted { task: 0, si });
+        sink.emit(
+            8,
+            &Event::Reselect {
+                trigger: ReselectTrigger::Retract,
+                duration_ns: 250,
+            },
+        );
+        sink.emit(
+            9,
+            &Event::UpgradeStep {
+                si,
+                step: 0,
+                molecule: rispp_core::molecule::Molecule::from_counts([1, 0]),
+            },
+        );
+
+        let s = sink.si(si);
+        assert_eq!(s.hw_executions, 1);
+        assert_eq!(s.sw_executions, 1);
+        assert_eq!(s.cycles, 520);
+        assert_eq!(s.hw_cycles, 20);
+        assert_eq!(s.sw_cycles(), 500);
+        assert_eq!(s.latency.count(), 2);
+        assert_eq!(s.latency.sum_cycles(), 520);
+
+        let fc = sink.fc(si);
+        assert_eq!((fc.issued, fc.retracted, fc.hits, fc.misses), (1, 1, 1, 1));
+        assert_eq!(sink.rotations_started(), 1);
+        assert_eq!(sink.rotations_completed(), 1);
+        assert_eq!(sink.reselects(), 1);
+        assert_eq!(sink.reselect_ns(), 250);
+        assert_eq!(sink.upgrade_steps(), 1);
+        // Unseen SIs read as zeroed counters.
+        assert_eq!(sink.si(SiId(9)).cycles, 0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let mut h = LatencyHistogram::default();
+        for c in [0, 1, 2, 3, 4, 500, 513] {
+            h.record(c);
+        }
+        assert_eq!(h.count(), 7);
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        // 0 → bucket 0; 1 → (1,2); 2,3 → (2,4); 4 → (4,8); 500 → (256,512);
+        // 513 → (512,1024).
+        assert_eq!(
+            buckets,
+            vec![(1, 1), (2, 1), (4, 2), (8, 1), (512, 1), (1024, 1)]
+        );
+        assert!((h.mean().unwrap() - (1023.0 / 7.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,175 @@
+//! The structured event vocabulary of the RISPP run-time system.
+//!
+//! Events are emitted *at the source* — the fabric emits rotation events,
+//! the run-time manager emits execution, forecast, reselect and upgrade
+//! events — and carry everything a consumer needs to reconstruct the
+//! paper's timelines (Fig. 6) without access to the live objects.
+
+use std::fmt;
+
+use rispp_core::atom::AtomKind;
+use rispp_core::molecule::Molecule;
+use rispp_core::si::SiId;
+
+/// Identifier of a task, mirroring `rispp_rt::manager::TaskId` (kept as a
+/// raw `u32` here so `rispp-obs` depends only on `rispp-core`).
+pub type TaskId = u32;
+
+/// What caused a Molecule re-selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReselectTrigger {
+    /// A forecast was announced or updated.
+    Forecast,
+    /// A whole FC Block was announced.
+    ForecastBlock,
+    /// A forecast was retracted (negative FC).
+    Retract,
+    /// A monitored FC outcome fine-tuned the forecast values.
+    Observation,
+    /// The adaptation goal (power mode) changed.
+    PowerMode,
+}
+
+impl fmt::Display for ReselectTrigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReselectTrigger::Forecast => "forecast",
+            ReselectTrigger::ForecastBlock => "forecast_block",
+            ReselectTrigger::Retract => "retract",
+            ReselectTrigger::Observation => "observation",
+            ReselectTrigger::PowerMode => "power_mode",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One structured run-time event.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Event {
+    /// A rotation left the queue and began writing a container.
+    RotationStarted {
+        /// Target Atom Container index.
+        container: u32,
+        /// Atom being written.
+        kind: AtomKind,
+    },
+    /// A rotation completed; the Atom is now usable.
+    RotationCompleted {
+        /// Target Atom Container index.
+        container: u32,
+        /// Atom now loaded.
+        kind: AtomKind,
+    },
+    /// An SI executed through the run-time manager.
+    SiExecuted {
+        /// Executing task.
+        task: TaskId,
+        /// Executed SI.
+        si: SiId,
+        /// `true` when a hardware Molecule executed.
+        hw: bool,
+        /// Latency in cycles.
+        cycles: u64,
+        /// The hardware Molecule that executed (`None` for software).
+        molecule: Option<Molecule>,
+    },
+    /// A forecast was announced or updated for an SI.
+    ForecastUpdated {
+        /// Issuing task.
+        task: TaskId,
+        /// Forecasted SI.
+        si: SiId,
+        /// Forecast probability after the update.
+        probability: f64,
+        /// Expected executions after the update.
+        expected_executions: f64,
+    },
+    /// A forecast was retracted (the SI is no longer needed).
+    ForecastRetracted {
+        /// Issuing task.
+        task: TaskId,
+        /// Retracted SI.
+        si: SiId,
+    },
+    /// A monitored forecast settled with an observed outcome.
+    FcOutcome {
+        /// Observed task.
+        task: TaskId,
+        /// Observed SI.
+        si: SiId,
+        /// Whether the forecasted SI was actually reached.
+        reached: bool,
+    },
+    /// The manager re-evaluated its Molecule selection.
+    Reselect {
+        /// What caused the re-evaluation.
+        trigger: ReselectTrigger,
+        /// Wall-clock duration of the selection + scheduling pass, in
+        /// nanoseconds (host time, not simulated cycles).
+        duration_ns: u64,
+    },
+    /// The rotation scheduler staged one step of an SI's upgrade path
+    /// ("Rotation in Advance": smallest fitting Molecule first).
+    UpgradeStep {
+        /// The SI being upgraded.
+        si: SiId,
+        /// Zero-based position of this stage in the upgrade path.
+        step: u32,
+        /// The stage's target Molecule.
+        molecule: Molecule,
+    },
+}
+
+/// A timestamped event, in simulated cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Cycle of the event.
+    pub at: u64,
+    /// The event.
+    pub event: Event,
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let at = self.at;
+        match &self.event {
+            Event::RotationStarted { container, kind } => {
+                write!(f, "{at:>12}  rotation start AC{container} <- {kind}")
+            }
+            Event::RotationCompleted { container, kind } => {
+                write!(f, "{at:>12}  rotation done  AC{container} = {kind}")
+            }
+            Event::SiExecuted {
+                task,
+                si,
+                hw,
+                cycles,
+                ..
+            } => {
+                let how = if *hw { "HW" } else { "SW" };
+                write!(f, "{at:>12}  task{task} exec {si} [{how} {cycles}cyc]")
+            }
+            Event::ForecastUpdated { task, si, .. } => {
+                write!(f, "{at:>12}  task{task} forecast {si}")
+            }
+            Event::ForecastRetracted { task, si } => {
+                write!(f, "{at:>12}  task{task} retract  {si}")
+            }
+            Event::FcOutcome { task, si, reached } => {
+                let what = if *reached { "hit" } else { "miss" };
+                write!(f, "{at:>12}  task{task} fc-{what}  {si}")
+            }
+            Event::Reselect {
+                trigger,
+                duration_ns,
+            } => {
+                write!(f, "{at:>12}  reselect ({trigger}, {duration_ns}ns)")
+            }
+            Event::UpgradeStep { si, step, molecule } => {
+                write!(f, "{at:>12}  upgrade {si} step {step} -> {molecule}")
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # rispp-obs — RISPP observability
+//!
+//! Structured run-time events and pluggable sinks for the RISPP
+//! simulator. Producers (the fabric, the run-time manager, the
+//! simulation engine) hold a [`SinkHandle`] and emit [`Event`]s at the
+//! source; consumers choose what to do with the stream:
+//!
+//! * [`NullSink`] / [`SinkHandle::null`] — observability off. A disabled
+//!   handle costs one branch per event site and never constructs the
+//!   event.
+//! * [`CountersSink`] — aggregate statistics: per-SI execution counters,
+//!   latency histograms, forecast hit/miss counters, rotation totals.
+//! * [`TimelineSink`] — the full ordered event [`Timeline`] behind the
+//!   paper's Fig. 6 timelines and the waveform renderer.
+//! * [`JsonlSink`] — streaming JSON Lines export; [`jsonl::replay`]
+//!   turns an exported stream back into any sink, reproducing the live
+//!   timeline exactly.
+//!
+//! ```
+//! use rispp_obs::{jsonl, Event, JsonlSink, SinkHandle, TimelineSink};
+//! use std::{cell::RefCell, rc::Rc};
+//!
+//! // A producer would receive this handle and emit into it.
+//! let live = Rc::new(RefCell::new(TimelineSink::new()));
+//! let export = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
+//! let sink = SinkHandle::tee(
+//!     SinkHandle::shared(live.clone()),
+//!     SinkHandle::shared(export.clone()),
+//! );
+//! sink.emit_with(42, || Event::ForecastRetracted { task: 0, si: rispp_core::si::SiId(1) });
+//!
+//! // The exported stream replays into an identical timeline.
+//! let text = String::from_utf8(export.borrow().writer().clone()).unwrap();
+//! let mut replayed = TimelineSink::new();
+//! jsonl::replay(&text, &mut replayed).unwrap();
+//! assert_eq!(replayed.timeline(), live.borrow().timeline());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod event;
+pub mod jsonl;
+pub mod sink;
+pub mod timeline;
+
+pub use counters::{CountersSink, FcCounters, LatencyHistogram, SiCounters};
+pub use event::{Event, Record, ReselectTrigger, TaskId};
+pub use jsonl::{JsonlError, JsonlSink};
+pub use sink::{EventSink, NullSink, SinkHandle};
+pub use timeline::{Timeline, TimelineSink};

@@ -1,0 +1,174 @@
+//! The [`EventSink`] trait and the cheap [`SinkHandle`] threaded through
+//! the fabric, the run-time manager and the engine.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::event::Event;
+
+/// A consumer of run-time events.
+///
+/// Implementations receive every event with its simulated-cycle timestamp.
+/// Events arrive in non-decreasing time order per producer.
+pub trait EventSink {
+    /// Consumes one event.
+    fn emit(&mut self, at: u64, event: &Event);
+}
+
+/// The always-disabled sink.
+///
+/// Exists for `dyn EventSink` contexts that need an explicit no-op; when
+/// you control the handle, prefer [`SinkHandle::null`], which skips event
+/// construction entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&mut self, _at: u64, _event: &Event) {}
+}
+
+/// A shareable, optionally-disabled handle to an [`EventSink`].
+///
+/// Producers (fabric, manager, engine) hold a `SinkHandle` and call
+/// [`SinkHandle::emit_with`] at each event site. A disabled handle
+/// (`SinkHandle::null`) reduces the call to one branch and never runs the
+/// event-construction closure, so instrumented code stays effectively free
+/// when observability is off.
+///
+/// Cloning shares the underlying sink (it is reference-counted): the
+/// fabric and the manager can report into the same `CountersSink`.
+#[derive(Clone, Default)]
+pub struct SinkHandle {
+    inner: Option<Rc<RefCell<dyn EventSink>>>,
+}
+
+impl SinkHandle {
+    /// The disabled handle: every emit is a no-op branch.
+    #[must_use]
+    pub fn null() -> Self {
+        SinkHandle { inner: None }
+    }
+
+    /// Wraps an owned sink.
+    #[must_use]
+    pub fn new<S: EventSink + 'static>(sink: S) -> Self {
+        SinkHandle {
+            inner: Some(Rc::new(RefCell::new(sink))),
+        }
+    }
+
+    /// Wraps an already-shared sink, so the caller can keep reading it
+    /// (e.g. a `Rc<RefCell<TimelineSink>>` the engine later queries).
+    #[must_use]
+    pub fn shared<S: EventSink + 'static>(sink: Rc<RefCell<S>>) -> Self {
+        SinkHandle { inner: Some(sink) }
+    }
+
+    /// Fans one handle out to two sinks (both receive every event).
+    /// Disabled operands collapse away: tee-ing with a null handle
+    /// returns the other handle unchanged.
+    #[must_use]
+    pub fn tee(a: SinkHandle, b: SinkHandle) -> SinkHandle {
+        match (a.is_enabled(), b.is_enabled()) {
+            (true, true) => SinkHandle::new(Tee(a, b)),
+            (true, false) => a,
+            _ => b,
+        }
+    }
+
+    /// Whether events will actually be consumed.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emits one event.
+    pub fn emit(&self, at: u64, event: &Event) {
+        if let Some(sink) = &self.inner {
+            sink.borrow_mut().emit(at, event);
+        }
+    }
+
+    /// Emits the event produced by `f`, constructing it only when the
+    /// handle is enabled. Use this at every producer site whose event
+    /// carries owned data (Molecule clones).
+    pub fn emit_with(&self, at: u64, f: impl FnOnce() -> Event) {
+        if let Some(sink) = &self.inner {
+            sink.borrow_mut().emit(at, &f());
+        }
+    }
+}
+
+impl fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SinkHandle")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// Fan-out of one event stream to two handles (see [`SinkHandle::tee`]).
+struct Tee(SinkHandle, SinkHandle);
+
+impl EventSink for Tee {
+    fn emit(&mut self, at: u64, event: &Event) {
+        self.0.emit(at, event);
+        self.1.emit(at, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counting(u64);
+
+    impl EventSink for Counting {
+        fn emit(&mut self, _at: u64, _event: &Event) {
+            self.0 += 1;
+        }
+    }
+
+    fn ev() -> Event {
+        Event::ForecastRetracted {
+            task: 0,
+            si: rispp_core::si::SiId(0),
+        }
+    }
+
+    #[test]
+    fn null_handle_never_constructs_events() {
+        let handle = SinkHandle::null();
+        assert!(!handle.is_enabled());
+        handle.emit_with(0, || unreachable!("constructed despite null sink"));
+    }
+
+    #[test]
+    fn shared_sink_receives_from_clones() {
+        let sink = Rc::new(RefCell::new(Counting::default()));
+        let a = SinkHandle::shared(sink.clone());
+        let b = a.clone();
+        a.emit(1, &ev());
+        b.emit_with(2, ev);
+        assert_eq!(sink.borrow().0, 2);
+    }
+
+    #[test]
+    fn tee_reaches_both_and_collapses_null() {
+        let left = Rc::new(RefCell::new(Counting::default()));
+        let right = Rc::new(RefCell::new(Counting::default()));
+        let tee = SinkHandle::tee(
+            SinkHandle::shared(left.clone()),
+            SinkHandle::shared(right.clone()),
+        );
+        tee.emit(0, &ev());
+        assert_eq!((left.borrow().0, right.borrow().0), (1, 1));
+
+        let solo = SinkHandle::tee(SinkHandle::shared(left.clone()), SinkHandle::null());
+        solo.emit(1, &ev());
+        assert_eq!(left.borrow().0, 2);
+        assert!(!SinkHandle::tee(SinkHandle::null(), SinkHandle::null()).is_enabled());
+    }
+}

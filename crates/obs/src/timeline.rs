@@ -1,0 +1,233 @@
+//! The [`Timeline`]: an append-only, queryable record of every event —
+//! the data behind the paper's Fig. 6 — and the [`TimelineSink`] that
+//! accumulates one from a live event stream.
+
+use std::fmt;
+
+use rispp_core::si::SiId;
+
+use crate::event::{Event, Record, TaskId};
+use crate::sink::EventSink;
+
+/// An append-only event timeline with the query helpers the figure
+/// reproductions need.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    records: Vec<Record>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event at cycle `at`.
+    pub fn push(&mut self, at: u64, event: Event) {
+        self.records.push(Record { at, event });
+    }
+
+    /// All records in emission order (non-decreasing time).
+    #[must_use]
+    pub fn entries(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Mutable access to the records, e.g. to normalise host-measured
+    /// `Reselect` durations before comparing timelines across runs.
+    #[must_use]
+    pub fn entries_mut(&mut self) -> &mut [Record] {
+        &mut self.records
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` for an empty timeline.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// SI executions of one task, as `(at, cycles, hardware)`.
+    pub fn executions(
+        &self,
+        task: TaskId,
+        si: SiId,
+    ) -> impl Iterator<Item = (u64, u64, bool)> + '_ {
+        self.records.iter().filter_map(move |r| match r.event {
+            Event::SiExecuted {
+                task: t,
+                si: s,
+                hw,
+                cycles,
+                ..
+            } if t == task && s == si => Some((r.at, cycles, hw)),
+            _ => None,
+        })
+    }
+
+    /// Time of the first hardware execution of `(task, si)` at or after
+    /// `from`.
+    #[must_use]
+    pub fn first_hw_execution_after(&self, task: TaskId, si: SiId, from: u64) -> Option<u64> {
+        self.executions(task, si)
+            .find(|&(at, _, hw)| hw && at >= from)
+            .map(|(at, _, _)| at)
+    }
+
+    /// Count of completed rotations.
+    #[must_use]
+    pub fn rotations_completed(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.event, Event::RotationCompleted { .. }))
+            .count()
+    }
+
+    /// Time of the first forecast of `si` by `task`.
+    #[must_use]
+    pub fn forecast_time(&self, task: TaskId, si: SiId) -> Option<u64> {
+        self.records.iter().find_map(|r| match r.event {
+            Event::ForecastUpdated { task: t, si: s, .. } if t == task && s == si => Some(r.at),
+            _ => None,
+        })
+    }
+
+    /// Time of the first retraction of `si` by `task`.
+    #[must_use]
+    pub fn retract_time(&self, task: TaskId, si: SiId) -> Option<u64> {
+        self.records.iter().find_map(|r| match r.event {
+            Event::ForecastRetracted { task: t, si: s } if t == task && s == si => Some(r.at),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for Timeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.records {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Sink accumulating every event into a [`Timeline`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimelineSink {
+    timeline: Timeline,
+}
+
+impl TimelineSink {
+    /// Creates an empty timeline sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated timeline.
+    #[must_use]
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Consumes the sink, returning the timeline.
+    #[must_use]
+    pub fn into_timeline(self) -> Timeline {
+        self.timeline
+    }
+}
+
+impl EventSink for TimelineSink {
+    fn emit(&mut self, at: u64, event: &Event) {
+        self.timeline.push(at, event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rispp_core::atom::AtomKind;
+
+    fn sample() -> Timeline {
+        let mut t = Timeline::new();
+        t.push(
+            10,
+            Event::ForecastUpdated {
+                task: 0,
+                si: SiId(1),
+                probability: 1.0,
+                expected_executions: 40.0,
+            },
+        );
+        t.push(
+            20,
+            Event::SiExecuted {
+                task: 0,
+                si: SiId(1),
+                hw: false,
+                cycles: 500,
+                molecule: None,
+            },
+        );
+        t.push(
+            30,
+            Event::RotationCompleted {
+                container: 2,
+                kind: AtomKind(0),
+            },
+        );
+        t.push(
+            40,
+            Event::SiExecuted {
+                task: 0,
+                si: SiId(1),
+                hw: true,
+                cycles: 20,
+                molecule: None,
+            },
+        );
+        t.push(
+            50,
+            Event::ForecastRetracted {
+                task: 0,
+                si: SiId(1),
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn query_helpers_find_events() {
+        let t = sample();
+        assert_eq!(t.forecast_time(0, SiId(1)), Some(10));
+        assert_eq!(t.retract_time(0, SiId(1)), Some(50));
+        assert_eq!(t.first_hw_execution_after(0, SiId(1), 0), Some(40));
+        assert_eq!(t.rotations_completed(), 1);
+        assert_eq!(t.executions(0, SiId(1)).count(), 2);
+        assert_eq!(t.executions(1, SiId(1)).count(), 0);
+    }
+
+    #[test]
+    fn sink_accumulates_in_order() {
+        let mut sink = TimelineSink::new();
+        for r in sample().entries() {
+            sink.emit(r.at, &r.event);
+        }
+        assert_eq!(sink.timeline(), &sample());
+    }
+
+    #[test]
+    fn display_renders_every_record() {
+        let s = sample().to_string();
+        assert_eq!(s.lines().count(), 5);
+        assert!(s.contains("task0"));
+        assert!(s.contains("HW 20cyc"));
+        assert!(s.contains("rotation done"));
+    }
+}

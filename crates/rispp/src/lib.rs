@@ -21,7 +21,8 @@
 //! | [`mod@cfg`] | `rispp-cfg` | BB graphs, profiling, SCC, forecast-point insertion |
 //! | [`h264`] | `rispp-h264` | pixel kernels, Table 2 SI library, Fig. 7 encoder |
 //! | [`rt`] | `rispp-rt` | the run-time manager (monitor / select / schedule) |
-//! | [`sim`] | `rispp-sim` | multi-task engine, traces, the Fig. 6 scenario |
+//! | [`sim`] | `rispp-sim` | multi-task engine, the Fig. 6 scenario |
+//! | [`obs`] | `rispp-obs` | structured events, sinks, timelines, JSONL export |
 //! | [`baseline`] | `rispp-baseline` | extensible-processor & software baselines, GE model |
 //!
 //! # Quickstart
@@ -32,7 +33,7 @@
 //! // The H.264 case-study platform: 4 Atom kinds, 4 Atom Containers.
 //! let (library, sis) = rispp::h264::build_library();
 //! let fabric = rispp::sim::h264_fabric(4);
-//! let mut manager = RisppManager::new(library, fabric);
+//! let mut manager = RisppManager::builder(library, fabric).build();
 //!
 //! // A forecast point fires: SATD_4x4 will be needed soon and often.
 //! manager.forecast(0, ForecastValue::new(sis.satd_4x4, 1.0, 400_000.0, 300.0));
@@ -67,6 +68,9 @@ pub use rispp_rt as rt;
 /// The multi-task simulator and the Fig. 6 scenario.
 pub use rispp_sim as sim;
 
+/// Structured run-time events, sinks and timelines.
+pub use rispp_obs as obs;
+
 /// Comparison baselines (ASIP, pure software) and the GE area model.
 pub use rispp_baseline as baseline;
 
@@ -80,6 +84,9 @@ pub mod prelude {
     };
     pub use rispp_fabric::{AtomCatalog, Clock, ContainerId, Fabric};
     pub use rispp_h264::{EncoderConfig, Frame, SyntheticVideo};
-    pub use rispp_rt::{RisppManager, TaskId};
-    pub use rispp_sim::{Engine, Op, Task, Trace};
+    pub use rispp_obs::{
+        CountersSink, Event, JsonlSink, NullSink, SinkHandle, Timeline, TimelineSink,
+    };
+    pub use rispp_rt::{ManagerBuilder, RisppManager, TaskId};
+    pub use rispp_sim::{Engine, Op, Task};
 }

@@ -26,7 +26,10 @@ pub mod manager;
 pub mod policy;
 
 pub use manager::{
-    EnergyReport, ExecutionRecord, FcStats, PowerMode, RisppManager, RotationStrategy, SiStats,
-    TaskId,
+    EnergyReport, ExecutionRecord, FcStats, ManagerBuilder, PowerMode, RisppManager,
+    RotationStrategy, SiStats, TaskId,
 };
 pub use policy::{LruSurplusPolicy, ReplacementPolicy};
+// The platform's single time base, re-exported so run-time code can name
+// the shared clock without depending on `rispp-fabric` directly.
+pub use rispp_fabric::clock::Clock;

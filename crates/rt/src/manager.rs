@@ -20,11 +20,14 @@
 
 use std::collections::BTreeMap;
 
+use rispp_core::error::CoreError;
 use rispp_core::forecast::ForecastValue;
 use rispp_core::molecule::Molecule;
 use rispp_core::selection::{select_molecules, MoleculeSelection};
 use rispp_core::si::{SiId, SiLibrary};
+use rispp_fabric::clock::Clock;
 use rispp_fabric::fabric::{Fabric, FabricError, FabricEvent};
+use rispp_obs::{Event, ReselectTrigger, SinkHandle};
 
 use crate::policy::{LruSurplusPolicy, ReplacementPolicy};
 
@@ -167,7 +170,7 @@ pub enum RotationStrategy {
 ///     AtomHwProfile::new("SATD", 407, 808, 58_141),
 /// ];
 /// let fabric = Fabric::new(atom_set(), AtomCatalog::new(profiles), 4);
-/// let mut mgr = RisppManager::new(lib, fabric);
+/// let mut mgr = RisppManager::builder(lib, fabric).build();
 ///
 /// // A forecast triggers rotations; until they finish, execution is SW.
 /// mgr.forecast(0, ForecastValue::new(sis.satd_4x4, 1.0, 200_000.0, 500.0));
@@ -196,13 +199,166 @@ pub struct RisppManager<P = LruSurplusPolicy> {
     power_mode: PowerMode,
     /// Smoothing factor for online forecast fine-tuning.
     lambda: f64,
+    /// Structured-event sink (disabled by default); shared with the fabric
+    /// so rotation and manager events interleave in one stream.
+    sink: SinkHandle,
+}
+
+/// Step-by-step construction of a [`RisppManager`].
+///
+/// Obtained from [`RisppManager::builder`]; every knob has the same
+/// default as the paper's configuration ([`PowerMode::Performance`],
+/// [`RotationStrategy::UpgradePath`], λ = 0.25, observability off), so
+/// `builder(lib, fabric).build()` is the common case and each method
+/// overrides exactly one aspect.
+///
+/// # Examples
+///
+/// ```
+/// use rispp_fabric::{AtomCatalog, Fabric};
+/// use rispp_fabric::catalog::AtomHwProfile;
+/// use rispp_h264::si_library::{atom_set, build_library};
+/// use rispp_rt::manager::{RisppManager, RotationStrategy};
+///
+/// let (lib, _sis) = build_library();
+/// let profiles = vec![
+///     AtomHwProfile::new("QuadSub", 352, 700, 58_745),
+///     AtomHwProfile::new("Pack", 406, 812, 65_713),
+///     AtomHwProfile::new("Transform", 517, 1034, 59_353),
+///     AtomHwProfile::new("SATD", 407, 808, 58_141),
+/// ];
+/// let fabric = Fabric::new(atom_set(), AtomCatalog::new(profiles), 4);
+/// let mgr = RisppManager::builder(lib, fabric)
+///     .rotation_strategy(RotationStrategy::TargetOnly)
+///     .smoothing(0.5)
+///     .build();
+/// assert_eq!(mgr.now(), 0);
+/// ```
+#[derive(Debug)]
+pub struct ManagerBuilder<P = LruSurplusPolicy> {
+    lib: SiLibrary,
+    fabric: Fabric,
+    policy: P,
+    power_mode: PowerMode,
+    rotation_strategy: RotationStrategy,
+    lambda: f64,
+    sink: SinkHandle,
+}
+
+impl<P: ReplacementPolicy> ManagerBuilder<P> {
+    /// Replaces the replacement policy (default:
+    /// [`LruSurplusPolicy`]). Changes the manager's type parameter.
+    #[must_use]
+    pub fn policy<Q: ReplacementPolicy>(self, policy: Q) -> ManagerBuilder<Q> {
+        ManagerBuilder {
+            lib: self.lib,
+            fabric: self.fabric,
+            policy,
+            power_mode: self.power_mode,
+            rotation_strategy: self.rotation_strategy,
+            lambda: self.lambda,
+            sink: self.sink,
+        }
+    }
+
+    /// Sets the initial adaptation goal (default:
+    /// [`PowerMode::Performance`]). Runtime changes go through
+    /// [`RisppManager::set_power_mode`].
+    #[must_use]
+    pub fn power_mode(mut self, mode: PowerMode) -> Self {
+        self.power_mode = mode;
+        self
+    }
+
+    /// Sets the rotation scheduling strategy (default:
+    /// [`RotationStrategy::UpgradePath`]).
+    #[must_use]
+    pub fn rotation_strategy(mut self, strategy: RotationStrategy) -> Self {
+        self.rotation_strategy = strategy;
+        self
+    }
+
+    /// Sets the forecast-smoothing factor λ ∈ [0, 1] (weight of each new
+    /// observation; default 0.25).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lambda ∈ [0, 1]`.
+    #[must_use]
+    pub fn smoothing(mut self, lambda: f64) -> Self {
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
+        self.lambda = lambda;
+        self
+    }
+
+    /// Installs a structured-event sink (default: disabled). The manager
+    /// shares the sink with its fabric, so rotation events and manager
+    /// events arrive interleaved at the same consumer.
+    #[must_use]
+    pub fn sink(mut self, sink: SinkHandle) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Builds the manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library width differs from the fabric's Atom count.
+    #[must_use]
+    pub fn build(self) -> RisppManager<P> {
+        assert_eq!(
+            self.lib.width(),
+            self.fabric.atoms().len(),
+            "SI library and fabric must agree on the atom kinds"
+        );
+        let stats = vec![SiStats::default(); self.lib.len()];
+        let fc_stats = vec![FcStats::default(); self.lib.len()];
+        let mut fabric = self.fabric;
+        fabric.set_sink(SinkHandle::tee(fabric.sink().clone(), self.sink.clone()));
+        RisppManager {
+            lib: self.lib,
+            fabric,
+            policy: self.policy,
+            demands: BTreeMap::new(),
+            selection: MoleculeSelection::default(),
+            stats,
+            fc_stats,
+            rotations_requested: 0,
+            rotation_bytes: 0,
+            reselects: 0,
+            rotation_strategy: self.rotation_strategy,
+            power_mode: self.power_mode,
+            lambda: self.lambda,
+            sink: self.sink,
+        }
+    }
 }
 
 impl RisppManager<LruSurplusPolicy> {
+    /// Starts building a manager over `lib` and `fabric` with the default
+    /// configuration (see [`ManagerBuilder`]).
+    #[must_use]
+    pub fn builder(lib: SiLibrary, fabric: Fabric) -> ManagerBuilder<LruSurplusPolicy> {
+        ManagerBuilder {
+            lib,
+            fabric,
+            policy: LruSurplusPolicy::new(),
+            power_mode: PowerMode::default(),
+            rotation_strategy: RotationStrategy::default(),
+            lambda: 0.25,
+            sink: SinkHandle::null(),
+        }
+    }
+
     /// Creates a manager with the default LRU-surplus replacement policy.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `RisppManager::builder(lib, fabric).build()`"
+    )]
     #[must_use]
     pub fn new(lib: SiLibrary, fabric: Fabric) -> Self {
-        Self::with_policy(lib, fabric, LruSurplusPolicy::new())
+        Self::builder(lib, fabric).build()
     }
 }
 
@@ -212,37 +368,23 @@ impl<P: ReplacementPolicy> RisppManager<P> {
     /// # Panics
     ///
     /// Panics if the library width differs from the fabric's Atom count.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `RisppManager::builder(lib, fabric).policy(policy).build()`"
+    )]
     #[must_use]
     pub fn with_policy(lib: SiLibrary, fabric: Fabric, policy: P) -> Self {
-        assert_eq!(
-            lib.width(),
-            fabric.atoms().len(),
-            "SI library and fabric must agree on the atom kinds"
-        );
-        let stats = vec![SiStats::default(); lib.len()];
-        let fc_stats = vec![FcStats::default(); lib.len()];
-        RisppManager {
-            lib,
-            fabric,
-            policy,
-            demands: BTreeMap::new(),
-            selection: MoleculeSelection::default(),
-            stats,
-            fc_stats,
-            rotations_requested: 0,
-            rotation_bytes: 0,
-            reselects: 0,
-            rotation_strategy: RotationStrategy::default(),
-            power_mode: PowerMode::default(),
-            lambda: 0.25,
-        }
+        RisppManager::builder(lib, fabric).policy(policy).build()
     }
 
-    /// Switches the adaptation goal (see [`PowerMode`]). Takes effect on
-    /// the next forecast event.
+    /// Switches the adaptation goal (see [`PowerMode`]). This is the one
+    /// configuration knob that legitimately changes *during* a run (the
+    /// paper's §1: the system adapts when it "runs out of energy"), so it
+    /// stays a mutator rather than moving into the builder; the initial
+    /// mode is set with [`ManagerBuilder::power_mode`].
     pub fn set_power_mode(&mut self, mode: PowerMode) {
         self.power_mode = mode;
-        self.reselect();
+        self.reselect(ReselectTrigger::PowerMode);
     }
 
     /// Number of selection re-evaluations so far — every FC event invokes
@@ -256,6 +398,10 @@ impl<P: ReplacementPolicy> RisppManager<P> {
 
     /// Overrides the rotation scheduling strategy (default:
     /// [`RotationStrategy::UpgradePath`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "configure via `ManagerBuilder::rotation_strategy`"
+    )]
     pub fn set_rotation_strategy(&mut self, strategy: RotationStrategy) {
         self.rotation_strategy = strategy;
     }
@@ -266,9 +412,25 @@ impl<P: ReplacementPolicy> RisppManager<P> {
     /// # Panics
     ///
     /// Panics unless `lambda ∈ [0, 1]`.
+    #[deprecated(since = "0.2.0", note = "configure via `ManagerBuilder::smoothing`")]
     pub fn set_smoothing(&mut self, lambda: f64) {
         assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
         self.lambda = lambda;
+    }
+
+    /// Replaces the structured-event sink on both the manager and its
+    /// fabric. Normally installed once via [`ManagerBuilder::sink`]; this
+    /// mutator exists so a driver (e.g. the simulation engine) can tee an
+    /// additional consumer into an already-built manager.
+    pub fn set_sink(&mut self, sink: SinkHandle) {
+        self.fabric.set_sink(sink.clone());
+        self.sink = sink;
+    }
+
+    /// The installed structured-event sink (disabled by default).
+    #[must_use]
+    pub fn sink(&self) -> &SinkHandle {
+        &self.sink
     }
 
     /// The SI library.
@@ -283,7 +445,14 @@ impl<P: ReplacementPolicy> RisppManager<P> {
         &self.fabric
     }
 
-    /// Current time in cycles.
+    /// The platform clock — the same instance the fabric advances, so
+    /// manager time and fabric time can never diverge.
+    #[must_use]
+    pub fn clock(&self) -> &Clock {
+        self.fabric.clock()
+    }
+
+    /// Current time in cycles (shorthand for `clock().now()`).
     #[must_use]
     pub fn now(&self) -> u64 {
         self.fabric.now()
@@ -359,8 +528,15 @@ impl<P: ReplacementPolicy> RisppManager<P> {
     /// for an SI. Triggers re-selection and rotation scheduling.
     pub fn forecast(&mut self, task: TaskId, value: ForecastValue) {
         self.fc_stats[value.si.index()].issued += 1;
+        self.sink
+            .emit_with(self.fabric.now(), || Event::ForecastUpdated {
+                task,
+                si: value.si,
+                probability: value.probability,
+                expected_executions: value.expected_executions,
+            });
         self.demands.insert((task, value.si.index()), value);
-        self.reselect();
+        self.reselect(ReselectTrigger::Forecast);
     }
 
     /// Handles a whole FC Block: several forecasts announced at once (the
@@ -374,11 +550,18 @@ impl<P: ReplacementPolicy> RisppManager<P> {
         let mut any = false;
         for value in values {
             self.fc_stats[value.si.index()].issued += 1;
+            self.sink
+                .emit_with(self.fabric.now(), || Event::ForecastUpdated {
+                    task,
+                    si: value.si,
+                    probability: value.probability,
+                    expected_executions: value.expected_executions,
+                });
             self.demands.insert((task, value.si.index()), value);
             any = true;
         }
         if any {
-            self.reselect();
+            self.reselect(ReselectTrigger::ForecastBlock);
         }
     }
 
@@ -386,8 +569,10 @@ impl<P: ReplacementPolicy> RisppManager<P> {
     /// `task` (the T2 step of Fig. 6). Frees its Atoms for other demands.
     pub fn retract_forecast(&mut self, task: TaskId, si: SiId) {
         self.fc_stats[si.index()].retracted += 1;
+        self.sink
+            .emit(self.fabric.now(), &Event::ForecastRetracted { task, si });
         self.demands.remove(&(task, si.index()));
-        self.reselect();
+        self.reselect(ReselectTrigger::Retract);
     }
 
     /// Fine-tunes a stored forecast with run-time observation (the
@@ -406,18 +591,44 @@ impl<P: ReplacementPolicy> RisppManager<P> {
         } else {
             self.fc_stats[si.index()].misses += 1;
         }
+        self.sink
+            .emit(self.fabric.now(), &Event::FcOutcome { task, si, reached });
         if let Some(fv) = self.demands.get_mut(&(task, si.index())) {
             fv.observe(lambda, reached, observed_distance, observed_executions);
         }
-        self.reselect();
+        self.reselect(ReselectTrigger::Observation);
     }
 
     /// Executes one SI for `task` using the fastest loaded Molecule, or
     /// software when none fits. Updates LRU metadata and statistics.
-    pub fn execute_si(&mut self, _task: TaskId, si: SiId) -> ExecutionRecord {
+    ///
+    /// # Panics
+    ///
+    /// Panics when `si` was not issued by this manager's library; use
+    /// [`RisppManager::try_execute_si`] to handle that case gracefully.
+    pub fn execute_si(&mut self, task: TaskId, si: SiId) -> ExecutionRecord {
+        match self.try_execute_si(task, si) {
+            Ok(record) => record,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`RisppManager::execute_si`], for callers
+    /// that receive SI ids from untrusted input (a decoded instruction
+    /// stream, a replayed event log).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownSi`] when `si` was not issued by this
+    /// manager's library.
+    pub fn try_execute_si(&mut self, task: TaskId, si: SiId) -> Result<ExecutionRecord, CoreError> {
+        let def = self.lib.try_get(si).ok_or(CoreError::UnknownSi {
+            id: si.index(),
+            library_len: self.lib.len(),
+        })?;
         let loaded = self.fabric.loaded_molecule();
-        let def = self.lib.get(si);
-        let record = match def.best_available(&loaded) {
+        let best = def.best_available(&loaded);
+        let record = match best {
             Some(m) => {
                 self.fabric.touch_atoms(&m.molecule);
                 ExecutionRecord {
@@ -440,7 +651,15 @@ impl<P: ReplacementPolicy> RisppManager<P> {
             s.sw_executions += 1;
         }
         s.cycles += record.cycles;
-        record
+        self.sink
+            .emit_with(self.fabric.now(), || Event::SiExecuted {
+                task,
+                si,
+                hw: record.hardware,
+                cycles: record.cycles,
+                molecule: best.map(|m| m.molecule.clone()),
+            });
+        Ok(record)
     }
 
     /// Expected energy-rotation cost of loading an SI's minimal Molecule,
@@ -459,8 +678,11 @@ impl<P: ReplacementPolicy> RisppManager<P> {
 
     /// Recomputes the Molecule selection from all active demands and
     /// re-schedules rotations towards the new target.
-    fn reselect(&mut self) {
+    fn reselect(&mut self, trigger: ReselectTrigger) {
         self.reselects += 1;
+        // Wall-clock timing only runs when someone is listening, keeping
+        // the disabled-observability path free of host-clock reads.
+        let started = self.sink.is_enabled().then(std::time::Instant::now);
         // Aggregate benefit weight per SI over all demanding tasks; the
         // weighting depends on the adaptation goal.
         let mut weights: BTreeMap<usize, (f64, TaskId)> = BTreeMap::new();
@@ -486,13 +708,21 @@ impl<P: ReplacementPolicy> RisppManager<P> {
             let entry = weights.entry(si).or_insert((0.0, task));
             entry.0 += benefit;
         }
-        let demands: Vec<(SiId, f64)> = weights
-            .iter()
-            .map(|(&si, &(w, _))| (SiId(si), w))
-            .collect();
+        let demands: Vec<(SiId, f64)> =
+            weights.iter().map(|(&si, &(w, _))| (SiId(si), w)).collect();
         let capacity = self.fabric.num_containers() as u32;
         self.selection = select_molecules(&self.lib, &demands, capacity);
         self.schedule_rotations(&weights);
+        if let Some(t0) = started {
+            let duration_ns = t0.elapsed().as_nanos() as u64;
+            self.sink.emit(
+                self.fabric.now(),
+                &Event::Reselect {
+                    trigger,
+                    duration_ns,
+                },
+            );
+        }
     }
 
     /// Requeues rotations so the fabric converges to the selection target.
@@ -538,17 +768,20 @@ impl<P: ReplacementPolicy> RisppManager<P> {
                 RotationStrategy::TargetOnly => Vec::new(),
             };
             stages.push(wanted);
-            for stage in stages {
+            for (step, stage) in stages.iter().enumerate() {
+                let mut requested = 0u32;
+                let mut exhausted = false;
                 loop {
                     let committed = self.fabric.committed_molecule();
                     let missing = committed
-                        .additional_atoms(&stage)
+                        .additional_atoms(stage)
                         .expect("widths agree by construction");
                     let Some((kind, _)) = missing.iter_nonzero().next() else {
                         break;
                     };
                     let Some(victim) = self.policy.choose_victim(&self.fabric, &target) else {
-                        return; // nothing evictable; stop scheduling
+                        exhausted = true; // nothing evictable; stop scheduling
+                        break;
                     };
                     match self.fabric.request_rotation(victim, kind) {
                         Ok(()) => {
@@ -556,9 +789,27 @@ impl<P: ReplacementPolicy> RisppManager<P> {
                             self.rotation_bytes +=
                                 self.fabric.catalog().profile(kind).bitstream_bytes;
                             let _ = self.fabric.set_owner(victim, owner);
+                            requested += 1;
                         }
-                        Err(_) => return, // defensive: victim raced a rotation
+                        Err(_) => {
+                            exhausted = true; // defensive: victim raced a rotation
+                            break;
+                        }
                     }
+                }
+                // An upgrade step is only news when it made the fabric
+                // move; re-selections that merely confirm the loaded state
+                // stay silent.
+                if requested > 0 {
+                    self.sink
+                        .emit_with(self.fabric.now(), || Event::UpgradeStep {
+                            si: choice.si,
+                            step: step as u32,
+                            molecule: stage.clone(),
+                        });
+                }
+                if exhausted {
+                    return;
                 }
             }
         }
@@ -568,9 +819,9 @@ impl<P: ReplacementPolicy> RisppManager<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rispp_core::atom::AtomSet;
     use rispp_core::si::{MoleculeImpl, SpecialInstruction};
     use rispp_fabric::catalog::{AtomCatalog, AtomHwProfile};
-    use rispp_core::atom::AtomSet;
 
     /// Two-kind platform with fast, equal rotation times for readability.
     fn small_platform() -> (SiLibrary, Fabric, SiId, SiId) {
@@ -614,7 +865,7 @@ mod tests {
     #[test]
     fn forecast_triggers_rotations() {
         let (lib, fabric, s0, _) = small_platform();
-        let mut mgr = RisppManager::new(lib, fabric);
+        let mut mgr = RisppManager::builder(lib, fabric).build();
         mgr.forecast(0, fv(s0, 100.0));
         assert!(mgr.rotations_requested() >= 2);
         assert_eq!(mgr.target(), &Molecule::from_counts([2, 1]));
@@ -623,7 +874,7 @@ mod tests {
     #[test]
     fn execution_upgrades_gradually() {
         let (lib, fabric, s0, _) = small_platform();
-        let mut mgr = RisppManager::new(lib, fabric);
+        let mut mgr = RisppManager::builder(lib, fabric).build();
         mgr.forecast(0, fv(s0, 100.0));
         // Nothing loaded yet → software.
         let r0 = mgr.execute_si(0, s0);
@@ -654,7 +905,7 @@ mod tests {
     #[test]
     fn retraction_frees_atoms_for_other_task() {
         let (lib, fabric, s0, s1) = small_platform();
-        let mut mgr = RisppManager::new(lib, fabric);
+        let mut mgr = RisppManager::builder(lib, fabric).build();
         mgr.forecast(0, fv(s0, 100.0));
         let done = mgr.all_rotations_done_at().unwrap();
         mgr.advance_to(done).unwrap();
@@ -672,7 +923,7 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let (lib, fabric, s0, _) = small_platform();
-        let mut mgr = RisppManager::new(lib, fabric);
+        let mut mgr = RisppManager::builder(lib, fabric).build();
         mgr.execute_si(0, s0);
         mgr.execute_si(0, s0);
         let s = mgr.stats(s0);
@@ -684,7 +935,7 @@ mod tests {
     #[test]
     fn observation_reweights_selection() {
         let (lib, fabric, s0, s1) = small_platform();
-        let mut mgr = RisppManager::new(lib, fabric);
+        let mut mgr = RisppManager::builder(lib, fabric).build();
         // Both tasks forecast; capacity 3 cannot host (2,1) ∪ (0,2) = (2,3).
         mgr.forecast(0, fv(s0, 100.0));
         mgr.forecast(1, fv(s1, 1.0));
@@ -701,7 +952,7 @@ mod tests {
     #[test]
     fn fc_stats_track_monitoring() {
         let (lib, fabric, s0, _) = small_platform();
-        let mut mgr = RisppManager::new(lib, fabric);
+        let mut mgr = RisppManager::builder(lib, fabric).build();
         mgr.forecast(0, fv(s0, 10.0));
         mgr.forecast(1, fv(s0, 10.0));
         mgr.record_fc_outcome(0, s0, true, 1_000.0, 5.0);
@@ -718,7 +969,7 @@ mod tests {
     #[test]
     fn fc_stats_empty_hit_rate_is_none() {
         let (lib, fabric, s0, _) = small_platform();
-        let mgr = RisppManager::new(lib, fabric);
+        let mgr = RisppManager::builder(lib, fabric).build();
         assert_eq!(mgr.fc_stats(s0).hit_rate(), None);
     }
 
@@ -730,8 +981,9 @@ mod tests {
         // be later or equal than with UpgradePath.
         let first_hw_at = |strategy: RotationStrategy| {
             let (lib, fabric, s0, _) = small_platform();
-            let mut mgr = RisppManager::new(lib, fabric);
-            mgr.set_rotation_strategy(strategy);
+            let mut mgr = RisppManager::builder(lib, fabric)
+                .rotation_strategy(strategy)
+                .build();
             mgr.forecast(0, fv(s0, 100.0));
             let mut t = 0u64;
             loop {
@@ -752,7 +1004,7 @@ mod tests {
     fn energy_saving_mode_refuses_unamortised_rotations() {
         use rispp_core::energy::EnergyModel;
         let (lib, fabric, s0, _) = small_platform();
-        let mut mgr = RisppManager::new(lib, fabric);
+        let mut mgr = RisppManager::builder(lib, fabric).build();
         mgr.set_power_mode(PowerMode::EnergySaving {
             model: EnergyModel::default(),
             alpha: 1.0,
@@ -768,7 +1020,7 @@ mod tests {
     #[test]
     fn performance_mode_rotates_for_small_demands_too() {
         let (lib, fabric, s0, _) = small_platform();
-        let mut mgr = RisppManager::new(lib, fabric);
+        let mut mgr = RisppManager::builder(lib, fabric).build();
         mgr.forecast(0, fv(s0, 3.0));
         assert!(mgr.rotations_requested() > 0);
     }
@@ -776,7 +1028,7 @@ mod tests {
     #[test]
     fn reselects_count_every_fc_event() {
         let (lib, fabric, s0, s1) = small_platform();
-        let mut mgr = RisppManager::new(lib, fabric);
+        let mut mgr = RisppManager::builder(lib, fabric).build();
         let before = mgr.reselects();
         mgr.forecast(0, fv(s0, 10.0));
         mgr.forecast(1, fv(s1, 10.0));
@@ -793,7 +1045,7 @@ mod tests {
     fn energy_report_accounts_all_three_terms() {
         use rispp_core::energy::EnergyModel;
         let (lib, fabric, s0, _) = small_platform();
-        let mut mgr = RisppManager::new(lib, fabric);
+        let mut mgr = RisppManager::builder(lib, fabric).build();
         let model = EnergyModel::default();
         // Pure software run: only SW execution energy.
         mgr.execute_si(0, s0);
@@ -816,7 +1068,7 @@ mod tests {
     #[test]
     fn cancelled_rotations_are_not_billed() {
         let (lib, fabric, s0, s1) = small_platform();
-        let mut mgr = RisppManager::new(lib, fabric);
+        let mut mgr = RisppManager::builder(lib, fabric).build();
         mgr.forecast(0, fv(s0, 100.0));
         let after_first = mgr.rotation_bytes();
         // Immediate retraction cancels everything still queued; only the
@@ -831,14 +1083,122 @@ mod tests {
     #[should_panic(expected = "lambda")]
     fn smoothing_out_of_range_rejected() {
         let (lib, fabric, ..) = small_platform();
-        let mut mgr = RisppManager::new(lib, fabric);
-        mgr.set_smoothing(1.5);
+        let _ = RisppManager::builder(lib, fabric).smoothing(1.5).build();
+    }
+
+    #[test]
+    fn try_execute_rejects_unknown_si() {
+        let (lib, fabric, s0, _) = small_platform();
+        let mut mgr = RisppManager::builder(lib, fabric).build();
+        let err = mgr.try_execute_si(0, SiId(99)).unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::UnknownSi {
+                id: 99,
+                library_len: 2
+            }
+        );
+        // The valid path matches the panicking API.
+        let rec = mgr.try_execute_si(0, s0).unwrap();
+        assert_eq!(rec, mgr.execute_si(0, s0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown special instruction")]
+    fn execute_panics_on_unknown_si() {
+        let (lib, fabric, ..) = small_platform();
+        let mut mgr = RisppManager::builder(lib, fabric).build();
+        let _ = mgr.execute_si(0, SiId(99));
+    }
+
+    #[test]
+    fn sink_sees_manager_events_at_source() {
+        use rispp_obs::TimelineSink;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let timeline = Rc::new(RefCell::new(TimelineSink::new()));
+        let (lib, fabric, s0, _) = small_platform();
+        let mut mgr = RisppManager::builder(lib, fabric)
+            .sink(SinkHandle::shared(timeline.clone()))
+            .build();
+
+        mgr.forecast(0, fv(s0, 100.0));
+        mgr.execute_si(0, s0); // software: nothing loaded yet
+        let done = mgr.all_rotations_done_at().unwrap();
+        mgr.advance_to(done).unwrap();
+        mgr.execute_si(0, s0); // hardware
+        mgr.record_fc_outcome(0, s0, true, 50_000.0, 100.0);
+        mgr.retract_forecast(0, s0);
+
+        let tl = timeline.borrow();
+        let records = tl.timeline().entries();
+        let has = |pred: &dyn Fn(&Event) -> bool| records.iter().any(|r| pred(&r.event));
+        assert!(has(&|e| matches!(
+            e,
+            Event::ForecastUpdated { task: 0, .. }
+        )));
+        assert!(has(&|e| matches!(
+            e,
+            Event::Reselect {
+                trigger: ReselectTrigger::Forecast,
+                ..
+            }
+        )));
+        assert!(has(&|e| matches!(e, Event::UpgradeStep { step: 0, .. })));
+        assert!(has(&|e| matches!(
+            e,
+            Event::SiExecuted {
+                hw: false,
+                cycles: 500,
+                molecule: None,
+                ..
+            }
+        )));
+        // Rotations flow through the shared fabric sink.
+        assert!(has(&|e| matches!(e, Event::RotationStarted { .. })));
+        assert!(has(&|e| matches!(e, Event::RotationCompleted { .. })));
+        // The hardware execution carries its Molecule.
+        assert!(records.iter().any(|r| matches!(
+            &r.event,
+            Event::SiExecuted { hw: true, molecule: Some(m), .. }
+                if m.determinant() > 0 && r.at == done
+        )));
+        assert!(has(&|e| matches!(
+            e,
+            Event::FcOutcome { reached: true, .. }
+        )));
+        assert!(has(&|e| matches!(
+            e,
+            Event::ForecastRetracted { task: 0, .. }
+        )));
+    }
+
+    #[test]
+    fn disabled_sink_changes_nothing() {
+        let run = |sink: Option<SinkHandle>| {
+            let (lib, fabric, s0, s1) = small_platform();
+            let mut b = RisppManager::builder(lib, fabric);
+            if let Some(s) = sink {
+                b = b.sink(s);
+            }
+            let mut mgr = b.build();
+            mgr.forecast(0, fv(s0, 100.0));
+            mgr.forecast(1, fv(s1, 10.0));
+            let done = mgr.all_rotations_done_at().unwrap();
+            mgr.advance_to(done).unwrap();
+            let r = mgr.execute_si(0, s0);
+            (r, mgr.rotations_requested(), mgr.target().clone())
+        };
+        let observed = run(Some(SinkHandle::new(rispp_obs::CountersSink::default())));
+        let silent = run(None);
+        assert_eq!(observed, silent);
     }
 
     #[test]
     fn two_tasks_share_atoms() {
         let (lib, fabric, s0, s1) = small_platform();
-        let mut mgr = RisppManager::new(lib, fabric);
+        let mut mgr = RisppManager::builder(lib, fabric).build();
         mgr.forecast(0, fv(s0, 50.0));
         mgr.forecast(1, fv(s1, 50.0));
         let done = mgr.all_rotations_done_at().unwrap();
@@ -846,10 +1206,7 @@ mod tests {
         // Capacity 3: selection can satisfy S0 minimal (1,1) and S1 (0,2)
         // by sharing the B atoms: target (1,2).
         let loaded = mgr.loaded();
-        assert!(
-            Molecule::from_counts([1, 1]).le(&loaded),
-            "loaded {loaded}"
-        );
+        assert!(Molecule::from_counts([1, 1]).le(&loaded), "loaded {loaded}");
         let ra = mgr.execute_si(0, s0);
         let rb = mgr.execute_si(1, s1);
         assert!(ra.hardware && rb.hardware);

@@ -89,7 +89,11 @@ mod tests {
 
     fn fabric(containers: usize) -> Fabric {
         let atoms = AtomSet::from_names(["Transform", "SATD", "Pack", "QuadSub"]);
-        Fabric::new(atoms, AtomCatalog::new(table1_profiles().to_vec()), containers)
+        Fabric::new(
+            atoms,
+            AtomCatalog::new(table1_profiles().to_vec()),
+            containers,
+        )
     }
 
     fn load(fabric: &mut Fabric, id: usize, kind: usize) {

@@ -1,0 +1,161 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal wall-clock harness exposing the criterion 0.5 API its benches
+//! use: [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros. No statistics, plots, or baselines — each
+//! benchmark is timed over a fixed batch of iterations and reported as a
+//! mean time per iteration on stdout.
+//!
+//! `cargo test` runs `harness = false` bench binaries with `--test`; in
+//! that mode every benchmark body executes exactly once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Opaque identity function preventing the optimiser from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point handed to each benchmark function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    fn from_args() -> Self {
+        // Under `cargo test`, bench binaries receive `--test`; under
+        // `cargo bench`, criterion-style filters/flags may follow. Only
+        // `--test` changes behaviour here.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_iters: DEFAULT_SAMPLE_ITERS,
+        }
+    }
+}
+
+const DEFAULT_SAMPLE_ITERS: u64 = 100;
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_iters: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes statistical sample counts; here it scales the
+    /// measured iteration batch proportionally (default 100).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_iters = (n as u64).max(1);
+        self
+    }
+
+    /// Times `f` and prints the mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters: if self.criterion.test_mode {
+                1
+            } else {
+                self.sample_iters
+            },
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if self.criterion.test_mode {
+            println!("{}/{id}: ok (test mode)", self.name);
+        } else {
+            let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iters.max(1));
+            println!(
+                "{}/{id}: {per_iter} ns/iter (n={})",
+                self.name, bencher.iters
+            );
+        }
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, recording total wall-clock time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundles benchmark functions under one name, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::__new_from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+impl Criterion {
+    /// Macro plumbing for `criterion_main!`; not public API.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn __new_from_args() -> Self {
+        Criterion::from_args()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_function(format!("fmt/{}", 2), |b| b.iter(|| 2 + 2));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_benchmarks() {
+        let mut criterion = Criterion { test_mode: true };
+        sample_bench(&mut criterion);
+    }
+}

@@ -1,0 +1,225 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of the proptest 1.x API its property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_filter`, range / tuple /
+//! collection / array / option strategies, and the `proptest!`,
+//! `prop_compose!`, `prop_oneof!`, `prop_assert!` and `prop_assert_eq!`
+//! macros. Each test runs a configurable number of random cases from a
+//! deterministic per-test seed.
+//!
+//! Deliberate simplifications versus upstream: no shrinking (a failing
+//! case panics with the assertion message directly), no failure
+//! persistence, and a fixed seed derived from the test name instead of an
+//! entropy source — so failures are always reproducible by re-running the
+//! test.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy for `Vec<T>` with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Fixed-size array strategies (`proptest::array::uniform4`).
+pub mod array {
+    use crate::strategy::{ArrayStrategy, Strategy};
+
+    /// Strategy for `[T; 2]` with independent elements.
+    pub fn uniform2<S: Strategy>(element: S) -> ArrayStrategy<S, 2> {
+        ArrayStrategy { element }
+    }
+
+    /// Strategy for `[T; 3]` with independent elements.
+    pub fn uniform3<S: Strategy>(element: S) -> ArrayStrategy<S, 3> {
+        ArrayStrategy { element }
+    }
+
+    /// Strategy for `[T; 4]` with independent elements.
+    pub fn uniform4<S: Strategy>(element: S) -> ArrayStrategy<S, 4> {
+        ArrayStrategy { element }
+    }
+}
+
+/// `Option<T>` strategies (`proptest::option::of`).
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// Strategy producing `None` about a quarter of the time and `Some`
+    /// of the inner strategy otherwise.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy { element }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks uniformly between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Defines a function returning a composite strategy, mirroring
+/// `proptest::prop_compose!`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident $params:tt
+     ($($arg:pat in $strategy:expr),+ $(,)?)
+     -> $ret:ty $body:block) => {
+        $(#[$meta])* $vis fn $name $params -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy::new(move |runner_rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strategy, runner_rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&$strategy, &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = u32> {
+        0u32..10
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(v in small(), w in 5u64..=6) {
+            prop_assert!(v < 10);
+            prop_assert!(w == 5 || w == 6);
+        }
+
+        #[test]
+        fn maps_and_filters_apply(
+            v in small().prop_map(|x| x * 2).prop_filter("nonzero", |&x| x > 0),
+            xs in crate::collection::vec(0u8..4, 1..5),
+        ) {
+            prop_assert_eq!(v % 2, 0);
+            prop_assert!(v > 0);
+            prop_assert!(!xs.is_empty() && xs.len() < 5);
+            prop_assert!(xs.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn oneof_unions_arms(v in prop_oneof![Just(1usize), Just(2), 10usize..12]) {
+            prop_assert!(v == 1 || v == 2 || v == 10 || v == 11);
+        }
+
+        #[test]
+        fn arrays_options_tuples(
+            grid in crate::array::uniform4(0i32..4),
+            opt in crate::option::of(0u8..3),
+            (a, b) in (0u32..4, 100u32..104),
+        ) {
+            prop_assert!(grid.iter().all(|&v| v < 4));
+            if let Some(x) = opt {
+                prop_assert!(x < 3);
+            }
+            prop_assert!(a < 4 && (100..104).contains(&b));
+        }
+    }
+
+    prop_compose! {
+        fn pair()(a in 0u32..5, b in 10u32..15) -> (u32, u32) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn composed_strategies_work((a, b) in pair()) {
+            prop_assert!(a < 5 && (10..15).contains(&b));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = crate::collection::vec(0u32..100, 3..8);
+        let mut r1 = TestRng::deterministic("x");
+        let mut r2 = TestRng::deterministic("x");
+        for _ in 0..16 {
+            assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Test configuration and the deterministic RNG backing the shim.
+
+/// Runtime knobs for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic generator used for case generation (SplitMix64).
+///
+/// Seeded from the test's name so every run of a given test draws the
+/// same cases, which replaces upstream proptest's failure persistence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator seeded by hashing `name` (FNV-1a).
+    #[must_use]
+    pub fn deterministic(name: &str) -> Self {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `0..bound`; panics when `bound` is zero.
+    pub fn usize_below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "cannot sample below zero");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 mantissa bits.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($fn_name:ident => $t:ty),*) => {$(
+        impl TestRng {
+            /// Uniform draw from a half-open range; panics when empty.
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            pub fn $fn_name(&mut self, range: core::ops::Range<$t>) -> $t {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = u128::from(range.end - range.start);
+                let draw = (u128::from(self.next_u64()) % span) as $t;
+                range.start + draw
+            }
+        }
+    )*};
+}
+
+impl_int_range!(
+    int_range_u8 => u8,
+    int_range_u16 => u16,
+    int_range_u32 => u32,
+    int_range_u64 => u64
+);
+
+impl TestRng {
+    /// Uniform draw from a half-open `usize` range; panics when empty.
+    pub fn int_range_usize(&mut self, range: core::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "cannot sample empty range");
+        let span = (range.end - range.start) as u64;
+        range.start + (self.next_u64() % span) as usize
+    }
+}

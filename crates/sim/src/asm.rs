@@ -251,7 +251,8 @@ mod tests {
         let program = assemble(src).expect("assembles");
         let atoms = AtomSet::from_names(["A"]);
         let catalog = AtomCatalog::new(vec![AtomHwProfile::new("A", 1, 2, 1_000)]);
-        let mut mgr = RisppManager::new(SiLibrary::new(1), Fabric::new(atoms, catalog, 0));
+        let mut mgr =
+            RisppManager::builder(SiLibrary::new(1), Fabric::new(atoms, catalog, 0)).build();
         let mut cpu = Cpu::new(0);
         let summary = cpu.run(&program, &mut mgr, 0, 1_000);
         assert_eq!(summary.stop, StopReason::Halted);
@@ -285,7 +286,7 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        let mut mgr = RisppManager::new(lib, Fabric::new(atoms, catalog, 1));
+        let mut mgr = RisppManager::builder(lib, Fabric::new(atoms, catalog, 1)).build();
         let mut cpu = Cpu::new(0);
         let summary = cpu.run(&program, &mut mgr, 0, 100);
         assert_eq!(summary.stop, StopReason::Halted);

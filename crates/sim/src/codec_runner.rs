@@ -63,7 +63,7 @@ pub fn run_encoder_on_rispp(
 ) -> CodecRunOutcome {
     assert!(frames > 0, "need at least one frame");
     let (lib, sis) = build_library();
-    let mut mgr = RisppManager::new(lib, h264_fabric(containers));
+    let mut mgr = RisppManager::builder(lib, h264_fabric(containers)).build();
     let mut video = SyntheticVideo::new(width, height, seed);
     let mut reference = video.next_frame();
     let mbs = (width / 16) * (height / 16);
@@ -77,10 +77,7 @@ pub fn run_encoder_on_rispp(
         let current = video.next_frame();
         // The frame's forecast block: exact per-frame execution counts.
         let per_mb = SiInvocationCounts::per_macroblock();
-        mgr.forecast_block(
-            0,
-            forecast_values(&sis, &per_mb, mbs as u64),
-        );
+        mgr.forecast_block(0, forecast_values(&sis, &per_mb, mbs as u64));
 
         let mut recon = Plane::filled(width, height, 128);
         let mut writer = BitWriter::new();
@@ -114,7 +111,11 @@ pub fn run_encoder_on_rispp(
                         }
                         let t = mgr.now()
                             + rec.cycles
-                            + if rec.hardware { HW_DISPATCH_OVERHEAD } else { 0 };
+                            + if rec.hardware {
+                                HW_DISPATCH_OVERHEAD
+                            } else {
+                                0
+                            };
                         mgr.advance_to(t).expect("monotone time");
                     }
                 }
@@ -145,11 +146,7 @@ pub fn run_encoder_on_rispp(
     }
 }
 
-fn forecast_values(
-    sis: &H264Sis,
-    per_mb: &SiInvocationCounts,
-    mbs: u64,
-) -> Vec<ForecastValue> {
+fn forecast_values(sis: &H264Sis, per_mb: &SiInvocationCounts, mbs: u64) -> Vec<ForecastValue> {
     [
         (sis.satd_4x4, per_mb.satd_4x4),
         (sis.dct_4x4, per_mb.dct_4x4),
@@ -194,12 +191,8 @@ mod tests {
             (sis.ht_2x2, 2.0),
         ];
         let target = rispp_core::selection::select_molecules(&lib, &demands, 6).target;
-        let per_mb = macroblock_cycles(
-            &SiInvocationCounts::per_macroblock(),
-            &lib,
-            &sis,
-            &target,
-        ) as f64;
+        let per_mb =
+            macroblock_cycles(&SiInvocationCounts::per_macroblock(), &lib, &sis, &target) as f64;
         let model = 4.0 * per_mb; // 4 macroblocks at 32×32
         let rel = (marginal - model).abs() / model;
         assert!(rel < 0.02, "marginal {marginal} vs model {model}");

@@ -360,22 +360,54 @@ mod tests {
                 .unwrap(),
             )
             .unwrap();
-        (RisppManager::new(lib, fabric), si)
+        (RisppManager::builder(lib, fabric).build(), si)
     }
 
     #[test]
     fn arithmetic_program_computes_fibonacci() {
         // r1 = fib(10) by iteration: r2 = a, r3 = b, r4 = counter.
         let program = vec![
-            Instr::Addi { rd: 2, rs: 0, imm: 0 },  // a = 0
-            Instr::Addi { rd: 3, rs: 0, imm: 1 },  // b = 1
-            Instr::Addi { rd: 4, rs: 0, imm: 10 }, // n = 10
+            Instr::Addi {
+                rd: 2,
+                rs: 0,
+                imm: 0,
+            }, // a = 0
+            Instr::Addi {
+                rd: 3,
+                rs: 0,
+                imm: 1,
+            }, // b = 1
+            Instr::Addi {
+                rd: 4,
+                rs: 0,
+                imm: 10,
+            }, // n = 10
             // loop:
-            Instr::Beq { rs: 4, rt: 0, target: 9 },
-            Instr::Add { rd: 5, rs: 2, rt: 3 }, // t = a + b
-            Instr::Add { rd: 2, rs: 3, rt: 0 }, // a = b
-            Instr::Add { rd: 3, rs: 5, rt: 0 }, // b = t
-            Instr::Addi { rd: 4, rs: 4, imm: -1 },
+            Instr::Beq {
+                rs: 4,
+                rt: 0,
+                target: 9,
+            },
+            Instr::Add {
+                rd: 5,
+                rs: 2,
+                rt: 3,
+            }, // t = a + b
+            Instr::Add {
+                rd: 2,
+                rs: 3,
+                rt: 0,
+            }, // a = b
+            Instr::Add {
+                rd: 3,
+                rs: 5,
+                rt: 0,
+            }, // b = t
+            Instr::Addi {
+                rd: 4,
+                rs: 4,
+                imm: -1,
+            },
             Instr::Jmp { target: 3 },
             Instr::Halt,
         ];
@@ -394,13 +426,41 @@ mod tests {
             cpu.set_mem(i, (i as i64) + 1); // 1..=8
         }
         let program = vec![
-            Instr::Addi { rd: 1, rs: 0, imm: 0 }, // idx
-            Instr::Addi { rd: 2, rs: 0, imm: 0 }, // sum
-            Instr::Addi { rd: 3, rs: 0, imm: 8 }, // len
-            Instr::Beq { rs: 1, rt: 3, target: 8 },
-            Instr::Lw { rd: 4, rs: 1, offset: 0 },
-            Instr::Add { rd: 2, rs: 2, rt: 4 },
-            Instr::Addi { rd: 1, rs: 1, imm: 1 },
+            Instr::Addi {
+                rd: 1,
+                rs: 0,
+                imm: 0,
+            }, // idx
+            Instr::Addi {
+                rd: 2,
+                rs: 0,
+                imm: 0,
+            }, // sum
+            Instr::Addi {
+                rd: 3,
+                rs: 0,
+                imm: 8,
+            }, // len
+            Instr::Beq {
+                rs: 1,
+                rt: 3,
+                target: 8,
+            },
+            Instr::Lw {
+                rd: 4,
+                rs: 1,
+                offset: 0,
+            },
+            Instr::Add {
+                rd: 2,
+                rs: 2,
+                rt: 4,
+            },
+            Instr::Addi {
+                rd: 1,
+                rs: 1,
+                imm: 1,
+            },
             Instr::Jmp { target: 3 },
             Instr::Halt,
         ];
@@ -413,7 +473,14 @@ mod tests {
     fn register_zero_is_hardwired() {
         let (mut mgr, _) = manager();
         let mut cpu = Cpu::new(0);
-        let program = vec![Instr::Addi { rd: 0, rs: 0, imm: 42 }, Instr::Halt];
+        let program = vec![
+            Instr::Addi {
+                rd: 0,
+                rs: 0,
+                imm: 42,
+            },
+            Instr::Halt,
+        ];
         cpu.run(&program, &mut mgr, 0, 10);
         assert_eq!(cpu.reg(0), 0);
     }
@@ -423,11 +490,27 @@ mod tests {
         let (mut mgr, _) = manager();
         let mut cpu = Cpu::new(4);
         let program = vec![
-            Instr::Addi { rd: 1, rs: 0, imm: 1 }, // 1
-            Instr::Mul { rd: 2, rs: 1, rt: 1 },   // 3
-            Instr::Sw { rt: 1, rs: 0, offset: 0 }, // 2
-            Instr::Lw { rd: 3, rs: 0, offset: 0 }, // 2
-            Instr::Jmp { target: 5 },             // 2
+            Instr::Addi {
+                rd: 1,
+                rs: 0,
+                imm: 1,
+            }, // 1
+            Instr::Mul {
+                rd: 2,
+                rs: 1,
+                rt: 1,
+            }, // 3
+            Instr::Sw {
+                rt: 1,
+                rs: 0,
+                offset: 0,
+            }, // 2
+            Instr::Lw {
+                rd: 3,
+                rs: 0,
+                offset: 0,
+            }, // 2
+            Instr::Jmp { target: 5 }, // 2
             Instr::Halt,
         ];
         let summary = cpu.run(&program, &mut mgr, 0, 10);
@@ -448,11 +531,23 @@ mod tests {
                 distance: 10_000,
                 executions: 200,
             },
-            Instr::Addi { rd: 1, rs: 0, imm: 200 },
+            Instr::Addi {
+                rd: 1,
+                rs: 0,
+                imm: 200,
+            },
             // loop:
-            Instr::Beq { rs: 1, rt: 0, target: 6 },
+            Instr::Beq {
+                rs: 1,
+                rt: 0,
+                target: 6,
+            },
             Instr::ExecSi { si },
-            Instr::Addi { rd: 1, rs: 1, imm: -1 },
+            Instr::Addi {
+                rd: 1,
+                rs: 1,
+                imm: -1,
+            },
             Instr::Jmp { target: 2 },
             Instr::Halt,
         ];
@@ -479,7 +574,11 @@ mod tests {
     fn falling_off_the_end_is_reported() {
         let (mut mgr, _) = manager();
         let mut cpu = Cpu::new(0);
-        let program = vec![Instr::Addi { rd: 1, rs: 0, imm: 1 }];
+        let program = vec![Instr::Addi {
+            rd: 1,
+            rs: 0,
+            imm: 1,
+        }];
         let summary = cpu.run(&program, &mut mgr, 0, 10);
         assert_eq!(summary.stop, StopReason::FellOffEnd);
     }

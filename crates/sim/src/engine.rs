@@ -3,17 +3,20 @@
 //!
 //! Tasks interleave round-robin at operation granularity on a single core;
 //! rotations proceed concurrently on the fabric's reconfiguration port.
-//! The engine records everything into a [`Trace`].
+//! Every event is emitted at its source (fabric, manager) into the
+//! engine's [`TimelineSink`]; additional consumers tee in via
+//! [`Engine::attach_sink`].
 
+use std::cell::{Ref, RefCell};
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use rispp_core::si::SiId;
-use rispp_fabric::fabric::FabricEvent;
+use rispp_obs::{SinkHandle, Timeline, TimelineSink};
 use rispp_rt::manager::{RisppManager, TaskId};
 use rispp_rt::policy::ReplacementPolicy;
 
 use crate::task::{Op, ProgramCursor, Task};
-use crate::trace::{Trace, TraceEvent};
 
 struct TaskState {
     task: Task,
@@ -33,7 +36,9 @@ struct FcWatch {
 pub struct Engine<P: ReplacementPolicy> {
     manager: RisppManager<P>,
     tasks: Vec<TaskState>,
-    trace: Trace,
+    /// The engine's own event consumer, teed into whatever sink the
+    /// manager was built with.
+    timeline: Rc<RefCell<TimelineSink>>,
     /// Monitoring enabled: observed FC outcomes feed back into the
     /// manager's forecast values (run-time task (a) of the paper).
     monitoring: bool,
@@ -42,15 +47,31 @@ pub struct Engine<P: ReplacementPolicy> {
 
 impl<P: ReplacementPolicy> Engine<P> {
     /// Creates an engine around a manager (FC monitoring disabled).
+    ///
+    /// The engine tees its own [`TimelineSink`] into the manager's
+    /// installed sink, so a sink configured via
+    /// [`ManagerBuilder::sink`](rispp_rt::manager::ManagerBuilder::sink)
+    /// keeps receiving every event alongside the engine's timeline.
     #[must_use]
-    pub fn new(manager: RisppManager<P>) -> Self {
+    pub fn new(mut manager: RisppManager<P>) -> Self {
+        let timeline = Rc::new(RefCell::new(TimelineSink::new()));
+        let tee = SinkHandle::tee(manager.sink().clone(), SinkHandle::shared(timeline.clone()));
+        manager.set_sink(tee);
         Engine {
             manager,
             tasks: Vec::new(),
-            trace: Trace::new(),
+            timeline,
             monitoring: false,
             watches: BTreeMap::new(),
         }
+    }
+
+    /// Tees one more consumer into the event stream (e.g. a
+    /// [`JsonlSink`](rispp_obs::JsonlSink) exporting the run, or a
+    /// [`CountersSink`](rispp_obs::CountersSink) aggregating statistics).
+    pub fn attach_sink(&mut self, sink: SinkHandle) {
+        let tee = SinkHandle::tee(self.manager.sink().clone(), sink);
+        self.manager.set_sink(tee);
     }
 
     /// Enables FC monitoring: each forecast is watched until the SI is
@@ -86,10 +107,20 @@ impl<P: ReplacementPolicy> Engine<P> {
         self.tasks.push(TaskState { task, cursor });
     }
 
-    /// The recorded trace.
+    /// The recorded event timeline.
+    ///
+    /// Borrows from the engine's shared sink; drop the returned guard
+    /// before running the engine again.
     #[must_use]
-    pub fn trace(&self) -> &Trace {
-        &self.trace
+    pub fn timeline(&self) -> Ref<'_, Timeline> {
+        Ref::map(self.timeline.borrow(), TimelineSink::timeline)
+    }
+
+    /// Deprecated alias of [`Engine::timeline`].
+    #[deprecated(since = "0.2.0", note = "use `Engine::timeline`")]
+    #[must_use]
+    pub fn trace(&self) -> Ref<'_, Timeline> {
+        self.timeline()
     }
 
     /// The manager (for inspection after a run).
@@ -98,7 +129,14 @@ impl<P: ReplacementPolicy> Engine<P> {
         &self.manager
     }
 
-    /// Current simulation time in cycles.
+    /// The platform clock — the same instance the fabric advances and the
+    /// manager reads, so all three layers agree on "now" by construction.
+    #[must_use]
+    pub fn clock(&self) -> &rispp_fabric::clock::Clock {
+        self.manager.clock()
+    }
+
+    /// Current simulation time in cycles (shorthand for `clock().now()`).
     #[must_use]
     pub fn now(&self) -> u64 {
         self.manager.now()
@@ -134,25 +172,9 @@ impl<P: ReplacementPolicy> Engine<P> {
                                 w.executions += 1;
                             }
                         }
-                        self.trace.push(
-                            self.manager.now(),
-                            TraceEvent::SiExec {
-                                task: task_id,
-                                si,
-                                cycles: rec.cycles,
-                                hardware: rec.hardware,
-                            },
-                        );
                         self.advance(rec.cycles);
                     }
                     Op::Forecast(fv) => {
-                        self.trace.push(
-                            self.manager.now(),
-                            TraceEvent::Forecast {
-                                task: task_id,
-                                si: fv.si,
-                            },
-                        );
                         if self.monitoring {
                             self.settle_watch(task_id, fv.si);
                             self.watches.insert(
@@ -167,15 +189,8 @@ impl<P: ReplacementPolicy> Engine<P> {
                         self.manager.forecast(task_id, fv);
                     }
                     Op::ForecastBlock(fvs) => {
-                        for fv in &fvs {
-                            self.trace.push(
-                                self.manager.now(),
-                                TraceEvent::Forecast {
-                                    task: task_id,
-                                    si: fv.si,
-                                },
-                            );
-                            if self.monitoring {
+                        if self.monitoring {
+                            for fv in &fvs {
                                 self.settle_watch(task_id, fv.si);
                                 self.watches.insert(
                                     (task_id, fv.si.index()),
@@ -193,8 +208,6 @@ impl<P: ReplacementPolicy> Engine<P> {
                         if self.monitoring {
                             self.settle_watch(task_id, si);
                         }
-                        self.trace
-                            .push(self.manager.now(), TraceEvent::Retract { task: task_id, si });
                         self.manager.retract_forecast(task_id, si);
                     }
                     Op::Repeat { .. } => unreachable!("cursor expands repeats"),
@@ -208,29 +221,10 @@ impl<P: ReplacementPolicy> Engine<P> {
     }
 
     fn advance(&mut self, cycles: u64) {
+        // Rotation events reach the timeline straight from the fabric's
+        // sink; the legacy per-advance event list is dropped here.
         let t = self.manager.now() + cycles;
-        let events = self
-            .manager
-            .advance_to(t)
-            .expect("engine time is monotone");
-        for e in events {
-            match e {
-                FabricEvent::RotationStarted {
-                    container,
-                    kind,
-                    at,
-                } => self
-                    .trace
-                    .push(at, TraceEvent::RotationStarted { container, kind }),
-                FabricEvent::RotationCompleted {
-                    container,
-                    kind,
-                    at,
-                } => self
-                    .trace
-                    .push(at, TraceEvent::RotationCompleted { container, kind }),
-            }
-        }
+        let _ = self.manager.advance_to(t).expect("engine time is monotone");
     }
 }
 
@@ -238,10 +232,10 @@ impl<P: ReplacementPolicy> Engine<P> {
 mod tests {
     use super::*;
     use crate::task::Task;
+    use rispp_core::atom::AtomSet;
     use rispp_core::forecast::ForecastValue;
     use rispp_core::molecule::Molecule;
     use rispp_core::si::{MoleculeImpl, SiId, SiLibrary, SpecialInstruction};
-    use rispp_core::atom::AtomSet;
     use rispp_fabric::catalog::{AtomCatalog, AtomHwProfile};
     use rispp_fabric::fabric::Fabric;
 
@@ -263,7 +257,7 @@ mod tests {
                 .unwrap(),
             )
             .unwrap();
-        (RisppManager::new(lib, fabric), si)
+        (RisppManager::builder(lib, fabric).build(), si)
     }
 
     #[test]
@@ -282,7 +276,7 @@ mod tests {
             ],
         ));
         engine.run(1_000);
-        let trace = engine.trace();
+        let trace = engine.timeline();
         let execs: Vec<(u64, u64, bool)> = trace.executions(0, si).collect();
         assert_eq!(execs.len(), 40);
         // Early executions are software, later ones hardware.
@@ -309,8 +303,8 @@ mod tests {
             ));
         }
         engine.run(100);
-        let a: Vec<u64> = engine.trace().executions(0, si).map(|e| e.0).collect();
-        let b: Vec<u64> = engine.trace().executions(1, si).map(|e| e.0).collect();
+        let a: Vec<u64> = engine.timeline().executions(0, si).map(|e| e.0).collect();
+        let b: Vec<u64> = engine.timeline().executions(1, si).map(|e| e.0).collect();
         assert_eq!(a.len(), 3);
         assert_eq!(b.len(), 3);
         // Interleaved: each of task 1's executions falls between task 0's.
@@ -371,11 +365,7 @@ mod tests {
             Op::Forecast(ForecastValue::new(si, 1.0, 30_000.0, 50.0)),
             Op::Plain(8_000),
         ];
-        engine.add_task(Task::new(
-            0,
-            "liar",
-            vec![Op::Repeat { body, times: 12 }],
-        ));
+        engine.add_task(Task::new(0, "liar", vec![Op::Repeat { body, times: 12 }]));
         engine.run(1_000);
         let fc = engine.manager().fc_stats(si);
         // Every re-forecast settles the previous watch as a miss.

@@ -4,7 +4,8 @@
 //! tasks are programs of plain-cycle blocks, SI executions and forecast
 //! events ([`task`]); the multi-task [`engine`] interleaves them
 //! round-robin on one core while the fabric rotates Atoms concurrently;
-//! everything is recorded into a queryable [`trace`].
+//! everything is emitted at source into a queryable
+//! [`Timeline`](rispp_obs::Timeline) via the `rispp-obs` event sinks.
 //!
 //! [`scenario`] reconstructs the paper's Fig. 6 two-task scenario (video
 //! codec + second task sharing six Atom Containers) end to end.
@@ -30,7 +31,6 @@ pub mod engine;
 pub mod multimode;
 pub mod scenario;
 pub mod task;
-pub mod trace;
 pub mod waveform;
 
 pub use asm::{assemble, AsmError};
@@ -41,5 +41,27 @@ pub use engine::Engine;
 pub use multimode::{run_multimode, MultiModeOutcome, PhaseSpec};
 pub use scenario::{fig6_engine, h264_fabric, run_fig6, Fig6Report};
 pub use task::{Op, ProgramCursor, Task};
-pub use trace::{Trace, TraceEntry, TraceEvent};
 pub use waveform::{container_timelines, render_waveform, ContainerTimeline, Occupancy};
+// Event types live in `rispp-obs` now; re-exported so simulator users can
+// query an [`Engine`]'s timeline without naming the obs crate directly.
+pub use rispp_fabric::clock::Clock;
+pub use rispp_obs::{Event, Record, Timeline, TimelineSink};
+
+/// The simulator's event log, now the shared [`rispp_obs::Timeline`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `rispp_obs::Timeline` (re-exported as `Timeline`)"
+)]
+pub type Trace = rispp_obs::Timeline;
+/// One timestamped event, now the shared [`rispp_obs::Record`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `rispp_obs::Record` (re-exported as `Record`)"
+)]
+pub type TraceEntry = rispp_obs::Record;
+/// The event payload, now the shared [`rispp_obs::Event`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `rispp_obs::Event` (re-exported as `Event`)"
+)]
+pub type TraceEvent = rispp_obs::Event;

@@ -154,7 +154,7 @@ pub fn run_multimode(
         // Phase over: its SI will be seldom needed (negative forecast).
         program.push(Op::RetractForecast(phase.si));
     }
-    let manager = RisppManager::new(lib.clone(), fabric);
+    let manager = RisppManager::builder(lib.clone(), fabric).build();
     let mut engine = Engine::new(manager);
     engine.add_task(Task::new(0, "multimode", program));
     let rispp_cycles = engine.run(50_000_000);
@@ -222,7 +222,10 @@ mod tests {
                 format!("si{kind}"),
                 sw,
                 vec![
-                    MoleculeImpl::new(Molecule::from_pairs(4, [(rispp_core::atom::AtomKind(kind), 1)]), hw * 2),
+                    MoleculeImpl::new(
+                        Molecule::from_pairs(4, [(rispp_core::atom::AtomKind(kind), 1)]),
+                        hw * 2,
+                    ),
                     MoleculeImpl::new(Molecule::from_counts(counts), hw),
                 ],
             )

@@ -58,7 +58,7 @@ pub fn h264_fabric(containers: usize) -> Fabric {
 pub fn fig6_engine() -> (Engine<LruSurplusPolicy>, H264Sis) {
     let (lib, sis) = build_library();
     let fabric = h264_fabric(6);
-    let manager = RisppManager::new(lib, fabric);
+    let manager = RisppManager::builder(lib, fabric).build();
     let mut engine = Engine::new(manager);
 
     // Task A: the codec loop — forecast SATD once, then execute it
@@ -106,7 +106,7 @@ pub fn fig6_engine() -> (Engine<LruSurplusPolicy>, H264Sis) {
     (engine, sis)
 }
 
-/// Summary of a Fig. 6 run, extracted from the trace.
+/// Summary of a Fig. 6 run, extracted from the event timeline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Fig6Report {
     /// End-of-simulation cycle.
@@ -135,17 +135,12 @@ pub struct Fig6Report {
 pub fn run_fig6() -> Fig6Report {
     let (mut engine, sis) = fig6_engine();
     let end = engine.run(100_000);
-    let trace = engine.trace();
+    let trace = engine.timeline();
     let t1 = trace
         .forecast_time(1, sis.dct_4x4)
         .expect("task B forecasts DCT");
     let t2 = trace
-        .entries()
-        .iter()
-        .find_map(|e| match e.event {
-            crate::trace::TraceEvent::Retract { task: 1, si } if si == sis.dct_4x4 => Some(e.at),
-            _ => None,
-        })
+        .retract_time(1, sis.dct_4x4)
         .expect("task B retracts DCT");
     let satd_execs: Vec<_> = trace.executions(0, sis.satd_4x4).collect();
     let t4 = trace.first_hw_execution_after(0, sis.satd_4x4, t2);
@@ -180,14 +175,14 @@ mod tests {
     fn t0_steady_state_runs_both_tasks_in_hardware() {
         let r = run_fig6();
         // Before T1 both A and B reach hardware execution.
-        assert!(r
-            .satd_execs
-            .iter()
-            .any(|&(at, _, hw)| hw && at < r.t1), "SATD never HW before T1");
-        assert!(r
-            .sad_execs
-            .iter()
-            .any(|&(at, _, hw)| hw && at < r.t1), "SAD never HW before T1");
+        assert!(
+            r.satd_execs.iter().any(|&(at, _, hw)| hw && at < r.t1),
+            "SATD never HW before T1"
+        );
+        assert!(
+            r.sad_execs.iter().any(|&(at, _, hw)| hw && at < r.t1),
+            "SAD never HW before T1"
+        );
     }
 
     #[test]

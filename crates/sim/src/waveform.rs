@@ -1,16 +1,15 @@
 //! Container-occupancy waveforms: the rendering behind the paper's
 //! Fig. 6, where each Atom Container is a row and time runs to the right.
 //!
-//! The occupancy history is reconstructed from the trace's rotation
+//! The occupancy history is reconstructed from the timeline's rotation
 //! events: a container is *loading* between `RotationStarted` and
 //! `RotationCompleted`, holds the written Atom afterwards, and its
 //! previous content disappears at the rotation start (matching the fabric
-//! semantics).
+//! semantics). Because the [`Timeline`] can come from a replayed JSONL
+//! export just as well as from a live run, the same renderer serves both.
 
 use rispp_core::atom::{AtomKind, AtomSet};
-use rispp_fabric::container::ContainerId;
-
-use crate::trace::{Trace, TraceEvent};
+use rispp_obs::{Event, Timeline};
 
 /// Occupancy of one container during one time span.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,20 +45,20 @@ impl ContainerTimeline {
     }
 }
 
-/// Reconstructs per-container occupancy timelines from a trace.
+/// Reconstructs per-container occupancy timelines from an event timeline.
 #[must_use]
-pub fn container_timelines(trace: &Trace, containers: usize) -> Vec<ContainerTimeline> {
+pub fn container_timelines(timeline: &Timeline, containers: usize) -> Vec<ContainerTimeline> {
     let mut timelines = vec![ContainerTimeline::default(); containers];
-    for entry in trace.entries() {
-        match entry.event {
-            TraceEvent::RotationStarted { container, kind } => {
-                if let Some(t) = timelines.get_mut(container.index()) {
-                    t.changes.push((entry.at, Occupancy::Loading(kind)));
+    for record in timeline.entries() {
+        match record.event {
+            Event::RotationStarted { container, kind } => {
+                if let Some(t) = timelines.get_mut(container as usize) {
+                    t.changes.push((record.at, Occupancy::Loading(kind)));
                 }
             }
-            TraceEvent::RotationCompleted { container, kind } => {
-                if let Some(t) = timelines.get_mut(container.index()) {
-                    t.changes.push((entry.at, Occupancy::Loaded(kind)));
+            Event::RotationCompleted { container, kind } => {
+                if let Some(t) = timelines.get_mut(container as usize) {
+                    t.changes.push((record.at, Occupancy::Loaded(kind)));
                 }
             }
             _ => {}
@@ -73,20 +72,16 @@ pub fn container_timelines(trace: &Trace, containers: usize) -> Vec<ContainerTim
 /// first letter, loading prints it lower-case, empty prints `.`.
 #[must_use]
 pub fn render_waveform(
-    trace: &Trace,
+    timeline: &Timeline,
     atoms: &AtomSet,
     containers: usize,
     end: u64,
     columns: usize,
 ) -> String {
     assert!(columns > 0, "need at least one column");
-    let timelines = container_timelines(trace, containers);
+    let timelines = container_timelines(timeline, containers);
     let letter = |kind: AtomKind, upper: bool| {
-        let c = atoms
-            .name(kind)
-            .chars()
-            .next()
-            .unwrap_or('?');
+        let c = atoms.name(kind).chars().next().unwrap_or('?');
         if upper {
             c.to_ascii_uppercase()
         } else {
@@ -107,7 +102,6 @@ pub fn render_waveform(
         }
         out.push('\n');
     }
-    let _ = ContainerId(0); // re-export sanity: the type is part of the API
     out
 }
 
@@ -117,10 +111,11 @@ mod tests {
     use crate::scenario::{fig6_engine, h264_fabric};
     use rispp_h264::si_library::atom_set;
 
-    fn traced_run() -> (Trace, u64) {
+    fn traced_run() -> (Timeline, u64) {
         let (mut engine, _) = fig6_engine();
         let end = engine.run(100_000);
-        (engine.trace().clone(), end)
+        let timeline = engine.timeline().clone();
+        (timeline, end)
     }
 
     #[test]
@@ -160,14 +155,14 @@ mod tests {
         let lines: Vec<&str> = art.lines().collect();
         assert_eq!(lines.len(), 6);
         assert!(lines.iter().all(|l| l.len() == 64 + 5)); // "ACi: " prefix
-        // The steady state contains loaded atoms (upper-case letters).
+                                                          // The steady state contains loaded atoms (upper-case letters).
         assert!(art.chars().any(|c| c.is_ascii_uppercase()));
     }
 
     #[test]
     fn empty_trace_renders_dots() {
         let fabric = h264_fabric(2);
-        let art = render_waveform(&Trace::new(), fabric.atoms(), 2, 100, 8);
+        let art = render_waveform(&Timeline::new(), fabric.atoms(), 2, 100, 8);
         assert_eq!(art, "AC0: ........\nAC1: ........\n");
     }
 }

@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("assembled {} instructions\n", program.len());
 
     let (library, sis) = build_library();
-    let mut manager = RisppManager::new(library, h264_fabric(6));
+    let mut manager = RisppManager::builder(library, h264_fabric(6)).build();
     let mut cpu = Cpu::new(0);
     let summary = cpu.run(&program, &mut manager, 0, 1_000_000);
 

@@ -60,10 +60,18 @@ fn main() {
             n,
             sw_cycles,
             hw_cycles,
-            if hw_cycles < sw_cycles { "rotate" } else { "stay SW" },
+            if hw_cycles < sw_cycles {
+                "rotate"
+            } else {
+                "stay SW"
+            },
             sw_energy * 1e3,
             hw_energy * 1e3,
-            if hw_energy < sw_energy { "rotate" } else { "stay SW" },
+            if hw_energy < sw_energy {
+                "rotate"
+            } else {
+                "stay SW"
+            },
         );
     }
 

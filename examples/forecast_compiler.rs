@@ -40,9 +40,8 @@ fn main() {
 
     // Per-SI usage analysis from the entry block's perspective.
     for (si, def) in library.iter() {
-        let analysis = SiUsageAnalysis::compute(&cfg, &profile, si, |b| {
-            cfg.block(b).plain_cycles as f64
-        });
+        let analysis =
+            SiUsageAnalysis::compute(&cfg, &profile, si, |b| cfg.block(b).plain_cycles as f64);
         let e = blocks.entry.index();
         println!(
             "{:<12} p(entry)={:.3}  distance={:>9.0} cycles  E[execs]={:>8.1}",

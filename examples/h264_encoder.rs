@@ -62,9 +62,29 @@ fn main() {
     println!(
         "\npaper Fig. 12 (per MB): 201,065 SW / 60,244 / 59,135 / 58,287 — \
          this model: {} / {} / {} / {}",
-        macroblock_cycles(&SiInvocationCounts::per_macroblock(), &library, &sis, &configs[0].1),
-        macroblock_cycles(&SiInvocationCounts::per_macroblock(), &library, &sis, &configs[1].1),
-        macroblock_cycles(&SiInvocationCounts::per_macroblock(), &library, &sis, &configs[2].1),
-        macroblock_cycles(&SiInvocationCounts::per_macroblock(), &library, &sis, &configs[3].1),
+        macroblock_cycles(
+            &SiInvocationCounts::per_macroblock(),
+            &library,
+            &sis,
+            &configs[0].1
+        ),
+        macroblock_cycles(
+            &SiInvocationCounts::per_macroblock(),
+            &library,
+            &sis,
+            &configs[1].1
+        ),
+        macroblock_cycles(
+            &SiInvocationCounts::per_macroblock(),
+            &library,
+            &sis,
+            &configs[2].1
+        ),
+        macroblock_cycles(
+            &SiInvocationCounts::per_macroblock(),
+            &library,
+            &sis,
+            &configs[3].1
+        ),
     );
 }

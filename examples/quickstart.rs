@@ -10,7 +10,7 @@ fn main() {
     // six Atom Containers, SelectMap-speed rotations (Table 1).
     let (library, sis) = rispp::h264::build_library();
     let fabric = rispp::sim::h264_fabric(6);
-    let mut manager = RisppManager::new(library, fabric);
+    let mut manager = RisppManager::builder(library, fabric).build();
 
     println!("== RISPP quickstart: rotating SATD_4x4 into hardware ==\n");
 

@@ -63,7 +63,7 @@ proptest! {
         containers in 0usize..5,
         forecasts in proptest::collection::vec((0usize..4, 1.0f64..200.0), 1..8),
     ) {
-        let mut mgr = RisppManager::new(lib.clone(), make_fabric(containers));
+        let mut mgr = RisppManager::builder(lib.clone(), make_fabric(containers)).build();
         let mut t = 0u64;
         for (si_pick, execs) in forecasts {
             let si = SiId(si_pick % lib.len());
@@ -86,7 +86,7 @@ proptest! {
         containers in 0usize..5,
         picks in proptest::collection::vec(0usize..4, 1..10),
     ) {
-        let mut mgr = RisppManager::new(lib.clone(), make_fabric(containers));
+        let mut mgr = RisppManager::builder(lib.clone(), make_fabric(containers)).build();
         let mut t = 0;
         for pick in picks {
             let si = SiId(pick % lib.len());
@@ -112,7 +112,7 @@ proptest! {
         lib in library_strategy(),
         containers in 1usize..6,
     ) {
-        let mut mgr = RisppManager::new(lib.clone(), make_fabric(containers));
+        let mut mgr = RisppManager::builder(lib.clone(), make_fabric(containers)).build();
         for si in lib.ids() {
             mgr.forecast(0, ForecastValue::new(si, 1.0, 50_000.0, 50.0));
         }
@@ -139,10 +139,10 @@ proptest! {
         let si = SiId(0);
         let fv = ForecastValue::new(si, 1.0, 50_000.0, execs);
 
-        let mut perf = RisppManager::new(lib.clone(), make_fabric(containers));
+        let mut perf = RisppManager::builder(lib.clone(), make_fabric(containers)).build();
         perf.forecast(0, fv.clone());
 
-        let mut eco = RisppManager::new(lib.clone(), make_fabric(containers));
+        let mut eco = RisppManager::builder(lib.clone(), make_fabric(containers)).build();
         eco.set_power_mode(PowerMode::EnergySaving {
             model: EnergyModel::default(),
             alpha: 1.0,

@@ -105,11 +105,14 @@ fn aes_pipeline_beats_software_baseline() {
         |_| FdfParams::new(1_000.0, 400.0, 15.0, 2_000.0, 1.0),
         4,
     );
-    assert!(!fcs.is_empty(), "compile-time pass found no forecast points");
+    assert!(
+        !fcs.is_empty(),
+        "compile-time pass found no forecast points"
+    );
 
     // Run-time: execute the program on the engine.
     let program = aes_program(&cfg, &lib, &fcs, &blocks, data_blocks);
-    let manager = RisppManager::new(lib.clone(), fabric);
+    let manager = RisppManager::builder(lib.clone(), fabric).build();
     let mut engine = Engine::new(manager);
     engine.add_task(Task::new(0, "aes", program.clone()));
     let rispp_cycles = engine.run(1_000_000);
@@ -121,7 +124,7 @@ fn aes_pipeline_beats_software_baseline() {
         rispp::fabric::AtomHwProfile::new("SBox", 120, 240, 692),
         rispp::fabric::AtomHwProfile::new("Mix", 140, 280, 692),
     ]);
-    let sw_manager = RisppManager::new(lib.clone(), Fabric::new(atoms, catalog, 0));
+    let sw_manager = RisppManager::builder(lib.clone(), Fabric::new(atoms, catalog, 0)).build();
     let mut sw_engine = Engine::new(sw_manager);
     sw_engine.add_task(Task::new(0, "aes-sw", program));
     let sw_cycles = sw_engine.run(1_000_000);
@@ -133,7 +136,7 @@ fn aes_pipeline_beats_software_baseline() {
     );
 
     // Most SI executions must have run in hardware.
-    let trace = engine.trace();
+    let trace = engine.timeline();
     for (si, def) in lib.iter() {
         let execs: Vec<_> = trace.executions(0, si).collect();
         if execs.is_empty() {
@@ -181,7 +184,7 @@ fn zero_container_fabric_never_accelerates() {
         rispp::fabric::AtomHwProfile::new("SBox", 120, 240, 692),
         rispp::fabric::AtomHwProfile::new("Mix", 140, 280, 692),
     ]);
-    let mut mgr = RisppManager::new(lib.clone(), Fabric::new(atoms, catalog, 0));
+    let mut mgr = RisppManager::builder(lib.clone(), Fabric::new(atoms, catalog, 0)).build();
     let si = lib.ids().next().expect("library non-empty");
     mgr.forecast(0, ForecastValue::new(si, 1.0, 10_000.0, 100.0));
     assert!(mgr.all_rotations_done_at().is_none());

@@ -58,9 +58,7 @@ fn tab01_rotation_times_match() {
         ("Pack", 406, 812, 65_713, 949.53),
         ("QuadSub", 352, 700, 58_745, 848.84),
     ];
-    for (profile, (name, slices, luts, bytes, rot_us)) in
-        table1_profiles().iter().zip(expected)
-    {
+    for (profile, (name, slices, luts, bytes, rot_us)) in table1_profiles().iter().zip(expected) {
         assert_eq!(profile.name, name);
         assert_eq!(profile.slices, slices);
         assert_eq!(profile.luts, luts);
@@ -226,25 +224,36 @@ fn fig01_performance_maintained_across_phases() {
                     format!("p{kind}"),
                     *sw,
                     vec![
-                        MoleculeImpl::new(
-                            Molecule::from_pairs(4, [(AtomKind(kind), 1)]),
-                            hw * 2,
-                        ),
+                        MoleculeImpl::new(Molecule::from_pairs(4, [(AtomKind(kind), 1)]), hw * 2),
                         MoleculeImpl::new(Molecule::from_counts(counts), *hw),
                     ],
                 )
                 .unwrap(),
             )
             .unwrap();
-        phases.push(PhaseSpec::new(format!("phase{kind}"), si, *iters, *execs, *plain));
+        phases.push(PhaseSpec::new(
+            format!("phase{kind}"),
+            si,
+            *iters,
+            *execs,
+            *plain,
+        ));
     }
     let fabric = Fabric::new(atoms, catalog, 3);
     let out = run_multimode(&lib, fabric, &phases, 3);
     // RISPP at 1/3 of the ASIP area stays within 15 % of its performance
     // and clearly beats an equal-area design-time-fixed processor.
     assert_eq!(out.asip_full_area_atoms, 9);
-    assert!(out.rispp_vs_full_asip() < 1.15, "{}", out.rispp_vs_full_asip());
-    assert!(out.rispp_vs_equal_area() > 1.5, "{}", out.rispp_vs_equal_area());
+    assert!(
+        out.rispp_vs_full_asip() < 1.15,
+        "{}",
+        out.rispp_vs_full_asip()
+    );
+    assert!(
+        out.rispp_vs_equal_area() > 1.5,
+        "{}",
+        out.rispp_vs_equal_area()
+    );
 }
 
 // --------------------------------- §3.2: SI compatibility via Rep(S)
@@ -279,7 +288,7 @@ fn transform_sis_share_atoms_as_in_fig2() {
 #[test]
 fn rotation_time_is_milliseconds_at_core_speed() {
     let fabric = rispp::sim::h264_fabric(4);
-    let clock = *fabric.clock();
+    let clock = fabric.clock().clone();
     for kind in fabric.atoms().kinds() {
         let us = fabric.catalog().rotation_time_us(kind);
         assert!((800.0..1_000.0).contains(&us), "{us} µs");

@@ -77,7 +77,7 @@ fn tv_tasks(sis: &rispp::h264::H264Sis, mbs: u32) -> (Task, Task) {
 #[test]
 fn encoder_and_decoder_share_atoms() {
     let (lib, sis) = build_library();
-    let manager = RisppManager::new(lib, h264_fabric(6));
+    let manager = RisppManager::builder(lib, h264_fabric(6)).build();
     let mut engine = Engine::new(manager);
     let (enc, dec) = tv_tasks(&sis, 24);
     engine.add_task(enc);
@@ -110,7 +110,7 @@ fn encoder_and_decoder_share_atoms() {
 fn tight_schedule_feasible_only_with_shared_hardware() {
     let (lib, sis) = build_library();
     // RISPP run.
-    let manager = RisppManager::new(lib.clone(), h264_fabric(6));
+    let manager = RisppManager::builder(lib.clone(), h264_fabric(6)).build();
     let mut engine = Engine::new(manager);
     let (enc, dec) = tv_tasks(&sis, 24);
     engine.add_task(enc);
@@ -118,7 +118,7 @@ fn tight_schedule_feasible_only_with_shared_hardware() {
     let rispp_cycles = engine.run(100_000);
 
     // Software-only run (zero containers).
-    let manager = RisppManager::new(lib, h264_fabric(0));
+    let manager = RisppManager::builder(lib, h264_fabric(0)).build();
     let mut engine = Engine::new(manager);
     let (enc, dec) = tv_tasks(&sis, 24);
     engine.add_task(enc);

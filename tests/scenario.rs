@@ -22,7 +22,10 @@ fn software_window_exists_between_t1_and_t4() {
         .iter()
         .filter(|&&(at, _, hw)| !hw && at > r.t1 && at < t4)
         .count();
-    assert!(sw_in_window > 0, "no SW fallback in the re-allocation window");
+    assert!(
+        sw_in_window > 0,
+        "no SW fallback in the re-allocation window"
+    );
     // And no hardware SATD execution inside the eviction window once the
     // first SW fallback happened.
     let first_sw = r
