@@ -6,6 +6,10 @@
 //! export, not from the live run: every event is streamed through a
 //! [`JsonlSink`], parsed back, and accumulated into a fresh timeline —
 //! proving the figure is reproducible from the export alone.
+//!
+//! Optional flags: `--jsonl-out PATH` dumps the raw export,
+//! `--report-out PATH` renders the `rispp_report` markdown analysis of
+//! this run.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -15,8 +19,24 @@ use rispp::obs::jsonl;
 use rispp::prelude::*;
 use rispp::sim::scenario::{fig6_engine, run_fig6};
 use rispp::sim::waveform::render_waveform;
+use rispp_bench::report::{analyze, render_markdown, ReportConfig};
 
 fn main() {
+    let mut jsonl_out: Option<String> = None;
+    let mut report_out: Option<String> = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--jsonl-out" => jsonl_out = iter.next(),
+            "--report-out" => report_out = iter.next(),
+            _ => {
+                eprintln!("fig06_scenario: unknown option {arg}");
+                eprintln!("usage: fig06_scenario [--jsonl-out PATH] [--report-out PATH]");
+                std::process::exit(1);
+            }
+        }
+    }
+
     println!("== Fig. 6: run-time scenario (Task A = video codec, Task B = SI0/SI1) ==\n");
 
     let report = run_fig6();
@@ -63,6 +83,17 @@ fn main() {
         timeline.len(),
         text.len()
     );
+
+    if let Some(path) = &jsonl_out {
+        std::fs::write(path, &text).expect("write JSONL export");
+        println!("JSONL export written to {path}");
+    }
+    if let Some(path) = &report_out {
+        let config = ReportConfig::h264(6);
+        let analysis = analyze(&text, &config).expect("own export analyzes cleanly");
+        std::fs::write(path, render_markdown(&analysis, &config)).expect("write report");
+        println!("markdown report written to {path}");
+    }
 
     // Container-occupancy waveform: the figure's own rendering. Upper
     // case = loaded Atom (Q/P/T/S), lower case = rotation in flight,

@@ -1,0 +1,136 @@
+//! `rispp_report` — offline analyzer for JSONL event exports.
+//!
+//! Reads a stream exported by any run (e.g.
+//! `cargo run -p rispp-bench --bin fig06_scenario -- --jsonl-out run.jsonl`)
+//! and renders a markdown report: time-to-hardware spans, time-weighted
+//! gauges, the Fig. 6-style occupancy waveform and the forecast-accuracy
+//! table — all derived purely from the export, never from live objects.
+//!
+//! ```text
+//! rispp_report <input.jsonl> [options]
+//!   -o, --out <PATH>      write the report to PATH (default: stdout)
+//!       --h264            use the H.264 platform (Table 1 Atom names and
+//!                         utilisation weights) instead of inferring a
+//!                         generic platform from the stream
+//!       --containers <N>  container count (default: inferred; 6 with --h264)
+//!       --columns <N>     waveform width in characters (default: 96)
+//! ```
+
+use std::process::ExitCode;
+
+use rispp_bench::report::{analyze, render_markdown, ReportConfig};
+
+struct Args {
+    input: String,
+    out: Option<String>,
+    h264: bool,
+    containers: Option<usize>,
+    columns: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        input: String::new(),
+        out: None,
+        h264: false,
+        containers: None,
+        columns: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "-o" | "--out" => args.out = Some(value("--out")?),
+            "--h264" => args.h264 = true,
+            "--containers" => {
+                args.containers = Some(
+                    value("--containers")?
+                        .parse()
+                        .map_err(|e| format!("--containers: {e}"))?,
+                );
+            }
+            "--columns" => {
+                args.columns = Some(
+                    value("--columns")?
+                        .parse()
+                        .map_err(|e| format!("--columns: {e}"))?,
+                );
+            }
+            "-h" | "--help" => return Err(String::new()),
+            _ if arg.starts_with('-') => return Err(format!("unknown option {arg}")),
+            _ if args.input.is_empty() => args.input = arg,
+            _ => return Err(format!("unexpected argument {arg}")),
+        }
+    }
+    if args.input.is_empty() {
+        return Err("missing input file".to_string());
+    }
+    Ok(args)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: rispp_report <input.jsonl> [-o PATH] [--h264] \
+         [--containers N] [--columns N]"
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("rispp_report: {msg}");
+            }
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&args.input) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("rispp_report: cannot read {}: {e}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Platform knowledge: Table 1 when asked, otherwise inferred from the
+    // stream (a cheap pre-pass; the offline analyzer is not latency-bound).
+    let mut config = if args.h264 {
+        ReportConfig::h264(args.containers.unwrap_or(6))
+    } else {
+        match analyze(&text, &ReportConfig::h264(0)) {
+            Ok(probe) => ReportConfig::infer(&probe.timeline),
+            Err(e) => {
+                eprintln!("rispp_report: {}: {e}", args.input);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    if let Some(n) = args.containers {
+        config.containers = n;
+    }
+    if let Some(n) = args.columns {
+        config.waveform_columns = n.max(1);
+    }
+
+    let analysis = match analyze(&text, &config) {
+        Ok(analysis) => analysis,
+        Err(e) => {
+            eprintln!("rispp_report: {}: {e}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = render_markdown(&analysis, &config);
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &report) {
+                eprintln!("rispp_report: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("rispp_report: {} events -> {path}", analysis.timeline.len());
+        }
+        None => print!("{report}"),
+    }
+    ExitCode::SUCCESS
+}

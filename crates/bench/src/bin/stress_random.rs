@@ -70,13 +70,17 @@ fn random_platform(rng: &mut StdRng) -> (SiLibrary, Fabric) {
     (lib, fabric)
 }
 
-fn stress_one(seed: u64, steps: u32) -> StressStats {
+fn stress_one(seed: u64, steps: u32, export: Option<SinkHandle>) -> StressStats {
     let mut rng = StdRng::seed_from_u64(seed);
     let (lib, fabric) = random_platform(&mut rng);
     let containers = fabric.num_containers();
     let counters = Rc::new(RefCell::new(CountersSink::new()));
+    let mut sink = SinkHandle::shared(counters.clone());
+    if let Some(extra) = export {
+        sink = SinkHandle::tee(sink, extra);
+    }
     let mut mgr = RisppManager::builder(lib.clone(), fabric)
-        .sink(SinkHandle::shared(counters.clone()))
+        .sink(sink)
         .build();
     let mut stats = StressStats {
         forecasts: 0,
@@ -165,16 +169,58 @@ fn stress_one(seed: u64, steps: u32) -> StressStats {
 }
 
 fn main() {
+    let mut jsonl_out: Option<String> = None;
+    let mut report_out: Option<String> = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--jsonl-out" => jsonl_out = iter.next(),
+            "--report-out" => report_out = iter.next(),
+            _ => {
+                eprintln!("stress_random: unknown option {arg}");
+                eprintln!("usage: stress_random [--jsonl-out PATH] [--report-out PATH]");
+                std::process::exit(1);
+            }
+        }
+    }
+
     println!("== Stress: random platforms through the manager/fabric stack ==\n");
+    // When a dump is requested, seed 0's event stream is exported — the
+    // report then demonstrates the analyzer on a non-H.264 platform.
+    let export = if jsonl_out.is_some() || report_out.is_some() {
+        Some(Rc::new(RefCell::new(JsonlSink::new(Vec::new()))))
+    } else {
+        None
+    };
     let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64);
     let runs = 200;
     for seed in 0..runs {
-        let s = stress_one(seed, 400);
+        let extra = if seed == 0 {
+            export.as_ref().map(|e| SinkHandle::shared(e.clone()))
+        } else {
+            None
+        };
+        let s = stress_one(seed, 400, extra);
         totals.0 += s.forecasts;
         totals.1 += s.retractions;
         totals.2 += s.executions;
         totals.3 += s.hw_executions;
         totals.4 += s.rotations;
+    }
+    if let Some(export) = export {
+        let text = String::from_utf8(export.borrow().writer().clone()).expect("JSONL is UTF-8");
+        if let Some(path) = &jsonl_out {
+            std::fs::write(path, &text).expect("write JSONL export");
+            println!("seed 0 JSONL export written to {path}");
+        }
+        if let Some(path) = &report_out {
+            use rispp_bench::report::{analyze, render_markdown, ReportConfig};
+            let probe = analyze(&text, &ReportConfig::h264(0)).expect("export analyzes");
+            let config = ReportConfig::infer(&probe.timeline);
+            let analysis = analyze(&text, &config).expect("export analyzes");
+            std::fs::write(path, render_markdown(&analysis, &config)).expect("write report");
+            println!("seed 0 markdown report written to {path}");
+        }
     }
     println!("{runs} random platforms x 400 actions, all invariants held:");
     println!("  forecasts issued   : {}", totals.0);

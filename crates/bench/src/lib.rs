@@ -29,6 +29,12 @@
 //! The Criterion benches (`cargo bench -p rispp-bench`) measure the code
 //! under test itself: Molecule algebra, selection, CFG analysis, the
 //! pixel kernels and the full encoder step.
+//!
+//! The [`report`] module is the shared analysis layer behind the
+//! `rispp_report` binary: it turns any JSONL event export into a
+//! markdown run report (spans, gauges, waveform, forecast accuracy).
+
+pub mod report;
 
 /// Renders a simple aligned table to stdout.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {

@@ -1,0 +1,161 @@
+//! Acceptance tests for the offline report analyzer: the derived views
+//! reconstructed from a JSONL export must agree with the live run, and
+//! the metrics gauges must agree with the fabric's own catalog.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rispp::core::atom::AtomKind;
+use rispp::fabric::catalog::{table1_profiles, AtomCatalog};
+use rispp::fabric::ContainerId;
+use rispp::obs::{Event, EventSink, MetricsSink, SinkHandle, Timeline};
+use rispp::prelude::*;
+use rispp::sim::scenario::fig6_engine;
+use rispp_bench::report::{analyze, render_markdown, ReportConfig};
+
+/// Runs the Fig. 6 scenario with a JSONL export attached and returns the
+/// export text plus the live timeline.
+fn fig6_with_export() -> (String, Timeline) {
+    let (mut engine, _) = fig6_engine();
+    let export = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
+    engine.attach_sink(SinkHandle::shared(export.clone()));
+    engine.run(100_000);
+    let text = String::from_utf8(export.borrow().writer().clone()).expect("JSONL is UTF-8");
+    let timeline = engine.timeline().clone();
+    (text, timeline)
+}
+
+#[test]
+fn replayed_spans_match_the_live_timeline() {
+    let (text, live) = fig6_with_export();
+    let config = ReportConfig::h264(6);
+    let analysis = analyze(&text, &config).expect("export replays");
+
+    let spans = analysis.spans.spans();
+    assert!(!spans.is_empty(), "fig6 must produce forecast spans");
+    let mut hw_spans = 0;
+    for span in spans {
+        // The span's anchor must be a real forecast of the live run …
+        assert!(
+            live.entries().iter().any(|r| r.at == span.forecast_at
+                && matches!(
+                    r.event,
+                    Event::ForecastUpdated { task, si, .. }
+                        if task == span.task && si == span.si
+                )),
+            "span anchor {}@{} not in the live timeline",
+            span.si,
+            span.forecast_at,
+        );
+        // … and its time-to-hardware must be exactly what the live
+        // timeline computes for the same (task, si, forecast) triple.
+        if let Some(first_hw) = span.first_hw_execution {
+            hw_spans += 1;
+            let live_first_hw = live
+                .first_hw_execution_after(span.task, span.si, span.forecast_at)
+                .expect("live timeline has the same HW execution");
+            assert_eq!(
+                first_hw, live_first_hw,
+                "span {} of task {} disagrees with the live timeline",
+                span.si, span.task,
+            );
+            assert_eq!(
+                span.time_to_hardware(),
+                Some(live_first_hw - span.forecast_at)
+            );
+        }
+    }
+    assert!(hw_spans > 0, "fig6 reaches hardware in at least one span");
+}
+
+#[test]
+fn report_rotations_match_the_live_timeline() {
+    let (text, live) = fig6_with_export();
+    let config = ReportConfig::h264(6);
+    let analysis = analyze(&text, &config).expect("export replays");
+    let (_, completed) = analysis.metrics.rotations();
+    assert_eq!(completed as usize, live.rotations_completed());
+    let md = render_markdown(&analysis, &config);
+    assert!(md.contains(&format!("| rotations completed | {completed} |")));
+}
+
+#[test]
+fn metrics_occupancy_matches_catalog_utilization() {
+    // Load each Table 1 Atom into its own container on a real fabric with
+    // the MetricsSink attached as the fabric's event sink.
+    let atoms = AtomSet::from_names(["Transform", "SATD", "Pack", "QuadSub"]);
+    let catalog = AtomCatalog::new(table1_profiles().to_vec());
+    let weights: Vec<f64> = catalog.iter().map(|(_, p)| p.utilization()).collect();
+    let mut fabric = Fabric::new(atoms, catalog.clone(), 4);
+    let metrics = Rc::new(RefCell::new(
+        MetricsSink::new()
+            .with_containers(4)
+            .with_utilization_weights(weights),
+    ));
+    fabric.set_sink(SinkHandle::shared(metrics.clone()));
+    for i in 0..4 {
+        fabric
+            .request_rotation(ContainerId(i), AtomKind(i))
+            .unwrap();
+    }
+    let done = fabric.all_rotations_done_at().unwrap();
+    fabric.advance_to(done).unwrap();
+
+    // The instantaneous gauge equals the catalog's mean utilization for
+    // the Table 1 configuration exactly (~42.2 % across the four Atoms).
+    let expected: f64 = (0..4)
+        .map(|i| catalog.profile(AtomKind(i)).utilization())
+        .sum::<f64>()
+        / 4.0;
+    let m = metrics.borrow();
+    assert!(
+        (m.loaded_logic_utilization() - expected).abs() < 1e-12,
+        "instantaneous: {} vs catalog {expected}",
+        m.loaded_logic_utilization(),
+    );
+    drop(m);
+
+    // Once the load phase is a vanishing fraction of the run, the
+    // time-integrated gauge converges to the same value.
+    let long = done * 10_000;
+    fabric.advance_to(long).unwrap();
+    let mut m = metrics.borrow_mut();
+    m.advance_to(long);
+    assert!(
+        (m.logic_utilization() - expected).abs() < 1e-3,
+        "integrated: {} vs catalog {expected}",
+        m.logic_utilization(),
+    );
+    // Unweighted occupancy likewise converges to fully-loaded.
+    assert!((m.fabric_occupancy() - 1.0).abs() < 1e-3);
+}
+
+#[test]
+fn metrics_integral_is_exact_over_closed_intervals() {
+    // Pure event arithmetic, no fabric: a container loaded with SATD for
+    // exactly half the observed window integrates to utilization/2.
+    let catalog = AtomCatalog::new(table1_profiles().to_vec());
+    let weights: Vec<f64> = catalog.iter().map(|(_, p)| p.utilization()).collect();
+    let satd = AtomKind(1);
+    let mut m = MetricsSink::new()
+        .with_containers(1)
+        .with_utilization_weights(weights);
+    m.emit(
+        0,
+        &Event::ContainerLoaded {
+            container: 0,
+            kind: satd,
+        },
+    );
+    m.emit(
+        5_000,
+        &Event::ContainerEvicted {
+            container: 0,
+            kind: satd,
+        },
+    );
+    m.advance_to(10_000);
+    let expected = catalog.profile(satd).utilization() / 2.0;
+    assert!((m.logic_utilization() - expected).abs() < 1e-12);
+    assert!((m.fabric_occupancy() - 0.5).abs() < 1e-12);
+}

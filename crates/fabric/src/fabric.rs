@@ -407,6 +407,12 @@ impl Fabric {
                         container: id.index() as u32,
                         kind,
                     });
+                    // The Atom is usable from this cycle on: occupancy
+                    // becomes observable from the event stream alone.
+                    self.sink.emit_with(done_at, || Event::ContainerLoaded {
+                        container: id.index() as u32,
+                        kind,
+                    });
                     self.in_flight = None;
                     // The port frees at `done_at`; queued loads may start.
                     if let Some((next_id, next_kind)) = self.queue.pop_front() {
@@ -430,6 +436,14 @@ impl Fabric {
     }
 
     fn start_rotation(&mut self, id: ContainerId, kind: AtomKind, at: u64) {
+        // An overwrite destroys the previous Atom the moment the bitstream
+        // write starts — announce the eviction before the rotation itself.
+        if let ContainerState::Loaded { kind: old } = self.containers[id.index()].state() {
+            self.sink.emit_with(at, || Event::ContainerEvicted {
+                container: id.index() as u32,
+                kind: old,
+            });
+        }
         let duration = self.catalog.rotation_cycles(kind, &self.clock);
         self.containers[id.index()].set_state(ContainerState::Loading {
             kind,
@@ -625,8 +639,9 @@ mod tests {
 
         let tl = timeline.borrow();
         let records = tl.timeline().entries();
-        // start(0) @0, done(0), start(1) @first_done, done(1) @all_done.
-        assert_eq!(records.len(), 4);
+        // start(0) @0, done(0)+load(0) @first_done, start(1) @first_done,
+        // done(1)+load(1) @all_done. Fresh containers: no evictions.
+        assert_eq!(records.len(), 6);
         assert_eq!(
             records[0].event,
             Event::RotationStarted {
@@ -637,19 +652,69 @@ mod tests {
         assert_eq!(records[1].at, first_done);
         assert_eq!(
             records[2].event,
+            Event::ContainerLoaded {
+                container: 0,
+                kind: AtomKind(0)
+            }
+        );
+        assert_eq!(
+            records[3].event,
             Event::RotationStarted {
                 container: 1,
                 kind: AtomKind(1)
             }
         );
-        assert_eq!(records[2].at, first_done);
+        assert_eq!(records[3].at, first_done);
         assert_eq!(
-            records[3].event,
+            records[4].event,
             Event::RotationCompleted {
                 container: 1,
                 kind: AtomKind(1)
             }
         );
-        assert_eq!(records[3].at, all_done);
+        assert_eq!(records[4].at, all_done);
+        assert_eq!(
+            records[5].event,
+            Event::ContainerLoaded {
+                container: 1,
+                kind: AtomKind(1)
+            }
+        );
+    }
+
+    #[test]
+    fn overwrite_emits_eviction_before_rotation_start() {
+        use rispp_obs::TimelineSink;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let timeline = Rc::new(RefCell::new(TimelineSink::new()));
+        let mut f = fabric(1);
+        f.set_sink(SinkHandle::shared(timeline.clone()));
+
+        f.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
+        f.advance_to(f.next_completion().unwrap()).unwrap();
+        let overwrite_at = f.now();
+        f.request_rotation(ContainerId(0), AtomKind(2)).unwrap();
+
+        let tl = timeline.borrow();
+        let records = tl.timeline().entries();
+        // start(0), done(0), load(0), evict(0), start(0 again).
+        assert_eq!(records.len(), 5);
+        assert_eq!(
+            records[3].event,
+            Event::ContainerEvicted {
+                container: 0,
+                kind: AtomKind(0)
+            }
+        );
+        assert_eq!(records[3].at, overwrite_at);
+        assert_eq!(
+            records[4].event,
+            Event::RotationStarted {
+                container: 0,
+                kind: AtomKind(2)
+            }
+        );
     }
 }

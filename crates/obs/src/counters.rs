@@ -33,11 +33,13 @@ impl LatencyHistogram {
         (64 - cycles.leading_zeros()) as usize
     }
 
-    /// Records one latency sample.
+    /// Records one latency sample. The cycle sum saturates at
+    /// [`u64::MAX`] instead of wrapping, so pathological inputs degrade
+    /// the mean rather than corrupting it.
     pub fn record(&mut self, cycles: u64) {
         self.buckets[Self::bucket_of(cycles)] += 1;
         self.total += 1;
-        self.sum += cycles;
+        self.sum = self.sum.saturating_add(cycles);
     }
 
     /// Number of recorded samples.
@@ -120,6 +122,8 @@ pub struct CountersSink {
     fc: BTreeMap<usize, FcCounters>,
     rotations_started: u64,
     rotations_completed: u64,
+    containers_loaded: u64,
+    containers_evicted: u64,
     reselects: u64,
     reselect_ns: u64,
     upgrade_steps: u64,
@@ -156,6 +160,19 @@ impl CountersSink {
         self.rotations_completed
     }
 
+    /// Containers that became usable ([`Event::ContainerLoaded`]).
+    #[must_use]
+    pub fn containers_loaded(&self) -> u64 {
+        self.containers_loaded
+    }
+
+    /// Usable Atoms destroyed by overwriting rotations
+    /// ([`Event::ContainerEvicted`]).
+    #[must_use]
+    pub fn containers_evicted(&self) -> u64 {
+        self.containers_evicted
+    }
+
     /// Selection re-evaluations observed.
     #[must_use]
     pub fn reselects(&self) -> u64 {
@@ -180,6 +197,8 @@ impl EventSink for CountersSink {
         match event {
             Event::RotationStarted { .. } => self.rotations_started += 1,
             Event::RotationCompleted { .. } => self.rotations_completed += 1,
+            Event::ContainerLoaded { .. } => self.containers_loaded += 1,
+            Event::ContainerEvicted { .. } => self.containers_evicted += 1,
             Event::SiExecuted { si, hw, cycles, .. } => {
                 let c = self.per_si.entry(si.index()).or_default();
                 if *hw {
@@ -295,8 +314,23 @@ mod tests {
             9,
             &Event::UpgradeStep {
                 si,
+                task: Some(0),
                 step: 0,
                 molecule: rispp_core::molecule::Molecule::from_counts([1, 0]),
+            },
+        );
+        sink.emit(
+            10,
+            &Event::ContainerLoaded {
+                container: 0,
+                kind: AtomKind(1),
+            },
+        );
+        sink.emit(
+            11,
+            &Event::ContainerEvicted {
+                container: 0,
+                kind: AtomKind(1),
             },
         );
 
@@ -313,6 +347,8 @@ mod tests {
         assert_eq!((fc.issued, fc.retracted, fc.hits, fc.misses), (1, 1, 1, 1));
         assert_eq!(sink.rotations_started(), 1);
         assert_eq!(sink.rotations_completed(), 1);
+        assert_eq!(sink.containers_loaded(), 1);
+        assert_eq!(sink.containers_evicted(), 1);
         assert_eq!(sink.reselects(), 1);
         assert_eq!(sink.reselect_ns(), 250);
         assert_eq!(sink.upgrade_steps(), 1);
@@ -335,5 +371,44 @@ mod tests {
             vec![(1, 1), (2, 1), (4, 2), (8, 1), (512, 1), (1024, 1)]
         );
         assert!((h.mean().unwrap() - (1023.0 / 7.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_exact() {
+        // Bucket i covers [2^(i-1), 2^i): a power of two opens its own
+        // bucket, one below it closes the previous.
+        let mut h = LatencyHistogram::default();
+        for c in [0u64, 1, 255, 256, 257, (1 << 32) - 1, 1 << 32] {
+            h.record(c);
+        }
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(
+            buckets,
+            vec![
+                (1, 1),       // 0 → the zero bucket (upper bound 1)
+                (2, 1),       // 1 → [1, 2)
+                (256, 1),     // 255 → [128, 256)
+                (512, 2),     // 256, 257 → [256, 512)
+                (1 << 32, 1), // 2^32 - 1 → [2^31, 2^32)
+                (1 << 33, 1), // 2^32 → [2^32, 2^33)
+            ]
+        );
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn histogram_saturates_instead_of_wrapping() {
+        let mut h = LatencyHistogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(1);
+        // u64::MAX lands in the open-ended top bucket…
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(buckets, vec![(2, 1), (u64::MAX, 2)]);
+        // …and the cycle sum pins at u64::MAX rather than wrapping to a
+        // small number (which would produce a nonsensical mean).
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum_cycles(), u64::MAX);
+        assert!(h.mean().unwrap() > (u64::MAX / 4) as f64);
     }
 }

@@ -62,6 +62,26 @@ pub enum Event {
         /// Atom now loaded.
         kind: AtomKind,
     },
+    /// An Atom Container became usable: the freshly rotated-in Atom is
+    /// now available to every task. Emitted by the fabric alongside
+    /// [`Event::RotationCompleted`] so container occupancy is observable
+    /// from the event stream alone, without polling container state.
+    ContainerLoaded {
+        /// The container that became usable.
+        container: u32,
+        /// The Atom it now holds.
+        kind: AtomKind,
+    },
+    /// An Atom Container lost its usable Atom: an overwriting rotation
+    /// started, destroying the previous content before the new Atom is
+    /// ready. The counterpart of [`Event::ContainerLoaded`]; between the
+    /// two, the container contributes nothing to fabric utilization.
+    ContainerEvicted {
+        /// The container whose Atom was destroyed.
+        container: u32,
+        /// The Atom that was lost.
+        kind: AtomKind,
+    },
     /// An SI executed through the run-time manager.
     SiExecuted {
         /// Executing task.
@@ -115,6 +135,12 @@ pub enum Event {
     UpgradeStep {
         /// The SI being upgraded.
         si: SiId,
+        /// The task whose demand owns this upgrade ladder (`None` when
+        /// the scheduler acted without a demanding task). Carried as a
+        /// span-correlation id so consumers can stitch
+        /// forecast → rotation → first-hardware-execution causality per
+        /// `(task, si)` without guessing.
+        task: Option<TaskId>,
         /// Zero-based position of this stage in the upgrade path.
         step: u32,
         /// The stage's target Molecule.
@@ -140,6 +166,12 @@ impl fmt::Display for Record {
             }
             Event::RotationCompleted { container, kind } => {
                 write!(f, "{at:>12}  rotation done  AC{container} = {kind}")
+            }
+            Event::ContainerLoaded { container, kind } => {
+                write!(f, "{at:>12}  container load AC{container} = {kind}")
+            }
+            Event::ContainerEvicted { container, kind } => {
+                write!(f, "{at:>12}  container evict AC{container} -x {kind}")
             }
             Event::SiExecuted {
                 task,
@@ -167,9 +199,18 @@ impl fmt::Display for Record {
             } => {
                 write!(f, "{at:>12}  reselect ({trigger}, {duration_ns}ns)")
             }
-            Event::UpgradeStep { si, step, molecule } => {
-                write!(f, "{at:>12}  upgrade {si} step {step} -> {molecule}")
-            }
+            Event::UpgradeStep {
+                si,
+                task,
+                step,
+                molecule,
+            } => match task {
+                Some(t) => write!(
+                    f,
+                    "{at:>12}  task{t} upgrade {si} step {step} -> {molecule}"
+                ),
+                None => write!(f, "{at:>12}  upgrade {si} step {step} -> {molecule}"),
+            },
         }
     }
 }

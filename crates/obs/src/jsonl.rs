@@ -100,6 +100,20 @@ fn encode_into(out: &mut String, at: u64, event: &Event) {
                 kind.index()
             );
         }
+        Event::ContainerLoaded { container, kind } => {
+            let _ = write!(
+                out,
+                "\"container_loaded\",\"container\":{container},\"kind\":{}",
+                kind.index()
+            );
+        }
+        Event::ContainerEvicted { container, kind } => {
+            let _ = write!(
+                out,
+                "\"container_evicted\",\"container\":{container},\"kind\":{}",
+                kind.index()
+            );
+        }
         Event::SiExecuted {
             task,
             si,
@@ -153,12 +167,17 @@ fn encode_into(out: &mut String, at: u64, event: &Event) {
                 "\"reselect\",\"trigger\":\"{trigger}\",\"duration_ns\":{duration_ns}"
             );
         }
-        Event::UpgradeStep { si, step, molecule } => {
-            let _ = write!(
-                out,
-                "\"upgrade_step\",\"si\":{},\"step\":{step},\"molecule\":",
-                si.index()
-            );
+        Event::UpgradeStep {
+            si,
+            task,
+            step,
+            molecule,
+        } => {
+            let _ = write!(out, "\"upgrade_step\",\"si\":{},", si.index());
+            if let Some(t) = task {
+                let _ = write!(out, "\"task\":{t},");
+            }
+            let _ = write!(out, "\"step\":{step},\"molecule\":");
             write_molecule(out, molecule);
         }
     }
@@ -429,6 +448,14 @@ fn decode_at_line(line: &str, number: usize) -> Result<Record, JsonlError> {
             container: fields.u32("container")?,
             kind: AtomKind(fields.usize("kind")?),
         },
+        "container_loaded" => Event::ContainerLoaded {
+            container: fields.u32("container")?,
+            kind: AtomKind(fields.usize("kind")?),
+        },
+        "container_evicted" => Event::ContainerEvicted {
+            container: fields.u32("container")?,
+            kind: AtomKind(fields.usize("kind")?),
+        },
         "si_executed" => Event::SiExecuted {
             task: fields.u32("task")?,
             si: SiId(fields.usize("si")?),
@@ -468,6 +495,11 @@ fn decode_at_line(line: &str, number: usize) -> Result<Record, JsonlError> {
         },
         "upgrade_step" => Event::UpgradeStep {
             si: SiId(fields.usize("si")?),
+            task: if fields.has("task") {
+                Some(fields.u32("task")?)
+            } else {
+                None
+            },
             step: fields.u32("step")?,
             molecule: fields.molecule("molecule")?,
         },
@@ -539,8 +571,25 @@ mod tests {
                 at: 1,
                 event: Event::UpgradeStep {
                     si: SiId(2),
+                    task: Some(0),
                     step: 0,
                     molecule: Molecule::from_counts([1, 0, 2]),
+                },
+            },
+            Record {
+                at: 1,
+                event: Event::UpgradeStep {
+                    si: SiId(2),
+                    task: None,
+                    step: 1,
+                    molecule: Molecule::from_counts([1, 1, 2]),
+                },
+            },
+            Record {
+                at: 2,
+                event: Event::ContainerEvicted {
+                    container: 4,
+                    kind: AtomKind(0),
                 },
             },
             Record {
@@ -553,6 +602,13 @@ mod tests {
             Record {
                 at: 90_000,
                 event: Event::RotationCompleted {
+                    container: 4,
+                    kind: AtomKind(1),
+                },
+            },
+            Record {
+                at: 90_000,
+                event: Event::ContainerLoaded {
                     container: 4,
                     kind: AtomKind(1),
                 },

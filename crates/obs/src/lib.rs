@@ -15,6 +15,12 @@
 //! * [`JsonlSink`] — streaming JSON Lines export; [`jsonl::replay`]
 //!   turns an exported stream back into any sink, reproducing the live
 //!   timeline exactly.
+//! * [`SpanBuilder`] — derived causality spans: stitches
+//!   `ForecastUpdated → Reselect → rotations → first hardware execution`
+//!   into per-`(task, si)` time-to-hardware stories (Fig. 6 as data).
+//! * [`MetricsSink`] — time-weighted gauges: container occupancy, logic
+//!   utilization, rotation-bus busyness, forecast precision/recall,
+//!   cycles saved vs software; with a Prometheus-style text exposition.
 //!
 //! ```
 //! use rispp_obs::{jsonl, Event, JsonlSink, SinkHandle, TimelineSink};
@@ -41,11 +47,15 @@
 pub mod counters;
 pub mod event;
 pub mod jsonl;
+pub mod metrics;
 pub mod sink;
+pub mod span;
 pub mod timeline;
 
 pub use counters::{CountersSink, FcCounters, LatencyHistogram, SiCounters};
 pub use event::{Event, Record, ReselectTrigger, TaskId};
 pub use jsonl::{JsonlError, JsonlSink};
+pub use metrics::{ForecastStats, MetricsSink, MetricsSummary};
 pub use sink::{EventSink, NullSink, SinkHandle};
+pub use span::{LadderStep, Span, SpanBuilder, SpanClose};
 pub use timeline::{Timeline, TimelineSink};

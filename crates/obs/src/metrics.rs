@@ -1,0 +1,790 @@
+//! Time-weighted gauges and derived series over the event stream.
+//!
+//! Counters ([`CountersSink`](crate::CountersSink)) answer *how often*;
+//! the [`MetricsSink`] answers *how much of the time* — the quantities
+//! the paper argues with: Atom-Container occupancy (Table 1's
+//! utilisation column, integrated over a run instead of a synthesis
+//! report), rotation-bus busyness (one SelectMap port serialises every
+//! rotation), forecast accuracy (how well FC instructions predicted the
+//! SIs that actually executed), and cycles saved versus pure-software
+//! execution.
+//!
+//! All gauges are integrated lazily up to the largest timestamp seen, so
+//! querying is idempotent. Forecast *windows* (one per
+//! `ForecastUpdated … ForecastRetracted`/re-forecast interval) settle on
+//! close; call [`MetricsSink::finish`] once the stream ends to settle
+//! still-open windows before reading the accuracy figures.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use rispp_core::atom::AtomKind;
+use rispp_core::si::SiId;
+
+use crate::event::{Event, TaskId};
+use crate::sink::EventSink;
+
+/// Per-container time accounting.
+#[derive(Debug, Clone, Default)]
+struct ContainerTrack {
+    /// The usable Atom, if any, and since when.
+    loaded: Option<(AtomKind, u64)>,
+    /// Cycles spent with a usable Atom (closed intervals).
+    loaded_cycles: u64,
+    /// Same integral, weighted by the Atom's logic utilisation.
+    weighted_cycles: f64,
+}
+
+impl ContainerTrack {
+    fn loaded_until(&self, now: u64) -> u64 {
+        let open = self
+            .loaded
+            .map_or(0, |(_, since)| now.saturating_sub(since));
+        self.loaded_cycles + open
+    }
+
+    fn weighted_until(&self, now: u64, weights: &[f64]) -> f64 {
+        let open = self.loaded.map_or(0.0, |(kind, since)| {
+            now.saturating_sub(since) as f64 * weight_of(weights, kind)
+        });
+        self.weighted_cycles + open
+    }
+}
+
+/// One open forecast window of a `(task, si)` pair.
+#[derive(Debug, Clone)]
+struct Window {
+    task: TaskId,
+    si: SiId,
+    executed: bool,
+}
+
+/// Forecast-accuracy aggregate of one `(task, si)` pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForecastStats {
+    /// Closed forecast windows.
+    pub windows: u64,
+    /// Windows in which the SI actually executed at least once.
+    pub hits: u64,
+    /// Executions that happened inside an open window.
+    pub executions_in_window: u64,
+    /// All executions of the pair, forecast or not.
+    pub executions_total: u64,
+}
+
+/// Compact cross-section of every gauge, for tests and reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSummary {
+    /// Largest timestamp seen, in cycles.
+    pub elapsed_cycles: u64,
+    /// Time-weighted fraction of container-cycles holding a usable Atom.
+    pub fabric_occupancy: f64,
+    /// Time-weighted logic utilisation (occupancy weighted per Atom).
+    pub logic_utilization: f64,
+    /// Fraction of cycles the single reconfiguration port was writing.
+    pub bus_busy_fraction: f64,
+    /// Completed rotations.
+    pub rotations_completed: u64,
+    /// Closed forecast windows.
+    pub forecast_windows: u64,
+    /// Fraction of windows whose SI actually executed.
+    pub forecast_precision: f64,
+    /// Fraction of executions that were forecast when they happened.
+    pub forecast_recall: f64,
+    /// Fraction of monitored FC outcomes that were reached.
+    pub fc_hit_rate: f64,
+    /// SI executions observed.
+    pub executions_total: u64,
+    /// Fraction of executions that ran in hardware.
+    pub hw_fraction: f64,
+    /// Cycles saved by hardware executions versus the observed software
+    /// baseline.
+    pub cycles_saved_vs_sw: u64,
+}
+
+fn weight_of(weights: &[f64], kind: AtomKind) -> f64 {
+    weights.get(kind.index()).copied().unwrap_or(1.0)
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Sink integrating time-weighted gauges from a live or replayed stream.
+///
+/// Container tracks grow on demand from the indices seen in
+/// [`Event::ContainerLoaded`] / [`Event::ContainerEvicted`]; fix the
+/// denominator up front with [`MetricsSink::with_containers`] when the
+/// fabric size is known (containers that never load would otherwise be
+/// invisible and inflate the occupancy fraction).
+///
+/// # Examples
+///
+/// ```
+/// use rispp_core::atom::AtomKind;
+/// use rispp_obs::{Event, EventSink, MetricsSink};
+///
+/// let mut m = MetricsSink::new().with_containers(2);
+/// m.emit(0, &Event::ContainerLoaded { container: 0, kind: AtomKind(0) });
+/// m.advance_to(1_000);
+/// assert!((m.fabric_occupancy() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSink {
+    now: u64,
+    containers: Vec<ContainerTrack>,
+    fixed_containers: Option<usize>,
+    /// Per-Atom-kind logic-utilisation weights (1.0 when absent).
+    weights: Vec<f64>,
+    bus_busy_cycles: u64,
+    bus_busy_since: Option<u64>,
+    rotations_started: u64,
+    rotations_completed: u64,
+    open_windows: Vec<Window>,
+    by_pair: BTreeMap<(TaskId, usize), ForecastStats>,
+    windows_total: u64,
+    windows_hit: u64,
+    executions_total: u64,
+    executions_forecast: u64,
+    hw_executions: u64,
+    hw_cycles: u64,
+    sw_cycles: u64,
+    fc_outcomes: u64,
+    fc_outcomes_reached: u64,
+    /// Most recent software latency observed per SI — the baseline for
+    /// cycles-saved. Observational by design: the event stream does not
+    /// carry the library's static software latency, so savings only
+    /// accrue once the SI has executed in software at least once.
+    sw_baseline: BTreeMap<usize, u64>,
+    cycles_saved: u64,
+}
+
+impl MetricsSink {
+    /// Creates an empty sink (containers grow on demand, weight 1.0).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fixes the container-count denominator (e.g.
+    /// `fabric.num_containers()`).
+    #[must_use]
+    pub fn with_containers(mut self, n: usize) -> Self {
+        self.fixed_containers = Some(n);
+        self.track(n.saturating_sub(1));
+        self
+    }
+
+    /// Installs per-Atom-kind logic-utilisation weights, index-aligned
+    /// with the platform atom set — typically
+    /// `catalog.iter().map(|(_, p)| p.utilization()).collect()`, turning
+    /// [`MetricsSink::logic_utilization`] into Table 1's utilisation
+    /// column integrated over the run.
+    #[must_use]
+    pub fn with_utilization_weights(mut self, weights: Vec<f64>) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Largest timestamp seen, in cycles.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances the observation horizon without an event (gauges
+    /// integrate up to the largest timestamp seen; a quiet tail would
+    /// otherwise not count).
+    pub fn advance_to(&mut self, at: u64) {
+        self.now = self.now.max(at);
+    }
+
+    /// Closes every still-open forecast window. Idempotent; call once
+    /// the stream ends, before reading the forecast-accuracy figures.
+    pub fn finish(&mut self) {
+        for w in std::mem::take(&mut self.open_windows) {
+            self.settle_window(&w);
+        }
+    }
+
+    fn settle_window(&mut self, w: &Window) {
+        self.windows_total += 1;
+        let stats = self.by_pair.entry((w.task, w.si.index())).or_default();
+        stats.windows += 1;
+        if w.executed {
+            self.windows_hit += 1;
+            stats.hits += 1;
+        }
+    }
+
+    fn track(&mut self, index: usize) -> &mut ContainerTrack {
+        if self.containers.len() <= index {
+            self.containers
+                .resize_with(index + 1, ContainerTrack::default);
+        }
+        &mut self.containers[index]
+    }
+
+    fn container_count(&self) -> usize {
+        self.fixed_containers.unwrap_or(self.containers.len())
+    }
+
+    /// Time-weighted fraction of `[0, now]` container `index` held a
+    /// usable Atom.
+    #[must_use]
+    pub fn container_occupancy(&self, index: usize) -> f64 {
+        if self.now == 0 {
+            return 0.0;
+        }
+        let loaded = self
+            .containers
+            .get(index)
+            .map_or(0, |c| c.loaded_until(self.now));
+        loaded as f64 / self.now as f64
+    }
+
+    /// Time-weighted fraction of container-cycles holding a usable Atom,
+    /// across the whole fabric.
+    #[must_use]
+    pub fn fabric_occupancy(&self) -> f64 {
+        let n = self.container_count();
+        if self.now == 0 || n == 0 {
+            return 0.0;
+        }
+        let loaded: u64 = self
+            .containers
+            .iter()
+            .map(|c| c.loaded_until(self.now))
+            .sum();
+        loaded as f64 / (self.now as f64 * n as f64)
+    }
+
+    /// Like [`MetricsSink::fabric_occupancy`], but each loaded interval
+    /// is weighted by the Atom's logic utilisation — the run-time analog
+    /// of Table 1's utilisation column.
+    #[must_use]
+    pub fn logic_utilization(&self) -> f64 {
+        let n = self.container_count();
+        if self.now == 0 || n == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .containers
+            .iter()
+            .map(|c| c.weighted_until(self.now, &self.weights))
+            .sum();
+        weighted / (self.now as f64 * n as f64)
+    }
+
+    /// Instantaneous logic utilisation of the currently-loaded Atoms
+    /// (no time weighting): the exact quantity `fabric::catalog` derives
+    /// for a static configuration.
+    #[must_use]
+    pub fn loaded_logic_utilization(&self) -> f64 {
+        let n = self.container_count();
+        if n == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .containers
+            .iter()
+            .filter_map(|c| c.loaded.map(|(kind, _)| weight_of(&self.weights, kind)))
+            .sum();
+        sum / n as f64
+    }
+
+    /// Fraction of `[0, now]` the single reconfiguration port was busy.
+    /// With one SelectMap port this is also the fraction of time *any*
+    /// rotation was in flight.
+    #[must_use]
+    pub fn bus_busy_fraction(&self) -> f64 {
+        if self.now == 0 {
+            return 0.0;
+        }
+        let open = self
+            .bus_busy_since
+            .map_or(0, |since| self.now.saturating_sub(since));
+        (self.bus_busy_cycles + open) as f64 / self.now as f64
+    }
+
+    /// Rotations started / completed.
+    #[must_use]
+    pub fn rotations(&self) -> (u64, u64) {
+        (self.rotations_started, self.rotations_completed)
+    }
+
+    /// Closed forecast windows (one per forecast-to-retract/re-forecast
+    /// interval).
+    #[must_use]
+    pub fn forecast_windows(&self) -> u64 {
+        self.windows_total
+    }
+
+    /// Fraction of closed windows whose SI actually executed — did the
+    /// forecasts come true?
+    #[must_use]
+    pub fn forecast_precision(&self) -> f64 {
+        ratio(self.windows_hit, self.windows_total)
+    }
+
+    /// Fraction of executions that were forecast when they happened —
+    /// did executions come announced?
+    #[must_use]
+    pub fn forecast_recall(&self) -> f64 {
+        ratio(self.executions_forecast, self.executions_total)
+    }
+
+    /// Fraction of monitored [`Event::FcOutcome`]s that were reached.
+    #[must_use]
+    pub fn fc_hit_rate(&self) -> f64 {
+        ratio(self.fc_outcomes_reached, self.fc_outcomes)
+    }
+
+    /// Per-`(task, si)` forecast-accuracy aggregates, in key order.
+    pub fn forecast_stats(&self) -> impl Iterator<Item = ((TaskId, SiId), ForecastStats)> + '_ {
+        self.by_pair
+            .iter()
+            .map(|(&(task, si), &stats)| ((task, SiId(si)), stats))
+    }
+
+    /// Cycles saved by hardware executions against the most recent
+    /// observed software latency of the same SI.
+    #[must_use]
+    pub fn cycles_saved_vs_sw(&self) -> u64 {
+        self.cycles_saved
+    }
+
+    /// Executions observed (total, hardware).
+    #[must_use]
+    pub fn executions(&self) -> (u64, u64) {
+        (self.executions_total, self.hw_executions)
+    }
+
+    /// A compact cross-section of every gauge.
+    #[must_use]
+    pub fn summary(&self) -> MetricsSummary {
+        MetricsSummary {
+            elapsed_cycles: self.now,
+            fabric_occupancy: self.fabric_occupancy(),
+            logic_utilization: self.logic_utilization(),
+            bus_busy_fraction: self.bus_busy_fraction(),
+            rotations_completed: self.rotations_completed,
+            forecast_windows: self.windows_total,
+            forecast_precision: self.forecast_precision(),
+            forecast_recall: self.forecast_recall(),
+            fc_hit_rate: self.fc_hit_rate(),
+            executions_total: self.executions_total,
+            hw_fraction: ratio(self.hw_executions, self.executions_total),
+            cycles_saved_vs_sw: self.cycles_saved,
+        }
+    }
+
+    /// Prometheus-style text exposition of every gauge and counter.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut gauge = |name: &str, help: &str, value: f64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        gauge(
+            "rispp_elapsed_cycles",
+            "Largest simulated timestamp seen.",
+            self.now as f64,
+        );
+        gauge(
+            "rispp_fabric_occupancy",
+            "Time-weighted fraction of container-cycles holding a usable Atom.",
+            self.fabric_occupancy(),
+        );
+        gauge(
+            "rispp_logic_utilization",
+            "Occupancy weighted by per-Atom logic utilisation (Table 1).",
+            self.logic_utilization(),
+        );
+        gauge(
+            "rispp_bus_busy_fraction",
+            "Fraction of time the single reconfiguration port was writing.",
+            self.bus_busy_fraction(),
+        );
+        gauge(
+            "rispp_forecast_precision",
+            "Fraction of forecast windows whose SI actually executed.",
+            self.forecast_precision(),
+        );
+        gauge(
+            "rispp_forecast_recall",
+            "Fraction of executions that were forecast when they happened.",
+            self.forecast_recall(),
+        );
+        gauge(
+            "rispp_fc_hit_rate",
+            "Fraction of monitored FC outcomes that were reached.",
+            self.fc_hit_rate(),
+        );
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter(
+            "rispp_rotations_completed_total",
+            "Completed rotations.",
+            self.rotations_completed,
+        );
+        counter(
+            "rispp_executions_total",
+            "SI executions observed.",
+            self.executions_total,
+        );
+        counter(
+            "rispp_hw_executions_total",
+            "SI executions that ran in hardware.",
+            self.hw_executions,
+        );
+        counter(
+            "rispp_cycles_saved_vs_sw_total",
+            "Cycles saved by hardware executions vs the observed software baseline.",
+            self.cycles_saved,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP rispp_container_occupancy Per-container time-weighted occupancy."
+        );
+        let _ = writeln!(out, "# TYPE rispp_container_occupancy gauge");
+        for i in 0..self.container_count() {
+            let _ = writeln!(
+                out,
+                "rispp_container_occupancy{{container=\"{i}\"}} {}",
+                self.container_occupancy(i)
+            );
+        }
+        out
+    }
+}
+
+impl EventSink for MetricsSink {
+    fn emit(&mut self, at: u64, event: &Event) {
+        self.now = self.now.max(at);
+        match event {
+            Event::RotationStarted { .. } => {
+                self.rotations_started += 1;
+                if self.bus_busy_since.is_none() {
+                    self.bus_busy_since = Some(at);
+                }
+            }
+            Event::RotationCompleted { .. } => {
+                self.rotations_completed += 1;
+                if let Some(since) = self.bus_busy_since.take() {
+                    self.bus_busy_cycles += at.saturating_sub(since);
+                }
+            }
+            Event::ContainerLoaded { container, kind } => {
+                let track = self.track(*container as usize);
+                if track.loaded.is_none() {
+                    track.loaded = Some((*kind, at));
+                }
+            }
+            Event::ContainerEvicted { container, .. } => {
+                let idx = *container as usize;
+                self.track(idx);
+                if let Some((kind, since)) = self.containers[idx].loaded.take() {
+                    let held = at.saturating_sub(since);
+                    let weighted = held as f64 * weight_of(&self.weights, kind);
+                    self.containers[idx].loaded_cycles += held;
+                    self.containers[idx].weighted_cycles += weighted;
+                }
+            }
+            Event::SiExecuted {
+                task,
+                si,
+                hw,
+                cycles,
+                ..
+            } => {
+                self.executions_total += 1;
+                let stats = self.by_pair.entry((*task, si.index())).or_default();
+                stats.executions_total += 1;
+                let forecast = self
+                    .open_windows
+                    .iter_mut()
+                    .find(|w| w.task == *task && w.si == *si);
+                if let Some(w) = forecast {
+                    w.executed = true;
+                    self.executions_forecast += 1;
+                    self.by_pair
+                        .entry((*task, si.index()))
+                        .or_default()
+                        .executions_in_window += 1;
+                }
+                if *hw {
+                    self.hw_executions += 1;
+                    self.hw_cycles += cycles;
+                    if let Some(&baseline) = self.sw_baseline.get(&si.index()) {
+                        self.cycles_saved += baseline.saturating_sub(*cycles);
+                    }
+                } else {
+                    self.sw_cycles += cycles;
+                    self.sw_baseline.insert(si.index(), *cycles);
+                }
+            }
+            Event::ForecastUpdated { task, si, .. } => {
+                if let Some(i) = self
+                    .open_windows
+                    .iter()
+                    .position(|w| w.task == *task && w.si == *si)
+                {
+                    let w = self.open_windows.remove(i);
+                    self.settle_window(&w);
+                }
+                self.open_windows.push(Window {
+                    task: *task,
+                    si: *si,
+                    executed: false,
+                });
+            }
+            Event::ForecastRetracted { task, si } => {
+                if let Some(i) = self
+                    .open_windows
+                    .iter()
+                    .position(|w| w.task == *task && w.si == *si)
+                {
+                    let w = self.open_windows.remove(i);
+                    self.settle_window(&w);
+                }
+            }
+            Event::FcOutcome { reached, .. } => {
+                self.fc_outcomes += 1;
+                if *reached {
+                    self.fc_outcomes_reached += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_integrates_loaded_intervals() {
+        let mut m = MetricsSink::new().with_containers(2);
+        m.emit(
+            0,
+            &Event::ContainerLoaded {
+                container: 0,
+                kind: AtomKind(0),
+            },
+        );
+        m.emit(
+            30,
+            &Event::ContainerEvicted {
+                container: 0,
+                kind: AtomKind(0),
+            },
+        );
+        m.advance_to(60);
+        // AC0 loaded 30/60, AC1 never loaded.
+        assert!((m.container_occupancy(0) - 0.5).abs() < 1e-12);
+        assert_eq!(m.container_occupancy(1), 0.0);
+        assert!((m.fabric_occupancy() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logic_utilization_applies_weights() {
+        let mut m = MetricsSink::new()
+            .with_containers(2)
+            .with_utilization_weights(vec![0.5, 0.25]);
+        m.emit(
+            0,
+            &Event::ContainerLoaded {
+                container: 0,
+                kind: AtomKind(0),
+            },
+        );
+        m.emit(
+            0,
+            &Event::ContainerLoaded {
+                container: 1,
+                kind: AtomKind(1),
+            },
+        );
+        m.advance_to(100);
+        // Instantaneous == time-weighted when nothing changes.
+        assert!((m.loaded_logic_utilization() - 0.375).abs() < 1e-12);
+        assert!((m.logic_utilization() - 0.375).abs() < 1e-12);
+        assert!((m.fabric_occupancy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bus_busy_covers_rotation_intervals() {
+        let mut m = MetricsSink::new();
+        m.emit(
+            0,
+            &Event::RotationStarted {
+                container: 0,
+                kind: AtomKind(0),
+            },
+        );
+        m.emit(
+            50,
+            &Event::RotationCompleted {
+                container: 0,
+                kind: AtomKind(0),
+            },
+        );
+        m.advance_to(100);
+        assert!((m.bus_busy_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(m.rotations(), (1, 1));
+        // An open rotation counts up to `now`.
+        m.emit(
+            100,
+            &Event::RotationStarted {
+                container: 1,
+                kind: AtomKind(1),
+            },
+        );
+        m.advance_to(200);
+        assert!((m.bus_busy_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forecast_precision_and_recall() {
+        let si_a = SiId(0);
+        let si_b = SiId(1);
+        let mut m = MetricsSink::new();
+        let forecast = |si| Event::ForecastUpdated {
+            task: 0,
+            si,
+            probability: 1.0,
+            expected_executions: 1.0,
+        };
+        m.emit(0, &forecast(si_a));
+        m.emit(0, &forecast(si_b));
+        // si_a executes inside its window; si_b never does; an un-forecast
+        // SI executes too.
+        m.emit(
+            10,
+            &Event::SiExecuted {
+                task: 0,
+                si: si_a,
+                hw: false,
+                cycles: 100,
+                molecule: None,
+            },
+        );
+        m.emit(
+            20,
+            &Event::SiExecuted {
+                task: 0,
+                si: SiId(7),
+                hw: false,
+                cycles: 100,
+                molecule: None,
+            },
+        );
+        m.emit(30, &Event::ForecastRetracted { task: 0, si: si_a });
+        m.finish();
+        assert_eq!(m.forecast_windows(), 2);
+        assert!((m.forecast_precision() - 0.5).abs() < 1e-12);
+        assert!((m.forecast_recall() - 0.5).abs() < 1e-12);
+        let stats: Vec<_> = m.forecast_stats().collect();
+        assert_eq!(
+            stats[0],
+            (
+                (0, si_a),
+                ForecastStats {
+                    windows: 1,
+                    hits: 1,
+                    executions_in_window: 1,
+                    executions_total: 1,
+                }
+            )
+        );
+        assert_eq!(stats[1].1.hits, 0);
+    }
+
+    #[test]
+    fn fc_outcomes_feed_hit_rate() {
+        let mut m = MetricsSink::new();
+        for reached in [true, true, false, true] {
+            m.emit(
+                0,
+                &Event::FcOutcome {
+                    task: 0,
+                    si: SiId(0),
+                    reached,
+                },
+            );
+        }
+        assert!((m.fc_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_saved_uses_observed_sw_baseline() {
+        let si = SiId(2);
+        let exec = |hw, cycles| Event::SiExecuted {
+            task: 0,
+            si,
+            hw,
+            cycles,
+            molecule: None,
+        };
+        let mut m = MetricsSink::new();
+        // A hardware execution before any software observation saves an
+        // unknown amount — counted as zero by design.
+        m.emit(0, &exec(true, 20));
+        assert_eq!(m.cycles_saved_vs_sw(), 0);
+        m.emit(10, &exec(false, 500));
+        m.emit(20, &exec(true, 20));
+        m.emit(30, &exec(true, 20));
+        assert_eq!(m.cycles_saved_vs_sw(), 960);
+        assert_eq!(m.executions(), (4, 3));
+    }
+
+    #[test]
+    fn prometheus_exposition_lists_gauges() {
+        let mut m = MetricsSink::new().with_containers(1);
+        m.emit(
+            0,
+            &Event::ContainerLoaded {
+                container: 0,
+                kind: AtomKind(0),
+            },
+        );
+        m.advance_to(10);
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE rispp_fabric_occupancy gauge"));
+        assert!(text.contains("rispp_fabric_occupancy 1"));
+        assert!(text.contains("rispp_container_occupancy{container=\"0\"} 1"));
+        assert!(text.contains("# TYPE rispp_rotations_completed_total counter"));
+    }
+
+    #[test]
+    fn summary_is_a_cross_section() {
+        let mut m = MetricsSink::new().with_containers(1);
+        m.emit(
+            0,
+            &Event::SiExecuted {
+                task: 0,
+                si: SiId(0),
+                hw: true,
+                cycles: 10,
+                molecule: None,
+            },
+        );
+        m.advance_to(100);
+        let s = m.summary();
+        assert_eq!(s.elapsed_cycles, 100);
+        assert_eq!(s.executions_total, 1);
+        assert!((s.hw_fraction - 1.0).abs() < 1e-12);
+        assert_eq!(s.cycles_saved_vs_sw, 0);
+    }
+}

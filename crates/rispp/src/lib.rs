@@ -85,7 +85,8 @@ pub mod prelude {
     pub use rispp_fabric::{AtomCatalog, Clock, ContainerId, Fabric};
     pub use rispp_h264::{EncoderConfig, Frame, SyntheticVideo};
     pub use rispp_obs::{
-        CountersSink, Event, JsonlSink, NullSink, SinkHandle, Timeline, TimelineSink,
+        CountersSink, Event, JsonlSink, MetricsSink, MetricsSummary, NullSink, SinkHandle,
+        SpanBuilder, Timeline, TimelineSink,
     };
     pub use rispp_rt::{ManagerBuilder, RisppManager, TaskId};
     pub use rispp_sim::{Engine, Op, Task};

@@ -21,6 +21,9 @@
 //! execute walkthrough.
 
 #![warn(missing_docs)]
+// The deprecated ctor/setter shims in `manager` exist for external
+// callers only; the crate itself must not regress into using them.
+#![deny(deprecated)]
 
 pub mod manager;
 pub mod policy;

@@ -804,6 +804,7 @@ impl<P: ReplacementPolicy> RisppManager<P> {
                     self.sink
                         .emit_with(self.fabric.now(), || Event::UpgradeStep {
                             si: choice.si,
+                            task: owner,
                             step: step as u32,
                             molecule: stage.clone(),
                         });
@@ -862,6 +863,24 @@ mod tests {
         ForecastValue::new(si, 1.0, 50_000.0, execs)
     }
 
+    /// Advances past every queued and in-flight rotation and returns the
+    /// cycle at which the last one completed. Panics — with the manager's
+    /// current clock — when nothing is rotating or time cannot advance.
+    fn drain_rotations(mgr: &mut RisppManager) -> u64 {
+        let done = mgr
+            .all_rotations_done_at()
+            .unwrap_or_else(|| panic!("nothing to drain: fabric idle at cycle {}", mgr.now()));
+        advance_or_panic(mgr, done);
+        done
+    }
+
+    /// `advance_to` that reports the manager's current clock on failure.
+    fn advance_or_panic(mgr: &mut RisppManager, t: u64) {
+        if let Err(e) = mgr.advance_to(t) {
+            panic!("advance_to({t}) failed at cycle {}: {e}", mgr.now());
+        }
+    }
+
     #[test]
     fn forecast_triggers_rotations() {
         let (lib, fabric, s0, _) = small_platform();
@@ -884,7 +903,7 @@ mod tests {
         let mut t = mgr.now();
         loop {
             t += 10_000;
-            mgr.advance_to(t).unwrap();
+            advance_or_panic(&mut mgr, t);
             if mgr.loaded().count(rispp_core::atom::AtomKind(0)) >= 1
                 && mgr.loaded().count(rispp_core::atom::AtomKind(1)) >= 1
             {
@@ -896,8 +915,8 @@ mod tests {
         assert!(r1.hardware);
         assert!(r1.cycles == 20 || r1.cycles == 10);
         // After all rotations: the fastest Molecule.
-        if let Some(done) = mgr.all_rotations_done_at() {
-            mgr.advance_to(done).unwrap();
+        if mgr.all_rotations_done_at().is_some() {
+            drain_rotations(&mut mgr);
         }
         assert_eq!(mgr.execute_si(0, s0).cycles, 10);
     }
@@ -907,14 +926,12 @@ mod tests {
         let (lib, fabric, s0, s1) = small_platform();
         let mut mgr = RisppManager::builder(lib, fabric).build();
         mgr.forecast(0, fv(s0, 100.0));
-        let done = mgr.all_rotations_done_at().unwrap();
-        mgr.advance_to(done).unwrap();
+        drain_rotations(&mut mgr);
         assert_eq!(mgr.execute_si(0, s0).cycles, 10);
         // Task 1 wants S1 (needs two B atoms); S0's forecast retracts.
         mgr.retract_forecast(0, s0);
         mgr.forecast(1, fv(s1, 100.0));
-        let done = mgr.all_rotations_done_at().unwrap();
-        mgr.advance_to(done).unwrap();
+        drain_rotations(&mut mgr);
         let r = mgr.execute_si(1, s1);
         assert!(r.hardware);
         assert_eq!(r.cycles, 15);
@@ -988,7 +1005,7 @@ mod tests {
             let mut t = 0u64;
             loop {
                 t += 1_000;
-                mgr.advance_to(t).unwrap();
+                advance_or_panic(&mut mgr, t);
                 if mgr.execute_si(0, s0).hardware {
                     return t;
                 }
@@ -1056,8 +1073,7 @@ mod tests {
         // Forecast → rotations add transfer energy; HW executions follow.
         mgr.forecast(0, fv(s0, 100.0));
         assert!(mgr.rotation_bytes() > 0);
-        let done = mgr.all_rotations_done_at().unwrap();
-        mgr.advance_to(done).unwrap();
+        drain_rotations(&mut mgr);
         mgr.execute_si(0, s0);
         let r2 = mgr.energy_report(&model);
         assert!(r2.rotation_j > 0.0);
@@ -1125,8 +1141,7 @@ mod tests {
 
         mgr.forecast(0, fv(s0, 100.0));
         mgr.execute_si(0, s0); // software: nothing loaded yet
-        let done = mgr.all_rotations_done_at().unwrap();
-        mgr.advance_to(done).unwrap();
+        let done = drain_rotations(&mut mgr);
         mgr.execute_si(0, s0); // hardware
         mgr.record_fc_outcome(0, s0, true, 50_000.0, 100.0);
         mgr.retract_forecast(0, s0);
@@ -1185,8 +1200,7 @@ mod tests {
             let mut mgr = b.build();
             mgr.forecast(0, fv(s0, 100.0));
             mgr.forecast(1, fv(s1, 10.0));
-            let done = mgr.all_rotations_done_at().unwrap();
-            mgr.advance_to(done).unwrap();
+            drain_rotations(&mut mgr);
             let r = mgr.execute_si(0, s0);
             (r, mgr.rotations_requested(), mgr.target().clone())
         };
@@ -1201,8 +1215,7 @@ mod tests {
         let mut mgr = RisppManager::builder(lib, fabric).build();
         mgr.forecast(0, fv(s0, 50.0));
         mgr.forecast(1, fv(s1, 50.0));
-        let done = mgr.all_rotations_done_at().unwrap();
-        mgr.advance_to(done).unwrap();
+        drain_rotations(&mut mgr);
         // Capacity 3: selection can satisfy S0 minimal (1,1) and S1 (0,2)
         // by sharing the B atoms: target (1,2).
         let loaded = mgr.loaded();

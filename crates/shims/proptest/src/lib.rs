@@ -3,7 +3,8 @@
 //!
 //! The build environment has no network access, so the workspace vendors
 //! the subset of the proptest 1.x API its property tests use: the
-//! [`Strategy`] trait with `prop_map` / `prop_filter`, range / tuple /
+//! [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_filter`, range / tuple /
 //! collection / array / option strategies, and the `proptest!`,
 //! `prop_compose!`, `prop_oneof!`, `prop_assert!` and `prop_assert_eq!`
 //! macros. Each test runs a configurable number of random cases from a

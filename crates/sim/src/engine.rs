@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use rispp_core::si::SiId;
-use rispp_obs::{SinkHandle, Timeline, TimelineSink};
+use rispp_obs::{MetricsSink, MetricsSummary, SinkHandle, Timeline, TimelineSink};
 use rispp_rt::manager::{RisppManager, TaskId};
 use rispp_rt::policy::ReplacementPolicy;
 
@@ -39,6 +39,10 @@ pub struct Engine<P: ReplacementPolicy> {
     /// The engine's own event consumer, teed into whatever sink the
     /// manager was built with.
     timeline: Rc<RefCell<TimelineSink>>,
+    /// Derived time-weighted gauges, fed by the same tee as the timeline
+    /// and pre-configured with the fabric's container count and Atom
+    /// utilisation weights.
+    metrics: Rc<RefCell<MetricsSink>>,
     /// Monitoring enabled: observed FC outcomes feed back into the
     /// manager's forecast values (run-time task (a) of the paper).
     monitoring: bool,
@@ -55,12 +59,29 @@ impl<P: ReplacementPolicy> Engine<P> {
     #[must_use]
     pub fn new(mut manager: RisppManager<P>) -> Self {
         let timeline = Rc::new(RefCell::new(TimelineSink::new()));
-        let tee = SinkHandle::tee(manager.sink().clone(), SinkHandle::shared(timeline.clone()));
+        let fabric = manager.fabric();
+        let metrics = Rc::new(RefCell::new(
+            MetricsSink::new()
+                .with_containers(fabric.num_containers())
+                .with_utilization_weights(
+                    fabric
+                        .catalog()
+                        .iter()
+                        .map(|(_, p)| p.utilization())
+                        .collect(),
+                ),
+        ));
+        let consumers = SinkHandle::tee(
+            SinkHandle::shared(timeline.clone()),
+            SinkHandle::shared(metrics.clone()),
+        );
+        let tee = SinkHandle::tee(manager.sink().clone(), consumers);
         manager.set_sink(tee);
         Engine {
             manager,
             tasks: Vec::new(),
             timeline,
+            metrics,
             monitoring: false,
             watches: BTreeMap::new(),
         }
@@ -121,6 +142,27 @@ impl<P: ReplacementPolicy> Engine<P> {
     #[must_use]
     pub fn trace(&self) -> Ref<'_, Timeline> {
         self.timeline()
+    }
+
+    /// The derived time-weighted gauges, live alongside the timeline.
+    ///
+    /// Borrows from the engine's shared sink; drop the returned guard
+    /// before running the engine again. Forecast-accuracy figures only
+    /// include settled windows — use [`Engine::finish_metrics`] after the
+    /// run for the complete picture.
+    #[must_use]
+    pub fn metrics(&self) -> Ref<'_, MetricsSink> {
+        self.metrics.borrow()
+    }
+
+    /// Settles the metrics at the current simulation time — advances the
+    /// gauges' horizon to `now` and closes still-open forecast windows —
+    /// and returns the summary. Idempotent; call after [`Engine::run`].
+    pub fn finish_metrics(&mut self) -> MetricsSummary {
+        let mut m = self.metrics.borrow_mut();
+        m.advance_to(self.manager.now());
+        m.finish();
+        m.summary()
     }
 
     /// The manager (for inspection after a run).
@@ -286,6 +328,40 @@ mod tests {
         let first_hw = execs.iter().position(|e| e.2).unwrap();
         assert!(execs[first_hw..].iter().all(|e| e.2));
         assert_eq!(trace.rotations_completed(), 2);
+    }
+
+    #[test]
+    fn metrics_track_the_run_alongside_the_timeline() {
+        let (mgr, si) = setup();
+        let mut engine = Engine::new(mgr);
+        engine.add_task(Task::new(
+            0,
+            "worker",
+            vec![
+                Op::Forecast(ForecastValue::new(si, 1.0, 40_000.0, 100.0)),
+                Op::Repeat {
+                    body: vec![Op::ExecSi(si), Op::Plain(1_000)],
+                    times: 40,
+                },
+            ],
+        ));
+        engine.run(1_000);
+        let summary = engine.finish_metrics();
+        assert_eq!(summary.rotations_completed, 2);
+        assert_eq!(summary.executions_total, 40);
+        assert!(summary.hw_fraction > 0.0);
+        // Both containers end up loaded and stay loaded, so occupancy is
+        // strictly positive and below 1 (the rotations took time).
+        assert!(summary.fabric_occupancy > 0.0);
+        assert!(summary.fabric_occupancy < 1.0);
+        // Software executions happened first, so hardware savings accrue.
+        assert!(summary.cycles_saved_vs_sw > 0);
+        // The one forecast window settles as a hit.
+        assert_eq!(summary.forecast_windows, 1);
+        assert!((summary.forecast_precision - 1.0).abs() < 1e-12);
+        // The gauges saw the same stream as the timeline.
+        let (_, completed) = engine.metrics().rotations();
+        assert_eq!(completed as usize, engine.timeline().rotations_completed());
     }
 
     #[test]

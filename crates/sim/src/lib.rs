@@ -5,7 +5,7 @@
 //! events ([`task`]); the multi-task [`engine`] interleaves them
 //! round-robin on one core while the fabric rotates Atoms concurrently;
 //! everything is emitted at source into a queryable
-//! [`Timeline`](rispp_obs::Timeline) via the `rispp-obs` event sinks.
+//! [`Timeline`] via the `rispp-obs` event sinks.
 //!
 //! [`scenario`] reconstructs the paper's Fig. 6 two-task scenario (video
 //! codec + second task sharing six Atom Containers) end to end.
@@ -22,6 +22,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// The deprecated shims below exist for external callers only; the crate
+// itself must not regress into using them.
+#![deny(deprecated)]
 
 pub mod asm;
 pub mod codec_runner;
