@@ -155,4 +155,26 @@ proptest! {
         prop_assert!(inf.le(&rep));
         prop_assert!(rep.le(&sup));
     }
+
+    #[test]
+    fn representative_dominates_per_atom_average(si in si_strategy()) {
+        // Rep(S) is at least the per-kind average over the SI's Molecules
+        // (rounded up): a representative that under-reports a kind would
+        // bias the trimming loop against SIs that genuinely need it.
+        let rep = si.representative();
+        let n = si.molecules().len() as u64;
+        for k in 0..WIDTH {
+            let kind = rispp_core::atom::AtomKind(k);
+            let sum: u64 = si
+                .molecules()
+                .iter()
+                .map(|m| u64::from(m.molecule.count(kind)))
+                .sum();
+            prop_assert!(
+                u64::from(rep.count(kind)) * n >= sum,
+                "kind {k}: rep {} * {n} < sum {sum}",
+                rep.count(kind)
+            );
+        }
+    }
 }

@@ -153,6 +153,43 @@ proptest! {
         prop_assert_eq!(missing.is_zero(), goal.le(&have));
     }
 
+    // Section 3.1 writes the three defining laws of ⊖ directly; with the
+    // crate's orientation, `a ⊖ b` is `b.additional_atoms(&a)`.
+
+    #[test]
+    fn sub_result_never_exceeds_minuend(a in molecule(), b in molecule()) {
+        // a ⊖ b ≤ a: you never need to load more of an Atom than the goal asks.
+        let diff = b.additional_atoms(&a).unwrap();
+        prop_assert!(diff.le(&a));
+    }
+
+    #[test]
+    fn sub_then_union_restores_the_goal(a in molecule(), b in molecule()) {
+        // b ⊎ (a ⊖ b) ≥ a, with ⊎ the multiset sum: ⊖ is the inverse of
+        // loading *additional* instances. (The lattice join ∪ = max would
+        // collapse instances of the same kind: a = [3], b = [1] gives
+        // b ∪ (a ⊖ b) = max(1, 2) = 2 < 3.)
+        let diff = b.additional_atoms(&a).unwrap();
+        let after = Molecule::from_counts(
+            b.as_slice().iter().zip(diff.as_slice()).map(|(&x, &y)| x + y),
+        );
+        prop_assert!(a.le(&after));
+        // The join still recovers the goal's *support*: every kind `a`
+        // needs is present in b ∪ (a ⊖ b).
+        let join = &b | &diff;
+        for (kind, _) in a.iter_nonzero() {
+            prop_assert!(join.count(kind) > 0);
+        }
+    }
+
+    #[test]
+    fn sub_self_is_empty(a in molecule()) {
+        // |a ⊖ a| = 0: nothing is missing from a perfect match.
+        let diff = a.additional_atoms(&a).unwrap();
+        prop_assert_eq!(diff.determinant(), 0);
+        prop_assert!(diff.is_zero());
+    }
+
     // --- determinant ---
 
     #[test]

@@ -40,6 +40,10 @@ pub enum ContainerState {
         /// Atom held.
         kind: AtomKind,
     },
+    /// The container is permanently out of service (a rotation into it
+    /// failed and diagnostics flagged the region as bad). It never holds
+    /// a usable Atom again and rejects further rotations.
+    Quarantined,
 }
 
 /// One Atom Container with replacement-policy metadata.
@@ -90,6 +94,12 @@ impl AtomContainer {
     #[must_use]
     pub fn is_loading(&self) -> bool {
         matches!(self.state, ContainerState::Loading { .. })
+    }
+
+    /// Returns `true` once the container is permanently out of service.
+    #[must_use]
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self.state, ContainerState::Quarantined)
     }
 
     /// Task tag of the current allocation, if any.
@@ -153,6 +163,15 @@ mod tests {
         c.touch(50);
         c.touch(20);
         assert_eq!(c.last_used(), 50);
+    }
+
+    #[test]
+    fn quarantine_is_not_usable_and_not_loading() {
+        let mut c = AtomContainer::new();
+        c.set_state(ContainerState::Quarantined);
+        assert!(c.is_quarantined());
+        assert!(!c.is_loading());
+        assert_eq!(c.loaded_kind(), None);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use rispp_obs::{Event, SinkHandle};
 use crate::catalog::AtomCatalog;
 use crate::clock::Clock;
 use crate::container::{AtomContainer, ContainerId, ContainerState};
+use crate::fault::FaultPlan;
 
 /// Errors produced by fabric operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +37,8 @@ pub enum FabricError {
         /// Requested (earlier) time.
         requested: u64,
     },
+    /// The container is permanently out of service and rejects rotations.
+    ContainerQuarantined(ContainerId),
 }
 
 impl fmt::Display for FabricError {
@@ -51,6 +54,9 @@ impl fmt::Display for FabricError {
                     f,
                     "cannot advance fabric from cycle {now} back to {requested}"
                 )
+            }
+            FabricError::ContainerQuarantined(c) => {
+                write!(f, "atom container {c} is quarantined")
             }
         }
     }
@@ -80,6 +86,44 @@ pub enum FabricEvent {
         /// Completion cycle.
         at: u64,
     },
+    /// A rotation reached its completion cycle but the bitstream failed
+    /// CRC verification: the container holds no usable Atom, the port is
+    /// free again. Injected by a [`FaultPlan`].
+    RotationFailed {
+        /// Target container.
+        container: ContainerId,
+        /// Atom whose bitstream failed to load.
+        kind: AtomKind,
+        /// Cycle of the failed completion.
+        at: u64,
+    },
+    /// The reconfiguration port stalled; the in-flight rotation makes no
+    /// progress until `until`. Injected by a [`FaultPlan`].
+    PortStalled {
+        /// Cycle at which the stall began.
+        at: u64,
+        /// Cycle at which the transfer resumes.
+        until: u64,
+    },
+    /// A container was diagnosed permanently bad and taken out of
+    /// service. Injected by a [`FaultPlan`].
+    ContainerQuarantined {
+        /// The container taken out of service.
+        container: ContainerId,
+        /// Cycle of the diagnosis.
+        at: u64,
+    },
+    /// A transient fault (single-event upset) destroyed the Atom a
+    /// container held; the container is empty but serviceable again.
+    /// Injected by a [`FaultPlan`].
+    ContainerFaulted {
+        /// The container that lost its Atom.
+        container: ContainerId,
+        /// The Atom that was lost.
+        kind: AtomKind,
+        /// Cycle of the upset.
+        at: u64,
+    },
 }
 
 impl FabricEvent {
@@ -87,11 +131,27 @@ impl FabricEvent {
     #[must_use]
     pub fn at(&self) -> u64 {
         match *self {
-            FabricEvent::RotationStarted { at, .. } | FabricEvent::RotationCompleted { at, .. } => {
-                at
-            }
+            FabricEvent::RotationStarted { at, .. }
+            | FabricEvent::RotationCompleted { at, .. }
+            | FabricEvent::RotationFailed { at, .. }
+            | FabricEvent::PortStalled { at, .. }
+            | FabricEvent::ContainerQuarantined { at, .. }
+            | FabricEvent::ContainerFaulted { at, .. } => at,
         }
     }
+}
+
+/// Bookkeeping for the rotation currently occupying the port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct InFlightRotation {
+    container: ContainerId,
+    kind: AtomKind,
+    /// Zero-based start-order sequence number (CRC failures key on it).
+    seq: u64,
+    /// Completion cycle, stall-adjusted.
+    done_at: u64,
+    /// Stall announcements not yet emitted: `(begins_at, until)`.
+    stalls: VecDeque<(u64, u64)>,
 }
 
 /// The reconfigurable fabric simulator.
@@ -122,9 +182,15 @@ pub struct Fabric {
     containers: Vec<AtomContainer>,
     /// FIFO of requested-but-not-started rotations.
     queue: VecDeque<(ContainerId, AtomKind)>,
-    /// Container with the in-flight rotation, if any.
-    in_flight: Option<ContainerId>,
+    /// The in-flight rotation, if any.
+    in_flight: Option<InFlightRotation>,
     events: Vec<FabricEvent>,
+    /// The fault schedule ([`FaultPlan::none`] by default).
+    faults: FaultPlan,
+    /// Transient faults not yet injected, sorted by cycle.
+    pending_transients: VecDeque<(u64, ContainerId)>,
+    /// Start-order sequence number of the next rotation.
+    rotation_seq: u64,
     /// Structured-event sink (disabled by default). Cloning the fabric
     /// shares the sink, since handles are reference-counted.
     sink: SinkHandle,
@@ -166,8 +232,34 @@ impl Fabric {
             queue: VecDeque::new(),
             in_flight: None,
             events: Vec::new(),
+            faults: FaultPlan::none(),
+            pending_transients: VecDeque::new(),
+            rotation_seq: 0,
             sink: SinkHandle::null(),
         }
+    }
+
+    /// Installs a deterministic fault schedule (chainable). The plan is
+    /// normalized on installation; transient faults scheduled before the
+    /// current cycle are dropped.
+    #[must_use]
+    pub fn with_faults(mut self, mut plan: FaultPlan) -> Self {
+        plan.normalize();
+        let now = self.clock.now();
+        self.pending_transients = plan
+            .transient_faults
+            .iter()
+            .copied()
+            .filter(|&(at, _)| at >= now)
+            .collect();
+        self.faults = plan;
+        self
+    }
+
+    /// The installed fault schedule (empty by default).
+    #[must_use]
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The platform Atom set.
@@ -211,6 +303,16 @@ impl Fabric {
     #[must_use]
     pub fn num_containers(&self) -> usize {
         self.containers.len()
+    }
+
+    /// Number of containers still in service (not quarantined) — the
+    /// capacity a scheduler can actually count on.
+    #[must_use]
+    pub fn usable_containers(&self) -> usize {
+        self.containers
+            .iter()
+            .filter(|c| !c.is_quarantined())
+            .count()
     }
 
     /// Read access to one container.
@@ -300,24 +402,45 @@ impl Fabric {
         self.in_flight.is_none() && self.queue.is_empty()
     }
 
-    /// Completion cycle of the in-flight rotation, if any.
+    /// Completion cycle of the in-flight rotation, if any
+    /// (stall-adjusted).
     #[must_use]
     pub fn next_completion(&self) -> Option<u64> {
-        let id = self.in_flight?;
-        match self.containers[id.index()].state() {
-            ContainerState::Loading { done_at, .. } => Some(done_at),
-            _ => None,
-        }
+        self.in_flight.as_ref().map(|r| r.done_at)
     }
 
-    /// Cycle by which *all* currently queued rotations will have completed.
+    /// Cycle by which *all* currently queued rotations will have
+    /// completed, accounting for scheduled port stalls.
     #[must_use]
     pub fn all_rotations_done_at(&self) -> Option<u64> {
         let mut t = self.next_completion()?;
         for &(_, kind) in &self.queue {
-            t += self.catalog.rotation_cycles(kind, &self.clock);
+            let duration = self.catalog.rotation_cycles(kind, &self.clock);
+            t = self.stalled_finish(t, duration).0;
         }
         Some(t)
+    }
+
+    /// Computes when a transfer of `duration` cycles starting at `start`
+    /// finishes under the plan's stall windows, and which stall
+    /// intervals it crosses (`(begins_at, until)` pairs).
+    fn stalled_finish(&self, start: u64, duration: u64) -> (u64, Vec<(u64, u64)>) {
+        let mut t = start;
+        let mut remaining = duration;
+        let mut crossed = Vec::new();
+        for w in &self.faults.stall_windows {
+            if w.until <= t {
+                continue;
+            }
+            let begin = w.from.max(t);
+            if begin >= t + remaining {
+                break;
+            }
+            remaining -= begin - t;
+            crossed.push((begin, w.until));
+            t = w.until;
+        }
+        (t + remaining, crossed)
     }
 
     /// Requests a rotation writing `kind` into container `id`.
@@ -330,7 +453,9 @@ impl Fabric {
     /// * [`FabricError::UnknownContainer`] / [`FabricError::UnknownKind`]
     ///   for out-of-range arguments;
     /// * [`FabricError::RotationPending`] when the container already has a
-    ///   queued or in-flight rotation.
+    ///   queued or in-flight rotation;
+    /// * [`FabricError::ContainerQuarantined`] when the container is
+    ///   permanently out of service.
     pub fn request_rotation(&mut self, id: ContainerId, kind: AtomKind) -> Result<(), FabricError> {
         if id.index() >= self.containers.len() {
             return Err(FabricError::UnknownContainer(id));
@@ -338,7 +463,11 @@ impl Fabric {
         if kind.index() >= self.atoms.len() {
             return Err(FabricError::UnknownKind(kind));
         }
-        let pending = self.in_flight == Some(id) || self.queue.iter().any(|&(c, _)| c == id);
+        if self.containers[id.index()].is_quarantined() {
+            return Err(FabricError::ContainerQuarantined(id));
+        }
+        let pending = self.in_flight.as_ref().is_some_and(|r| r.container == id)
+            || self.queue.iter().any(|&(c, _)| c == id);
         if pending {
             return Err(FabricError::RotationPending(id));
         }
@@ -386,52 +515,145 @@ impl Fabric {
         Ok(std::mem::take(&mut self.events))
     }
 
-    /// Processes completions and queue starts with horizon `t`.
+    /// Processes stalls, faults, completions and queue starts in
+    /// chronological order with horizon `t`, so the emitted event stream
+    /// stays time-ordered even when fault injection interleaves with the
+    /// rotation pipeline.
     fn pump(&mut self, t: u64) {
         loop {
-            // Complete the in-flight rotation if it finishes within the
-            // horizon.
-            if let Some(id) = self.in_flight {
-                let ContainerState::Loading { kind, done_at } = self.containers[id.index()].state()
-                else {
-                    unreachable!("in-flight container must be loading");
-                };
-                if done_at <= t {
-                    self.containers[id.index()].set_state(ContainerState::Loaded { kind });
-                    self.events.push(FabricEvent::RotationCompleted {
-                        container: id,
-                        kind,
-                        at: done_at,
-                    });
-                    self.sink.emit_with(done_at, || Event::RotationCompleted {
-                        container: id.index() as u32,
-                        kind,
-                    });
-                    // The Atom is usable from this cycle on: occupancy
-                    // becomes observable from the event stream alone.
-                    self.sink.emit_with(done_at, || Event::ContainerLoaded {
-                        container: id.index() as u32,
-                        kind,
-                    });
-                    self.in_flight = None;
-                    // The port frees at `done_at`; queued loads may start.
-                    if let Some((next_id, next_kind)) = self.queue.pop_front() {
-                        self.start_rotation(next_id, next_kind, done_at);
-                    }
-                    continue;
-                }
-                break; // still in flight past the horizon
-            }
-            // Port idle: the only way a request lingers here is that it was
-            // just enqueued (request_rotation pumps immediately), so it
-            // starts at the current time.
-            match self.queue.pop_front() {
-                Some((id, kind)) => {
+            // Port idle: the only way a request lingers here is that it
+            // was just enqueued (request_rotation pumps immediately), so
+            // it starts at the current time.
+            if self.in_flight.is_none() {
+                if let Some((id, kind)) = self.queue.pop_front() {
                     let at = self.clock.now();
                     self.start_rotation(id, kind, at);
+                    continue;
                 }
-                None => break,
             }
+            // The earliest due occurrence within the horizon. On equal
+            // cycles: transient fault, then stall announcement, then
+            // completion (a fault at the completion cycle still hits the
+            // *old* world; the completion then overwrites it).
+            const TRANSIENT: u8 = 0;
+            const STALL: u8 = 1;
+            const DONE: u8 = 2;
+            let mut next: Option<(u64, u8)> = None;
+            let mut consider = |at: u64, what: u8| {
+                if at <= t && next.is_none_or(|(b, _)| at < b) {
+                    next = Some((at, what));
+                }
+            };
+            if let Some(&(at, _)) = self.pending_transients.front() {
+                consider(at, TRANSIENT);
+            }
+            if let Some(r) = &self.in_flight {
+                if let Some(&(begins_at, _)) = r.stalls.front() {
+                    consider(begins_at, STALL);
+                }
+                consider(r.done_at, DONE);
+            }
+            match next {
+                Some((_, TRANSIENT)) => self.inject_transient(),
+                Some((_, STALL)) => self.announce_stall(),
+                Some((_, DONE)) => self.finish_in_flight(),
+                _ => break,
+            }
+        }
+    }
+
+    /// Injects the next pending transient fault: a loaded container loses
+    /// its Atom (no effect on empty/loading/quarantined containers).
+    fn inject_transient(&mut self) {
+        let (at, id) = self
+            .pending_transients
+            .pop_front()
+            .expect("caller checked a transient is due");
+        if let ContainerState::Loaded { kind } = self.containers[id.index()].state() {
+            self.containers[id.index()].set_state(ContainerState::Empty);
+            self.events.push(FabricEvent::ContainerFaulted {
+                container: id,
+                kind,
+                at,
+            });
+            self.sink.emit_with(at, || Event::ContainerEvicted {
+                container: id.index() as u32,
+                kind,
+            });
+        }
+    }
+
+    /// Announces the next stall of the in-flight rotation.
+    fn announce_stall(&mut self) {
+        let r = self
+            .in_flight
+            .as_mut()
+            .expect("caller checked a stall is due");
+        let (begins_at, until) = r.stalls.pop_front().expect("stall is due");
+        self.events.push(FabricEvent::PortStalled {
+            at: begins_at,
+            until,
+        });
+        self.sink
+            .emit_with(begins_at, || Event::PortStalled { until });
+    }
+
+    /// Completes (or fails) the in-flight rotation and starts the next
+    /// queued one at the cycle the port frees.
+    fn finish_in_flight(&mut self) {
+        let r = self
+            .in_flight
+            .take()
+            .expect("caller checked a completion is due");
+        let (id, kind, at) = (r.container, r.kind, r.done_at);
+        let bad = self.faults.bad_containers.contains(&id);
+        let crc = self.faults.crc_failures.contains(&r.seq);
+        if bad || crc {
+            // The transfer consumed the port for its full duration, but
+            // verification failed: no Atom materialises, no
+            // ContainerLoaded is emitted (the previous Atom was already
+            // evicted when the overwrite started, so occupancy pairing
+            // is preserved).
+            self.events.push(FabricEvent::RotationFailed {
+                container: id,
+                kind,
+                at,
+            });
+            self.sink.emit_with(at, || Event::RotationFailed {
+                container: id.index() as u32,
+                kind,
+            });
+            if bad {
+                self.containers[id.index()].set_state(ContainerState::Quarantined);
+                self.events
+                    .push(FabricEvent::ContainerQuarantined { container: id, at });
+                self.sink.emit_with(at, || Event::ContainerQuarantined {
+                    container: id.index() as u32,
+                });
+            } else {
+                self.containers[id.index()].set_state(ContainerState::Empty);
+            }
+        } else {
+            self.containers[id.index()].set_state(ContainerState::Loaded { kind });
+            self.events.push(FabricEvent::RotationCompleted {
+                container: id,
+                kind,
+                at,
+            });
+            self.sink.emit_with(at, || Event::RotationCompleted {
+                container: id.index() as u32,
+                kind,
+            });
+            // The Atom is usable from this cycle on: occupancy becomes
+            // observable from the event stream alone.
+            self.sink.emit_with(at, || Event::ContainerLoaded {
+                container: id.index() as u32,
+                kind,
+            });
+        }
+        // The port frees at `at`; queued loads may start.
+        if let Some((next_id, next_kind)) = self.queue.pop_front() {
+            self.start_rotation(next_id, next_kind, at);
         }
     }
 
@@ -445,10 +667,8 @@ impl Fabric {
             });
         }
         let duration = self.catalog.rotation_cycles(kind, &self.clock);
-        self.containers[id.index()].set_state(ContainerState::Loading {
-            kind,
-            done_at: at + duration,
-        });
+        let (done_at, stalls) = self.stalled_finish(at, duration);
+        self.containers[id.index()].set_state(ContainerState::Loading { kind, done_at });
         self.events.push(FabricEvent::RotationStarted {
             container: id,
             kind,
@@ -458,7 +678,14 @@ impl Fabric {
             container: id.index() as u32,
             kind,
         });
-        self.in_flight = Some(id);
+        self.in_flight = Some(InFlightRotation {
+            container: id,
+            kind,
+            seq: self.rotation_seq,
+            done_at,
+            stalls: stalls.into(),
+        });
+        self.rotation_seq += 1;
     }
 }
 
@@ -680,6 +907,280 @@ mod tests {
                 kind: AtomKind(1)
             }
         );
+    }
+
+    #[test]
+    fn crc_failure_leaves_container_empty_and_frees_port() {
+        use crate::fault::FaultPlan;
+        let mut f = fabric(2).with_faults(FaultPlan {
+            crc_failures: vec![0],
+            ..FaultPlan::default()
+        });
+        f.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
+        f.request_rotation(ContainerId(1), AtomKind(1)).unwrap();
+        let first_done = f.next_completion().unwrap();
+        let events = f.advance_to(first_done).unwrap();
+        // Rotation 0 fails; the port frees on time and rotation 1 starts.
+        assert!(events.iter().any(|e| matches!(
+            e,
+            FabricEvent::RotationFailed { container: ContainerId(0), at, .. } if *at == first_done
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            FabricEvent::RotationStarted { container: ContainerId(1), at, .. } if *at == first_done
+        )));
+        assert_eq!(f.container(ContainerId(0)).state(), ContainerState::Empty);
+        // The retry is a fresh sequence number and succeeds.
+        f.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
+        f.advance_to(f.all_rotations_done_at().unwrap()).unwrap();
+        assert_eq!(f.loaded_molecule(), Molecule::from_counts([1, 1, 0, 0]));
+    }
+
+    #[test]
+    fn bad_container_is_quarantined_and_rejects_retries() {
+        use crate::fault::FaultPlan;
+        let mut f = fabric(2).with_faults(FaultPlan {
+            bad_containers: vec![ContainerId(0)],
+            ..FaultPlan::default()
+        });
+        f.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
+        let done = f.next_completion().unwrap();
+        let events = f.advance_to(done).unwrap();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, FabricEvent::RotationFailed { .. })));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            FabricEvent::ContainerQuarantined {
+                container: ContainerId(0),
+                ..
+            }
+        )));
+        assert!(f.container(ContainerId(0)).is_quarantined());
+        assert_eq!(f.usable_containers(), 1);
+        assert_eq!(
+            f.request_rotation(ContainerId(0), AtomKind(0)),
+            Err(FabricError::ContainerQuarantined(ContainerId(0)))
+        );
+        // The healthy container still works.
+        f.request_rotation(ContainerId(1), AtomKind(1)).unwrap();
+        f.advance_to(f.next_completion().unwrap()).unwrap();
+        assert_eq!(f.loaded_molecule().count(AtomKind(1)), 1);
+    }
+
+    #[test]
+    fn stall_window_delays_completion_and_is_announced() {
+        use crate::fault::{FaultPlan, StallWindow};
+        let mut clean = fabric(1);
+        clean.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
+        let nominal = clean.next_completion().unwrap();
+
+        let mut f = fabric(1).with_faults(FaultPlan {
+            stall_windows: vec![StallWindow {
+                from: 1_000,
+                until: 6_000,
+            }],
+            ..FaultPlan::default()
+        });
+        f.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
+        let done = f.next_completion().unwrap();
+        assert_eq!(done, nominal + 5_000);
+        let events = f.advance_to(done).unwrap();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            FabricEvent::PortStalled {
+                at: 1_000,
+                until: 6_000
+            }
+        )));
+        assert_eq!(f.loaded_molecule().count(AtomKind(0)), 1);
+        // Events stay chronologically ordered.
+        let times: Vec<u64> = events.iter().map(FabricEvent::at).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn stall_before_start_does_not_delay() {
+        use crate::fault::{FaultPlan, StallWindow};
+        let mut f = fabric(1).with_faults(FaultPlan {
+            stall_windows: vec![StallWindow { from: 0, until: 50 }],
+            ..FaultPlan::default()
+        });
+        f.advance_to(100).unwrap();
+        f.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
+        let events = f.advance_to(f.next_completion().unwrap()).unwrap();
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, FabricEvent::PortStalled { .. })));
+    }
+
+    #[test]
+    fn all_rotations_done_at_accounts_for_stalls() {
+        use crate::fault::{FaultPlan, StallWindow};
+        let mut f = fabric(2).with_faults(FaultPlan {
+            stall_windows: vec![StallWindow {
+                from: 100_000,
+                until: 120_000,
+            }],
+            ..FaultPlan::default()
+        });
+        // Two ~85k-cycle rotations: the second crosses the stall window.
+        f.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
+        f.request_rotation(ContainerId(1), AtomKind(0)).unwrap();
+        let predicted = f.all_rotations_done_at().unwrap();
+        let events = f.advance_to(predicted).unwrap();
+        let last_done = events
+            .iter()
+            .filter_map(|e| match e {
+                FabricEvent::RotationCompleted { at, .. } => Some(*at),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        assert_eq!(last_done, predicted);
+        assert!(predicted > 2 * 85_000 + 19_000);
+    }
+
+    #[test]
+    fn transient_fault_evicts_loaded_atom_only() {
+        use crate::fault::FaultPlan;
+        let mut f = fabric(2).with_faults(FaultPlan {
+            // One upset while AC0 is still loading (no effect), one after
+            // it loaded (evicts), one on the never-used AC1 (no effect).
+            transient_faults: vec![
+                (10, ContainerId(0)),
+                (200_000, ContainerId(0)),
+                (200_001, ContainerId(1)),
+            ],
+            ..FaultPlan::default()
+        });
+        f.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
+        f.advance_to(f.next_completion().unwrap()).unwrap();
+        assert_eq!(f.loaded_molecule().count(AtomKind(0)), 1);
+        let events = f.advance_to(300_000).unwrap();
+        assert_eq!(
+            events,
+            vec![FabricEvent::ContainerFaulted {
+                container: ContainerId(0),
+                kind: AtomKind(0),
+                at: 200_000,
+            }]
+        );
+        assert_eq!(f.loaded_molecule().determinant(), 0);
+        assert_eq!(f.container(ContainerId(0)).state(), ContainerState::Empty);
+        // The container is serviceable again.
+        f.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
+        f.advance_to(f.next_completion().unwrap()).unwrap();
+        assert_eq!(f.loaded_molecule().count(AtomKind(0)), 1);
+    }
+
+    #[test]
+    fn faulty_run_keeps_occupancy_events_paired() {
+        use crate::fault::{FaultPlan, StallWindow};
+        use rispp_obs::TimelineSink;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let timeline = Rc::new(RefCell::new(TimelineSink::new()));
+        let mut f = fabric(2).with_faults(FaultPlan {
+            crc_failures: vec![1],
+            stall_windows: vec![StallWindow {
+                from: 40_000,
+                until: 45_000,
+            }],
+            transient_faults: vec![(400_000, ContainerId(0))],
+            bad_containers: vec![ContainerId(1)],
+        });
+        f.set_sink(SinkHandle::shared(timeline.clone()));
+
+        f.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
+        f.request_rotation(ContainerId(1), AtomKind(1)).unwrap();
+        f.advance_to(500_000).unwrap();
+        f.request_rotation(ContainerId(0), AtomKind(2)).unwrap();
+        f.advance_to(700_000).unwrap();
+
+        // Per container: Loaded and Evicted strictly alternate, starting
+        // with Loaded.
+        let tl = timeline.borrow();
+        for container in 0..2u32 {
+            let mut loaded = false;
+            for r in tl.timeline().entries() {
+                match r.event {
+                    Event::ContainerLoaded { container: c, .. } if c == container => {
+                        assert!(!loaded, "AC{container} loaded twice");
+                        loaded = true;
+                    }
+                    Event::ContainerEvicted { container: c, .. } if c == container => {
+                        assert!(loaded, "AC{container} evicted while empty");
+                        loaded = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_queued_overwrites_leave_occupancy_untouched() {
+        use rispp_obs::TimelineSink;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        // A queued (not yet started) overwrite has emitted nothing: the
+        // eviction only fires when the bitstream write begins. Cancelling
+        // it must therefore leave the occupancy stream strictly paired
+        // and the loaded Atom in place.
+        let timeline = Rc::new(RefCell::new(TimelineSink::new()));
+        let mut f = fabric(3);
+        f.set_sink(SinkHandle::shared(timeline.clone()));
+
+        // Load AC0, then occupy the port with a long rotation on AC1 and
+        // queue an overwrite of AC0 behind it.
+        f.request_rotation(ContainerId(0), AtomKind(0)).unwrap();
+        f.advance_to(f.next_completion().unwrap()).unwrap();
+        f.request_rotation(ContainerId(1), AtomKind(1)).unwrap();
+        f.request_rotation(ContainerId(0), AtomKind(2)).unwrap();
+        assert_eq!(f.pending_rotations(), vec![(ContainerId(0), AtomKind(2))]);
+
+        assert!(f.cancel_pending(ContainerId(0)));
+        f.advance_to(f.all_rotations_done_at().unwrap()).unwrap();
+
+        // AC0 kept its Atom; no eviction was ever emitted for it.
+        assert_eq!(f.container(ContainerId(0)).loaded_kind(), Some(AtomKind(0)));
+        let tl = timeline.borrow();
+        assert!(!tl
+            .timeline()
+            .entries()
+            .iter()
+            .any(|r| matches!(r.event, Event::ContainerEvicted { container: 0, .. })));
+        drop(tl);
+
+        // Same through cancel_all_pending: queue another overwrite of AC0
+        // behind a fresh in-flight rotation, clear the whole queue.
+        f.request_rotation(ContainerId(2), AtomKind(3)).unwrap();
+        f.request_rotation(ContainerId(0), AtomKind(1)).unwrap();
+        assert_eq!(f.cancel_all_pending(), 1);
+        f.advance_to(f.all_rotations_done_at().unwrap()).unwrap();
+        assert_eq!(f.container(ContainerId(0)).loaded_kind(), Some(AtomKind(0)));
+
+        // The full stream still alternates Loaded/Evicted per container.
+        let tl = timeline.borrow();
+        for container in 0..3u32 {
+            let mut loaded = false;
+            for r in tl.timeline().entries() {
+                match r.event {
+                    Event::ContainerLoaded { container: c, .. } if c == container => {
+                        assert!(!loaded, "AC{container} loaded twice");
+                        loaded = true;
+                    }
+                    Event::ContainerEvicted { container: c, .. } if c == container => {
+                        assert!(loaded, "AC{container} evicted while empty");
+                        loaded = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,397 @@
+//! Deterministic fault injection for the fabric.
+//!
+//! A [`FaultPlan`] is a *schedule* of faults fixed before the run starts:
+//! given the same plan and the same request sequence, the fabric produces
+//! the same event stream, so every chaos run is replayable. The taxonomy
+//! covers the failure modes of real partial-reconfiguration flows:
+//!
+//! * **CRC failures** — a bitstream transfer completes but fails
+//!   verification; the container ends up empty and the rotation must be
+//!   retried. Keyed by *rotation sequence number* (the order rotations
+//!   start), so a retry is a fresh rotation that may succeed.
+//! * **Port stalls** — wall-clock windows during which the single
+//!   SelectMap port makes no progress; in-flight transfers stretch.
+//! * **Transient container faults** — a single-event upset at a given
+//!   cycle evicts whatever Atom the container holds at that moment.
+//! * **Bad containers** — permanently broken regions: the first rotation
+//!   targeting one fails and the container is quarantined for good.
+//!
+//! Plans serialize to a compact text form (see [`FaultPlan::from_str`])
+//! so a failing chaos run can be reproduced from its report alone.
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::container::ContainerId;
+
+/// A half-open window `[from, until)` during which the reconfiguration
+/// port makes no progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallWindow {
+    /// First stalled cycle.
+    pub from: u64,
+    /// First cycle after the stall (exclusive).
+    pub until: u64,
+}
+
+/// A deterministic, serializable schedule of fabric faults.
+///
+/// Construct one directly, derive one from a seed with
+/// [`FaultPlan::seeded`], or parse the compact text form with
+/// [`str::parse`]. Install it with
+/// [`Fabric::with_faults`](crate::Fabric::with_faults).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Rotation sequence numbers (0-based, in start order) whose
+    /// bitstream fails CRC verification at completion.
+    pub crc_failures: Vec<u64>,
+    /// Windows during which the reconfiguration port stalls.
+    pub stall_windows: Vec<StallWindow>,
+    /// `(cycle, container)` single-event upsets: at `cycle` the container
+    /// loses its loaded Atom (no effect while loading or empty).
+    pub transient_faults: Vec<(u64, ContainerId)>,
+    /// Containers that are permanently broken: their first completed
+    /// rotation fails and quarantines them.
+    pub bad_containers: Vec<ContainerId>,
+}
+
+/// SplitMix64: the minimal deterministic generator, good enough for
+/// scattering fault times and avoiding an RNG dependency in this crate.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the fault-free fabric).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// `true` when the plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.crc_failures.is_empty()
+            && self.stall_windows.is_empty()
+            && self.transient_faults.is_empty()
+            && self.bad_containers.is_empty()
+    }
+
+    /// Derives a reproducible plan from a seed: a handful of CRC
+    /// failures among the first rotations, one or two port-stall
+    /// windows, up to two transient container faults inside
+    /// `horizon_cycles`, and (for seeds where the low bit of a draw is
+    /// set, when more than two containers exist) one permanently bad
+    /// container. Same arguments, same plan.
+    #[must_use]
+    pub fn seeded(seed: u64, containers: usize, horizon_cycles: u64) -> Self {
+        let mut s = seed;
+        let horizon = horizon_cycles.max(16);
+        let mut plan = FaultPlan::default();
+
+        let crc_count = 1 + (splitmix64(&mut s) % 3);
+        for _ in 0..crc_count {
+            plan.crc_failures.push(splitmix64(&mut s) % 24);
+        }
+        plan.crc_failures.sort_unstable();
+        plan.crc_failures.dedup();
+
+        let stall_count = 1 + (splitmix64(&mut s) % 2);
+        for _ in 0..stall_count {
+            let from = splitmix64(&mut s) % horizon;
+            let len = 1 + (splitmix64(&mut s) % (horizon / 16).max(1));
+            plan.stall_windows.push(StallWindow {
+                from,
+                until: from.saturating_add(len),
+            });
+        }
+
+        if containers > 0 {
+            let transient_count = splitmix64(&mut s) % 3;
+            for _ in 0..transient_count {
+                let at = splitmix64(&mut s) % horizon;
+                let container = ContainerId((splitmix64(&mut s) % containers as u64) as usize);
+                plan.transient_faults.push((at, container));
+            }
+        }
+
+        if containers > 2 && splitmix64(&mut s) & 1 == 1 {
+            plan.bad_containers.push(ContainerId(
+                (splitmix64(&mut s) % containers as u64) as usize,
+            ));
+        }
+
+        plan.normalize();
+        plan
+    }
+
+    /// Sorts, merges and dedups the schedule so injection order is
+    /// well-defined regardless of how the plan was assembled. Called by
+    /// the fabric when the plan is installed.
+    pub fn normalize(&mut self) {
+        self.crc_failures.sort_unstable();
+        self.crc_failures.dedup();
+        self.stall_windows.retain(|w| w.until > w.from);
+        self.stall_windows.sort_by_key(|w| (w.from, w.until));
+        // Merge overlapping / adjacent stall windows.
+        let mut merged: Vec<StallWindow> = Vec::with_capacity(self.stall_windows.len());
+        for w in self.stall_windows.drain(..) {
+            match merged.last_mut() {
+                Some(last) if w.from <= last.until => last.until = last.until.max(w.until),
+                _ => merged.push(w),
+            }
+        }
+        self.stall_windows = merged;
+        self.transient_faults
+            .sort_unstable_by_key(|&(at, c)| (at, c));
+        self.transient_faults.dedup();
+        self.bad_containers.sort_unstable();
+        self.bad_containers.dedup();
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    /// The compact text form parsed by [`FaultPlan::from_str`]; the
+    /// empty plan prints as `none`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("none");
+        }
+        let mut sections: Vec<String> = Vec::new();
+        if !self.crc_failures.is_empty() {
+            let seqs: Vec<String> = self.crc_failures.iter().map(u64::to_string).collect();
+            sections.push(format!("crc={}", seqs.join(",")));
+        }
+        if !self.stall_windows.is_empty() {
+            let windows: Vec<String> = self
+                .stall_windows
+                .iter()
+                .map(|w| format!("{}..{}", w.from, w.until))
+                .collect();
+            sections.push(format!("stall={}", windows.join(",")));
+        }
+        if !self.transient_faults.is_empty() {
+            let faults: Vec<String> = self
+                .transient_faults
+                .iter()
+                .map(|(at, c)| format!("{at}@{}", c.index()))
+                .collect();
+            sections.push(format!("transient={}", faults.join(",")));
+        }
+        if !self.bad_containers.is_empty() {
+            let bad: Vec<String> = self
+                .bad_containers
+                .iter()
+                .map(|c| c.index().to_string())
+                .collect();
+            sections.push(format!("bad={}", bad.join(",")));
+        }
+        f.write_str(&sections.join(";"))
+    }
+}
+
+/// A malformed [`FaultPlan`] text form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlanParseError {
+    /// What was wrong with the input.
+    pub message: String,
+}
+
+impl fmt::Display for FaultPlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed fault plan: {}", self.message)
+    }
+}
+
+impl Error for FaultPlanParseError {}
+
+fn parse_err(message: impl Into<String>) -> FaultPlanParseError {
+    FaultPlanParseError {
+        message: message.into(),
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = FaultPlanParseError;
+
+    /// Parses the compact text form, e.g.
+    /// `crc=3,17;stall=1000..5000;transient=12000@2;bad=4` — sections are
+    /// `;`-separated, each optional; `none` (or the empty string) is the
+    /// empty plan.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() || s == "none" {
+            return Ok(FaultPlan::default());
+        }
+        let mut plan = FaultPlan::default();
+        for section in s.split(';') {
+            let (key, body) = section
+                .split_once('=')
+                .ok_or_else(|| parse_err(format!("section {section:?} has no '='")))?;
+            match key {
+                "crc" => {
+                    for item in body.split(',') {
+                        let seq: u64 = item
+                            .parse()
+                            .map_err(|_| parse_err(format!("bad crc seq {item:?}")))?;
+                        plan.crc_failures.push(seq);
+                    }
+                }
+                "stall" => {
+                    for item in body.split(',') {
+                        let (from, until) = item
+                            .split_once("..")
+                            .ok_or_else(|| parse_err(format!("stall {item:?} has no '..'")))?;
+                        let from: u64 = from
+                            .parse()
+                            .map_err(|_| parse_err(format!("bad stall start {from:?}")))?;
+                        let until: u64 = until
+                            .parse()
+                            .map_err(|_| parse_err(format!("bad stall end {until:?}")))?;
+                        if until <= from {
+                            return Err(parse_err(format!("empty stall window {item:?}")));
+                        }
+                        plan.stall_windows.push(StallWindow { from, until });
+                    }
+                }
+                "transient" => {
+                    for item in body.split(',') {
+                        let (at, container) = item
+                            .split_once('@')
+                            .ok_or_else(|| parse_err(format!("transient {item:?} has no '@'")))?;
+                        let at: u64 = at
+                            .parse()
+                            .map_err(|_| parse_err(format!("bad transient cycle {at:?}")))?;
+                        let container: usize = container
+                            .parse()
+                            .map_err(|_| parse_err(format!("bad container {container:?}")))?;
+                        plan.transient_faults.push((at, ContainerId(container)));
+                    }
+                }
+                "bad" => {
+                    for item in body.split(',') {
+                        let container: usize = item
+                            .parse()
+                            .map_err(|_| parse_err(format!("bad container {item:?}")))?;
+                        plan.bad_containers.push(ContainerId(container));
+                    }
+                }
+                other => return Err(parse_err(format!("unknown section {other:?}"))),
+            }
+        }
+        plan.normalize();
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_round_trips_as_none() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert_eq!(plan.to_string(), "none");
+        assert_eq!("none".parse::<FaultPlan>().unwrap(), plan);
+        assert_eq!("".parse::<FaultPlan>().unwrap(), plan);
+    }
+
+    #[test]
+    fn full_plan_round_trips_through_text() {
+        let plan = FaultPlan {
+            crc_failures: vec![3, 17],
+            stall_windows: vec![
+                StallWindow {
+                    from: 1_000,
+                    until: 5_000,
+                },
+                StallWindow {
+                    from: 80_000,
+                    until: 90_000,
+                },
+            ],
+            transient_faults: vec![(12_000, ContainerId(2))],
+            bad_containers: vec![ContainerId(4)],
+        };
+        let text = plan.to_string();
+        assert_eq!(
+            text,
+            "crc=3,17;stall=1000..5000,80000..90000;transient=12000@2;bad=4"
+        );
+        assert_eq!(text.parse::<FaultPlan>().unwrap(), plan);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_round_trip() {
+        for seed in 0..64u64 {
+            let a = FaultPlan::seeded(seed, 6, 2_000_000);
+            let b = FaultPlan::seeded(seed, 6, 2_000_000);
+            assert_eq!(a, b);
+            assert!(!a.crc_failures.is_empty());
+            assert!(!a.stall_windows.is_empty());
+            assert_eq!(
+                a.to_string().parse::<FaultPlan>().unwrap(),
+                a,
+                "seed {seed}"
+            );
+        }
+        assert_ne!(
+            FaultPlan::seeded(1, 6, 2_000_000),
+            FaultPlan::seeded(2, 6, 2_000_000)
+        );
+    }
+
+    #[test]
+    fn normalize_merges_overlapping_stalls() {
+        let mut plan = FaultPlan {
+            stall_windows: vec![
+                StallWindow {
+                    from: 50,
+                    until: 70,
+                },
+                StallWindow {
+                    from: 10,
+                    until: 30,
+                },
+                StallWindow {
+                    from: 20,
+                    until: 55,
+                },
+                StallWindow {
+                    from: 90,
+                    until: 90,
+                }, // empty, dropped
+            ],
+            ..FaultPlan::default()
+        };
+        plan.normalize();
+        assert_eq!(
+            plan.stall_windows,
+            vec![StallWindow {
+                from: 10,
+                until: 70
+            }]
+        );
+    }
+
+    #[test]
+    fn malformed_plans_are_rejected() {
+        for bad in [
+            "crc",
+            "crc=x",
+            "stall=5..3",
+            "stall=5",
+            "transient=9",
+            "transient=a@1",
+            "wat=1",
+        ] {
+            assert!(bad.parse::<FaultPlan>().is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -37,8 +37,10 @@ pub mod catalog;
 pub mod clock;
 pub mod container;
 pub mod fabric;
+pub mod fault;
 
 pub use catalog::{AtomCatalog, AtomHwProfile};
 pub use clock::Clock;
 pub use container::{AtomContainer, ContainerId, ContainerState};
 pub use fabric::{Fabric, FabricError, FabricEvent};
+pub use fault::{FaultPlan, FaultPlanParseError, StallWindow};

@@ -122,10 +122,14 @@ proptest! {
                     prop_assert!(in_flight.is_none(), "two rotations in flight");
                     in_flight = Some(container);
                 }
-                FabricEvent::RotationCompleted { container, .. } => {
+                FabricEvent::RotationCompleted { container, .. }
+                | FabricEvent::RotationFailed { container, .. } => {
                     prop_assert_eq!(in_flight, Some(container));
                     in_flight = None;
                 }
+                FabricEvent::PortStalled { .. }
+                | FabricEvent::ContainerQuarantined { .. }
+                | FabricEvent::ContainerFaulted { .. } => {}
             }
         }
     }

@@ -122,6 +122,9 @@ pub struct CountersSink {
     fc: BTreeMap<usize, FcCounters>,
     rotations_started: u64,
     rotations_completed: u64,
+    rotations_failed: u64,
+    port_stalls: u64,
+    containers_quarantined: u64,
     containers_loaded: u64,
     containers_evicted: u64,
     reselects: u64,
@@ -158,6 +161,26 @@ impl CountersSink {
     #[must_use]
     pub fn rotations_completed(&self) -> u64 {
         self.rotations_completed
+    }
+
+    /// Rotations that reached completion but failed bitstream
+    /// verification ([`Event::RotationFailed`]).
+    #[must_use]
+    pub fn rotations_failed(&self) -> u64 {
+        self.rotations_failed
+    }
+
+    /// Reconfiguration-port stalls observed ([`Event::PortStalled`]).
+    #[must_use]
+    pub fn port_stalls(&self) -> u64 {
+        self.port_stalls
+    }
+
+    /// Containers taken permanently out of service
+    /// ([`Event::ContainerQuarantined`]).
+    #[must_use]
+    pub fn containers_quarantined(&self) -> u64 {
+        self.containers_quarantined
     }
 
     /// Containers that became usable ([`Event::ContainerLoaded`]).
@@ -197,6 +220,9 @@ impl EventSink for CountersSink {
         match event {
             Event::RotationStarted { .. } => self.rotations_started += 1,
             Event::RotationCompleted { .. } => self.rotations_completed += 1,
+            Event::RotationFailed { .. } => self.rotations_failed += 1,
+            Event::PortStalled { .. } => self.port_stalls += 1,
+            Event::ContainerQuarantined { .. } => self.containers_quarantined += 1,
             Event::ContainerLoaded { .. } => self.containers_loaded += 1,
             Event::ContainerEvicted { .. } => self.containers_evicted += 1,
             Event::SiExecuted { si, hw, cycles, .. } => {
@@ -333,6 +359,15 @@ mod tests {
                 kind: AtomKind(1),
             },
         );
+        sink.emit(
+            12,
+            &Event::RotationFailed {
+                container: 1,
+                kind: AtomKind(0),
+            },
+        );
+        sink.emit(13, &Event::PortStalled { until: 99 });
+        sink.emit(14, &Event::ContainerQuarantined { container: 1 });
 
         let s = sink.si(si);
         assert_eq!(s.hw_executions, 1);
@@ -352,6 +387,9 @@ mod tests {
         assert_eq!(sink.reselects(), 1);
         assert_eq!(sink.reselect_ns(), 250);
         assert_eq!(sink.upgrade_steps(), 1);
+        assert_eq!(sink.rotations_failed(), 1);
+        assert_eq!(sink.port_stalls(), 1);
+        assert_eq!(sink.containers_quarantined(), 1);
         // Unseen SIs read as zeroed counters.
         assert_eq!(sink.si(SiId(9)).cycles, 0);
     }

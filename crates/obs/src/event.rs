@@ -29,6 +29,9 @@ pub enum ReselectTrigger {
     Observation,
     /// The adaptation goal (power mode) changed.
     PowerMode,
+    /// A fabric fault (failed rotation, transient container fault or
+    /// quarantine) invalidated the current rotation schedule.
+    Fault,
 }
 
 impl fmt::Display for ReselectTrigger {
@@ -39,6 +42,7 @@ impl fmt::Display for ReselectTrigger {
             ReselectTrigger::Retract => "retract",
             ReselectTrigger::Observation => "observation",
             ReselectTrigger::PowerMode => "power_mode",
+            ReselectTrigger::Fault => "fault",
         };
         f.write_str(s)
     }
@@ -61,6 +65,28 @@ pub enum Event {
         container: u32,
         /// Atom now loaded.
         kind: AtomKind,
+    },
+    /// A rotation reached its completion cycle but the bitstream failed
+    /// verification (CRC): the container holds no usable Atom and the
+    /// reconfiguration port is free again. No
+    /// [`Event::ContainerLoaded`] is emitted for a failed rotation.
+    RotationFailed {
+        /// Target Atom Container index.
+        container: u32,
+        /// Atom whose bitstream failed to load.
+        kind: AtomKind,
+    },
+    /// The single reconfiguration port stalled mid-transfer; the
+    /// in-flight rotation makes no progress until cycle `until`.
+    PortStalled {
+        /// Cycle at which the transfer resumes.
+        until: u64,
+    },
+    /// An Atom Container was diagnosed permanently bad and removed from
+    /// service; it will never complete a rotation again.
+    ContainerQuarantined {
+        /// The container taken out of service.
+        container: u32,
     },
     /// An Atom Container became usable: the freshly rotated-in Atom is
     /// now available to every task. Emitted by the fabric alongside
@@ -166,6 +192,15 @@ impl fmt::Display for Record {
             }
             Event::RotationCompleted { container, kind } => {
                 write!(f, "{at:>12}  rotation done  AC{container} = {kind}")
+            }
+            Event::RotationFailed { container, kind } => {
+                write!(f, "{at:>12}  rotation FAIL  AC{container} <- {kind}")
+            }
+            Event::PortStalled { until } => {
+                write!(f, "{at:>12}  port stall     until {until}")
+            }
+            Event::ContainerQuarantined { container } => {
+                write!(f, "{at:>12}  quarantine     AC{container}")
             }
             Event::ContainerLoaded { container, kind } => {
                 write!(f, "{at:>12}  container load AC{container} = {kind}")

@@ -100,6 +100,19 @@ fn encode_into(out: &mut String, at: u64, event: &Event) {
                 kind.index()
             );
         }
+        Event::RotationFailed { container, kind } => {
+            let _ = write!(
+                out,
+                "\"rotation_failed\",\"container\":{container},\"kind\":{}",
+                kind.index()
+            );
+        }
+        Event::PortStalled { until } => {
+            let _ = write!(out, "\"port_stalled\",\"until\":{until}");
+        }
+        Event::ContainerQuarantined { container } => {
+            let _ = write!(out, "\"container_quarantined\",\"container\":{container}");
+        }
         Event::ContainerLoaded { container, kind } => {
             let _ = write!(
                 out,
@@ -448,6 +461,16 @@ fn decode_at_line(line: &str, number: usize) -> Result<Record, JsonlError> {
             container: fields.u32("container")?,
             kind: AtomKind(fields.usize("kind")?),
         },
+        "rotation_failed" => Event::RotationFailed {
+            container: fields.u32("container")?,
+            kind: AtomKind(fields.usize("kind")?),
+        },
+        "port_stalled" => Event::PortStalled {
+            until: fields.u64("until")?,
+        },
+        "container_quarantined" => Event::ContainerQuarantined {
+            container: fields.u32("container")?,
+        },
         "container_loaded" => Event::ContainerLoaded {
             container: fields.u32("container")?,
             kind: AtomKind(fields.usize("kind")?),
@@ -489,6 +512,7 @@ fn decode_at_line(line: &str, number: usize) -> Result<Record, JsonlError> {
                 "retract" => ReselectTrigger::Retract,
                 "observation" => ReselectTrigger::Observation,
                 "power_mode" => ReselectTrigger::PowerMode,
+                "fault" => ReselectTrigger::Fault,
                 other => return Err(err(number, format!("unknown reselect trigger {other:?}"))),
             },
             duration_ns: fields.u64("duration_ns")?,
@@ -600,6 +624,10 @@ mod tests {
                 },
             },
             Record {
+                at: 40_000,
+                event: Event::PortStalled { until: 55_000 },
+            },
+            Record {
                 at: 90_000,
                 event: Event::RotationCompleted {
                     container: 4,
@@ -646,6 +674,24 @@ mod tests {
                 event: Event::ForecastRetracted {
                     task: 0,
                     si: SiId(2),
+                },
+            },
+            Record {
+                at: 91_000,
+                event: Event::RotationFailed {
+                    container: 3,
+                    kind: AtomKind(2),
+                },
+            },
+            Record {
+                at: 91_000,
+                event: Event::ContainerQuarantined { container: 3 },
+            },
+            Record {
+                at: 91_001,
+                event: Event::Reselect {
+                    trigger: ReselectTrigger::Fault,
+                    duration_ns: 777,
                 },
             },
         ]

@@ -144,6 +144,7 @@ pub struct MetricsSink {
     bus_busy_since: Option<u64>,
     rotations_started: u64,
     rotations_completed: u64,
+    rotations_failed: u64,
     open_windows: Vec<Window>,
     by_pair: BTreeMap<(TaskId, usize), ForecastStats>,
     windows_total: u64,
@@ -317,6 +318,15 @@ impl MetricsSink {
         (self.rotations_started, self.rotations_completed)
     }
 
+    /// Rotations that reached their completion cycle but failed
+    /// bitstream verification. The port was busy for the full transfer,
+    /// so failed rotations still contribute to
+    /// [`MetricsSink::bus_busy_fraction`].
+    #[must_use]
+    pub fn rotations_failed(&self) -> u64 {
+        self.rotations_failed
+    }
+
     /// Closed forecast windows (one per forecast-to-retract/re-forecast
     /// interval).
     #[must_use]
@@ -480,6 +490,12 @@ impl EventSink for MetricsSink {
             }
             Event::RotationCompleted { .. } => {
                 self.rotations_completed += 1;
+                if let Some(since) = self.bus_busy_since.take() {
+                    self.bus_busy_cycles += at.saturating_sub(since);
+                }
+            }
+            Event::RotationFailed { .. } => {
+                self.rotations_failed += 1;
                 if let Some(since) = self.bus_busy_since.take() {
                     self.bus_busy_cycles += at.saturating_sub(since);
                 }

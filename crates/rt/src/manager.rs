@@ -20,6 +20,7 @@
 
 use std::collections::BTreeMap;
 
+use rispp_core::atom::AtomKind;
 use rispp_core::error::CoreError;
 use rispp_core::forecast::ForecastValue;
 use rispp_core::molecule::Molecule;
@@ -150,6 +151,52 @@ pub enum RotationStrategy {
     TargetOnly,
 }
 
+/// Bounded-retry configuration for rotations that fail in the fabric
+/// (e.g. CRC errors injected by a
+/// [`FaultPlan`](rispp_fabric::FaultPlan)).
+///
+/// After each failed rotation of an Atom kind the manager waits an
+/// exponentially growing backoff —
+/// `backoff_base_us · backoff_factor^(attempt − 1)` simulated
+/// microseconds — before requesting that kind again. Once `max_attempts`
+/// consecutive failures accumulate, the kind is *parked*: no further
+/// rotations are requested for it until some rotation of that kind
+/// succeeds (one already in flight, for instance). Affected SIs keep
+/// executing on the best Molecule the remaining loaded Atoms support,
+/// ultimately the software one — a fabric fault never becomes an
+/// execution error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Consecutive failed rotations of one Atom kind before that kind is
+    /// parked (default 3).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in simulated microseconds
+    /// (default 50 µs).
+    pub backoff_base_us: f64,
+    /// Multiplicative backoff growth per further failure (default 2).
+    pub backoff_factor: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_us: 50.0,
+            backoff_factor: 2.0,
+        }
+    }
+}
+
+/// Per-kind failure bookkeeping for [`RetryPolicy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct BackoffState {
+    /// Consecutive failures since the last success of this kind.
+    attempts: u32,
+    /// Cycle until which the kind must not be re-requested (`u64::MAX`
+    /// once parked).
+    blocked_until: u64,
+}
+
 /// The run-time manager tying the SI library, fabric and selection
 /// algorithms together.
 ///
@@ -202,6 +249,11 @@ pub struct RisppManager<P = LruSurplusPolicy> {
     /// Structured-event sink (disabled by default); shared with the fabric
     /// so rotation and manager events interleave in one stream.
     sink: SinkHandle,
+    /// Bounded-retry configuration for failed rotations.
+    retry_policy: RetryPolicy,
+    /// Per-Atom-kind backoff state, keyed by kind index. An entry exists
+    /// only while the kind has unresolved failures.
+    backoff: BTreeMap<usize, BackoffState>,
 }
 
 /// Step-by-step construction of a [`RisppManager`].
@@ -243,6 +295,7 @@ pub struct ManagerBuilder<P = LruSurplusPolicy> {
     rotation_strategy: RotationStrategy,
     lambda: f64,
     sink: SinkHandle,
+    retry_policy: RetryPolicy,
 }
 
 impl<P: ReplacementPolicy> ManagerBuilder<P> {
@@ -258,7 +311,16 @@ impl<P: ReplacementPolicy> ManagerBuilder<P> {
             rotation_strategy: self.rotation_strategy,
             lambda: self.lambda,
             sink: self.sink,
+            retry_policy: self.retry_policy,
         }
+    }
+
+    /// Sets the bounded-retry policy for rotations that fail in the
+    /// fabric (default: [`RetryPolicy::default`]).
+    #[must_use]
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry_policy = retry;
+        self
     }
 
     /// Sets the initial adaptation goal (default:
@@ -331,6 +393,8 @@ impl<P: ReplacementPolicy> ManagerBuilder<P> {
             power_mode: self.power_mode,
             lambda: self.lambda,
             sink: self.sink,
+            retry_policy: self.retry_policy,
+            backoff: BTreeMap::new(),
         }
     }
 }
@@ -348,6 +412,7 @@ impl RisppManager<LruSurplusPolicy> {
             rotation_strategy: RotationStrategy::default(),
             lambda: 0.25,
             sink: SinkHandle::null(),
+            retry_policy: RetryPolicy::default(),
         }
     }
 
@@ -515,13 +580,109 @@ impl<P: ReplacementPolicy> RisppManager<P> {
         self.fabric.all_rotations_done_at()
     }
 
-    /// Advances time, completing rotations.
+    /// Advances time, completing rotations and — when a
+    /// [`FaultPlan`](rispp_fabric::FaultPlan) is installed — driving the
+    /// degradation state machine: a failed rotation is retried after an
+    /// exponential backoff (see [`RetryPolicy`]), quarantined or faulted
+    /// containers trigger a re-selection that routes around them, and
+    /// execution keeps using the best *loaded* Molecule throughout, so
+    /// [`RisppManager::execute_si`] never errors because of fabric
+    /// faults.
+    ///
+    /// Time advances in sub-steps: the manager stops at every rotation
+    /// completion and every backoff expiry inside `(now, t]` so retries
+    /// are issued at the simulated instant they become legal, not at the
+    /// end of the caller's step.
     ///
     /// # Errors
     ///
     /// Returns [`FabricError::TimeReversal`] when `t` is in the past.
     pub fn advance_to(&mut self, t: u64) -> Result<Vec<FabricEvent>, FabricError> {
-        self.fabric.advance_to(t)
+        let mut all = Vec::new();
+        loop {
+            let now = self.fabric.now();
+            // Earliest backoff expiry inside (now, t]: the moment a
+            // blocked kind becomes requestable again.
+            let wake = self
+                .backoff
+                .values()
+                .map(|b| b.blocked_until)
+                .filter(|&w| w > now && w <= t)
+                .min();
+            let mut step_to = wake.unwrap_or(t);
+            if let Some(done) = self.fabric.next_completion() {
+                if done > now {
+                    step_to = step_to.min(done);
+                }
+            }
+            let events = self.fabric.advance_to(step_to)?;
+            let mut need_reselect = wake == Some(step_to);
+            for event in &events {
+                match *event {
+                    FabricEvent::RotationFailed { kind, at, .. } => {
+                        self.note_rotation_failure(kind, at);
+                        need_reselect = true;
+                    }
+                    FabricEvent::RotationCompleted { kind, .. } => {
+                        // A success wipes the kind's failure history.
+                        self.backoff.remove(&kind.index());
+                    }
+                    FabricEvent::ContainerQuarantined { .. }
+                    | FabricEvent::ContainerFaulted { .. } => {
+                        need_reselect = true;
+                    }
+                    _ => {}
+                }
+            }
+            all.extend(events);
+            if need_reselect {
+                self.reselect(ReselectTrigger::Fault);
+            }
+            if step_to >= t {
+                return Ok(all);
+            }
+        }
+    }
+
+    /// Records one failed rotation of `kind` and computes the cycle until
+    /// which that kind must not be re-requested.
+    fn note_rotation_failure(&mut self, kind: AtomKind, at: u64) {
+        let retry = self.retry_policy;
+        let clock = self.fabric.clock();
+        let entry = self.backoff.entry(kind.index()).or_default();
+        entry.attempts += 1;
+        if entry.attempts >= retry.max_attempts {
+            entry.blocked_until = u64::MAX; // parked until a success
+        } else {
+            let us = retry.backoff_base_us * retry.backoff_factor.powi(entry.attempts as i32 - 1);
+            entry.blocked_until = at.saturating_add(clock.us_to_cycles(us).max(1));
+        }
+    }
+
+    /// `true` while `kind` is under failure backoff (or parked) at `now`.
+    fn is_blocked(&self, kind: AtomKind, now: u64) -> bool {
+        self.backoff
+            .get(&kind.index())
+            .is_some_and(|b| b.blocked_until > now)
+    }
+
+    /// Atom kinds currently barred from rotation by failure backoff —
+    /// both those waiting out a delay and those parked after
+    /// [`RetryPolicy::max_attempts`] failures.
+    #[must_use]
+    pub fn blocked_kinds(&self) -> Vec<AtomKind> {
+        let now = self.fabric.now();
+        self.backoff
+            .iter()
+            .filter(|(_, b)| b.blocked_until > now)
+            .map(|(&k, _)| AtomKind(k))
+            .collect()
+    }
+
+    /// The bounded-retry policy in effect.
+    #[must_use]
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry_policy
     }
 
     /// Handles an FC event: task `task` announces (or updates) a forecast
@@ -710,7 +871,10 @@ impl<P: ReplacementPolicy> RisppManager<P> {
         }
         let demands: Vec<(SiId, f64)> =
             weights.iter().map(|(&si, &(w, _))| (SiId(si), w)).collect();
-        let capacity = self.fabric.num_containers() as u32;
+        // Quarantined containers can never hold an Atom again; selecting
+        // under the full container count would chase an unreachable
+        // target forever.
+        let capacity = self.fabric.usable_containers() as u32;
         self.selection = select_molecules(&self.lib, &demands, capacity);
         self.schedule_rotations(&weights);
         if let Some(t0) = started {
@@ -776,7 +940,13 @@ impl<P: ReplacementPolicy> RisppManager<P> {
                     let missing = committed
                         .additional_atoms(stage)
                         .expect("widths agree by construction");
-                    let Some((kind, _)) = missing.iter_nonzero().next() else {
+                    // Kinds under failure backoff are skipped, not
+                    // retried early: the rest of the stage still loads.
+                    let now = self.fabric.now();
+                    let Some((kind, _)) = missing
+                        .iter_nonzero()
+                        .find(|&(k, _)| !self.is_blocked(k, now))
+                    else {
                         break;
                     };
                     let Some(victim) = self.policy.choose_victim(&self.fabric, &target) else {
@@ -1207,6 +1377,161 @@ mod tests {
         let observed = run(Some(SinkHandle::new(rispp_obs::CountersSink::default())));
         let silent = run(None);
         assert_eq!(observed, silent);
+    }
+
+    #[test]
+    fn retry_waits_out_the_backoff() {
+        use rispp_fabric::FaultPlan;
+        // One container, one single-Atom Molecule: exactly one rotation
+        // is ever in flight, so the retry timing is fully determined.
+        let atoms = AtomSet::from_names(["A", "B"]);
+        let catalog = AtomCatalog::new(vec![
+            AtomHwProfile::new("A", 100, 200, 6_920), // 10 000-cycle rotation
+            AtomHwProfile::new("B", 100, 200, 6_920),
+        ]);
+        let fabric = Fabric::new(atoms, catalog, 1).with_faults(FaultPlan {
+            crc_failures: vec![0],
+            ..FaultPlan::default()
+        });
+        let mut lib = SiLibrary::new(2);
+        let si = lib
+            .insert(
+                SpecialInstruction::new(
+                    "S",
+                    500,
+                    vec![MoleculeImpl::new(Molecule::from_counts([0, 1]), 20)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let mut mgr = RisppManager::builder(lib, fabric).build();
+        mgr.forecast(0, fv(si, 100.0));
+        let events = mgr.advance_to(100_000).unwrap();
+        // Rotation 0 starts at 0 and fails CRC at 10 000; the retry
+        // starts exactly when the 50 µs (5 000 cycle) backoff expires.
+        let starts: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match *e {
+                FabricEvent::RotationStarted { at, .. } => Some(at),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(starts, vec![0, 15_000]);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, FabricEvent::RotationFailed { at: 10_000, .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, FabricEvent::RotationCompleted { at: 25_000, .. })));
+        // The success wiped the failure history; execution is hardware.
+        assert!(mgr.blocked_kinds().is_empty());
+        assert!(mgr.execute_si(0, si).hardware);
+        // Both transfers moved bits: the failed one stays billed.
+        assert_eq!(mgr.rotations_requested(), 2);
+        assert_eq!(mgr.rotation_bytes(), 2 * 6_920);
+    }
+
+    #[test]
+    fn kind_parks_after_max_attempts_and_degrades_to_software() {
+        use rispp_fabric::FaultPlan;
+        // Every rotation fails CRC. After max_attempts per kind the
+        // manager parks the kind instead of retrying forever, and the SI
+        // keeps executing in software — never an error.
+        let (lib, fabric, s0, _) = small_platform();
+        let plan = FaultPlan {
+            crc_failures: (0..64).collect(),
+            ..FaultPlan::default()
+        };
+        let mut mgr = RisppManager::builder(lib, fabric.with_faults(plan)).build();
+        mgr.forecast(0, fv(s0, 100.0));
+        let mut failures = 0usize;
+        let mut t = 0u64;
+        while t < 2_000_000 {
+            t += 1_000;
+            let events = mgr
+                .advance_to(t)
+                .expect("advance never errors under faults");
+            failures += events
+                .iter()
+                .filter(|e| matches!(e, FabricEvent::RotationFailed { .. }))
+                .count();
+            assert!(mgr.execute_si(0, s0).cycles > 0);
+        }
+        let max = mgr.retry_policy().max_attempts as usize;
+        assert!(
+            failures >= max,
+            "kind parked too early: {failures} failures"
+        );
+        // Bounded retry: at most max_attempts per kind, plus rotations
+        // already queued when their kind parked (one per container).
+        assert!(failures <= 2 * max + 3, "retry storm: {failures} failures");
+        assert_eq!(mgr.blocked_kinds().len(), 2);
+        assert!(!mgr.execute_si(0, s0).hardware);
+        assert_eq!(mgr.execute_si(0, s0).cycles, 500);
+        // Once parked, the fabric stays quiet: no new rotations, no new
+        // failures, however long the run continues.
+        let tail = mgr.advance_to(4_000_000).unwrap();
+        assert!(tail.is_empty(), "parked kinds still rotating: {tail:?}");
+    }
+
+    #[test]
+    fn quarantined_container_is_routed_around() {
+        use rispp_fabric::{ContainerId, FaultPlan};
+        let (lib, fabric, s0, _) = small_platform();
+        let plan = FaultPlan {
+            bad_containers: vec![ContainerId(0)],
+            ..FaultPlan::default()
+        };
+        let mut mgr = RisppManager::builder(lib, fabric.with_faults(plan)).build();
+        mgr.forecast(0, fv(s0, 100.0));
+        let events = mgr.advance_to(1_000_000).unwrap();
+        let quarantined_at = events
+            .iter()
+            .find_map(|e| match *e {
+                FabricEvent::ContainerQuarantined {
+                    container: ContainerId(0),
+                    at,
+                } => Some(at),
+                _ => None,
+            })
+            .expect("bad container was never quarantined");
+        // No rotation targets the dead container afterwards.
+        assert!(events
+            .iter()
+            .filter_map(|e| match *e {
+                FabricEvent::RotationStarted { container, at, .. } if at > quarantined_at =>
+                    Some(container),
+                _ => None,
+            })
+            .all(|c| c != ContainerId(0)));
+        assert_eq!(mgr.fabric().usable_containers(), 2);
+        // Selection re-plans under the reduced capacity: the fast (2,1)
+        // Molecule no longer fits two containers, the minimal (1,1) does.
+        let r = mgr.execute_si(0, s0);
+        assert!(r.hardware);
+        assert_eq!(r.cycles, 20);
+    }
+
+    #[test]
+    fn transient_fault_triggers_reloading() {
+        use rispp_fabric::{ContainerId, FaultPlan};
+        let (lib, fabric, s0, _) = small_platform();
+        // Long after everything is loaded, AC0 loses its Atom.
+        let plan = FaultPlan {
+            transient_faults: vec![(200_000, ContainerId(0))],
+            ..FaultPlan::default()
+        };
+        let mut mgr = RisppManager::builder(lib, fabric.with_faults(plan)).build();
+        mgr.forecast(0, fv(s0, 100.0));
+        drain_rotations(&mut mgr);
+        assert_eq!(mgr.execute_si(0, s0).cycles, 10);
+        let events = mgr.advance_to(250_000).unwrap();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, FabricEvent::ContainerFaulted { .. })));
+        // The fault triggered a re-selection that reloads the lost Atom.
+        drain_rotations(&mut mgr);
+        assert_eq!(mgr.execute_si(0, s0).cycles, 10);
     }
 
     #[test]

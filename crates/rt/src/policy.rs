@@ -45,9 +45,15 @@ impl ReplacementPolicy for LruSurplusPolicy {
         for (id, _) in fabric.pending_rotations() {
             pending[id.index()] = true;
         }
-        // Empty, non-pending containers are free wins.
+        // Empty, non-pending containers are free wins. Quarantined
+        // containers also report no loaded Atom, but rotating into them
+        // is pointless — they reject every request.
         for (id, c) in fabric.iter_containers() {
-            if !pending[id.index()] && c.loaded_kind().is_none() && !c.is_loading() {
+            if !pending[id.index()]
+                && c.loaded_kind().is_none()
+                && !c.is_loading()
+                && !c.is_quarantined()
+            {
                 return Some(id);
             }
         }
@@ -151,6 +157,32 @@ mod tests {
         load(&mut f, 1, 1);
         let keep = Molecule::from_counts([1, 1, 0, 0]);
         assert_eq!(LruSurplusPolicy.choose_victim(&f, &keep), None);
+    }
+
+    #[test]
+    fn never_picks_quarantined_containers() {
+        use rispp_fabric::FaultPlan;
+        let mut f = fabric(3).with_faults(FaultPlan {
+            bad_containers: vec![ContainerId(1)],
+            ..FaultPlan::default()
+        });
+        // The first rotation into the bad container quarantines it.
+        f.request_rotation(ContainerId(1), AtomKind(0)).unwrap();
+        let t = f.next_completion().unwrap();
+        f.advance_to(t).unwrap();
+        assert!(f.container(ContainerId(1)).is_quarantined());
+        load(&mut f, 0, 0);
+        load(&mut f, 2, 1);
+        // Only the surplus SATD in AC2 is evictable — never AC1, even
+        // though it reports no loaded Atom.
+        let keep = Molecule::from_counts([1, 0, 0, 0]);
+        assert_eq!(
+            LruSurplusPolicy.choose_victim(&f, &keep),
+            Some(ContainerId(2))
+        );
+        // With every healthy Atom protected there is no victim at all.
+        let keep_all = Molecule::from_counts([1, 1, 0, 0]);
+        assert_eq!(LruSurplusPolicy.choose_victim(&f, &keep_all), None);
     }
 
     #[test]

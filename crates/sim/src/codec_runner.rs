@@ -10,6 +10,7 @@
 //! bitrate together.
 
 use rispp_core::forecast::ForecastValue;
+use rispp_fabric::FaultPlan;
 use rispp_h264::block::Plane;
 use rispp_h264::encoder::{
     encode_macroblock_into, EncoderConfig, SiInvocationCounts, HW_DISPATCH_OVERHEAD,
@@ -18,6 +19,7 @@ use rispp_h264::encoder::{
 use rispp_h264::entropy::BitWriter;
 use rispp_h264::si_library::{build_library, H264Sis};
 use rispp_h264::video::SyntheticVideo;
+use rispp_obs::SinkHandle;
 use rispp_rt::manager::RisppManager;
 
 use crate::scenario::h264_fabric;
@@ -61,9 +63,44 @@ pub fn run_encoder_on_rispp(
     config: &EncoderConfig,
     seed: u64,
 ) -> CodecRunOutcome {
+    run_encoder_on_rispp_with_faults(width, height, frames, containers, config, seed, None, None)
+}
+
+/// [`run_encoder_on_rispp`] under an optional deterministic
+/// [`FaultPlan`], with an optional structured-event sink teed into the
+/// manager (so a chaos harness can capture the run's timeline or export
+/// it as JSONL).
+///
+/// The pixel pipeline is pure `rispp-h264` code: whatever the fault plan
+/// does to the fabric, the encoded bits and PSNR must be *identical* to
+/// the fault-free run — faults cost cycles, never correctness.
+///
+/// # Panics
+///
+/// Panics if `frames == 0` or the dimensions are not multiples of 16.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn run_encoder_on_rispp_with_faults(
+    width: usize,
+    height: usize,
+    frames: usize,
+    containers: usize,
+    config: &EncoderConfig,
+    seed: u64,
+    faults: Option<&FaultPlan>,
+    sink: Option<SinkHandle>,
+) -> CodecRunOutcome {
     assert!(frames > 0, "need at least one frame");
     let (lib, sis) = build_library();
-    let mut mgr = RisppManager::builder(lib, h264_fabric(containers)).build();
+    let mut fabric = h264_fabric(containers);
+    if let Some(plan) = faults {
+        fabric = fabric.with_faults(plan.clone());
+    }
+    let mut builder = RisppManager::builder(lib, fabric);
+    if let Some(sink) = sink {
+        builder = builder.sink(sink);
+    }
+    let mut mgr = builder.build();
     let mut video = SyntheticVideo::new(width, height, seed);
     let mut reference = video.next_frame();
     let mbs = (width / 16) * (height / 16);

@@ -27,6 +27,7 @@
 #![deny(deprecated)]
 
 pub mod asm;
+pub mod chaos;
 pub mod codec_runner;
 pub mod codegen;
 pub mod cpu;
@@ -37,12 +38,16 @@ pub mod task;
 pub mod waveform;
 
 pub use asm::{assemble, AsmError};
-pub use codec_runner::{run_encoder_on_rispp, CodecRunOutcome};
+pub use chaos::{
+    check_invariants, run_codec_chaos, run_fig6_chaos, ChaosReport, CodecChaosOutcome,
+    Fig6ChaosOutcome,
+};
+pub use codec_runner::{run_encoder_on_rispp, run_encoder_on_rispp_with_faults, CodecRunOutcome};
 pub use codegen::{generate_trace_program, lower_block};
 pub use cpu::{Cpu, Instr, RunSummary, StopReason};
 pub use engine::Engine;
 pub use multimode::{run_multimode, MultiModeOutcome, PhaseSpec};
-pub use scenario::{fig6_engine, h264_fabric, run_fig6, Fig6Report};
+pub use scenario::{fig6_engine, fig6_engine_with_faults, h264_fabric, run_fig6, Fig6Report};
 pub use task::{Op, ProgramCursor, Task};
 pub use waveform::{container_timelines, render_waveform, ContainerTimeline, Occupancy};
 // Event types live in `rispp-obs` now; re-exported so simulator users can

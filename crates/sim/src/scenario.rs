@@ -56,8 +56,18 @@ pub fn h264_fabric(containers: usize) -> Fabric {
 /// SATD_4x4) and Task B (SI0 = SAD_4x4, SI1 = DCT_4x4).
 #[must_use]
 pub fn fig6_engine() -> (Engine<LruSurplusPolicy>, H264Sis) {
+    fig6_engine_with_faults(&rispp_fabric::FaultPlan::none())
+}
+
+/// [`fig6_engine`] with a deterministic [`FaultPlan`](rispp_fabric::FaultPlan)
+/// installed on the fabric — the chaos harness's entry point into the
+/// paper's scenario.
+#[must_use]
+pub fn fig6_engine_with_faults(
+    faults: &rispp_fabric::FaultPlan,
+) -> (Engine<LruSurplusPolicy>, H264Sis) {
     let (lib, sis) = build_library();
-    let fabric = h264_fabric(6);
+    let fabric = h264_fabric(6).with_faults(faults.clone());
     let manager = RisppManager::builder(lib, fabric).build();
     let mut engine = Engine::new(manager);
 

@@ -2,7 +2,12 @@
 //! through the full manager/fabric stack must preserve the RISPP
 //! invariants.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use proptest::prelude::*;
+use rispp::fabric::{FaultPlan, StallWindow};
+use rispp::obs::jsonl;
 use rispp::prelude::*;
 
 const WIDTH: usize = 3;
@@ -49,6 +54,37 @@ prop_compose! {
             lib.insert(si).expect("width ok");
         }
         lib
+    }
+}
+
+prop_compose! {
+    /// A platform size together with a fault plan whose container indices
+    /// stay in range: CRC failures on early rotation sequence numbers,
+    /// port-stall windows, transient container faults and at most one
+    /// permanently bad container.
+    fn fault_env_strategy()(
+        containers in 1usize..5,
+        crcs in proptest::collection::vec(0u64..24, 0..4),
+        stalls in proptest::collection::vec((1_000u64..300_000, 1_000u64..120_000), 0..3),
+        transients in proptest::collection::vec((10_000u64..400_000, 0usize..5), 0..3),
+        bad in proptest::collection::vec(0usize..5, 0..2),
+    ) -> (usize, FaultPlan) {
+        // Container indices are drawn from the widest range and folded
+        // into the platform size, keeping the strategy single-stage.
+        let mut plan = FaultPlan {
+            crc_failures: crcs,
+            stall_windows: stalls
+                .into_iter()
+                .map(|(from, len)| StallWindow { from, until: from + len })
+                .collect(),
+            transient_faults: transients
+                .into_iter()
+                .map(|(at, c)| (at, ContainerId(c % containers)))
+                .collect(),
+            bad_containers: bad.into_iter().map(|c| ContainerId(c % containers)).collect(),
+        };
+        plan.normalize();
+        (containers, plan)
     }
 }
 
@@ -176,5 +212,52 @@ proptest! {
             }
         }
         prop_assert!(completions.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Fault injection is part of the observable surface: under any fault
+    /// plan, the JSONL export replays into CountersSink/MetricsSink states
+    /// identical to the live-attached sinks' — failures, stalls and
+    /// quarantines included.
+    #[test]
+    fn faulted_replay_matches_live_sinks(
+        lib in library_strategy(),
+        (containers, plan) in fault_env_strategy(),
+        forecasts in proptest::collection::vec((0usize..4, 1.0f64..200.0), 1..8),
+    ) {
+        let fabric = make_fabric(containers).with_faults(plan.clone());
+        let counters = Rc::new(RefCell::new(CountersSink::new()));
+        let metrics = Rc::new(RefCell::new(MetricsSink::new()));
+        let export = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
+        let sink = SinkHandle::tee(
+            SinkHandle::shared(counters.clone()),
+            SinkHandle::tee(
+                SinkHandle::shared(metrics.clone()),
+                SinkHandle::shared(export.clone()),
+            ),
+        );
+        let mut mgr = RisppManager::builder(lib.clone(), fabric).sink(sink).build();
+        let mut t = 0u64;
+        for (pick, execs) in forecasts {
+            let si = SiId(pick % lib.len());
+            mgr.forecast(0, ForecastValue::new(si, 1.0, 50_000.0, execs));
+            t += 9_000;
+            mgr.advance_to(t).unwrap();
+            // Under faults execute_si still never errors: it degrades.
+            let rec = mgr.execute_si(0, si);
+            prop_assert!(rec.cycles <= lib.get(si).sw_cycles());
+        }
+        // Let in-flight rotations, retries and backoffs play out.
+        mgr.advance_to(t + 600_000).unwrap();
+
+        let text = String::from_utf8(export.borrow().writer().clone()).unwrap();
+        let mut replayed_counters = CountersSink::new();
+        jsonl::replay(&text, &mut replayed_counters).expect("replay");
+        prop_assert_eq!(&*counters.borrow(), &replayed_counters);
+
+        let mut replayed_metrics = MetricsSink::new();
+        jsonl::replay(&text, &mut replayed_metrics).expect("replay");
+        metrics.borrow_mut().finish();
+        replayed_metrics.finish();
+        prop_assert_eq!(metrics.borrow().summary(), replayed_metrics.summary());
     }
 }
