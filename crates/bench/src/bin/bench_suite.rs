@@ -1,0 +1,85 @@
+//! Host-performance trajectory suite: runs the three reference workloads
+//! (fig06, stress, live_codec) under a standardized warmup + repetition
+//! plan and writes one versioned `BENCH_<workload>.json` per workload.
+//!
+//! The committed files at the repo root are the blessed baseline; CI's
+//! perf-smoke job re-runs this binary with `--quick` and diffs against
+//! them with `bench_compare`.
+//!
+//! ```text
+//! bench_suite [--quick] [--reps N] [--warmup N] [--out-dir DIR]
+//! ```
+//!
+//! `--quick` shrinks both the workloads (fewer stress seeds/steps, fewer
+//! encoder frames) and the repetition counts. The committed baseline is
+//! blessed with `--quick` — the same setting the CI job runs — so the
+//! gate always compares commensurate modes; full mode is for deeper
+//! local measurement.
+
+use rispp_bench::harness::{bench_file_name, run_workload, HarnessConfig, WORKLOADS};
+
+fn main() {
+    let mut config = HarnessConfig::full();
+    let mut explicit_reps: Option<usize> = None;
+    let mut explicit_warmup: Option<usize> = None;
+    let mut out_dir = ".".to_string();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => config = HarnessConfig::quick(),
+            "--reps" => {
+                explicit_reps = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--reps needs a positive integer")),
+                );
+            }
+            "--warmup" => {
+                explicit_warmup = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--warmup needs a non-negative integer")),
+                );
+            }
+            "--out-dir" => {
+                out_dir = iter
+                    .next()
+                    .unwrap_or_else(|| usage("--out-dir needs a path"));
+            }
+            _ => usage(&format!("unknown option {arg}")),
+        }
+    }
+    if let Some(reps) = explicit_reps {
+        config.reps = reps.max(1);
+    }
+    if let Some(warmup) = explicit_warmup {
+        config.warmup = warmup;
+    }
+
+    println!(
+        "== bench_suite: mode={} reps={} warmup={} ==\n",
+        if config.quick { "quick" } else { "full" },
+        config.reps,
+        config.warmup
+    );
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    for workload in WORKLOADS {
+        print!("{workload:<11} ");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        let result = run_workload(workload, &config);
+        let path = format!("{out_dir}/{}", bench_file_name(workload));
+        std::fs::write(&path, result.to_json()).expect("write BENCH file");
+        println!(
+            "median {:>12} ns  {:>12.0} events/s  {:>14.0} sim-cycles/s  -> {path}",
+            result.wall_ns_median, result.events_per_sec, result.sim_cycles_per_sec
+        );
+    }
+    println!("\ndone; compare against a baseline with bench_compare.");
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("bench_suite: {problem}");
+    eprintln!("usage: bench_suite [--quick] [--reps N] [--warmup N] [--out-dir DIR]");
+    std::process::exit(2);
+}

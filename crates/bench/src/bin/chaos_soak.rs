@@ -23,7 +23,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use rispp::fabric::FaultPlan;
-use rispp::obs::{JsonlSink, SinkHandle};
+use rispp::obs::{JsonlSink, SinkHandle, TimelineSink};
 use rispp::sim::chaos::{run_codec_chaos, run_fig6_chaos};
 
 /// The Fig. 6 engine runs for at most 100k steps; every seeded fault
@@ -32,6 +32,12 @@ const HORIZON_CYCLES: u64 = 2_000_000;
 const CONTAINERS: usize = 6;
 const CODEC_FRAMES: usize = 2;
 const CODEC_SEED: u64 = 42;
+
+/// Every fig6 run carries a bounded tail of its most recent events — a
+/// soak can afford that where a full timeline per seed would not — so a
+/// violation comes with the context that led up to it.
+const TAIL_CAPACITY: usize = 512;
+const TAIL_PRINTED: usize = 12;
 
 fn main() {
     let mut seeds = 4u64;
@@ -64,26 +70,44 @@ fn main() {
     let mut fig6_failures = 0usize;
     let mut codec_failures = 0usize;
     let mut exported: Option<String> = None;
+    let mut tail_shown = false;
 
     for seed in 0..seeds {
         let plan = FaultPlan::seeded(seed, CONTAINERS, HORIZON_CYCLES);
 
-        // Fig. 6 under the plan, exporting seed 0's event stream.
+        // Fig. 6 under the plan: a bounded tail of recent events rides
+        // along on every seed, and seed 0 additionally exports JSONL.
+        let tail = Rc::new(RefCell::new(TimelineSink::with_capacity(TAIL_CAPACITY)));
         let export = if export_wanted && (seed == 0 || violations > 0) && exported.is_none() {
             Some(Rc::new(RefCell::new(JsonlSink::new(Vec::new()))))
         } else {
             None
         };
-        let fig6 = run_fig6_chaos(
-            &plan,
-            export.as_ref().map(|e| SinkHandle::shared(e.clone())),
-        );
+        let mut sink = SinkHandle::shared(tail.clone());
+        if let Some(e) = &export {
+            sink = SinkHandle::tee(sink, SinkHandle::shared(e.clone()));
+        }
+        let fig6 = run_fig6_chaos(&plan, Some(sink));
         println!("seed {seed} {}", fig6.report);
+        let violations_before = violations;
         violations += fig6.report.violations.len();
         fig6_failures += fig6.report.rotation_failures;
         if fig6.exec_counts != baseline.exec_counts {
             println!("  VIOLATION: fig6 SI stream diverged from the fault-free run");
             violations += 1;
+        }
+        if violations > violations_before && !tail_shown {
+            tail_shown = true;
+            let tail = tail.borrow();
+            let entries = tail.timeline().entries();
+            let shown = entries.len().min(TAIL_PRINTED);
+            println!(
+                "  last {shown} events before the violation (of {} kept):",
+                entries.len()
+            );
+            for record in &entries[entries.len() - shown..] {
+                println!("    {record}");
+            }
         }
         if let Some(e) = export {
             if exported.is_none() && (seed == 0 || violations > 0) {

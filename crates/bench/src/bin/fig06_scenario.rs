@@ -17,7 +17,7 @@ use std::rc::Rc;
 use rispp::h264::si_library::atom_set;
 use rispp::obs::jsonl;
 use rispp::prelude::*;
-use rispp::sim::scenario::{fig6_engine, run_fig6};
+use rispp::sim::scenario::{fig6_engine_with, run_fig6};
 use rispp::sim::waveform::render_waveform;
 use rispp_bench::report::{analyze, render_markdown, ReportConfig};
 
@@ -62,9 +62,10 @@ fn main() {
         report.rotations
     );
 
-    // Re-run with a JSONL export attached, then rebuild the timeline
-    // purely from the exported text.
-    let (mut engine, _) = fig6_engine();
+    // Re-run with a JSONL export attached and the host profiler enabled,
+    // then rebuild the timeline purely from the exported text.
+    let prof = ProfHandle::enabled();
+    let (mut engine, _) = fig6_engine_with(&rispp::fabric::FaultPlan::none(), prof.clone());
     let export = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
     engine.attach_sink(SinkHandle::shared(export.clone()));
     let end = engine.run(100_000);
@@ -90,7 +91,10 @@ fn main() {
     }
     if let Some(path) = &report_out {
         let config = ReportConfig::h264(6);
-        let analysis = analyze(&text, &config).expect("own export analyzes cleanly");
+        let mut analysis = analyze(&text, &config).expect("own export analyzes cleanly");
+        // This binary drove the live run, so it can attach what the
+        // export cannot carry: the run's host-time phase profile.
+        analysis.host_profile = prof.snapshot();
         std::fs::write(path, render_markdown(&analysis, &config)).expect("write report");
         println!("markdown report written to {path}");
     }

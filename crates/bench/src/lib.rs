@@ -25,6 +25,8 @@
 //! | `synthesis_report` | future work — LCS-based automatic Atom synthesis |
 //! | `stress_random` | fuzzing — random platforms through the full stack |
 //! | `live_codec` | the real pixel pipeline on RISPP (live Fig. 12) |
+//! | `bench_suite` | host-perf trajectory — writes `BENCH_<workload>.json` |
+//! | `bench_compare` | host-perf trajectory — diffs two BENCH sets, gates CI |
 //!
 //! The Criterion benches (`cargo bench -p rispp-bench`) measure the code
 //! under test itself: Molecule algebra, selection, CFG analysis, the
@@ -33,7 +35,12 @@
 //! The [`report`] module is the shared analysis layer behind the
 //! `rispp_report` binary: it turns any JSONL event export into a
 //! markdown run report (spans, gauges, waveform, forecast accuracy).
+//!
+//! The [`harness`] module is the layer behind `bench_suite` and
+//! `bench_compare`: standardized workload runners, the versioned BENCH
+//! JSON format, and the regression-comparison gate.
 
+pub mod harness;
 pub mod report;
 
 /// Renders a simple aligned table to stdout.

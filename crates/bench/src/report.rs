@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 
 use rispp::core::atom::AtomSet;
 use rispp::obs::jsonl::{self, JsonlError};
-use rispp::obs::{Event, EventSink, MetricsSink, SpanBuilder, Timeline, TimelineSink};
+use rispp::obs::{Event, EventSink, HostProfile, MetricsSink, SpanBuilder, Timeline, TimelineSink};
 use rispp::sim::waveform::render_waveform;
 
 /// Platform knowledge the analyzer needs but the stream does not carry:
@@ -87,6 +87,11 @@ pub struct Analysis {
     pub spans: SpanBuilder,
     /// Time-weighted gauges (settled — `finish` already called).
     pub metrics: MetricsSink,
+    /// Host-time profile of the producing run. Always `None` from
+    /// [`analyze`] — the exported stream carries simulated time only —
+    /// but a caller that also drove the live run (e.g. the Fig. 6 binary)
+    /// can attach the profiler snapshot before rendering.
+    pub host_profile: Option<HostProfile>,
 }
 
 /// Replays every line into the timeline, span and metrics views at once.
@@ -124,6 +129,7 @@ pub fn analyze(jsonl_text: &str, config: &ReportConfig) -> Result<Analysis, Json
         timeline: fanout.timeline.into_timeline(),
         spans: fanout.spans,
         metrics: fanout.metrics,
+        host_profile: None,
     })
 }
 
@@ -283,10 +289,26 @@ pub fn render_markdown(analysis: &Analysis, config: &ReportConfig) -> String {
     }
     let _ = writeln!(out);
 
+    if let Some(profile) = &analysis.host_profile {
+        let _ = writeln!(out, "## Host-time profile");
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "Wall-clock cost of the producing run's manager phases \
+             (host nanoseconds, not simulated cycles)."
+        );
+        let _ = writeln!(out);
+        let _ = write!(out, "{}", profile.render_markdown());
+        let _ = writeln!(out);
+    }
+
     let _ = writeln!(out, "## Prometheus exposition");
     let _ = writeln!(out);
     let _ = writeln!(out, "```text");
     let _ = write!(out, "{}", analysis.metrics.render_prometheus());
+    if let Some(profile) = &analysis.host_profile {
+        let _ = write!(out, "{}", profile.render_prometheus());
+    }
     let _ = writeln!(out, "```");
     out
 }
@@ -349,6 +371,22 @@ mod tests {
         let analysis = analyze(&text, &inferred).unwrap();
         let md = render_markdown(&analysis, &inferred);
         assert!(md.contains("## Metrics summary"));
+    }
+
+    #[test]
+    fn host_profile_section_appears_only_when_attached() {
+        let text = fig6_export();
+        let config = ReportConfig::h264(6);
+        let mut analysis = analyze(&text, &config).expect("export replays");
+        let md = render_markdown(&analysis, &config);
+        assert!(!md.contains("## Host-time profile"));
+
+        let prof = rispp::obs::ProfHandle::enabled();
+        drop(prof.scope("reselect"));
+        analysis.host_profile = prof.snapshot();
+        let md = render_markdown(&analysis, &config);
+        assert!(md.contains("## Host-time profile"));
+        assert!(md.contains("| reselect |"));
     }
 
     #[test]

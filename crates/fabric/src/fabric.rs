@@ -13,7 +13,7 @@ use std::fmt;
 
 use rispp_core::atom::{AtomKind, AtomSet};
 use rispp_core::molecule::Molecule;
-use rispp_obs::{Event, SinkHandle};
+use rispp_obs::{Event, ProfHandle, SinkHandle};
 
 use crate::catalog::AtomCatalog;
 use crate::clock::Clock;
@@ -194,6 +194,9 @@ pub struct Fabric {
     /// Structured-event sink (disabled by default). Cloning the fabric
     /// shares the sink, since handles are reference-counted.
     sink: SinkHandle,
+    /// Host-side wall-clock profiler (disabled by default); times
+    /// [`Fabric::advance_to`] as the `fabric_advance` phase.
+    prof: ProfHandle,
 }
 
 impl Fabric {
@@ -236,6 +239,7 @@ impl Fabric {
             pending_transients: VecDeque::new(),
             rotation_seq: 0,
             sink: SinkHandle::null(),
+            prof: ProfHandle::null(),
         }
     }
 
@@ -297,6 +301,18 @@ impl Fabric {
     #[must_use]
     pub fn sink(&self) -> &SinkHandle {
         &self.sink
+    }
+
+    /// Installs a host-side wall-clock profiler; the fabric records its
+    /// `advance_to` host cost under the `fabric_advance` phase.
+    pub fn set_profiler(&mut self, prof: ProfHandle) {
+        self.prof = prof;
+    }
+
+    /// The installed host-side profiler (disabled by default).
+    #[must_use]
+    pub fn profiler(&self) -> &ProfHandle {
+        &self.prof
     }
 
     /// Number of Atom Containers.
@@ -506,6 +522,7 @@ impl Fabric {
     ///
     /// Returns [`FabricError::TimeReversal`] when `t` is in the past.
     pub fn advance_to(&mut self, t: u64) -> Result<Vec<FabricEvent>, FabricError> {
+        let _scope = self.prof.scope("fabric_advance");
         let now = self.clock.now();
         if t < now {
             return Err(FabricError::TimeReversal { now, requested: t });

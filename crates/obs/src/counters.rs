@@ -16,6 +16,8 @@ pub struct LatencyHistogram {
     buckets: [u64; 65],
     total: u64,
     sum: u64,
+    min: u64,
+    max: u64,
 }
 
 impl Default for LatencyHistogram {
@@ -24,6 +26,8 @@ impl Default for LatencyHistogram {
             buckets: [0; 65],
             total: 0,
             sum: 0,
+            min: u64::MAX,
+            max: 0,
         }
     }
 }
@@ -40,6 +44,8 @@ impl LatencyHistogram {
         self.buckets[Self::bucket_of(cycles)] += 1;
         self.total += 1;
         self.sum = self.sum.saturating_add(cycles);
+        self.min = self.min.min(cycles);
+        self.max = self.max.max(cycles);
     }
 
     /// Number of recorded samples.
@@ -62,6 +68,59 @@ impl LatencyHistogram {
         } else {
             Some(self.sum as f64 / self.total as f64)
         }
+    }
+
+    /// Smallest recorded sample (`None` before any sample).
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (`None` before any sample).
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// The `q`-quantile sample, reported as the inclusive upper bound of
+    /// the power-of-two bucket holding the `ceil(q · count)`-th smallest
+    /// sample, clamped to the recorded maximum. The result always lies in
+    /// the same bucket as the true quantile sample, so the estimate is
+    /// never off by more than one bucket width (a factor of two).
+    ///
+    /// `q` is clamped to `[0, 1]`; returns `None` before any sample.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = match i {
+                    0 => 0,
+                    64.. => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+                return Some(upper.min(self.max));
+            }
+        }
+        unreachable!("rank is bounded by the recorded total")
+    }
+
+    /// Median sample (see [`LatencyHistogram::quantile`]).
+    #[must_use]
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile sample (see [`LatencyHistogram::quantile`]).
+    #[must_use]
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
     }
 
     /// Occupied buckets as `(bucket_upper_bound_exclusive, count)`.
@@ -448,5 +507,25 @@ mod tests {
         assert_eq!(h.count(), 3);
         assert_eq!(h.sum_cycles(), u64::MAX);
         assert!(h.mean().unwrap() > (u64::MAX / 4) as f64);
+        // The extremes and the top-bucket quantiles survive saturation.
+        assert_eq!((h.min(), h.max()), (Some(1), Some(u64::MAX)));
+        assert_eq!(h.p99(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn quantiles_report_the_holding_bucket() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.p50(), None);
+        // 10 samples: eight in [4, 8), one in [256, 512), one in [512, 1024).
+        for c in [4u64, 5, 5, 6, 6, 7, 7, 7, 300, 600] {
+            h.record(c);
+        }
+        // Rank 5 lands in the [4, 8) bucket → upper bound 7.
+        assert_eq!(h.p50(), Some(7));
+        // Rank 10 is the last sample; the [512, 1024) upper bound clamps
+        // to the recorded maximum.
+        assert_eq!(h.p99(), Some(600));
+        assert_eq!(h.quantile(0.0), Some(7));
+        assert_eq!((h.min(), h.max()), (Some(4), Some(600)));
     }
 }

@@ -7,6 +7,14 @@
 //! is offline, no serde) but round-trips every field exactly: integers
 //! verbatim, floats through Rust's shortest-round-trip `Display`.
 //!
+//! The export format is a contract (reports, golden files, the bench
+//! suite all consume it), so streams are versioned: the sink prefixes
+//! the first event with a `{"schema_version":N}` header record. Replay
+//! accepts headerless streams as version 0 — every pre-header export
+//! decodes unchanged — but refuses versions newer than
+//! [`SCHEMA_VERSION`], failing loudly instead of misreading a future
+//! encoding.
+//!
 //! [`TimelineSink`]: crate::timeline::TimelineSink
 
 use std::error::Error;
@@ -21,11 +29,19 @@ use rispp_core::si::SiId;
 use crate::event::{Event, Record, ReselectTrigger};
 use crate::sink::EventSink;
 
+/// Version of the export schema this build writes (and the newest it
+/// replays). Headerless streams replay as version 0.
+pub const SCHEMA_VERSION: u64 = 1;
+
 /// Sink serialising every event to a writer, one JSON object per line.
+///
+/// The first emit is prefixed with a `{"schema_version":N}` header
+/// record, so an export that never saw an event stays empty.
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
     writer: W,
     line: String,
+    header_written: bool,
 }
 
 impl<W: Write> JsonlSink<W> {
@@ -34,6 +50,7 @@ impl<W: Write> JsonlSink<W> {
         JsonlSink {
             writer,
             line: String::new(),
+            header_written: false,
         }
     }
 
@@ -55,6 +72,12 @@ impl<W: Write> EventSink for JsonlSink<W> {
     /// I/O errors cannot be reported through the sink interface; they
     /// panic, matching the severity of losing telemetry mid-export.
     fn emit(&mut self, at: u64, event: &Event) {
+        if !self.header_written {
+            self.header_written = true;
+            self.writer
+                .write_all(format!("{{\"schema_version\":{SCHEMA_VERSION}}}\n").as_bytes())
+                .expect("JSONL sink write failed");
+        }
         self.line.clear();
         encode_into(&mut self.line, at, event);
         self.line.push('\n');
@@ -532,15 +555,87 @@ fn decode_at_line(line: &str, number: usize) -> Result<Record, JsonlError> {
     Ok(Record { at, event })
 }
 
+/// Recognises a `{"schema_version":N}` header line. Returns `None` for
+/// event lines and for lines that do not parse as an object (those fall
+/// through to the event decoder and its errors).
+fn header_version(line: &str, number: usize) -> Option<Result<u64, JsonlError>> {
+    let mut parser = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+        line: number,
+    };
+    let pairs = parser.parse_object().ok()?;
+    let fields = Fields {
+        pairs,
+        line: number,
+    };
+    if !fields.has("schema_version") {
+        return None;
+    }
+    Some(fields.u64("schema_version"))
+}
+
+/// Tracks the header state of one replayed stream: the header must be
+/// the first non-empty line, appear at most once, and carry a version
+/// this build understands.
+#[derive(Default)]
+struct HeaderState {
+    records_seen: bool,
+    header_seen: bool,
+}
+
+impl HeaderState {
+    /// Consumes one line. `Ok(true)` means the line was the header and
+    /// is already handled; `Ok(false)` hands it to the event decoder.
+    fn observe(&mut self, line: &str, number: usize) -> Result<bool, JsonlError> {
+        if !self.records_seen && !self.header_seen {
+            // Only the first non-empty line can be the header; it alone
+            // pays the extra parse.
+            if let Some(version) = header_version(line, number) {
+                let version = version?;
+                if version > SCHEMA_VERSION {
+                    return Err(err(
+                        number,
+                        format!(
+                            "unsupported schema_version {version} \
+                             (this build replays versions up to {SCHEMA_VERSION})"
+                        ),
+                    ));
+                }
+                self.header_seen = true;
+                return Ok(true);
+            }
+            self.records_seen = true;
+            return Ok(false);
+        }
+        // No event encoding contains this key, so a plain scan suffices
+        // to reject stray headers without re-parsing every line.
+        if line.contains("\"schema_version\"") {
+            return Err(err(
+                number,
+                "schema_version header must be the first record",
+            ));
+        }
+        self.records_seen = true;
+        Ok(false)
+    }
+}
+
 /// Replays an exported JSONL stream into a sink, line by line. Empty
-/// lines are skipped.
+/// lines are skipped. A leading `{"schema_version":N}` header is
+/// validated and consumed; headerless streams replay as version 0.
 ///
 /// # Errors
 ///
-/// Returns [`JsonlError`] for the first malformed line.
+/// Returns [`JsonlError`] for the first malformed line, a misplaced or
+/// repeated header, or a schema version newer than [`SCHEMA_VERSION`].
 pub fn replay<S: EventSink>(jsonl: &str, sink: &mut S) -> Result<(), JsonlError> {
+    let mut header = HeaderState::default();
     for (i, line) in jsonl.lines().enumerate() {
         if line.trim().is_empty() {
+            continue;
+        }
+        if header.observe(line, i + 1)? {
             continue;
         }
         let record = decode_at_line(line, i + 1)?;
@@ -549,16 +644,24 @@ pub fn replay<S: EventSink>(jsonl: &str, sink: &mut S) -> Result<(), JsonlError>
     Ok(())
 }
 
-/// Replays an exported JSONL stream from a reader into a sink.
+/// Replays an exported JSONL stream from a reader into a sink, with the
+/// same header handling as [`replay`].
 ///
 /// # Errors
 ///
 /// Returns the underlying I/O error, or an [`JsonlError`] wrapped in
-/// [`io::Error`] for a malformed line.
+/// [`io::Error`] for a malformed line or an unsupported schema version.
 pub fn replay_reader<R: io::BufRead, S: EventSink>(reader: R, sink: &mut S) -> io::Result<()> {
+    let mut header = HeaderState::default();
     for (i, line) in reader.lines().enumerate() {
         let line = line?;
         if line.trim().is_empty() {
+            continue;
+        }
+        let is_header = header
+            .observe(&line, i + 1)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if is_header {
             continue;
         }
         let record = decode_at_line(&line, i + 1)
@@ -715,7 +818,12 @@ mod tests {
             live.emit(r.at, &r.event);
         }
         let exported = String::from_utf8(jsonl.into_inner()).unwrap();
-        assert_eq!(exported.lines().count(), all_events().len());
+        // One header line plus one line per event.
+        assert_eq!(exported.lines().count(), all_events().len() + 1);
+        assert_eq!(
+            exported.lines().next().unwrap(),
+            format!("{{\"schema_version\":{SCHEMA_VERSION}}}")
+        );
 
         let mut replayed = TimelineSink::new();
         replay(&exported, &mut replayed).unwrap();
@@ -724,6 +832,72 @@ mod tests {
         let mut from_reader = TimelineSink::new();
         replay_reader(exported.as_bytes(), &mut from_reader).unwrap();
         assert_eq!(from_reader.timeline(), live.timeline());
+    }
+
+    #[test]
+    fn untouched_sink_writes_no_header() {
+        let jsonl = JsonlSink::new(Vec::new());
+        assert!(jsonl.into_inner().is_empty());
+    }
+
+    #[test]
+    fn headerless_streams_replay_as_version_zero() {
+        let mut live = TimelineSink::new();
+        let mut text = String::new();
+        for r in all_events() {
+            live.emit(r.at, &r.event);
+            text.push_str(&encode(r.at, &r.event));
+            text.push('\n');
+        }
+        let mut replayed = TimelineSink::new();
+        replay(&text, &mut replayed).unwrap();
+        assert_eq!(replayed.timeline(), live.timeline());
+    }
+
+    #[test]
+    fn future_schema_versions_are_refused() {
+        let stream = format!(
+            "{{\"schema_version\":{}}}\n{}",
+            SCHEMA_VERSION + 1,
+            encode(
+                1,
+                &Event::ForecastRetracted {
+                    task: 0,
+                    si: SiId(0)
+                }
+            ),
+        );
+        let mut sink = TimelineSink::new();
+        let e = replay(&stream, &mut sink).unwrap_err();
+        assert!(e.message.contains("unsupported schema_version"), "{e}");
+        assert_eq!(e.line, 1);
+        assert!(sink.timeline().is_empty());
+
+        let io_err = replay_reader(stream.as_bytes(), &mut sink).unwrap_err();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn header_after_events_is_rejected() {
+        let stream = format!(
+            "{}\n{{\"schema_version\":1}}",
+            encode(
+                1,
+                &Event::ForecastRetracted {
+                    task: 0,
+                    si: SiId(0)
+                }
+            ),
+        );
+        let mut sink = TimelineSink::new();
+        let e = replay(&stream, &mut sink).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("first record"), "{e}");
+
+        // A repeated header is rejected the same way.
+        let doubled = "{\"schema_version\":1}\n{\"schema_version\":1}";
+        let e = replay(doubled, &mut TimelineSink::new()).unwrap_err();
+        assert_eq!(e.line, 2);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`MetricsSink`] — time-weighted gauges: container occupancy, logic
 //!   utilization, rotation-bus busyness, forecast precision/recall,
 //!   cycles saved vs software; with a Prometheus-style text exposition.
+//! * [`ProfHandle`] / [`Profiler`] — host-side wall-clock profiling:
+//!   scoped, hierarchical phase timers for the manager's hot paths, one
+//!   branch when disabled, snapshot as a [`HostProfile`] table.
 //!
 //! ```
 //! use rispp_obs::{jsonl, Event, JsonlSink, SinkHandle, TimelineSink};
@@ -48,6 +51,7 @@ pub mod counters;
 pub mod event;
 pub mod jsonl;
 pub mod metrics;
+pub mod prof;
 pub mod sink;
 pub mod span;
 pub mod timeline;
@@ -56,6 +60,7 @@ pub use counters::{CountersSink, FcCounters, LatencyHistogram, SiCounters};
 pub use event::{Event, Record, ReselectTrigger, TaskId};
 pub use jsonl::{JsonlError, JsonlSink};
 pub use metrics::{ForecastStats, MetricsSink, MetricsSummary};
+pub use prof::{HostProfile, PhaseProfile, ProfHandle, Profiler, ScopedPhase};
 pub use sink::{EventSink, NullSink, SinkHandle};
 pub use span::{LadderStep, Span, SpanBuilder, SpanClose};
 pub use timeline::{Timeline, TimelineSink};

@@ -1,0 +1,536 @@
+//! Host-side wall-clock profiling: scoped, hierarchical phase timers for
+//! the run-time manager's hot paths.
+//!
+//! Everything else in this crate observes the *simulated* machine; this
+//! module observes the *host* running it. Producers hold a [`ProfHandle`]
+//! and open a [`ScopedPhase`] guard around each hot region (forecast
+//! update, Molecule reselection, rotation scheduling, SI dispatch, fabric
+//! advance, per-sink emit cost). A disabled handle ([`ProfHandle::null`])
+//! reduces every instrumentation site to one branch and never reads the
+//! host clock — the same discipline as [`SinkHandle::null`].
+//!
+//! Phases are hierarchical: a scope opened while another is active
+//! becomes its child, so the same region shows up as e.g. both
+//! `reselect` (fault-triggered, from `advance_to`) and
+//! `forecast_update/reselect` (forecast-triggered). Each phase records
+//! count / total / min / max / p50 / p99 nanoseconds via
+//! [`LatencyHistogram`]; [`Profiler::snapshot`] freezes the whole tree
+//! into a [`HostProfile`] renderable as markdown or Prometheus text.
+//!
+//! ```
+//! use rispp_obs::prof::ProfHandle;
+//!
+//! let prof = ProfHandle::enabled();
+//! {
+//!     let _outer = prof.scope("forecast_update");
+//!     let _inner = prof.scope("reselect"); // records as forecast_update/reselect
+//! }
+//! let profile = prof.snapshot().unwrap();
+//! assert_eq!(profile.phases.len(), 2);
+//! assert!(profile.render_markdown().contains("forecast_update/reselect"));
+//! ```
+//!
+//! [`SinkHandle::null`]: crate::sink::SinkHandle::null
+
+use std::cell::RefCell;
+use std::fmt;
+use std::fmt::Write as _;
+use std::rc::Rc;
+use std::time::Instant;
+
+use crate::counters::LatencyHistogram;
+use crate::event::Event;
+use crate::sink::{EventSink, SinkHandle};
+
+/// Sentinel parent id for top-level phases.
+const ROOT: usize = usize::MAX;
+
+/// One interned phase: its parent in the scope tree and its samples.
+#[derive(Debug, Clone)]
+struct PhaseEntry {
+    parent: usize,
+    name: &'static str,
+    hist: LatencyHistogram,
+}
+
+/// The profiler: an interned tree of phases plus the currently-open
+/// scope stack. Shared behind a [`ProfHandle`]; single-threaded like the
+/// rest of the sink plumbing.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    entries: Vec<PhaseEntry>,
+    index: std::collections::BTreeMap<(usize, &'static str), usize>,
+    stack: Vec<usize>,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern(&mut self, parent: usize, name: &'static str) -> usize {
+        if let Some(&id) = self.index.get(&(parent, name)) {
+            return id;
+        }
+        let id = self.entries.len();
+        self.entries.push(PhaseEntry {
+            parent,
+            name,
+            hist: LatencyHistogram::default(),
+        });
+        self.index.insert((parent, name), id);
+        id
+    }
+
+    /// Opens a scope under the currently-innermost one, returning its id.
+    fn enter(&mut self, name: &'static str) -> usize {
+        let parent = self.stack.last().copied().unwrap_or(ROOT);
+        let id = self.intern(parent, name);
+        self.stack.push(id);
+        id
+    }
+
+    /// Closes the innermost scope, recording its measured nanoseconds.
+    fn exit(&mut self, id: usize, ns: u64) {
+        debug_assert_eq!(
+            self.stack.last(),
+            Some(&id),
+            "ScopedPhase guards must drop innermost-first"
+        );
+        self.stack.pop();
+        self.entries[id].hist.record(ns);
+    }
+
+    /// Records a sample into a top-level phase without touching the scope
+    /// stack (used for re-entrant sites like sink emits, which may fire
+    /// while any scope is open).
+    fn record_flat(&mut self, name: &'static str, ns: u64) {
+        let id = self.intern(ROOT, name);
+        self.entries[id].hist.record(ns);
+    }
+
+    /// Slash-joined path of one phase (`forecast_update/reselect`).
+    fn path_of(&self, mut id: usize) -> String {
+        let mut parts = Vec::new();
+        while id != ROOT {
+            parts.push(self.entries[id].name);
+            id = self.entries[id].parent;
+        }
+        parts.reverse();
+        parts.join("/")
+    }
+
+    /// The samples recorded under a slash-joined phase path, if any.
+    #[must_use]
+    pub fn phase(&self, path: &str) -> Option<&LatencyHistogram> {
+        self.entries
+            .iter()
+            .enumerate()
+            .find(|(id, _)| self.path_of(*id) == path)
+            .map(|(_, e)| &e.hist)
+    }
+
+    /// Freezes every phase into a sorted, render-ready [`HostProfile`].
+    #[must_use]
+    pub fn snapshot(&self) -> HostProfile {
+        let mut phases: Vec<PhaseProfile> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.hist.count() > 0)
+            .map(|(id, e)| PhaseProfile {
+                name: self.path_of(id),
+                count: e.hist.count(),
+                total_ns: e.hist.sum_cycles(),
+                min_ns: e.hist.min().unwrap_or(0),
+                max_ns: e.hist.max().unwrap_or(0),
+                p50_ns: e.hist.p50().unwrap_or(0),
+                p99_ns: e.hist.p99().unwrap_or(0),
+            })
+            .collect();
+        phases.sort_by(|a, b| a.name.cmp(&b.name));
+        HostProfile { phases }
+    }
+}
+
+/// A shareable, optionally-disabled handle to a [`Profiler`] — the
+/// profiling twin of [`SinkHandle`].
+#[derive(Clone, Default)]
+pub struct ProfHandle {
+    inner: Option<Rc<RefCell<Profiler>>>,
+}
+
+impl ProfHandle {
+    /// The disabled handle: every scope is a no-op branch and the host
+    /// clock is never read.
+    #[must_use]
+    pub fn null() -> Self {
+        ProfHandle { inner: None }
+    }
+
+    /// A handle over a fresh profiler.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self::shared(Rc::new(RefCell::new(Profiler::new())))
+    }
+
+    /// Wraps an already-shared profiler, so the caller can keep reading
+    /// it while producers record into clones of the handle.
+    #[must_use]
+    pub fn shared(profiler: Rc<RefCell<Profiler>>) -> Self {
+        ProfHandle {
+            inner: Some(profiler),
+        }
+    }
+
+    /// Whether scopes will actually be recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a scoped phase; the measurement is recorded when the guard
+    /// drops (or [`ScopedPhase::stop`] is called). One branch when
+    /// disabled.
+    pub fn scope(&self, name: &'static str) -> ScopedPhase {
+        self.scope_forcing(name, false)
+    }
+
+    /// Like [`ProfHandle::scope`], but `force_clock` makes the guard read
+    /// the host clock (and report the reading from [`ScopedPhase::stop`])
+    /// even when the profiler is disabled — for sites whose measurement
+    /// feeds something besides the profiler, e.g. the manager's
+    /// `Reselect` event, so host timing keeps exactly one owner.
+    pub fn scope_forcing(&self, name: &'static str, force_clock: bool) -> ScopedPhase {
+        match &self.inner {
+            Some(prof) => {
+                let id = prof.borrow_mut().enter(name);
+                ScopedPhase {
+                    prof: Some((prof.clone(), id)),
+                    started: Some(Instant::now()),
+                }
+            }
+            None => ScopedPhase {
+                prof: None,
+                started: force_clock.then(Instant::now),
+            },
+        }
+    }
+
+    /// Records one pre-measured sample into a top-level phase, bypassing
+    /// the scope stack (safe from re-entrant sites like sink emits).
+    pub fn record(&self, name: &'static str, ns: u64) {
+        if let Some(prof) = &self.inner {
+            prof.borrow_mut().record_flat(name, ns);
+        }
+    }
+
+    /// Wraps a sink handle so every emit's host cost is recorded under
+    /// the top-level phase `name`. When either side is disabled the sink
+    /// passes through untouched (no timing layer to pay for).
+    #[must_use]
+    pub fn wrap_sink(&self, name: &'static str, sink: SinkHandle) -> SinkHandle {
+        if self.is_enabled() && sink.is_enabled() {
+            SinkHandle::new(ProfiledSink {
+                inner: sink,
+                prof: self.clone(),
+                name,
+            })
+        } else {
+            sink
+        }
+    }
+
+    /// Snapshot of every recorded phase (`None` when disabled).
+    #[must_use]
+    pub fn snapshot(&self) -> Option<HostProfile> {
+        self.inner.as_ref().map(|p| p.borrow().snapshot())
+    }
+}
+
+impl fmt::Debug for ProfHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProfHandle")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// Guard for one open phase; records the elapsed time on drop.
+#[must_use = "dropping immediately measures nothing"]
+pub struct ScopedPhase {
+    prof: Option<(Rc<RefCell<Profiler>>, usize)>,
+    started: Option<Instant>,
+}
+
+impl ScopedPhase {
+    /// Stops the scope now, returning the elapsed nanoseconds when any
+    /// clock ran (profiler enabled, or `force_clock` requested).
+    pub fn stop(mut self) -> Option<u64> {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> Option<u64> {
+        let ns = self
+            .started
+            .take()
+            .map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        if let Some((prof, id)) = self.prof.take() {
+            prof.borrow_mut().exit(id, ns.unwrap_or(0));
+        }
+        ns
+    }
+}
+
+impl Drop for ScopedPhase {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+/// Sink adapter timing every emit of the wrapped handle (see
+/// [`ProfHandle::wrap_sink`]).
+struct ProfiledSink {
+    inner: SinkHandle,
+    prof: ProfHandle,
+    name: &'static str,
+}
+
+impl EventSink for ProfiledSink {
+    fn emit(&mut self, at: u64, event: &Event) {
+        let started = Instant::now();
+        self.inner.emit(at, event);
+        self.prof.record(
+            self.name,
+            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
+    }
+}
+
+/// Frozen, render-ready statistics of one phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseProfile {
+    /// Slash-joined hierarchical phase name.
+    pub name: String,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Total nanoseconds across all samples (saturating).
+    pub total_ns: u64,
+    /// Fastest sample.
+    pub min_ns: u64,
+    /// Slowest sample.
+    pub max_ns: u64,
+    /// Median, as the upper bound of its power-of-two bucket.
+    pub p50_ns: u64,
+    /// 99th percentile, as the upper bound of its power-of-two bucket.
+    pub p99_ns: u64,
+}
+
+/// A snapshot of every recorded phase, sorted by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HostProfile {
+    /// Per-phase statistics.
+    pub phases: Vec<PhaseProfile>,
+}
+
+impl HostProfile {
+    /// `true` when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// The per-phase host-time table as markdown.
+    #[must_use]
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "| phase | count | total ns | min ns | max ns | p50 ns | p99 ns |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+        for p in &self.phases {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} |",
+                p.name, p.count, p.total_ns, p.min_ns, p.max_ns, p.p50_ns, p.p99_ns
+            );
+        }
+        out
+    }
+
+    /// The per-phase host-time table as Prometheus text exposition.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut series = |name: &str, kind: &str, help: &str, value: fn(&PhaseProfile) -> u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for p in &self.phases {
+                let _ = writeln!(out, "{name}{{phase=\"{}\"}} {}", p.name, value(p));
+            }
+        };
+        series(
+            "rispp_host_phase_ns_total",
+            "counter",
+            "Total host nanoseconds spent in each profiled phase.",
+            |p| p.total_ns,
+        );
+        series(
+            "rispp_host_phase_count",
+            "counter",
+            "Samples recorded for each profiled phase.",
+            |p| p.count,
+        );
+        series(
+            "rispp_host_phase_min_ns",
+            "gauge",
+            "Fastest sample of each profiled phase.",
+            |p| p.min_ns,
+        );
+        series(
+            "rispp_host_phase_max_ns",
+            "gauge",
+            "Slowest sample of each profiled phase.",
+            |p| p.max_ns,
+        );
+        series(
+            "rispp_host_phase_p50_ns",
+            "gauge",
+            "Median sample of each profiled phase (bucket upper bound).",
+            |p| p.p50_ns,
+        );
+        series(
+            "rispp_host_phase_p99_ns",
+            "gauge",
+            "99th-percentile sample of each profiled phase (bucket upper bound).",
+            |p| p.p99_ns,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rispp_core::si::SiId;
+
+    #[test]
+    fn null_handle_never_reads_the_clock() {
+        let prof = ProfHandle::null();
+        assert!(!prof.is_enabled());
+        let scope = prof.scope("anything");
+        assert_eq!(scope.stop(), None);
+        assert!(prof.snapshot().is_none());
+    }
+
+    #[test]
+    fn forced_clock_reports_without_recording() {
+        let prof = ProfHandle::null();
+        let scope = prof.scope_forcing("reselect", true);
+        let ns = scope.stop();
+        assert!(ns.is_some(), "forced clock must report a reading");
+    }
+
+    #[test]
+    fn nested_scopes_build_hierarchical_phases() {
+        let prof = ProfHandle::enabled();
+        for _ in 0..3 {
+            let _outer = prof.scope("forecast_update");
+            let _inner = prof.scope("reselect");
+        }
+        {
+            let _solo = prof.scope("reselect");
+        }
+        let profile = prof.snapshot().unwrap();
+        let names: Vec<&str> = profile.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["forecast_update", "forecast_update/reselect", "reselect"]
+        );
+        let nested = &profile.phases[1];
+        assert_eq!(nested.count, 3);
+        assert!(nested.max_ns >= nested.min_ns);
+        assert!(nested.total_ns >= nested.max_ns);
+    }
+
+    #[test]
+    fn stop_returns_the_recorded_reading() {
+        let prof = ProfHandle::enabled();
+        let scope = prof.scope("phase");
+        let ns = scope.stop().expect("enabled profiler reads the clock");
+        let profile = prof.snapshot().unwrap();
+        assert_eq!(profile.phases[0].count, 1);
+        assert_eq!(profile.phases[0].total_ns, ns);
+    }
+
+    #[test]
+    fn record_flat_bypasses_the_stack() {
+        let prof = ProfHandle::enabled();
+        let _open = prof.scope("reselect");
+        prof.record("sink_emit/timeline", 42);
+        drop(_open);
+        let profile = prof.snapshot().unwrap();
+        let flat = profile
+            .phases
+            .iter()
+            .find(|p| p.name == "sink_emit/timeline")
+            .unwrap();
+        assert_eq!((flat.count, flat.total_ns), (1, 42));
+    }
+
+    #[test]
+    fn wrapped_sink_times_every_emit() {
+        use crate::timeline::TimelineSink;
+        let prof = ProfHandle::enabled();
+        let sink = Rc::new(RefCell::new(TimelineSink::new()));
+        let wrapped = prof.wrap_sink("sink_emit/timeline", SinkHandle::shared(sink.clone()));
+        for at in 0..5 {
+            wrapped.emit(
+                at,
+                &Event::ForecastRetracted {
+                    task: 0,
+                    si: SiId(0),
+                },
+            );
+        }
+        assert_eq!(sink.borrow().timeline().len(), 5);
+        let profile = prof.snapshot().unwrap();
+        assert_eq!(profile.phases[0].count, 5);
+        // Wrapping a disabled sink (or with a disabled profiler) adds no
+        // timing layer.
+        assert!(!prof.wrap_sink("x", SinkHandle::null()).is_enabled());
+        assert!(ProfHandle::null()
+            .wrap_sink("x", SinkHandle::shared(sink))
+            .is_enabled());
+    }
+
+    #[test]
+    fn renderers_cover_every_phase() {
+        let prof = ProfHandle::enabled();
+        prof.record("si_dispatch", 100);
+        prof.record("si_dispatch", 300);
+        let profile = prof.snapshot().unwrap();
+        let md = profile.render_markdown();
+        assert!(md.contains("| si_dispatch | 2 | 400 |"));
+        let prom = profile.render_prometheus();
+        assert!(prom.contains("rispp_host_phase_ns_total{phase=\"si_dispatch\"} 400"));
+        assert!(prom.contains("rispp_host_phase_count{phase=\"si_dispatch\"} 2"));
+        assert!(prom.contains("rispp_host_phase_min_ns{phase=\"si_dispatch\"} 100"));
+        assert!(prom.contains("rispp_host_phase_max_ns{phase=\"si_dispatch\"} 300"));
+    }
+
+    #[test]
+    fn lookup_by_path_finds_the_histogram() {
+        let prof = ProfHandle::enabled();
+        {
+            let _a = prof.scope("a");
+            let _b = prof.scope("b");
+        }
+        let profiler = prof.inner.as_ref().unwrap().borrow();
+        assert_eq!(profiler.phase("a/b").unwrap().count(), 1);
+        assert!(profiler.phase("b").is_none());
+    }
+}

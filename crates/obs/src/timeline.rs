@@ -118,16 +118,41 @@ impl fmt::Display for Timeline {
 }
 
 /// Sink accumulating every event into a [`Timeline`].
+///
+/// By default the timeline grows without bound; long soaks that only
+/// need recent context (a debugging tail, a crash snapshot) should use
+/// [`TimelineSink::with_capacity`] instead.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TimelineSink {
     timeline: Timeline,
+    /// Keep-last-N bound; `None` grows without limit.
+    capacity: Option<usize>,
 }
 
 impl TimelineSink {
-    /// Creates an empty timeline sink.
+    /// Creates an unbounded timeline sink.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a bounded sink keeping (at least) the most recent
+    /// `capacity` records. To stay amortized O(1) per event, eviction
+    /// runs in batches: the timeline holds between `capacity` and
+    /// `2 × capacity` records once full, and the oldest are dropped
+    /// `capacity` at a time. A capacity of 0 keeps nothing.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        TimelineSink {
+            timeline: Timeline::new(),
+            capacity: Some(capacity),
+        }
+    }
+
+    /// The keep-last bound, when one was configured.
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// The accumulated timeline.
@@ -145,6 +170,14 @@ impl TimelineSink {
 
 impl EventSink for TimelineSink {
     fn emit(&mut self, at: u64, event: &Event) {
+        if let Some(cap) = self.capacity {
+            if cap == 0 {
+                return;
+            }
+            if self.timeline.records.len() >= cap.saturating_mul(2) {
+                self.timeline.records.drain(..cap);
+            }
+        }
         self.timeline.push(at, event.clone());
     }
 }
@@ -220,6 +253,43 @@ mod tests {
             sink.emit(r.at, &r.event);
         }
         assert_eq!(sink.timeline(), &sample());
+    }
+
+    #[test]
+    fn bounded_sink_keeps_the_most_recent_records() {
+        let mut sink = TimelineSink::with_capacity(4);
+        assert_eq!(sink.capacity(), Some(4));
+        for at in 0..100u64 {
+            sink.emit(
+                at,
+                &Event::ForecastRetracted {
+                    task: 0,
+                    si: SiId(0),
+                },
+            );
+            let len = sink.timeline().len();
+            assert!(len <= 8, "batched eviction bounds the buffer: {len}");
+            // The newest record is always retained…
+            assert_eq!(sink.timeline().entries().last().unwrap().at, at);
+            // …and so are at least the last min(at+1, 4) records.
+            let kept = sink.timeline().entries().len() as u64;
+            assert!(kept >= (at + 1).min(4), "kept only {kept} at {at}");
+        }
+        // Order is preserved across evictions.
+        let ats: Vec<u64> = sink.timeline().entries().iter().map(|r| r.at).collect();
+        assert!(ats.windows(2).all(|w| w[0] + 1 == w[1]));
+
+        // Capacity 0 records nothing; unbounded keeps everything.
+        let mut none = TimelineSink::with_capacity(0);
+        none.emit(
+            0,
+            &Event::ForecastRetracted {
+                task: 0,
+                si: SiId(0),
+            },
+        );
+        assert!(none.timeline().is_empty());
+        assert_eq!(TimelineSink::new().capacity(), None);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Property tests pinning [`LatencyHistogram`]'s quantile estimates to a
+//! brute-force sorted-sample oracle.
+//!
+//! The histogram documents its contract as: the reported quantile is the
+//! inclusive upper bound of the power-of-two bucket holding the
+//! `ceil(q · count)`-th smallest sample, clamped to the recorded
+//! maximum. These properties check exactly that against real sorted
+//! samples — the estimate must land in the same bucket as the true
+//! quantile sample and never undershoot it — across small values, wide
+//! magnitude mixes, and the saturation bucket (`u64::MAX`).
+
+use proptest::prelude::*;
+use rispp_obs::LatencyHistogram;
+
+/// The histogram's own bucketing rule, restated independently.
+fn bucket_of(cycles: u64) -> u32 {
+    64 - cycles.leading_zeros()
+}
+
+/// The true `q`-quantile under the histogram's documented rank rule.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+fn check_against_oracle(samples: &[u64], q: f64) {
+    let mut hist = LatencyHistogram::default();
+    for &s in samples {
+        hist.record(s);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+
+    let expected = oracle_quantile(&sorted, q);
+    let got = hist.quantile(q).expect("samples recorded");
+    prop_assert_eq!(
+        bucket_of(got),
+        bucket_of(expected),
+        "q={} estimate {} left the oracle's bucket (oracle {})",
+        q,
+        got,
+        expected
+    );
+    prop_assert!(
+        got >= expected,
+        "q={q} estimate {got} undershoots the oracle {expected}"
+    );
+    prop_assert!(
+        got <= *sorted.last().expect("non-empty"),
+        "q={q} estimate {got} exceeds the observed maximum"
+    );
+}
+
+/// Samples spanning every interesting regime: zero, small counts, the
+/// middle of the range, and the saturation bucket at `u64::MAX`.
+fn sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        1u64..1024,
+        1_000_000u64..2_000_000,
+        (1u64 << 40)..(1u64 << 41),
+        Just(u64::MAX - 1),
+        Just(u64::MAX),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// p50 and p99 stay within one power-of-two bucket of the true
+    /// sorted-sample quantile and never undershoot it.
+    #[test]
+    fn quantiles_track_the_sorted_oracle(
+        samples in proptest::collection::vec(sample(), 1..200),
+    ) {
+        check_against_oracle(&samples, 0.50);
+        check_against_oracle(&samples, 0.99);
+    }
+
+    /// min and max are exact, not bucketed.
+    #[test]
+    fn min_and_max_are_exact(
+        samples in proptest::collection::vec(sample(), 1..200),
+    ) {
+        let mut hist = LatencyHistogram::default();
+        for &s in &samples {
+            hist.record(s);
+        }
+        prop_assert_eq!(hist.min(), samples.iter().min().copied());
+        prop_assert_eq!(hist.max(), samples.iter().max().copied());
+    }
+
+    /// The extreme quantiles collapse onto the exact extremes: q=0 takes
+    /// rank 1 (the minimum's bucket) and q=1 the maximum itself.
+    #[test]
+    fn extreme_quantiles_hit_the_extremes(
+        samples in proptest::collection::vec(sample(), 1..100),
+    ) {
+        let mut hist = LatencyHistogram::default();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let min = samples.iter().min().copied().expect("non-empty");
+        prop_assert_eq!(hist.quantile(1.0), samples.iter().max().copied());
+        let q0 = hist.quantile(0.0).expect("samples recorded");
+        prop_assert_eq!(bucket_of(q0), bucket_of(min));
+        prop_assert!(q0 >= min);
+    }
+}
+
+#[test]
+fn saturated_histogram_reports_the_top_bucket() {
+    let mut hist = LatencyHistogram::default();
+    for _ in 0..10 {
+        hist.record(u64::MAX);
+    }
+    assert_eq!(hist.p50(), Some(u64::MAX));
+    assert_eq!(hist.p99(), Some(u64::MAX));
+    assert_eq!(hist.min(), Some(u64::MAX));
+    assert_eq!(hist.max(), Some(u64::MAX));
+}
+
+#[test]
+fn all_zero_histogram_reports_zero() {
+    let mut hist = LatencyHistogram::default();
+    for _ in 0..10 {
+        hist.record(0);
+    }
+    assert_eq!(hist.p50(), Some(0));
+    assert_eq!(hist.p99(), Some(0));
+    assert_eq!(hist.max(), Some(0));
+}

@@ -85,8 +85,8 @@ pub mod prelude {
     pub use rispp_fabric::{AtomCatalog, Clock, ContainerId, Fabric};
     pub use rispp_h264::{EncoderConfig, Frame, SyntheticVideo};
     pub use rispp_obs::{
-        CountersSink, Event, JsonlSink, MetricsSink, MetricsSummary, NullSink, SinkHandle,
-        SpanBuilder, Timeline, TimelineSink,
+        CountersSink, Event, HostProfile, JsonlSink, MetricsSink, MetricsSummary, NullSink,
+        ProfHandle, Profiler, SinkHandle, SpanBuilder, Timeline, TimelineSink,
     };
     pub use rispp_rt::{ManagerBuilder, RisppManager, TaskId};
     pub use rispp_sim::{Engine, Op, Task};

@@ -28,7 +28,7 @@ use rispp_core::selection::{select_molecules, MoleculeSelection};
 use rispp_core::si::{SiId, SiLibrary};
 use rispp_fabric::clock::Clock;
 use rispp_fabric::fabric::{Fabric, FabricError, FabricEvent};
-use rispp_obs::{Event, ReselectTrigger, SinkHandle};
+use rispp_obs::{Event, ProfHandle, ReselectTrigger, SinkHandle};
 
 use crate::policy::{LruSurplusPolicy, ReplacementPolicy};
 
@@ -249,6 +249,9 @@ pub struct RisppManager<P = LruSurplusPolicy> {
     /// Structured-event sink (disabled by default); shared with the fabric
     /// so rotation and manager events interleave in one stream.
     sink: SinkHandle,
+    /// Host-side wall-clock profiler (disabled by default); shared with
+    /// the fabric so every hot path reports into one phase tree.
+    prof: ProfHandle,
     /// Bounded-retry configuration for failed rotations.
     retry_policy: RetryPolicy,
     /// Per-Atom-kind backoff state, keyed by kind index. An entry exists
@@ -295,6 +298,7 @@ pub struct ManagerBuilder<P = LruSurplusPolicy> {
     rotation_strategy: RotationStrategy,
     lambda: f64,
     sink: SinkHandle,
+    prof: ProfHandle,
     retry_policy: RetryPolicy,
 }
 
@@ -311,6 +315,7 @@ impl<P: ReplacementPolicy> ManagerBuilder<P> {
             rotation_strategy: self.rotation_strategy,
             lambda: self.lambda,
             sink: self.sink,
+            prof: self.prof,
             retry_policy: self.retry_policy,
         }
     }
@@ -362,6 +367,17 @@ impl<P: ReplacementPolicy> ManagerBuilder<P> {
         self
     }
 
+    /// Installs a host-side wall-clock profiler (default: disabled). The
+    /// manager shares the profiler with its fabric, so manager phases and
+    /// `fabric_advance` report into the same phase tree. A disabled
+    /// handle costs one branch per instrumented phase and never reads the
+    /// host clock.
+    #[must_use]
+    pub fn profiler(mut self, prof: ProfHandle) -> Self {
+        self.prof = prof;
+        self
+    }
+
     /// Builds the manager.
     ///
     /// # Panics
@@ -378,6 +394,7 @@ impl<P: ReplacementPolicy> ManagerBuilder<P> {
         let fc_stats = vec![FcStats::default(); self.lib.len()];
         let mut fabric = self.fabric;
         fabric.set_sink(SinkHandle::tee(fabric.sink().clone(), self.sink.clone()));
+        fabric.set_profiler(self.prof.clone());
         RisppManager {
             lib: self.lib,
             fabric,
@@ -393,6 +410,7 @@ impl<P: ReplacementPolicy> ManagerBuilder<P> {
             power_mode: self.power_mode,
             lambda: self.lambda,
             sink: self.sink,
+            prof: self.prof,
             retry_policy: self.retry_policy,
             backoff: BTreeMap::new(),
         }
@@ -412,6 +430,7 @@ impl RisppManager<LruSurplusPolicy> {
             rotation_strategy: RotationStrategy::default(),
             lambda: 0.25,
             sink: SinkHandle::null(),
+            prof: ProfHandle::null(),
             retry_policy: RetryPolicy::default(),
         }
     }
@@ -496,6 +515,21 @@ impl<P: ReplacementPolicy> RisppManager<P> {
     #[must_use]
     pub fn sink(&self) -> &SinkHandle {
         &self.sink
+    }
+
+    /// Replaces the host-side profiler on both the manager and its
+    /// fabric. Normally installed once via [`ManagerBuilder::profiler`];
+    /// this mutator exists so a driver can attach a profiler to an
+    /// already-built manager.
+    pub fn set_profiler(&mut self, prof: ProfHandle) {
+        self.fabric.set_profiler(prof.clone());
+        self.prof = prof;
+    }
+
+    /// The installed host-side profiler (disabled by default).
+    #[must_use]
+    pub fn profiler(&self) -> &ProfHandle {
+        &self.prof
     }
 
     /// The SI library.
@@ -688,6 +722,7 @@ impl<P: ReplacementPolicy> RisppManager<P> {
     /// Handles an FC event: task `task` announces (or updates) a forecast
     /// for an SI. Triggers re-selection and rotation scheduling.
     pub fn forecast(&mut self, task: TaskId, value: ForecastValue) {
+        let _scope = self.prof.scope("forecast_update");
         self.fc_stats[value.si.index()].issued += 1;
         self.sink
             .emit_with(self.fabric.now(), || Event::ForecastUpdated {
@@ -708,6 +743,7 @@ impl<P: ReplacementPolicy> RisppManager<P> {
     where
         I: IntoIterator<Item = ForecastValue>,
     {
+        let _scope = self.prof.scope("forecast_update");
         let mut any = false;
         for value in values {
             self.fc_stats[value.si.index()].issued += 1;
@@ -729,6 +765,7 @@ impl<P: ReplacementPolicy> RisppManager<P> {
     /// Handles a negative FC: the SI is forecast to be no longer needed by
     /// `task` (the T2 step of Fig. 6). Frees its Atoms for other demands.
     pub fn retract_forecast(&mut self, task: TaskId, si: SiId) {
+        let _scope = self.prof.scope("forecast_update");
         self.fc_stats[si.index()].retracted += 1;
         self.sink
             .emit(self.fabric.now(), &Event::ForecastRetracted { task, si });
@@ -746,6 +783,7 @@ impl<P: ReplacementPolicy> RisppManager<P> {
         observed_distance: f64,
         observed_executions: f64,
     ) {
+        let _scope = self.prof.scope("forecast_update");
         let lambda = self.lambda;
         if reached {
             self.fc_stats[si.index()].hits += 1;
@@ -783,6 +821,7 @@ impl<P: ReplacementPolicy> RisppManager<P> {
     /// Returns [`CoreError::UnknownSi`] when `si` was not issued by this
     /// manager's library.
     pub fn try_execute_si(&mut self, task: TaskId, si: SiId) -> Result<ExecutionRecord, CoreError> {
+        let _scope = self.prof.scope("si_dispatch");
         let def = self.lib.try_get(si).ok_or(CoreError::UnknownSi {
             id: si.index(),
             library_len: self.lib.len(),
@@ -841,9 +880,12 @@ impl<P: ReplacementPolicy> RisppManager<P> {
     /// re-schedules rotations towards the new target.
     fn reselect(&mut self, trigger: ReselectTrigger) {
         self.reselects += 1;
-        // Wall-clock timing only runs when someone is listening, keeping
-        // the disabled-observability path free of host-clock reads.
-        let started = self.sink.is_enabled().then(std::time::Instant::now);
+        // The profiler owns the host clock: the scope both feeds the
+        // phase histogram and yields the duration for the Reselect event.
+        // Forcing the clock while only the sink listens keeps the event's
+        // `duration_ns` available without a second timer; with neither
+        // enabled no host clock is read at all.
+        let scope = self.prof.scope_forcing("reselect", self.sink.is_enabled());
         // Aggregate benefit weight per SI over all demanding tasks; the
         // weighting depends on the adaptation goal.
         let mut weights: BTreeMap<usize, (f64, TaskId)> = BTreeMap::new();
@@ -876,16 +918,20 @@ impl<P: ReplacementPolicy> RisppManager<P> {
         // target forever.
         let capacity = self.fabric.usable_containers() as u32;
         self.selection = select_molecules(&self.lib, &demands, capacity);
-        self.schedule_rotations(&weights);
-        if let Some(t0) = started {
-            let duration_ns = t0.elapsed().as_nanos() as u64;
-            self.sink.emit(
-                self.fabric.now(),
-                &Event::Reselect {
-                    trigger,
-                    duration_ns,
-                },
-            );
+        {
+            let _sched = self.prof.scope("rotation_schedule");
+            self.schedule_rotations(&weights);
+        }
+        if let Some(duration_ns) = scope.stop() {
+            if self.sink.is_enabled() {
+                self.sink.emit(
+                    self.fabric.now(),
+                    &Event::Reselect {
+                        trigger,
+                        duration_ns,
+                    },
+                );
+            }
         }
     }
 

@@ -101,12 +101,20 @@ pub struct Bencher {
 impl Bencher {
     /// Runs `routine` repeatedly, recording total wall-clock time.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
-        let start = Instant::now();
-        for _ in 0..self.iters {
-            black_box(routine());
-        }
-        self.elapsed = start.elapsed();
+        self.elapsed = measure(self.iters, &mut routine);
     }
+}
+
+/// Times `iters` black-boxed runs of `routine`, returning total wall
+/// time. The measurement core behind [`Bencher::iter`], exposed for
+/// harnesses that need the duration programmatically (upstream criterion
+/// offers `iter_custom`; this is the shim's equivalent).
+pub fn measure<R, F: FnMut() -> R>(iters: u64, mut routine: F) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(routine());
+    }
+    start.elapsed()
 }
 
 /// Bundles benchmark functions under one name, mirroring

@@ -66,9 +66,19 @@ pub fn fig6_engine() -> (Engine<LruSurplusPolicy>, H264Sis) {
 pub fn fig6_engine_with_faults(
     faults: &rispp_fabric::FaultPlan,
 ) -> (Engine<LruSurplusPolicy>, H264Sis) {
+    fig6_engine_with(faults, rispp_obs::ProfHandle::null())
+}
+
+/// [`fig6_engine_with_faults`] with a host-side profiler installed on the
+/// manager — the benchmark harness's entry point for instrumented runs.
+#[must_use]
+pub fn fig6_engine_with(
+    faults: &rispp_fabric::FaultPlan,
+    prof: rispp_obs::ProfHandle,
+) -> (Engine<LruSurplusPolicy>, H264Sis) {
     let (lib, sis) = build_library();
     let fabric = h264_fabric(6).with_faults(faults.clone());
-    let manager = RisppManager::builder(lib, fabric).build();
+    let manager = RisppManager::builder(lib, fabric).profiler(prof).build();
     let mut engine = Engine::new(manager);
 
     // Task A: the codec loop — forecast SATD once, then execute it
