@@ -130,6 +130,11 @@ pub struct ChosenMolecule {
     pub molecule_index: usize,
     /// Latency of the chosen Molecule, in cycles.
     pub cycles: u64,
+    /// Atom counts of the chosen implementation — carried in the
+    /// selection output so downstream decision layers (e.g. the run-time
+    /// rotation planner) can reason about the choice without indexing
+    /// back into the library.
+    pub molecule: Molecule,
 }
 
 /// Result of [`select_molecules`]: a target Meta-Molecule to establish in
@@ -232,6 +237,7 @@ pub fn select_molecules(
             si,
             molecule_index: mi,
             cycles: m.cycles,
+            molecule: m.molecule.clone(),
         });
     }
 
@@ -301,6 +307,7 @@ pub fn select_molecules_exhaustive(
                 si,
                 molecule_index: pick - 1,
                 cycles: m.cycles,
+                molecule: m.molecule.clone(),
             });
         }
         if feasible && benefit > best_benefit {
@@ -437,6 +444,8 @@ mod tests {
         let (lib, a, _) = library();
         let sel = select_molecules(&lib, &[(a, 1.0)], 4);
         assert_eq!(sel.choice_for(a).unwrap().cycles, 12);
+        // The choice carries its own Atom counts for downstream planners.
+        assert_eq!(sel.choice_for(a).unwrap().molecule, mol([2, 2, 0]));
         assert_eq!(sel.target, mol([2, 2, 0]));
     }
 

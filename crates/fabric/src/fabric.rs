@@ -492,6 +492,25 @@ impl Fabric {
         Ok(())
     }
 
+    /// Requests a rotation and tags the container with its owning task in
+    /// one operation — the command-application surface the run-time
+    /// decision layer goes through, so a planned rotation and its
+    /// ownership can never be applied half-way.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Fabric::request_rotation`]; on error the
+    /// container's owner tag is left untouched.
+    pub fn request_rotation_for(
+        &mut self,
+        id: ContainerId,
+        kind: AtomKind,
+        owner: Option<u32>,
+    ) -> Result<(), FabricError> {
+        self.request_rotation(id, kind)?;
+        self.set_owner(id, owner)
+    }
+
     /// Cancels a queued (not yet started) rotation. Returns `true` if a
     /// request was removed.
     pub fn cancel_pending(&mut self, id: ContainerId) -> bool {
@@ -522,7 +541,7 @@ impl Fabric {
     ///
     /// Returns [`FabricError::TimeReversal`] when `t` is in the past.
     pub fn advance_to(&mut self, t: u64) -> Result<Vec<FabricEvent>, FabricError> {
-        let _scope = self.prof.scope("fabric_advance");
+        let _scope = self.prof.scope(rispp_obs::phase::FABRIC_ADVANCE);
         let now = self.clock.now();
         if t < now {
             return Err(FabricError::TimeReversal { now, requested: t });

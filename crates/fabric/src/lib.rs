@@ -32,6 +32,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// Deprecated shims elsewhere in the workspace exist for external callers
+// only; the fabric substrate itself must never consume them.
+#![deny(deprecated)]
 
 pub mod catalog;
 pub mod clock;

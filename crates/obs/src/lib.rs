@@ -46,6 +46,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// Deprecated shims elsewhere in the workspace exist for external callers
+// only; the observability layer itself must never consume them.
+#![deny(deprecated)]
 
 pub mod counters;
 pub mod event;
@@ -60,7 +63,7 @@ pub use counters::{CountersSink, FcCounters, LatencyHistogram, SiCounters};
 pub use event::{Event, Record, ReselectTrigger, TaskId};
 pub use jsonl::{JsonlError, JsonlSink};
 pub use metrics::{ForecastStats, MetricsSink, MetricsSummary};
-pub use prof::{HostProfile, PhaseProfile, ProfHandle, Profiler, ScopedPhase};
+pub use prof::{phase, HostProfile, PhaseProfile, ProfHandle, Profiler, ScopedPhase};
 pub use sink::{EventSink, NullSink, SinkHandle};
 pub use span::{LadderStep, Span, SpanBuilder, SpanClose};
 pub use timeline::{Timeline, TimelineSink};

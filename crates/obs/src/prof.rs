@@ -42,6 +42,35 @@ use crate::counters::LatencyHistogram;
 use crate::event::Event;
 use crate::sink::{EventSink, SinkHandle};
 
+/// Canonical phase names of the platform's instrumented hot paths.
+///
+/// Producers (`rispp-rt` stage kernel, `rispp-fabric`, `rispp-sim`) and
+/// consumers (reports, the bench harness) name phases through these
+/// constants so the vocabulary has a single home: each run-time *stage*
+/// owns exactly one phase, and a stage refactor cannot silently fork the
+/// names the fixtures and baselines pin.
+pub mod phase {
+    /// Forecast stage (`rt::forecast`): FC bookkeeping and smoothing.
+    pub const FORECAST_UPDATE: &str = "forecast_update";
+    /// Selection stage (`rt::selection`): demand weighting plus Molecule
+    /// selection. Nested under the triggering phase when one is open
+    /// (e.g. `forecast_update/reselect`).
+    pub const RESELECT: &str = "reselect";
+    /// Rotation stage (`rt::rotation`): schedule planning and command
+    /// application against the fabric.
+    pub const ROTATION_SCHEDULE: &str = "rotation_schedule";
+    /// SI dispatch through the fastest loaded Molecule.
+    pub const SI_DISPATCH: &str = "si_dispatch";
+    /// Fabric time advance (rotation completions, fault injection).
+    pub const FABRIC_ADVANCE: &str = "fabric_advance";
+    /// Per-event emit cost of the engine's timeline consumer.
+    pub const SINK_EMIT_TIMELINE: &str = "sink_emit/timeline";
+    /// Per-event emit cost of the engine's metrics consumer.
+    pub const SINK_EMIT_METRICS: &str = "sink_emit/metrics";
+    /// Per-event emit cost of a consumer attached after construction.
+    pub const SINK_EMIT_ATTACHED: &str = "sink_emit/attached";
+}
+
 /// Sentinel parent id for top-level phases.
 const ROOT: usize = usize::MAX;
 

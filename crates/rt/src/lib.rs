@@ -1,19 +1,28 @@
 //! # rispp-rt — the RISPP run-time architecture
 //!
-//! The run-time half of the paper (§5): given the SI library (from
-//! `rispp-core`/`rispp-h264`) and the reconfigurable fabric (from
-//! `rispp-fabric`), the [`manager::RisppManager`]
+//! The run-time half of the paper (§5), structured as a layered policy
+//! kernel: pure decision stages coordinated by a thin imperative shell.
 //!
-//! * **monitors** forecast events and fine-tunes their values with
-//!   observed behaviour;
-//! * **selects** which SIs get hardware and with which Molecules, under
-//!   the Atom-Container budget;
-//! * **schedules** rotations through the single reconfiguration port,
-//!   most-important SI first, with victims picked by a
-//!   [`policy::ReplacementPolicy`];
-//! * **dispatches** SI executions to the fastest currently loaded
-//!   Molecule, falling back to software — the gradual SW → HW upgrade of
-//!   the paper's Fig. 6 scenario.
+//! * [`forecast`] — the store of active per-task demands and their online
+//!   fine-tuning ("monitoring FCs and SIs");
+//! * [`selection`] — demand weighting under the adaptation goal and
+//!   Molecule selection via a [`selection::SelectionPolicy`];
+//! * [`rotation`] — the rotation schedule planned by a
+//!   [`rotation::RotationSchedulePolicy`] ("Rotation in Advance") and the
+//!   retry-backoff governor for fabric faults;
+//! * [`stats`] — pure accumulation of execution, forecast and rotation
+//!   accounting;
+//! * [`policy`] — Atom-Container replacement policies picking rotation
+//!   victims;
+//! * [`manager`] — the imperative shell: the only layer that mutates the
+//!   fabric (through one command-application site), emits events and
+//!   reads the clock. It **dispatches** SI executions to the fastest
+//!   currently loaded Molecule, falling back to software — the gradual
+//!   SW → HW upgrade of the paper's Fig. 6 scenario.
+//!
+//! Every stage is independently testable without a fabric; the shell's
+//! behaviour is pinned end-to-end by `tests/manager_behavior.rs` and the
+//! workspace golden fixtures.
 //!
 //! # Examples
 //!
@@ -21,18 +30,32 @@
 //! execute walkthrough.
 
 #![warn(missing_docs)]
-// The deprecated ctor/setter shims in `manager` exist for external
-// callers only; the crate itself must not regress into using them.
+// The run-time crate must never consume deprecated shims elsewhere in the
+// workspace.
 #![deny(deprecated)]
 
+pub mod command;
+pub mod forecast;
 pub mod manager;
 pub mod policy;
+pub mod rotation;
+pub mod selection;
+pub mod stats;
 
-pub use manager::{
-    EnergyReport, ExecutionRecord, FcStats, ManagerBuilder, PowerMode, RisppManager,
-    RotationStrategy, SiStats, TaskId,
-};
+/// Identifier of a task issuing forecasts and SI executions.
+pub type TaskId = u32;
+
+pub use forecast::ForecastStore;
+pub use manager::{ManagerBuilder, RisppManager};
 pub use policy::{LruSurplusPolicy, ReplacementPolicy};
+pub use rotation::{
+    BackoffGovernor, PlannedUpgrade, RetryPolicy, RotationPlan, RotationSchedulePolicy,
+    RotationStrategy,
+};
+pub use selection::{
+    DemandWeights, ExhaustiveSelection, GreedySelection, PowerMode, SelectionPolicy, SelectionStage,
+};
+pub use stats::{EnergyReport, ExecutionRecord, FcStats, SiStats, StatsLedger};
 // The platform's single time base, re-exported so run-time code can name
 // the shared clock without depending on `rispp-fabric` directly.
 pub use rispp_fabric::clock::Clock;

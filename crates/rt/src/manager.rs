@@ -1,204 +1,60 @@
-//! The RISPP run-time manager (paper §5).
+//! The RISPP run-time manager (paper §5): the imperative shell over the
+//! pure decision stages.
 //!
 //! The manager performs the three run-time tasks of the paper:
 //!
 //! 1. **Monitoring** — forecast values announced by FC instrumentation are
 //!    stored per task and fine-tuned with observed behaviour
-//!    ([`RisppManager::record_fc_outcome`]);
+//!    ([`crate::forecast::ForecastStore`],
+//!    [`RisppManager::record_fc_outcome`]);
 //! 2. **Selecting** — on every forecast change the Molecule selection is
 //!    recomputed over all active demands under the Atom-Container budget
-//!    ([`rispp_core::selection::select_molecules`]);
+//!    ([`crate::selection::SelectionStage`]);
 //! 3. **Scheduling** — rotations are (re)queued so the fabric converges to
 //!    the selected target Meta-Molecule, most-important SI first
-//!    ("Rotation in Advance"), with victims chosen by a replacement
-//!    policy.
+//!    ("Rotation in Advance", [`crate::rotation::RotationSchedulePolicy`]),
+//!    with victims chosen by a replacement policy.
 //!
-//! SI execution always uses the fastest Molecule the *currently loaded*
-//! Atoms support, falling back to the software Molecule — so execution
-//! upgrades gradually while rotations complete, exactly the T4/T5 steps of
-//! the paper's Fig. 6 scenario.
+//! The stages are pure: they map state to decision values. The manager is
+//! the only place those values become effects — every fabric mutation
+//! flows through one [`Command`] application
+//! site, every counter through the [`StatsLedger`], every event through
+//! the shared sink. SI execution always uses the fastest Molecule the
+//! *currently loaded* Atoms support, falling back to the software
+//! Molecule — so execution upgrades gradually while rotations complete,
+//! exactly the T4/T5 steps of the paper's Fig. 6 scenario.
 
-use std::collections::BTreeMap;
-
-use rispp_core::atom::AtomKind;
 use rispp_core::error::CoreError;
 use rispp_core::forecast::ForecastValue;
-use rispp_core::molecule::Molecule;
-use rispp_core::selection::{select_molecules, MoleculeSelection};
 use rispp_core::si::{SiId, SiLibrary};
-use rispp_fabric::clock::Clock;
 use rispp_fabric::fabric::{Fabric, FabricError, FabricEvent};
-use rispp_obs::{Event, ProfHandle, ReselectTrigger, SinkHandle};
+use rispp_obs::{phase, Event, ProfHandle, ReselectTrigger, SinkHandle};
 
+use crate::command::{self, Command};
+use crate::forecast::ForecastStore;
 use crate::policy::{LruSurplusPolicy, ReplacementPolicy};
+use crate::rotation::{BackoffGovernor, RotationPlan, RotationSchedulePolicy};
+use crate::selection::{SelectionPolicy, SelectionStage};
+use crate::stats::StatsLedger;
 
-/// Identifier of a task issuing forecasts and SI executions.
-pub type TaskId = u32;
+pub use crate::rotation::{RetryPolicy, RotationStrategy};
+pub use crate::selection::{ExhaustiveSelection, GreedySelection, PowerMode};
+pub use crate::stats::{EnergyReport, ExecutionRecord, FcStats, SiStats};
+pub use crate::TaskId;
 
-/// Outcome of one SI execution through the manager.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ExecutionRecord {
-    /// Executed SI.
-    pub si: SiId,
-    /// Latency in cycles.
-    pub cycles: u64,
-    /// `true` when a hardware Molecule executed, `false` for software.
-    pub hardware: bool,
-}
+mod builder;
+mod views;
 
-/// Per-SI execution statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct SiStats {
-    /// Hardware executions.
-    pub hw_executions: u64,
-    /// Software executions.
-    pub sw_executions: u64,
-    /// Total cycles spent in this SI.
-    pub cycles: u64,
-    /// Cycles spent in hardware Molecules (subset of `cycles`).
-    pub hw_cycles: u64,
-}
+pub use builder::ManagerBuilder;
 
-impl SiStats {
-    /// Cycles spent in the software Molecule.
-    #[must_use]
-    pub fn sw_cycles(&self) -> u64 {
-        self.cycles - self.hw_cycles
-    }
-}
-
-/// Energy totals of a manager's run under an
-/// [`EnergyModel`](rispp_core::energy::EnergyModel).
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct EnergyReport {
-    /// Energy of software SI executions, in joules.
-    pub sw_execution_j: f64,
-    /// Energy of hardware SI executions, in joules.
-    pub hw_execution_j: f64,
-    /// Energy of bitstream transfers (rotations), in joules.
-    pub rotation_j: f64,
-}
-
-impl EnergyReport {
-    /// Total energy in joules.
-    #[must_use]
-    pub fn total_j(&self) -> f64 {
-        self.sw_execution_j + self.hw_execution_j + self.rotation_j
-    }
-}
-
-/// Per-SI forecast monitoring statistics (the paper's run-time task (a):
-/// "Monitoring FCs and SIs in order to fine-tune the profiling
-/// information").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct FcStats {
-    /// Forecasts announced for this SI (over all tasks).
-    pub issued: u64,
-    /// Negative forecasts (retractions).
-    pub retracted: u64,
-    /// Recorded outcomes where the SI was actually reached.
-    pub hits: u64,
-    /// Recorded outcomes where it was not.
-    pub misses: u64,
-}
-
-impl FcStats {
-    /// Fraction of recorded outcomes that were hits (`None` before any
-    /// outcome was recorded).
-    #[must_use]
-    pub fn hit_rate(&self) -> Option<f64> {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            None
-        } else {
-            Some(self.hits as f64 / total as f64)
-        }
-    }
-}
-
-/// Adaptation goal of the run-time system (the paper's §1 motivation
-/// "change in design constraints (system runs out of energy, for
-/// example)").
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub enum PowerMode {
-    /// Maximise speed-up: demands are weighted by expected cycle savings.
-    #[default]
-    Performance,
-    /// Save energy: an SI only earns hardware when its expected execution
-    /// count amortises the rotation energy under the given
-    /// [`EnergyModel`](rispp_core::energy::EnergyModel) with trade-off
-    /// factor α; demand weights become expected energy savings.
-    EnergySaving {
-        /// The energy model used for amortisation checks.
-        model: rispp_core::energy::EnergyModel,
-        /// The α trade-off factor of §4.1 (α > 1 = stricter).
-        alpha: f64,
-    },
-}
-
-/// Order in which the rotation scheduler requests Atoms — the design
-/// choice behind the paper's "Rotation in Advance".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum RotationStrategy {
-    /// Stage the SI's upgrade path: smallest (slowest) fitting Molecule
-    /// first, so hardware execution starts as early as possible and then
-    /// gradually upgrades (the paper's behaviour).
-    #[default]
-    UpgradePath,
-    /// Load the final target Molecule's Atoms in plain kind order —
-    /// hardware execution only starts once everything is there. Kept as
-    /// the ablation baseline (see the `ablation_rotation` harness).
-    TargetOnly,
-}
-
-/// Bounded-retry configuration for rotations that fail in the fabric
-/// (e.g. CRC errors injected by a
-/// [`FaultPlan`](rispp_fabric::FaultPlan)).
+/// The run-time manager tying the SI library, fabric and decision stages
+/// together.
 ///
-/// After each failed rotation of an Atom kind the manager waits an
-/// exponentially growing backoff —
-/// `backoff_base_us · backoff_factor^(attempt − 1)` simulated
-/// microseconds — before requesting that kind again. Once `max_attempts`
-/// consecutive failures accumulate, the kind is *parked*: no further
-/// rotations are requested for it until some rotation of that kind
-/// succeeds (one already in flight, for instance). Affected SIs keep
-/// executing on the best Molecule the remaining loaded Atoms support,
-/// ultimately the software one — a fabric fault never becomes an
-/// execution error.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RetryPolicy {
-    /// Consecutive failed rotations of one Atom kind before that kind is
-    /// parked (default 3).
-    pub max_attempts: u32,
-    /// Backoff before the first retry, in simulated microseconds
-    /// (default 50 µs).
-    pub backoff_base_us: f64,
-    /// Multiplicative backoff growth per further failure (default 2).
-    pub backoff_factor: f64,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            max_attempts: 3,
-            backoff_base_us: 50.0,
-            backoff_factor: 2.0,
-        }
-    }
-}
-
-/// Per-kind failure bookkeeping for [`RetryPolicy`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-struct BackoffState {
-    /// Consecutive failures since the last success of this kind.
-    attempts: u32,
-    /// Cycle until which the kind must not be re-requested (`u64::MAX`
-    /// once parked).
-    blocked_until: u64,
-}
-
-/// The run-time manager tying the SI library, fabric and selection
-/// algorithms together.
+/// The type parameters select the three policies with static dispatch:
+/// `P` picks rotation victims ([`ReplacementPolicy`]), `S` chooses
+/// Molecules ([`SelectionPolicy`]) and `R` orders rotations
+/// ([`RotationSchedulePolicy`]). The defaults are the paper's
+/// configuration.
 ///
 /// # Examples
 ///
@@ -230,388 +86,44 @@ struct BackoffState {
 /// # Ok::<(), rispp_fabric::FabricError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct RisppManager<P = LruSurplusPolicy> {
+pub struct RisppManager<P = LruSurplusPolicy, S = GreedySelection, R = RotationStrategy> {
     lib: SiLibrary,
     fabric: Fabric,
     policy: P,
-    /// Active forecasts, keyed by (task, si).
-    demands: BTreeMap<(TaskId, usize), ForecastValue>,
-    selection: MoleculeSelection,
-    stats: Vec<SiStats>,
-    fc_stats: Vec<FcStats>,
-    rotations_requested: u64,
-    rotation_bytes: u64,
-    reselects: u64,
-    rotation_strategy: RotationStrategy,
-    power_mode: PowerMode,
-    /// Smoothing factor for online forecast fine-tuning.
-    lambda: f64,
+    forecasts: ForecastStore,
+    selector: SelectionStage<S>,
+    scheduler: R,
+    ledger: StatsLedger,
+    backoff: BackoffGovernor,
     /// Structured-event sink (disabled by default); shared with the fabric
     /// so rotation and manager events interleave in one stream.
     sink: SinkHandle,
     /// Host-side wall-clock profiler (disabled by default); shared with
     /// the fabric so every hot path reports into one phase tree.
     prof: ProfHandle,
-    /// Bounded-retry configuration for failed rotations.
-    retry_policy: RetryPolicy,
-    /// Per-Atom-kind backoff state, keyed by kind index. An entry exists
-    /// only while the kind has unresolved failures.
-    backoff: BTreeMap<usize, BackoffState>,
 }
 
-/// Step-by-step construction of a [`RisppManager`].
-///
-/// Obtained from [`RisppManager::builder`]; every knob has the same
-/// default as the paper's configuration ([`PowerMode::Performance`],
-/// [`RotationStrategy::UpgradePath`], λ = 0.25, observability off), so
-/// `builder(lib, fabric).build()` is the common case and each method
-/// overrides exactly one aspect.
-///
-/// # Examples
-///
-/// ```
-/// use rispp_fabric::{AtomCatalog, Fabric};
-/// use rispp_fabric::catalog::AtomHwProfile;
-/// use rispp_h264::si_library::{atom_set, build_library};
-/// use rispp_rt::manager::{RisppManager, RotationStrategy};
-///
-/// let (lib, _sis) = build_library();
-/// let profiles = vec![
-///     AtomHwProfile::new("QuadSub", 352, 700, 58_745),
-///     AtomHwProfile::new("Pack", 406, 812, 65_713),
-///     AtomHwProfile::new("Transform", 517, 1034, 59_353),
-///     AtomHwProfile::new("SATD", 407, 808, 58_141),
-/// ];
-/// let fabric = Fabric::new(atom_set(), AtomCatalog::new(profiles), 4);
-/// let mgr = RisppManager::builder(lib, fabric)
-///     .rotation_strategy(RotationStrategy::TargetOnly)
-///     .smoothing(0.5)
-///     .build();
-/// assert_eq!(mgr.now(), 0);
-/// ```
-#[derive(Debug)]
-pub struct ManagerBuilder<P = LruSurplusPolicy> {
-    lib: SiLibrary,
-    fabric: Fabric,
-    policy: P,
-    power_mode: PowerMode,
-    rotation_strategy: RotationStrategy,
-    lambda: f64,
-    sink: SinkHandle,
-    prof: ProfHandle,
-    retry_policy: RetryPolicy,
-}
-
-impl<P: ReplacementPolicy> ManagerBuilder<P> {
-    /// Replaces the replacement policy (default:
-    /// [`LruSurplusPolicy`]). Changes the manager's type parameter.
-    #[must_use]
-    pub fn policy<Q: ReplacementPolicy>(self, policy: Q) -> ManagerBuilder<Q> {
-        ManagerBuilder {
-            lib: self.lib,
-            fabric: self.fabric,
-            policy,
-            power_mode: self.power_mode,
-            rotation_strategy: self.rotation_strategy,
-            lambda: self.lambda,
-            sink: self.sink,
-            prof: self.prof,
-            retry_policy: self.retry_policy,
-        }
-    }
-
-    /// Sets the bounded-retry policy for rotations that fail in the
-    /// fabric (default: [`RetryPolicy::default`]).
-    #[must_use]
-    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
-        self.retry_policy = retry;
-        self
-    }
-
-    /// Sets the initial adaptation goal (default:
-    /// [`PowerMode::Performance`]). Runtime changes go through
-    /// [`RisppManager::set_power_mode`].
-    #[must_use]
-    pub fn power_mode(mut self, mode: PowerMode) -> Self {
-        self.power_mode = mode;
-        self
-    }
-
-    /// Sets the rotation scheduling strategy (default:
-    /// [`RotationStrategy::UpgradePath`]).
-    #[must_use]
-    pub fn rotation_strategy(mut self, strategy: RotationStrategy) -> Self {
-        self.rotation_strategy = strategy;
-        self
-    }
-
-    /// Sets the forecast-smoothing factor λ ∈ [0, 1] (weight of each new
-    /// observation; default 0.25).
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `lambda ∈ [0, 1]`.
-    #[must_use]
-    pub fn smoothing(mut self, lambda: f64) -> Self {
-        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
-        self.lambda = lambda;
-        self
-    }
-
-    /// Installs a structured-event sink (default: disabled). The manager
-    /// shares the sink with its fabric, so rotation events and manager
-    /// events arrive interleaved at the same consumer.
-    #[must_use]
-    pub fn sink(mut self, sink: SinkHandle) -> Self {
-        self.sink = sink;
-        self
-    }
-
-    /// Installs a host-side wall-clock profiler (default: disabled). The
-    /// manager shares the profiler with its fabric, so manager phases and
-    /// `fabric_advance` report into the same phase tree. A disabled
-    /// handle costs one branch per instrumented phase and never reads the
-    /// host clock.
-    #[must_use]
-    pub fn profiler(mut self, prof: ProfHandle) -> Self {
-        self.prof = prof;
-        self
-    }
-
-    /// Builds the manager.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the library width differs from the fabric's Atom count.
-    #[must_use]
-    pub fn build(self) -> RisppManager<P> {
-        assert_eq!(
-            self.lib.width(),
-            self.fabric.atoms().len(),
-            "SI library and fabric must agree on the atom kinds"
-        );
-        let stats = vec![SiStats::default(); self.lib.len()];
-        let fc_stats = vec![FcStats::default(); self.lib.len()];
-        let mut fabric = self.fabric;
-        fabric.set_sink(SinkHandle::tee(fabric.sink().clone(), self.sink.clone()));
-        fabric.set_profiler(self.prof.clone());
-        RisppManager {
-            lib: self.lib,
-            fabric,
-            policy: self.policy,
-            demands: BTreeMap::new(),
-            selection: MoleculeSelection::default(),
-            stats,
-            fc_stats,
-            rotations_requested: 0,
-            rotation_bytes: 0,
-            reselects: 0,
-            rotation_strategy: self.rotation_strategy,
-            power_mode: self.power_mode,
-            lambda: self.lambda,
-            sink: self.sink,
-            prof: self.prof,
-            retry_policy: self.retry_policy,
-            backoff: BTreeMap::new(),
-        }
-    }
-}
-
-impl RisppManager<LruSurplusPolicy> {
-    /// Starts building a manager over `lib` and `fabric` with the default
-    /// configuration (see [`ManagerBuilder`]).
-    #[must_use]
-    pub fn builder(lib: SiLibrary, fabric: Fabric) -> ManagerBuilder<LruSurplusPolicy> {
-        ManagerBuilder {
-            lib,
-            fabric,
-            policy: LruSurplusPolicy::new(),
-            power_mode: PowerMode::default(),
-            rotation_strategy: RotationStrategy::default(),
-            lambda: 0.25,
-            sink: SinkHandle::null(),
-            prof: ProfHandle::null(),
-            retry_policy: RetryPolicy::default(),
-        }
-    }
-
-    /// Creates a manager with the default LRU-surplus replacement policy.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `RisppManager::builder(lib, fabric).build()`"
-    )]
-    #[must_use]
-    pub fn new(lib: SiLibrary, fabric: Fabric) -> Self {
-        Self::builder(lib, fabric).build()
-    }
-}
-
-impl<P: ReplacementPolicy> RisppManager<P> {
-    /// Creates a manager with an explicit replacement policy.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the library width differs from the fabric's Atom count.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `RisppManager::builder(lib, fabric).policy(policy).build()`"
-    )]
-    #[must_use]
-    pub fn with_policy(lib: SiLibrary, fabric: Fabric, policy: P) -> Self {
-        RisppManager::builder(lib, fabric).policy(policy).build()
-    }
-
-    /// Switches the adaptation goal (see [`PowerMode`]). This is the one
-    /// configuration knob that legitimately changes *during* a run (the
-    /// paper's §1: the system adapts when it "runs out of energy"), so it
-    /// stays a mutator rather than moving into the builder; the initial
-    /// mode is set with [`ManagerBuilder::power_mode`].
-    pub fn set_power_mode(&mut self, mode: PowerMode) {
-        self.power_mode = mode;
+impl<P: ReplacementPolicy, S: SelectionPolicy, R: RotationSchedulePolicy> RisppManager<P, S, R> {
+    /// Switches the adaptation goal (see [`PowerMode`]) and immediately
+    /// re-selects under it. This is the one configuration knob that
+    /// legitimately changes *during* a run (the paper's §1: the system
+    /// adapts when it "runs out of energy"); the initial mode is set with
+    /// [`ManagerBuilder::power_mode`].
+    pub fn adapt_power_mode(&mut self, mode: PowerMode) {
+        self.selector.set_power_mode(mode);
         self.reselect(ReselectTrigger::PowerMode);
     }
 
-    /// Number of selection re-evaluations so far — every FC event invokes
-    /// one, which is exactly why the compile-time pass trims FC
-    /// candidates ("every FC invokes the run-time system to
-    /// re-evaluate").
-    #[must_use]
-    pub fn reselects(&self) -> u64 {
-        self.reselects
-    }
-
-    /// Overrides the rotation scheduling strategy (default:
-    /// [`RotationStrategy::UpgradePath`]).
-    #[deprecated(
-        since = "0.2.0",
-        note = "configure via `ManagerBuilder::rotation_strategy`"
-    )]
-    pub fn set_rotation_strategy(&mut self, strategy: RotationStrategy) {
-        self.rotation_strategy = strategy;
-    }
-
-    /// Overrides the forecast-smoothing factor λ ∈ [0, 1] (weight of each
-    /// new observation; default 0.25).
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `lambda ∈ [0, 1]`.
-    #[deprecated(since = "0.2.0", note = "configure via `ManagerBuilder::smoothing`")]
-    pub fn set_smoothing(&mut self, lambda: f64) {
-        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
-        self.lambda = lambda;
-    }
-
-    /// Replaces the structured-event sink on both the manager and its
-    /// fabric. Normally installed once via [`ManagerBuilder::sink`]; this
-    /// mutator exists so a driver (e.g. the simulation engine) can tee an
-    /// additional consumer into an already-built manager.
-    pub fn set_sink(&mut self, sink: SinkHandle) {
-        self.fabric.set_sink(sink.clone());
-        self.sink = sink;
-    }
-
-    /// The installed structured-event sink (disabled by default).
-    #[must_use]
-    pub fn sink(&self) -> &SinkHandle {
-        &self.sink
-    }
-
-    /// Replaces the host-side profiler on both the manager and its
-    /// fabric. Normally installed once via [`ManagerBuilder::profiler`];
-    /// this mutator exists so a driver can attach a profiler to an
-    /// already-built manager.
-    pub fn set_profiler(&mut self, prof: ProfHandle) {
-        self.fabric.set_profiler(prof.clone());
-        self.prof = prof;
-    }
-
-    /// The installed host-side profiler (disabled by default).
-    #[must_use]
-    pub fn profiler(&self) -> &ProfHandle {
-        &self.prof
-    }
-
-    /// The SI library.
-    #[must_use]
-    pub fn library(&self) -> &SiLibrary {
-        &self.lib
-    }
-
-    /// The underlying fabric.
-    #[must_use]
-    pub fn fabric(&self) -> &Fabric {
-        &self.fabric
-    }
-
-    /// The platform clock — the same instance the fabric advances, so
-    /// manager time and fabric time can never diverge.
-    #[must_use]
-    pub fn clock(&self) -> &Clock {
-        self.fabric.clock()
-    }
-
-    /// Current time in cycles (shorthand for `clock().now()`).
-    #[must_use]
-    pub fn now(&self) -> u64 {
-        self.fabric.now()
-    }
-
-    /// Currently usable Atoms.
-    #[must_use]
-    pub fn loaded(&self) -> Molecule {
-        self.fabric.loaded_molecule()
-    }
-
-    /// The Meta-Molecule the current selection is converging to.
-    #[must_use]
-    pub fn target(&self) -> &Molecule {
-        &self.selection.target
-    }
-
-    /// Total rotations requested so far.
-    #[must_use]
-    pub fn rotations_requested(&self) -> u64 {
-        self.rotations_requested
-    }
-
-    /// Per-SI execution statistics.
-    #[must_use]
-    pub fn stats(&self, si: SiId) -> SiStats {
-        self.stats[si.index()]
-    }
-
-    /// Per-SI forecast monitoring statistics.
-    #[must_use]
-    pub fn fc_stats(&self, si: SiId) -> FcStats {
-        self.fc_stats[si.index()]
-    }
-
-    /// Total bitstream bytes of all (non-cancelled) requested rotations.
-    #[must_use]
-    pub fn rotation_bytes(&self) -> u64 {
-        self.rotation_bytes
-    }
-
-    /// Energy totals of the run so far under `model` (paper §4.1's energy
-    /// accounting: execution energy split SW/HW plus rotation transfers).
-    #[must_use]
-    pub fn energy_report(&self, model: &rispp_core::energy::EnergyModel) -> EnergyReport {
-        let mut report = EnergyReport {
-            rotation_j: model.rotation_energy_j(self.rotation_bytes),
-            ..EnergyReport::default()
-        };
-        for s in &self.stats {
-            report.sw_execution_j += model.sw_execution_energy_j(s.sw_cycles());
-            report.hw_execution_j += model.hw_execution_energy_j(s.hw_cycles);
-        }
-        report
-    }
-
-    /// Cycle at which all queued rotations will have completed.
-    #[must_use]
-    pub fn all_rotations_done_at(&self) -> Option<u64> {
-        self.fabric.all_rotations_done_at()
+    /// Tees an additional consumer into the structured-event stream of
+    /// both the manager and its fabric, keeping every sink installed so
+    /// far. Normally the sink is installed once via
+    /// [`ManagerBuilder::sink`]; this exists so a driver (e.g. the
+    /// simulation engine) can attach consumers to an already-built
+    /// manager.
+    pub fn tee_sink(&mut self, extra: SinkHandle) {
+        self.fabric
+            .set_sink(SinkHandle::tee(self.fabric.sink().clone(), extra.clone()));
+        self.sink = SinkHandle::tee(self.sink.clone(), extra);
     }
 
     /// Advances time, completing rotations and — when a
@@ -637,12 +149,7 @@ impl<P: ReplacementPolicy> RisppManager<P> {
             let now = self.fabric.now();
             // Earliest backoff expiry inside (now, t]: the moment a
             // blocked kind becomes requestable again.
-            let wake = self
-                .backoff
-                .values()
-                .map(|b| b.blocked_until)
-                .filter(|&w| w > now && w <= t)
-                .min();
+            let wake = self.backoff.next_wake_within(now, t);
             let mut step_to = wake.unwrap_or(t);
             if let Some(done) = self.fabric.next_completion() {
                 if done > now {
@@ -654,12 +161,12 @@ impl<P: ReplacementPolicy> RisppManager<P> {
             for event in &events {
                 match *event {
                     FabricEvent::RotationFailed { kind, at, .. } => {
-                        self.note_rotation_failure(kind, at);
+                        self.backoff.note_failure(kind, at, self.fabric.clock());
                         need_reselect = true;
                     }
                     FabricEvent::RotationCompleted { kind, .. } => {
                         // A success wipes the kind's failure history.
-                        self.backoff.remove(&kind.index());
+                        self.backoff.note_success(kind);
                     }
                     FabricEvent::ContainerQuarantined { .. }
                     | FabricEvent::ContainerFaulted { .. } => {
@@ -678,52 +185,11 @@ impl<P: ReplacementPolicy> RisppManager<P> {
         }
     }
 
-    /// Records one failed rotation of `kind` and computes the cycle until
-    /// which that kind must not be re-requested.
-    fn note_rotation_failure(&mut self, kind: AtomKind, at: u64) {
-        let retry = self.retry_policy;
-        let clock = self.fabric.clock();
-        let entry = self.backoff.entry(kind.index()).or_default();
-        entry.attempts += 1;
-        if entry.attempts >= retry.max_attempts {
-            entry.blocked_until = u64::MAX; // parked until a success
-        } else {
-            let us = retry.backoff_base_us * retry.backoff_factor.powi(entry.attempts as i32 - 1);
-            entry.blocked_until = at.saturating_add(clock.us_to_cycles(us).max(1));
-        }
-    }
-
-    /// `true` while `kind` is under failure backoff (or parked) at `now`.
-    fn is_blocked(&self, kind: AtomKind, now: u64) -> bool {
-        self.backoff
-            .get(&kind.index())
-            .is_some_and(|b| b.blocked_until > now)
-    }
-
-    /// Atom kinds currently barred from rotation by failure backoff —
-    /// both those waiting out a delay and those parked after
-    /// [`RetryPolicy::max_attempts`] failures.
-    #[must_use]
-    pub fn blocked_kinds(&self) -> Vec<AtomKind> {
-        let now = self.fabric.now();
-        self.backoff
-            .iter()
-            .filter(|(_, b)| b.blocked_until > now)
-            .map(|(&k, _)| AtomKind(k))
-            .collect()
-    }
-
-    /// The bounded-retry policy in effect.
-    #[must_use]
-    pub fn retry_policy(&self) -> RetryPolicy {
-        self.retry_policy
-    }
-
     /// Handles an FC event: task `task` announces (or updates) a forecast
     /// for an SI. Triggers re-selection and rotation scheduling.
     pub fn forecast(&mut self, task: TaskId, value: ForecastValue) {
-        let _scope = self.prof.scope("forecast_update");
-        self.fc_stats[value.si.index()].issued += 1;
+        let _scope = self.prof.scope(phase::FORECAST_UPDATE);
+        self.ledger.note_forecast_issued(value.si);
         self.sink
             .emit_with(self.fabric.now(), || Event::ForecastUpdated {
                 task,
@@ -731,7 +197,7 @@ impl<P: ReplacementPolicy> RisppManager<P> {
                 probability: value.probability,
                 expected_executions: value.expected_executions,
             });
-        self.demands.insert((task, value.si.index()), value);
+        self.forecasts.insert(task, value);
         self.reselect(ReselectTrigger::Forecast);
     }
 
@@ -743,10 +209,10 @@ impl<P: ReplacementPolicy> RisppManager<P> {
     where
         I: IntoIterator<Item = ForecastValue>,
     {
-        let _scope = self.prof.scope("forecast_update");
+        let _scope = self.prof.scope(phase::FORECAST_UPDATE);
         let mut any = false;
         for value in values {
-            self.fc_stats[value.si.index()].issued += 1;
+            self.ledger.note_forecast_issued(value.si);
             self.sink
                 .emit_with(self.fabric.now(), || Event::ForecastUpdated {
                     task,
@@ -754,7 +220,7 @@ impl<P: ReplacementPolicy> RisppManager<P> {
                     probability: value.probability,
                     expected_executions: value.expected_executions,
                 });
-            self.demands.insert((task, value.si.index()), value);
+            self.forecasts.insert(task, value);
             any = true;
         }
         if any {
@@ -765,11 +231,11 @@ impl<P: ReplacementPolicy> RisppManager<P> {
     /// Handles a negative FC: the SI is forecast to be no longer needed by
     /// `task` (the T2 step of Fig. 6). Frees its Atoms for other demands.
     pub fn retract_forecast(&mut self, task: TaskId, si: SiId) {
-        let _scope = self.prof.scope("forecast_update");
-        self.fc_stats[si.index()].retracted += 1;
+        let _scope = self.prof.scope(phase::FORECAST_UPDATE);
+        self.ledger.note_forecast_retracted(si);
         self.sink
             .emit(self.fabric.now(), &Event::ForecastRetracted { task, si });
-        self.demands.remove(&(task, si.index()));
+        self.forecasts.retract(task, si);
         self.reselect(ReselectTrigger::Retract);
     }
 
@@ -783,18 +249,12 @@ impl<P: ReplacementPolicy> RisppManager<P> {
         observed_distance: f64,
         observed_executions: f64,
     ) {
-        let _scope = self.prof.scope("forecast_update");
-        let lambda = self.lambda;
-        if reached {
-            self.fc_stats[si.index()].hits += 1;
-        } else {
-            self.fc_stats[si.index()].misses += 1;
-        }
+        let _scope = self.prof.scope(phase::FORECAST_UPDATE);
+        self.ledger.note_fc_outcome(si, reached);
         self.sink
             .emit(self.fabric.now(), &Event::FcOutcome { task, si, reached });
-        if let Some(fv) = self.demands.get_mut(&(task, si.index())) {
-            fv.observe(lambda, reached, observed_distance, observed_executions);
-        }
+        self.forecasts
+            .observe(task, si, reached, observed_distance, observed_executions);
         self.reselect(ReselectTrigger::Observation);
     }
 
@@ -821,7 +281,7 @@ impl<P: ReplacementPolicy> RisppManager<P> {
     /// Returns [`CoreError::UnknownSi`] when `si` was not issued by this
     /// manager's library.
     pub fn try_execute_si(&mut self, task: TaskId, si: SiId) -> Result<ExecutionRecord, CoreError> {
-        let _scope = self.prof.scope("si_dispatch");
+        let _scope = self.prof.scope(phase::SI_DISPATCH);
         let def = self.lib.try_get(si).ok_or(CoreError::UnknownSi {
             id: si.index(),
             library_len: self.lib.len(),
@@ -830,7 +290,12 @@ impl<P: ReplacementPolicy> RisppManager<P> {
         let best = def.best_available(&loaded);
         let record = match best {
             Some(m) => {
-                self.fabric.touch_atoms(&m.molecule);
+                command::apply(
+                    &mut self.fabric,
+                    &mut self.ledger,
+                    &Command::Touch(&m.molecule),
+                )
+                .expect("touch is infallible");
                 ExecutionRecord {
                     si,
                     cycles: m.cycles,
@@ -843,14 +308,7 @@ impl<P: ReplacementPolicy> RisppManager<P> {
                 hardware: false,
             },
         };
-        let s = &mut self.stats[si.index()];
-        if record.hardware {
-            s.hw_executions += 1;
-            s.hw_cycles += record.cycles;
-        } else {
-            s.sw_executions += 1;
-        }
-        s.cycles += record.cycles;
+        self.ledger.record_execution(&record);
         self.sink
             .emit_with(self.fabric.now(), || Event::SiExecuted {
                 task,
@@ -862,65 +320,30 @@ impl<P: ReplacementPolicy> RisppManager<P> {
         Ok(record)
     }
 
-    /// Expected energy-rotation cost of loading an SI's minimal Molecule,
-    /// in bitstream bytes.
-    fn minimal_rotation_bytes(&self, si: SiId) -> u64 {
-        self.lib
-            .get(si)
-            .minimal()
-            .molecule
-            .iter_nonzero()
-            .map(|(kind, count)| {
-                u64::from(count) * self.fabric.catalog().profile(kind).bitstream_bytes
-            })
-            .sum()
-    }
-
     /// Recomputes the Molecule selection from all active demands and
     /// re-schedules rotations towards the new target.
     fn reselect(&mut self, trigger: ReselectTrigger) {
-        self.reselects += 1;
         // The profiler owns the host clock: the scope both feeds the
         // phase histogram and yields the duration for the Reselect event.
         // Forcing the clock while only the sink listens keeps the event's
         // `duration_ns` available without a second timer; with neither
         // enabled no host clock is read at all.
-        let scope = self.prof.scope_forcing("reselect", self.sink.is_enabled());
-        // Aggregate benefit weight per SI over all demanding tasks; the
-        // weighting depends on the adaptation goal.
-        let mut weights: BTreeMap<usize, (f64, TaskId)> = BTreeMap::new();
-        for (&(task, si), fv) in &self.demands {
-            let def = self.lib.get(SiId(si));
-            let benefit = match self.power_mode {
-                PowerMode::Performance => {
-                    fv.expected_benefit(def.sw_cycles() as f64, def.fastest().cycles as f64)
-                }
-                PowerMode::EnergySaving { model, alpha } => {
-                    // Rotation only pays when the expected executions
-                    // amortise its transfer energy (§4.1's offset).
-                    let bytes = self.minimal_rotation_bytes(SiId(si));
-                    let needed = model.amortisation_executions(def, bytes, alpha);
-                    let expected = fv.probability * fv.expected_executions;
-                    if expected < needed {
-                        0.0
-                    } else {
-                        expected * model.per_execution_saving_j(def) * 1e9 // nJ
-                    }
-                }
-            };
-            let entry = weights.entry(si).or_insert((0.0, task));
-            entry.0 += benefit;
-        }
-        let demands: Vec<(SiId, f64)> =
-            weights.iter().map(|(&si, &(w, _))| (SiId(si), w)).collect();
+        let scope = self
+            .prof
+            .scope_forcing(phase::RESELECT, self.sink.is_enabled());
         // Quarantined containers can never hold an Atom again; selecting
         // under the full container count would chase an unreachable
         // target forever.
         let capacity = self.fabric.usable_containers() as u32;
-        self.selection = select_molecules(&self.lib, &demands, capacity);
+        let weights =
+            self.selector
+                .reselect(&self.lib, self.fabric.catalog(), &self.forecasts, capacity);
         {
-            let _sched = self.prof.scope("rotation_schedule");
-            self.schedule_rotations(&weights);
+            let _sched = self.prof.scope(phase::ROTATION_SCHEDULE);
+            let plan = self
+                .scheduler
+                .plan(&self.lib, self.selector.selection(), &weights);
+            self.apply_plan(&plan);
         }
         if let Some(duration_ns) = scope.stop() {
             if self.sink.is_enabled() {
@@ -935,50 +358,18 @@ impl<P: ReplacementPolicy> RisppManager<P> {
         }
     }
 
-    /// Requeues rotations so the fabric converges to the selection target.
-    /// Queued-but-unstarted rotations are cancelled first (the port cannot
-    /// abort an in-flight write), then missing Atoms are requested in
-    /// descending SI importance.
-    fn schedule_rotations(&mut self, weights: &BTreeMap<usize, (f64, TaskId)>) {
-        // Cancelled queued rotations never transfer a bitstream: deduct
-        // them from the accounting before re-planning.
-        for (_, kind) in self.fabric.pending_rotations() {
-            self.rotations_requested -= 1;
-            self.rotation_bytes -= self.fabric.catalog().profile(kind).bitstream_bytes;
-        }
-        self.fabric.cancel_all_pending();
-        // Chosen implementations, most important SI first.
-        let mut order: Vec<&rispp_core::selection::ChosenMolecule> =
-            self.selection.chosen.iter().collect();
-        order.sort_by(|a, b| {
-            let wa = weights.get(&a.si.index()).map_or(0.0, |&(w, _)| w);
-            let wb = weights.get(&b.si.index()).map_or(0.0, |&(w, _)| w);
-            wb.partial_cmp(&wa).unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let target = self.selection.target.clone();
-        for choice in order {
-            let owner = weights.get(&choice.si.index()).map(|&(_, t)| t);
-            let si_def = self.lib.get(choice.si);
-            let wanted = si_def.molecules()[choice.molecule_index].molecule.clone();
-            // "Rotation in Advance": load the SI's upgrade path stage by
-            // stage — smallest (slowest) Molecule first — so hardware
-            // execution starts as early as possible and then gradually
-            // upgrades, instead of only after the full target is loaded.
-            let mut stages: Vec<Molecule> = match self.rotation_strategy {
-                RotationStrategy::UpgradePath => {
-                    let mut s: Vec<Molecule> = si_def
-                        .molecules()
-                        .iter()
-                        .filter(|m| m.molecule.le(&wanted))
-                        .map(|m| m.molecule.clone())
-                        .collect();
-                    s.sort_by_key(Molecule::determinant);
-                    s
-                }
-                RotationStrategy::TargetOnly => Vec::new(),
-            };
-            stages.push(wanted);
-            for (step, stage) in stages.iter().enumerate() {
+    /// Executes a rotation plan: cancels queued-but-unstarted rotations
+    /// (the port cannot abort an in-flight write), then walks the planned
+    /// upgrade ladders, turning each missing Atom into a
+    /// [`Command::Rotate`] against a victim chosen by the replacement
+    /// policy. Kinds under failure backoff are skipped, not retried
+    /// early: the rest of each stage still loads.
+    fn apply_plan(&mut self, plan: &RotationPlan) {
+        command::apply(&mut self.fabric, &mut self.ledger, &Command::CancelPending)
+            .expect("cancel is infallible");
+        let target = self.selector.selection().target.clone();
+        for upgrade in &plan.upgrades {
+            for (step, stage) in upgrade.stages.iter().enumerate() {
                 let mut requested = 0u32;
                 let mut exhausted = false;
                 loop {
@@ -986,12 +377,10 @@ impl<P: ReplacementPolicy> RisppManager<P> {
                     let missing = committed
                         .additional_atoms(stage)
                         .expect("widths agree by construction");
-                    // Kinds under failure backoff are skipped, not
-                    // retried early: the rest of the stage still loads.
                     let now = self.fabric.now();
                     let Some((kind, _)) = missing
                         .iter_nonzero()
-                        .find(|&(k, _)| !self.is_blocked(k, now))
+                        .find(|&(k, _)| !self.backoff.is_blocked(k, now))
                     else {
                         break;
                     };
@@ -999,14 +388,13 @@ impl<P: ReplacementPolicy> RisppManager<P> {
                         exhausted = true; // nothing evictable; stop scheduling
                         break;
                     };
-                    match self.fabric.request_rotation(victim, kind) {
-                        Ok(()) => {
-                            self.rotations_requested += 1;
-                            self.rotation_bytes +=
-                                self.fabric.catalog().profile(kind).bitstream_bytes;
-                            let _ = self.fabric.set_owner(victim, owner);
-                            requested += 1;
-                        }
+                    let rotate = Command::Rotate {
+                        victim,
+                        kind,
+                        owner: upgrade.owner,
+                    };
+                    match command::apply(&mut self.fabric, &mut self.ledger, &rotate) {
+                        Ok(()) => requested += 1,
                         Err(_) => {
                             exhausted = true; // defensive: victim raced a rotation
                             break;
@@ -1019,8 +407,8 @@ impl<P: ReplacementPolicy> RisppManager<P> {
                 if requested > 0 {
                     self.sink
                         .emit_with(self.fabric.now(), || Event::UpgradeStep {
-                            si: choice.si,
-                            task: owner,
+                            si: upgrade.si,
+                            task: upgrade.owner,
                             step: step as u32,
                             molecule: stage.clone(),
                         });
@@ -1030,569 +418,5 @@ impl<P: ReplacementPolicy> RisppManager<P> {
                 }
             }
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rispp_core::atom::AtomSet;
-    use rispp_core::si::{MoleculeImpl, SpecialInstruction};
-    use rispp_fabric::catalog::{AtomCatalog, AtomHwProfile};
-
-    /// Two-kind platform with fast, equal rotation times for readability.
-    fn small_platform() -> (SiLibrary, Fabric, SiId, SiId) {
-        let atoms = AtomSet::from_names(["A", "B"]);
-        let catalog = AtomCatalog::new(vec![
-            AtomHwProfile::new("A", 100, 200, 6_920), // 100 µs → 10 000 cycles
-            AtomHwProfile::new("B", 100, 200, 6_920),
-        ]);
-        let fabric = Fabric::new(atoms, catalog, 3);
-        let mut lib = SiLibrary::new(2);
-        let s0 = lib
-            .insert(
-                SpecialInstruction::new(
-                    "S0",
-                    500,
-                    vec![
-                        MoleculeImpl::new(Molecule::from_counts([1, 1]), 20),
-                        MoleculeImpl::new(Molecule::from_counts([2, 1]), 10),
-                    ],
-                )
-                .unwrap(),
-            )
-            .unwrap();
-        let s1 = lib
-            .insert(
-                SpecialInstruction::new(
-                    "S1",
-                    400,
-                    vec![MoleculeImpl::new(Molecule::from_counts([0, 2]), 15)],
-                )
-                .unwrap(),
-            )
-            .unwrap();
-        (lib, fabric, s0, s1)
-    }
-
-    fn fv(si: SiId, execs: f64) -> ForecastValue {
-        ForecastValue::new(si, 1.0, 50_000.0, execs)
-    }
-
-    /// Advances past every queued and in-flight rotation and returns the
-    /// cycle at which the last one completed. Panics — with the manager's
-    /// current clock — when nothing is rotating or time cannot advance.
-    fn drain_rotations(mgr: &mut RisppManager) -> u64 {
-        let done = mgr
-            .all_rotations_done_at()
-            .unwrap_or_else(|| panic!("nothing to drain: fabric idle at cycle {}", mgr.now()));
-        advance_or_panic(mgr, done);
-        done
-    }
-
-    /// `advance_to` that reports the manager's current clock on failure.
-    fn advance_or_panic(mgr: &mut RisppManager, t: u64) {
-        if let Err(e) = mgr.advance_to(t) {
-            panic!("advance_to({t}) failed at cycle {}: {e}", mgr.now());
-        }
-    }
-
-    #[test]
-    fn forecast_triggers_rotations() {
-        let (lib, fabric, s0, _) = small_platform();
-        let mut mgr = RisppManager::builder(lib, fabric).build();
-        mgr.forecast(0, fv(s0, 100.0));
-        assert!(mgr.rotations_requested() >= 2);
-        assert_eq!(mgr.target(), &Molecule::from_counts([2, 1]));
-    }
-
-    #[test]
-    fn execution_upgrades_gradually() {
-        let (lib, fabric, s0, _) = small_platform();
-        let mut mgr = RisppManager::builder(lib, fabric).build();
-        mgr.forecast(0, fv(s0, 100.0));
-        // Nothing loaded yet → software.
-        let r0 = mgr.execute_si(0, s0);
-        assert!(!r0.hardware);
-        assert_eq!(r0.cycles, 500);
-        // Advance until the fabric holds (1, 1) — the minimal Molecule.
-        let mut t = mgr.now();
-        loop {
-            t += 10_000;
-            advance_or_panic(&mut mgr, t);
-            if mgr.loaded().count(rispp_core::atom::AtomKind(0)) >= 1
-                && mgr.loaded().count(rispp_core::atom::AtomKind(1)) >= 1
-            {
-                break;
-            }
-            assert!(t < 1_000_000, "rotation never completed");
-        }
-        let r1 = mgr.execute_si(0, s0);
-        assert!(r1.hardware);
-        assert!(r1.cycles == 20 || r1.cycles == 10);
-        // After all rotations: the fastest Molecule.
-        if mgr.all_rotations_done_at().is_some() {
-            drain_rotations(&mut mgr);
-        }
-        assert_eq!(mgr.execute_si(0, s0).cycles, 10);
-    }
-
-    #[test]
-    fn retraction_frees_atoms_for_other_task() {
-        let (lib, fabric, s0, s1) = small_platform();
-        let mut mgr = RisppManager::builder(lib, fabric).build();
-        mgr.forecast(0, fv(s0, 100.0));
-        drain_rotations(&mut mgr);
-        assert_eq!(mgr.execute_si(0, s0).cycles, 10);
-        // Task 1 wants S1 (needs two B atoms); S0's forecast retracts.
-        mgr.retract_forecast(0, s0);
-        mgr.forecast(1, fv(s1, 100.0));
-        drain_rotations(&mut mgr);
-        let r = mgr.execute_si(1, s1);
-        assert!(r.hardware);
-        assert_eq!(r.cycles, 15);
-    }
-
-    #[test]
-    fn stats_accumulate() {
-        let (lib, fabric, s0, _) = small_platform();
-        let mut mgr = RisppManager::builder(lib, fabric).build();
-        mgr.execute_si(0, s0);
-        mgr.execute_si(0, s0);
-        let s = mgr.stats(s0);
-        assert_eq!(s.sw_executions, 2);
-        assert_eq!(s.hw_executions, 0);
-        assert_eq!(s.cycles, 1000);
-    }
-
-    #[test]
-    fn observation_reweights_selection() {
-        let (lib, fabric, s0, s1) = small_platform();
-        let mut mgr = RisppManager::builder(lib, fabric).build();
-        // Both tasks forecast; capacity 3 cannot host (2,1) ∪ (0,2) = (2,3).
-        mgr.forecast(0, fv(s0, 100.0));
-        mgr.forecast(1, fv(s1, 1.0));
-        // S0 dominates: target covers S0's fast molecule.
-        assert!(Molecule::from_counts([2, 1]).le(mgr.target()));
-        // Repeated misses of S0's forecast drain its probability.
-        for _ in 0..20 {
-            mgr.record_fc_outcome(0, s0, false, 0.0, 0.0);
-        }
-        // Now S1 should win the containers.
-        assert!(Molecule::from_counts([0, 2]).le(mgr.target()));
-    }
-
-    #[test]
-    fn fc_stats_track_monitoring() {
-        let (lib, fabric, s0, _) = small_platform();
-        let mut mgr = RisppManager::builder(lib, fabric).build();
-        mgr.forecast(0, fv(s0, 10.0));
-        mgr.forecast(1, fv(s0, 10.0));
-        mgr.record_fc_outcome(0, s0, true, 1_000.0, 5.0);
-        mgr.record_fc_outcome(0, s0, false, 0.0, 0.0);
-        mgr.record_fc_outcome(0, s0, true, 1_000.0, 5.0);
-        mgr.retract_forecast(1, s0);
-        let fc = mgr.fc_stats(s0);
-        assert_eq!(fc.issued, 2);
-        assert_eq!(fc.retracted, 1);
-        assert_eq!((fc.hits, fc.misses), (2, 1));
-        assert!((fc.hit_rate().unwrap() - 2.0 / 3.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn fc_stats_empty_hit_rate_is_none() {
-        let (lib, fabric, s0, _) = small_platform();
-        let mgr = RisppManager::builder(lib, fabric).build();
-        assert_eq!(mgr.fc_stats(s0).hit_rate(), None);
-    }
-
-    #[test]
-    fn target_only_strategy_delays_first_hw_execution() {
-        // The ablation: with TargetOnly, the atom load order follows the
-        // final molecule's kind order, so with an equal number of
-        // rotations the time to the *first* hardware execution can only
-        // be later or equal than with UpgradePath.
-        let first_hw_at = |strategy: RotationStrategy| {
-            let (lib, fabric, s0, _) = small_platform();
-            let mut mgr = RisppManager::builder(lib, fabric)
-                .rotation_strategy(strategy)
-                .build();
-            mgr.forecast(0, fv(s0, 100.0));
-            let mut t = 0u64;
-            loop {
-                t += 1_000;
-                advance_or_panic(&mut mgr, t);
-                if mgr.execute_si(0, s0).hardware {
-                    return t;
-                }
-                assert!(t < 1_000_000, "never reached hardware");
-            }
-        };
-        let upgrade = first_hw_at(RotationStrategy::UpgradePath);
-        let target_only = first_hw_at(RotationStrategy::TargetOnly);
-        assert!(upgrade <= target_only, "{upgrade} > {target_only}");
-    }
-
-    #[test]
-    fn energy_saving_mode_refuses_unamortised_rotations() {
-        use rispp_core::energy::EnergyModel;
-        let (lib, fabric, s0, _) = small_platform();
-        let mut mgr = RisppManager::builder(lib, fabric).build();
-        mgr.set_power_mode(PowerMode::EnergySaving {
-            model: EnergyModel::default(),
-            alpha: 1.0,
-        });
-        // Few expected executions: rotation energy never amortises.
-        mgr.forecast(0, fv(s0, 3.0));
-        assert_eq!(mgr.rotations_requested(), 0, "rotated for 3 executions");
-        // Many expected executions: rotation pays for itself.
-        mgr.forecast(0, fv(s0, 100_000.0));
-        assert!(mgr.rotations_requested() > 0);
-    }
-
-    #[test]
-    fn performance_mode_rotates_for_small_demands_too() {
-        let (lib, fabric, s0, _) = small_platform();
-        let mut mgr = RisppManager::builder(lib, fabric).build();
-        mgr.forecast(0, fv(s0, 3.0));
-        assert!(mgr.rotations_requested() > 0);
-    }
-
-    #[test]
-    fn reselects_count_every_fc_event() {
-        let (lib, fabric, s0, s1) = small_platform();
-        let mut mgr = RisppManager::builder(lib, fabric).build();
-        let before = mgr.reselects();
-        mgr.forecast(0, fv(s0, 10.0));
-        mgr.forecast(1, fv(s1, 10.0));
-        mgr.retract_forecast(0, s0);
-        mgr.record_fc_outcome(1, s1, true, 100.0, 5.0);
-        assert_eq!(mgr.reselects() - before, 4);
-        // A batched FC Block costs one re-evaluation, not two.
-        let b2 = mgr.reselects();
-        mgr.forecast_block(0, vec![fv(s0, 10.0), fv(s1, 10.0)]);
-        assert_eq!(mgr.reselects() - b2, 1);
-    }
-
-    #[test]
-    fn energy_report_accounts_all_three_terms() {
-        use rispp_core::energy::EnergyModel;
-        let (lib, fabric, s0, _) = small_platform();
-        let mut mgr = RisppManager::builder(lib, fabric).build();
-        let model = EnergyModel::default();
-        // Pure software run: only SW execution energy.
-        mgr.execute_si(0, s0);
-        let r = mgr.energy_report(&model);
-        assert!(r.sw_execution_j > 0.0);
-        assert_eq!(r.hw_execution_j, 0.0);
-        assert_eq!(r.rotation_j, 0.0);
-        // Forecast → rotations add transfer energy; HW executions follow.
-        mgr.forecast(0, fv(s0, 100.0));
-        assert!(mgr.rotation_bytes() > 0);
-        drain_rotations(&mut mgr);
-        mgr.execute_si(0, s0);
-        let r2 = mgr.energy_report(&model);
-        assert!(r2.rotation_j > 0.0);
-        assert!(r2.hw_execution_j > 0.0);
-        assert!(r2.total_j() > r.total_j());
-    }
-
-    #[test]
-    fn cancelled_rotations_are_not_billed() {
-        let (lib, fabric, s0, s1) = small_platform();
-        let mut mgr = RisppManager::builder(lib, fabric).build();
-        mgr.forecast(0, fv(s0, 100.0));
-        let after_first = mgr.rotation_bytes();
-        // Immediate retraction cancels everything still queued; only the
-        // in-flight transfer (at most one) stays billed.
-        mgr.retract_forecast(0, s0);
-        assert!(mgr.rotation_bytes() <= after_first);
-        assert!(mgr.rotation_bytes() <= 6_920, "{}", mgr.rotation_bytes());
-        let _ = s1;
-    }
-
-    #[test]
-    #[should_panic(expected = "lambda")]
-    fn smoothing_out_of_range_rejected() {
-        let (lib, fabric, ..) = small_platform();
-        let _ = RisppManager::builder(lib, fabric).smoothing(1.5).build();
-    }
-
-    #[test]
-    fn try_execute_rejects_unknown_si() {
-        let (lib, fabric, s0, _) = small_platform();
-        let mut mgr = RisppManager::builder(lib, fabric).build();
-        let err = mgr.try_execute_si(0, SiId(99)).unwrap_err();
-        assert_eq!(
-            err,
-            CoreError::UnknownSi {
-                id: 99,
-                library_len: 2
-            }
-        );
-        // The valid path matches the panicking API.
-        let rec = mgr.try_execute_si(0, s0).unwrap();
-        assert_eq!(rec, mgr.execute_si(0, s0));
-    }
-
-    #[test]
-    #[should_panic(expected = "unknown special instruction")]
-    fn execute_panics_on_unknown_si() {
-        let (lib, fabric, ..) = small_platform();
-        let mut mgr = RisppManager::builder(lib, fabric).build();
-        let _ = mgr.execute_si(0, SiId(99));
-    }
-
-    #[test]
-    fn sink_sees_manager_events_at_source() {
-        use rispp_obs::TimelineSink;
-        use std::cell::RefCell;
-        use std::rc::Rc;
-
-        let timeline = Rc::new(RefCell::new(TimelineSink::new()));
-        let (lib, fabric, s0, _) = small_platform();
-        let mut mgr = RisppManager::builder(lib, fabric)
-            .sink(SinkHandle::shared(timeline.clone()))
-            .build();
-
-        mgr.forecast(0, fv(s0, 100.0));
-        mgr.execute_si(0, s0); // software: nothing loaded yet
-        let done = drain_rotations(&mut mgr);
-        mgr.execute_si(0, s0); // hardware
-        mgr.record_fc_outcome(0, s0, true, 50_000.0, 100.0);
-        mgr.retract_forecast(0, s0);
-
-        let tl = timeline.borrow();
-        let records = tl.timeline().entries();
-        let has = |pred: &dyn Fn(&Event) -> bool| records.iter().any(|r| pred(&r.event));
-        assert!(has(&|e| matches!(
-            e,
-            Event::ForecastUpdated { task: 0, .. }
-        )));
-        assert!(has(&|e| matches!(
-            e,
-            Event::Reselect {
-                trigger: ReselectTrigger::Forecast,
-                ..
-            }
-        )));
-        assert!(has(&|e| matches!(e, Event::UpgradeStep { step: 0, .. })));
-        assert!(has(&|e| matches!(
-            e,
-            Event::SiExecuted {
-                hw: false,
-                cycles: 500,
-                molecule: None,
-                ..
-            }
-        )));
-        // Rotations flow through the shared fabric sink.
-        assert!(has(&|e| matches!(e, Event::RotationStarted { .. })));
-        assert!(has(&|e| matches!(e, Event::RotationCompleted { .. })));
-        // The hardware execution carries its Molecule.
-        assert!(records.iter().any(|r| matches!(
-            &r.event,
-            Event::SiExecuted { hw: true, molecule: Some(m), .. }
-                if m.determinant() > 0 && r.at == done
-        )));
-        assert!(has(&|e| matches!(
-            e,
-            Event::FcOutcome { reached: true, .. }
-        )));
-        assert!(has(&|e| matches!(
-            e,
-            Event::ForecastRetracted { task: 0, .. }
-        )));
-    }
-
-    #[test]
-    fn disabled_sink_changes_nothing() {
-        let run = |sink: Option<SinkHandle>| {
-            let (lib, fabric, s0, s1) = small_platform();
-            let mut b = RisppManager::builder(lib, fabric);
-            if let Some(s) = sink {
-                b = b.sink(s);
-            }
-            let mut mgr = b.build();
-            mgr.forecast(0, fv(s0, 100.0));
-            mgr.forecast(1, fv(s1, 10.0));
-            drain_rotations(&mut mgr);
-            let r = mgr.execute_si(0, s0);
-            (r, mgr.rotations_requested(), mgr.target().clone())
-        };
-        let observed = run(Some(SinkHandle::new(rispp_obs::CountersSink::default())));
-        let silent = run(None);
-        assert_eq!(observed, silent);
-    }
-
-    #[test]
-    fn retry_waits_out_the_backoff() {
-        use rispp_fabric::FaultPlan;
-        // One container, one single-Atom Molecule: exactly one rotation
-        // is ever in flight, so the retry timing is fully determined.
-        let atoms = AtomSet::from_names(["A", "B"]);
-        let catalog = AtomCatalog::new(vec![
-            AtomHwProfile::new("A", 100, 200, 6_920), // 10 000-cycle rotation
-            AtomHwProfile::new("B", 100, 200, 6_920),
-        ]);
-        let fabric = Fabric::new(atoms, catalog, 1).with_faults(FaultPlan {
-            crc_failures: vec![0],
-            ..FaultPlan::default()
-        });
-        let mut lib = SiLibrary::new(2);
-        let si = lib
-            .insert(
-                SpecialInstruction::new(
-                    "S",
-                    500,
-                    vec![MoleculeImpl::new(Molecule::from_counts([0, 1]), 20)],
-                )
-                .unwrap(),
-            )
-            .unwrap();
-        let mut mgr = RisppManager::builder(lib, fabric).build();
-        mgr.forecast(0, fv(si, 100.0));
-        let events = mgr.advance_to(100_000).unwrap();
-        // Rotation 0 starts at 0 and fails CRC at 10 000; the retry
-        // starts exactly when the 50 µs (5 000 cycle) backoff expires.
-        let starts: Vec<u64> = events
-            .iter()
-            .filter_map(|e| match *e {
-                FabricEvent::RotationStarted { at, .. } => Some(at),
-                _ => None,
-            })
-            .collect();
-        assert_eq!(starts, vec![0, 15_000]);
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, FabricEvent::RotationFailed { at: 10_000, .. })));
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, FabricEvent::RotationCompleted { at: 25_000, .. })));
-        // The success wiped the failure history; execution is hardware.
-        assert!(mgr.blocked_kinds().is_empty());
-        assert!(mgr.execute_si(0, si).hardware);
-        // Both transfers moved bits: the failed one stays billed.
-        assert_eq!(mgr.rotations_requested(), 2);
-        assert_eq!(mgr.rotation_bytes(), 2 * 6_920);
-    }
-
-    #[test]
-    fn kind_parks_after_max_attempts_and_degrades_to_software() {
-        use rispp_fabric::FaultPlan;
-        // Every rotation fails CRC. After max_attempts per kind the
-        // manager parks the kind instead of retrying forever, and the SI
-        // keeps executing in software — never an error.
-        let (lib, fabric, s0, _) = small_platform();
-        let plan = FaultPlan {
-            crc_failures: (0..64).collect(),
-            ..FaultPlan::default()
-        };
-        let mut mgr = RisppManager::builder(lib, fabric.with_faults(plan)).build();
-        mgr.forecast(0, fv(s0, 100.0));
-        let mut failures = 0usize;
-        let mut t = 0u64;
-        while t < 2_000_000 {
-            t += 1_000;
-            let events = mgr
-                .advance_to(t)
-                .expect("advance never errors under faults");
-            failures += events
-                .iter()
-                .filter(|e| matches!(e, FabricEvent::RotationFailed { .. }))
-                .count();
-            assert!(mgr.execute_si(0, s0).cycles > 0);
-        }
-        let max = mgr.retry_policy().max_attempts as usize;
-        assert!(
-            failures >= max,
-            "kind parked too early: {failures} failures"
-        );
-        // Bounded retry: at most max_attempts per kind, plus rotations
-        // already queued when their kind parked (one per container).
-        assert!(failures <= 2 * max + 3, "retry storm: {failures} failures");
-        assert_eq!(mgr.blocked_kinds().len(), 2);
-        assert!(!mgr.execute_si(0, s0).hardware);
-        assert_eq!(mgr.execute_si(0, s0).cycles, 500);
-        // Once parked, the fabric stays quiet: no new rotations, no new
-        // failures, however long the run continues.
-        let tail = mgr.advance_to(4_000_000).unwrap();
-        assert!(tail.is_empty(), "parked kinds still rotating: {tail:?}");
-    }
-
-    #[test]
-    fn quarantined_container_is_routed_around() {
-        use rispp_fabric::{ContainerId, FaultPlan};
-        let (lib, fabric, s0, _) = small_platform();
-        let plan = FaultPlan {
-            bad_containers: vec![ContainerId(0)],
-            ..FaultPlan::default()
-        };
-        let mut mgr = RisppManager::builder(lib, fabric.with_faults(plan)).build();
-        mgr.forecast(0, fv(s0, 100.0));
-        let events = mgr.advance_to(1_000_000).unwrap();
-        let quarantined_at = events
-            .iter()
-            .find_map(|e| match *e {
-                FabricEvent::ContainerQuarantined {
-                    container: ContainerId(0),
-                    at,
-                } => Some(at),
-                _ => None,
-            })
-            .expect("bad container was never quarantined");
-        // No rotation targets the dead container afterwards.
-        assert!(events
-            .iter()
-            .filter_map(|e| match *e {
-                FabricEvent::RotationStarted { container, at, .. } if at > quarantined_at =>
-                    Some(container),
-                _ => None,
-            })
-            .all(|c| c != ContainerId(0)));
-        assert_eq!(mgr.fabric().usable_containers(), 2);
-        // Selection re-plans under the reduced capacity: the fast (2,1)
-        // Molecule no longer fits two containers, the minimal (1,1) does.
-        let r = mgr.execute_si(0, s0);
-        assert!(r.hardware);
-        assert_eq!(r.cycles, 20);
-    }
-
-    #[test]
-    fn transient_fault_triggers_reloading() {
-        use rispp_fabric::{ContainerId, FaultPlan};
-        let (lib, fabric, s0, _) = small_platform();
-        // Long after everything is loaded, AC0 loses its Atom.
-        let plan = FaultPlan {
-            transient_faults: vec![(200_000, ContainerId(0))],
-            ..FaultPlan::default()
-        };
-        let mut mgr = RisppManager::builder(lib, fabric.with_faults(plan)).build();
-        mgr.forecast(0, fv(s0, 100.0));
-        drain_rotations(&mut mgr);
-        assert_eq!(mgr.execute_si(0, s0).cycles, 10);
-        let events = mgr.advance_to(250_000).unwrap();
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, FabricEvent::ContainerFaulted { .. })));
-        // The fault triggered a re-selection that reloads the lost Atom.
-        drain_rotations(&mut mgr);
-        assert_eq!(mgr.execute_si(0, s0).cycles, 10);
-    }
-
-    #[test]
-    fn two_tasks_share_atoms() {
-        let (lib, fabric, s0, s1) = small_platform();
-        let mut mgr = RisppManager::builder(lib, fabric).build();
-        mgr.forecast(0, fv(s0, 50.0));
-        mgr.forecast(1, fv(s1, 50.0));
-        drain_rotations(&mut mgr);
-        // Capacity 3: selection can satisfy S0 minimal (1,1) and S1 (0,2)
-        // by sharing the B atoms: target (1,2).
-        let loaded = mgr.loaded();
-        assert!(Molecule::from_counts([1, 1]).le(&loaded), "loaded {loaded}");
-        let ra = mgr.execute_si(0, s0);
-        let rb = mgr.execute_si(1, s1);
-        assert!(ra.hardware && rb.hardware);
     }
 }

@@ -12,9 +12,11 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use rispp_core::si::SiId;
-use rispp_obs::{MetricsSink, MetricsSummary, SinkHandle, Timeline, TimelineSink};
+use rispp_obs::{phase, MetricsSink, MetricsSummary, SinkHandle, Timeline, TimelineSink};
 use rispp_rt::manager::{RisppManager, TaskId};
 use rispp_rt::policy::ReplacementPolicy;
+use rispp_rt::rotation::{RotationSchedulePolicy, RotationStrategy};
+use rispp_rt::selection::{GreedySelection, SelectionPolicy};
 
 use crate::task::{Op, ProgramCursor, Task};
 
@@ -33,8 +35,12 @@ struct FcWatch {
 }
 
 /// The engine: a [`RisppManager`] plus a set of tasks.
-pub struct Engine<P: ReplacementPolicy> {
-    manager: RisppManager<P>,
+///
+/// The type parameters mirror the manager's: `P` picks rotation victims,
+/// `S` selects Molecules and `R` orders rotations; the defaults are the
+/// paper's configuration.
+pub struct Engine<P: ReplacementPolicy, S = GreedySelection, R = RotationStrategy> {
+    manager: RisppManager<P, S, R>,
     tasks: Vec<TaskState>,
     /// The engine's own event consumer, teed into whatever sink the
     /// manager was built with.
@@ -49,7 +55,7 @@ pub struct Engine<P: ReplacementPolicy> {
     watches: BTreeMap<(TaskId, usize), FcWatch>,
 }
 
-impl<P: ReplacementPolicy> Engine<P> {
+impl<P: ReplacementPolicy, S: SelectionPolicy, R: RotationSchedulePolicy> Engine<P, S, R> {
     /// Creates an engine around a manager (FC monitoring disabled).
     ///
     /// The engine tees its own [`TimelineSink`] into the manager's
@@ -57,7 +63,7 @@ impl<P: ReplacementPolicy> Engine<P> {
     /// [`ManagerBuilder::sink`](rispp_rt::manager::ManagerBuilder::sink)
     /// keeps receiving every event alongside the engine's timeline.
     #[must_use]
-    pub fn new(mut manager: RisppManager<P>) -> Self {
+    pub fn new(mut manager: RisppManager<P, S, R>) -> Self {
         let timeline = Rc::new(RefCell::new(TimelineSink::new()));
         let fabric = manager.fabric();
         let metrics = Rc::new(RefCell::new(
@@ -76,11 +82,16 @@ impl<P: ReplacementPolicy> Engine<P> {
         // disabled profilers make `wrap_sink` a pass-through.
         let prof = manager.profiler().clone();
         let consumers = SinkHandle::tee(
-            prof.wrap_sink("sink_emit/timeline", SinkHandle::shared(timeline.clone())),
-            prof.wrap_sink("sink_emit/metrics", SinkHandle::shared(metrics.clone())),
+            prof.wrap_sink(
+                phase::SINK_EMIT_TIMELINE,
+                SinkHandle::shared(timeline.clone()),
+            ),
+            prof.wrap_sink(
+                phase::SINK_EMIT_METRICS,
+                SinkHandle::shared(metrics.clone()),
+            ),
         );
-        let tee = SinkHandle::tee(manager.sink().clone(), consumers);
-        manager.set_sink(tee);
+        manager.tee_sink(consumers);
         Engine {
             manager,
             tasks: Vec::new(),
@@ -99,9 +110,8 @@ impl<P: ReplacementPolicy> Engine<P> {
             .manager
             .profiler()
             .clone()
-            .wrap_sink("sink_emit/attached", sink);
-        let tee = SinkHandle::tee(self.manager.sink().clone(), sink);
-        self.manager.set_sink(tee);
+            .wrap_sink(phase::SINK_EMIT_ATTACHED, sink);
+        self.manager.tee_sink(sink);
     }
 
     /// The manager's host-side profiler handle (disabled unless one was
@@ -187,7 +197,7 @@ impl<P: ReplacementPolicy> Engine<P> {
 
     /// The manager (for inspection after a run).
     #[must_use]
-    pub fn manager(&self) -> &RisppManager<P> {
+    pub fn manager(&self) -> &RisppManager<P, S, R> {
         &self.manager
     }
 

@@ -178,11 +178,12 @@ proptest! {
         let mut perf = RisppManager::builder(lib.clone(), make_fabric(containers)).build();
         perf.forecast(0, fv.clone());
 
-        let mut eco = RisppManager::builder(lib.clone(), make_fabric(containers)).build();
-        eco.set_power_mode(PowerMode::EnergySaving {
-            model: EnergyModel::default(),
-            alpha: 1.0,
-        });
+        let mut eco = RisppManager::builder(lib.clone(), make_fabric(containers))
+            .power_mode(PowerMode::EnergySaving {
+                model: EnergyModel::default(),
+                alpha: 1.0,
+            })
+            .build();
         eco.forecast(0, fv);
 
         prop_assert!(eco.rotations_requested() <= perf.rotations_requested());

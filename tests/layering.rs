@@ -1,0 +1,377 @@
+//! Architecture test: pins the workspace crate DAG so layer boundaries
+//! cannot silently erode.
+//!
+//! The intended layering (DESIGN.md §10) is
+//!
+//! ```text
+//! core → {obs, h264, cfg} → fabric → rt → sim → rispp → bench
+//! ```
+//!
+//! with `obs` shared as a leaf by every instrumented layer. The test
+//! shells out to `cargo metadata --no-deps` and checks the *declared*
+//! normal dependencies of every `rispp*` crate against an exact
+//! allow-list — adding a new edge (say, `fabric → rt`) fails the test
+//! until the table below is deliberately updated. Vendored shims
+//! (`rand`, `proptest`, `criterion`) are outside the layering and are
+//! ignored.
+//!
+//! The JSON is walked by a deliberately tiny hand-rolled parser — the
+//! workspace has a no-external-deps policy, and the metadata schema used
+//! here (objects, arrays, strings) is stable.
+
+use std::collections::BTreeSet;
+use std::process::Command;
+
+/// The intended DAG: crate → exact set of `rispp*` crates it may declare
+/// as normal dependencies. dev-dependencies are exempt (tests may reach
+/// "up" for fixtures, e.g. `rt` dev-depends on `h264`).
+const EXPECTED: &[(&str, &[&str])] = &[
+    ("rispp-core", &[]),
+    ("rispp-obs", &["rispp-core"]),
+    ("rispp-h264", &["rispp-core"]),
+    ("rispp-cfg", &["rispp-core"]),
+    ("rispp-fabric", &["rispp-core", "rispp-obs"]),
+    ("rispp-rt", &["rispp-core", "rispp-fabric", "rispp-obs"]),
+    (
+        "rispp-sim",
+        &[
+            "rispp-cfg",
+            "rispp-core",
+            "rispp-fabric",
+            "rispp-h264",
+            "rispp-obs",
+            "rispp-rt",
+        ],
+    ),
+    (
+        "rispp-baseline",
+        &["rispp-core", "rispp-fabric", "rispp-h264"],
+    ),
+    (
+        "rispp",
+        &[
+            "rispp-baseline",
+            "rispp-cfg",
+            "rispp-core",
+            "rispp-fabric",
+            "rispp-h264",
+            "rispp-obs",
+            "rispp-rt",
+            "rispp-sim",
+        ],
+    ),
+    ("rispp-bench", &["rispp"]),
+];
+
+#[test]
+fn crate_dag_matches_the_design() {
+    let packages = workspace_packages();
+    assert!(
+        !packages.is_empty(),
+        "cargo metadata returned no rispp packages"
+    );
+
+    let mut seen = BTreeSet::new();
+    for (name, deps) in &packages {
+        seen.insert(name.as_str());
+        let expected = EXPECTED
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| {
+                panic!("crate `{name}` is not in the layering table — add it deliberately")
+            })
+            .1
+            .iter()
+            .copied()
+            .collect::<BTreeSet<_>>();
+        let actual = deps.iter().map(String::as_str).collect::<BTreeSet<_>>();
+        assert_eq!(
+            actual, expected,
+            "`{name}` declares normal deps {actual:?}, the design allows exactly {expected:?}"
+        );
+    }
+    for (name, _) in EXPECTED {
+        assert!(
+            seen.contains(name),
+            "layering table lists `{name}` but cargo metadata does not know it"
+        );
+    }
+}
+
+/// Every `rispp*` workspace package with its declared normal (non-dev,
+/// non-build) `rispp*` dependencies.
+fn workspace_packages() -> Vec<(String, Vec<String>)> {
+    let manifest = concat!(env!("CARGO_MANIFEST_DIR"), "/../../Cargo.toml");
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let out = Command::new(cargo)
+        .args(["metadata", "--format-version", "1", "--no-deps"])
+        .arg("--manifest-path")
+        .arg(manifest)
+        .output()
+        .expect("failed to run cargo metadata");
+    assert!(
+        out.status.success(),
+        "cargo metadata failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("metadata is UTF-8");
+    let root = json::parse(&text);
+
+    let mut result = Vec::new();
+    for pkg in root.get("packages").as_array() {
+        let name = pkg.get("name").as_str().to_string();
+        if !name.starts_with("rispp") {
+            continue;
+        }
+        let mut deps = Vec::new();
+        for dep in pkg.get("dependencies").as_array() {
+            // `kind` is null for normal deps, "dev"/"build" otherwise.
+            if !matches!(dep.get("kind"), json::Value::Null) {
+                continue;
+            }
+            let dep_name = dep.get("name").as_str();
+            if dep_name.starts_with("rispp") {
+                deps.push(dep_name.to_string());
+            }
+        }
+        result.push((name, deps));
+    }
+    result
+}
+
+/// A minimal recursive-descent JSON parser — just enough for the
+/// `cargo metadata` schema. Panics (failing the test) on malformed input.
+mod json {
+    #[derive(Debug)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Number(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Member lookup; missing keys and non-objects yield `Null` so
+        /// call chains stay terse.
+        pub fn get(&self, key: &str) -> &Value {
+            match self {
+                Value::Object(members) => members
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map_or(&Value::Null, |(_, v)| v),
+                _ => &Value::Null,
+            }
+        }
+
+        pub fn as_array(&self) -> &[Value] {
+            match self {
+                Value::Array(items) => items,
+                _ => &[],
+            }
+        }
+
+        pub fn as_str(&self) -> &str {
+            match self {
+                Value::String(s) => s,
+                other => panic!("expected JSON string, found {other:?}"),
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Value {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value();
+        p.skip_ws();
+        assert_eq!(p.pos, p.bytes.len(), "trailing bytes after JSON value");
+        v
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> u8 {
+            self.bytes[self.pos]
+        }
+
+        fn bump(&mut self) -> u8 {
+            let b = self.bytes[self.pos];
+            self.pos += 1;
+            b
+        }
+
+        fn skip_ws(&mut self) {
+            while self.pos < self.bytes.len()
+                && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) {
+            assert_eq!(self.bump(), b, "malformed JSON near byte {}", self.pos);
+        }
+
+        fn literal(&mut self, lit: &str) {
+            for &b in lit.as_bytes() {
+                self.expect(b);
+            }
+        }
+
+        fn value(&mut self) -> Value {
+            match self.peek() {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Value::String(self.string()),
+                b't' => {
+                    self.literal("true");
+                    Value::Bool(true)
+                }
+                b'f' => {
+                    self.literal("false");
+                    Value::Bool(false)
+                }
+                b'n' => {
+                    self.literal("null");
+                    Value::Null
+                }
+                _ => self.number(),
+            }
+        }
+
+        fn object(&mut self) -> Value {
+            self.expect(b'{');
+            let mut members = Vec::new();
+            self.skip_ws();
+            if self.peek() == b'}' {
+                self.bump();
+                return Value::Object(members);
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string();
+                self.skip_ws();
+                self.expect(b':');
+                self.skip_ws();
+                members.push((key, self.value()));
+                self.skip_ws();
+                match self.bump() {
+                    b',' => {}
+                    b'}' => return Value::Object(members),
+                    other => panic!("malformed JSON object: unexpected {:?}", other as char),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Value {
+            self.expect(b'[');
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == b']' {
+                self.bump();
+                return Value::Array(items);
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value());
+                self.skip_ws();
+                match self.bump() {
+                    b',' => {}
+                    b']' => return Value::Array(items),
+                    other => panic!("malformed JSON array: unexpected {:?}", other as char),
+                }
+            }
+        }
+
+        fn string(&mut self) -> String {
+            self.expect(b'"');
+            let mut out = String::new();
+            loop {
+                match self.bump() {
+                    b'"' => return out,
+                    b'\\' => match self.bump() {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex: String = (0..4).map(|_| self.bump() as char).collect();
+                            let code = u32::from_str_radix(&hex, 16)
+                                .unwrap_or_else(|_| panic!("bad \\u escape {hex}"));
+                            // Surrogate pairs never appear in crate
+                            // metadata; map them to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => panic!("bad escape \\{}", other as char),
+                    },
+                    byte => {
+                        // Copy UTF-8 continuation bytes through verbatim.
+                        let start = self.pos - 1;
+                        let len = utf8_len(byte);
+                        self.pos = start + len;
+                        out.push_str(
+                            std::str::from_utf8(&self.bytes[start..self.pos])
+                                .expect("metadata is valid UTF-8"),
+                        );
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Value {
+            let start = self.pos;
+            while self.pos < self.bytes.len()
+                && matches!(
+                    self.bytes[self.pos],
+                    b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+                )
+            {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+            Value::Number(text.parse().unwrap_or_else(|_| panic!("bad number {text}")))
+        }
+    }
+
+    fn utf8_len(first: u8) -> usize {
+        match first {
+            0x00..=0x7f => 1,
+            0xc0..=0xdf => 2,
+            0xe0..=0xef => 3,
+            _ => 4,
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn parses_the_shapes_cargo_metadata_uses() {
+            let v = parse(
+                r#"{"packages": [{"name": "a", "deps": [], "kind": null,
+                    "n": 1.5, "ok": true, "s": "x\nAé"}]}"#,
+            );
+            let pkg = &v.get("packages").as_array()[0];
+            assert_eq!(pkg.get("name").as_str(), "a");
+            assert!(pkg.get("deps").as_array().is_empty());
+            assert!(matches!(pkg.get("kind"), Value::Null));
+            assert!(matches!(pkg.get("n"), Value::Number(x) if *x == 1.5));
+            assert!(matches!(pkg.get("ok"), Value::Bool(true)));
+            assert_eq!(pkg.get("s").as_str(), "x\nAé");
+            assert!(matches!(pkg.get("missing"), Value::Null));
+        }
+    }
+}
