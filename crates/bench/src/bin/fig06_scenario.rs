@@ -17,7 +17,7 @@ use std::rc::Rc;
 use rispp::h264::si_library::atom_set;
 use rispp::obs::jsonl;
 use rispp::prelude::*;
-use rispp::sim::scenario::{fig6_engine_with, run_fig6};
+use rispp::sim::scenario::run_fig6;
 use rispp::sim::waveform::render_waveform;
 use rispp_bench::report::{analyze, render_markdown, ReportConfig};
 
@@ -63,9 +63,14 @@ fn main() {
     );
 
     // Re-run with a JSONL export attached and the host profiler enabled,
-    // then rebuild the timeline purely from the exported text.
-    let prof = ProfHandle::enabled();
-    let (mut engine, _) = fig6_engine_with(&rispp::fabric::FaultPlan::none(), prof.clone());
+    // then rebuild the timeline purely from the exported text. Measured
+    // re-selection durations stay in the stream — this figure reports on
+    // one live run, not a replayable shard.
+    let spec = ShardSpec::new(Scenario::Fig6, 0)
+        .with_profile(true)
+        .with_deterministic(false);
+    let (mut engine, _) = spec.build_fig6();
+    let prof = engine.profiler().clone();
     let export = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
     engine.attach_sink(SinkHandle::shared(export.clone()));
     let end = engine.run(100_000);

@@ -1,20 +1,29 @@
 //! The live pipeline: the real H.264 encoder (pixels, transforms, entropy
 //! coding) running end-to-end on the RISPP platform — every SI dispatched
 //! through the run-time manager, every rotation stall paid on the clock.
-//! The integrated view behind Figs. 11/12.
+//! The integrated view behind Figs. 11/12, with each container count run
+//! as one [`ShardSpec`].
 
-use rispp::h264::encoder::EncoderConfig;
-use rispp::sim::codec_runner::run_encoder_on_rispp;
+use rispp::prelude::*;
 use rispp_bench::print_table;
 
 fn main() {
     println!("== Live codec: real encoder on the RISPP platform ==\n");
-    let config = EncoderConfig::default();
     let frames = 6;
     let mut rows = Vec::new();
     let mut sw_cycles = 0u64;
     for containers in [0usize, 4, 5, 6, 8] {
-        let out = run_encoder_on_rispp(64, 48, frames, containers, &config, 2_026);
+        let spec = ShardSpec::new(
+            Scenario::LiveCodec {
+                width: 64,
+                height: 48,
+                frames,
+                containers,
+            },
+            2_026,
+        )
+        .with_sink(SinkSpec::Null);
+        let out = spec.run().codec.expect("live codec outcome");
         if containers == 0 {
             sw_cycles = out.total_cycles;
         }

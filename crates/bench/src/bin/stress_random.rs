@@ -1,172 +1,11 @@
 //! Stress harness: random platforms (Atom sets, SI libraries, forecast
 //! streams) hammered through the full manager/fabric stack, asserting the
 //! RISPP invariants on every step. A seeded fuzzing pass that complements
-//! the property tests with much longer runs. Every run also carries a
-//! [`CountersSink`], cross-checked against the harness's own tallies so
-//! the event stream itself is part of the fuzzed surface.
+//! the property tests with much longer runs. Each seed runs as one
+//! [`ShardSpec`] with per-step checks enabled, so the event stream is
+//! cross-checked against the harness tallies inside the spec runner.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rispp::core::atom::AtomSet;
-use rispp::fabric::catalog::{AtomCatalog, AtomHwProfile};
 use rispp::prelude::*;
-
-struct StressStats {
-    forecasts: u64,
-    retractions: u64,
-    executions: u64,
-    hw_executions: u64,
-    rotations: u64,
-}
-
-fn random_platform(rng: &mut StdRng) -> (SiLibrary, Fabric) {
-    let kinds = rng.gen_range(1..=6usize);
-    let names: Vec<String> = (0..kinds).map(|i| format!("K{i}")).collect();
-    let atoms = AtomSet::from_names(names.iter().map(String::as_str));
-    let catalog = AtomCatalog::new(
-        names
-            .iter()
-            .map(|n| {
-                AtomHwProfile::new(
-                    n.as_str(),
-                    rng.gen_range(100..800),
-                    rng.gen_range(200..1600),
-                    rng.gen_range(2_000..80_000),
-                )
-            })
-            .collect(),
-    );
-    let containers = rng.gen_range(0..=8usize);
-    let fabric = Fabric::new(atoms, catalog, containers);
-
-    let mut lib = SiLibrary::new(kinds);
-    for s in 0..rng.gen_range(1..=6usize) {
-        let n_mols = rng.gen_range(1..=4usize);
-        let mut mols = Vec::new();
-        let mut fastest = u64::MAX;
-        for _ in 0..n_mols {
-            let counts: Vec<u32> = (0..kinds).map(|_| rng.gen_range(0..4)).collect();
-            if counts.iter().all(|&c| c == 0) {
-                continue;
-            }
-            let cycles = rng.gen_range(5..80u64);
-            fastest = fastest.min(cycles);
-            mols.push(MoleculeImpl::new(Molecule::from_counts(counts), cycles));
-        }
-        if mols.is_empty() {
-            mols.push(MoleculeImpl::new(
-                Molecule::from_pairs(kinds, [(AtomKind(0), 1)]),
-                20,
-            ));
-            fastest = 20;
-        }
-        let sw = fastest + rng.gen_range(50..2_000u64);
-        lib.insert(SpecialInstruction::new(format!("si{s}"), sw, mols).expect("valid"))
-            .expect("width");
-    }
-    (lib, fabric)
-}
-
-fn stress_one(seed: u64, steps: u32, export: Option<SinkHandle>) -> StressStats {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let (lib, fabric) = random_platform(&mut rng);
-    let containers = fabric.num_containers();
-    let counters = Rc::new(RefCell::new(CountersSink::new()));
-    let mut sink = SinkHandle::shared(counters.clone());
-    if let Some(extra) = export {
-        sink = SinkHandle::tee(sink, extra);
-    }
-    let mut mgr = RisppManager::builder(lib.clone(), fabric)
-        .sink(sink)
-        .build();
-    let mut stats = StressStats {
-        forecasts: 0,
-        retractions: 0,
-        executions: 0,
-        hw_executions: 0,
-        rotations: 0,
-    };
-    for _ in 0..steps {
-        let si = SiId(rng.gen_range(0..lib.len()));
-        match rng.gen_range(0..10) {
-            0..=2 => {
-                mgr.forecast(
-                    rng.gen_range(0..3),
-                    ForecastValue::new(
-                        si,
-                        rng.gen_range(0.05..1.0),
-                        rng.gen_range(1_000.0..1_000_000.0),
-                        rng.gen_range(1.0..500.0),
-                    ),
-                );
-                stats.forecasts += 1;
-            }
-            3 => {
-                mgr.retract_forecast(rng.gen_range(0..3), si);
-                stats.retractions += 1;
-            }
-            4..=7 => {
-                let rec = mgr.execute_si(rng.gen_range(0..3), si);
-                assert!(
-                    rec.cycles <= lib.get(si).sw_cycles(),
-                    "seed {seed}: slower than software"
-                );
-                stats.executions += 1;
-                if rec.hardware {
-                    stats.hw_executions += 1;
-                }
-            }
-            _ => {
-                let t = mgr.now() + rng.gen_range(1..200_000u64);
-                mgr.advance_to(t).expect("monotone time");
-            }
-        }
-        // Global invariant: never more loaded Atoms than containers.
-        assert!(
-            mgr.loaded().determinant() as usize <= containers,
-            "seed {seed}: capacity violated"
-        );
-        assert!(mgr.target().determinant() as usize <= containers);
-    }
-    stats.rotations = mgr.rotations_requested();
-
-    // The exported event stream must agree with the harness's tallies.
-    let c = counters.borrow();
-    let (mut issued, mut retracted, mut execs, mut hw_execs) = (0u64, 0u64, 0u64, 0u64);
-    for i in 0..lib.len() {
-        let fc = c.fc(SiId(i));
-        issued += fc.issued;
-        retracted += fc.retracted;
-        let si = c.si(SiId(i));
-        execs += si.hw_executions + si.sw_executions;
-        hw_execs += si.hw_executions;
-    }
-    assert_eq!(
-        issued, stats.forecasts,
-        "seed {seed}: forecast events diverge"
-    );
-    assert_eq!(
-        retracted, stats.retractions,
-        "seed {seed}: retract events diverge"
-    );
-    assert_eq!(
-        execs, stats.executions,
-        "seed {seed}: execution events diverge"
-    );
-    assert_eq!(
-        hw_execs, stats.hw_executions,
-        "seed {seed}: HW split diverges"
-    );
-    assert!(
-        c.rotations_started() <= stats.rotations,
-        "seed {seed}: more rotations started than requested"
-    );
-    drop(c);
-    stats
-}
 
 fn main() {
     let mut jsonl_out: Option<String> = None;
@@ -187,28 +26,32 @@ fn main() {
     println!("== Stress: random platforms through the manager/fabric stack ==\n");
     // When a dump is requested, seed 0's event stream is exported — the
     // report then demonstrates the analyzer on a non-H.264 platform.
-    let export = if jsonl_out.is_some() || report_out.is_some() {
-        Some(Rc::new(RefCell::new(JsonlSink::new(Vec::new()))))
-    } else {
-        None
-    };
-    let mut totals = (0u64, 0u64, 0u64, 0u64, 0u64);
-    let runs = 200;
+    let export_wanted = jsonl_out.is_some() || report_out.is_some();
+    let mut totals = StressTotals::default();
+    let mut export: Option<String> = None;
+    let runs = 200u64;
     for seed in 0..runs {
-        let extra = if seed == 0 {
-            export.as_ref().map(|e| SinkHandle::shared(e.clone()))
+        let sink = if seed == 0 && export_wanted {
+            SinkSpec::Jsonl
         } else {
-            None
+            SinkSpec::Metrics
         };
-        let s = stress_one(seed, 400, extra);
-        totals.0 += s.forecasts;
-        totals.1 += s.retractions;
-        totals.2 += s.executions;
-        totals.3 += s.hw_executions;
-        totals.4 += s.rotations;
+        let out = ShardSpec::new(
+            Scenario::Stress {
+                platforms: 1,
+                steps: 400,
+            },
+            seed,
+        )
+        .with_sink(sink)
+        .with_checks(true)
+        .run();
+        totals.merge(&out.stress.expect("stress outcome carries tallies"));
+        if seed == 0 && export_wanted {
+            export = out.jsonl;
+        }
     }
-    if let Some(export) = export {
-        let text = String::from_utf8(export.borrow().writer().clone()).expect("JSONL is UTF-8");
+    if let Some(text) = export {
         if let Some(path) = &jsonl_out {
             std::fs::write(path, &text).expect("write JSONL export");
             println!("seed 0 JSONL export written to {path}");
@@ -223,13 +66,13 @@ fn main() {
         }
     }
     println!("{runs} random platforms x 400 actions, all invariants held:");
-    println!("  forecasts issued   : {}", totals.0);
-    println!("  retractions        : {}", totals.1);
-    println!("  SI executions      : {}", totals.2);
+    println!("  forecasts issued   : {}", totals.forecasts);
+    println!("  retractions        : {}", totals.retractions);
+    println!("  SI executions      : {}", totals.executions);
     println!(
         "  in hardware        : {} ({:.1}%)",
-        totals.3,
-        100.0 * totals.3 as f64 / totals.2.max(1) as f64
+        totals.hw_executions,
+        100.0 * totals.hw_executions as f64 / totals.executions.max(1) as f64
     );
-    println!("  rotations requested: {}", totals.4);
+    println!("  rotations requested: {}", totals.rotations_requested);
 }

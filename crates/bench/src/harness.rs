@@ -25,15 +25,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rispp::core::atom::AtomSet;
-use rispp::fabric::catalog::{AtomCatalog, AtomHwProfile};
-use rispp::fabric::FaultPlan;
-use rispp::obs::{EventSink, PhaseProfile, Record};
+use rispp::obs::{PhaseProfile, Record};
 use rispp::prelude::*;
-use rispp::sim::codec_runner::run_encoder_on_rispp_instrumented;
-use rispp::sim::scenario::fig6_engine_with;
 
 /// Version of the `BENCH_*.json` schema this build writes.
 ///
@@ -136,18 +129,6 @@ pub struct WorkloadResult {
     pub sink_overhead_ns_per_event: SinkOverhead,
 }
 
-/// Counts events without storing them (the cheapest enabled sink).
-#[derive(Debug, Default)]
-struct CountingSink {
-    events: u64,
-}
-
-impl EventSink for CountingSink {
-    fn emit(&mut self, _at: u64, _event: &Event) {
-        self.events += 1;
-    }
-}
-
 // ---------------------------------------------------------------------
 // Workload runners
 // ---------------------------------------------------------------------
@@ -157,175 +138,44 @@ struct RepOutcome {
     events: u64,
     sim_cycles: u64,
     metrics: MetricsSummary,
+    host: Option<HostProfile>,
 }
 
-fn run_fig06(instrument: Option<&ProfHandle>) -> RepOutcome {
-    let prof = instrument.cloned().unwrap_or_else(ProfHandle::null);
-    let (mut engine, _) = fig6_engine_with(&FaultPlan::none(), prof);
-    let end = engine.run(100_000);
-    let events = engine.timeline().len() as u64;
-    let metrics = engine.finish_metrics();
-    RepOutcome {
-        events,
-        sim_cycles: end,
-        metrics,
-    }
-}
-
-/// Mirror of the `stress_random` binary's platform generator, kept in
-/// sync by construction (same distributions, same shim RNG).
-fn random_platform(rng: &mut StdRng) -> (SiLibrary, Fabric) {
-    let kinds = rng.gen_range(1..=6usize);
-    let names: Vec<String> = (0..kinds).map(|i| format!("K{i}")).collect();
-    let atoms = AtomSet::from_names(names.iter().map(String::as_str));
-    let catalog = AtomCatalog::new(
-        names
-            .iter()
-            .map(|n| {
-                AtomHwProfile::new(
-                    n.as_str(),
-                    rng.gen_range(100..800),
-                    rng.gen_range(200..1600),
-                    rng.gen_range(2_000..80_000),
-                )
-            })
-            .collect(),
-    );
-    let containers = rng.gen_range(0..=8usize);
-    let fabric = Fabric::new(atoms, catalog, containers);
-
-    let mut lib = SiLibrary::new(kinds);
-    for s in 0..rng.gen_range(1..=6usize) {
-        let n_mols = rng.gen_range(1..=4usize);
-        let mut mols = Vec::new();
-        let mut fastest = u64::MAX;
-        for _ in 0..n_mols {
-            let counts: Vec<u32> = (0..kinds).map(|_| rng.gen_range(0..4)).collect();
-            if counts.iter().all(|&c| c == 0) {
-                continue;
-            }
-            let cycles = rng.gen_range(5..80u64);
-            fastest = fastest.min(cycles);
-            mols.push(MoleculeImpl::new(Molecule::from_counts(counts), cycles));
-        }
-        if mols.is_empty() {
-            mols.push(MoleculeImpl::new(
-                Molecule::from_pairs(kinds, [(AtomKind(0), 1)]),
-                20,
-            ));
-            fastest = 20;
-        }
-        let sw = fastest + rng.gen_range(50..2_000u64);
-        lib.insert(SpecialInstruction::new(format!("si{s}"), sw, mols).expect("valid"))
-            .expect("width");
-    }
-    (lib, fabric)
-}
-
-fn run_stress(config: &HarnessConfig, instrument: Option<&ProfHandle>) -> RepOutcome {
-    let (seeds, steps) = if config.quick { (10, 200) } else { (40, 400) };
-    let prof = instrument.cloned().unwrap_or_else(ProfHandle::null);
-    let counting = Rc::new(RefCell::new(CountingSink::default()));
-    let metrics = Rc::new(RefCell::new(MetricsSink::new()));
-    let mut sim_cycles = 0u64;
-    for seed in 0..seeds {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let (lib, fabric) = random_platform(&mut rng);
-        let sink = if instrument.is_some() {
-            SinkHandle::tee(
-                SinkHandle::shared(counting.clone()),
-                SinkHandle::shared(metrics.clone()),
-            )
-        } else {
-            SinkHandle::null()
-        };
-        let mut mgr = RisppManager::builder(lib.clone(), fabric)
-            .sink(sink)
-            .profiler(prof.clone())
-            .build();
-        for _ in 0..steps {
-            let si = SiId(rng.gen_range(0..lib.len()));
-            match rng.gen_range(0..10) {
-                0..=2 => mgr.forecast(
-                    rng.gen_range(0..3),
-                    ForecastValue::new(
-                        si,
-                        rng.gen_range(0.05..1.0),
-                        rng.gen_range(1_000.0..1_000_000.0),
-                        rng.gen_range(1.0..500.0),
-                    ),
-                ),
-                3 => mgr.retract_forecast(rng.gen_range(0..3), si),
-                4..=7 => {
-                    let _ = mgr.execute_si(rng.gen_range(0..3), si);
-                }
-                _ => {
-                    let t = mgr.now() + rng.gen_range(1..200_000u64);
-                    mgr.advance_to(t).expect("monotone time");
-                }
-            }
-        }
-        sim_cycles += mgr.now();
-    }
-    let mut m = metrics.borrow_mut();
-    m.finish();
-    let summary = m.summary();
-    drop(m);
-    let events = counting.borrow().events;
-    RepOutcome {
-        events,
-        sim_cycles,
-        metrics: summary,
-    }
-}
-
-fn run_live_codec(config: &HarnessConfig, instrument: Option<&ProfHandle>) -> RepOutcome {
-    let frames = if config.quick { 2 } else { 4 };
-    let prof = instrument.cloned().unwrap_or_else(ProfHandle::null);
-    let counting = Rc::new(RefCell::new(CountingSink::default()));
-    let metrics = Rc::new(RefCell::new(MetricsSink::new().with_containers(6)));
-    let sink = instrument.is_some().then(|| {
-        SinkHandle::tee(
-            SinkHandle::shared(counting.clone()),
-            SinkHandle::shared(metrics.clone()),
-        )
-    });
-    let out = run_encoder_on_rispp_instrumented(
-        64,
-        48,
-        frames,
-        6,
-        &EncoderConfig::default(),
-        2_026,
-        None,
-        sink,
-        prof,
-    );
-    let mut m = metrics.borrow_mut();
-    m.advance_to(out.total_cycles);
-    m.finish();
-    let summary = m.summary();
-    drop(m);
-    let events = counting.borrow().events;
-    RepOutcome {
-        events,
-        sim_cycles: out.total_cycles,
-        metrics: summary,
-    }
-}
-
-fn run_once(workload: &str, config: &HarnessConfig, instrument: Option<&ProfHandle>) -> RepOutcome {
-    match workload {
-        "fig06" => run_fig06(instrument),
-        "stress" => run_stress(config, instrument),
-        "live_codec" => run_live_codec(config, instrument),
+/// The [`ShardSpec`] a harness workload runs as. Timed repetitions use
+/// the disabled sink (pure host throughput); the instrumented one adds
+/// the metrics pipeline and the host profiler.
+fn workload_spec(workload: &str, config: &HarnessConfig, instrument: bool) -> ShardSpec {
+    // Fixed per-workload seeds, unchanged across builds, so BENCH numbers
+    // always measure the same work (live_codec keeps its historical seed).
+    let (scenario, seed) = match workload {
+        "fig06" => (Scenario::Fig6, 0),
+        "stress" => (Scenario::stress(config.quick), 0),
+        "live_codec" => (Scenario::live_codec(config.quick), 2_026),
         other => panic!("unknown workload {other:?} (expected one of {WORKLOADS:?})"),
+    };
+    let sink = if instrument {
+        SinkSpec::Metrics
+    } else {
+        SinkSpec::Null
+    };
+    ShardSpec::new(scenario, seed)
+        .with_sink(sink)
+        .with_profile(instrument)
+}
+
+fn run_once(workload: &str, config: &HarnessConfig, instrument: bool) -> RepOutcome {
+    let out = workload_spec(workload, config, instrument).run();
+    RepOutcome {
+        events: out.events,
+        sim_cycles: out.sim_cycles,
+        metrics: out.summary,
+        host: out.host,
     }
 }
 
 /// Measures per-sink emit cost over a canned fig06 record set.
 fn measure_sink_overhead() -> SinkOverhead {
-    let (mut engine, _) = fig6_engine_with(&FaultPlan::none(), ProfHandle::null());
+    let (mut engine, _) = ShardSpec::new(Scenario::Fig6, 0).build_fig6();
     engine.run(100_000);
     let records: Vec<Record> = engine.timeline().entries().to_vec();
     assert!(!records.is_empty(), "fig06 produces events");
@@ -391,17 +241,16 @@ pub fn median_ns(samples: &[u64]) -> u64 {
 #[must_use]
 pub fn run_workload(workload: &str, config: &HarnessConfig) -> WorkloadResult {
     for _ in 0..config.warmup {
-        let _ = run_once(workload, config, None);
+        let _ = run_once(workload, config, false);
     }
     let mut wall_ns = Vec::with_capacity(config.reps);
     for _ in 0..config.reps.max(1) {
-        let d = criterion::measure(1, || run_once(workload, config, None));
+        let d = criterion::measure(1, || run_once(workload, config, false));
         wall_ns.push(d.as_nanos() as u64);
     }
     let wall_ns_median = median_ns(&wall_ns);
-    let prof = ProfHandle::enabled();
-    let outcome = run_once(workload, config, Some(&prof));
-    let phases = prof.snapshot().map_or_else(Vec::new, |p| p.phases);
+    let outcome = run_once(workload, config, true);
+    let phases = outcome.host.map_or_else(Vec::new, |p| p.phases);
     let secs = wall_ns_median as f64 / 1e9;
     WorkloadResult {
         workload: workload.to_string(),
@@ -432,7 +281,7 @@ pub fn run_workload(workload: &str, config: &HarnessConfig) -> WorkloadResult {
 // BENCH JSON format
 // ---------------------------------------------------------------------
 
-fn json_f64(x: f64) -> String {
+pub(crate) fn json_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {
@@ -440,7 +289,7 @@ fn json_f64(x: f64) -> String {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -27,6 +27,7 @@
 //! | `live_codec` | the real pixel pipeline on RISPP (live Fig. 12) |
 //! | `bench_suite` | host-perf trajectory — writes `BENCH_<workload>.json` |
 //! | `bench_compare` | host-perf trajectory — diffs two BENCH sets, gates CI |
+//! | `fleet_bench` | sharded fleet across OS threads — writes `BENCH_fleet_<scenario>.json` |
 //!
 //! The Criterion benches (`cargo bench -p rispp-bench`) measure the code
 //! under test itself: Molecule algebra, selection, CFG analysis, the
@@ -38,8 +39,11 @@
 //!
 //! The [`harness`] module is the layer behind `bench_suite` and
 //! `bench_compare`: standardized workload runners, the versioned BENCH
-//! JSON format, and the regression-comparison gate.
+//! JSON format, and the regression-comparison gate. The [`fleet`] module
+//! is the layer behind `fleet_bench`: the fleet BENCH JSON document over
+//! `rispp_sim`'s sharded fleet runner.
 
+pub mod fleet;
 pub mod harness;
 pub mod report;
 

@@ -123,6 +123,25 @@ impl LatencyHistogram {
         self.quantile(0.99)
     }
 
+    /// Folds another histogram into this one, as if every sample recorded
+    /// into `other` had been recorded here instead.
+    ///
+    /// Bucket counts and the total add exactly; the cycle sum saturates at
+    /// [`u64::MAX`] exactly like [`LatencyHistogram::record`]; min and max
+    /// are preserved exactly (an empty side contributes nothing, because
+    /// its min/max sentinels are the identity of `min`/`max`). The merge
+    /// is therefore associative and commutative, which is what lets a
+    /// fleet aggregate per-shard histograms in any completion order.
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Occupied buckets as `(bucket_upper_bound_exclusive, count)`.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets
@@ -271,6 +290,39 @@ impl CountersSink {
     #[must_use]
     pub fn upgrade_steps(&self) -> u64 {
         self.upgrade_steps
+    }
+
+    /// Folds another sink's counters into this one, as if every event
+    /// emitted into `other` had been emitted here instead: all totals
+    /// add, per-SI counters add SI-by-SI and their latency histograms
+    /// merge via [`LatencyHistogram::merge`]. Associative and
+    /// commutative, so fleet shards can be folded in any order.
+    pub fn merge(&mut self, other: &Self) {
+        for (si, theirs) in &other.per_si {
+            let mine = self.per_si.entry(*si).or_default();
+            mine.hw_executions += theirs.hw_executions;
+            mine.sw_executions += theirs.sw_executions;
+            mine.cycles += theirs.cycles;
+            mine.hw_cycles += theirs.hw_cycles;
+            mine.latency.merge(&theirs.latency);
+        }
+        for (si, theirs) in &other.fc {
+            let mine = self.fc.entry(*si).or_default();
+            mine.issued += theirs.issued;
+            mine.retracted += theirs.retracted;
+            mine.hits += theirs.hits;
+            mine.misses += theirs.misses;
+        }
+        self.rotations_started += other.rotations_started;
+        self.rotations_completed += other.rotations_completed;
+        self.rotations_failed += other.rotations_failed;
+        self.port_stalls += other.port_stalls;
+        self.containers_quarantined += other.containers_quarantined;
+        self.containers_loaded += other.containers_loaded;
+        self.containers_evicted += other.containers_evicted;
+        self.reselects += other.reselects;
+        self.reselect_ns = self.reselect_ns.saturating_add(other.reselect_ns);
+        self.upgrade_steps += other.upgrade_steps;
     }
 }
 
@@ -510,6 +562,135 @@ mod tests {
         // The extremes and the top-bucket quantiles survive saturation.
         assert_eq!((h.min(), h.max()), (Some(1), Some(u64::MAX)));
         assert_eq!(h.p99(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn merge_matches_the_single_histogram_oracle() {
+        // Recording two sample sets separately and merging must be
+        // indistinguishable from one histogram that saw every sample.
+        let a_samples = [0u64, 1, 7, 300, 600, 600, 1 << 40];
+        let b_samples = [2u64, 7, 8, 255, 256, u64::MAX];
+        let (mut a, mut b, mut oracle) = (
+            LatencyHistogram::default(),
+            LatencyHistogram::default(),
+            LatencyHistogram::default(),
+        );
+        for &s in &a_samples {
+            a.record(s);
+            oracle.record(s);
+        }
+        for &s in &b_samples {
+            b.record(s);
+            oracle.record(s);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, oracle);
+        // Commutative: b.merge(a) sees the same samples.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ba, oracle);
+        // Exact extremes and derived statistics survive the merge.
+        assert_eq!((ab.min(), ab.max()), (Some(0), Some(u64::MAX)));
+        assert_eq!(ab.count(), (a_samples.len() + b_samples.len()) as u64);
+        assert_eq!(ab.p99(), oracle.p99());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_and_sum_saturates() {
+        let mut h = LatencyHistogram::default();
+        h.record(42);
+        let snapshot = h.clone();
+        h.merge(&LatencyHistogram::default());
+        assert_eq!(h, snapshot);
+        let mut empty = LatencyHistogram::default();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+        // Saturation carries over: two near-full sums pin at u64::MAX.
+        let mut big = LatencyHistogram::default();
+        big.record(u64::MAX);
+        let mut other = LatencyHistogram::default();
+        other.record(u64::MAX - 1);
+        big.merge(&other);
+        assert_eq!(big.sum_cycles(), u64::MAX);
+        assert_eq!(big.count(), 2);
+    }
+
+    #[test]
+    fn counters_merge_matches_the_single_sink_oracle() {
+        // Splitting an event stream across two sinks and merging must be
+        // indistinguishable from one sink that saw every event.
+        let stream = [
+            Event::SiExecuted {
+                task: 0,
+                si: SiId(0),
+                hw: true,
+                cycles: 20,
+                molecule: None,
+            },
+            Event::SiExecuted {
+                task: 1,
+                si: SiId(1),
+                hw: false,
+                cycles: 900,
+                molecule: None,
+            },
+            Event::ForecastUpdated {
+                task: 0,
+                si: SiId(0),
+                probability: 0.5,
+                expected_executions: 4.0,
+            },
+            Event::RotationStarted {
+                container: 0,
+                kind: AtomKind(0),
+            },
+            Event::RotationCompleted {
+                container: 0,
+                kind: AtomKind(0),
+            },
+            Event::Reselect {
+                trigger: ReselectTrigger::Retract,
+                duration_ns: 125,
+            },
+            Event::ForecastRetracted {
+                task: 0,
+                si: SiId(0),
+            },
+            Event::SiExecuted {
+                task: 0,
+                si: SiId(0),
+                hw: false,
+                cycles: 480,
+                molecule: None,
+            },
+        ];
+        let (mut a, mut b, mut oracle) = (
+            CountersSink::new(),
+            CountersSink::new(),
+            CountersSink::new(),
+        );
+        for (at, e) in stream.iter().enumerate() {
+            oracle.emit(at as u64, e);
+            if at % 2 == 0 {
+                a.emit(at as u64, e);
+            } else {
+                b.emit(at as u64, e);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, oracle);
+        // Commutative: the reverse fold sees the same events.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ba, oracle);
+        // Merging an empty sink is the identity.
+        ab.merge(&CountersSink::new());
+        assert_eq!(ab, oracle);
+        // Spot-check a merged per-SI histogram.
+        assert_eq!(ab.si(SiId(0)).latency.count(), 2);
+        assert_eq!(ab.si(SiId(0)).latency.sum_cycles(), 500);
     }
 
     #[test]

@@ -102,6 +102,96 @@ pub struct MetricsSummary {
     pub cycles_saved_vs_sw: u64,
 }
 
+impl MetricsSummary {
+    /// Folds another shard's summary into this one, producing the
+    /// fleet-level cross-section of the two runs taken together.
+    ///
+    /// Counter fields add (`cycles_saved_vs_sw` saturating);
+    /// `elapsed_cycles` adds too, because fleet shards are independent
+    /// simulated machines and the total is aggregate simulated work, not
+    /// wall time. Ratio fields recombine as weighted means over their
+    /// denominators: the count-based ratios (`forecast_precision` over
+    /// `forecast_windows`, `forecast_recall` and `hw_fraction` over
+    /// `executions_total`) come out exactly as if one sink had observed
+    /// both event streams; the time-weighted gauges
+    /// (occupancy/utilisation/bus, over `elapsed_cycles`) pool the two
+    /// machines' container-cycles, which is the fleet-level reading of
+    /// the same fraction. The one approximation is `fc_hit_rate`, whose
+    /// denominator (monitored FC outcomes) is not part of the summary —
+    /// it weights by `forecast_windows`, the closest recorded proxy.
+    ///
+    /// Integer fields merge order-independently; the floating-point
+    /// weighted means are order-independent up to rounding.
+    pub fn merge(&mut self, other: &Self) {
+        fn weighted(a: f64, wa: u64, b: f64, wb: u64) -> f64 {
+            let (wa, wb) = (wa as f64, wb as f64);
+            if wa + wb == 0.0 {
+                0.0
+            } else {
+                // Plain (not fused) products keep the two-way merge
+                // exactly commutative in IEEE arithmetic.
+                (a * wa + b * wb) / (wa + wb)
+            }
+        }
+        self.fabric_occupancy = weighted(
+            self.fabric_occupancy,
+            self.elapsed_cycles,
+            other.fabric_occupancy,
+            other.elapsed_cycles,
+        );
+        self.logic_utilization = weighted(
+            self.logic_utilization,
+            self.elapsed_cycles,
+            other.logic_utilization,
+            other.elapsed_cycles,
+        );
+        self.bus_busy_fraction = weighted(
+            self.bus_busy_fraction,
+            self.elapsed_cycles,
+            other.bus_busy_fraction,
+            other.elapsed_cycles,
+        );
+        self.forecast_precision = weighted(
+            self.forecast_precision,
+            self.forecast_windows,
+            other.forecast_precision,
+            other.forecast_windows,
+        );
+        self.fc_hit_rate = weighted(
+            self.fc_hit_rate,
+            self.forecast_windows,
+            other.fc_hit_rate,
+            other.forecast_windows,
+        );
+        self.forecast_recall = weighted(
+            self.forecast_recall,
+            self.executions_total,
+            other.forecast_recall,
+            other.executions_total,
+        );
+        self.hw_fraction = weighted(
+            self.hw_fraction,
+            self.executions_total,
+            other.hw_fraction,
+            other.executions_total,
+        );
+        self.elapsed_cycles += other.elapsed_cycles;
+        self.rotations_completed += other.rotations_completed;
+        self.forecast_windows += other.forecast_windows;
+        self.executions_total += other.executions_total;
+        self.cycles_saved_vs_sw = self
+            .cycles_saved_vs_sw
+            .saturating_add(other.cycles_saved_vs_sw);
+    }
+
+    /// [`MetricsSummary::merge`], by value — convenient in folds.
+    #[must_use]
+    pub fn merged(mut self, other: &Self) -> Self {
+        self.merge(other);
+        self
+    }
+}
+
 fn weight_of(weights: &[f64], kind: AtomKind) -> f64 {
     weights.get(kind.index()).copied().unwrap_or(1.0)
 }
@@ -808,6 +898,112 @@ mod tests {
         assert_eq!(m.host_profile().unwrap().phases.len(), 1);
         let text = m.render_prometheus();
         assert!(text.contains("rispp_host_phase_count{phase=\"reselect\"} 1"));
+    }
+
+    #[test]
+    fn summary_merge_matches_the_combined_sink_oracle() {
+        // Two disjoint event streams (different tasks, so windows never
+        // interact) fed to separate sinks and merged must report the
+        // count-based ratios of one sink that observed both streams.
+        let exec = |task, si, hw, cycles| Event::SiExecuted {
+            task,
+            si: SiId(si),
+            hw,
+            cycles,
+            molecule: None,
+        };
+        let forecast = |task, si| Event::ForecastUpdated {
+            task,
+            si: SiId(si),
+            probability: 1.0,
+            expected_executions: 4.0,
+        };
+        let stream_a = vec![
+            (0, forecast(0, 0)),
+            (5, exec(0, 0, false, 500)),
+            (10, exec(0, 0, true, 20)),
+            (
+                40,
+                Event::ForecastRetracted {
+                    task: 0,
+                    si: SiId(0),
+                },
+            ),
+            (60, exec(0, 3, true, 9)),
+        ];
+        let stream_b = vec![
+            (0, forecast(1, 1)),
+            (0, forecast(1, 2)),
+            (7, exec(1, 1, true, 30)),
+            (
+                90,
+                Event::ForecastRetracted {
+                    task: 1,
+                    si: SiId(1),
+                },
+            ),
+            (
+                95,
+                Event::ForecastRetracted {
+                    task: 1,
+                    si: SiId(2),
+                },
+            ),
+        ];
+        let mut a = MetricsSink::new().with_containers(2);
+        let mut b = MetricsSink::new().with_containers(2);
+        let mut both = MetricsSink::new().with_containers(2);
+        for (at, e) in &stream_a {
+            a.emit(*at, e);
+            both.emit(*at, e);
+        }
+        for (at, e) in &stream_b {
+            b.emit(*at, e);
+            both.emit(*at, e);
+        }
+        for sink in [&mut a, &mut b, &mut both] {
+            sink.finish();
+        }
+        let merged = a.summary().merged(&b.summary());
+        let oracle = both.summary();
+        assert_eq!(merged.executions_total, oracle.executions_total);
+        assert_eq!(merged.forecast_windows, oracle.forecast_windows);
+        assert_eq!(merged.rotations_completed, oracle.rotations_completed);
+        assert!((merged.forecast_precision - oracle.forecast_precision).abs() < 1e-12);
+        assert!((merged.forecast_recall - oracle.forecast_recall).abs() < 1e-12);
+        assert!((merged.hw_fraction - oracle.hw_fraction).abs() < 1e-12);
+        assert_eq!(merged.cycles_saved_vs_sw, oracle.cycles_saved_vs_sw);
+        // Independent machines: elapsed is total simulated work, and the
+        // merge is commutative.
+        assert_eq!(merged.elapsed_cycles, 60 + 95);
+        let flipped = b.summary().merged(&a.summary());
+        assert_eq!(merged, flipped);
+    }
+
+    #[test]
+    fn summary_merge_weights_time_gauges_by_elapsed() {
+        let mut merged = MetricsSummary {
+            elapsed_cycles: 100,
+            fabric_occupancy: 1.0,
+            bus_busy_fraction: 0.5,
+            ..MetricsSummary::default()
+        };
+        let other = MetricsSummary {
+            elapsed_cycles: 300,
+            fabric_occupancy: 0.0,
+            bus_busy_fraction: 0.1,
+            ..MetricsSummary::default()
+        };
+        merged.merge(&other);
+        // 100 container-cycles at 1.0 + 300 at 0.0 → 0.25 of the pool.
+        assert!((merged.fabric_occupancy - 0.25).abs() < 1e-12);
+        assert!((merged.bus_busy_fraction - 0.2).abs() < 1e-12);
+        assert_eq!(merged.elapsed_cycles, 400);
+        // Merging an all-zero summary (an idle shard with no elapsed
+        // time) is the identity.
+        let before = merged;
+        merged.merge(&MetricsSummary::default());
+        assert_eq!(merged, before);
     }
 
     #[test]

@@ -364,11 +364,45 @@ pub struct HostProfile {
     pub phases: Vec<PhaseProfile>,
 }
 
+impl PhaseProfile {
+    /// Folds another snapshot of the *same* phase into this one: counts
+    /// and totals add (saturating), min/max stay exact. The percentile
+    /// fields are frozen bucket upper bounds — the underlying histograms
+    /// are gone — so the merge takes the maximum across snapshots: a
+    /// conservative fleet-level tail (never reported below any shard's
+    /// own reading).
+    pub fn merge(&mut self, other: &Self) {
+        debug_assert_eq!(self.name, other.name, "merge folds the same phase");
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.p50_ns = self.p50_ns.max(other.p50_ns);
+        self.p99_ns = self.p99_ns.max(other.p99_ns);
+    }
+}
+
 impl HostProfile {
     /// `true` when nothing was recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.phases.is_empty()
+    }
+
+    /// Folds another profile into this one, matching phases by their
+    /// slash-joined name (see [`PhaseProfile::merge`] for the per-phase
+    /// semantics). Phases only one side recorded carry over verbatim;
+    /// the result stays sorted by name, so the merge is
+    /// order-independent up to the conservative percentile fields, which
+    /// are order-independent too (max is associative and commutative).
+    pub fn merge(&mut self, other: &Self) {
+        for p in &other.phases {
+            match self.phases.iter_mut().find(|q| q.name == p.name) {
+                Some(q) => q.merge(p),
+                None => self.phases.push(p.clone()),
+            }
+        }
+        self.phases.sort_by(|a, b| a.name.cmp(&b.name));
     }
 
     /// The per-phase host-time table as markdown.
@@ -549,6 +583,52 @@ mod tests {
         assert!(prom.contains("rispp_host_phase_count{phase=\"si_dispatch\"} 2"));
         assert!(prom.contains("rispp_host_phase_min_ns{phase=\"si_dispatch\"} 100"));
         assert!(prom.contains("rispp_host_phase_max_ns{phase=\"si_dispatch\"} 300"));
+    }
+
+    #[test]
+    fn host_profiles_merge_by_phase_name() {
+        let phase = |name: &str, count, total, min, max| PhaseProfile {
+            name: name.to_string(),
+            count,
+            total_ns: total,
+            min_ns: min,
+            max_ns: max,
+            p50_ns: min,
+            p99_ns: max,
+        };
+        let mut a = HostProfile {
+            phases: vec![
+                phase("reselect", 3, 600, 100, 300),
+                phase("si_dispatch", 1, 50, 50, 50),
+            ],
+        };
+        let b = HostProfile {
+            phases: vec![
+                phase("fabric_advance", 2, 20, 5, 15),
+                phase("reselect", 1, 1_000, 80, 1_000),
+            ],
+        };
+        let mut ba = b.clone();
+        a.merge(&b);
+        let names: Vec<&str> = a.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["fabric_advance", "reselect", "si_dispatch"]);
+        let reselect = &a.phases[1];
+        assert_eq!((reselect.count, reselect.total_ns), (4, 1_600));
+        assert_eq!((reselect.min_ns, reselect.max_ns), (80, 1_000));
+        // Percentiles take the conservative maximum across snapshots.
+        assert_eq!((reselect.p50_ns, reselect.p99_ns), (100, 1_000));
+        // Order-independent: merging the other way yields the same table.
+        ba.merge(&HostProfile {
+            phases: vec![
+                phase("reselect", 3, 600, 100, 300),
+                phase("si_dispatch", 1, 50, 50, 50),
+            ],
+        });
+        assert_eq!(a, ba);
+        // Merging into an empty profile copies it.
+        let mut empty = HostProfile::default();
+        empty.merge(&a);
+        assert_eq!(empty, a);
     }
 
     #[test]

@@ -89,5 +89,8 @@ pub mod prelude {
         ProfHandle, Profiler, SinkHandle, SpanBuilder, Timeline, TimelineSink,
     };
     pub use rispp_rt::{ManagerBuilder, RisppManager, TaskId};
-    pub use rispp_sim::{Engine, Op, Task};
+    pub use rispp_sim::{
+        derive_shard_seed, run_fleet, Engine, FleetAggregate, FleetConfig, FleetOutcome, Op,
+        Scenario, ScenarioFactory, ShardOutcome, ShardSpec, SinkSpec, StressTotals, Task,
+    };
 }

@@ -101,6 +101,9 @@ pub struct RisppManager<P = LruSurplusPolicy, S = GreedySelection, R = RotationS
     /// Host-side wall-clock profiler (disabled by default); shared with
     /// the fabric so every hot path reports into one phase tree.
     prof: ProfHandle,
+    /// Report host-measured event payloads (`Reselect::duration_ns`) as
+    /// zero so the event stream replays bit-exactly across runs.
+    deterministic_timing: bool,
 }
 
 impl<P: ReplacementPolicy, S: SelectionPolicy, R: RotationSchedulePolicy> RisppManager<P, S, R> {
@@ -328,9 +331,10 @@ impl<P: ReplacementPolicy, S: SelectionPolicy, R: RotationSchedulePolicy> RisppM
         // Forcing the clock while only the sink listens keeps the event's
         // `duration_ns` available without a second timer; with neither
         // enabled no host clock is read at all.
-        let scope = self
-            .prof
-            .scope_forcing(phase::RESELECT, self.sink.is_enabled());
+        let scope = self.prof.scope_forcing(
+            phase::RESELECT,
+            self.sink.is_enabled() && !self.deterministic_timing,
+        );
         // Quarantined containers can never hold an Atom again; selecting
         // under the full container count would chase an unreachable
         // target forever.
@@ -345,16 +349,23 @@ impl<P: ReplacementPolicy, S: SelectionPolicy, R: RotationSchedulePolicy> RisppM
                 .plan(&self.lib, self.selector.selection(), &weights);
             self.apply_plan(&plan);
         }
-        if let Some(duration_ns) = scope.stop() {
-            if self.sink.is_enabled() {
-                self.sink.emit(
-                    self.fabric.now(),
-                    &Event::Reselect {
-                        trigger,
-                        duration_ns,
-                    },
-                );
-            }
+        let measured = scope.stop();
+        if self.sink.is_enabled() {
+            // Under deterministic timing the event is still emitted (the
+            // stream's structure must not depend on the knob) but carries
+            // a zero duration, so exports replay bit-exactly.
+            let duration_ns = if self.deterministic_timing {
+                0
+            } else {
+                measured.unwrap_or(0)
+            };
+            self.sink.emit(
+                self.fabric.now(),
+                &Event::Reselect {
+                    trigger,
+                    duration_ns,
+                },
+            );
         }
     }
 

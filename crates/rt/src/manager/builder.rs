@@ -57,6 +57,7 @@ pub struct ManagerBuilder<P = LruSurplusPolicy, S = GreedySelection, R = Rotatio
     sink: SinkHandle,
     prof: ProfHandle,
     retry_policy: RetryPolicy,
+    deterministic_timing: bool,
 }
 
 impl<P: ReplacementPolicy, S: SelectionPolicy, R: RotationSchedulePolicy> ManagerBuilder<P, S, R> {
@@ -75,6 +76,7 @@ impl<P: ReplacementPolicy, S: SelectionPolicy, R: RotationSchedulePolicy> Manage
             sink: self.sink,
             prof: self.prof,
             retry_policy: self.retry_policy,
+            deterministic_timing: self.deterministic_timing,
         }
     }
 
@@ -93,6 +95,7 @@ impl<P: ReplacementPolicy, S: SelectionPolicy, R: RotationSchedulePolicy> Manage
             sink: self.sink,
             prof: self.prof,
             retry_policy: self.retry_policy,
+            deterministic_timing: self.deterministic_timing,
         }
     }
 
@@ -115,6 +118,7 @@ impl<P: ReplacementPolicy, S: SelectionPolicy, R: RotationSchedulePolicy> Manage
             sink: self.sink,
             prof: self.prof,
             retry_policy: self.retry_policy,
+            deterministic_timing: self.deterministic_timing,
         }
     }
 
@@ -180,6 +184,19 @@ impl<P: ReplacementPolicy, S: SelectionPolicy, R: RotationSchedulePolicy> Manage
         self
     }
 
+    /// Replays bit-exactly: host-measured durations in emitted events
+    /// (the `duration_ns` of `Reselect`) are reported as zero, so the
+    /// structured event stream depends only on simulated state — the
+    /// property the fleet layer's shard-replay guarantee rests on. An
+    /// installed profiler still measures real host time; only event
+    /// payloads are normalised. Default: off (events carry measured
+    /// durations).
+    #[must_use]
+    pub fn deterministic_timing(mut self, deterministic: bool) -> Self {
+        self.deterministic_timing = deterministic;
+        self
+    }
+
     /// Builds the manager.
     ///
     /// # Panics
@@ -207,6 +224,7 @@ impl<P: ReplacementPolicy, S: SelectionPolicy, R: RotationSchedulePolicy> Manage
             backoff: BackoffGovernor::new(self.retry_policy),
             sink: self.sink,
             prof: self.prof,
+            deterministic_timing: self.deterministic_timing,
         }
     }
 }
@@ -227,6 +245,7 @@ impl RisppManager {
             sink: SinkHandle::null(),
             prof: ProfHandle::null(),
             retry_policy: RetryPolicy::default(),
+            deterministic_timing: false,
         }
     }
 }

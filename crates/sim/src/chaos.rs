@@ -36,7 +36,7 @@ use rispp_h264::encoder::EncoderConfig;
 use rispp_obs::{Event, EventSink, SinkHandle, SpanBuilder, Timeline, TimelineSink};
 
 use crate::codec_runner::{run_encoder_on_rispp_with_faults, CodecRunOutcome};
-use crate::scenario::fig6_engine_with_faults;
+use crate::spec::{Scenario, ShardSpec};
 
 /// The audit result of one chaos run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -314,7 +314,9 @@ pub struct Fig6ChaosOutcome {
 /// extra sink (e.g. a [`JsonlSink`](rispp_obs::JsonlSink)) into the run.
 #[must_use]
 pub fn run_fig6_chaos(plan: &FaultPlan, export: Option<SinkHandle>) -> Fig6ChaosOutcome {
-    let (mut engine, _sis) = fig6_engine_with_faults(plan);
+    let (mut engine, _sis) = ShardSpec::new(Scenario::Fig6, 0)
+        .with_faults(plan.clone())
+        .build_fig6();
     if let Some(sink) = export {
         engine.attach_sink(sink);
     }

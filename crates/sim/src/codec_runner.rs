@@ -123,13 +123,55 @@ pub fn run_encoder_on_rispp_instrumented(
     sink: Option<SinkHandle>,
     prof: ProfHandle,
 ) -> CodecRunOutcome {
+    run_encoder_on_rispp_configured(
+        width,
+        height,
+        frames,
+        containers,
+        config,
+        seed,
+        faults,
+        sink,
+        prof,
+        rispp_rt::selection::PowerMode::default(),
+        false,
+    )
+}
+
+/// The fully-parameterised encoder runner — fault plan, sink, profiler,
+/// power mode and deterministic event timing — which every narrower
+/// entry point above delegates to, and which
+/// [`ShardSpec`](crate::spec::ShardSpec) builds the live-codec scenario
+/// through.
+///
+/// # Panics
+///
+/// Panics if `frames == 0` or the dimensions are not multiples of 16.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn run_encoder_on_rispp_configured(
+    width: usize,
+    height: usize,
+    frames: usize,
+    containers: usize,
+    config: &EncoderConfig,
+    seed: u64,
+    faults: Option<&FaultPlan>,
+    sink: Option<SinkHandle>,
+    prof: ProfHandle,
+    power_mode: rispp_rt::selection::PowerMode,
+    deterministic: bool,
+) -> CodecRunOutcome {
     assert!(frames > 0, "need at least one frame");
     let (lib, sis) = build_library();
     let mut fabric = h264_fabric(containers);
     if let Some(plan) = faults {
         fabric = fabric.with_faults(plan.clone());
     }
-    let mut builder = RisppManager::builder(lib, fabric).profiler(prof);
+    let mut builder = RisppManager::builder(lib, fabric)
+        .profiler(prof)
+        .power_mode(power_mode)
+        .deterministic_timing(deterministic);
     if let Some(sink) = sink {
         builder = builder.sink(sink);
     }

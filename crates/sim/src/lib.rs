@@ -32,8 +32,10 @@ pub mod codec_runner;
 pub mod codegen;
 pub mod cpu;
 pub mod engine;
+pub mod fleet;
 pub mod multimode;
 pub mod scenario;
+pub mod spec;
 pub mod task;
 pub mod waveform;
 
@@ -43,16 +45,21 @@ pub use chaos::{
     Fig6ChaosOutcome,
 };
 pub use codec_runner::{
-    run_encoder_on_rispp, run_encoder_on_rispp_instrumented, run_encoder_on_rispp_with_faults,
-    CodecRunOutcome,
+    run_encoder_on_rispp, run_encoder_on_rispp_configured, run_encoder_on_rispp_instrumented,
+    run_encoder_on_rispp_with_faults, CodecRunOutcome,
 };
 pub use codegen::{generate_trace_program, lower_block};
 pub use cpu::{Cpu, Instr, RunSummary, StopReason};
 pub use engine::Engine;
+pub use fleet::{
+    derive_shard_seed, run_fleet, FleetAggregate, FleetConfig, FleetOutcome, ScenarioFactory,
+};
 pub use multimode::{run_multimode, MultiModeOutcome, PhaseSpec};
 pub use scenario::{
-    fig6_engine, fig6_engine_with, fig6_engine_with_faults, h264_fabric, run_fig6, Fig6Report,
+    fig6_engine, fig6_engine_configured, fig6_engine_with, fig6_engine_with_faults, h264_fabric,
+    run_fig6, Fig6Report,
 };
+pub use spec::{random_platform, Scenario, ShardOutcome, ShardSpec, SinkSpec, StressTotals};
 pub use task::{Op, ProgramCursor, Task};
 pub use waveform::{container_timelines, render_waveform, ContainerTimeline, Occupancy};
 // Event types live in `rispp-obs` now; re-exported so simulator users can

@@ -76,9 +76,33 @@ pub fn fig6_engine_with(
     faults: &rispp_fabric::FaultPlan,
     prof: rispp_obs::ProfHandle,
 ) -> (Engine<LruSurplusPolicy>, H264Sis) {
+    fig6_engine_configured(
+        faults,
+        prof,
+        rispp_rt::selection::PowerMode::default(),
+        false,
+    )
+}
+
+/// The fully-parameterised Fig. 6 constructor — fault plan, profiler,
+/// power mode and deterministic event timing — which every narrower
+/// entry point above delegates to, and which
+/// [`ShardSpec::build_fig6`](crate::spec::ShardSpec::build_fig6)
+/// exposes as part of the unified construction API.
+#[must_use]
+pub fn fig6_engine_configured(
+    faults: &rispp_fabric::FaultPlan,
+    prof: rispp_obs::ProfHandle,
+    power_mode: rispp_rt::selection::PowerMode,
+    deterministic: bool,
+) -> (Engine<LruSurplusPolicy>, H264Sis) {
     let (lib, sis) = build_library();
     let fabric = h264_fabric(6).with_faults(faults.clone());
-    let manager = RisppManager::builder(lib, fabric).profiler(prof).build();
+    let manager = RisppManager::builder(lib, fabric)
+        .profiler(prof)
+        .power_mode(power_mode)
+        .deterministic_timing(deterministic)
+        .build();
     let mut engine = Engine::new(manager);
 
     // Task A: the codec loop — forecast SATD once, then execute it
