@@ -71,6 +71,7 @@ fn main() {
     let mut codec_failures = 0usize;
     let mut exported: Option<String> = None;
     let mut tail_shown = false;
+    let mut tail_dropped = 0u64;
 
     for seed in 0..seeds {
         let plan = FaultPlan::seeded(seed, CONTAINERS, HORIZON_CYCLES);
@@ -96,14 +97,17 @@ fn main() {
             println!("  VIOLATION: fig6 SI stream diverged from the fault-free run");
             violations += 1;
         }
+        tail_dropped += tail.borrow().dropped_events();
         if violations > violations_before && !tail_shown {
             tail_shown = true;
             let tail = tail.borrow();
             let entries = tail.timeline().entries();
             let shown = entries.len().min(TAIL_PRINTED);
             println!(
-                "  last {shown} events before the violation (of {} kept):",
-                entries.len()
+                "  last {shown} events before the violation (of {} kept, {} dropped \
+                 beyond the ring's capacity):",
+                entries.len(),
+                tail.dropped_events()
             );
             for record in &entries[entries.len() - shown..] {
                 println!("    {record}");
@@ -142,6 +146,7 @@ fn main() {
     println!("  fig6 rotation failures : {fig6_failures}");
     println!("  codec rotation failures: {codec_failures}");
     println!("  invariant violations   : {violations}");
+    println!("  tail events dropped    : {tail_dropped} (bounded rings, capacity {TAIL_CAPACITY})");
     if fig6_failures + codec_failures == 0 {
         eprintln!("chaos_soak: vacuous soak — no seeded plan failed a rotation");
         std::process::exit(1);

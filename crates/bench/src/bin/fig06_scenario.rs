@@ -8,8 +8,9 @@
 //! proving the figure is reproducible from the export alone.
 //!
 //! Optional flags: `--jsonl-out PATH` dumps the raw export,
-//! `--report-out PATH` renders the `rispp_report` markdown analysis of
-//! this run.
+//! `--bin-out PATH` dumps the same stream in the binary transport
+//! (teed from the same live run), `--report-out PATH` renders the
+//! `rispp_report` markdown analysis of this run.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -23,15 +24,20 @@ use rispp_bench::report::{analyze, render_markdown, ReportConfig};
 
 fn main() {
     let mut jsonl_out: Option<String> = None;
+    let mut bin_out: Option<String> = None;
     let mut report_out: Option<String> = None;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--jsonl-out" => jsonl_out = iter.next(),
+            "--bin-out" => bin_out = iter.next(),
             "--report-out" => report_out = iter.next(),
             _ => {
                 eprintln!("fig06_scenario: unknown option {arg}");
-                eprintln!("usage: fig06_scenario [--jsonl-out PATH] [--report-out PATH]");
+                eprintln!(
+                    "usage: fig06_scenario [--jsonl-out PATH] [--bin-out PATH] \
+                     [--report-out PATH]"
+                );
                 std::process::exit(1);
             }
         }
@@ -73,6 +79,14 @@ fn main() {
     let prof = engine.profiler().clone();
     let export = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
     engine.attach_sink(SinkHandle::shared(export.clone()));
+    // Tee the binary transport off the same live run when asked, so
+    // both exports describe the identical event sequence.
+    let bin_export = bin_out
+        .as_ref()
+        .map(|_| Rc::new(RefCell::new(BinarySink::new(Vec::new()))));
+    if let Some(sink) = &bin_export {
+        engine.attach_sink(SinkHandle::shared(sink.clone()));
+    }
     let end = engine.run(100_000);
 
     let text = String::from_utf8(export.borrow().writer().clone()).expect("JSONL is UTF-8");
@@ -93,6 +107,15 @@ fn main() {
     if let Some(path) = &jsonl_out {
         std::fs::write(path, &text).expect("write JSONL export");
         println!("JSONL export written to {path}");
+    }
+    if let (Some(path), Some(sink)) = (&bin_out, bin_export) {
+        drop(engine); // release the engine's handle so the Rc unwraps
+        let bytes = Rc::try_unwrap(sink)
+            .expect("engine released its sink handle")
+            .into_inner()
+            .into_inner();
+        std::fs::write(path, &bytes).expect("write binary export");
+        println!("binary export written to {path} ({} bytes)", bytes.len());
     }
     if let Some(path) = &report_out {
         let config = ReportConfig::h264(6);

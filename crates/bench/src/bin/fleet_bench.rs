@@ -5,13 +5,17 @@
 //! ```text
 //! fleet_bench --shards N [--scenario fig6|stress|live_codec]
 //!             [--threads T] [--seed S] [--full] [--faults HORIZON]
-//!             [--json-out PATH] [--verify-shard K]
+//!             [--json-out PATH] [--bin-out PATH] [--verify-shard K]
 //! ```
 //!
 //! `--verify-shard K` re-runs shard K standalone from its derived seed
 //! and checks the JSONL event export is byte-identical to the one the
 //! fleet run produced — the shard-replay determinism guarantee, exit
 //! code 1 on divergence.
+//!
+//! `--bin-out PATH` replays shard 0 with binary event capture
+//! (`SinkSpec::Binary`) and writes the export — the input format
+//! `rispp_serve` and `rispp_report` auto-detect.
 
 use rispp::prelude::{FleetConfig, Scenario, ScenarioFactory, SinkSpec};
 use rispp::sim::run_fleet;
@@ -23,7 +27,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: fleet_bench --shards N [--scenario fig6|stress|live_codec] \
          [--threads T] [--seed S] [--full] [--faults HORIZON] \
-         [--json-out PATH] [--verify-shard K]"
+         [--json-out PATH] [--bin-out PATH] [--verify-shard K]"
     );
     std::process::exit(2);
 }
@@ -36,6 +40,7 @@ struct Args {
     quick: bool,
     fault_horizon: Option<u64>,
     json_out: Option<String>,
+    bin_out: Option<String>,
     verify_shard: Option<u32>,
 }
 
@@ -48,6 +53,7 @@ fn parse_args() -> Args {
         quick: true,
         fault_horizon: None,
         json_out: None,
+        bin_out: None,
         verify_shard: None,
     };
     let mut iter = std::env::args().skip(1);
@@ -74,6 +80,12 @@ fn parse_args() -> Args {
                 args.json_out = Some(
                     iter.next()
                         .unwrap_or_else(|| usage("--json-out needs a path")),
+                );
+            }
+            "--bin-out" => {
+                args.bin_out = Some(
+                    iter.next()
+                        .unwrap_or_else(|| usage("--bin-out needs a path")),
                 );
             }
             _ => usage(&format!("unknown option {arg}")),
@@ -150,6 +162,19 @@ fn main() {
         let path = fleet_file_name(scenario.id());
         std::fs::write(&path, result.to_json()).expect("write fleet BENCH file");
         println!("wrote {path}");
+    }
+
+    if let Some(path) = &args.bin_out {
+        // Shard replay is deterministic, so replaying shard 0 with
+        // binary capture exports the exact event stream the fleet ran.
+        let out = factory.spec_for(0).with_sink(SinkSpec::Binary).run();
+        let bytes = out.binary.expect("binary capture was requested");
+        std::fs::write(path, &bytes).expect("write binary export");
+        println!(
+            "shard 0 binary export written to {path} ({} bytes, {} events)",
+            bytes.len(),
+            out.events
+        );
     }
 
     if let Some(shard) = args.verify_shard {

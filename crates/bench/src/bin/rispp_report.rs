@@ -1,13 +1,19 @@
-//! `rispp_report` — offline analyzer for JSONL event exports.
+//! `rispp_report` — offline analyzer for event exports.
 //!
-//! Reads a stream exported by any run (e.g.
-//! `cargo run -p rispp-bench --bin fig06_scenario -- --jsonl-out run.jsonl`)
+//! Reads a stream exported by any run — JSONL
+//! (`--jsonl-out run.jsonl`) or the binary transport
+//! (`--bin-out run.bin`), auto-detected from the leading magic bytes —
 //! and renders a markdown report: time-to-hardware spans, time-weighted
 //! gauges, the Fig. 6-style occupancy waveform and the forecast-accuracy
 //! table — all derived purely from the export, never from live objects.
 //!
+//! Both codecs carry a `schema_version` header (the first JSONL line,
+//! or the binary file header). Streams written by a *newer* schema than
+//! this build understands are refused with an error rather than
+//! misread; headerless JSONL replays as version 0.
+//!
 //! ```text
-//! rispp_report <input.jsonl> [options]
+//! rispp_report <input.jsonl|input.bin> [options]
 //!   -o, --out <PATH>      write the report to PATH (default: stdout)
 //!       --h264            use the H.264 platform (Table 1 Atom names and
 //!                         utilisation weights) instead of inferring a
@@ -18,7 +24,7 @@
 
 use std::process::ExitCode;
 
-use rispp_bench::report::{analyze, render_markdown, ReportConfig};
+use rispp_bench::report::{analyze_bytes, render_markdown, ReportConfig};
 
 struct Args {
     input: String,
@@ -70,8 +76,10 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() {
     eprintln!(
-        "usage: rispp_report <input.jsonl> [-o PATH] [--h264] \
-         [--containers N] [--columns N]"
+        "usage: rispp_report <input.jsonl|input.bin> [-o PATH] [--h264] \
+         [--containers N] [--columns N]\n\
+         the input format (JSONL or binary transport) is auto-detected; \
+         exports with a newer schema_version than this build are refused"
     );
 }
 
@@ -86,8 +94,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let text = match std::fs::read_to_string(&args.input) {
-        Ok(text) => text,
+    let bytes = match std::fs::read(&args.input) {
+        Ok(bytes) => bytes,
         Err(e) => {
             eprintln!("rispp_report: cannot read {}: {e}", args.input);
             return ExitCode::FAILURE;
@@ -99,7 +107,7 @@ fn main() -> ExitCode {
     let mut config = if args.h264 {
         ReportConfig::h264(args.containers.unwrap_or(6))
     } else {
-        match analyze(&text, &ReportConfig::h264(0)) {
+        match analyze_bytes(&bytes, &ReportConfig::h264(0)) {
             Ok(probe) => ReportConfig::infer(&probe.timeline),
             Err(e) => {
                 eprintln!("rispp_report: {}: {e}", args.input);
@@ -114,7 +122,7 @@ fn main() -> ExitCode {
         config.waveform_columns = n.max(1);
     }
 
-    let analysis = match analyze(&text, &config) {
+    let analysis = match analyze_bytes(&bytes, &config) {
         Ok(analysis) => analysis,
         Err(e) => {
             eprintln!("rispp_report: {}: {e}", args.input);

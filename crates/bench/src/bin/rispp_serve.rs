@@ -1,0 +1,95 @@
+//! `rispp_serve` — live metrics endpoint over a run's event export.
+//!
+//! Tails a growing event log (the binary transport or JSONL — the
+//! format is auto-detected from the first bytes), folds every record
+//! incrementally through `MetricsSink`, and serves the result over
+//! plain HTTP with no dependencies:
+//!
+//! * `GET /metrics` — Prometheus exposition; values equal what an
+//!   offline replay of the consumed log prefix reports
+//! * `GET /status`  — JSON: records folded, newest timestamp, detected
+//!   format, decode error if any, headline summary numbers
+//!
+//! ```text
+//! rispp_serve <input.bin|input.jsonl> [options]
+//!       --addr <HOST:PORT>    listen address (default: 127.0.0.1:9464)
+//!       --poll-ms <N>         tail-poll interval (default: 200)
+//!       --max-requests <N>    exit after N requests (smoke tests)
+//!       --containers <N>      occupancy denominator (default: grow on
+//!                             demand as containers appear in the log)
+//! ```
+//!
+//! The input file may not exist yet — tailing starts when it appears.
+//! Both codecs refuse logs with a `schema_version` newer than this
+//! build; the refusal shows up in `/status` as `error`.
+
+use std::process::ExitCode;
+
+use rispp_bench::serve::{run_serve, ServeOptions};
+
+fn parse_args() -> Result<ServeOptions, String> {
+    let mut opts = ServeOptions::default();
+    let mut iter = std::env::args().skip(1);
+    let mut have_input = false;
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--poll-ms" => {
+                opts.poll_ms = value("--poll-ms")?
+                    .parse()
+                    .map_err(|e| format!("--poll-ms: {e}"))?;
+            }
+            "--max-requests" => {
+                opts.max_requests = Some(
+                    value("--max-requests")?
+                        .parse()
+                        .map_err(|e| format!("--max-requests: {e}"))?,
+                );
+            }
+            "--containers" => {
+                opts.containers = value("--containers")?
+                    .parse()
+                    .map_err(|e| format!("--containers: {e}"))?;
+            }
+            "-h" | "--help" => return Err(String::new()),
+            _ if arg.starts_with('-') => return Err(format!("unknown option {arg}")),
+            _ if !have_input => {
+                opts.input = arg.into();
+                have_input = true;
+            }
+            _ => return Err(format!("unexpected argument {arg}")),
+        }
+    }
+    if !have_input {
+        return Err("missing input file".to_string());
+    }
+    Ok(opts)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: rispp_serve <input.bin|input.jsonl> [--addr HOST:PORT] \
+         [--poll-ms N] [--max-requests N] [--containers N]"
+    );
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("rispp_serve: {msg}");
+            }
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_serve(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rispp_serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

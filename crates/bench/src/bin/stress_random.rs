@@ -9,15 +9,20 @@ use rispp::prelude::*;
 
 fn main() {
     let mut jsonl_out: Option<String> = None;
+    let mut bin_out: Option<String> = None;
     let mut report_out: Option<String> = None;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--jsonl-out" => jsonl_out = iter.next(),
+            "--bin-out" => bin_out = iter.next(),
             "--report-out" => report_out = iter.next(),
             _ => {
                 eprintln!("stress_random: unknown option {arg}");
-                eprintln!("usage: stress_random [--jsonl-out PATH] [--report-out PATH]");
+                eprintln!(
+                    "usage: stress_random [--jsonl-out PATH] [--bin-out PATH] \
+                     [--report-out PATH]"
+                );
                 std::process::exit(1);
             }
         }
@@ -50,6 +55,26 @@ fn main() {
         if seed == 0 && export_wanted {
             export = out.jsonl;
         }
+    }
+    if let Some(path) = &bin_out {
+        // Shard replay is deterministic: re-running seed 0 with binary
+        // capture exports the same event stream the loop above ran.
+        let out = ShardSpec::new(
+            Scenario::Stress {
+                platforms: 1,
+                steps: 400,
+            },
+            0,
+        )
+        .with_sink(SinkSpec::Binary)
+        .with_checks(true)
+        .run();
+        let bytes = out.binary.expect("binary capture was requested");
+        std::fs::write(path, &bytes).expect("write binary export");
+        println!(
+            "seed 0 binary export written to {path} ({} bytes)",
+            bytes.len()
+        );
     }
     if let Some(text) = export {
         if let Some(path) = &jsonl_out {

@@ -149,11 +149,12 @@ impl FleetBenchResult {
             json_f64(m.forecast_recall)
         ));
         out.push_str(&format!(
-            "    \"fc_hit_rate\": {},\n    \"executions_total\": {},\n    \"hw_fraction\": {},\n    \"cycles_saved_vs_sw\": {}\n",
+            "    \"fc_hit_rate\": {},\n    \"executions_total\": {},\n    \"hw_fraction\": {},\n    \"cycles_saved_vs_sw\": {},\n    \"dropped_events\": {}\n",
             json_f64(m.fc_hit_rate),
             m.executions_total,
             json_f64(m.hw_fraction),
-            m.cycles_saved_vs_sw
+            m.cycles_saved_vs_sw,
+            m.dropped_events
         ));
         out.push_str("  },\n");
         out.push_str("  \"per_shard\": [\n");
@@ -230,6 +231,11 @@ impl FleetBenchResult {
             executions_total: u64_field(m, "executions_total")?,
             hw_fraction: f64_field(m, "hw_fraction")?,
             cycles_saved_vs_sw: u64_field(m, "cycles_saved_vs_sw")?,
+            // Absent in pre-PR-7 documents; read tolerantly.
+            dropped_events: m
+                .get("dropped_events")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
         };
         let per_shard = v
             .get("per_shard")

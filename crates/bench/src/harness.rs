@@ -96,6 +96,8 @@ pub struct SinkOverhead {
     pub timeline: f64,
     /// [`JsonlSink`] — streaming text export.
     pub jsonl: f64,
+    /// [`BinarySink`] — streaming binary transport.
+    pub binary: f64,
 }
 
 /// One workload's measured result — the content of a `BENCH_*.json`.
@@ -173,47 +175,78 @@ fn run_once(workload: &str, config: &HarnessConfig, instrument: bool) -> RepOutc
     }
 }
 
+/// Repetitions (median taken) and batched iterations per repetition for
+/// the sink-overhead measurement. The fig06 record set is only ~1.6k
+/// events, so a single pass lasts tens of microseconds — far too short
+/// for a one-shot reading on a shared machine. Batching several passes
+/// per timing and taking a median across repetitions keeps the
+/// committed ns/event numbers reproducible.
+const SINK_OVERHEAD_REPS: usize = 5;
+const SINK_OVERHEAD_ITERS: u64 = 8;
+
+/// Median ns/event over [`SINK_OVERHEAD_REPS`] timings of
+/// [`SINK_OVERHEAD_ITERS`] record-set passes each. Sink state accumulates
+/// across passes, which is the steady-state regime the number describes.
+fn sink_ns_per_event(events: usize, mut routine: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..SINK_OVERHEAD_REPS)
+        .map(|_| {
+            criterion::measure(SINK_OVERHEAD_ITERS, &mut routine).as_nanos() as f64
+                / (SINK_OVERHEAD_ITERS as f64 * events as f64)
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[SINK_OVERHEAD_REPS / 2]
+}
+
 /// Measures per-sink emit cost over a canned fig06 record set.
 fn measure_sink_overhead() -> SinkOverhead {
     let (mut engine, _) = ShardSpec::new(Scenario::Fig6, 0).build_fig6();
     engine.run(100_000);
     let records: Vec<Record> = engine.timeline().entries().to_vec();
     assert!(!records.is_empty(), "fig06 produces events");
-    let per_event = |total: std::time::Duration| total.as_nanos() as f64 / records.len() as f64;
+    let n = records.len();
 
     // The disabled handle: one branch, event never constructed.
     let null = SinkHandle::null();
-    let null_ns = per_event(criterion::measure(1, || {
+    let null_ns = sink_ns_per_event(n, || {
         for r in &records {
             null.emit_with(r.at, || r.event.clone());
         }
-    }));
+    });
     let counters = Rc::new(RefCell::new(CountersSink::new()));
     let h = SinkHandle::shared(counters);
-    let counters_ns = per_event(criterion::measure(1, || {
+    let counters_ns = sink_ns_per_event(n, || {
         for r in &records {
             h.emit(r.at, &r.event);
         }
-    }));
+    });
     let timeline = Rc::new(RefCell::new(TimelineSink::new()));
     let h = SinkHandle::shared(timeline);
-    let timeline_ns = per_event(criterion::measure(1, || {
+    let timeline_ns = sink_ns_per_event(n, || {
         for r in &records {
             h.emit(r.at, &r.event);
         }
-    }));
+    });
     let jsonl = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
     let h = SinkHandle::shared(jsonl);
-    let jsonl_ns = per_event(criterion::measure(1, || {
+    let jsonl_ns = sink_ns_per_event(n, || {
         for r in &records {
             h.emit(r.at, &r.event);
         }
-    }));
+    });
+    let binary = Rc::new(RefCell::new(BinarySink::new(Vec::new())));
+    let h = SinkHandle::shared(binary);
+    let binary_ns = sink_ns_per_event(n, || {
+        for r in &records {
+            h.emit(r.at, &r.event);
+        }
+    });
     SinkOverhead {
         null: null_ns,
         counters: counters_ns,
         timeline: timeline_ns,
         jsonl: jsonl_ns,
+        binary: binary_ns,
     }
 }
 
@@ -349,11 +382,12 @@ impl WorkloadResult {
             json_f64(m.forecast_recall)
         ));
         out.push_str(&format!(
-            "    \"fc_hit_rate\": {},\n    \"executions_total\": {},\n    \"hw_fraction\": {},\n    \"cycles_saved_vs_sw\": {}\n",
+            "    \"fc_hit_rate\": {},\n    \"executions_total\": {},\n    \"hw_fraction\": {},\n    \"cycles_saved_vs_sw\": {},\n    \"dropped_events\": {}\n",
             json_f64(m.fc_hit_rate),
             m.executions_total,
             json_f64(m.hw_fraction),
-            m.cycles_saved_vs_sw
+            m.cycles_saved_vs_sw,
+            m.dropped_events
         ));
         out.push_str("  },\n");
         out.push_str("  \"phases\": [\n");
@@ -373,11 +407,12 @@ impl WorkloadResult {
         out.push_str("  ],\n");
         let s = &self.sink_overhead_ns_per_event;
         out.push_str(&format!(
-            "  \"sink_overhead_ns_per_event\": {{\"null\": {}, \"counters\": {}, \"timeline\": {}, \"jsonl\": {}}}\n",
+            "  \"sink_overhead_ns_per_event\": {{\"null\": {}, \"counters\": {}, \"timeline\": {}, \"jsonl\": {}, \"binary\": {}}}\n",
             json_f64(s.null),
             json_f64(s.counters),
             json_f64(s.timeline),
-            json_f64(s.jsonl)
+            json_f64(s.jsonl),
+            json_f64(s.binary)
         ));
         out.push_str("}\n");
         out
@@ -452,6 +487,10 @@ impl WorkloadResult {
                 .get("cycles_saved_vs_sw")
                 .and_then(JsonValue::as_u64)
                 .unwrap_or(0),
+            dropped_events: m
+                .get("dropped_events")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
         };
         let phases = v
             .get("phases")
@@ -493,6 +532,8 @@ impl WorkloadResult {
                 counters: f64_field(so, "counters")?,
                 timeline: f64_field(so, "timeline")?,
                 jsonl: f64_field(so, "jsonl")?,
+                // Absent in pre-PR-7 documents; read tolerantly.
+                binary: f64_field(so, "binary").unwrap_or(0.0),
             },
         })
     }
@@ -873,6 +914,7 @@ mod tests {
                 counters: 20.0,
                 timeline: 60.0,
                 jsonl: 400.0,
+                binary: 30.0,
             },
         }
     }
@@ -884,6 +926,18 @@ mod tests {
         assert!(text.contains("\"schema_version\": 1"));
         let parsed = WorkloadResult::from_json(&text).expect("own output parses");
         assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn pre_binary_sink_documents_still_parse() {
+        // `binary` joined the sink-overhead object in PR 7; older
+        // committed BENCH files must keep parsing (as 0.0).
+        let text = sample("fig06", 400_000)
+            .to_json()
+            .replace(", \"binary\": 30", "");
+        assert!(!text.contains("binary"), "field removal failed: {text}");
+        let parsed = WorkloadResult::from_json(&text).expect("old document parses");
+        assert_eq!(parsed.sink_overhead_ns_per_event.binary, 0.0);
     }
 
     #[test]

@@ -28,24 +28,32 @@
 //! | `bench_suite` | host-perf trajectory — writes `BENCH_<workload>.json` |
 //! | `bench_compare` | host-perf trajectory — diffs two BENCH sets, gates CI |
 //! | `fleet_bench` | sharded fleet across OS threads — writes `BENCH_fleet_<scenario>.json` |
+//! | `rispp_serve` | live metrics — tails an event export, serves `/metrics` over HTTP |
 //!
 //! The Criterion benches (`cargo bench -p rispp-bench`) measure the code
 //! under test itself: Molecule algebra, selection, CFG analysis, the
 //! pixel kernels and the full encoder step.
 //!
 //! The [`report`] module is the shared analysis layer behind the
-//! `rispp_report` binary: it turns any JSONL event export into a
-//! markdown run report (spans, gauges, waveform, forecast accuracy).
+//! `rispp_report` binary: it turns any event export — JSONL or the
+//! binary transport, auto-detected — into a markdown run report
+//! (spans, gauges, waveform, forecast accuracy).
 //!
 //! The [`harness`] module is the layer behind `bench_suite` and
 //! `bench_compare`: standardized workload runners, the versioned BENCH
 //! JSON format, and the regression-comparison gate. The [`fleet`] module
 //! is the layer behind `fleet_bench`: the fleet BENCH JSON document over
 //! `rispp_sim`'s sharded fleet runner.
+//!
+//! The [`serve`] module is the layer behind `rispp_serve`: it tails a
+//! live run's event export, folds it incrementally through
+//! `MetricsSink`, and serves the Prometheus exposition plus a JSON
+//! status doc over plain HTTP.
 
 pub mod fleet;
 pub mod harness;
 pub mod report;
+pub mod serve;
 
 /// Renders a simple aligned table to stdout.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {

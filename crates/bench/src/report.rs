@@ -1,17 +1,22 @@
-//! Offline run analysis: JSONL event export → markdown report.
+//! Offline run analysis: JSONL or binary event export → markdown report.
 //!
 //! Everything here consumes only the exported event stream (via
-//! [`jsonl::replay`]), never live objects — the same property the Fig. 6
-//! binary demonstrates for the timeline. One replay feeds three derived
-//! views at once: the raw [`Timeline`], the causality [`SpanBuilder`]
-//! (per-SI time-to-hardware) and the time-weighted [`MetricsSink`]
-//! (occupancy, bus busyness, forecast accuracy).
+//! [`jsonl::replay`] or [`bin::replay`]), never live objects — the same
+//! property the Fig. 6 binary demonstrates for the timeline. One replay
+//! feeds three derived views at once: the raw [`Timeline`], the causality
+//! [`SpanBuilder`] (per-SI time-to-hardware) and the time-weighted
+//! [`MetricsSink`] (occupancy, bus busyness, forecast accuracy).
+//!
+//! [`analyze_bytes`] auto-detects the format by the binary magic prefix,
+//! so callers can hand over any export without knowing how it was made.
 //!
 //! [`jsonl::replay`]: rispp::obs::jsonl::replay
+//! [`bin::replay`]: rispp::obs::bin::replay
 
 use std::fmt::Write as _;
 
 use rispp::core::atom::AtomSet;
+use rispp::obs::bin::{self, BinError};
 use rispp::obs::jsonl::{self, JsonlError};
 use rispp::obs::{Event, EventSink, HostProfile, MetricsSink, SpanBuilder, Timeline, TimelineSink};
 use rispp::sim::waveform::render_waveform;
@@ -109,28 +114,94 @@ impl EventSink for FanoutSink {
     }
 }
 
+impl FanoutSink {
+    fn fresh(config: &ReportConfig) -> Self {
+        FanoutSink {
+            timeline: TimelineSink::new(),
+            spans: SpanBuilder::new(),
+            metrics: MetricsSink::new()
+                .with_containers(config.containers)
+                .with_utilization_weights(config.utilization_weights.clone()),
+        }
+    }
+
+    fn settle(mut self) -> Analysis {
+        self.spans.finish();
+        self.metrics.finish();
+        Analysis {
+            timeline: self.timeline.into_timeline(),
+            spans: self.spans,
+            metrics: self.metrics,
+            host_profile: None,
+        }
+    }
+}
+
+/// Why an event export failed to decode — either codec, one error type.
+#[derive(Debug)]
+pub enum ReportError {
+    /// The JSONL decoder rejected a line (or refused a future schema).
+    Jsonl(JsonlError),
+    /// The binary decoder rejected a record (or refused a future schema).
+    Binary(BinError),
+    /// The input had no binary magic but is not UTF-8 text either.
+    NotText(std::str::Utf8Error),
+}
+
+impl std::fmt::Display for ReportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReportError::Jsonl(e) => write!(f, "{e}"),
+            ReportError::Binary(e) => write!(f, "{e}"),
+            ReportError::NotText(e) => {
+                write!(f, "input is neither a binary export nor UTF-8 JSONL: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl From<JsonlError> for ReportError {
+    fn from(e: JsonlError) -> Self {
+        ReportError::Jsonl(e)
+    }
+}
+
+impl From<BinError> for ReportError {
+    fn from(e: BinError) -> Self {
+        ReportError::Binary(e)
+    }
+}
+
 /// Analyzes a JSONL export under a platform configuration.
 ///
 /// # Errors
 ///
 /// Returns the underlying [`JsonlError`] for malformed lines.
 pub fn analyze(jsonl_text: &str, config: &ReportConfig) -> Result<Analysis, JsonlError> {
-    let mut fanout = FanoutSink {
-        timeline: TimelineSink::new(),
-        spans: SpanBuilder::new(),
-        metrics: MetricsSink::new()
-            .with_containers(config.containers)
-            .with_utilization_weights(config.utilization_weights.clone()),
-    };
+    let mut fanout = FanoutSink::fresh(config);
     jsonl::replay(jsonl_text, &mut fanout)?;
-    fanout.spans.finish();
-    fanout.metrics.finish();
-    Ok(Analysis {
-        timeline: fanout.timeline.into_timeline(),
-        spans: fanout.spans,
-        metrics: fanout.metrics,
-        host_profile: None,
-    })
+    Ok(fanout.settle())
+}
+
+/// Analyzes an event export of either format, auto-detected by the
+/// binary magic prefix ([`bin::is_binary`]): binary exports replay
+/// through [`bin::replay`], anything else is treated as UTF-8 JSONL.
+///
+/// # Errors
+///
+/// Returns a [`ReportError`] when the stream fails to decode, including
+/// when either codec refuses a future `schema_version`.
+pub fn analyze_bytes(bytes: &[u8], config: &ReportConfig) -> Result<Analysis, ReportError> {
+    if bin::is_binary(bytes) {
+        let mut fanout = FanoutSink::fresh(config);
+        bin::replay(bytes, &mut fanout)?;
+        Ok(fanout.settle())
+    } else {
+        let text = std::str::from_utf8(bytes).map_err(ReportError::NotText)?;
+        Ok(analyze(text, config)?)
+    }
 }
 
 fn opt(value: Option<u64>) -> String {
@@ -193,6 +264,11 @@ pub fn render_markdown(analysis: &Analysis, config: &ReportConfig) -> String {
         out,
         "| cycles saved vs software | {} |",
         summary.cycles_saved_vs_sw
+    );
+    let _ = writeln!(
+        out,
+        "| events dropped by capture | {} |",
+        summary.dropped_events
     );
     let _ = writeln!(out);
 
@@ -327,6 +403,37 @@ mod tests {
         engine.run(100_000);
         let bytes = export.borrow().writer().clone();
         String::from_utf8(bytes).expect("JSONL is UTF-8")
+    }
+
+    /// One engine run teed into both codecs (event order can differ
+    /// between separate runs, so a fair comparison needs one run).
+    fn fig6_both_exports() -> (String, Vec<u8>) {
+        let (mut engine, _) = rispp::sim::scenario::fig6_engine();
+        let jsonl = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
+        let binary = Rc::new(RefCell::new(rispp::obs::BinarySink::new(Vec::new())));
+        engine.attach_sink(SinkHandle::shared(jsonl.clone()));
+        engine.attach_sink(SinkHandle::shared(binary.clone()));
+        engine.run(100_000);
+        drop(engine); // release the engine's handles so we can unwrap the Rcs
+        let text = String::from_utf8(Rc::try_unwrap(jsonl).unwrap().into_inner().into_inner())
+            .expect("JSONL is UTF-8");
+        let bytes = Rc::try_unwrap(binary).unwrap().into_inner().into_inner();
+        (text, bytes)
+    }
+
+    #[test]
+    fn analyze_bytes_detects_the_format_and_agrees_across_codecs() {
+        let config = ReportConfig::h264(6);
+        let (text, bytes) = fig6_both_exports();
+        let from_jsonl = analyze(&text, &config).expect("JSONL replays");
+        let from_binary = analyze_bytes(&bytes, &config).expect("binary replays");
+        assert_eq!(from_binary.timeline, from_jsonl.timeline);
+        assert_eq!(from_binary.metrics.summary(), from_jsonl.metrics.summary());
+        // The same entry point accepts JSONL text as bytes.
+        let via_bytes = analyze_bytes(text.as_bytes(), &config).expect("JSONL as bytes");
+        assert_eq!(via_bytes.timeline, from_jsonl.timeline);
+        // And garbage that is neither format is an error, not a panic.
+        assert!(analyze_bytes(&[0xFF, 0xFE, 0x00], &ReportConfig::h264(1)).is_err());
     }
 
     #[test]

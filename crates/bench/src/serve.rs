@@ -1,0 +1,632 @@
+//! Live metrics serving: tail an event export, fold it through
+//! [`MetricsSink`], expose Prometheus + a JSON status doc over HTTP.
+//!
+//! This is the layer behind the `rispp_serve` binary. A [`Follower`]
+//! tails a growing log file — binary or JSONL, auto-detected from the
+//! first bytes — and replays each newly appended record into a shared
+//! [`LiveState`]. A hand-rolled HTTP/1.1 server (plain
+//! [`std::net::TcpListener`], no dependencies) answers:
+//!
+//! * `GET /metrics` — the Prometheus exposition of a settled clone of
+//!   the folding sink, so the values equal what an offline replay of
+//!   the same log prefix would report;
+//! * `GET /status` (or `/`) — a small JSON doc: records folded, newest
+//!   timestamp, detected format, decode error if any, and headline
+//!   summary numbers.
+//!
+//! The folding sink itself is never `finish`ed — responders clone it
+//! and settle the clone, so serving stays incremental while each
+//! response is self-consistent.
+
+use std::io::{self, BufRead, BufReader, Read, Seek, SeekFrom, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use rispp::obs::bin::{self, StreamDecoder};
+use rispp::obs::{jsonl, EventSink, MetricsSink, NullSink};
+
+/// How the [`Follower`] is decoding its input.
+enum FollowState {
+    /// Fewer than four bytes seen — format not yet decided.
+    Probing(Vec<u8>),
+    /// Binary export: incremental record decoding.
+    Binary(StreamDecoder),
+    /// JSONL export: byte carry split on newlines.
+    Jsonl {
+        /// Bytes after the last complete line (may split UTF-8).
+        carry: Vec<u8>,
+        /// Non-empty lines consumed so far (header detection).
+        lines: usize,
+    },
+}
+
+/// Incrementally tails an event log and replays newly appended records
+/// into any [`EventSink`]. The format — binary ([`bin`]) or JSONL —
+/// is auto-detected from the first four bytes via [`bin::is_binary`].
+///
+/// A missing file is not an error: the run may not have created it
+/// yet, so [`Follower::poll`] simply reports zero new records.
+pub struct Follower {
+    path: PathBuf,
+    offset: u64,
+    state: FollowState,
+}
+
+fn invalid_data(e: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+impl Follower {
+    /// Tails `path` from the beginning.
+    #[must_use]
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Follower {
+            path: path.into(),
+            offset: 0,
+            state: FollowState::Probing(Vec::new()),
+        }
+    }
+
+    /// The detected input format, once enough bytes have arrived.
+    #[must_use]
+    pub fn format(&self) -> Option<&'static str> {
+        match self.state {
+            FollowState::Probing(_) => None,
+            FollowState::Binary(_) => Some("binary"),
+            FollowState::Jsonl { .. } => Some("jsonl"),
+        }
+    }
+
+    /// Bytes consumed from the file so far.
+    #[must_use]
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Reads everything appended since the last poll and replays the
+    /// complete records among it into `sink`. Returns how many records
+    /// were emitted.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the file (a missing file is treated as "no
+    /// bytes yet"), a shrinking file (rotation is not supported), or a
+    /// decode error from either codec — including a refused future
+    /// `schema_version`. Decode errors are not recoverable: the caller
+    /// should stop polling and surface the message.
+    pub fn poll<S: EventSink>(&mut self, sink: &mut S) -> io::Result<u64> {
+        let mut file = match std::fs::File::open(&self.path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let len = file.metadata()?.len();
+        if len < self.offset {
+            return Err(invalid_data(format!(
+                "{} shrank from {} to {len} bytes (log rotation is not supported)",
+                self.path.display(),
+                self.offset
+            )));
+        }
+        if len == self.offset {
+            return Ok(0);
+        }
+        file.seek(SeekFrom::Start(self.offset))?;
+        let mut fresh = Vec::with_capacity((len - self.offset) as usize);
+        file.read_to_end(&mut fresh)?;
+        self.offset += fresh.len() as u64;
+        self.ingest(&fresh, sink)
+    }
+
+    fn ingest<S: EventSink>(&mut self, bytes: &[u8], sink: &mut S) -> io::Result<u64> {
+        if let FollowState::Probing(probe) = &mut self.state {
+            probe.extend_from_slice(bytes);
+            if probe.len() < bin::MAGIC.len() {
+                return Ok(0);
+            }
+            let buffered = std::mem::take(probe);
+            self.state = if bin::is_binary(&buffered) {
+                FollowState::Binary(StreamDecoder::new())
+            } else {
+                FollowState::Jsonl {
+                    carry: Vec::new(),
+                    lines: 0,
+                }
+            };
+            return self.decode(&buffered, sink);
+        }
+        self.decode(bytes, sink)
+    }
+
+    fn decode<S: EventSink>(&mut self, bytes: &[u8], sink: &mut S) -> io::Result<u64> {
+        let mut emitted = 0;
+        match &mut self.state {
+            FollowState::Probing(_) => unreachable!("decode is only called once decided"),
+            FollowState::Binary(decoder) => {
+                decoder.feed(bytes);
+                while let Some(record) = decoder.next_record().map_err(invalid_data)? {
+                    sink.emit(record.at, &record.event);
+                    emitted += 1;
+                }
+            }
+            FollowState::Jsonl { carry, lines } => {
+                carry.extend_from_slice(bytes);
+                // Replay every complete line; keep the partial tail.
+                while let Some(nl) = carry.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = carry.drain(..=nl).collect();
+                    let text = std::str::from_utf8(&line[..nl]).map_err(invalid_data)?;
+                    if text.trim().is_empty() {
+                        continue;
+                    }
+                    *lines += 1;
+                    if *lines == 1 && text.contains("\"schema_version\"") {
+                        // First line is the header: validate it (this
+                        // refuses future versions), emit nothing.
+                        jsonl::replay(text, &mut NullSink).map_err(invalid_data)?;
+                        continue;
+                    }
+                    let record = jsonl::decode(text).map_err(invalid_data)?;
+                    sink.emit(record.at, &record.event);
+                    emitted += 1;
+                }
+            }
+        }
+        Ok(emitted)
+    }
+}
+
+/// The state shared between the tailing thread and HTTP responders.
+#[derive(Debug)]
+pub struct LiveState {
+    /// The folding sink. Never settled in place — responders clone it
+    /// and call `finish` on the clone.
+    pub metrics: MetricsSink,
+    /// Records folded so far.
+    pub records: u64,
+    /// Timestamp of the newest folded record.
+    pub last_at: u64,
+    /// Detected input format, once known.
+    pub format: Option<&'static str>,
+    /// First decode error, if any. The tailer stops folding on it but
+    /// the server keeps answering so the failure is observable.
+    pub error: Option<String>,
+}
+
+impl LiveState {
+    /// Fresh state around a configured (but empty) metrics sink.
+    #[must_use]
+    pub fn new(metrics: MetricsSink) -> Self {
+        LiveState {
+            metrics,
+            records: 0,
+            last_at: 0,
+            format: None,
+            error: None,
+        }
+    }
+
+    /// A settled snapshot of the folding sink: the same values an
+    /// offline replay of the consumed log prefix would report.
+    #[must_use]
+    pub fn settled_metrics(&self) -> MetricsSink {
+        let mut snapshot = self.metrics.clone();
+        snapshot.finish();
+        snapshot
+    }
+
+    /// The `/status` JSON document.
+    #[must_use]
+    pub fn render_status(&self) -> String {
+        let summary = self.settled_metrics().summary();
+        let format = self
+            .format
+            .map_or_else(|| "null".to_string(), |f| format!("\"{f}\""));
+        let error = self.error.as_ref().map_or_else(
+            || "null".to_string(),
+            |e| format!("\"{}\"", e.replace('\\', "\\\\").replace('"', "\\\"")),
+        );
+        format!(
+            concat!(
+                "{{\"records\":{},\"last_at\":{},\"format\":{},\"error\":{},",
+                "\"executions_total\":{},\"rotations_completed\":{},",
+                "\"hw_fraction\":{},\"fabric_occupancy\":{},\"dropped_events\":{}}}\n"
+            ),
+            self.records,
+            self.last_at,
+            format,
+            error,
+            summary.executions_total,
+            summary.rotations_completed,
+            summary.hw_fraction,
+            summary.fabric_occupancy,
+            summary.dropped_events,
+        )
+    }
+}
+
+/// Folds records into a [`LiveState`], keeping the counters in step
+/// with the metrics sink.
+struct FoldSink<'a> {
+    state: &'a mut LiveState,
+}
+
+impl EventSink for FoldSink<'_> {
+    fn emit(&mut self, at: u64, event: &rispp::obs::Event) {
+        self.state.metrics.emit(at, event);
+        self.state.records += 1;
+        self.state.last_at = at;
+    }
+}
+
+/// One polling pass: drains everything the file gained since last time
+/// into the shared state. A decode error is recorded in
+/// [`LiveState::error`] and reported as `Err`; callers should stop
+/// polling then (the data will not get better).
+///
+/// # Errors
+///
+/// Propagates [`Follower::poll`] errors after recording them.
+pub fn poll_into(follower: &mut Follower, state: &Mutex<LiveState>) -> io::Result<u64> {
+    let mut guard = state.lock().expect("live state lock");
+    let result = follower.poll(&mut FoldSink { state: &mut guard });
+    guard.format = follower.format();
+    if let Err(e) = &result {
+        guard.error = Some(e.to_string());
+    }
+    result
+}
+
+/// Runs [`poll_into`] every `poll` until `stop` is set or a decode
+/// error ends the tail. Serving continues either way; the error is
+/// visible in `/status`.
+pub fn tail_loop(
+    mut follower: Follower,
+    state: &Mutex<LiveState>,
+    poll: Duration,
+    stop: &AtomicBool,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        if poll_into(&mut follower, state).is_err() {
+            return;
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Answers one HTTP connection: `GET /metrics`, `GET /status` or
+/// `GET /`; everything else is 404, non-GET methods are 405.
+///
+/// # Errors
+///
+/// I/O errors talking to the peer.
+pub fn handle_connection(mut stream: TcpStream, state: &Mutex<LiveState>) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut request_line = String::new();
+    BufReader::new(&stream).read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        return write_response(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n",
+        );
+    }
+    match path {
+        "/metrics" => {
+            let body = {
+                let guard = state.lock().expect("live state lock");
+                guard.settled_metrics().render_prometheus()
+            };
+            write_response(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/status" | "/" => {
+            let body = state.lock().expect("live state lock").render_status();
+            write_response(
+                &mut stream,
+                "200 OK",
+                "application/json; charset=utf-8",
+                &body,
+            )
+        }
+        _ => write_response(
+            &mut stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "try /metrics or /status\n",
+        ),
+    }
+}
+
+/// Accept-loop over an already-bound listener. With
+/// `max_requests = Some(n)` the loop returns after answering `n`
+/// connections (smoke tests); `None` serves forever.
+///
+/// # Errors
+///
+/// Only fatal accept errors; per-connection errors are logged to
+/// stderr and skipped.
+pub fn serve(
+    listener: &TcpListener,
+    state: &Mutex<LiveState>,
+    max_requests: Option<u64>,
+) -> io::Result<()> {
+    let mut answered = 0u64;
+    while max_requests.is_none_or(|n| answered < n) {
+        let (stream, _) = listener.accept()?;
+        if let Err(e) = handle_connection(stream, state) {
+            eprintln!("rispp_serve: connection error: {e}");
+        }
+        answered += 1;
+    }
+    Ok(())
+}
+
+/// Everything the `rispp_serve` binary needs to run.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// The event log to tail (binary or JSONL, auto-detected).
+    pub input: PathBuf,
+    /// Listen address, e.g. `127.0.0.1:9464`.
+    pub addr: String,
+    /// Tail-poll interval in milliseconds.
+    pub poll_ms: u64,
+    /// Exit after this many answered requests (`None` = serve forever).
+    pub max_requests: Option<u64>,
+    /// Container count for the occupancy denominator (0 = grow on
+    /// demand, matching `ReportConfig::infer` on a complete log).
+    pub containers: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            input: PathBuf::new(),
+            addr: "127.0.0.1:9464".to_string(),
+            poll_ms: 200,
+            max_requests: None,
+            containers: 0,
+        }
+    }
+}
+
+/// Binds, spawns the tailing thread and serves until `max_requests`
+/// is exhausted (or forever). This is `rispp_serve`'s whole main.
+///
+/// # Errors
+///
+/// Binding or accepting on the listen address.
+pub fn run_serve(opts: &ServeOptions) -> io::Result<()> {
+    let metrics = if opts.containers > 0 {
+        MetricsSink::new().with_containers(opts.containers)
+    } else {
+        MetricsSink::new()
+    };
+    let state = Arc::new(Mutex::new(LiveState::new(metrics)));
+    let listener = TcpListener::bind(&opts.addr)?;
+    eprintln!(
+        "rispp_serve: tailing {} — metrics at http://{}/metrics",
+        opts.input.display(),
+        listener.local_addr()?
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let tail = {
+        let follower = Follower::new(&opts.input);
+        let state = Arc::clone(&state);
+        let stop = Arc::clone(&stop);
+        let poll = Duration::from_millis(opts.poll_ms.max(1));
+        std::thread::spawn(move || tail_loop(follower, &state, poll, &stop))
+    };
+    let result = serve(&listener, &state, opts.max_requests);
+    stop.store(true, Ordering::Relaxed);
+    let _ = tail.join();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rispp::obs::{BinarySink, JsonlSink, SinkHandle, TimelineSink};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use std::sync::atomic::AtomicU64;
+
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+    /// A scratch file path unique to this process and call site.
+    fn scratch(tag: &str) -> PathBuf {
+        let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("rispp_serve_test_{}_{tag}_{n}", std::process::id()))
+    }
+
+    fn fig6_export(binary: bool) -> Vec<u8> {
+        let (mut engine, _) = rispp::sim::scenario::fig6_engine();
+        if binary {
+            let sink = Rc::new(RefCell::new(BinarySink::new(Vec::new())));
+            engine.attach_sink(SinkHandle::shared(sink.clone()));
+            engine.run(100_000);
+            drop(engine);
+            Rc::try_unwrap(sink).unwrap().into_inner().into_inner()
+        } else {
+            let sink = Rc::new(RefCell::new(JsonlSink::new(Vec::new())));
+            engine.attach_sink(SinkHandle::shared(sink.clone()));
+            engine.run(100_000);
+            let bytes = sink.borrow().writer().clone();
+            bytes
+        }
+    }
+
+    fn offline_record_count(bytes: &[u8]) -> u64 {
+        let mut t = TimelineSink::new();
+        if rispp::obs::bin::is_binary(bytes) {
+            rispp::obs::bin::replay(bytes, &mut t).unwrap();
+        } else {
+            jsonl::replay(std::str::from_utf8(bytes).unwrap(), &mut t).unwrap();
+        }
+        t.timeline().len() as u64
+    }
+
+    #[test]
+    fn follower_tails_a_growing_binary_log() {
+        let bytes = fig6_export(true);
+        let path = scratch("bin");
+        let mut follower = Follower::new(&path);
+        let mut sink = TimelineSink::new();
+
+        // Nothing there yet: not an error.
+        assert_eq!(follower.poll(&mut sink).unwrap(), 0);
+        assert_eq!(follower.format(), None);
+
+        // Arrives in three chunks, cut mid-record.
+        let cuts = [bytes.len() / 3, 2 * bytes.len() / 3, bytes.len()];
+        let mut total = 0;
+        for cut in cuts {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            total += follower.poll(&mut sink).unwrap();
+        }
+        assert_eq!(follower.format(), Some("binary"));
+        assert_eq!(total, offline_record_count(&bytes));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn follower_tails_a_growing_jsonl_log() {
+        let bytes = fig6_export(false);
+        let path = scratch("jsonl");
+        let mut follower = Follower::new(&path);
+        let mut sink = TimelineSink::new();
+        // Cut mid-line (and mid-UTF-8 is impossible here, but mid-line
+        // carries exercise the carry buffer).
+        let cuts = [7, bytes.len() / 2, bytes.len()];
+        let mut total = 0;
+        for cut in cuts {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            total += follower.poll(&mut sink).unwrap();
+        }
+        assert_eq!(follower.format(), Some("jsonl"));
+        assert_eq!(total, offline_record_count(&bytes));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn follower_refuses_a_shrinking_file() {
+        let path = scratch("shrink");
+        std::fs::write(&path, fig6_export(true)).unwrap();
+        let mut follower = Follower::new(&path);
+        follower.poll(&mut NullSink).unwrap();
+        std::fs::write(&path, b"").unwrap();
+        assert!(follower.poll(&mut NullSink).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn served_metrics_match_an_offline_replay_of_the_same_log() {
+        let bytes = fig6_export(true);
+        let path = scratch("serve");
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Offline truth: replay the log into an identically configured
+        // sink and settle it.
+        let mut offline = MetricsSink::new().with_containers(6);
+        rispp::obs::bin::replay(&bytes, &mut offline).unwrap();
+        offline.finish();
+
+        // Live: one poll, then serve two requests on an OS-picked port.
+        let state = Arc::new(Mutex::new(LiveState::new(
+            MetricsSink::new().with_containers(6),
+        )));
+        let mut follower = Follower::new(&path);
+        poll_into(&mut follower, &state).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || serve(&listener, &state, Some(2)))
+        };
+
+        let get = |p: &str| {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            conn.write_all(format!("GET {p} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut response = String::new();
+            BufReader::new(conn).read_to_string(&mut response).unwrap();
+            let (head, body) = response.split_once("\r\n\r\n").unwrap();
+            assert!(head.starts_with("HTTP/1.1 200 OK"), "head: {head}");
+            body.to_string()
+        };
+
+        let metrics_body = get("/metrics");
+        assert_eq!(metrics_body, offline.render_prometheus());
+        assert!(metrics_body.contains("rispp_fabric_occupancy"));
+
+        let status_body = get("/status");
+        assert!(status_body.contains("\"format\":\"binary\""));
+        assert!(status_body.contains(&format!(
+            "\"executions_total\":{}",
+            offline.summary().executions_total
+        )));
+
+        server.join().unwrap().unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_refused() {
+        let state = Arc::new(Mutex::new(LiveState::new(MetricsSink::new())));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || serve(&listener, &state, Some(2)))
+        };
+        let request = |verb: &str, path: &str| {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            conn.write_all(format!("{verb} {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut response = String::new();
+            BufReader::new(conn).read_to_string(&mut response).unwrap();
+            response
+        };
+        assert!(request("GET", "/nope").starts_with("HTTP/1.1 404"));
+        assert!(request("POST", "/metrics").starts_with("HTTP/1.1 405"));
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn status_reports_decode_errors_without_killing_the_server() {
+        let path = scratch("corrupt");
+        std::fs::write(&path, b"this is not an event log at all\n").unwrap();
+        let state = Arc::new(Mutex::new(LiveState::new(MetricsSink::new())));
+        let mut follower = Follower::new(&path);
+        assert!(poll_into(&mut follower, &state).is_err());
+        let status = state.lock().unwrap().render_status();
+        assert!(status.contains("\"error\":\""), "status: {status}");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

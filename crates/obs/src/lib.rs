@@ -15,6 +15,11 @@
 //! * [`JsonlSink`] — streaming JSON Lines export; [`jsonl::replay`]
 //!   turns an exported stream back into any sink, reproducing the live
 //!   timeline exactly.
+//! * [`BinarySink`] — the compact binary sibling of the JSONL export:
+//!   varint/delta-packed, length-prefixed records with batched buffered
+//!   writes (an order of magnitude cheaper per event); [`bin::replay`] /
+//!   [`BinaryReader`] / [`StreamDecoder`] decode complete streams and
+//!   live tails back into identical events.
 //! * [`SpanBuilder`] — derived causality spans: stitches
 //!   `ForecastUpdated → Reselect → rotations → first hardware execution`
 //!   into per-`(task, si)` time-to-hardware stories (Fig. 6 as data).
@@ -50,6 +55,7 @@
 // only; the observability layer itself must never consume them.
 #![deny(deprecated)]
 
+pub mod bin;
 pub mod counters;
 pub mod event;
 pub mod jsonl;
@@ -59,6 +65,7 @@ pub mod sink;
 pub mod span;
 pub mod timeline;
 
+pub use bin::{BinError, BinaryReader, BinarySink, StreamDecoder};
 pub use counters::{CountersSink, FcCounters, LatencyHistogram, SiCounters};
 pub use event::{Event, Record, ReselectTrigger, TaskId};
 pub use jsonl::{JsonlError, JsonlSink};

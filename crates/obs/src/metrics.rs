@@ -100,6 +100,11 @@ pub struct MetricsSummary {
     /// Cycles saved by hardware executions versus the observed software
     /// baseline.
     pub cycles_saved_vs_sw: u64,
+    /// Events a bounded timeline capture in the same pipeline dropped
+    /// (see [`TimelineSink::dropped_events`](crate::TimelineSink::dropped_events)
+    /// and [`MetricsSink::note_dropped_events`]). Nonzero means any
+    /// captured timeline is a truncated tail, not the complete run.
+    pub dropped_events: u64,
 }
 
 impl MetricsSummary {
@@ -182,6 +187,7 @@ impl MetricsSummary {
         self.cycles_saved_vs_sw = self
             .cycles_saved_vs_sw
             .saturating_add(other.cycles_saved_vs_sw);
+        self.dropped_events += other.dropped_events;
     }
 
     /// [`MetricsSummary::merge`], by value — convenient in folds.
@@ -255,6 +261,10 @@ pub struct MetricsSink {
     /// Attached host-time profile, rendered alongside the simulated-time
     /// gauges in [`MetricsSink::render_prometheus`].
     host_profile: Option<crate::prof::HostProfile>,
+    /// Events a bounded capture elsewhere in the pipeline dropped; fed
+    /// in via [`MetricsSink::note_dropped_events`], not the event
+    /// stream (the sink itself never drops).
+    dropped_events: u64,
 }
 
 impl MetricsSink {
@@ -483,7 +493,23 @@ impl MetricsSink {
             executions_total: self.executions_total,
             hw_fraction: ratio(self.hw_executions, self.executions_total),
             cycles_saved_vs_sw: self.cycles_saved,
+            dropped_events: self.dropped_events,
         }
+    }
+
+    /// Registers events a bounded capture (e.g. a
+    /// [`TimelineSink::with_capacity`](crate::TimelineSink::with_capacity)
+    /// tail) dropped, so the summary and the Prometheus exposition flag
+    /// the truncation instead of letting a partial capture pass as
+    /// complete. Additive across calls.
+    pub fn note_dropped_events(&mut self, n: u64) {
+        self.dropped_events += n;
+    }
+
+    /// Dropped events registered so far.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
     }
 
     /// Prometheus-style text exposition of every gauge and counter.
@@ -554,6 +580,11 @@ impl MetricsSink {
             "rispp_cycles_saved_vs_sw_total",
             "Cycles saved by hardware executions vs the observed software baseline.",
             self.cycles_saved,
+        );
+        counter(
+            "rispp_timeline_dropped_events_total",
+            "Events dropped by a bounded timeline capture (nonzero = truncated capture).",
+            self.dropped_events,
         );
         let _ = writeln!(
             out,
@@ -1004,6 +1035,29 @@ mod tests {
         let before = merged;
         merged.merge(&MetricsSummary::default());
         assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn dropped_events_surface_in_summary_and_prometheus() {
+        let mut m = MetricsSink::new();
+        assert_eq!(m.dropped_events(), 0);
+        m.note_dropped_events(3);
+        m.note_dropped_events(4);
+        assert_eq!(m.dropped_events(), 7);
+        assert_eq!(m.summary().dropped_events, 7);
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE rispp_timeline_dropped_events_total counter"));
+        assert!(text.contains("rispp_timeline_dropped_events_total 7"));
+        // Fleet merges add drop counts like any other counter.
+        let mut a = MetricsSummary {
+            dropped_events: 7,
+            ..MetricsSummary::default()
+        };
+        a.merge(&MetricsSummary {
+            dropped_events: 5,
+            ..MetricsSummary::default()
+        });
+        assert_eq!(a.dropped_events, 12);
     }
 
     #[test]

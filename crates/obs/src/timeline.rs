@@ -127,6 +127,9 @@ pub struct TimelineSink {
     timeline: Timeline,
     /// Keep-last-N bound; `None` grows without limit.
     capacity: Option<usize>,
+    /// Records evicted (or refused, at capacity 0) by the bound — the
+    /// proof a bounded capture is incomplete.
+    dropped_events: u64,
 }
 
 impl TimelineSink {
@@ -146,6 +149,7 @@ impl TimelineSink {
         TimelineSink {
             timeline: Timeline::new(),
             capacity: Some(capacity),
+            dropped_events: 0,
         }
     }
 
@@ -153,6 +157,16 @@ impl TimelineSink {
     #[must_use]
     pub fn capacity(&self) -> Option<usize> {
         self.capacity
+    }
+
+    /// Events this sink received but no longer holds: evicted by the
+    /// [`TimelineSink::with_capacity`] bound (or refused outright at
+    /// capacity 0). Always 0 for an unbounded sink — a nonzero value is
+    /// the signal that the captured timeline is a truncated tail, not
+    /// the whole run.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
     }
 
     /// The accumulated timeline.
@@ -172,10 +186,12 @@ impl EventSink for TimelineSink {
     fn emit(&mut self, at: u64, event: &Event) {
         if let Some(cap) = self.capacity {
             if cap == 0 {
+                self.dropped_events += 1;
                 return;
             }
             if self.timeline.records.len() >= cap.saturating_mul(2) {
                 self.timeline.records.drain(..cap);
+                self.dropped_events += cap as u64;
             }
         }
         self.timeline.push(at, event.clone());
@@ -278,6 +294,9 @@ mod tests {
         // Order is preserved across evictions.
         let ats: Vec<u64> = sink.timeline().entries().iter().map(|r| r.at).collect();
         assert!(ats.windows(2).all(|w| w[0] + 1 == w[1]));
+        // Nothing vanishes silently: held + dropped = emitted.
+        assert_eq!(sink.dropped_events() + sink.timeline().len() as u64, 100);
+        assert!(sink.dropped_events() > 0);
 
         // Capacity 0 records nothing; unbounded keeps everything.
         let mut none = TimelineSink::with_capacity(0);
@@ -289,7 +308,9 @@ mod tests {
             },
         );
         assert!(none.timeline().is_empty());
+        assert_eq!(none.dropped_events(), 1);
         assert_eq!(TimelineSink::new().capacity(), None);
+        assert_eq!(TimelineSink::new().dropped_events(), 0);
     }
 
     #[test]

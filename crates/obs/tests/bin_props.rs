@@ -1,0 +1,176 @@
+//! Property tests for the binary event transport: any sequence of
+//! events — all thirteen variants, fault events included, timestamps in
+//! any order — encodes through [`BinarySink`] and decodes back to the
+//! identical `Vec<Event>` (and timestamps), both via the one-shot
+//! [`bin::replay`] and via the incremental [`StreamDecoder`] fed in
+//! arbitrary chunk sizes.
+
+use proptest::prelude::*;
+use rispp_core::atom::AtomKind;
+use rispp_core::molecule::Molecule;
+use rispp_core::si::SiId;
+use rispp_obs::bin::{self, StreamDecoder};
+use rispp_obs::{BinarySink, Event, EventSink, Record, ReselectTrigger, TimelineSink};
+
+fn molecule_strategy() -> impl Strategy<Value = Molecule> {
+    proptest::collection::vec(0u32..4, 1..5).prop_map(Molecule::from_counts)
+}
+
+fn trigger_strategy() -> impl Strategy<Value = ReselectTrigger> {
+    prop_oneof![
+        Just(ReselectTrigger::Forecast),
+        Just(ReselectTrigger::ForecastBlock),
+        Just(ReselectTrigger::Retract),
+        Just(ReselectTrigger::Observation),
+        Just(ReselectTrigger::PowerMode),
+        Just(ReselectTrigger::Fault),
+    ]
+}
+
+/// Finite floats across magnitudes (the codec stores raw bits, so
+/// NaN round-trips too, but `Event: PartialEq` would reject NaN here).
+fn f64_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),
+        Just(-0.0),
+        Just(1.0),
+        any::<u64>()
+            .prop_map(f64::from_bits)
+            .prop_filter("finite floats only (NaN != NaN under PartialEq)", |f| f
+                .is_finite()),
+    ]
+}
+
+fn kind_strategy() -> impl Strategy<Value = AtomKind> {
+    (0usize..8).prop_map(AtomKind)
+}
+
+fn si_strategy() -> impl Strategy<Value = SiId> {
+    (0usize..64).prop_map(SiId)
+}
+
+/// Every `Event` variant, fault events (`RotationFailed`,
+/// `ContainerQuarantined`, `Reselect { trigger: Fault }`) included.
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (any::<u32>(), kind_strategy())
+            .prop_map(|(container, kind)| Event::RotationStarted { container, kind }),
+        (any::<u32>(), kind_strategy())
+            .prop_map(|(container, kind)| Event::RotationCompleted { container, kind }),
+        (any::<u32>(), kind_strategy())
+            .prop_map(|(container, kind)| Event::RotationFailed { container, kind }),
+        any::<u64>().prop_map(|until| Event::PortStalled { until }),
+        any::<u32>().prop_map(|container| Event::ContainerQuarantined { container }),
+        (any::<u32>(), kind_strategy())
+            .prop_map(|(container, kind)| Event::ContainerLoaded { container, kind }),
+        (any::<u32>(), kind_strategy())
+            .prop_map(|(container, kind)| Event::ContainerEvicted { container, kind }),
+        (
+            any::<u32>(),
+            si_strategy(),
+            any::<bool>(),
+            any::<u64>(),
+            proptest::option::of(molecule_strategy()),
+        )
+            .prop_map(|(task, si, hw, cycles, molecule)| Event::SiExecuted {
+                task,
+                si,
+                hw,
+                cycles,
+                molecule,
+            }),
+        (any::<u32>(), si_strategy(), f64_strategy(), f64_strategy()).prop_map(
+            |(task, si, probability, expected_executions)| Event::ForecastUpdated {
+                task,
+                si,
+                probability,
+                expected_executions,
+            }
+        ),
+        (any::<u32>(), si_strategy()).prop_map(|(task, si)| Event::ForecastRetracted { task, si }),
+        (any::<u32>(), si_strategy(), any::<bool>())
+            .prop_map(|(task, si, reached)| Event::FcOutcome { task, si, reached }),
+        (trigger_strategy(), any::<u64>()).prop_map(|(trigger, duration_ns)| Event::Reselect {
+            trigger,
+            duration_ns,
+        }),
+        (
+            si_strategy(),
+            proptest::option::of(any::<u32>()),
+            any::<u32>(),
+            molecule_strategy(),
+        )
+            .prop_map(|(si, task, step, molecule)| Event::UpgradeStep {
+                si,
+                task,
+                step,
+                molecule,
+            }),
+    ]
+}
+
+fn records_strategy() -> impl Strategy<Value = Vec<Record>> {
+    // Timestamps deliberately unordered: the delta encoding must not
+    // assume monotone time.
+    proptest::collection::vec(
+        (any::<u64>(), event_strategy()).prop_map(|(at, event)| Record { at, event }),
+        0..40,
+    )
+}
+
+fn encode(records: &[Record]) -> Vec<u8> {
+    let mut sink = BinarySink::new(Vec::new());
+    for r in records {
+        sink.emit(r.at, &r.event);
+    }
+    sink.into_inner()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_event_sequence_round_trips(records in records_strategy()) {
+        let bytes = encode(&records);
+        let mut out = TimelineSink::new();
+        bin::replay(&bytes, &mut out).expect("own encoding replays");
+        prop_assert_eq!(out.timeline().entries(), records.as_slice());
+    }
+
+    #[test]
+    fn chunked_streaming_decode_matches(
+        records in records_strategy(),
+        chunk in 1usize..13,
+    ) {
+        let bytes = encode(&records);
+        let mut decoder = StreamDecoder::new();
+        let mut got = Vec::new();
+        for piece in bytes.chunks(chunk) {
+            decoder.feed(piece);
+            while let Some(record) = decoder.next_record().expect("valid stream") {
+                got.push(record);
+            }
+        }
+        prop_assert_eq!(got.as_slice(), records.as_slice());
+        prop_assert_eq!(decoder.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn every_strict_prefix_is_incomplete_never_wrong(records in records_strategy()) {
+        // Cutting the byte stream anywhere yields a prefix of the
+        // record sequence — never a decode of something that was not
+        // emitted — plus possibly an incomplete tail.
+        let bytes = encode(&records);
+        if bytes.len() >= 2 {
+            let cut = bytes.len() / 2;
+            let mut decoder = StreamDecoder::new();
+            decoder.feed(&bytes[..cut]);
+            let mut got = Vec::new();
+            while let Some(record) = decoder.next_record().expect("prefix decodes cleanly") {
+                got.push(record);
+            }
+            prop_assert!(got.len() <= records.len());
+            prop_assert_eq!(got.as_slice(), &records[..got.len()]);
+        }
+    }
+}

@@ -85,8 +85,9 @@ pub mod prelude {
     pub use rispp_fabric::{AtomCatalog, Clock, ContainerId, Fabric};
     pub use rispp_h264::{EncoderConfig, Frame, SyntheticVideo};
     pub use rispp_obs::{
-        CountersSink, Event, HostProfile, JsonlSink, MetricsSink, MetricsSummary, NullSink,
-        ProfHandle, Profiler, SinkHandle, SpanBuilder, Timeline, TimelineSink,
+        BinaryReader, BinarySink, CountersSink, Event, HostProfile, JsonlSink, MetricsSink,
+        MetricsSummary, NullSink, ProfHandle, Profiler, SinkHandle, SpanBuilder, StreamDecoder,
+        Timeline, TimelineSink,
     };
     pub use rispp_rt::{ManagerBuilder, RisppManager, TaskId};
     pub use rispp_sim::{

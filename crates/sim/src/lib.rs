@@ -65,7 +65,7 @@ pub use waveform::{container_timelines, render_waveform, ContainerTimeline, Occu
 // Event types live in `rispp-obs` now; re-exported so simulator users can
 // query an [`Engine`]'s timeline without naming the obs crate directly.
 pub use rispp_fabric::clock::Clock;
-pub use rispp_obs::{Event, Record, Timeline, TimelineSink};
+pub use rispp_obs::{BinaryReader, BinarySink, Event, Record, Timeline, TimelineSink};
 
 /// The simulator's event log, now the shared [`rispp_obs::Timeline`].
 #[deprecated(

@@ -27,8 +27,8 @@ use rispp_fabric::FaultPlan;
 use rispp_h264::encoder::EncoderConfig;
 use rispp_h264::si_library::H264Sis;
 use rispp_obs::{
-    CountersSink, Event, EventSink, HostProfile, JsonlSink, LatencyHistogram, MetricsSink,
-    MetricsSummary, ProfHandle, SinkHandle, Timeline, TimelineSink,
+    BinarySink, CountersSink, Event, EventSink, HostProfile, JsonlSink, LatencyHistogram,
+    MetricsSink, MetricsSummary, ProfHandle, SinkHandle, Timeline, TimelineSink,
 };
 use rispp_rt::manager::RisppManager;
 use rispp_rt::policy::LruSurplusPolicy;
@@ -146,6 +146,11 @@ pub enum SinkSpec {
     /// [`SinkSpec::Metrics`] plus a JSONL export of every event — the
     /// byte-exact replay artifact the fleet determinism check compares.
     Jsonl,
+    /// [`SinkSpec::Metrics`] plus the compact binary export
+    /// ([`rispp_obs::bin`]) of every event — the same stream as
+    /// [`SinkSpec::Jsonl`] at an order of magnitude lower per-event cost,
+    /// for fleet-scale capture and live tailing (`rispp_serve`).
+    Binary,
 }
 
 /// A runnable simulation shard: everything needed to construct — and
@@ -306,7 +311,7 @@ impl ShardSpec {
             .as_ref()
             .map(|c| all_si_latency(c, lib_len))
             .unwrap_or_default();
-        let (timeline, jsonl) = extras.into_parts();
+        let (timeline, jsonl, binary) = extras.into_parts();
         ShardOutcome {
             scenario: self.scenario.id(),
             seed: self.seed,
@@ -318,6 +323,7 @@ impl ShardSpec {
             host,
             timeline,
             jsonl,
+            binary,
             codec: None,
             stress: None,
         }
@@ -447,7 +453,7 @@ impl ShardSpec {
             .as_ref()
             .map(|c| all_si_latency(c, widest_lib))
             .unwrap_or_default();
-        let (timeline, jsonl) = extras.into_parts();
+        let (timeline, jsonl, binary) = extras.into_parts();
         ShardOutcome {
             scenario: self.scenario.id(),
             seed: self.seed,
@@ -459,6 +465,7 @@ impl ShardSpec {
             host: prof.snapshot(),
             timeline,
             jsonl,
+            binary,
             codec: None,
             stress: Some(totals),
         }
@@ -521,7 +528,7 @@ impl ShardSpec {
             let latency = all_si_latency(&counters, lib.len());
             (Some(counters), latency)
         };
-        let (timeline, jsonl) = extras.into_parts();
+        let (timeline, jsonl, binary) = extras.into_parts();
         ShardOutcome {
             scenario: self.scenario.id(),
             seed: self.seed,
@@ -533,6 +540,7 @@ impl ShardSpec {
             host: prof.snapshot(),
             timeline,
             jsonl,
+            binary,
             codec: Some(out),
             stress: None,
         }
@@ -566,6 +574,9 @@ pub struct ShardOutcome {
     pub timeline: Option<Timeline>,
     /// JSONL export of the event stream (under [`SinkSpec::Jsonl`]).
     pub jsonl: Option<String>,
+    /// Compact binary export of the same event stream (under
+    /// [`SinkSpec::Binary`]); decode with [`rispp_obs::bin::replay`].
+    pub binary: Option<Vec<u8>>,
     /// The encoder's functional outcome ([`Scenario::LiveCodec`] only).
     pub codec: Option<CodecRunOutcome>,
     /// The stress harness's own tallies ([`Scenario::Stress`] only).
@@ -616,6 +627,7 @@ impl EventSink for CountingSink {
 struct ExtraSinks {
     timeline: Option<Rc<RefCell<TimelineSink>>>,
     jsonl: Option<Rc<RefCell<JsonlSink<Vec<u8>>>>>,
+    binary: Option<Rc<RefCell<BinarySink<Vec<u8>>>>>,
 }
 
 impl ExtraSinks {
@@ -625,25 +637,37 @@ impl ExtraSinks {
                 .then(|| Rc::new(RefCell::new(TimelineSink::new()))),
             jsonl: matches!(spec.sink, SinkSpec::Jsonl)
                 .then(|| Rc::new(RefCell::new(JsonlSink::new(Vec::new())))),
+            binary: matches!(spec.sink, SinkSpec::Binary)
+                .then(|| Rc::new(RefCell::new(BinarySink::new(Vec::new())))),
         }
     }
 
-    /// A handle over whichever extra consumers exist, if any.
+    /// A handle over whichever extra consumers exist, if any. The sink
+    /// variants are mutually exclusive, so at most one is live.
     fn handle(&self) -> Option<SinkHandle> {
-        match (&self.timeline, &self.jsonl) {
-            (Some(t), None) => Some(SinkHandle::shared(t.clone())),
-            (None, Some(j)) => Some(SinkHandle::shared(j.clone())),
-            (Some(t), Some(j)) => Some(SinkHandle::tee(
-                SinkHandle::shared(t.clone()),
-                SinkHandle::shared(j.clone()),
-            )),
-            (None, None) => None,
+        let mut handle: Option<SinkHandle> = None;
+        let mut add = |h: SinkHandle| {
+            handle = Some(match handle.take() {
+                Some(a) => SinkHandle::tee(a, h),
+                None => h,
+            });
+        };
+        if let Some(t) = &self.timeline {
+            add(SinkHandle::shared(t.clone()));
         }
+        if let Some(j) = &self.jsonl {
+            add(SinkHandle::shared(j.clone()));
+        }
+        if let Some(b) = &self.binary {
+            add(SinkHandle::shared(b.clone()));
+        }
+        handle
     }
 
-    /// Unwraps the captured timeline and JSONL text. The producing engine
-    /// must have been dropped first, so this holds the last handles.
-    fn into_parts(self) -> (Option<Timeline>, Option<String>) {
+    /// Unwraps the captured timeline, JSONL text and binary bytes. The
+    /// producing engine must have been dropped first, so this holds the
+    /// last handles.
+    fn into_parts(self) -> (Option<Timeline>, Option<String>, Option<Vec<u8>>) {
         let timeline = self.timeline.map(|t| {
             Rc::try_unwrap(t)
                 .expect("engine dropped its sink handles")
@@ -656,7 +680,13 @@ impl ExtraSinks {
                 .into_inner();
             String::from_utf8(sink.into_inner()).expect("JSONL is UTF-8")
         });
-        (timeline, jsonl)
+        let binary = self.binary.map(|b| {
+            Rc::try_unwrap(b)
+                .expect("engine dropped its sink handles")
+                .into_inner()
+                .into_inner()
+        });
+        (timeline, jsonl, binary)
     }
 }
 

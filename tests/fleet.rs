@@ -91,6 +91,37 @@ fn live_codec_shard_replays_byte_identical_jsonl() {
 }
 
 #[test]
+fn binary_shard_capture_decodes_to_the_jsonl_event_sequence() {
+    // The same shard spec run under each sink: replay determinism means
+    // both captures describe one event sequence, in different codecs.
+    let factory = stress_factory(2_026);
+    let jsonl = factory
+        .clone()
+        .with_sink(SinkSpec::Jsonl)
+        .spec_for(1)
+        .run()
+        .jsonl
+        .expect("JSONL captured");
+    let binary = factory
+        .clone()
+        .with_sink(SinkSpec::Binary)
+        .spec_for(1)
+        .run()
+        .binary
+        .expect("binary captured");
+
+    // Decoding the binary capture and re-encoding every record through
+    // a fresh JsonlSink must reproduce the JSONL export byte for byte.
+    let mut reencoded = JsonlSink::new(Vec::new());
+    rispp::obs::bin::replay(&binary, &mut reencoded).expect("binary capture decodes");
+    assert_eq!(
+        String::from_utf8(reencoded.into_inner()).expect("JSONL is UTF-8"),
+        jsonl,
+        "binary capture decodes to a different event sequence"
+    );
+}
+
+#[test]
 fn timeline_capture_is_reproduced_too() {
     let factory = stress_factory(11).with_sink(SinkSpec::Timeline);
     let fleet = run_fleet(&factory, &FleetConfig::new(2));
