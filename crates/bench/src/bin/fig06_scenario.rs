@@ -10,7 +10,10 @@
 //! Optional flags: `--jsonl-out PATH` dumps the raw export,
 //! `--bin-out PATH` dumps the same stream in the binary transport
 //! (teed from the same live run), `--report-out PATH` renders the
-//! `rispp_report` markdown analysis of this run.
+//! `rispp_report` markdown analysis of this run, and `--trace-out PATH`
+//! writes a Chrome-trace-event JSON file of the same run — one track
+//! per Atom Container plus per-task SI slices and counter tracks —
+//! loadable in Perfetto or `chrome://tracing`.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -20,23 +23,25 @@ use rispp::obs::jsonl;
 use rispp::prelude::*;
 use rispp::sim::scenario::run_fig6;
 use rispp::sim::waveform::render_waveform;
-use rispp_bench::report::{analyze, render_markdown, ReportConfig};
+use rispp_bench::report::{analyze, render_markdown, render_trace, ReportConfig};
 
 fn main() {
     let mut jsonl_out: Option<String> = None;
     let mut bin_out: Option<String> = None;
     let mut report_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--jsonl-out" => jsonl_out = iter.next(),
             "--bin-out" => bin_out = iter.next(),
             "--report-out" => report_out = iter.next(),
+            "--trace-out" => trace_out = iter.next(),
             _ => {
                 eprintln!("fig06_scenario: unknown option {arg}");
                 eprintln!(
                     "usage: fig06_scenario [--jsonl-out PATH] [--bin-out PATH] \
-                     [--report-out PATH]"
+                     [--report-out PATH] [--trace-out PATH]"
                 );
                 std::process::exit(1);
             }
@@ -117,14 +122,20 @@ fn main() {
         std::fs::write(path, &bytes).expect("write binary export");
         println!("binary export written to {path} ({} bytes)", bytes.len());
     }
-    if let Some(path) = &report_out {
+    if report_out.is_some() || trace_out.is_some() {
         let config = ReportConfig::h264(6);
         let mut analysis = analyze(&text, &config).expect("own export analyzes cleanly");
         // This binary drove the live run, so it can attach what the
         // export cannot carry: the run's host-time phase profile.
         analysis.host_profile = prof.snapshot();
-        std::fs::write(path, render_markdown(&analysis, &config)).expect("write report");
-        println!("markdown report written to {path}");
+        if let Some(path) = &report_out {
+            std::fs::write(path, render_markdown(&analysis, &config)).expect("write report");
+            println!("markdown report written to {path}");
+        }
+        if let Some(path) = &trace_out {
+            std::fs::write(path, render_trace(&analysis, &config)).expect("write trace");
+            println!("Chrome trace written to {path} (open in Perfetto or chrome://tracing)");
+        }
     }
 
     // Container-occupancy waveform: the figure's own rendering. Upper

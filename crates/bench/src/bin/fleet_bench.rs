@@ -5,7 +5,8 @@
 //! ```text
 //! fleet_bench --shards N [--scenario fig6|stress|live_codec]
 //!             [--threads T] [--seed S] [--full] [--faults HORIZON]
-//!             [--json-out PATH] [--bin-out PATH] [--verify-shard K]
+//!             [--json-out PATH] [--bin-out PATH] [--trace-out PATH]
+//!             [--verify-shard K]
 //! ```
 //!
 //! `--verify-shard K` re-runs shard K standalone from its derived seed
@@ -13,9 +14,17 @@
 //! fleet run produced — the shard-replay determinism guarantee, exit
 //! code 1 on divergence.
 //!
-//! `--bin-out PATH` replays shard 0 with binary event capture
-//! (`SinkSpec::Binary`) and writes the export — the input format
-//! `rispp_serve` and `rispp_report` auto-detect.
+//! `--bin-out PATH` writes binary event exports — the input format
+//! `rispp_serve` and `rispp_report` auto-detect. With a `{shard}`
+//! placeholder (e.g. `out/shard-{shard}.bin`) every shard streams its
+//! own log *during* the fleet run, ready for
+//! `rispp_serve --glob 'out/shard-*.bin'`; without one, shard 0 is
+//! replayed standalone and exported (the shards-write-one-file case
+//! makes no sense for N > 1).
+//!
+//! `--trace-out PATH` replays shard 0 with timeline capture and writes
+//! a Chrome-trace-event JSON file (open in Perfetto or
+//! `chrome://tracing`) with per-container, per-task and counter tracks.
 
 use rispp::prelude::{FleetConfig, Scenario, ScenarioFactory, SinkSpec};
 use rispp::sim::run_fleet;
@@ -27,7 +36,10 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: fleet_bench --shards N [--scenario fig6|stress|live_codec] \
          [--threads T] [--seed S] [--full] [--faults HORIZON] \
-         [--json-out PATH] [--bin-out PATH] [--verify-shard K]"
+         [--json-out PATH] [--bin-out PATH] [--trace-out PATH] \
+         [--verify-shard K]\n\
+         --bin-out with a {{shard}} placeholder captures every shard's \
+         log live during the fleet run"
     );
     std::process::exit(2);
 }
@@ -41,6 +53,7 @@ struct Args {
     fault_horizon: Option<u64>,
     json_out: Option<String>,
     bin_out: Option<String>,
+    trace_out: Option<String>,
     verify_shard: Option<u32>,
 }
 
@@ -54,6 +67,7 @@ fn parse_args() -> Args {
         fault_horizon: None,
         json_out: None,
         bin_out: None,
+        trace_out: None,
         verify_shard: None,
     };
     let mut iter = std::env::args().skip(1);
@@ -88,6 +102,12 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| usage("--bin-out needs a path")),
                 );
             }
+            "--trace-out" => {
+                args.trace_out = Some(
+                    iter.next()
+                        .unwrap_or_else(|| usage("--trace-out needs a path")),
+                );
+            }
             _ => usage(&format!("unknown option {arg}")),
         }
     }
@@ -107,10 +127,19 @@ fn main() {
     } else {
         SinkSpec::Metrics
     };
+    // A `{shard}` template streams every shard's binary log during the
+    // fleet run itself; a plain path falls back to replaying shard 0
+    // after the run (below).
+    let bin_template = args
+        .bin_out
+        .as_ref()
+        .filter(|path| path.contains("{shard}"))
+        .cloned();
     let factory = ScenarioFactory::new(scenario, args.seed)
         .with_sink(sink)
         .with_profile(true)
-        .with_fault_horizon(args.fault_horizon);
+        .with_fault_horizon(args.fault_horizon)
+        .with_bin_template(bin_template.clone());
     let config = FleetConfig::new(args.shards).with_threads(args.threads);
 
     println!(
@@ -164,7 +193,12 @@ fn main() {
         println!("wrote {path}");
     }
 
-    if let Some(path) = &args.bin_out {
+    if let Some(template) = &bin_template {
+        println!(
+            "per-shard binary exports written to {} (shards 0..{})",
+            template, args.shards
+        );
+    } else if let Some(path) = &args.bin_out {
         // Shard replay is deterministic, so replaying shard 0 with
         // binary capture exports the exact event stream the fleet ran.
         let out = factory.spec_for(0).with_sink(SinkSpec::Binary).run();
@@ -174,6 +208,21 @@ fn main() {
             "shard 0 binary export written to {path} ({} bytes, {} events)",
             bytes.len(),
             out.events
+        );
+    }
+
+    if let Some(path) = &args.trace_out {
+        // Replay shard 0 with timeline capture and render the Chrome
+        // trace (per-container residency/rotation tracks, per-task SI
+        // slices, occupancy and bus counters).
+        let out = factory.spec_for(0).with_sink(SinkSpec::Timeline).run();
+        let timeline = out.timeline.expect("timeline capture was requested");
+        let config = rispp::obs::TraceConfig::infer(&timeline);
+        let trace = rispp::obs::render_chrome_trace(&timeline, out.host.as_ref(), &config);
+        std::fs::write(path, &trace).expect("write Chrome trace");
+        println!(
+            "shard 0 Chrome trace written to {path} ({} events; open in Perfetto)",
+            timeline.len()
         );
     }
 

@@ -15,6 +15,10 @@
 //! ```text
 //! rispp_report <input.jsonl|input.bin> [options]
 //!   -o, --out <PATH>      write the report to PATH (default: stdout)
+//!       --trace-out <PATH> also write a Chrome-trace-event JSON file
+//!                         (open in Perfetto or chrome://tracing): one
+//!                         track per Atom Container, per-task SI slices,
+//!                         occupancy and bus counters
 //!       --h264            use the H.264 platform (Table 1 Atom names and
 //!                         utilisation weights) instead of inferring a
 //!                         generic platform from the stream
@@ -24,11 +28,12 @@
 
 use std::process::ExitCode;
 
-use rispp_bench::report::{analyze_bytes, render_markdown, ReportConfig};
+use rispp_bench::report::{analyze_bytes, render_markdown, render_trace, ReportConfig};
 
 struct Args {
     input: String,
     out: Option<String>,
+    trace_out: Option<String>,
     h264: bool,
     containers: Option<usize>,
     columns: Option<usize>,
@@ -38,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         input: String::new(),
         out: None,
+        trace_out: None,
         h264: false,
         containers: None,
         columns: None,
@@ -47,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} needs a value"));
         match arg.as_str() {
             "-o" | "--out" => args.out = Some(value("--out")?),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--h264" => args.h264 = true,
             "--containers" => {
                 args.containers = Some(
@@ -76,8 +83,8 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() {
     eprintln!(
-        "usage: rispp_report <input.jsonl|input.bin> [-o PATH] [--h264] \
-         [--containers N] [--columns N]\n\
+        "usage: rispp_report <input.jsonl|input.bin> [-o PATH] [--trace-out PATH] \
+         [--h264] [--containers N] [--columns N]\n\
          the input format (JSONL or binary transport) is auto-detected; \
          exports with a newer schema_version than this build are refused"
     );
@@ -129,6 +136,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &args.trace_out {
+        let trace = render_trace(&analysis, &config);
+        if let Err(e) = std::fs::write(path, &trace) {
+            eprintln!("rispp_report: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("rispp_report: trace -> {path} (open in Perfetto or chrome://tracing)");
+    }
     let report = render_markdown(&analysis, &config);
     match &args.out {
         Some(path) => {

@@ -1,40 +1,70 @@
-//! `rispp_serve` — live metrics endpoint over a run's event export.
+//! `rispp_serve` — live fleet metrics endpoint over event exports.
 //!
-//! Tails a growing event log (the binary transport or JSONL — the
-//! format is auto-detected from the first bytes), folds every record
-//! incrementally through `MetricsSink`, and serves the result over
-//! plain HTTP with no dependencies:
+//! Tails one or more growing event logs (the binary transport or JSONL
+//! — the format is auto-detected per file from the first bytes), folds
+//! every record incrementally through a per-shard `MetricsSink` plus a
+//! sliding window, evaluates optional SLO alert rules, and serves the
+//! result over plain HTTP with no dependencies:
 //!
-//! * `GET /metrics` — Prometheus exposition; values equal what an
-//!   offline replay of the consumed log prefix reports
+//! * `GET /metrics` — Prometheus exposition. One input keeps the full
+//!   legacy exposition (values equal an offline replay of the consumed
+//!   log prefix); several inputs add `{shard="k"}`-labeled series next
+//!   to the fleet aggregate. Sliding-window rates, follower counters
+//!   and `rispp_alert_firing` gauges follow in every mode.
 //! * `GET /status`  — JSON: records folded, newest timestamp, detected
-//!   format, decode error if any, headline summary numbers
+//!   format, decode error if any, reopen count, headline numbers
+//! * `GET /shards`  — JSON array, one entry per followed log
+//! * `GET /alerts`  — JSON: each alert rule's value and firing state
 //!
 //! ```text
-//! rispp_serve <input.bin|input.jsonl> [options]
+//! rispp_serve <log> [<log>...] [options]
+//!       --glob <PATTERN>      follow every file matching PATTERN
+//!                             (final-component `*`, e.g. 'out/shard-*.bin')
+//!       --rules <FILE>        TOML alert rules ([[rule]] tables with
+//!                             name/metric/op/threshold/for_cycles)
+//!       --check               don't serve: drain the logs, evaluate the
+//!                             rules once at end-of-log, exit nonzero if
+//!                             any rule fires (CI gate)
 //!       --addr <HOST:PORT>    listen address (default: 127.0.0.1:9464)
 //!       --poll-ms <N>         tail-poll interval (default: 200)
-//!       --max-requests <N>    exit after N requests (smoke tests)
+//!       --max-requests <N>    exit after N requests (smoke tests);
+//!                             malformed requests count too
 //!       --containers <N>      occupancy denominator (default: grow on
 //!                             demand as containers appear in the log)
+//!       --window-cycles <N>   sliding-window bucket width in simulated
+//!                             cycles (default: 10000)
+//!       --window-buckets <N>  buckets per sliding window (default: 16)
 //! ```
 //!
-//! The input file may not exist yet — tailing starts when it appears.
-//! Both codecs refuse logs with a `schema_version` newer than this
-//! build; the refusal shows up in `/status` as `error`.
+//! Input files may not exist yet — tailing starts when each appears. A
+//! shrinking file (truncation / log rotation) makes its follower reopen
+//! from offset 0 and re-probe the format; `/status` counts these as
+//! `reopens`. Both codecs refuse logs with a `schema_version` newer
+//! than this build; the refusal shows up in `/status` as `error`.
 
 use std::process::ExitCode;
 
-use rispp_bench::serve::{run_serve, ServeOptions};
+use rispp::obs::window::WindowConfig;
+use rispp_bench::serve::{run_check, run_serve, ServeOptions};
 
-fn parse_args() -> Result<ServeOptions, String> {
+struct Cli {
+    opts: ServeOptions,
+    check: bool,
+}
+
+fn parse_args() -> Result<Cli, String> {
     let mut opts = ServeOptions::default();
+    let mut check = false;
+    let mut window_cycles = None;
+    let mut window_buckets = None;
     let mut iter = std::env::args().skip(1);
-    let mut have_input = false;
     while let Some(arg) = iter.next() {
         let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} needs a value"));
         match arg.as_str() {
             "--addr" => opts.addr = value("--addr")?,
+            "--glob" => opts.glob = Some(value("--glob")?),
+            "--rules" => opts.rules = Some(value("--rules")?.into()),
+            "--check" => check = true,
             "--poll-ms" => {
                 opts.poll_ms = value("--poll-ms")?
                     .parse()
@@ -52,31 +82,47 @@ fn parse_args() -> Result<ServeOptions, String> {
                     .parse()
                     .map_err(|e| format!("--containers: {e}"))?;
             }
+            "--window-cycles" => {
+                window_cycles = Some(
+                    value("--window-cycles")?
+                        .parse()
+                        .map_err(|e| format!("--window-cycles: {e}"))?,
+                );
+            }
+            "--window-buckets" => {
+                window_buckets = Some(
+                    value("--window-buckets")?
+                        .parse()
+                        .map_err(|e| format!("--window-buckets: {e}"))?,
+                );
+            }
             "-h" | "--help" => return Err(String::new()),
             _ if arg.starts_with('-') => return Err(format!("unknown option {arg}")),
-            _ if !have_input => {
-                opts.input = arg.into();
-                have_input = true;
-            }
-            _ => return Err(format!("unexpected argument {arg}")),
+            _ => opts.inputs.push(arg.into()),
         }
     }
-    if !have_input {
-        return Err("missing input file".to_string());
+    let defaults = WindowConfig::default();
+    opts.window = WindowConfig::new(
+        window_cycles.unwrap_or(defaults.bucket_cycles),
+        window_buckets.unwrap_or(defaults.buckets),
+    );
+    if opts.inputs.is_empty() && opts.glob.is_none() {
+        return Err("missing input files (pass paths or --glob)".to_string());
     }
-    Ok(opts)
+    Ok(Cli { opts, check })
 }
 
 fn usage() {
     eprintln!(
-        "usage: rispp_serve <input.bin|input.jsonl> [--addr HOST:PORT] \
-         [--poll-ms N] [--max-requests N] [--containers N]"
+        "usage: rispp_serve <log> [<log>...] [--glob PATTERN] [--rules FILE] \
+         [--check] [--addr HOST:PORT] [--poll-ms N] [--max-requests N] \
+         [--containers N] [--window-cycles N] [--window-buckets N]"
     );
 }
 
 fn main() -> ExitCode {
-    let opts = match parse_args() {
-        Ok(opts) => opts,
+    let cli = match parse_args() {
+        Ok(cli) => cli,
         Err(msg) => {
             if !msg.is_empty() {
                 eprintln!("rispp_serve: {msg}");
@@ -85,7 +131,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run_serve(&opts) {
+    if cli.check {
+        return match run_check(&cli.opts) {
+            Ok(false) => ExitCode::SUCCESS,
+            Ok(true) => {
+                eprintln!("rispp_serve: alert rules are firing");
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("rispp_serve: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match run_serve(&cli.opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("rispp_serve: {e}");

@@ -204,6 +204,26 @@ pub fn analyze_bytes(bytes: &[u8], config: &ReportConfig) -> Result<Analysis, Re
     }
 }
 
+/// Renders the analysis as a Chrome-trace-event JSON document
+/// (loadable in Perfetto / `chrome://tracing`): one track per Atom
+/// Container with residency and rotation spans, one track per task with
+/// SI-execution slices, occupancy and bus counters, and — when the
+/// analysis carries one — the host-time profile as its own process.
+/// Atom names come from the platform configuration so slices read
+/// "DCT 4×4" rather than "atom#2".
+#[must_use]
+pub fn render_trace(analysis: &Analysis, config: &ReportConfig) -> String {
+    let trace_config = rispp::obs::TraceConfig::new(
+        config.atoms.names().map(str::to_string).collect(),
+        config.containers,
+    );
+    rispp::obs::render_chrome_trace(
+        &analysis.timeline,
+        analysis.host_profile.as_ref(),
+        &trace_config,
+    )
+}
+
 fn opt(value: Option<u64>) -> String {
     value.map_or_else(|| "—".to_string(), |v| v.to_string())
 }
@@ -494,6 +514,24 @@ mod tests {
         let md = render_markdown(&analysis, &config);
         assert!(md.contains("## Host-time profile"));
         assert!(md.contains("| reselect |"));
+    }
+
+    #[test]
+    fn trace_export_is_valid_chrome_json_with_named_tracks() {
+        let text = fig6_export();
+        let config = ReportConfig::h264(6);
+        let analysis = analyze(&text, &config).expect("export replays");
+        let trace = render_trace(&analysis, &config);
+        assert!(trace.starts_with("{\"displayTimeUnit\""));
+        assert!(trace.ends_with("]}\n") || trace.ends_with("]}"));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"ph\":\"C\""));
+        // One named track per Atom Container.
+        for k in 0..6 {
+            assert!(trace.contains(&format!("\"AC{k}\"")), "missing track AC{k}");
+        }
+        // Platform atom names, not inferred placeholders.
+        assert!(!trace.contains("atom#"));
     }
 
     #[test]

@@ -29,6 +29,15 @@
 //! * [`ProfHandle`] / [`Profiler`] — host-side wall-clock profiling:
 //!   scoped, hierarchical phase timers for the manager's hot paths, one
 //!   branch when disabled, snapshot as a [`HostProfile`] table.
+//! * [`WindowSink`] — sliding-window rates and latency quantiles over
+//!   the event stream, keyed by simulated time so replays are
+//!   deterministic.
+//! * [`AlertEngine`] — declarative SLO alert rules (metric, op,
+//!   threshold, hold-for) parsed from a TOML subset and evaluated
+//!   against live metric lookups.
+//! * [`trace`] — Chrome-trace-event (Perfetto-loadable) export of a
+//!   [`Timeline`] + [`HostProfile`] into per-container, per-task, and
+//!   counter tracks.
 //!
 //! ```
 //! use rispp_obs::{jsonl, Event, JsonlSink, SinkHandle, TimelineSink};
@@ -55,6 +64,7 @@
 // only; the observability layer itself must never consume them.
 #![deny(deprecated)]
 
+pub mod alert;
 pub mod bin;
 pub mod counters;
 pub mod event;
@@ -64,7 +74,10 @@ pub mod prof;
 pub mod sink;
 pub mod span;
 pub mod timeline;
+pub mod trace;
+pub mod window;
 
+pub use alert::{AlertEngine, AlertOp, AlertRule, AlertStatus};
 pub use bin::{BinError, BinaryReader, BinarySink, StreamDecoder};
 pub use counters::{CountersSink, FcCounters, LatencyHistogram, SiCounters};
 pub use event::{Event, Record, ReselectTrigger, TaskId};
@@ -74,3 +87,5 @@ pub use prof::{phase, HostProfile, PhaseProfile, ProfHandle, Profiler, ScopedPha
 pub use sink::{EventSink, NullSink, SinkHandle};
 pub use span::{LadderStep, Span, SpanBuilder, SpanClose};
 pub use timeline::{Timeline, TimelineSink};
+pub use trace::{render_chrome_trace, TraceConfig};
+pub use window::{WindowConfig, WindowSink, WindowSnapshot};

@@ -196,6 +196,89 @@ impl MetricsSummary {
         self.merge(other);
         self
     }
+
+    /// The summary's Prometheus series as
+    /// `(name, kind, help, value)` tuples, in exposition order — the
+    /// building block for renderers that interleave several summaries
+    /// (e.g. a fleet aggregate next to `{shard="k"}`-labeled lines,
+    /// which must keep each metric family contiguous).
+    #[must_use]
+    pub fn prometheus_series(&self) -> Vec<(&'static str, &'static str, &'static str, f64)> {
+        vec![
+            (
+                "rispp_elapsed_cycles",
+                "gauge",
+                "Largest simulated timestamp seen.",
+                self.elapsed_cycles as f64,
+            ),
+            (
+                "rispp_fabric_occupancy",
+                "gauge",
+                "Time-weighted fraction of container-cycles holding a usable Atom.",
+                self.fabric_occupancy,
+            ),
+            (
+                "rispp_logic_utilization",
+                "gauge",
+                "Occupancy weighted by per-Atom logic utilisation (Table 1).",
+                self.logic_utilization,
+            ),
+            (
+                "rispp_bus_busy_fraction",
+                "gauge",
+                "Fraction of time the single reconfiguration port was writing.",
+                self.bus_busy_fraction,
+            ),
+            (
+                "rispp_forecast_precision",
+                "gauge",
+                "Fraction of forecast windows whose SI actually executed.",
+                self.forecast_precision,
+            ),
+            (
+                "rispp_forecast_recall",
+                "gauge",
+                "Fraction of executions that were forecast when they happened.",
+                self.forecast_recall,
+            ),
+            (
+                "rispp_fc_hit_rate",
+                "gauge",
+                "Fraction of monitored FC outcomes that were reached.",
+                self.fc_hit_rate,
+            ),
+            (
+                "rispp_hw_fraction",
+                "gauge",
+                "Fraction of SI executions that ran in hardware.",
+                self.hw_fraction,
+            ),
+            (
+                "rispp_rotations_completed_total",
+                "counter",
+                "Completed rotations.",
+                self.rotations_completed as f64,
+            ),
+            (
+                "rispp_executions_total",
+                "counter",
+                "SI executions observed.",
+                self.executions_total as f64,
+            ),
+            (
+                "rispp_cycles_saved_vs_sw_total",
+                "counter",
+                "Cycles saved by hardware executions vs the observed software baseline.",
+                self.cycles_saved_vs_sw as f64,
+            ),
+            (
+                "rispp_timeline_dropped_events_total",
+                "counter",
+                "Events dropped by a bounded timeline capture (nonzero = truncated capture).",
+                self.dropped_events as f64,
+            ),
+        ]
+    }
 }
 
 fn weight_of(weights: &[f64], kind: AtomKind) -> f64 {

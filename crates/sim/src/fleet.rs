@@ -59,6 +59,10 @@ pub struct ScenarioFactory {
     /// When set, each shard gets [`FaultPlan::seeded`] from its derived
     /// seed over this horizon (in cycles).
     pub fault_horizon: Option<u64>,
+    /// When set, every shard streams its binary event log to this path
+    /// template with `{shard}` replaced by the shard index — the
+    /// per-shard capture a multi-log `rispp_serve` tails.
+    pub bin_template: Option<String>,
 }
 
 impl ScenarioFactory {
@@ -73,6 +77,7 @@ impl ScenarioFactory {
             sink: SinkSpec::default(),
             profile: false,
             fault_horizon: None,
+            bin_template: None,
         }
     }
 
@@ -104,6 +109,16 @@ impl ScenarioFactory {
         self
     }
 
+    /// Streams every shard's binary event log to `template`, with
+    /// `{shard}` replaced by the shard index (e.g.
+    /// `logs/shard-{shard}.bin`). Multi-shard fleets must include the
+    /// placeholder or every shard would race on one file.
+    #[must_use]
+    pub fn with_bin_template(mut self, template: Option<String>) -> Self {
+        self.bin_template = template;
+        self
+    }
+
     /// The spec shard `shard` runs — identical whether built inside
     /// [`run_fleet`] or standalone for a replay.
     #[must_use]
@@ -115,6 +130,9 @@ impl ScenarioFactory {
             .with_profile(self.profile);
         if let Some(horizon) = self.fault_horizon {
             spec = spec.with_faults(FaultPlan::seeded(seed, self.scenario.containers(), horizon));
+        }
+        if let Some(template) = &self.bin_template {
+            spec = spec.with_bin_path(template.replace("{shard}", &shard.to_string()));
         }
         spec
     }
@@ -346,6 +364,32 @@ mod tests {
         let mut reversed = out.shards.clone();
         reversed.reverse();
         assert_eq!(FleetAggregate::from_shards(&reversed), forward);
+    }
+
+    #[test]
+    fn bin_template_captures_one_replayable_log_per_shard() {
+        let dir = std::env::temp_dir().join(format!("rispp-fleet-bin-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let template = dir.join("shard-{shard}.bin").to_str().unwrap().to_string();
+        let factory = ScenarioFactory::new(
+            Scenario::Stress {
+                platforms: 1,
+                steps: 40,
+            },
+            11,
+        )
+        .with_sink(SinkSpec::Binary)
+        .with_bin_template(Some(template));
+        let out = run_fleet(&factory, &FleetConfig::new(3).with_threads(2));
+        for (k, shard) in out.shards.iter().enumerate() {
+            let path = dir.join(format!("shard-{k}.bin"));
+            let bytes = std::fs::read(&path).unwrap();
+            assert!(!bytes.is_empty(), "shard {k} wrote no events");
+            // The streamed file is byte-identical to the in-memory
+            // binary export of the very same run.
+            assert_eq!(Some(&bytes), shard.binary.as_ref(), "shard {k} diverges");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! threads even though the live [`Engine`] cannot.
 
 use std::cell::RefCell;
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::PathBuf;
 use std::rc::Rc;
 
 use rand::rngs::StdRng;
@@ -181,6 +184,13 @@ pub struct ShardSpec {
     /// default, because replayability is the point of specs. Disable to
     /// keep measured re-selection durations in the event stream.
     pub deterministic: bool,
+    /// When set, stream the compact binary export of every event to this
+    /// file during the run (independent of [`ShardSpec::sink`], so a
+    /// fleet can capture one log per shard while keeping the cheap
+    /// metrics sinks). The capture happens live — it is authoritative
+    /// even for scenarios whose exports are not replay-stable run to
+    /// run.
+    pub bin_path: Option<PathBuf>,
 }
 
 impl ShardSpec {
@@ -197,6 +207,7 @@ impl ShardSpec {
             profile: false,
             checks: false,
             deterministic: true,
+            bin_path: None,
         }
     }
 
@@ -239,6 +250,14 @@ impl ShardSpec {
     #[must_use]
     pub fn with_deterministic(mut self, deterministic: bool) -> Self {
         self.deterministic = deterministic;
+        self
+    }
+
+    /// Streams the binary event export to `path` during the run (in
+    /// addition to whatever [`SinkSpec`] is selected).
+    #[must_use]
+    pub fn with_bin_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.bin_path = Some(path.into());
         self
     }
 
@@ -353,7 +372,9 @@ impl ShardSpec {
             };
             let containers = fabric.num_containers();
             let sink = if self.sink == SinkSpec::Null {
-                SinkHandle::null()
+                // Null skips the metrics sinks, but a requested file
+                // capture still rides along.
+                extras.handle().unwrap_or_else(SinkHandle::null)
             } else {
                 let mut sink = SinkHandle::tee(
                     SinkHandle::shared(counting.clone()),
@@ -487,7 +508,11 @@ impl ShardSpec {
         let metrics = Rc::new(RefCell::new(MetricsSink::new().with_containers(containers)));
         let counters = Rc::new(RefCell::new(CountersSink::new()));
         let extras = ExtraSinks::for_spec(self);
-        let sink = (self.sink != SinkSpec::Null).then(|| {
+        let sink = if self.sink == SinkSpec::Null {
+            // Null skips the metrics sinks, but a requested file capture
+            // still rides along.
+            extras.handle()
+        } else {
             let mut sink = SinkHandle::tee(
                 SinkHandle::shared(counting.clone()),
                 SinkHandle::shared(metrics.clone()),
@@ -496,8 +521,8 @@ impl ShardSpec {
             if let Some(extra) = extras.handle() {
                 sink = SinkHandle::tee(sink, extra);
             }
-            sink
-        });
+            Some(sink)
+        };
         let faults = (!self.faults.is_empty()).then_some(&self.faults);
         let out = run_encoder_on_rispp_configured(
             width,
@@ -628,6 +653,10 @@ struct ExtraSinks {
     timeline: Option<Rc<RefCell<TimelineSink>>>,
     jsonl: Option<Rc<RefCell<JsonlSink<Vec<u8>>>>>,
     binary: Option<Rc<RefCell<BinarySink<Vec<u8>>>>>,
+    /// Streaming binary capture to [`ShardSpec::bin_path`] — file-backed
+    /// and written during the run, unlike `binary`, which buffers in
+    /// memory for the outcome.
+    bin_file: Option<Rc<RefCell<BinarySink<BufWriter<File>>>>>,
 }
 
 impl ExtraSinks {
@@ -639,11 +668,18 @@ impl ExtraSinks {
                 .then(|| Rc::new(RefCell::new(JsonlSink::new(Vec::new())))),
             binary: matches!(spec.sink, SinkSpec::Binary)
                 .then(|| Rc::new(RefCell::new(BinarySink::new(Vec::new())))),
+            bin_file: spec.bin_path.as_ref().map(|path| {
+                let file = File::create(path).unwrap_or_else(|e| {
+                    panic!("cannot create binary event log {}: {e}", path.display())
+                });
+                Rc::new(RefCell::new(BinarySink::new(BufWriter::new(file))))
+            }),
         }
     }
 
-    /// A handle over whichever extra consumers exist, if any. The sink
-    /// variants are mutually exclusive, so at most one is live.
+    /// A handle over whichever extra consumers exist, if any. The
+    /// [`SinkSpec`] variants are mutually exclusive, so at most one of
+    /// those is live; the file capture can ride alongside any of them.
     fn handle(&self) -> Option<SinkHandle> {
         let mut handle: Option<SinkHandle> = None;
         let mut add = |h: SinkHandle| {
@@ -661,12 +697,15 @@ impl ExtraSinks {
         if let Some(b) = &self.binary {
             add(SinkHandle::shared(b.clone()));
         }
+        if let Some(f) = &self.bin_file {
+            add(SinkHandle::shared(f.clone()));
+        }
         handle
     }
 
-    /// Unwraps the captured timeline, JSONL text and binary bytes. The
-    /// producing engine must have been dropped first, so this holds the
-    /// last handles.
+    /// Unwraps the captured timeline, JSONL text and binary bytes, and
+    /// flushes the file capture. The producing engine must have been
+    /// dropped first, so this holds the last handles.
     fn into_parts(self) -> (Option<Timeline>, Option<String>, Option<Vec<u8>>) {
         let timeline = self.timeline.map(|t| {
             Rc::try_unwrap(t)
@@ -686,6 +725,18 @@ impl ExtraSinks {
                 .into_inner()
                 .into_inner()
         });
+        if let Some(f) = self.bin_file {
+            // into_inner flushes the sink's batch buffer; flush the
+            // BufWriter explicitly so disk errors surface here instead
+            // of being swallowed by its Drop.
+            use std::io::Write as _;
+            Rc::try_unwrap(f)
+                .expect("engine dropped its sink handles")
+                .into_inner()
+                .into_inner()
+                .flush()
+                .expect("flush binary event log");
+        }
         (timeline, jsonl, binary)
     }
 }
