@@ -148,13 +148,20 @@ impl FleetBenchResult {
             json_f64(m.forecast_precision),
             json_f64(m.forecast_recall)
         ));
+        // Omitted (not zero) when no shard monitored any FC outcome.
+        if let Some(rate) = m.fc_hit_rate {
+            out.push_str(&format!("    \"fc_hit_rate\": {},\n", json_f64(rate)));
+        }
         out.push_str(&format!(
-            "    \"fc_hit_rate\": {},\n    \"executions_total\": {},\n    \"hw_fraction\": {},\n    \"cycles_saved_vs_sw\": {},\n    \"dropped_events\": {}\n",
-            json_f64(m.fc_hit_rate),
+            "    \"executions_total\": {},\n    \"hw_fraction\": {},\n    \"cycles_saved_vs_sw\": {},\n    \"dropped_events\": {},\n",
             m.executions_total,
             json_f64(m.hw_fraction),
             m.cycles_saved_vs_sw,
             m.dropped_events
+        ));
+        out.push_str(&format!(
+            "    \"selection_cache_hits\": {},\n    \"selection_cache_misses\": {},\n    \"selection_cache_invalidations\": {}\n",
+            m.selection_cache_hits, m.selection_cache_misses, m.selection_cache_invalidations
         ));
         out.push_str("  },\n");
         out.push_str("  \"per_shard\": [\n");
@@ -227,13 +234,26 @@ impl FleetBenchResult {
             forecast_windows: u64_field(m, "forecast_windows")?,
             forecast_precision: f64_field(m, "forecast_precision")?,
             forecast_recall: f64_field(m, "forecast_recall")?,
-            fc_hit_rate: f64_field(m, "fc_hit_rate")?,
+            // Absent in FC-less runs and pre-cache documents alike.
+            fc_hit_rate: m.get("fc_hit_rate").and_then(JsonValue::as_f64),
             executions_total: u64_field(m, "executions_total")?,
             hw_fraction: f64_field(m, "hw_fraction")?,
             cycles_saved_vs_sw: u64_field(m, "cycles_saved_vs_sw")?,
             // Absent in pre-PR-7 documents; read tolerantly.
             dropped_events: m
                 .get("dropped_events")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+            selection_cache_hits: m
+                .get("selection_cache_hits")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+            selection_cache_misses: m
+                .get("selection_cache_misses")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+            selection_cache_invalidations: m
+                .get("selection_cache_invalidations")
                 .and_then(JsonValue::as_u64)
                 .unwrap_or(0),
         };

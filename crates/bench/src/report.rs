@@ -290,6 +290,13 @@ pub fn render_markdown(analysis: &Analysis, config: &ReportConfig) -> String {
         "| events dropped by capture | {} |",
         summary.dropped_events
     );
+    let _ = writeln!(
+        out,
+        "| selection cache (hit / miss / flush) | {} / {} / {} |",
+        summary.selection_cache_hits,
+        summary.selection_cache_misses,
+        summary.selection_cache_invalidations
+    );
     let _ = writeln!(out);
 
     let _ = writeln!(out, "## Time-to-hardware spans");
@@ -354,13 +361,16 @@ pub fn render_markdown(analysis: &Analysis, config: &ReportConfig) -> String {
 
     let _ = writeln!(out, "## Forecast accuracy");
     let _ = writeln!(out);
+    let fc_rate = summary
+        .fc_hit_rate
+        .map_or_else(|| "n/a (no FC points)".to_string(), frac);
     let _ = writeln!(
         out,
         "Precision {} over {} windows, recall {}, FC hit rate {}.",
         frac(summary.forecast_precision),
         summary.forecast_windows,
         frac(summary.forecast_recall),
-        frac(summary.fc_hit_rate),
+        fc_rate,
     );
     let pairs: Vec<_> = analysis.metrics.forecast_stats().collect();
     if !pairs.is_empty() {

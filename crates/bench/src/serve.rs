@@ -390,6 +390,9 @@ pub fn known_metrics() -> &'static [&'static str] {
         "sw_fallback_rate",
         "cycles_saved_vs_sw",
         "dropped_events",
+        "selection_cache_hits",
+        "selection_cache_misses",
+        "selection_cache_invalidations",
         "records",
         "reopens",
         "window_cycles",
@@ -420,12 +423,15 @@ fn metric_value(
         "forecast_windows" => summary.forecast_windows as f64,
         "forecast_precision" => summary.forecast_precision,
         "forecast_recall" => summary.forecast_recall,
-        "fc_hit_rate" => summary.fc_hit_rate,
+        "fc_hit_rate" => summary.fc_hit_rate?,
         "executions_total" => summary.executions_total as f64,
         "hw_fraction" => summary.hw_fraction,
         "sw_fallback_rate" => 1.0 - summary.hw_fraction,
         "cycles_saved_vs_sw" => summary.cycles_saved_vs_sw as f64,
         "dropped_events" => summary.dropped_events as f64,
+        "selection_cache_hits" => summary.selection_cache_hits as f64,
+        "selection_cache_misses" => summary.selection_cache_misses as f64,
+        "selection_cache_invalidations" => summary.selection_cache_invalidations as f64,
         "records" => records as f64,
         "reopens" => reopens as f64,
         "window_cycles" => window.window_cycles as f64,

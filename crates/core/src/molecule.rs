@@ -18,12 +18,45 @@
 //! `(ℕⁿ, ∪)` is an Abelian semigroup with neutral element `(0, …, 0)` and
 //! `(ℕⁿ, ≤)` is a complete lattice; the property tests in this crate check
 //! these laws.
+//!
+//! Molecules sit on the run-time system's hottest path (every forecast
+//! event recomputes a selection over them), so the count vector is stored
+//! inline for platform widths up to [`Molecule::INLINE_WIDTH`] — the
+//! common case by far; the paper's H.264 platform has 4 Atom kinds — and
+//! only spills to the heap beyond that. All lattice ops additionally have
+//! in-place/counting variants ([`Molecule::union_in_place`],
+//! [`Molecule::union_determinant`]) so hot loops can avoid building
+//! intermediate vectors altogether.
 
 use std::fmt;
 use std::ops::{BitAnd, BitOr, Index};
 
 use crate::atom::AtomKind;
 use crate::error::WidthMismatchError;
+
+/// Inline-stored count vector for widths up to
+/// [`Molecule::INLINE_WIDTH`]; heap-backed beyond that.
+#[derive(Clone)]
+enum Counts {
+    Inline { len: u8, buf: [u32; 8] },
+    Heap(Vec<u32>),
+}
+
+impl Counts {
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            Counts::Inline { len, buf } => &buf[..*len as usize],
+            Counts::Heap(v) => v,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [u32] {
+        match self {
+            Counts::Inline { len, buf } => &mut buf[..*len as usize],
+            Counts::Heap(v) => v,
+        }
+    }
+}
 
 /// An element of ℕⁿ: the per-Atom-kind instance requirements of a Molecule
 /// (or Meta-Molecule).
@@ -45,16 +78,32 @@ use crate::error::WidthMismatchError;
 /// assert_eq!(m.determinant(), 3);
 /// assert!(m <= sup);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Clone)]
 pub struct Molecule {
-    counts: Vec<u32>,
+    counts: Counts,
 }
 
 impl Molecule {
+    /// Widths up to this many Atom kinds are stored inline (no heap
+    /// allocation anywhere in the lattice ops); wider platforms spill to
+    /// a heap vector transparently.
+    pub const INLINE_WIDTH: usize = 8;
+
     /// The neutral element `(0, …, 0)` of width `n`.
     #[must_use]
     pub fn zero(n: usize) -> Self {
-        Molecule { counts: vec![0; n] }
+        if n <= Self::INLINE_WIDTH {
+            Molecule {
+                counts: Counts::Inline {
+                    len: n as u8,
+                    buf: [0; 8],
+                },
+            }
+        } else {
+            Molecule {
+                counts: Counts::Heap(vec![0; n]),
+            }
+        }
     }
 
     /// Builds a Molecule from explicit per-kind counts.
@@ -63,8 +112,29 @@ impl Molecule {
     where
         I: IntoIterator<Item = u32>,
     {
+        let mut iter = counts.into_iter();
+        let mut buf = [0u32; 8];
+        let mut len = 0usize;
+        for c in iter.by_ref() {
+            if len < Self::INLINE_WIDTH {
+                buf[len] = c;
+                len += 1;
+            } else {
+                // Width exceeds the inline capacity: spill to the heap.
+                let mut v = Vec::with_capacity(Self::INLINE_WIDTH * 2);
+                v.extend_from_slice(&buf);
+                v.push(c);
+                v.extend(iter);
+                return Molecule {
+                    counts: Counts::Heap(v),
+                };
+            }
+        }
         Molecule {
-            counts: counts.into_iter().collect(),
+            counts: Counts::Inline {
+                len: len as u8,
+                buf,
+            },
         }
     }
 
@@ -81,8 +151,9 @@ impl Molecule {
         I: IntoIterator<Item = (AtomKind, u32)>,
     {
         let mut m = Molecule::zero(n);
+        let counts = m.counts.as_mut_slice();
         for (kind, count) in pairs {
-            m.counts[kind.index()] += count;
+            counts[kind.index()] += count;
         }
         m
     }
@@ -90,19 +161,19 @@ impl Molecule {
     /// Width `n` of the vector (number of Atom kinds on the platform).
     #[must_use]
     pub fn width(&self) -> usize {
-        self.counts.len()
+        self.as_slice().len()
     }
 
     /// The determinant `|m| = Σᵢ mᵢ`: total Atom instances required.
     #[must_use]
     pub fn determinant(&self) -> u32 {
-        self.counts.iter().sum()
+        self.as_slice().iter().sum()
     }
 
     /// Returns `true` if this is the neutral element (no Atoms required).
     #[must_use]
     pub fn is_zero(&self) -> bool {
-        self.counts.iter().all(|&c| c == 0)
+        self.as_slice().iter().all(|&c| c == 0)
     }
 
     /// Count of instances required for one Atom kind.
@@ -112,7 +183,7 @@ impl Molecule {
     /// the platform width).
     #[must_use]
     pub fn count(&self, kind: AtomKind) -> u32 {
-        self.counts.get(kind.index()).copied().unwrap_or(0)
+        self.as_slice().get(kind.index()).copied().unwrap_or(0)
     }
 
     /// Mutates the count of one Atom kind.
@@ -121,12 +192,12 @@ impl Molecule {
     ///
     /// Panics if `kind` is out of range.
     pub fn set_count(&mut self, kind: AtomKind, count: u32) {
-        self.counts[kind.index()] = count;
+        self.counts.as_mut_slice()[kind.index()] = count;
     }
 
     /// Iterates over `(kind, count)` for all kinds, including zero counts.
     pub fn iter(&self) -> impl Iterator<Item = (AtomKind, u32)> + '_ {
-        self.counts
+        self.as_slice()
             .iter()
             .enumerate()
             .map(|(i, &c)| (AtomKind(i), c))
@@ -140,7 +211,7 @@ impl Molecule {
     /// The raw count slice.
     #[must_use]
     pub fn as_slice(&self) -> &[u32] {
-        &self.counts
+        self.counts.as_slice()
     }
 
     /// Checked `∪` (element-wise max): the Meta-Molecule able to host both
@@ -150,13 +221,39 @@ impl Molecule {
     ///
     /// Returns [`WidthMismatchError`] when the widths differ.
     pub fn try_union(&self, other: &Molecule) -> Result<Molecule, WidthMismatchError> {
+        let mut out = self.clone();
+        out.union_in_place(other)?;
+        Ok(out)
+    }
+
+    /// In-place `∪`: `self ← self ∪ other`, without building a new vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WidthMismatchError`] when the widths differ (leaving
+    /// `self` unchanged).
+    pub fn union_in_place(&mut self, other: &Molecule) -> Result<(), WidthMismatchError> {
         self.check_width(other)?;
-        Ok(Molecule::from_counts(
-            self.counts
-                .iter()
-                .zip(&other.counts)
-                .map(|(&a, &b)| a.max(b)),
-        ))
+        for (a, &b) in self.counts.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a = (*a).max(b);
+        }
+        Ok(())
+    }
+
+    /// The determinant `|self ∪ other|` without materialising the union —
+    /// what a greedy selection loop needs to price a candidate upgrade.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WidthMismatchError`] when the widths differ.
+    pub fn union_determinant(&self, other: &Molecule) -> Result<u32, WidthMismatchError> {
+        self.check_width(other)?;
+        Ok(self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| a.max(b))
+            .sum())
     }
 
     /// Checked `∩` (element-wise min): Atoms collectively required by both.
@@ -165,13 +262,23 @@ impl Molecule {
     ///
     /// Returns [`WidthMismatchError`] when the widths differ.
     pub fn try_intersection(&self, other: &Molecule) -> Result<Molecule, WidthMismatchError> {
+        let mut out = self.clone();
+        out.intersection_in_place(other)?;
+        Ok(out)
+    }
+
+    /// In-place `∩`: `self ← self ∩ other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WidthMismatchError`] when the widths differ (leaving
+    /// `self` unchanged).
+    pub fn intersection_in_place(&mut self, other: &Molecule) -> Result<(), WidthMismatchError> {
         self.check_width(other)?;
-        Ok(Molecule::from_counts(
-            self.counts
-                .iter()
-                .zip(&other.counts)
-                .map(|(&a, &b)| a.min(b)),
-        ))
+        for (a, &b) in self.counts.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a = (*a).min(b);
+        }
+        Ok(())
     }
 
     /// The paper's `⊖` operator: the minimum Meta-Molecule that still has to
@@ -197,12 +304,11 @@ impl Molecule {
     /// ```
     pub fn additional_atoms(&self, goal: &Molecule) -> Result<Molecule, WidthMismatchError> {
         self.check_width(goal)?;
-        Ok(Molecule::from_counts(
-            goal.counts
-                .iter()
-                .zip(&self.counts)
-                .map(|(&g, &have)| g.saturating_sub(have)),
-        ))
+        let mut out = goal.clone();
+        for (g, &have) in out.counts.as_mut_slice().iter_mut().zip(self.as_slice()) {
+            *g = g.saturating_sub(have);
+        }
+        Ok(out)
     }
 
     /// Partial-order test `self ≤ other` (per-element).
@@ -212,7 +318,11 @@ impl Molecule {
     #[must_use]
     pub fn le(&self, other: &Molecule) -> bool {
         self.width() == other.width()
-            && self.counts.iter().zip(&other.counts).all(|(&a, &b)| a <= b)
+            && self
+                .as_slice()
+                .iter()
+                .zip(other.as_slice())
+                .all(|(&a, &b)| a <= b)
     }
 
     /// Supremum of a set of Molecules: `sup M = ∪_{m ∈ M} m`.
@@ -229,7 +339,7 @@ impl Molecule {
     {
         let mut acc = Molecule::zero(n);
         for m in molecules {
-            acc = acc.try_union(m)?;
+            acc.union_in_place(m)?;
         }
         Ok(acc)
     }
@@ -254,7 +364,7 @@ impl Molecule {
         };
         let mut acc = first.clone();
         for m in iter {
-            acc = acc.try_intersection(m)?;
+            acc.intersection_in_place(m)?;
         }
         Ok(Some(acc))
     }
@@ -268,6 +378,37 @@ impl Molecule {
                 right: other.width(),
             })
         }
+    }
+}
+
+impl Default for Molecule {
+    fn default() -> Self {
+        Molecule::zero(0)
+    }
+}
+
+/// Equality is over the logical count vector, regardless of storage
+/// (inline vs heap) — the two representations never coexist for one
+/// width, but the invariant belongs here, not in the callers.
+impl PartialEq for Molecule {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Molecule {}
+
+impl std::hash::Hash for Molecule {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Molecule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Molecule")
+            .field("counts", &self.as_slice())
+            .finish()
     }
 }
 
@@ -337,14 +478,14 @@ impl Index<AtomKind> for Molecule {
     type Output = u32;
 
     fn index(&self, kind: AtomKind) -> &u32 {
-        &self.counts[kind.index()]
+        &self.as_slice()[kind.index()]
     }
 }
 
 impl fmt::Display for Molecule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, c) in self.counts.iter().enumerate() {
+        for (i, c) in self.as_slice().iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
@@ -426,6 +567,7 @@ mod tests {
         assert!(m([1]).try_union(&m([1, 2])).is_err());
         assert!(m([1]).try_intersection(&m([1, 2])).is_err());
         assert!(m([1]).additional_atoms(&m([1, 2])).is_err());
+        assert!(m([1]).union_determinant(&m([1, 2])).is_err());
         assert!(!m([1]).le(&m([1, 2])));
         assert_eq!(m([1]).partial_cmp(&m([1, 2])), None);
     }
@@ -452,5 +594,61 @@ mod tests {
         let mol = m([7, 8]);
         assert_eq!(mol[AtomKind(1)], 8);
         assert_eq!(mol.count(AtomKind(9)), 0);
+    }
+
+    #[test]
+    fn union_determinant_matches_materialised_union() {
+        let a = m([1, 4, 0, 2]);
+        let b = m([3, 2, 5, 0]);
+        assert_eq!(a.union_determinant(&b).unwrap(), (&a | &b).determinant(),);
+    }
+
+    #[test]
+    fn in_place_ops_match_value_ops() {
+        let a = m([1, 4, 0]);
+        let b = m([3, 2, 7]);
+        let mut u = a.clone();
+        u.union_in_place(&b).unwrap();
+        assert_eq!(u, &a | &b);
+        let mut i = a.clone();
+        i.intersection_in_place(&b).unwrap();
+        assert_eq!(i, &a & &b);
+        // A failed in-place op leaves the receiver untouched.
+        let mut untouched = a.clone();
+        assert!(untouched.union_in_place(&m([1])).is_err());
+        assert_eq!(untouched, a);
+    }
+
+    #[test]
+    fn wide_vectors_spill_to_heap_with_identical_semantics() {
+        // Width 12 exceeds INLINE_WIDTH: everything must still hold.
+        let a = m((0..12).map(|i| i % 5));
+        let b = m((0..12).map(|i| (11 - i) % 4));
+        assert_eq!(a.width(), 12);
+        let sup = &a | &b;
+        for k in 0..12 {
+            assert_eq!(sup.as_slice()[k], a.as_slice()[k].max(b.as_slice()[k]));
+        }
+        assert_eq!(a.union_determinant(&b).unwrap(), sup.determinant());
+        assert!(a.le(&sup) && b.le(&sup));
+        assert_eq!(
+            a.additional_atoms(&sup).unwrap().determinant(),
+            sup.determinant() - a.determinant()
+        );
+        // Inline and heap-backed vectors of different widths stay
+        // incomparable, like any width mismatch.
+        assert!(!m([1, 2]).le(&a));
+        // Equality and hashing see through the representation.
+        assert_eq!(m((0..12).map(|i| i % 5)), a);
+        assert_eq!(Molecule::zero(12), m([0; 12]));
+    }
+
+    #[test]
+    fn exactly_inline_width_stays_comparable() {
+        let a = m([1; 8]);
+        let b = m([2; 8]);
+        assert!(a.le(&b));
+        assert_eq!(a.union_determinant(&b).unwrap(), 16);
+        assert_eq!(Molecule::zero(8).width(), 8);
     }
 }

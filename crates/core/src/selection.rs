@@ -1,9 +1,47 @@
 //! Selection algorithms: compile-time FC trimming (Fig. 5) and run-time
 //! Molecule selection under an Atom-Container budget.
+//!
+//! The run-time entry points come in two flavours: the plain functions
+//! ([`select_molecules`], [`trim_forecast_candidates`]) allocate their
+//! working state per call, while the `_with` variants thread a reusable
+//! [`SelectionContext`] through so a caller that selects on every
+//! forecast event (the RISPP run-time manager) performs no per-call
+//! allocation beyond the returned decision. Both flavours are
+//! decision-identical by construction — the `_with` variants are the
+//! same algorithm over borrowed scratch.
 
 use crate::error::WidthMismatchError;
 use crate::molecule::Molecule;
 use crate::si::{SiId, SiLibrary};
+
+/// Reusable scratch buffers for the selection kernel.
+///
+/// One context serves any number of [`select_molecules_with`] /
+/// [`trim_forecast_candidates_with`] calls (of any width or demand
+/// count); buffers grow to the high-water mark and are then reused.
+/// The context carries no decision state — dropping it and starting
+/// fresh never changes a result.
+#[derive(Debug, Clone, Default)]
+pub struct SelectionContext {
+    /// Best latency per demanded SI under the partial target.
+    current: Vec<u64>,
+    /// Chosen implementation per demand slot (dense, `None` = software).
+    chosen: Vec<Option<ChosenMolecule>>,
+    /// Per-kind maximum count over the kept candidates (trim scratch).
+    max1: Vec<u32>,
+    /// Per-kind second-largest count over the kept candidates.
+    max2: Vec<u32>,
+    /// How many kept candidates attain `max1` per kind.
+    max1_multiplicity: Vec<u32>,
+}
+
+impl SelectionContext {
+    /// Creates an empty context (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Result of [`trim_forecast_candidates`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,6 +111,38 @@ pub fn trim_forecast_candidates(
     speedups: &[f64],
     available_containers: u32,
 ) -> Result<TrimOutcome, WidthMismatchError> {
+    trim_forecast_candidates_with(
+        &mut SelectionContext::default(),
+        reps,
+        speedups,
+        available_containers,
+    )
+}
+
+/// [`trim_forecast_candidates`] over a reusable [`SelectionContext`].
+///
+/// Instead of rebuilding the supremum of "everyone but candidate i" per
+/// candidate per round (quadratic in candidates, one `Vec` each), one
+/// pass per round records, per Atom kind, the largest and second-largest
+/// kept count plus the multiplicity of the largest; the containers a
+/// removal frees fall out of those three numbers exactly:
+/// `max − second_max` for each kind where the candidate uniquely attains
+/// the maximum, zero elsewhere.
+///
+/// # Errors
+///
+/// Returns [`WidthMismatchError`] when representatives have differing
+/// widths.
+///
+/// # Panics
+///
+/// Same contract as [`trim_forecast_candidates`].
+pub fn trim_forecast_candidates_with(
+    ctx: &mut SelectionContext,
+    reps: &[Molecule],
+    speedups: &[f64],
+    available_containers: u32,
+) -> Result<TrimOutcome, WidthMismatchError> {
     assert_eq!(
         reps.len(),
         speedups.len(),
@@ -83,23 +153,63 @@ pub fn trim_forecast_candidates(
         "expected speed-ups must be positive"
     );
     let width = reps.first().map_or(0, Molecule::width);
+    for rep in reps {
+        if rep.width() != width {
+            return Err(WidthMismatchError {
+                left: width,
+                right: rep.width(),
+            });
+        }
+    }
     let mut kept: Vec<usize> = (0..reps.len()).collect();
     let mut removed = Vec::new();
 
-    let sup_of = |members: &[usize]| -> Result<Molecule, WidthMismatchError> {
-        Molecule::supremum(width, members.iter().map(|&i| &reps[i]))
-    };
+    ctx.max1.clear();
+    ctx.max1.resize(width, 0);
+    ctx.max2.clear();
+    ctx.max2.resize(width, 0);
+    ctx.max1_multiplicity.clear();
+    ctx.max1_multiplicity.resize(width, 0);
 
-    let mut sup = sup_of(&kept)?;
-    while sup.determinant() > available_containers && !kept.is_empty() {
+    loop {
+        // One pass: per-kind max, second max, and multiplicity of the max
+        // over the kept candidates. The supremum is the max1 vector.
+        for k in 0..width {
+            ctx.max1[k] = 0;
+            ctx.max2[k] = 0;
+            ctx.max1_multiplicity[k] = 0;
+        }
+        let mut sup_det: u32 = 0;
+        for &i in &kept {
+            for (k, &c) in reps[i].as_slice().iter().enumerate() {
+                if c > ctx.max1[k] {
+                    ctx.max2[k] = ctx.max1[k];
+                    ctx.max1[k] = c;
+                    ctx.max1_multiplicity[k] = 1;
+                } else if c == ctx.max1[k] && c > 0 {
+                    ctx.max1_multiplicity[k] += 1;
+                } else if c > ctx.max2[k] {
+                    ctx.max2[k] = c;
+                }
+            }
+        }
+        for k in 0..width {
+            sup_det += ctx.max1[k];
+        }
+        if sup_det <= available_containers || kept.is_empty() {
+            break;
+        }
         // Find the member whose removal frees the most containers per unit
         // of expected speed-up ("worst relation").
         let mut best: Option<(usize, f64)> = None;
         for (pos, &idx) in kept.iter().enumerate() {
-            let others: Vec<usize> = kept.iter().copied().filter(|&j| j != idx).collect();
-            let sup_without = sup_of(&others)?;
-            let freed = f64::from(sup.determinant() - sup_without.determinant());
-            let relation = freed / speedups[idx];
+            let mut freed: u32 = 0;
+            for (k, &c) in reps[idx].as_slice().iter().enumerate() {
+                if c == ctx.max1[k] && ctx.max1_multiplicity[k] == 1 {
+                    freed += ctx.max1[k] - ctx.max2[k];
+                }
+            }
+            let relation = f64::from(freed) / speedups[idx];
             if relation > best.map_or(0.0, |(_, r)| r) {
                 best = Some((pos, relation));
             }
@@ -107,17 +217,17 @@ pub fn trim_forecast_candidates(
         match best {
             Some((pos, _)) => {
                 removed.push(kept.remove(pos));
-                sup = sup_of(&kept)?;
             }
             // No single removal reduces the supremum: aborting keeps the
             // search space for the run-time decision system intact.
             None => break,
         }
     }
+    let final_sup = Molecule::supremum(width, kept.iter().map(|&i| &reps[i]))?;
     Ok(TrimOutcome {
         kept,
         removed,
-        final_sup: sup,
+        final_sup,
     })
 }
 
@@ -180,6 +290,26 @@ pub fn select_molecules(
     demands: &[(SiId, f64)],
     capacity: u32,
 ) -> MoleculeSelection {
+    select_molecules_with(&mut SelectionContext::default(), lib, demands, capacity)
+}
+
+/// [`select_molecules`] over a reusable [`SelectionContext`]: the same
+/// greedy pass (identical tie-breaking, identical output) with its
+/// per-demand working vectors borrowed from `ctx` and candidate pricing
+/// done via [`Molecule::union_determinant`] instead of materialising a
+/// trial union per candidate — zero allocation beyond the returned
+/// selection on platforms within [`Molecule::INLINE_WIDTH`].
+///
+/// # Panics
+///
+/// Same contract as [`select_molecules`].
+#[must_use]
+pub fn select_molecules_with(
+    ctx: &mut SelectionContext,
+    lib: &SiLibrary,
+    demands: &[(SiId, f64)],
+    capacity: u32,
+) -> MoleculeSelection {
     assert!(
         demands.iter().all(|&(_, w)| w >= 0.0),
         "demand weights must be non-negative"
@@ -187,13 +317,14 @@ pub fn select_molecules(
     let width = lib.width();
     let mut target = Molecule::zero(width);
     // Current best latency per demanded SI under `target`.
-    let mut current: Vec<u64> = demands
-        .iter()
-        .map(|&(si, _)| lib.get(si).sw_cycles())
-        .collect();
-    let mut chosen: Vec<Option<ChosenMolecule>> = vec![None; demands.len()];
+    ctx.current.clear();
+    ctx.current
+        .extend(demands.iter().map(|&(si, _)| lib.get(si).sw_cycles()));
+    ctx.chosen.clear();
+    ctx.chosen.resize(demands.len(), None);
 
     loop {
+        let target_det = target.determinant();
         let mut best: Option<(usize, usize, f64)> = None; // (demand, molecule, ratio)
         for (d, &(si, weight)) in demands.iter().enumerate() {
             if weight == 0.0 {
@@ -201,17 +332,17 @@ pub fn select_molecules(
             }
             let si_def = lib.get(si);
             for (mi, m) in si_def.molecules().iter().enumerate() {
-                if m.cycles >= current[d] {
+                if m.cycles >= ctx.current[d] {
                     continue; // not an upgrade
                 }
-                let new_target = target
-                    .try_union(&m.molecule)
+                let union_det = target
+                    .union_determinant(&m.molecule)
                     .expect("library enforces equal widths");
-                if new_target.determinant() > capacity {
+                if union_det > capacity {
                     continue;
                 }
-                let cost = u64::from(new_target.determinant() - target.determinant());
-                let gain = weight * (current[d] - m.cycles) as f64;
+                let cost = u64::from(union_det - target_det);
+                let gain = weight * (ctx.current[d] - m.cycles) as f64;
                 // Free upgrades get an effectively infinite ratio.
                 let ratio = if cost == 0 {
                     f64::INFINITY
@@ -229,11 +360,11 @@ pub fn select_molecules(
         }
         let (si, _) = demands[d];
         let m = &lib.get(si).molecules()[mi];
-        target = target
-            .try_union(&m.molecule)
+        target
+            .union_in_place(&m.molecule)
             .expect("library enforces equal widths");
-        current[d] = m.cycles;
-        chosen[d] = Some(ChosenMolecule {
+        ctx.current[d] = m.cycles;
+        ctx.chosen[d] = Some(ChosenMolecule {
             si,
             molecule_index: mi,
             cycles: m.cycles,
@@ -243,7 +374,7 @@ pub fn select_molecules(
 
     MoleculeSelection {
         target,
-        chosen: chosen.into_iter().flatten().collect(),
+        chosen: ctx.chosen.drain(..).flatten().collect(),
     }
 }
 

@@ -1,0 +1,124 @@
+//! Representation properties: the inline small-vector `Counts` storage
+//! behind [`Molecule`] must be observationally identical to the plain
+//! `Vec<u32>` semantics it replaced. Widths straddle the inline capacity
+//! (8) so every test exercises both the stack buffer and the heap spill,
+//! and ⊖ is driven with full-range `u32` values to pin its saturation.
+
+use proptest::prelude::*;
+use rispp_core::molecule::Molecule;
+
+/// A width together with two count vectors of that width, spanning the
+/// inline→heap boundary.
+fn pair() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    (0usize..=20).prop_flat_map(|w| {
+        (
+            proptest::collection::vec(0u32..64, w),
+            proptest::collection::vec(0u32..64, w),
+        )
+    })
+}
+
+/// Like [`pair`] but with full-range values, for saturation behaviour.
+fn extreme_pair() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    (0usize..=20).prop_flat_map(|w| {
+        (
+            proptest::collection::vec(any::<u32>(), w),
+            proptest::collection::vec(any::<u32>(), w),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn from_counts_round_trips((a, _) in pair()) {
+        let m = Molecule::from_counts(a.iter().copied());
+        prop_assert_eq!(m.as_slice(), a.as_slice());
+        prop_assert_eq!(m.width(), a.len());
+    }
+
+    #[test]
+    fn union_matches_vec_max((a, b) in pair()) {
+        let reference: Vec<u32> =
+            a.iter().zip(&b).map(|(&x, &y)| x.max(y)).collect();
+        let ma = Molecule::from_counts(a.iter().copied());
+        let mb = Molecule::from_counts(b.iter().copied());
+        prop_assert_eq!((&ma | &mb).as_slice(), reference.as_slice());
+        let mut in_place = ma.clone();
+        in_place.union_in_place(&mb).unwrap();
+        prop_assert_eq!(in_place.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn intersection_matches_vec_min((a, b) in pair()) {
+        let reference: Vec<u32> =
+            a.iter().zip(&b).map(|(&x, &y)| x.min(y)).collect();
+        let ma = Molecule::from_counts(a.iter().copied());
+        let mb = Molecule::from_counts(b.iter().copied());
+        prop_assert_eq!((&ma & &mb).as_slice(), reference.as_slice());
+        let mut in_place = ma.clone();
+        in_place.intersection_in_place(&mb).unwrap();
+        prop_assert_eq!(in_place.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn union_determinant_matches_materialised_union((a, b) in pair()) {
+        let ma = Molecule::from_counts(a.iter().copied());
+        let mb = Molecule::from_counts(b.iter().copied());
+        prop_assert_eq!(
+            ma.union_determinant(&mb).unwrap(),
+            (&ma | &mb).determinant()
+        );
+    }
+
+    #[test]
+    fn additional_atoms_saturates_like_vec((a, b) in extreme_pair()) {
+        // have ⊖-style: goal.saturating_sub(have) elementwise, never
+        // wrapping even at u32::MAX.
+        let reference: Vec<u32> =
+            b.iter().zip(&a).map(|(&goal, &have)| goal.saturating_sub(have)).collect();
+        let have = Molecule::from_counts(a.iter().copied());
+        let goal = Molecule::from_counts(b.iter().copied());
+        let missing = have.additional_atoms(&goal).unwrap();
+        prop_assert_eq!(missing.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn le_matches_vec_pointwise((a, b) in extreme_pair()) {
+        let reference = a.iter().zip(&b).all(|(&x, &y)| x <= y);
+        let ma = Molecule::from_counts(a.iter().copied());
+        let mb = Molecule::from_counts(b.iter().copied());
+        prop_assert_eq!(ma.le(&mb), reference);
+    }
+
+    #[test]
+    fn equality_is_value_equality_across_representations((a, _) in pair()) {
+        // Build the same counts twice through different paths; the
+        // representation (inline vs heap) must never leak into Eq/Hash use.
+        let direct = Molecule::from_counts(a.iter().copied());
+        let mut grown = Molecule::zero(a.len());
+        for (i, &c) in a.iter().enumerate() {
+            grown.set_count(rispp_core::atom::AtomKind(i), c);
+        }
+        prop_assert_eq!(direct, grown);
+    }
+
+    #[test]
+    fn width_mismatch_is_rejected_and_incomparable(
+        (a, b) in (0usize..=20, 0usize..=20)
+            .prop_filter("distinct widths", |(x, y)| x != y)
+            .prop_flat_map(|(x, y)| (
+                proptest::collection::vec(0u32..8, x),
+                proptest::collection::vec(0u32..8, y),
+            ))
+    ) {
+        let ma = Molecule::from_counts(a.iter().copied());
+        let mb = Molecule::from_counts(b.iter().copied());
+        prop_assert!(ma.union_determinant(&mb).is_err());
+        prop_assert!(ma.clone().union_in_place(&mb).is_err());
+        prop_assert!(ma.clone().intersection_in_place(&mb).is_err());
+        prop_assert!(ma.additional_atoms(&mb).is_err());
+        // Differing widths compare as incomparable — the conservative
+        // answer the plan-skip check in the run-time system relies on.
+        prop_assert!(!ma.le(&mb));
+    }
+}

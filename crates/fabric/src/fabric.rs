@@ -534,6 +534,14 @@ impl Fabric {
         self.queue.iter().copied().collect()
     }
 
+    /// Number of queued (not yet started) rotations, without
+    /// materialising them — the hot-path check for "would
+    /// cancel-and-reissue be a no-op?".
+    #[must_use]
+    pub fn pending_rotation_count(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Advances fabric time to `t`, completing and starting rotations, and
     /// returns the events that occurred in `(now, t]` in order.
     ///

@@ -140,6 +140,12 @@ mod tag {
     pub const UPGRADE_STEP: u8 = 12;
 }
 
+/// High bit of the reselect trigger byte: set when the decision was
+/// served from the selection cache. Trigger codes stay below 0x80, so
+/// schema version 1 streams written before the cache existed decode
+/// unchanged (bit clear ⇒ `cache_hit = false`).
+const TRIGGER_CACHE_HIT: u8 = 0x80;
+
 fn trigger_code(t: ReselectTrigger) -> u8 {
     match t {
         ReselectTrigger::Forecast => 0,
@@ -380,10 +386,12 @@ fn encode_record(
         Event::Reselect {
             trigger,
             duration_ns,
+            cache_hit,
         } => {
             c.push(tag::RESELECT);
             c.varint(delta);
-            c.push(trigger_code(*trigger));
+            let hit = if *cache_hit { TRIGGER_CACHE_HIT } else { 0 };
+            c.push(trigger_code(*trigger) | hit);
             c.varint(*duration_ns);
         }
         Event::UpgradeStep {
@@ -765,11 +773,12 @@ fn decode_body(
         }
         tag::RESELECT => {
             let code = b.u8("trigger")?;
-            let trigger = trigger_from(code)
+            let trigger = trigger_from(code & !TRIGGER_CACHE_HIT)
                 .ok_or_else(|| err(offset, format!("unknown reselect trigger {code}")))?;
             Event::Reselect {
                 trigger,
                 duration_ns: b.varint("duration_ns")?,
+                cache_hit: code & TRIGGER_CACHE_HIT != 0,
             }
         }
         tag::UPGRADE_STEP => {
@@ -1087,6 +1096,7 @@ mod tests {
                 event: Event::Reselect {
                     trigger: ReselectTrigger::Forecast,
                     duration_ns: 12_345,
+                    cache_hit: false,
                 },
             },
             Record {
@@ -1210,6 +1220,7 @@ mod tests {
                 event: Event::Reselect {
                     trigger: ReselectTrigger::Fault,
                     duration_ns: 777,
+                    cache_hit: true,
                 },
             },
         ]

@@ -197,11 +197,17 @@ fn encode_into(out: &mut String, at: u64, event: &Event) {
         Event::Reselect {
             trigger,
             duration_ns,
+            cache_hit,
         } => {
             let _ = write!(
                 out,
                 "\"reselect\",\"trigger\":\"{trigger}\",\"duration_ns\":{duration_ns}"
             );
+            // Omitted when false: pre-cache exports stay byte-identical
+            // and replay with `cache_hit = false`.
+            if *cache_hit {
+                let _ = write!(out, ",\"cache_hit\":true");
+            }
         }
         Event::UpgradeStep {
             si,
@@ -539,6 +545,7 @@ fn decode_at_line(line: &str, number: usize) -> Result<Record, JsonlError> {
                 other => return Err(err(number, format!("unknown reselect trigger {other:?}"))),
             },
             duration_ns: fields.u64("duration_ns")?,
+            cache_hit: fields.has("cache_hit") && fields.bool("cache_hit")?,
         },
         "upgrade_step" => Event::UpgradeStep {
             si: SiId(fields.usize("si")?),
@@ -692,6 +699,7 @@ mod tests {
                 event: Event::Reselect {
                     trigger: ReselectTrigger::Forecast,
                     duration_ns: 12_345,
+                    cache_hit: false,
                 },
             },
             Record {
@@ -795,6 +803,7 @@ mod tests {
                 event: Event::Reselect {
                     trigger: ReselectTrigger::Fault,
                     duration_ns: 777,
+                    cache_hit: true,
                 },
             },
         ]

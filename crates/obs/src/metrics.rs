@@ -91,8 +91,11 @@ pub struct MetricsSummary {
     pub forecast_precision: f64,
     /// Fraction of executions that were forecast when they happened.
     pub forecast_recall: f64,
-    /// Fraction of monitored FC outcomes that were reached.
-    pub fc_hit_rate: f64,
+    /// Fraction of monitored FC outcomes that were reached. `None` when
+    /// the run monitored no FC outcomes at all — a workload without FC
+    /// instrumentation points has no hit rate, which is different from a
+    /// hit rate of zero.
+    pub fc_hit_rate: Option<f64>,
     /// SI executions observed.
     pub executions_total: u64,
     /// Fraction of executions that ran in hardware.
@@ -105,6 +108,15 @@ pub struct MetricsSummary {
     /// and [`MetricsSink::note_dropped_events`]). Nonzero means any
     /// captured timeline is a truncated tail, not the complete run.
     pub dropped_events: u64,
+    /// Re-selections served from the manager's selection cache.
+    pub selection_cache_hits: u64,
+    /// Re-selections that ran the selection kernel.
+    pub selection_cache_misses: u64,
+    /// Selection-cache flushes (rotation completions, faults, power-mode
+    /// switches). Fed in via
+    /// [`MetricsSink::note_selection_cache_invalidations`], not the event
+    /// stream — invalidation is internal manager state, not an event.
+    pub selection_cache_invalidations: u64,
 }
 
 impl MetricsSummary {
@@ -162,12 +174,15 @@ impl MetricsSummary {
             other.forecast_precision,
             other.forecast_windows,
         );
-        self.fc_hit_rate = weighted(
-            self.fc_hit_rate,
-            self.forecast_windows,
-            other.fc_hit_rate,
-            other.forecast_windows,
-        );
+        self.fc_hit_rate = match (self.fc_hit_rate, other.fc_hit_rate) {
+            (None, rate) | (rate, None) => rate,
+            (Some(a), Some(b)) => Some(weighted(
+                a,
+                self.forecast_windows,
+                b,
+                other.forecast_windows,
+            )),
+        };
         self.forecast_recall = weighted(
             self.forecast_recall,
             self.executions_total,
@@ -188,6 +203,9 @@ impl MetricsSummary {
             .cycles_saved_vs_sw
             .saturating_add(other.cycles_saved_vs_sw);
         self.dropped_events += other.dropped_events;
+        self.selection_cache_hits += other.selection_cache_hits;
+        self.selection_cache_misses += other.selection_cache_misses;
+        self.selection_cache_invalidations += other.selection_cache_invalidations;
     }
 
     /// [`MetricsSummary::merge`], by value — convenient in folds.
@@ -204,7 +222,7 @@ impl MetricsSummary {
     /// which must keep each metric family contiguous).
     #[must_use]
     pub fn prometheus_series(&self) -> Vec<(&'static str, &'static str, &'static str, f64)> {
-        vec![
+        let mut series = vec![
             (
                 "rispp_elapsed_cycles",
                 "gauge",
@@ -242,12 +260,6 @@ impl MetricsSummary {
                 self.forecast_recall,
             ),
             (
-                "rispp_fc_hit_rate",
-                "gauge",
-                "Fraction of monitored FC outcomes that were reached.",
-                self.fc_hit_rate,
-            ),
-            (
                 "rispp_hw_fraction",
                 "gauge",
                 "Fraction of SI executions that ran in hardware.",
@@ -277,7 +289,38 @@ impl MetricsSummary {
                 "Events dropped by a bounded timeline capture (nonzero = truncated capture).",
                 self.dropped_events as f64,
             ),
-        ]
+            (
+                "rispp_selection_cache_hits_total",
+                "counter",
+                "Re-selections served from the selection cache.",
+                self.selection_cache_hits as f64,
+            ),
+            (
+                "rispp_selection_cache_misses_total",
+                "counter",
+                "Re-selections that ran the selection kernel.",
+                self.selection_cache_misses as f64,
+            ),
+            (
+                "rispp_selection_cache_invalidations_total",
+                "counter",
+                "Selection-cache flushes from rotation, fault or mode changes.",
+                self.selection_cache_invalidations as f64,
+            ),
+        ];
+        // Absent (not zero) when the run monitored no FC outcomes.
+        if let Some(rate) = self.fc_hit_rate {
+            series.insert(
+                6,
+                (
+                    "rispp_fc_hit_rate",
+                    "gauge",
+                    "Fraction of monitored FC outcomes that were reached.",
+                    rate,
+                ),
+            );
+        }
+        series
     }
 }
 
@@ -348,6 +391,12 @@ pub struct MetricsSink {
     /// in via [`MetricsSink::note_dropped_events`], not the event
     /// stream (the sink itself never drops).
     dropped_events: u64,
+    selection_cache_hits: u64,
+    selection_cache_misses: u64,
+    /// Cache flushes, fed in via
+    /// [`MetricsSink::note_selection_cache_invalidations`] — the manager
+    /// does not emit an event per flush.
+    selection_cache_invalidations: u64,
 }
 
 impl MetricsSink {
@@ -572,11 +621,14 @@ impl MetricsSink {
             forecast_windows: self.windows_total,
             forecast_precision: self.forecast_precision(),
             forecast_recall: self.forecast_recall(),
-            fc_hit_rate: self.fc_hit_rate(),
+            fc_hit_rate: (self.fc_outcomes > 0).then(|| self.fc_hit_rate()),
             executions_total: self.executions_total,
             hw_fraction: ratio(self.hw_executions, self.executions_total),
             cycles_saved_vs_sw: self.cycles_saved,
             dropped_events: self.dropped_events,
+            selection_cache_hits: self.selection_cache_hits,
+            selection_cache_misses: self.selection_cache_misses,
+            selection_cache_invalidations: self.selection_cache_invalidations,
         }
     }
 
@@ -593,6 +645,25 @@ impl MetricsSink {
     #[must_use]
     pub fn dropped_events(&self) -> u64 {
         self.dropped_events
+    }
+
+    /// Registers selection-cache flushes observed by the manager, so the
+    /// summary and the Prometheus exposition carry them next to the
+    /// hit/miss counts derived from [`Event::Reselect`]. Additive across
+    /// calls, mirroring [`MetricsSink::note_dropped_events`].
+    pub fn note_selection_cache_invalidations(&mut self, n: u64) {
+        self.selection_cache_invalidations += n;
+    }
+
+    /// `(hits, misses, invalidations)` of the selection cache as seen in
+    /// the event stream (plus registered flushes).
+    #[must_use]
+    pub fn selection_cache_stats(&self) -> (u64, u64, u64) {
+        (
+            self.selection_cache_hits,
+            self.selection_cache_misses,
+            self.selection_cache_invalidations,
+        )
     }
 
     /// Prometheus-style text exposition of every gauge and counter.
@@ -634,11 +705,14 @@ impl MetricsSink {
             "Fraction of executions that were forecast when they happened.",
             self.forecast_recall(),
         );
-        gauge(
-            "rispp_fc_hit_rate",
-            "Fraction of monitored FC outcomes that were reached.",
-            self.fc_hit_rate(),
-        );
+        // Absent (not zero) when the run monitored no FC outcomes.
+        if self.fc_outcomes > 0 {
+            gauge(
+                "rispp_fc_hit_rate",
+                "Fraction of monitored FC outcomes that were reached.",
+                self.fc_hit_rate(),
+            );
+        }
         let mut counter = |name: &str, help: &str, value: u64| {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} counter");
@@ -668,6 +742,21 @@ impl MetricsSink {
             "rispp_timeline_dropped_events_total",
             "Events dropped by a bounded timeline capture (nonzero = truncated capture).",
             self.dropped_events,
+        );
+        counter(
+            "rispp_selection_cache_hits_total",
+            "Re-selections served from the selection cache.",
+            self.selection_cache_hits,
+        );
+        counter(
+            "rispp_selection_cache_misses_total",
+            "Re-selections that ran the selection kernel.",
+            self.selection_cache_misses,
+        );
+        counter(
+            "rispp_selection_cache_invalidations_total",
+            "Selection-cache flushes from rotation, fault or mode changes.",
+            self.selection_cache_invalidations,
         );
         let _ = writeln!(
             out,
@@ -801,6 +890,13 @@ impl EventSink for MetricsSink {
                 self.fc_outcomes += 1;
                 if *reached {
                     self.fc_outcomes_reached += 1;
+                }
+            }
+            Event::Reselect { cache_hit, .. } => {
+                if *cache_hit {
+                    self.selection_cache_hits += 1;
+                } else {
+                    self.selection_cache_misses += 1;
                 }
             }
             _ => {}
@@ -964,6 +1060,68 @@ mod tests {
             );
         }
         assert!((m.fc_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fc_hit_rate_absent_without_outcomes() {
+        let mut m = MetricsSink::new();
+        assert_eq!(m.summary().fc_hit_rate, None);
+        assert!(!m.render_prometheus().contains("rispp_fc_hit_rate"));
+        assert!(!m
+            .summary()
+            .prometheus_series()
+            .iter()
+            .any(|(name, ..)| *name == "rispp_fc_hit_rate"));
+        m.emit(
+            0,
+            &Event::FcOutcome {
+                task: 0,
+                si: SiId(0),
+                reached: true,
+            },
+        );
+        assert_eq!(m.summary().fc_hit_rate, Some(1.0));
+        assert!(m.render_prometheus().contains("rispp_fc_hit_rate 1"));
+        // Option-aware merge: a shard without FC points does not dilute
+        // one that has them.
+        let mut a = MetricsSummary {
+            fc_hit_rate: Some(0.5),
+            forecast_windows: 2,
+            ..MetricsSummary::default()
+        };
+        a.merge(&MetricsSummary::default());
+        assert_eq!(a.fc_hit_rate, Some(0.5));
+    }
+
+    #[test]
+    fn selection_cache_stats_flow_through() {
+        use crate::event::ReselectTrigger;
+        let mut m = MetricsSink::new();
+        for cache_hit in [true, false, true] {
+            m.emit(
+                0,
+                &Event::Reselect {
+                    trigger: ReselectTrigger::Forecast,
+                    duration_ns: 5,
+                    cache_hit,
+                },
+            );
+        }
+        m.note_selection_cache_invalidations(2);
+        assert_eq!(m.selection_cache_stats(), (2, 1, 2));
+        let s = m.summary();
+        assert_eq!(s.selection_cache_hits, 2);
+        assert_eq!(s.selection_cache_misses, 1);
+        assert_eq!(s.selection_cache_invalidations, 2);
+        let text = m.render_prometheus();
+        assert!(text.contains("rispp_selection_cache_hits_total 2"));
+        assert!(text.contains("rispp_selection_cache_misses_total 1"));
+        assert!(text.contains("rispp_selection_cache_invalidations_total 2"));
+        // Fleet merges add the cache counters shard-wise.
+        let mut merged = s;
+        merged.merge(&s);
+        assert_eq!(merged.selection_cache_hits, 4);
+        assert_eq!(merged.selection_cache_invalidations, 4);
     }
 
     #[test]

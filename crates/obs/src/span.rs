@@ -307,6 +307,7 @@ mod tests {
                 Event::Reselect {
                     trigger: crate::event::ReselectTrigger::Forecast,
                     duration_ns: 100,
+                    cache_hit: false,
                 },
             ),
             (

@@ -58,6 +58,7 @@ pub struct ManagerBuilder<P = LruSurplusPolicy, S = GreedySelection, R = Rotatio
     prof: ProfHandle,
     retry_policy: RetryPolicy,
     deterministic_timing: bool,
+    selection_cache: bool,
 }
 
 impl<P: ReplacementPolicy, S: SelectionPolicy, R: RotationSchedulePolicy> ManagerBuilder<P, S, R> {
@@ -77,6 +78,7 @@ impl<P: ReplacementPolicy, S: SelectionPolicy, R: RotationSchedulePolicy> Manage
             prof: self.prof,
             retry_policy: self.retry_policy,
             deterministic_timing: self.deterministic_timing,
+            selection_cache: self.selection_cache,
         }
     }
 
@@ -96,6 +98,7 @@ impl<P: ReplacementPolicy, S: SelectionPolicy, R: RotationSchedulePolicy> Manage
             prof: self.prof,
             retry_policy: self.retry_policy,
             deterministic_timing: self.deterministic_timing,
+            selection_cache: self.selection_cache,
         }
     }
 
@@ -119,6 +122,7 @@ impl<P: ReplacementPolicy, S: SelectionPolicy, R: RotationSchedulePolicy> Manage
             prof: self.prof,
             retry_policy: self.retry_policy,
             deterministic_timing: self.deterministic_timing,
+            selection_cache: self.selection_cache,
         }
     }
 
@@ -184,6 +188,19 @@ impl<P: ReplacementPolicy, S: SelectionPolicy, R: RotationSchedulePolicy> Manage
         self
     }
 
+    /// Enables or disables the incremental selection cache (default: on).
+    ///
+    /// Disabled, every re-selection runs the full weighing + selection +
+    /// scheduling kernel from scratch — the oracle configuration the
+    /// cached kernel is validated against (decisions, rotation plans and
+    /// timelines must be identical either way, modulo the `cache_hit`
+    /// marker on `Reselect` events).
+    #[must_use]
+    pub fn selection_cache(mut self, enabled: bool) -> Self {
+        self.selection_cache = enabled;
+        self
+    }
+
     /// Replays bit-exactly: host-measured durations in emitted events
     /// (the `duration_ns` of `Reselect`) are reported as zero, so the
     /// structured event stream depends only on simulated state — the
@@ -218,7 +235,8 @@ impl<P: ReplacementPolicy, S: SelectionPolicy, R: RotationSchedulePolicy> Manage
             fabric,
             policy: self.policy,
             forecasts: ForecastStore::new(self.lambda),
-            selector: SelectionStage::new(self.selection_policy, self.power_mode),
+            selector: SelectionStage::new(self.selection_policy, self.power_mode)
+                .with_cache(self.selection_cache),
             scheduler: self.schedule_policy,
             ledger,
             backoff: BackoffGovernor::new(self.retry_policy),
@@ -246,6 +264,7 @@ impl RisppManager {
             prof: ProfHandle::null(),
             retry_policy: RetryPolicy::default(),
             deterministic_timing: false,
+            selection_cache: true,
         }
     }
 }

@@ -76,6 +76,14 @@ impl<P: ReplacementPolicy, S: SelectionPolicy, R: RotationSchedulePolicy> RisppM
         self.selector.reselects()
     }
 
+    /// `(hits, misses, invalidations)` of the incremental selection
+    /// cache. All zeros when the cache is disabled via
+    /// [`ManagerBuilder::selection_cache`](super::ManagerBuilder::selection_cache).
+    #[must_use]
+    pub fn selection_cache_stats(&self) -> (u64, u64, u64) {
+        self.selector.cache_stats()
+    }
+
     /// Total rotations requested so far.
     #[must_use]
     pub fn rotations_requested(&self) -> u64 {

@@ -22,6 +22,16 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
+    /// Feeds every generated value into `f` and draws from the strategy
+    /// it returns — the dependent-generation combinator (e.g. a width
+    /// first, then vectors of that width).
+    fn prop_flat_map<U: Strategy, F: Fn(Self::Value) -> U>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
     /// Rejects generated values failing `pred` and redraws.
     fn prop_filter<F: Fn(&Self::Value) -> bool>(
         self,
@@ -133,6 +143,19 @@ impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
     type Value = U;
     fn generate(&self, rng: &mut TestRng) -> U {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Strategy, F: Fn(S::Value) -> U> Strategy for FlatMap<S, F> {
+    type Value = U::Value;
+    fn generate(&self, rng: &mut TestRng) -> U::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
     }
 }
 
